@@ -1,0 +1,92 @@
+//! Figure 5 — impact of B-matrix routing configurations.
+//!
+//! (a) Normalized speedup of `Sparse.B(db1, db2, db3, on/off)` designs
+//!     over the dense baseline on the DNN.B suite, for every
+//!     configuration with AMUX fan-in ≤ 8 and `db1 ≥ 2`.
+//! (b/c) Effective power / area efficiency on DNN.B (y-axis) vs
+//!     DNN.dense (x-axis).
+//!
+//! Paper reference speedups (§VI-A text) are printed next to our
+//! measured values where published.
+
+use griffin_bench::{banner, deviation, paper, Suite};
+use griffin_core::arch::ArchSpec;
+use griffin_core::category::DnnCategory;
+use griffin_core::dse::enumerate_sparse_b;
+use griffin_sim::window::BorrowWindow;
+
+/// Published reference speedups from §VI-A.
+fn paper_speedup(w: BorrowWindow, shuffle: bool) -> Option<f64> {
+    match (w.d1, w.d2, w.d3, shuffle) {
+        (4, 0, 0, false) => Some(1.7),
+        (4, 0, 1, true) => Some(2.5),
+        (4, 0, 2, true) => Some(2.9),
+        (6, 0, 0, false) => Some(1.9),
+        (6, 0, 0, true) => Some(2.7),
+        (2, 1, 1, true) => Some(2.6),
+        (2, 2, 0, true) => Some(2.4),
+        (2, 0, 2, true) => Some(2.4),
+        _ => None,
+    }
+}
+
+fn main() {
+    banner("Figure 5", "Sparse.B design space: speedup and efficiency on DNN.B vs DNN.dense");
+    let mut suite = Suite::new();
+
+    println!(
+        "{:<22} {:>8} {:>7} {:>6}   {:>9} {:>10} {:>9} {:>10}",
+        "config", "speedup", "paper", "dev",
+        "TOPS/W.B", "TOPS/W.den", "TOPSmm.B", "TOPSmm.den"
+    );
+
+    for spec in enumerate_sparse_b(8) {
+        let b = suite.evaluate(&spec, DnnCategory::B);
+        // On a dense model the sparse schedule degenerates to the dense
+        // one; efficiency is the sparsity tax at speedup 1.
+        let dense_eff = griffin_core::efficiency::Efficiency::new(suite.cfg.core, &b.cost, 1.0);
+        let reference = paper_speedup(spec.b, spec.shuffle);
+        println!(
+            "{:<22} {:>8.2} {} {:>6}   {:>9.2} {:>10.2} {:>9.2} {:>10.2}",
+            spec.name,
+            b.speedup,
+            paper(reference),
+            deviation(b.speedup, reference),
+            b.eff.tops_per_w,
+            dense_eff.tops_per_w,
+            b.eff.tops_per_mm2,
+            dense_eff.tops_per_mm2,
+        );
+    }
+
+    // The paper's chosen optimum and the SOTA weight-sparse points.
+    println!();
+    for spec in [ArchSpec::sparse_b_star(), ArchSpec::tcl_b(), ArchSpec::sparten_b()] {
+        let e = suite.evaluate(&spec, DnnCategory::B);
+        let reference = match spec.name.as_str() {
+            "SparTen.B" => Some(3.9),
+            _ => None,
+        };
+        println!(
+            "{:<22} speedup {:>5.2} (paper {}) TOPS/W {:>6.2} TOPS/mm2 {:>6.2}",
+            spec.name,
+            e.speedup,
+            paper(reference),
+            e.eff.tops_per_w,
+            e.eff.tops_per_mm2
+        );
+    }
+    println!();
+    println!("Shape checks (paper observations, §VI-A):");
+    let mut s = |d1, d2, d3, sh| {
+        suite.geomean_speedup(&ArchSpec::sparse_b(BorrowWindow::new(d1, d2, d3), sh), DnnCategory::B)
+    };
+    let b400 = s(4, 0, 0, false);
+    let b401 = s(4, 0, 1, false);
+    let b402 = s(4, 0, 2, false);
+    println!("  (1) larger db1 helps:      B(2,0,0) {:.2} < B(4,0,0) {:.2} < B(6,0,0) {:.2}",
+        s(2, 0, 0, false), b400, s(6, 0, 0, false));
+    println!("  (2) db3 boosts speedup:    B(4,0,0) {b400:.2} -> B(4,0,1) {b401:.2} -> B(4,0,2) {b402:.2}");
+    println!("  (5) balance db2/db3:       B(2,1,1,on) {:.2} vs B(2,2,0,on) {:.2} vs B(2,0,2,on) {:.2}",
+        s(2, 1, 1, true), s(2, 2, 0, true), s(2, 0, 2, true));
+}

@@ -1,0 +1,81 @@
+//! Figure 6 — impact of A-matrix routing configurations.
+//!
+//! (a) Normalized speedup of `Sparse.A(da1, da2, da3, on/off)` designs
+//!     on the DNN.A suite, for configurations with AMUX/BMUX fan-in ≤ 8.
+//! (b/c) Effective power / area efficiency on DNN.A (y) vs DNN.dense (x).
+
+use griffin_bench::{banner, deviation, paper, Suite};
+use griffin_core::arch::ArchSpec;
+use griffin_core::category::DnnCategory;
+use griffin_core::dse::enumerate_sparse_a;
+use griffin_sim::window::BorrowWindow;
+
+/// Published reference speedups from §VI-B.
+fn paper_speedup(w: BorrowWindow, shuffle: bool) -> Option<f64> {
+    match (w.d1, w.d2, w.d3, shuffle) {
+        (2, 1, 0, true) => Some(1.83),
+        (3, 1, 0, true) => Some(1.89),
+        (2, 1, 1, true) => Some(1.93),
+        (2, 1, 2, true) => Some(1.97),
+        (4, 0, 1, false) => Some(1.28),
+        (4, 0, 1, true) => Some(1.79),
+        _ => None,
+    }
+}
+
+fn main() {
+    banner("Figure 6", "Sparse.A design space: speedup and efficiency on DNN.A vs DNN.dense");
+    let mut suite = Suite::new();
+
+    println!(
+        "{:<22} {:>8} {:>7} {:>6}   {:>9} {:>10} {:>9} {:>10}",
+        "config", "speedup", "paper", "dev",
+        "TOPS/W.A", "TOPS/W.den", "TOPSmm.A", "TOPSmm.den"
+    );
+
+    for spec in enumerate_sparse_a(8) {
+        let a = suite.evaluate(&spec, DnnCategory::A);
+        let dense_eff = griffin_core::efficiency::Efficiency::new(suite.cfg.core, &a.cost, 1.0);
+        let reference = paper_speedup(spec.a, spec.shuffle);
+        println!(
+            "{:<22} {:>8.2} {} {:>6}   {:>9.2} {:>10.2} {:>9.2} {:>10.2}",
+            spec.name,
+            a.speedup,
+            paper(reference),
+            deviation(a.speedup, reference),
+            a.eff.tops_per_w,
+            dense_eff.tops_per_w,
+            a.eff.tops_per_mm2,
+            dense_eff.tops_per_mm2,
+        );
+    }
+
+    println!();
+    for spec in [ArchSpec::sparse_a_star(), ArchSpec::cnvlutin(), ArchSpec::sparten_a()] {
+        let e = suite.evaluate(&spec, DnnCategory::A);
+        let reference = match spec.name.as_str() {
+            "SparTen.A" => Some(2.0),
+            _ => None,
+        };
+        println!(
+            "{:<22} speedup {:>5.2} (paper {}) TOPS/W {:>6.2} TOPS/mm2 {:>6.2}",
+            spec.name,
+            e.speedup,
+            paper(reference),
+            e.eff.tops_per_w,
+            e.eff.tops_per_mm2
+        );
+    }
+
+    println!();
+    println!("Shape checks (paper observations, §VI-B):");
+    let mut s = |d1, d2, d3, sh| {
+        suite.geomean_speedup(&ArchSpec::sparse_a(BorrowWindow::new(d1, d2, d3), sh), DnnCategory::A)
+    };
+    println!("  (1) da1 saturates near 2x ideal:  A(2,1,0,on) {:.2} ~ A(3,1,0,on) {:.2}",
+        s(2, 1, 0, true), s(3, 1, 0, true));
+    println!("  (2) da3 gains are small:          A(2,1,0,on) {:.2} -> A(2,1,1,on) {:.2} -> A(2,1,2,on) {:.2}",
+        s(2, 1, 0, true), s(2, 1, 1, true), s(2, 1, 2, true));
+    println!("  (3) shuffling helps A(4,0,1):     off {:.2} -> on {:.2}",
+        s(4, 0, 1, false), s(4, 0, 1, true));
+}

@@ -1,0 +1,92 @@
+//! Figure 7 — impact of A & B routing configurations (dual sparsity).
+//!
+//! (a) Normalized speedup of `Sparse.AB` designs on the DNN.AB suite,
+//!     for the best-performing configurations with AMUX fan-in ≤ 16 and
+//!     `da3 = 0` (§VI-C). (b/c) Effective power / area efficiency on
+//!     DNN.AB (y) vs DNN.A (x).
+
+use griffin_bench::{banner, deviation, paper, Suite};
+use griffin_core::arch::ArchSpec;
+use griffin_core::category::DnnCategory;
+use griffin_sim::window::BorrowWindow;
+
+/// The configurations Figure 7 plots (the best performers of the sweep)
+/// with published reference speedups where the text names them.
+fn configs() -> Vec<(ArchSpec, Option<f64>)> {
+    let mk = |a1, a2, b1, b2, b3, sh| {
+        ArchSpec::sparse_ab(BorrowWindow::new(a1, a2, 0), BorrowWindow::new(b1, b2, b3), sh)
+    };
+    vec![
+        (mk(1, 0, 1, 0, 0, false), None),
+        (mk(1, 0, 1, 0, 0, true), None),
+        (mk(1, 0, 2, 0, 1, true), None),
+        (mk(1, 1, 3, 0, 1, false), Some(3.4)),
+        (mk(1, 0, 3, 1, 1, false), Some(3.8)),
+        (mk(1, 0, 3, 0, 1, true), Some(4.0)),
+        (mk(2, 0, 2, 0, 0, true), None),
+        (mk(2, 0, 2, 0, 1, false), None),
+        (mk(2, 0, 2, 0, 1, true), Some(3.9)), // Sparse.AB*
+        (mk(2, 0, 2, 1, 1, false), None),
+        (mk(2, 0, 3, 0, 1, true), None),
+        (mk(2, 0, 4, 0, 1, true), None),
+        (mk(2, 0, 4, 0, 2, true), Some(4.9)),
+        (mk(2, 1, 2, 0, 1, true), None),
+    ]
+}
+
+fn main() {
+    banner("Figure 7", "Sparse.AB design space: speedup and efficiency on DNN.AB vs DNN.A");
+    let mut suite = Suite::new();
+
+    println!(
+        "{:<32} {:>8} {:>7} {:>6}   {:>10} {:>9} {:>10} {:>9}",
+        "config", "speedup", "paper", "dev",
+        "TOPS/W.AB", "TOPS/W.A", "TOPSmm.AB", "TOPSmm.A"
+    );
+
+    for (spec, reference) in configs() {
+        let ab = suite.evaluate(&spec, DnnCategory::AB);
+        let a = suite.evaluate(&spec, DnnCategory::A);
+        println!(
+            "{:<32} {:>8.2} {} {:>6}   {:>10.2} {:>9.2} {:>10.2} {:>9.2}",
+            spec.name,
+            ab.speedup,
+            paper(reference),
+            deviation(ab.speedup, reference),
+            ab.eff.tops_per_w,
+            a.eff.tops_per_w,
+            ab.eff.tops_per_mm2,
+            a.eff.tops_per_mm2,
+        );
+    }
+
+    println!();
+    println!("SOTA dual-sparse comparison points:");
+    for spec in [ArchSpec::tensordash(), ArchSpec::sparten_ab()] {
+        let e = suite.evaluate(&spec, DnnCategory::AB);
+        println!(
+            "{:<32} speedup {:>5.2} TOPS/W {:>6.2} TOPS/mm2 {:>6.2}",
+            spec.name, e.speedup, e.eff.tops_per_w, e.eff.tops_per_mm2
+        );
+    }
+
+    println!();
+    println!("Shape checks (paper observations, §VI-C):");
+    let mut s = |a1, a2, b1, b2, b3, sh| {
+        suite.geomean_speedup(
+            &ArchSpec::sparse_ab(BorrowWindow::new(a1, a2, 0), BorrowWindow::new(b1, b2, b3), sh),
+            DnnCategory::AB,
+        )
+    };
+    println!(
+        "  (1) shuffle can replace db2/da2: AB(1,0,3,0,1,on) {:.2} vs da2=1 off {:.2} vs db2=1 off {:.2}",
+        s(1, 0, 3, 0, 1, true),
+        s(1, 1, 3, 0, 1, false),
+        s(1, 0, 3, 1, 1, false)
+    );
+    println!(
+        "  (3) invest in the weight side:   AB(2,0,2,0,1,on) {:.2} < AB(2,0,4,0,2,on) {:.2}",
+        s(2, 0, 2, 0, 1, true),
+        s(2, 0, 4, 0, 2, true)
+    );
+}

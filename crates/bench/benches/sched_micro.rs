@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks of the hot path: the greedy borrowing
+//! scheduler ([`griffin_sim::engine::schedule`]).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use griffin_sim::config::Priority;
+use griffin_sim::engine::{schedule, OpGrid};
+use griffin_sim::window::EffectiveWindow;
+use griffin_tensor::gen::TensorGen;
+
+fn sparse_b_grid(density: f64, seed: u64) -> OpGrid {
+    let mask = TensorGen::seeded(seed).bernoulli_mask(16 * 72, 16, density);
+    OpGrid::from_fn(72, 16, 1, 16, |t, lane, _, col| mask.get(t * 16 + lane, col))
+}
+
+fn dual_grid(da: f64, db: f64, seed: u64) -> OpGrid {
+    let mut gen = TensorGen::seeded(seed);
+    let a = gen.bernoulli_mask(4, 16 * 72, da);
+    let b = gen.bernoulli_mask(16 * 72, 16, db);
+    OpGrid::from_fn(72, 16, 4, 16, |t, lane, row, col| {
+        let k = t * 16 + lane;
+        a.get(row, k) && b.get(k, col)
+    })
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler");
+
+    g.bench_function("sparse_b_star_tile", |bch| {
+        let win = EffectiveWindow::for_b(griffin_sim::window::BorrowWindow::new(4, 0, 1));
+        bch.iter_batched(
+            || sparse_b_grid(0.19, 1),
+            |grid| schedule(&grid, win, Priority::OwnFirst),
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.bench_function("dual_ab_star_tile", |bch| {
+        let win = EffectiveWindow::for_ab(
+            griffin_sim::window::BorrowWindow::new(2, 0, 0),
+            griffin_sim::window::BorrowWindow::new(2, 0, 1),
+        );
+        bch.iter_batched(
+            || dual_grid(0.45, 0.19, 2),
+            |grid| schedule(&grid, win, Priority::OwnFirst),
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.bench_function("dense_tile", |bch| {
+        bch.iter_batched(
+            || sparse_b_grid(1.0, 3),
+            |grid| schedule(&grid, EffectiveWindow::dense(), Priority::OwnFirst),
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Table III — Griffin's morphing vs the plain dual-sparse hardware's
+//! downgrade on single-sparse workloads.
+//!
+//! The paper: on DNN.B, Griffin morphs to `Sparse.B(8,0,1)` (3.5×
+//! speedup) while `Sparse.AB*` downgrades to `Sparse.B(2,0,1)`; on
+//! DNN.A, Griffin morphs to `Sparse.A(2,1,1)` (1.94×) vs the downgrade
+//! `Sparse.A(2,0,0)`.
+
+use griffin_bench::{banner, deviation, paper, Suite};
+use griffin_core::arch::ArchSpec;
+use griffin_core::category::DnnCategory;
+use griffin_core::griffin::{downgrade, morph};
+use griffin_sim::pipeline::simulate_network;
+use griffin_sim::report::geomean;
+use griffin_workloads::suite::Benchmark;
+
+fn main() {
+    banner("Table III", "Griffin morphing vs dual-sparse downgrade on DNN.A / DNN.B");
+    let mut suite = Suite::new();
+
+    for (cat, paper_morph) in [(DnnCategory::B, Some(3.5)), (DnnCategory::A, Some(1.94))] {
+        let cfg = suite.cfg;
+        let run = |suite: &mut Suite, mode| {
+            let speedups: Vec<f64> = Benchmark::ALL
+                .iter()
+                .map(|&b| {
+                    let wl = suite.workload(b, cat);
+                    simulate_network(&wl.layers, mode, &cfg).speedup()
+                })
+                .collect();
+            geomean(&speedups)
+        };
+        let morphed = run(&mut suite, morph(cat));
+        let downgraded = run(&mut suite, downgrade(cat));
+        println!();
+        println!("model {cat}:");
+        println!(
+            "  dual-sparse downgrade {:<18} speedup {downgraded:>5.2}",
+            format!("{:?}", downgrade(cat)).split(' ').next().unwrap_or("")
+        );
+        println!(
+            "  Griffin morph         {:<18} speedup {morphed:>5.2}  (paper {}, dev {})",
+            format!("{:?}", morph(cat)).split(' ').next().unwrap_or(""),
+            paper(paper_morph),
+            deviation(morphed, paper_morph)
+        );
+        println!("  morphing gain: {:.1}%", (morphed / downgraded - 1.0) * 100.0);
+        assert!(
+            morphed >= downgraded * 0.99,
+            "morphing must not lose to the downgrade"
+        );
+    }
+
+    println!();
+    println!("Structural deltas (Table III / griffin-core::overhead):");
+    let g = griffin_core::overhead::HardwareOverhead::griffin();
+    let ab = griffin_core::overhead::HardwareOverhead::for_spec(&ArchSpec::sparse_ab_star());
+    println!("  BMUX fan-in:          {} -> {}", ab.bmux_fanin, g.bmux_fanin);
+    println!("  metadata per element: {}b -> {}b", ab.metadata_bits, g.metadata_bits);
+    println!("  global arbiter/row:   {} -> {}", ab.row_arbiter, g.row_arbiter);
+}

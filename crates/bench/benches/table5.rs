@@ -1,0 +1,46 @@
+//! Table V — routing dimensions of the compared architectures.
+
+use griffin_bench::banner;
+use griffin_core::arch::ArchSpec;
+
+fn check(b: bool) -> &'static str {
+    if b {
+        "x"
+    } else {
+        " "
+    }
+}
+
+fn main() {
+    banner("Table V", "Routing dimensions in matrices A and B for the compared architectures");
+    println!(
+        "{:<14} | {:>4} {:>4} {:>4} | {:>4} {:>4} {:>4} | {:>7} | sparsity support",
+        "architecture", "da1", "da2", "da3", "db1", "db2", "db3", "shuffle"
+    );
+    let rows: Vec<(ArchSpec, &str)> = vec![
+        (ArchSpec::dense(), "Dense"),
+        (ArchSpec::tcl_b(), "Weight Only"),
+        (ArchSpec::tensordash(), "Dual Sparsity"),
+        (ArchSpec::sparten_ab(), "Dual Sparsity (per-MAC time routing)"),
+        (ArchSpec::cnvlutin(), "Activation Only"),
+        (ArchSpec::cambricon_x(), "Weight Only (16x16 window)"),
+        (ArchSpec::griffin(), "Hybrid Sparsity"),
+    ];
+    for (spec, support) in rows {
+        println!(
+            "{:<14} | {:>4} {:>4} {:>4} | {:>4} {:>4} {:>4} | {:>7} | {}",
+            spec.name,
+            check(spec.a.d1 > 0),
+            check(spec.a.d2 > 0),
+            check(spec.a.d3 > 0),
+            check(spec.b.d1 > 0),
+            check(spec.b.d2 > 0),
+            check(spec.b.d3 > 0),
+            check(spec.shuffle),
+            support
+        );
+    }
+    println!();
+    println!("Griffin morphs: conf.AB (2,0,0|2,0,1), conf.B (8,0,1), conf.A (2,1,1), all with shuffle.");
+    println!("SparTen routes in time only, independently per scalar MAC (depth-128 buffers).");
+}

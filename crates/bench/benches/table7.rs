@@ -1,0 +1,70 @@
+//! Table VII — power and area breakdown of the eight compared designs:
+//! the calibrated (published) rows next to our parametric component
+//! model, with per-design residuals.
+
+use griffin_bench::{banner, Suite};
+use griffin_core::arch::ArchSpec;
+use griffin_core::category::DnnCategory;
+use griffin_core::cost::{Components, CostModel, Provision};
+
+fn print_components(label: &str, c: &Components) {
+    println!(
+        "{label:<12} {:>6.1} {:>5.1} {:>6.1} {:>6.1} {:>7.1} {:>5.1} {:>6.1} {:>5.1} {:>5.1} {:>6.1} | {:>7.1}",
+        c.ctrl, c.shf, c.abuf, c.bbuf, c.reg_wr, c.acc, c.mul, c.adt, c.mux, c.sram, c.total()
+    );
+}
+
+fn main() {
+    banner("Table VII", "Power (mW) and area (kum2) breakdown: calibrated (paper) vs parametric");
+    let mut suite = Suite::new();
+
+    // Home category of each design, for provisioning the parametric model.
+    let lineup: Vec<(ArchSpec, DnnCategory)> = vec![
+        (ArchSpec::dense(), DnnCategory::Dense),
+        (ArchSpec::sparse_b_star(), DnnCategory::B),
+        (ArchSpec::tcl_b(), DnnCategory::B),
+        (ArchSpec::sparse_a_star(), DnnCategory::A),
+        (ArchSpec::sparse_ab_star(), DnnCategory::AB),
+        (ArchSpec::griffin(), DnnCategory::AB),
+        (ArchSpec::tensordash(), DnnCategory::AB),
+        (ArchSpec::sparten_ab(), DnnCategory::AB),
+    ];
+
+    println!(
+        "{:<12} {:>6} {:>5} {:>6} {:>6} {:>7} {:>5} {:>6} {:>5} {:>5} {:>6} | {:>7}",
+        "", "CTRL", "SHF", "ABUF", "BBUF", "REG/WR", "ACC", "MUL", "ADT", "MUX", "SRAM", "TOTAL"
+    );
+
+    for (spec, cat) in lineup {
+        let speedup = suite.geomean_speedup(&spec, cat);
+        let prov = Provision {
+            speedup,
+            b_stream_factor: if cat.b_sparse() && spec.mode_for(cat).compresses_b() { 0.3 } else { 1.0 },
+        };
+        let parametric = CostModel::parametric(&spec, suite.cfg.core, prov);
+        println!();
+        println!("== {} (home category {cat}, measured speedup {speedup:.2}) ==", spec.name);
+        match CostModel::calibrated(&spec) {
+            Some(cal) => {
+                println!("POWER");
+                print_components("  paper", &cal.power);
+                print_components("  parametric", &parametric.power);
+                println!(
+                    "  residual: {:+.0}%",
+                    (parametric.power_mw() / cal.power_mw() - 1.0) * 100.0
+                );
+                println!("AREA");
+                print_components("  paper", &cal.area);
+                print_components("  parametric", &parametric.area);
+                println!(
+                    "  residual: {:+.0}%",
+                    (parametric.area.total() / cal.area.total() - 1.0) * 100.0
+                );
+            }
+            None => {
+                println!("POWER (parametric only)");
+                print_components("  parametric", &parametric.power);
+            }
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! Architecture specifications.
+//!
+//! An [`ArchSpec`] names a point in the paper's design space: a kind
+//! (dense baseline, one of the three sparse families, the Griffin
+//! hybrid, or a SOTA comparison architecture) plus its routing windows
+//! and shuffle flag. Named constructors provide the paper's optimal
+//! design points (Table VI) and the SOTA configurations (Table V).
+
+use std::fmt;
+
+use griffin_sim::config::SparsityMode;
+use griffin_sim::window::BorrowWindow;
+
+use crate::category::DnnCategory;
+
+/// The architecture family of a design point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArchKind {
+    /// Optimized dense baseline (§II-A).
+    Dense,
+    /// Activation-only sparsity (`Sparse.A`, Definition III.1).
+    SparseA,
+    /// Weight-only sparsity (`Sparse.B`, Definition III.2).
+    SparseB,
+    /// Dual sparsity (`Sparse.AB`, Definition IV.1).
+    SparseAB,
+    /// The hybrid architecture (§IV-B) that morphs per category.
+    Griffin,
+    /// Bit-Tactical's weight-sparse design (`TCL.B`): time + lane
+    /// routing, no shuffle, no output-channel routing.
+    TclB,
+    /// TensorDash (`TDash.AB`): dual sparsity with time + lane routing
+    /// on both operands, no preprocessing benefits, no shuffle.
+    TensorDash,
+    /// One-sided SparTen optimized for activation sparsity.
+    SparTenA,
+    /// One-sided SparTen optimized for weight sparsity.
+    SparTenB,
+    /// Full dual-sparse SparTen.
+    SparTenAB,
+    /// Cnvlutin: activation-only, time routing, no shuffle.
+    Cnvlutin,
+    /// Cambricon-X: weight-only with a wide 16×16 routing window.
+    CambriconX,
+}
+
+/// A concrete architecture configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ArchSpec {
+    /// Display name, e.g. `"Sparse.B*(4,0,1,on)"`.
+    pub name: String,
+    /// Architecture family.
+    pub kind: ArchKind,
+    /// A-side borrowing window (`(0,0,0)` when unused).
+    pub a: BorrowWindow,
+    /// B-side borrowing window (`(0,0,0)` when unused).
+    pub b: BorrowWindow,
+    /// Rotation-based shuffling (§III, "Load Balancing").
+    pub shuffle: bool,
+}
+
+impl ArchSpec {
+    /// The optimized dense baseline of §II-A.
+    pub fn dense() -> Self {
+        ArchSpec {
+            name: "Baseline".into(),
+            kind: ArchKind::Dense,
+            a: BorrowWindow::ZERO,
+            b: BorrowWindow::ZERO,
+            shuffle: false,
+        }
+    }
+
+    /// An arbitrary `Sparse.A(da1,da2,da3)` design point.
+    pub fn sparse_a(win: BorrowWindow, shuffle: bool) -> Self {
+        ArchSpec {
+            name: format!("Sparse.A{win}{}", on_off(shuffle)),
+            kind: ArchKind::SparseA,
+            a: win,
+            b: BorrowWindow::ZERO,
+            shuffle,
+        }
+    }
+
+    /// An arbitrary `Sparse.B(db1,db2,db3)` design point.
+    pub fn sparse_b(win: BorrowWindow, shuffle: bool) -> Self {
+        ArchSpec {
+            name: format!("Sparse.B{win}{}", on_off(shuffle)),
+            kind: ArchKind::SparseB,
+            a: BorrowWindow::ZERO,
+            b: win,
+            shuffle,
+        }
+    }
+
+    /// An arbitrary `Sparse.AB(da1..da3, db1..db3)` design point.
+    pub fn sparse_ab(a: BorrowWindow, b: BorrowWindow, shuffle: bool) -> Self {
+        ArchSpec {
+            name: format!("Sparse.AB{a}{b}{}", on_off(shuffle)),
+            kind: ArchKind::SparseAB,
+            a,
+            b,
+            shuffle,
+        }
+    }
+
+    /// `Sparse.A* = Sparse.A(2,1,0,on)` — the paper's optimal
+    /// activation-sparse design (Table VI).
+    pub fn sparse_a_star() -> Self {
+        let mut s = Self::sparse_a(BorrowWindow::new(2, 1, 0), true);
+        s.name = "Sparse.A*".into();
+        s
+    }
+
+    /// `Sparse.B* = Sparse.B(4,0,1,on)` — the paper's optimal
+    /// weight-sparse design (Table VI).
+    pub fn sparse_b_star() -> Self {
+        let mut s = Self::sparse_b(BorrowWindow::new(4, 0, 1), true);
+        s.name = "Sparse.B*".into();
+        s
+    }
+
+    /// `Sparse.AB* = Sparse.AB(2,0,0,2,0,1,on)` — the paper's optimal
+    /// dual-sparse design (Table VI).
+    pub fn sparse_ab_star() -> Self {
+        let mut s =
+            Self::sparse_ab(BorrowWindow::new(2, 0, 0), BorrowWindow::new(2, 0, 1), true);
+        s.name = "Sparse.AB*".into();
+        s
+    }
+
+    /// The Griffin hybrid (§IV-B): `Sparse.AB*` hardware that morphs to
+    /// `Sparse.B(8,0,1,on)` for `DNN.B` and `Sparse.A(2,1,1,on)` for
+    /// `DNN.A` (Table VI, "conf.B" / "conf.A" / "conf.AB").
+    pub fn griffin() -> Self {
+        ArchSpec {
+            name: "Griffin".into(),
+            kind: ArchKind::Griffin,
+            a: BorrowWindow::new(2, 0, 0),
+            b: BorrowWindow::new(2, 0, 1),
+            shuffle: true,
+        }
+    }
+
+    /// Bit-Tactical (`TCL.B`), per Table V and §VII: static weight
+    /// scheduling in time (`db1`) and lane (`db2`), `db3 = 0`, no
+    /// shuffle. We use the TCLe configuration (lookahead 2, lookaside 5).
+    pub fn tcl_b() -> Self {
+        ArchSpec {
+            name: "TCL.B".into(),
+            kind: ArchKind::TclB,
+            a: BorrowWindow::ZERO,
+            b: BorrowWindow::new(2, 5, 0),
+            shuffle: false,
+        }
+    }
+
+    /// TensorDash (`TDash.AB`), per Table V: dual sparsity routed in
+    /// time and lane on both operands (4-input sparse interconnect:
+    /// lookahead 1, lookaside 2), no preprocessing, no shuffle.
+    pub fn tensordash() -> Self {
+        ArchSpec {
+            name: "TDash.AB".into(),
+            kind: ArchKind::TensorDash,
+            a: BorrowWindow::new(1, 2, 0),
+            b: BorrowWindow::new(1, 2, 0),
+            shuffle: false,
+        }
+    }
+
+    /// SparTen optimized for activation sparsity only.
+    pub fn sparten_a() -> Self {
+        ArchSpec {
+            name: "SparTen.A".into(),
+            kind: ArchKind::SparTenA,
+            a: BorrowWindow::ZERO,
+            b: BorrowWindow::ZERO,
+            shuffle: false,
+        }
+    }
+
+    /// SparTen optimized for weight sparsity only.
+    pub fn sparten_b() -> Self {
+        ArchSpec {
+            name: "SparTen.B".into(),
+            kind: ArchKind::SparTenB,
+            a: BorrowWindow::ZERO,
+            b: BorrowWindow::ZERO,
+            shuffle: false,
+        }
+    }
+
+    /// Full dual-sparse SparTen.
+    pub fn sparten_ab() -> Self {
+        ArchSpec {
+            name: "SparTen.AB".into(),
+            kind: ArchKind::SparTenAB,
+            a: BorrowWindow::ZERO,
+            b: BorrowWindow::ZERO,
+            shuffle: false,
+        }
+    }
+
+    /// Cnvlutin (§VII): activation-only compression in time, modelled
+    /// as a deep time-only window without shuffling.
+    pub fn cnvlutin() -> Self {
+        ArchSpec {
+            name: "Cnvlutin".into(),
+            kind: ArchKind::Cnvlutin,
+            a: BorrowWindow::new(8, 0, 0),
+            b: BorrowWindow::ZERO,
+            shuffle: false,
+        }
+    }
+
+    /// Cambricon-X (§VII): weight-only routing with a 16×16 window
+    /// (time 16, lane 16), whose crossbar cost makes it uncompetitive.
+    pub fn cambricon_x() -> Self {
+        ArchSpec {
+            name: "Cambricon-X".into(),
+            kind: ArchKind::CambriconX,
+            a: BorrowWindow::ZERO,
+            b: BorrowWindow::new(16, 15, 0),
+            shuffle: false,
+        }
+    }
+
+    /// The eight architectures compared in Table VII / Figure 8, in the
+    /// paper's order of increasing power efficiency.
+    pub fn table7_lineup() -> Vec<ArchSpec> {
+        vec![
+            Self::dense(),
+            Self::sparse_b_star(),
+            Self::tcl_b(),
+            Self::sparse_a_star(),
+            Self::sparse_ab_star(),
+            Self::griffin(),
+            Self::tensordash(),
+            Self::sparten_ab(),
+        ]
+    }
+
+    /// The workload category this design is optimized for — the one its
+    /// published Table VII power was synthesized under.
+    pub fn home_category(&self) -> DnnCategory {
+        match self.kind {
+            ArchKind::Dense => DnnCategory::Dense,
+            ArchKind::SparseB | ArchKind::TclB | ArchKind::CambriconX | ArchKind::SparTenB => {
+                DnnCategory::B
+            }
+            ArchKind::SparseA | ArchKind::Cnvlutin | ArchKind::SparTenA => DnnCategory::A,
+            ArchKind::SparseAB
+            | ArchKind::Griffin
+            | ArchKind::TensorDash
+            | ArchKind::SparTenAB => DnnCategory::AB,
+        }
+    }
+
+    /// The sparsity-exploitation mode this architecture uses when
+    /// running a workload of the given category. Only Griffin morphs;
+    /// every other design runs its single fixed mode.
+    pub fn mode_for(&self, category: DnnCategory) -> SparsityMode {
+        match self.kind {
+            ArchKind::Dense => SparsityMode::Dense,
+            ArchKind::SparseA | ArchKind::Cnvlutin => {
+                SparsityMode::SparseA { win: self.a, shuffle: self.shuffle }
+            }
+            ArchKind::SparseB | ArchKind::TclB | ArchKind::CambriconX => {
+                SparsityMode::SparseB { win: self.b, shuffle: self.shuffle }
+            }
+            ArchKind::SparseAB | ArchKind::TensorDash => {
+                SparsityMode::SparseAB { a: self.a, b: self.b, shuffle: self.shuffle }
+            }
+            ArchKind::Griffin => crate::griffin::morph(category),
+            ArchKind::SparTenA => SparsityMode::SparTen { a_sparse: true, b_sparse: false },
+            ArchKind::SparTenB => SparsityMode::SparTen { a_sparse: false, b_sparse: true },
+            ArchKind::SparTenAB => SparsityMode::SparTen { a_sparse: true, b_sparse: true },
+        }
+    }
+}
+
+impl fmt::Display for ArchSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+fn on_off(shuffle: bool) -> &'static str {
+    if shuffle {
+        ",on"
+    } else {
+        ",off"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_points_match_table_six() {
+        let a = ArchSpec::sparse_a_star();
+        assert_eq!(a.a, BorrowWindow::new(2, 1, 0));
+        assert!(a.shuffle);
+        let b = ArchSpec::sparse_b_star();
+        assert_eq!(b.b, BorrowWindow::new(4, 0, 1));
+        let ab = ArchSpec::sparse_ab_star();
+        assert_eq!(ab.a, BorrowWindow::new(2, 0, 0));
+        assert_eq!(ab.b, BorrowWindow::new(2, 0, 1));
+    }
+
+    #[test]
+    fn griffin_morphs_per_category() {
+        let g = ArchSpec::griffin();
+        let dense = g.mode_for(DnnCategory::Dense);
+        let a = g.mode_for(DnnCategory::A);
+        let b = g.mode_for(DnnCategory::B);
+        let ab = g.mode_for(DnnCategory::AB);
+        assert!(matches!(a, SparsityMode::SparseA { .. }));
+        assert!(matches!(b, SparsityMode::SparseB { .. }));
+        assert!(matches!(ab, SparsityMode::SparseAB { .. }));
+        assert_eq!(dense, ab, "Griffin runs conf.AB for dense models");
+    }
+
+    #[test]
+    fn fixed_archs_do_not_morph() {
+        let b = ArchSpec::sparse_b_star();
+        for c in DnnCategory::ALL {
+            assert!(matches!(b.mode_for(c), SparsityMode::SparseB { .. }));
+        }
+    }
+
+    #[test]
+    fn sparten_modes() {
+        assert_eq!(
+            ArchSpec::sparten_ab().mode_for(DnnCategory::Dense),
+            SparsityMode::SparTen { a_sparse: true, b_sparse: true }
+        );
+        assert_eq!(
+            ArchSpec::sparten_b().mode_for(DnnCategory::B),
+            SparsityMode::SparTen { a_sparse: false, b_sparse: true }
+        );
+    }
+
+    #[test]
+    fn lineup_has_eight_entries() {
+        assert_eq!(ArchSpec::table7_lineup().len(), 8);
+    }
+
+    #[test]
+    fn names_are_readable() {
+        assert_eq!(
+            ArchSpec::sparse_b(BorrowWindow::new(4, 0, 1), true).name,
+            "Sparse.B(4,0,1),on"
+        );
+        assert_eq!(ArchSpec::griffin().to_string(), "Griffin");
+    }
+}

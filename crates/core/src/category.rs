@@ -1,0 +1,103 @@
+//! The four DNN model categories of Table I.
+
+use std::fmt;
+
+/// Category of a DNN model by the sparsity of its (activation, weight)
+/// tensors — Table I of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DnnCategory {
+    /// `(dense, dense)` — e.g. CNNs with swish, transformers with GeLU.
+    Dense,
+    /// `(sparse, dense)` — ReLU networks without pruning (`DNN.A`).
+    A,
+    /// `(dense, sparse)` — pruned networks with non-ReLU activations
+    /// (`DNN.B`).
+    B,
+    /// `(sparse, sparse)` — pruned ReLU networks (`DNN.AB`).
+    AB,
+}
+
+impl DnnCategory {
+    /// All four categories, in the paper's order.
+    pub const ALL: [DnnCategory; 4] =
+        [DnnCategory::Dense, DnnCategory::A, DnnCategory::B, DnnCategory::AB];
+
+    /// Whether activation tensors are sparse in this category.
+    pub fn a_sparse(&self) -> bool {
+        matches!(self, DnnCategory::A | DnnCategory::AB)
+    }
+
+    /// Whether weight tensors are sparse in this category.
+    pub fn b_sparse(&self) -> bool {
+        matches!(self, DnnCategory::B | DnnCategory::AB)
+    }
+
+    /// Infers the category from tensor densities, classifying a tensor
+    /// as sparse when its density is below `threshold` (0.9 is a
+    /// sensible default: ReLU and pruning both leave far fewer
+    /// nonzeros).
+    pub fn infer(a_density: f64, b_density: f64, threshold: f64) -> Self {
+        match (a_density < threshold, b_density < threshold) {
+            (false, false) => DnnCategory::Dense,
+            (true, false) => DnnCategory::A,
+            (false, true) => DnnCategory::B,
+            (true, true) => DnnCategory::AB,
+        }
+    }
+
+    /// The architecture class Table I calls optimal for this category.
+    pub fn optimal_arch_name(&self) -> &'static str {
+        match self {
+            DnnCategory::Dense => "Dense",
+            DnnCategory::A => "Sparse.A",
+            DnnCategory::B => "Sparse.B",
+            DnnCategory::AB => "Sparse.AB",
+        }
+    }
+}
+
+impl fmt::Display for DnnCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DnnCategory::Dense => "DNN.dense",
+            DnnCategory::A => "DNN.A",
+            DnnCategory::B => "DNN.B",
+            DnnCategory::AB => "DNN.AB",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparsity_flags_match_table_one() {
+        assert!(!DnnCategory::Dense.a_sparse() && !DnnCategory::Dense.b_sparse());
+        assert!(DnnCategory::A.a_sparse() && !DnnCategory::A.b_sparse());
+        assert!(!DnnCategory::B.a_sparse() && DnnCategory::B.b_sparse());
+        assert!(DnnCategory::AB.a_sparse() && DnnCategory::AB.b_sparse());
+    }
+
+    #[test]
+    fn inference_from_densities() {
+        assert_eq!(DnnCategory::infer(1.0, 1.0, 0.9), DnnCategory::Dense);
+        assert_eq!(DnnCategory::infer(0.5, 1.0, 0.9), DnnCategory::A);
+        assert_eq!(DnnCategory::infer(1.0, 0.2, 0.9), DnnCategory::B);
+        assert_eq!(DnnCategory::infer(0.5, 0.2, 0.9), DnnCategory::AB);
+    }
+
+    #[test]
+    fn display_uses_paper_names() {
+        assert_eq!(DnnCategory::Dense.to_string(), "DNN.dense");
+        assert_eq!(DnnCategory::AB.to_string(), "DNN.AB");
+    }
+
+    #[test]
+    fn all_lists_four_distinct() {
+        let mut v = DnnCategory::ALL.to_vec();
+        v.dedup();
+        assert_eq!(v.len(), 4);
+    }
+}

@@ -1,0 +1,180 @@
+//! Design-space enumeration and Pareto extraction (§VI).
+//!
+//! The paper sweeps each family under mux fan-in constraints:
+//!
+//! * weight-only (`Sparse.B`): AMUX fan-in ≤ 8 (§VI-A),
+//! * activation-only (`Sparse.A`): AMUX and BMUX fan-in ≤ 8 (§VI-B),
+//! * dual (`Sparse.AB`): AMUX fan-in ≤ 16, and `da3 = 0` because `da3`
+//!   inflates AMUX fan-in unlike `db3` (§VI-C observation 3).
+
+use griffin_sim::window::BorrowWindow;
+
+use crate::arch::ArchSpec;
+use crate::overhead::HardwareOverhead;
+
+/// Enumerates the `Sparse.B(db1, db2, db3, on/off)` design space under
+/// the paper's constraint `AMUX fan-in ≤ max_fanin`, with `db1 ≥ 2`
+/// (the paper drops `db1 = 1` as far from optimal).
+pub fn enumerate_sparse_b(max_fanin: usize) -> Vec<ArchSpec> {
+    let mut v = Vec::new();
+    for db1 in 2..=8 {
+        for db2 in 0..=3 {
+            for db3 in 0..=2 {
+                let w = BorrowWindow::new(db1, db2, db3);
+                if HardwareOverhead::sparse_b(w).amux_fanin > max_fanin {
+                    continue;
+                }
+                for shuffle in [false, true] {
+                    v.push(ArchSpec::sparse_b(w, shuffle));
+                }
+            }
+        }
+    }
+    v
+}
+
+/// Enumerates the `Sparse.A(da1, da2, da3, on/off)` design space under
+/// `AMUX fan-in ≤ max_fanin` and `BMUX fan-in ≤ max_fanin`.
+pub fn enumerate_sparse_a(max_fanin: usize) -> Vec<ArchSpec> {
+    let mut v = Vec::new();
+    for da1 in 1..=6 {
+        for da2 in 0..=3 {
+            for da3 in 0..=2 {
+                let w = BorrowWindow::new(da1, da2, da3);
+                let o = HardwareOverhead::sparse_a(w);
+                if o.amux_fanin > max_fanin || o.bmux_fanin > max_fanin {
+                    continue;
+                }
+                for shuffle in [false, true] {
+                    v.push(ArchSpec::sparse_a(w, shuffle));
+                }
+            }
+        }
+    }
+    v
+}
+
+/// Enumerates the `Sparse.AB` design space under `AMUX fan-in ≤
+/// max_fanin`, with `da3 = 0` (§VI-C) and small `da1 ≤ 2` (the paper's
+/// observation 3: larger `da1` inflates BBUF and mux sizes).
+pub fn enumerate_sparse_ab(max_fanin: usize) -> Vec<ArchSpec> {
+    let mut v = Vec::new();
+    for da1 in 0..=2 {
+        for da2 in 0..=2 {
+            for db1 in 1..=4 {
+                for db2 in 0..=2 {
+                    for db3 in 0..=2 {
+                        let a = BorrowWindow::new(da1, da2, 0);
+                        let b = BorrowWindow::new(db1, db2, db3);
+                        if HardwareOverhead::sparse_ab(a, b).amux_fanin > max_fanin {
+                            continue;
+                        }
+                        for shuffle in [false, true] {
+                            v.push(ArchSpec::sparse_ab(a, b, shuffle));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    v
+}
+
+/// A scored design point: metrics are "bigger is better" (e.g. effective
+/// TOPS/W on the sparse category vs on the dense category).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredDesign {
+    /// The design.
+    pub spec: ArchSpec,
+    /// Efficiency on the design's home (sparse) category.
+    pub sparse_metric: f64,
+    /// Efficiency on the dense category (the "sparsity tax" axis).
+    pub dense_metric: f64,
+}
+
+/// Extracts the Pareto-optimal subset (maximizing both metrics).
+pub fn pareto_front(mut points: Vec<ScoredDesign>) -> Vec<ScoredDesign> {
+    points.sort_by(|a, b| {
+        b.sparse_metric
+            .partial_cmp(&a.sparse_metric)
+            .expect("metrics must not be NaN")
+            .then(b.dense_metric.partial_cmp(&a.dense_metric).expect("metrics must not be NaN"))
+    });
+    let mut front: Vec<ScoredDesign> = Vec::new();
+    let mut best_dense = f64::NEG_INFINITY;
+    for p in points {
+        if p.dense_metric > best_dense {
+            best_dense = p.dense_metric;
+            front.push(p);
+        }
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_b_space_respects_fanin_limit() {
+        let v = enumerate_sparse_b(8);
+        assert!(!v.is_empty());
+        for s in &v {
+            assert!(HardwareOverhead::sparse_b(s.b).amux_fanin <= 8, "{}", s.name);
+        }
+        // The paper's Sparse.B*(4,0,1) must be in the space.
+        assert!(v.iter().any(|s| s.b == BorrowWindow::new(4, 0, 1) && s.shuffle));
+        // db1=8 with db2=0 has fan-in 9 > 8... check: 1 + 8*1 = 9 -> excluded.
+        assert!(!v.iter().any(|s| s.b.d1 == 8 && s.b.d2 == 0));
+    }
+
+    #[test]
+    fn sparse_a_space_contains_star_point() {
+        let v = enumerate_sparse_a(8);
+        assert!(v.iter().any(|s| s.a == BorrowWindow::new(2, 1, 0) && s.shuffle));
+        for s in &v {
+            let o = HardwareOverhead::sparse_a(s.a);
+            assert!(o.amux_fanin <= 8 && o.bmux_fanin <= 8);
+        }
+    }
+
+    #[test]
+    fn sparse_ab_space_contains_star_point_and_excludes_da3() {
+        let v = enumerate_sparse_ab(16);
+        assert!(v
+            .iter()
+            .any(|s| s.a == BorrowWindow::new(2, 0, 0) && s.b == BorrowWindow::new(2, 0, 1)));
+        for s in &v {
+            assert_eq!(s.a.d3, 0, "da3 must be 0 per §VI-C");
+            assert!(HardwareOverhead::sparse_ab(s.a, s.b).amux_fanin <= 16);
+        }
+    }
+
+    #[test]
+    fn pareto_front_is_monotone() {
+        let mk = |s: f64, d: f64| ScoredDesign {
+            spec: ArchSpec::dense(),
+            sparse_metric: s,
+            dense_metric: d,
+        };
+        let front = pareto_front(vec![mk(3.0, 1.0), mk(2.0, 2.0), mk(1.0, 3.0), mk(1.5, 1.5)]);
+        assert_eq!(front.len(), 3);
+        // Dominated point (1.5, 1.5) must be excluded.
+        assert!(!front.iter().any(|p| p.sparse_metric == 1.5));
+        // Front is sorted by descending sparse metric, ascending dense.
+        for w in front.windows(2) {
+            assert!(w[0].sparse_metric >= w[1].sparse_metric);
+            assert!(w[0].dense_metric <= w[1].dense_metric);
+        }
+    }
+
+    #[test]
+    fn pareto_keeps_single_point() {
+        let p = vec![ScoredDesign {
+            spec: ArchSpec::dense(),
+            sparse_metric: 1.0,
+            dense_metric: 1.0,
+        }];
+        assert_eq!(pareto_front(p).len(), 1);
+    }
+}

@@ -1,0 +1,83 @@
+//! Effective power and area efficiency (Definition V.1).
+//!
+//! `Effective TOPS/W  = sparsity speedup × dense TOPS/W`
+//! `Effective TOPS/mm² = sparsity speedup × dense TOPS/mm²`
+//!
+//! where the dense rates are those of the *same* architecture instance
+//! (its own power and area), and the speedup is the geometric mean over
+//! the benchmark suite.
+
+use griffin_tensor::shape::CoreDims;
+
+use crate::cost::CostBreakdown;
+
+/// The paper's clock target: 800 MHz.
+pub const CLOCK_HZ: f64 = 800.0e6;
+
+/// Peak dense throughput of a core in TOPS (two ops per MAC per cycle).
+pub fn dense_tops(core: CoreDims) -> f64 {
+    2.0 * core.macs() as f64 * CLOCK_HZ / 1e12
+}
+
+/// Power and area efficiency of one architecture on one workload
+/// category.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Efficiency {
+    /// Effective TOPS per watt.
+    pub tops_per_w: f64,
+    /// Effective TOPS per mm².
+    pub tops_per_mm2: f64,
+}
+
+impl Efficiency {
+    /// Computes the efficiency of a design with the given cost running
+    /// at the given speedup over the dense baseline.
+    pub fn new(core: CoreDims, cost: &CostBreakdown, speedup: f64) -> Self {
+        let tops = dense_tops(core);
+        Efficiency {
+            tops_per_w: speedup * tops / (cost.power_mw() / 1000.0),
+            tops_per_mm2: speedup * tops / cost.area_mm2(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::ArchSpec;
+    use crate::cost::CostModel;
+
+    #[test]
+    fn paper_core_peaks_at_1_6_tops() {
+        assert!((dense_tops(CoreDims::PAPER) - 1.6384).abs() < 1e-9);
+    }
+
+    #[test]
+    fn baseline_efficiency_matches_table_vii_scale() {
+        // Dense baseline: 151.4 mW, 217.5 kµm² -> ~10.8 TOPS/W and
+        // ~7.5 TOPS/mm², the scale of Figure 8's axes.
+        let cost = CostModel::calibrated(&ArchSpec::dense()).unwrap();
+        let e = Efficiency::new(CoreDims::PAPER, &cost, 1.0);
+        assert!((e.tops_per_w - 10.82).abs() < 0.1, "tops/W {}", e.tops_per_w);
+        assert!((e.tops_per_mm2 - 7.53).abs() < 0.1, "tops/mm2 {}", e.tops_per_mm2);
+    }
+
+    #[test]
+    fn speedup_scales_efficiency_linearly() {
+        let cost = CostModel::calibrated(&ArchSpec::griffin()).unwrap();
+        let e1 = Efficiency::new(CoreDims::PAPER, &cost, 1.0);
+        let e4 = Efficiency::new(CoreDims::PAPER, &cost, 4.0);
+        assert!((e4.tops_per_w / e1.tops_per_w - 4.0).abs() < 1e-9);
+        assert!((e4.tops_per_mm2 / e1.tops_per_mm2 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sparten_a_area_efficiency_is_low() {
+        // §VI-B: SparTen.A has only 3.8 TOPS/mm² because just 8.5% of
+        // its area is compute. Our calibrated SparTen row at ~2x speedup
+        // lands in that neighbourhood.
+        let cost = CostModel::calibrated(&ArchSpec::sparten_a()).unwrap();
+        let e = Efficiency::new(CoreDims::PAPER, &cost, 2.0);
+        assert!(e.tops_per_mm2 < 5.0, "tops/mm2 {}", e.tops_per_mm2);
+    }
+}

@@ -1,0 +1,122 @@
+//! The Griffin hybrid architecture's morphing logic (§IV-B).
+//!
+//! Griffin is `Sparse.AB*(2,0,0,2,0,1,on)` hardware whose dual-sparsity
+//! overheads are *re-purposed* when only one operand is sparse
+//! (Figure 4):
+//!
+//! * `DNN.AB` (and dense): run as `Sparse.AB(2,0,0,2,0,1)` — conf.AB,
+//! * `DNN.B`: morph to `Sparse.B(8,0,1)` — conf.B: all nine ABUF entries
+//!   feed the AMUX directly from 4-bit metadata (the per-PE control
+//!   logic is idle, only BBUF entry 0 is used),
+//! * `DNN.A`: morph to `Sparse.A(2,1,1)` — conf.A: the three BBUF
+//!   entries and the extra adder tree are reused, one global arbiter per
+//!   PE row replaces the per-PE control, and BMUX fan-in grows 3 → 5.
+//!
+//! Without morphing, the same hardware would *downgrade* to
+//! `Sparse.A(2,0,0)` / `Sparse.B(2,0,1)` (Table III) — the comparison
+//! the `table3` bench reproduces.
+
+use griffin_sim::config::SparsityMode;
+use griffin_sim::window::BorrowWindow;
+
+use crate::category::DnnCategory;
+
+/// Griffin's configuration for `DNN.AB` and `DNN.dense` workloads.
+pub fn conf_ab() -> SparsityMode {
+    SparsityMode::SparseAB {
+        a: BorrowWindow::new(2, 0, 0),
+        b: BorrowWindow::new(2, 0, 1),
+        shuffle: true,
+    }
+}
+
+/// Griffin's configuration for `DNN.B` workloads: `Sparse.B(8,0,1,on)`.
+pub fn conf_b() -> SparsityMode {
+    SparsityMode::SparseB { win: BorrowWindow::new(8, 0, 1), shuffle: true }
+}
+
+/// Griffin's configuration for `DNN.A` workloads: `Sparse.A(2,1,1,on)`.
+pub fn conf_a() -> SparsityMode {
+    SparsityMode::SparseA { win: BorrowWindow::new(2, 1, 1), shuffle: true }
+}
+
+/// The mode Griffin morphs into for a workload category (Figure 4).
+pub fn morph(category: DnnCategory) -> SparsityMode {
+    match category {
+        DnnCategory::Dense | DnnCategory::AB => conf_ab(),
+        DnnCategory::B => conf_b(),
+        DnnCategory::A => conf_a(),
+    }
+}
+
+/// The mode the *non-hybrid* `Sparse.AB*` hardware downgrades to on
+/// single-sparse workloads (Table III): `Sparse.A(2,0,0)` for `DNN.A`
+/// and `Sparse.B(2,0,1)` for `DNN.B`.
+pub fn downgrade(category: DnnCategory) -> SparsityMode {
+    match category {
+        DnnCategory::Dense | DnnCategory::AB => conf_ab(),
+        DnnCategory::B => {
+            SparsityMode::SparseB { win: BorrowWindow::new(2, 0, 1), shuffle: true }
+        }
+        DnnCategory::A => {
+            SparsityMode::SparseA { win: BorrowWindow::new(2, 0, 0), shuffle: true }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use griffin_sim::window::EffectiveWindow;
+
+    #[test]
+    fn conf_ab_matches_table_six() {
+        let SparsityMode::SparseAB { a, b, shuffle } = conf_ab() else {
+            panic!("conf.AB must be dual sparse")
+        };
+        assert_eq!(a, BorrowWindow::new(2, 0, 0));
+        assert_eq!(b, BorrowWindow::new(2, 0, 1));
+        assert!(shuffle);
+        // 9-entry ABUF per §IV-B.
+        assert_eq!(EffectiveWindow::for_ab(a, b).depth, 9);
+    }
+
+    #[test]
+    fn conf_b_reuses_the_nine_entry_abuf() {
+        let SparsityMode::SparseB { win, .. } = conf_b() else {
+            panic!("conf.B must be weight sparse")
+        };
+        // db1 = 8 -> 9 visible entries, exactly the dual-sparse ABUF.
+        assert_eq!(EffectiveWindow::for_b(win).depth, 9);
+        assert_eq!(win.d3, 1, "extra adder tree is reused");
+    }
+
+    #[test]
+    fn conf_a_enables_lane_and_row_borrowing() {
+        let SparsityMode::SparseA { win, .. } = conf_a() else {
+            panic!("conf.A must be activation sparse")
+        };
+        assert_eq!(win, BorrowWindow::new(2, 1, 1));
+    }
+
+    #[test]
+    fn downgrade_is_strictly_weaker_than_morph() {
+        // The downgraded windows are subsets of the morphed ones.
+        let SparsityMode::SparseB { win: down_b, .. } = downgrade(DnnCategory::B) else {
+            panic!()
+        };
+        let SparsityMode::SparseB { win: morph_b, .. } = morph(DnnCategory::B) else {
+            panic!()
+        };
+        assert!(down_b.d1 < morph_b.d1);
+
+        let SparsityMode::SparseA { win: down_a, .. } = downgrade(DnnCategory::A) else {
+            panic!()
+        };
+        let SparsityMode::SparseA { win: morph_a, .. } = morph(DnnCategory::A) else {
+            panic!()
+        };
+        assert!(down_a.d2 < morph_a.d2);
+        assert!(down_a.d3 < morph_a.d3);
+    }
+}

@@ -1,0 +1,61 @@
+//! The Griffin architecture library — the paper's primary contribution.
+//!
+//! This crate layers the architectural model of *"Griffin: Rethinking
+//! Sparse Optimization for Deep Learning Architectures"* (HPCA 2022) on
+//! top of the cycle-accurate simulator in [`griffin_sim`]:
+//!
+//! * [`category`] — the four DNN model categories of Table I,
+//! * [`arch`] — architecture specifications: the `Sparse.A` / `Sparse.B`
+//!   / `Sparse.AB` families, the paper's optimal design points
+//!   (Table VI), the SOTA comparison points (Table V), and the Griffin
+//!   hybrid,
+//! * [`overhead`] — the hardware-overhead closed forms of Table II and
+//!   §IV-A (buffer depths, mux fan-ins, adder trees, metadata widths),
+//! * [`cost`] — the component-level power/area model calibrated against
+//!   the paper's 7 nm synthesis results (Table VII),
+//! * [`efficiency`] — effective TOPS/W and TOPS/mm² (Definition V.1),
+//! * [`griffin`] — the morphing logic of the hybrid architecture
+//!   (Figure 4, Table III),
+//! * [`accelerator`] — the top-level `Accelerator::run` API,
+//! * [`dse`] — design-space enumeration and Pareto extraction (§VI),
+//! * [`analytic`] — the closed-form speedup model used to sanity-check
+//!   the simulator, as the paper's analytical model does.
+//!
+//! # Example
+//!
+//! ```
+//! use griffin_core::accelerator::{Accelerator, Workload};
+//! use griffin_core::arch::ArchSpec;
+//! use griffin_core::category::DnnCategory;
+//! use griffin_sim::layer::GemmLayer;
+//! use griffin_tensor::shape::GemmShape;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A small pruned workload (DNN.B): dense activations, 20% weights.
+//! let layer = GemmLayer::with_densities(GemmShape::new(64, 512, 64)?, 1.0, 0.2, 1)?;
+//! let wl = Workload::new("toy", DnnCategory::B, vec![layer]);
+//!
+//! let griffin = Accelerator::with_defaults(ArchSpec::griffin());
+//! let report = griffin.run(&wl);
+//! assert!(report.speedup > 1.5);          // weight sparsity pays off
+//! assert!(report.effective_tops_per_w > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod accelerator;
+pub mod analytic;
+pub mod arch;
+pub mod category;
+pub mod cost;
+pub mod dse;
+pub mod efficiency;
+pub mod griffin;
+pub mod overhead;
+
+pub use accelerator::{Accelerator, RunReport, Workload};
+pub use arch::{ArchKind, ArchSpec};
+pub use category::DnnCategory;
+pub use cost::{CostBreakdown, CostModel};
+pub use efficiency::Efficiency;
+pub use overhead::HardwareOverhead;

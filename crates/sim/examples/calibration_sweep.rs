@@ -1,0 +1,96 @@
+//! Calibration sweep: speedups of the paper's named configurations on a
+//! representative layer at Table-IV-like densities, printed next to the
+//! published values. Used while developing the simulator to check that
+//! magnitudes and orderings track the paper; kept as a fast smoke test
+//! (`cargo run --release -p griffin-sim --example calibration_sweep`).
+
+use griffin_sim::config::{SimConfig, SparsityMode};
+use griffin_sim::layer::GemmLayer;
+use griffin_sim::pipeline::simulate_layer;
+use griffin_sim::window::BorrowWindow;
+use griffin_tensor::shape::GemmShape;
+
+fn main() {
+    // Representative layer: M=256, K=1152, N=256; A 45% dense, B 19% dense.
+    let shape = GemmShape::new(256, 1152, 256).unwrap();
+    let cfg = SimConfig::default();
+    // Per-channel (block of R*S=9 consecutive k) density variation as in
+    // real pruned conv tensors; same block structure for activations
+    // (im2col patch duplication).
+    // Channel-minor layout (NHWC): K = 1152 = 9 spatial x 128 channels.
+    let cin = 128usize;
+    let mk = |da: f64, db: f64, seed: u64| {
+        let mut g = griffin_tensor::gen::TensorGen::seeded(seed);
+        let a = g.channel_minor_mask(shape.m, shape.k, da, cin, 0.8, false);
+        let b = g.channel_minor_mask(shape.k, shape.n, db, cin, 0.8, true);
+        GemmLayer::new(shape, a, b).unwrap()
+    };
+
+    let b_layer = mk(1.0, 0.19, 1);
+    let a_layer = mk(0.45, 1.0, 2);
+    let ab_layer = mk(0.45, 0.19, 3);
+
+    println!("--- Sparse.B on DNN.B (A=1.0, B=0.19), paper fig5 ---");
+    for (d1, d2, d3, sh, label) in [
+        (2usize, 0usize, 0usize, false, "B(2,0,0,off)"),
+        (2, 0, 0, true, "B(2,0,0,on)"),
+        (4, 0, 0, false, "B(4,0,0,off) paper 1.7"),
+        (4, 0, 0, true, "B(4,0,0,on)  paper ~2.4"),
+        (4, 0, 1, false, "B(4,0,1,off) paper 2.5 (off?)"),
+        (4, 0, 1, true, "B(4,0,1,on)"),
+        (4, 0, 2, true, "B(4,0,2,on)  paper 2.9"),
+        (6, 0, 0, false, "B(6,0,0,off) paper 1.9"),
+        (6, 0, 0, true, "B(6,0,0,on)  paper 2.7"),
+        (8, 0, 1, true, "B(8,0,1,on)  griffin confB 3.5"),
+        (2, 1, 1, true, "B(2,1,1,on)  paper 2.6"),
+        (2, 2, 0, true, "B(2,2,0,on)  paper 2.4"),
+        (2, 0, 2, true, "B(2,0,2,on)  paper 2.4"),
+    ] {
+        let mode = SparsityMode::SparseB { win: BorrowWindow::new(d1, d2, d3), shuffle: sh };
+        let r = simulate_layer(&b_layer, mode, &cfg);
+        println!("{label:32} speedup {:.2}", r.speedup());
+    }
+
+    println!("--- Sparse.A on DNN.A (A=0.45, B=1.0), paper fig6 ---");
+    for (d1, d2, d3, sh, label) in [
+        (2usize, 1usize, 0usize, true, "A(2,1,0,on) paper 1.83"),
+        (3, 1, 0, true, "A(3,1,0,on) paper 1.89"),
+        (2, 1, 1, true, "A(2,1,1,on) paper 1.93"),
+        (2, 1, 2, true, "A(2,1,2,on) paper 1.97"),
+        (4, 0, 1, false, "A(4,0,1,off) paper 1.28"),
+        (4, 0, 1, true, "A(4,0,1,on) paper 1.79"),
+        (2, 0, 0, true, "A(2,0,0,on)"),
+    ] {
+        let mode = SparsityMode::SparseA { win: BorrowWindow::new(d1, d2, d3), shuffle: sh };
+        let r = simulate_layer(&a_layer, mode, &cfg);
+        println!("{label:32} speedup {:.2}", r.speedup());
+    }
+
+    println!("--- Sparse.AB on DNN.AB (A=0.45, B=0.19), paper fig7 ---");
+    for (a1, a2, a3, b1, b2, b3, sh, label) in [
+        (2usize, 0usize, 0usize, 2usize, 0usize, 1usize, true, "AB(2,0,0,2,0,1,on) paper 3.9"),
+        (2, 0, 0, 4, 0, 2, true, "AB(2,0,0,4,0,2,on) paper 4.9"),
+        (1, 0, 0, 3, 0, 1, true, "AB(1,0,0,3,0,1,on) paper 4.0"),
+        (1, 1, 0, 3, 0, 1, false, "AB(1,1,0,3,0,1,off) paper 3.4"),
+        (1, 0, 0, 3, 1, 1, false, "AB(1,0,0,3,1,1,off) paper 3.8"),
+    ] {
+        let mode = SparsityMode::SparseAB {
+            a: BorrowWindow::new(a1, a2, a3),
+            b: BorrowWindow::new(b1, b2, b3),
+            shuffle: sh,
+        };
+        let r = simulate_layer(&ab_layer, mode, &cfg);
+        println!("{label:36} speedup {:.2}", r.speedup());
+    }
+
+    println!("--- SparTen ---");
+    for (a, b, label) in [
+        (false, true, "SparTen.B paper 3.9"),
+        (true, false, "SparTen.A paper ~2.0"),
+        (true, true, "SparTen.AB"),
+    ] {
+        let mode = SparsityMode::SparTen { a_sparse: a, b_sparse: b };
+        let r = simulate_layer(if a && !b { &a_layer } else if b && !a { &b_layer } else { &ab_layer }, mode, &cfg);
+        println!("{label:36} speedup {:.2}", r.speedup());
+    }
+}

@@ -1,0 +1,51 @@
+//! Shuffle neutrality check: on i.i.d. masks the rotation shuffler is a
+//! distribution-preserving permutation, so speedups must match on/off to
+//! within noise — while a lane-persistent hot pattern must recover the
+//! full rotation gain. Guards the load-balancing model
+//! (`cargo run --release -p griffin-sim --example shuffle_neutrality`).
+
+use griffin_sim::config::{SimConfig, SparsityMode};
+use griffin_sim::layer::GemmLayer;
+use griffin_sim::pipeline::simulate_layer;
+use griffin_sim::window::BorrowWindow;
+use griffin_tensor::shape::GemmShape;
+
+fn main() {
+    let shape = GemmShape::new(64, 1152, 256).unwrap();
+    let cfg = SimConfig::exact();
+    for seed in [1u64, 2, 3] {
+        let l = GemmLayer::with_densities(shape, 1.0, 0.19, seed).unwrap();
+        for (d1, d2, d3) in [(6usize, 0usize, 0usize), (4, 0, 1), (8, 0, 1)] {
+            let off = simulate_layer(
+                &l,
+                SparsityMode::SparseB { win: BorrowWindow::new(d1, d2, d3), shuffle: false },
+                &cfg,
+            );
+            let on = simulate_layer(
+                &l,
+                SparsityMode::SparseB { win: BorrowWindow::new(d1, d2, d3), shuffle: true },
+                &cfg,
+            );
+            println!(
+                "seed {seed} B({d1},{d2},{d3}): off {:.3} on {:.3}  (ratio {:.3})",
+                off.speedup(),
+                on.speedup(),
+                on.speedup() / off.speedup()
+            );
+        }
+    }
+    // Strong lane-persistent imbalance: lane 0 of each group hot.
+    let b = griffin_tensor::mask::SparsityMask::from_fn(shape.k, shape.n, |k, n| {
+        (k % 4 == 0) && (k * 31 + n * 17) % 16 < 12
+    });
+    let a = griffin_tensor::mask::SparsityMask::ones(shape.m, shape.k);
+    let l = GemmLayer::new(shape, a, b).unwrap();
+    for sh in [false, true] {
+        let r = simulate_layer(
+            &l,
+            SparsityMode::SparseB { win: BorrowWindow::new(6, 0, 0), shuffle: sh },
+            &cfg,
+        );
+        println!("hot-lane B(6,0,0) shuffle={sh}: speedup {:.3}", r.speedup());
+    }
+}

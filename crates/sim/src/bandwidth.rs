@@ -1,0 +1,159 @@
+//! SRAM and DRAM bandwidth modelling.
+//!
+//! The paper's baseline provisions exactly one dense tile of each operand
+//! per cycle: 51.2 GB/s for ASRAM (= `M0·K0` = 64 bytes/cycle at 800 MHz)
+//! and 204.8 GB/s for BSRAM (= `K0·N0` = 256 bytes/cycle), plus 50 GB/s of
+//! DRAM "which is enough to avoid any performance drop". §V notes that to
+//! exploit a sparsity speedup of `s` the SRAM bandwidth must scale by `s`
+//! — the evaluated sparse designs are provisioned accordingly (and pay for
+//! it in SRAM power, visible in Table VII). This module provides both that
+//! *provisioned* policy and a *fixed* policy that exposes the bandwidth
+//! wall, used by the bandwidth-sensitivity example.
+
+use griffin_tensor::shape::{CoreDims, GemmShape};
+
+/// Bandwidth policy for a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BwPolicy {
+    /// SRAM bandwidth scales with the achieved speedup (the paper's
+    /// evaluation setting): the schedule is never bandwidth-bound.
+    Provisioned,
+    /// Fixed byte-per-cycle budgets; the layer latency is floored by the
+    /// traffic each resource must move.
+    Fixed {
+        /// ASRAM read bandwidth in bytes/cycle.
+        a_bytes_per_cycle: f64,
+        /// BSRAM read bandwidth in bytes/cycle.
+        b_bytes_per_cycle: f64,
+        /// DRAM bandwidth in bytes/cycle.
+        dram_bytes_per_cycle: f64,
+    },
+}
+
+impl BwPolicy {
+    /// The paper's baseline fixed budgets at 800 MHz:
+    /// ASRAM 64 B/cy (51.2 GB/s), BSRAM 256 B/cy (204.8 GB/s),
+    /// DRAM 62.5 B/cy (50 GB/s).
+    pub fn paper_baseline() -> Self {
+        BwPolicy::Fixed {
+            a_bytes_per_cycle: 64.0,
+            b_bytes_per_cycle: 256.0,
+            dram_bytes_per_cycle: 62.5,
+        }
+    }
+
+    /// The paper's budgets scaled by a provisioning factor (models a
+    /// sparse design built for `scale×` speedup).
+    pub fn paper_scaled(scale: f64) -> Self {
+        BwPolicy::Fixed {
+            a_bytes_per_cycle: 64.0 * scale,
+            b_bytes_per_cycle: 256.0 * scale,
+            dram_bytes_per_cycle: 62.5,
+        }
+    }
+}
+
+/// On-chip and off-chip traffic of one layer under the output-stationary
+/// dataflow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerTraffic {
+    /// ASRAM bytes read (A tile rows re-streamed once per output-tile
+    /// column).
+    pub a_sram_bytes: f64,
+    /// BSRAM bytes read (B tiles re-streamed once per output-tile row);
+    /// already scaled by the compression factor for preprocessed-B
+    /// architectures.
+    pub b_sram_bytes: f64,
+    /// DRAM bytes moved: each operand loaded once, outputs written once.
+    pub dram_bytes: f64,
+}
+
+/// Computes the traffic of a layer.
+///
+/// `b_bytes_per_dense_element` is 1.0 for dense storage or the
+/// compressed-footprint ratio from
+/// [`griffin_tensor::compress::CompressedB::bytes_per_dense_element`].
+pub fn layer_traffic(
+    shape: GemmShape,
+    core: CoreDims,
+    b_bytes_per_dense_element: f64,
+) -> LayerTraffic {
+    let t = shape.tiles(core);
+    let (mt, nt, kt) = (t.mt as f64, t.nt as f64, t.kt as f64);
+    let a_tile = (core.m0 * core.k0) as f64;
+    let b_tile = (core.k0 * core.n0) as f64;
+    LayerTraffic {
+        a_sram_bytes: mt * nt * kt * a_tile,
+        b_sram_bytes: mt * nt * kt * b_tile * b_bytes_per_dense_element,
+        dram_bytes: (shape.m * shape.k) as f64
+            + (shape.k * shape.n) as f64 * b_bytes_per_dense_element
+            + (shape.m * shape.n) as f64,
+    }
+}
+
+/// Minimum layer latency in cycles imposed by the bandwidth policy
+/// (0 when provisioned).
+pub fn bw_floor_cycles(traffic: LayerTraffic, policy: BwPolicy) -> f64 {
+    match policy {
+        BwPolicy::Provisioned => 0.0,
+        BwPolicy::Fixed { a_bytes_per_cycle, b_bytes_per_cycle, dram_bytes_per_cycle } => {
+            let a = traffic.a_sram_bytes / a_bytes_per_cycle;
+            let b = traffic.b_sram_bytes / b_bytes_per_cycle;
+            let d = traffic.dram_bytes / dram_bytes_per_cycle;
+            a.max(b).max(d)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> GemmShape {
+        GemmShape::new(64, 256, 128).unwrap()
+    }
+
+    #[test]
+    fn provisioned_never_floors() {
+        let t = layer_traffic(shape(), CoreDims::PAPER, 1.0);
+        assert_eq!(bw_floor_cycles(t, BwPolicy::Provisioned), 0.0);
+    }
+
+    #[test]
+    fn baseline_budgets_exactly_cover_dense_tiles() {
+        // With the paper's budgets, the SRAM floor equals the dense cycle
+        // count: one A tile (64 B) and one B tile (256 B) per cycle.
+        let s = shape();
+        let t = layer_traffic(s, CoreDims::PAPER, 1.0);
+        let floor = bw_floor_cycles(t, BwPolicy::paper_baseline());
+        let dense = s.dense_cycles(CoreDims::PAPER) as f64;
+        assert!((floor - dense).abs() < 1.0, "floor {floor} vs dense {dense}");
+    }
+
+    #[test]
+    fn compressed_b_reduces_b_traffic() {
+        let dense = layer_traffic(shape(), CoreDims::PAPER, 1.0);
+        let compressed = layer_traffic(shape(), CoreDims::PAPER, 0.3);
+        assert!(compressed.b_sram_bytes < dense.b_sram_bytes);
+        assert!(compressed.dram_bytes < dense.dram_bytes);
+        assert_eq!(compressed.a_sram_bytes, dense.a_sram_bytes);
+    }
+
+    #[test]
+    fn scaled_budget_lowers_the_floor() {
+        let t = layer_traffic(shape(), CoreDims::PAPER, 1.0);
+        let base = bw_floor_cycles(t, BwPolicy::paper_baseline());
+        let scaled = bw_floor_cycles(t, BwPolicy::paper_scaled(4.0));
+        assert!(scaled < base);
+        assert!(scaled >= base / 4.0 - 1.0);
+    }
+
+    #[test]
+    fn dram_floor_binds_for_tiny_compute() {
+        // A 1-cycle GEMM still has to move its operands over DRAM.
+        let s = GemmShape::new(4, 16, 16).unwrap();
+        let t = layer_traffic(s, CoreDims::PAPER, 1.0);
+        let floor = bw_floor_cycles(t, BwPolicy::paper_baseline());
+        assert!(floor > 1.0);
+    }
+}

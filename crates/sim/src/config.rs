@@ -1,0 +1,164 @@
+//! Simulator configuration types.
+
+use griffin_tensor::shape::CoreDims;
+
+use crate::bandwidth::BwPolicy;
+use crate::window::BorrowWindow;
+
+/// Arbitration priority when several nonzero candidates are visible
+/// (§III: "we use a similar priority mechanism as [Bit-Tactical]").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Priority {
+    /// A slot executes its own pending op first, then borrows the
+    /// earliest reachable op (Bit-Tactical's scheme; the default).
+    #[default]
+    OwnFirst,
+    /// A slot always takes the earliest reachable op, draining old time
+    /// rows as fast as possible.
+    EarliestFirst,
+}
+
+/// How much of a layer to simulate.
+///
+/// Under unstructured sparsity the output tiles of a layer are
+/// statistically homogeneous, so simulating a deterministic random subset
+/// and scaling is accurate to within sampling noise while being orders of
+/// magnitude cheaper for the large design-space sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fidelity {
+    /// Simulate every output tile.
+    Exact,
+    /// Simulate at most `tiles` output tiles (or tile pairs for dual
+    /// sparsity), chosen by a seeded RNG, and scale the cycle count.
+    Sampled {
+        /// Upper bound on simulated tiles per layer.
+        tiles: usize,
+        /// RNG seed for the tile subset.
+        seed: u64,
+    },
+}
+
+impl Default for Fidelity {
+    fn default() -> Self {
+        Fidelity::Sampled { tiles: 24, seed: 0xC0FFEE }
+    }
+}
+
+/// The sparsity-exploitation mode of an architecture, i.e. which operand
+/// streams may skip zeros and with what borrowing windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SparsityMode {
+    /// Dense baseline: no skipping at all.
+    Dense,
+    /// `Sparse.A(da1, da2, da3)`: on-the-fly activation skipping.
+    SparseA {
+        /// Borrowing window for matrix A.
+        win: BorrowWindow,
+        /// Rotation-based shuffling on/off.
+        shuffle: bool,
+    },
+    /// `Sparse.B(db1, db2, db3)`: preprocessed weight skipping.
+    SparseB {
+        /// Borrowing window for matrix B.
+        win: BorrowWindow,
+        /// Rotation-based shuffling on/off.
+        shuffle: bool,
+    },
+    /// `Sparse.AB(da1..da3, db1..db3)`: dual sparsity (§IV-A).
+    SparseAB {
+        /// Borrowing window for matrix A.
+        a: BorrowWindow,
+        /// Borrowing window for matrix B.
+        b: BorrowWindow,
+        /// Rotation-based shuffling on/off.
+        shuffle: bool,
+    },
+    /// SparTen-style MAC architecture (no K-unrolling, deep per-PE
+    /// buffers); used for the SOTA comparison points.
+    SparTen {
+        /// Whether activation zeros are skipped.
+        a_sparse: bool,
+        /// Whether weight zeros are skipped.
+        b_sparse: bool,
+    },
+}
+
+impl SparsityMode {
+    /// Whether this mode preprocesses and compresses matrix B in SRAM.
+    pub fn compresses_b(&self) -> bool {
+        matches!(
+            self,
+            SparsityMode::SparseB { .. }
+                | SparsityMode::SparseAB { .. }
+                | SparsityMode::SparTen { b_sparse: true, .. }
+        )
+    }
+}
+
+/// Full simulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Core spatial unrolling `(K0, N0, M0)`.
+    pub core: CoreDims,
+    /// Arbitration priority.
+    pub priority: Priority,
+    /// Simulation fidelity.
+    pub fidelity: Fidelity,
+    /// SRAM/DRAM bandwidth policy.
+    pub bw: BwPolicy,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            core: CoreDims::PAPER,
+            priority: Priority::OwnFirst,
+            fidelity: Fidelity::default(),
+            bw: BwPolicy::Provisioned,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A configuration that simulates every tile exactly — slower, used
+    /// by tests and spot checks.
+    pub fn exact() -> Self {
+        SimConfig { fidelity: Fidelity::Exact, ..Self::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let c = SimConfig::default();
+        assert_eq!(c.core, CoreDims::PAPER);
+        assert_eq!(c.priority, Priority::OwnFirst);
+        assert!(matches!(c.fidelity, Fidelity::Sampled { .. }));
+        assert_eq!(c.bw, BwPolicy::Provisioned);
+    }
+
+    #[test]
+    fn compresses_b_flags() {
+        assert!(!SparsityMode::Dense.compresses_b());
+        assert!(!SparsityMode::SparseA { win: BorrowWindow::new(2, 1, 0), shuffle: true }
+            .compresses_b());
+        assert!(SparsityMode::SparseB { win: BorrowWindow::new(4, 0, 1), shuffle: true }
+            .compresses_b());
+        assert!(SparsityMode::SparseAB {
+            a: BorrowWindow::new(2, 0, 0),
+            b: BorrowWindow::new(2, 0, 1),
+            shuffle: true
+        }
+        .compresses_b());
+        assert!(SparsityMode::SparTen { a_sparse: true, b_sparse: true }.compresses_b());
+        assert!(!SparsityMode::SparTen { a_sparse: true, b_sparse: false }.compresses_b());
+    }
+
+    #[test]
+    fn exact_config_disables_sampling() {
+        assert_eq!(SimConfig::exact().fidelity, Fidelity::Exact);
+    }
+}

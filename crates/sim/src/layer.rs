@@ -1,0 +1,135 @@
+//! The simulator's unit of work: one GEMM layer with sparsity masks.
+
+use griffin_tensor::error::TensorError;
+use griffin_tensor::gen::TensorGen;
+use griffin_tensor::mask::SparsityMask;
+use griffin_tensor::shape::GemmShape;
+
+/// One GEMM operation `C(M×N) += A(M×K) × B(K×N)` together with the
+/// nonzero structure of both operands.
+///
+/// ```
+/// use griffin_sim::layer::GemmLayer;
+/// use griffin_tensor::shape::GemmShape;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let layer = GemmLayer::with_densities(GemmShape::new(32, 64, 32)?, 0.5, 0.2, 7)?;
+/// assert!(layer.b.density() < 0.35);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GemmLayer {
+    /// Problem shape.
+    pub shape: GemmShape,
+    /// `M × K` activation nonzero mask.
+    pub a: SparsityMask,
+    /// `K × N` weight nonzero mask.
+    pub b: SparsityMask,
+    /// How many statistically identical copies of this GEMM the layer
+    /// executes (grouped convolutions run one GEMM per group; we
+    /// simulate one representative group and scale). Defaults to 1.
+    pub replicas: usize,
+}
+
+impl GemmLayer {
+    /// Creates a layer, validating mask shapes against the GEMM shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when a mask does not match
+    /// the declared shape.
+    pub fn new(shape: GemmShape, a: SparsityMask, b: SparsityMask) -> Result<Self, TensorError> {
+        if a.rows() != shape.m || a.cols() != shape.k {
+            return Err(TensorError::ShapeMismatch {
+                expected: format!("A mask {}x{}", shape.m, shape.k),
+                found: format!("A mask {}x{}", a.rows(), a.cols()),
+            });
+        }
+        if b.rows() != shape.k || b.cols() != shape.n {
+            return Err(TensorError::ShapeMismatch {
+                expected: format!("B mask {}x{}", shape.k, shape.n),
+                found: format!("B mask {}x{}", b.rows(), b.cols()),
+            });
+        }
+        Ok(GemmLayer { shape, a, b, replicas: 1 })
+    }
+
+    /// Sets the replica count (builder style), for grouped convolutions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero.
+    pub fn with_replicas(mut self, replicas: usize) -> Self {
+        assert!(replicas > 0, "replica count must be positive");
+        self.replicas = replicas;
+        self
+    }
+
+    /// Convenience constructor: i.i.d. Bernoulli masks with the given
+    /// activation / weight densities and a deterministic seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape validation errors.
+    pub fn with_densities(
+        shape: GemmShape,
+        a_density: f64,
+        b_density: f64,
+        seed: u64,
+    ) -> Result<Self, TensorError> {
+        let mut gen = TensorGen::seeded(seed);
+        let a = gen.bernoulli_mask(shape.m, shape.k, a_density);
+        let b = gen.bernoulli_mask(shape.k, shape.n, b_density);
+        GemmLayer::new(shape, a, b)
+    }
+
+    /// Dense baseline latency of the layer including replicas.
+    pub fn dense_cycles(&self, core: griffin_tensor::shape::CoreDims) -> u64 {
+        self.shape.dense_cycles(core) * self.replicas as u64
+    }
+
+    /// Density of the activation mask.
+    pub fn a_density(&self) -> f64 {
+        self.a.density()
+    }
+
+    /// Density of the weight mask.
+    pub fn b_density(&self) -> f64 {
+        self.b.density()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_validation() {
+        let shape = GemmShape::new(4, 8, 4).unwrap();
+        let good_a = SparsityMask::ones(4, 8);
+        let good_b = SparsityMask::ones(8, 4);
+        assert!(GemmLayer::new(shape, good_a.clone(), good_b.clone()).is_ok());
+        let bad_a = SparsityMask::ones(8, 4);
+        assert!(GemmLayer::new(shape, bad_a, good_b).is_err());
+        let bad_b = SparsityMask::ones(4, 8);
+        assert!(GemmLayer::new(shape, good_a, bad_b).is_err());
+    }
+
+    #[test]
+    fn with_densities_is_deterministic() {
+        let shape = GemmShape::new(16, 32, 16).unwrap();
+        let l1 = GemmLayer::with_densities(shape, 0.4, 0.2, 9).unwrap();
+        let l2 = GemmLayer::with_densities(shape, 0.4, 0.2, 9).unwrap();
+        assert_eq!(l1.a, l2.a);
+        assert_eq!(l1.b, l2.b);
+    }
+
+    #[test]
+    fn densities_are_reported() {
+        let shape = GemmShape::new(64, 64, 64).unwrap();
+        let l = GemmLayer::with_densities(shape, 1.0, 0.0, 1).unwrap();
+        assert_eq!(l.a_density(), 1.0);
+        assert_eq!(l.b_density(), 0.0);
+    }
+}

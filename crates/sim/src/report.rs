@@ -1,0 +1,130 @@
+//! Simulation result types.
+
+use griffin_tensor::shape::CoreDims;
+
+/// Result of simulating one GEMM layer on one architecture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerReport {
+    /// Dense baseline latency of the layer (cycles).
+    pub dense_cycles: u64,
+    /// Latency from the borrowing schedule alone (cycles).
+    pub schedule_cycles: f64,
+    /// Latency floor imposed by the bandwidth policy (cycles).
+    pub bw_floor_cycles: f64,
+    /// Final latency: `max(schedule, bandwidth floor)` (cycles).
+    pub cycles: f64,
+    /// Effectual operations executed.
+    pub effectual_ops: f64,
+    /// Ops executed by borrowing (non-own slot or lookahead).
+    pub borrowed_ops: f64,
+    /// Cycles in which some multiplier starved while work remained.
+    pub starved_cycles: f64,
+    /// Whether tile sampling was used (vs exact simulation).
+    pub sampled: bool,
+}
+
+impl LayerReport {
+    /// Speedup over the dense baseline (`dense / cycles`).
+    pub fn speedup(&self) -> f64 {
+        self.dense_cycles as f64 / self.cycles.max(1e-9)
+    }
+
+    /// Fraction of multiplier slots doing effectual work.
+    pub fn utilization(&self, core: CoreDims) -> f64 {
+        self.effectual_ops / (self.cycles.max(1e-9) * core.macs() as f64)
+    }
+}
+
+/// Aggregated result of simulating a whole network (a list of layers).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NetworkReport {
+    /// Per-layer results, in layer order.
+    pub layers: Vec<LayerReport>,
+}
+
+impl NetworkReport {
+    /// Total cycles across all layers.
+    pub fn cycles(&self) -> f64 {
+        self.layers.iter().map(|l| l.cycles).sum()
+    }
+
+    /// Total dense baseline cycles.
+    pub fn dense_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.dense_cycles).sum()
+    }
+
+    /// End-to-end speedup over the dense baseline.
+    pub fn speedup(&self) -> f64 {
+        self.dense_cycles() as f64 / self.cycles().max(1e-9)
+    }
+}
+
+/// Geometric mean of a sequence of positive values — the paper's
+/// aggregation for speedups and efficiency metrics across benchmarks.
+///
+/// ```
+/// use griffin_sim::report::geomean;
+/// assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+/// ```
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of an empty slice");
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geomean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(dense: u64, cycles: f64) -> LayerReport {
+        LayerReport {
+            dense_cycles: dense,
+            schedule_cycles: cycles,
+            bw_floor_cycles: 0.0,
+            cycles,
+            effectual_ops: 0.0,
+            borrowed_ops: 0.0,
+            starved_cycles: 0.0,
+            sampled: false,
+        }
+    }
+
+    #[test]
+    fn layer_speedup() {
+        assert!((report(100, 25.0).speedup() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn network_aggregates_over_layers() {
+        let net = NetworkReport { layers: vec![report(100, 50.0), report(300, 100.0)] };
+        assert_eq!(net.dense_cycles(), 400);
+        assert!((net.cycles() - 150.0).abs() < 1e-12);
+        assert!((net.speedup() - 400.0 / 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_of_full_dense_run_is_one() {
+        let core = CoreDims::PAPER;
+        let mut r = report(10, 10.0);
+        r.effectual_ops = 10.0 * core.macs() as f64;
+        assert!((r.utilization(core) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 1.0, 8.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "geomean of an empty slice")]
+    fn geomean_empty_panics() {
+        geomean(&[]);
+    }
+}

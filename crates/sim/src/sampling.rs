@@ -1,0 +1,67 @@
+//! Deterministic tile sampling for the `Sampled` fidelity.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::config::Fidelity;
+
+/// Picks the tile indices to simulate out of `n` and the weight each
+/// simulated tile carries. Returns `(indices, scale)` with
+/// `indices.len() · scale == n` (so totals are unbiased).
+pub(crate) fn sample_indices(n: usize, fidelity: Fidelity) -> (Vec<usize>, f64) {
+    match fidelity {
+        Fidelity::Exact => ((0..n).collect(), 1.0),
+        Fidelity::Sampled { tiles, seed } => {
+            let tiles = tiles.max(1);
+            if n <= tiles {
+                ((0..n).collect(), 1.0)
+            } else {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let mut all: Vec<usize> = (0..n).collect();
+                all.shuffle(&mut rng);
+                all.truncate(tiles);
+                all.sort_unstable();
+                (all, n as f64 / tiles as f64)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_returns_everything() {
+        let (idx, scale) = sample_indices(5, Fidelity::Exact);
+        assert_eq!(idx, vec![0, 1, 2, 3, 4]);
+        assert_eq!(scale, 1.0);
+    }
+
+    #[test]
+    fn small_population_is_not_sampled() {
+        let (idx, scale) = sample_indices(3, Fidelity::Sampled { tiles: 8, seed: 1 });
+        assert_eq!(idx.len(), 3);
+        assert_eq!(scale, 1.0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_unbiased() {
+        let f = Fidelity::Sampled { tiles: 4, seed: 9 };
+        let (a, sa) = sample_indices(100, f);
+        let (b, sb) = sample_indices(100, f);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        assert!((sa * 4.0 - 100.0).abs() < 1e-12);
+        assert_eq!(sa, sb);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "indices sorted & distinct");
+    }
+
+    #[test]
+    fn zero_tiles_clamps_to_one() {
+        let (idx, scale) = sample_indices(10, Fidelity::Sampled { tiles: 0, seed: 2 });
+        assert_eq!(idx.len(), 1);
+        assert_eq!(scale, 10.0);
+    }
+}

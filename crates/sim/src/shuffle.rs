@@ -1,0 +1,140 @@
+//! Rotation-based load-balance shuffling (§III, "Load Balancing").
+//!
+//! Unstructured sparsity leaves nonzeros unevenly distributed across the
+//! `K0` lanes of the dot-product units, which throttles borrowing windows
+//! with small or zero lane reach. The paper's fine-grain remedy shuffles
+//! both input matrices along their second blocked dimension *before*
+//! preprocessing / buffering, and limits the shuffle to **local rotations
+//! among four consecutive lanes** so the `K0×K0` crossbar decomposes into
+//! `K0/4` cheap `4×4` crossbars.
+//!
+//! Our rotation amount is the time step modulo the group size, so a lane
+//! that is persistently "hot" in the original layout spreads its work over
+//! all four lanes of its group across time. Both A and B are shuffled with
+//! the same permutation, so operand pairing (and therefore correctness) is
+//! preserved — which is also why shuffling is a pure coordinate remap for
+//! the scheduler.
+
+/// Size of the local rotation group (`4×4` crossbars in the paper).
+pub const GROUP: usize = 4;
+
+/// Lane permutation applied at time step `t`: element in lane `lane` is
+/// relocated to `shuffle_lane(lane, t)` within its 4-lane group.
+///
+/// ```
+/// use griffin_sim::shuffle::shuffle_lane;
+/// assert_eq!(shuffle_lane(0, 0), 0);
+/// assert_eq!(shuffle_lane(0, 1), 1);
+/// assert_eq!(shuffle_lane(3, 1), 0); // wraps inside the group
+/// assert_eq!(shuffle_lane(4, 1), 5); // next group rotates independently
+/// ```
+pub fn shuffle_lane(lane: usize, t: usize) -> usize {
+    let group = lane / GROUP;
+    let within = lane % GROUP;
+    group * GROUP + (within + t) % GROUP
+}
+
+/// Inverse of [`shuffle_lane`]: the original lane of the element that the
+/// shuffler placed in `lane` at time step `t`.
+pub fn unshuffle_lane(lane: usize, t: usize) -> usize {
+    let group = lane / GROUP;
+    let within = lane % GROUP;
+    group * GROUP + (within + GROUP - t % GROUP) % GROUP
+}
+
+/// Lane mapper chosen by the `shuffle = on/off` architecture flag.
+///
+/// The scheduler asks "which *original* lane feeds shuffled lane `l` at
+/// time `t`?"; with shuffling off that is the identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneMap {
+    /// No shuffling.
+    Identity,
+    /// Local-rotation shuffling.
+    Rotate,
+}
+
+impl LaneMap {
+    /// Creates the mapper from the architecture's shuffle flag.
+    pub fn from_flag(shuffle: bool) -> Self {
+        if shuffle {
+            LaneMap::Rotate
+        } else {
+            LaneMap::Identity
+        }
+    }
+
+    /// Original lane feeding shuffled position `(t, lane)`.
+    #[inline]
+    pub fn source_lane(&self, lane: usize, t: usize) -> usize {
+        match self {
+            LaneMap::Identity => lane,
+            LaneMap::Rotate => unshuffle_lane(lane, t),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shuffle_is_a_permutation_per_time_step() {
+        for t in 0..8 {
+            let mut seen = [false; 16];
+            for lane in 0..16 {
+                let s = shuffle_lane(lane, t);
+                assert!(!seen[s], "lane collision at t={t}");
+                seen[s] = true;
+            }
+            assert!(seen.iter().all(|&b| b));
+        }
+    }
+
+    #[test]
+    fn unshuffle_inverts_shuffle() {
+        for t in 0..8 {
+            for lane in 0..16 {
+                assert_eq!(unshuffle_lane(shuffle_lane(lane, t), t), lane);
+                assert_eq!(shuffle_lane(unshuffle_lane(lane, t), t), lane);
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_stays_within_group() {
+        for t in 0..8 {
+            for lane in 0..16 {
+                assert_eq!(shuffle_lane(lane, t) / GROUP, lane / GROUP);
+            }
+        }
+    }
+
+    #[test]
+    fn identity_map_is_identity() {
+        let m = LaneMap::from_flag(false);
+        for t in 0..4 {
+            for lane in 0..16 {
+                assert_eq!(m.source_lane(lane, t), lane);
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_spreads_a_hot_lane_over_its_group() {
+        // An element stuck in lane 2 lands in lanes 2,3,0,1 over t=0..4.
+        let m = LaneMap::from_flag(true);
+        let positions: Vec<usize> =
+            (0..4).map(|t| (0..4).find(|&l| m.source_lane(l, t) == 2).unwrap()).collect();
+        let mut sorted = positions.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn period_is_group_size() {
+        for lane in 0..16 {
+            assert_eq!(shuffle_lane(lane, 0), shuffle_lane(lane, GROUP));
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Tile simulation for single-sparse architectures (§III).
+//!
+//! * `Sparse.B(db1, db2, db3)`: matrix B is preprocessed; its nonzeros are
+//!   scheduled over `(time, lane, PE column)`. All `M0` PE rows execute
+//!   the same B-driven schedule against their own A operands, so the
+//!   schedule of one output-tile *column* applies to every output-tile
+//!   row: the layer latency is `Σ_n cycles(n-tile) · ⌈M/M0⌉`.
+//! * `Sparse.A(da1, da2, da3)`: symmetric, with on-the-fly skipping of A
+//!   nonzeros over `(time, lane, PE row)` shared by all `N0` PE columns:
+//!   `Σ_m cycles(m-tile) · ⌈N/N0⌉`.
+//!
+//! Zero detection is modelled identically for both sides — the hardware
+//! difference (offline preprocessing vs on-the-fly arbitration) shows up
+//! in the *cost model* (metadata storage, per-PE control logic), not in
+//! the cycle count, which both the paper's Figure 2 walk-through and its
+//! simulator treat through the same borrowing window abstraction.
+
+use griffin_tensor::block::{ATileView, BTileView, TileCoord, TileView};
+
+use crate::config::SimConfig;
+use crate::engine::{schedule, OpGrid, Schedule};
+use crate::layer::GemmLayer;
+use crate::sampling::sample_indices;
+use crate::shuffle::LaneMap;
+use crate::window::{BorrowWindow, EffectiveWindow};
+
+/// Accumulated schedule statistics for a layer, before bandwidth floors.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ScheduleAccum {
+    /// Total schedule cycles for the layer.
+    pub cycles: f64,
+    /// Total effectual ops executed.
+    pub ops: f64,
+    /// Total borrow events.
+    pub borrowed: f64,
+    /// Total starved cycles.
+    pub starved: f64,
+    /// Whether sampling was used.
+    pub sampled: bool,
+}
+
+impl ScheduleAccum {
+    fn add(&mut self, s: Schedule, weight: f64) {
+        self.cycles += s.cycles as f64 * weight;
+        self.ops += s.executed as f64 * weight;
+        self.borrowed += s.borrowed as f64 * weight;
+        self.starved += s.starved_cycles as f64 * weight;
+    }
+}
+
+/// Builds the op grid for one B-side tile column: ops are the nonzeros of
+/// B over `(t, lane, 1, n_local)`, read through the shuffle lane map.
+fn b_tile_grid(layer: &GemmLayer, cfg: &SimConfig, n_tile: usize, lanes: LaneMap) -> OpGrid {
+    let core = cfg.core;
+    let view = BTileView::new(&layer.b, core, n_tile * core.n0);
+    OpGrid::from_fn(view.t_steps(), core.k0, 1, core.n0, |t, lane, _, col| {
+        view.is_nonzero(TileCoord { t, lane: lanes.source_lane(lane, t), s: col })
+    })
+}
+
+/// Builds the op grid for one A-side tile row: ops are the nonzeros of A
+/// over `(t, lane, m_local, 1)`.
+fn a_tile_grid(layer: &GemmLayer, cfg: &SimConfig, m_tile: usize, lanes: LaneMap) -> OpGrid {
+    let core = cfg.core;
+    let view = ATileView::new(&layer.a, core, m_tile * core.m0);
+    OpGrid::from_fn(view.t_steps(), core.k0, core.m0, 1, |t, lane, row, _| {
+        view.is_nonzero(TileCoord { t, lane: lanes.source_lane(lane, t), s: row })
+    })
+}
+
+/// Simulates a layer on a `Sparse.B` architecture, returning schedule
+/// statistics (the pipeline adds bandwidth floors).
+pub fn simulate_sparse_b(
+    layer: &GemmLayer,
+    win: BorrowWindow,
+    shuffle: bool,
+    cfg: &SimConfig,
+) -> ScheduleAccum {
+    let tiles = layer.shape.tiles(cfg.core);
+    let lanes = LaneMap::from_flag(shuffle);
+    let eff = EffectiveWindow::for_b(win);
+    let (picked, scale) = sample_indices(tiles.nt, cfg.fidelity);
+
+    let mut acc = ScheduleAccum { sampled: scale > 1.0, ..Default::default() };
+    for &n_tile in &picked {
+        let grid = b_tile_grid(layer, cfg, n_tile, lanes);
+        let s = schedule(&grid, eff, cfg.priority);
+        // The same B schedule runs once per output-tile row; ops execute
+        // on all M0 rows simultaneously (each B nonzero feeds M0 MACs).
+        acc.add(s, scale * tiles.mt as f64);
+    }
+    acc.ops *= cfg.core.m0 as f64;
+    acc
+}
+
+/// Simulates a layer on a `Sparse.A` architecture.
+pub fn simulate_sparse_a(
+    layer: &GemmLayer,
+    win: BorrowWindow,
+    shuffle: bool,
+    cfg: &SimConfig,
+) -> ScheduleAccum {
+    let tiles = layer.shape.tiles(cfg.core);
+    let lanes = LaneMap::from_flag(shuffle);
+    let eff = EffectiveWindow::for_a(win);
+    let (picked, scale) = sample_indices(tiles.mt, cfg.fidelity);
+
+    let mut acc = ScheduleAccum { sampled: scale > 1.0, ..Default::default() };
+    for &m_tile in &picked {
+        let grid = a_tile_grid(layer, cfg, m_tile, lanes);
+        let s = schedule(&grid, eff, cfg.priority);
+        acc.add(s, scale * tiles.nt as f64);
+    }
+    acc.ops *= cfg.core.n0 as f64;
+    acc
+}
+
+/// Dense baseline "schedule": every tile takes `kt` cycles.
+pub fn simulate_dense(layer: &GemmLayer, cfg: &SimConfig) -> ScheduleAccum {
+    let tiles = layer.shape.tiles(cfg.core);
+    let cycles = layer.shape.dense_cycles(cfg.core) as f64;
+    ScheduleAccum {
+        cycles,
+        // Every slot performs a (possibly zero-operand) MAC each cycle.
+        ops: (tiles.mt * tiles.nt * tiles.kt) as f64 * cfg.core.macs() as f64,
+        borrowed: 0.0,
+        starved: 0.0,
+        sampled: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use griffin_tensor::shape::GemmShape;
+
+    use griffin_tensor::shape::CoreDims;
+
+    fn cfg() -> SimConfig {
+        SimConfig::exact()
+    }
+
+    fn layer(m: usize, k: usize, n: usize, da: f64, db: f64, seed: u64) -> GemmLayer {
+        GemmLayer::with_densities(GemmShape::new(m, k, n).unwrap(), da, db, seed).unwrap()
+    }
+
+    #[test]
+    fn dense_layer_on_sparse_b_takes_dense_cycles() {
+        let l = layer(16, 128, 32, 1.0, 1.0, 1);
+        let acc = simulate_sparse_b(&l, BorrowWindow::new(4, 0, 1), true, &cfg());
+        assert_eq!(acc.cycles, l.shape.dense_cycles(CoreDims::PAPER) as f64);
+    }
+
+    #[test]
+    fn sparse_b_speeds_up_pruned_weights() {
+        let l = layer(16, 256, 32, 1.0, 0.2, 2);
+        let dense = l.shape.dense_cycles(CoreDims::PAPER) as f64;
+        let acc = simulate_sparse_b(&l, BorrowWindow::new(4, 0, 1), true, &cfg());
+        let speedup = dense / acc.cycles;
+        assert!(speedup > 2.0, "speedup {speedup}");
+        assert!(speedup <= 5.0 + 1e-9, "cannot exceed 1 + db1");
+    }
+
+    #[test]
+    fn sparse_a_speeds_up_relu_activations() {
+        let l = layer(64, 1024, 32, 0.5, 1.0, 3);
+        let dense = l.shape.dense_cycles(CoreDims::PAPER) as f64;
+        let acc = simulate_sparse_a(&l, BorrowWindow::new(2, 1, 0), true, &cfg());
+        let speedup = dense / acc.cycles;
+        assert!(speedup > 1.35, "speedup {speedup}");
+        assert!(speedup < 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn shuffle_improves_imbalanced_b() {
+        // Clustered sparsity concentrates nonzeros in few lanes; shuffle
+        // should recover performance (paper observation 3, Figure 5).
+        use griffin_tensor::gen::TensorGen;
+        let shape = GemmShape::new(16, 512, 16).unwrap();
+        let mut g = TensorGen::seeded(11);
+        let a = g.bernoulli_mask(shape.m, shape.k, 1.0);
+        // Hot lane: all work lands on lane 0 of every 4-lane rotation
+        // group, so the local 4x4 rotation can spread it over the group.
+        let b = griffin_tensor::mask::SparsityMask::from_fn(shape.k, shape.n, |k, n| {
+            (k % 4 == 0) && (k * 31 + n * 17) % 8 < 7
+        });
+        let l = GemmLayer::new(shape, a, b).unwrap();
+        let off = simulate_sparse_b(&l, BorrowWindow::new(6, 0, 0), false, &cfg());
+        let on = simulate_sparse_b(&l, BorrowWindow::new(6, 0, 0), true, &cfg());
+        assert!(
+            on.cycles < off.cycles * 0.8,
+            "shuffle on {} vs off {}",
+            on.cycles,
+            off.cycles
+        );
+    }
+
+    #[test]
+    fn dense_accumulator_counts_all_slots() {
+        let l = layer(16, 64, 32, 1.0, 1.0, 4);
+        let acc = simulate_dense(&l, &cfg());
+        assert_eq!(acc.cycles, l.shape.dense_cycles(CoreDims::PAPER) as f64);
+        assert_eq!(acc.ops, acc.cycles * 1024.0);
+    }
+
+    #[test]
+    fn sampling_approximates_exact() {
+        let l = layer(32, 256, 256, 1.0, 0.25, 5);
+        let exact = simulate_sparse_b(&l, BorrowWindow::new(4, 0, 1), true, &SimConfig::exact());
+        let sampled_cfg = SimConfig {
+            fidelity: crate::config::Fidelity::Sampled { tiles: 6, seed: 7 },
+            ..SimConfig::default()
+        };
+        let sampled = simulate_sparse_b(&l, BorrowWindow::new(4, 0, 1), true, &sampled_cfg);
+        assert!(sampled.sampled);
+        let rel = (sampled.cycles - exact.cycles).abs() / exact.cycles;
+        assert!(rel < 0.15, "sampled {} vs exact {} (rel {rel})", sampled.cycles, exact.cycles);
+    }
+
+    #[test]
+    fn bigger_db1_never_slows_down() {
+        let l = layer(16, 256, 32, 1.0, 0.3, 6);
+        let s2 = simulate_sparse_b(&l, BorrowWindow::new(2, 0, 0), true, &cfg());
+        let s4 = simulate_sparse_b(&l, BorrowWindow::new(4, 0, 0), true, &cfg());
+        let s8 = simulate_sparse_b(&l, BorrowWindow::new(8, 0, 0), true, &cfg());
+        assert!(s4.cycles <= s2.cycles);
+        assert!(s8.cycles <= s4.cycles);
+    }
+}

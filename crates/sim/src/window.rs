@@ -1,0 +1,143 @@
+//! Borrowing windows along the blocked tensor dimensions.
+//!
+//! Definitions III.1, III.2 and IV.1 of the paper: an architecture
+//! `Sparse.X(d1, d2, d3)` may replace a zero operand at blocked coordinate
+//! `(x1, x2, x3)` with a nonzero operand at `(x1+Δ1, x2+Δ2, x3+Δ3)` for
+//! any `0 ≤ Δi ≤ di`. Dimension 1 is time (future reduction steps),
+//! dimension 2 is the lane inside the dot-product unit, dimension 3 is
+//! the neighbouring PE (rows for A, columns for B).
+
+/// Maximum borrowing distances `(d1, d2, d3)` for one operand matrix.
+///
+/// ```
+/// use griffin_sim::window::BorrowWindow;
+/// let w = BorrowWindow::new(4, 0, 1); // the paper's Sparse.B* routing
+/// assert_eq!(w.candidates(), 5 * 1 * 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct BorrowWindow {
+    /// Max distance along time (`d1` future reduction steps).
+    pub d1: usize,
+    /// Max distance along the lane dimension (`d2`).
+    pub d2: usize,
+    /// Max distance along the spatial PE dimension (`d3`).
+    pub d3: usize,
+}
+
+impl BorrowWindow {
+    /// Creates a window from the three distances.
+    pub const fn new(d1: usize, d2: usize, d3: usize) -> Self {
+        BorrowWindow { d1, d2, d3 }
+    }
+
+    /// The zero window: no borrowing in any dimension (dense behaviour).
+    pub const ZERO: BorrowWindow = BorrowWindow::new(0, 0, 0);
+
+    /// Number of candidate positions a zero slot can borrow from,
+    /// `(1+d1)(1+d2)(1+d3)` (including the slot itself).
+    pub fn candidates(&self) -> usize {
+        (1 + self.d1) * (1 + self.d2) * (1 + self.d3)
+    }
+
+    /// Whether this window permits any borrowing at all.
+    pub fn is_zero(&self) -> bool {
+        *self == Self::ZERO
+    }
+}
+
+impl std::fmt::Display for BorrowWindow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({},{},{})", self.d1, self.d2, self.d3)
+    }
+}
+
+/// The effective 4-D scheduling window of a configuration, combining the
+/// A-side and B-side [`BorrowWindow`]s per §IV-A of the paper:
+///
+/// * time buffer depth `L = (1 + da1) · (1 + db1)` entries,
+/// * lane reach `da2 + db2`,
+/// * spatial reach `da3` along PE rows and `db3` along PE columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EffectiveWindow {
+    /// Number of time rows visible to the scheduler (`≥ 1`).
+    pub depth: usize,
+    /// Lane displacement reach.
+    pub lane: usize,
+    /// Spatial reach along PE rows (matrix A side).
+    pub rows: usize,
+    /// Spatial reach along PE columns (matrix B side).
+    pub cols: usize,
+}
+
+impl EffectiveWindow {
+    /// Window of a `Sparse.A(da1,da2,da3)` architecture: scheduling domain
+    /// is the nonzeros of A over (time, lane, PE row).
+    pub fn for_a(a: BorrowWindow) -> Self {
+        EffectiveWindow { depth: 1 + a.d1, lane: a.d2, rows: a.d3, cols: 0 }
+    }
+
+    /// Window of a `Sparse.B(db1,db2,db3)` architecture: scheduling domain
+    /// is the nonzeros of B over (time, lane, PE column).
+    pub fn for_b(b: BorrowWindow) -> Self {
+        EffectiveWindow { depth: 1 + b.d1, lane: b.d2, rows: 0, cols: b.d3 }
+    }
+
+    /// Combined window of a `Sparse.AB` architecture (§IV-A): ABUF depth
+    /// `L = (1+da1)(1+db1)`, lane reach `da2 + db2`, spatial reach
+    /// `(da3, db3)`.
+    pub fn for_ab(a: BorrowWindow, b: BorrowWindow) -> Self {
+        EffectiveWindow {
+            depth: (1 + a.d1) * (1 + b.d1),
+            lane: a.d2 + b.d2,
+            rows: a.d3,
+            cols: b.d3,
+        }
+    }
+
+    /// The dense window: one row deep, no reach anywhere.
+    pub fn dense() -> Self {
+        EffectiveWindow { depth: 1, lane: 0, rows: 0, cols: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidate_count() {
+        assert_eq!(BorrowWindow::ZERO.candidates(), 1);
+        assert_eq!(BorrowWindow::new(1, 1, 0).candidates(), 4);
+        assert_eq!(BorrowWindow::new(2, 0, 1).candidates(), 6);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(BorrowWindow::new(4, 0, 1).to_string(), "(4,0,1)");
+    }
+
+    #[test]
+    fn effective_window_single_sided() {
+        let wa = EffectiveWindow::for_a(BorrowWindow::new(2, 1, 1));
+        assert_eq!(wa, EffectiveWindow { depth: 3, lane: 1, rows: 1, cols: 0 });
+        let wb = EffectiveWindow::for_b(BorrowWindow::new(4, 0, 1));
+        assert_eq!(wb, EffectiveWindow { depth: 5, lane: 0, rows: 0, cols: 1 });
+    }
+
+    #[test]
+    fn effective_window_dual_matches_paper_abuf_depth() {
+        // Sparse.AB(2,0,0,2,0,1): the paper says 9-entry ABUF, 3-entry BBUF.
+        let w = EffectiveWindow::for_ab(BorrowWindow::new(2, 0, 0), BorrowWindow::new(2, 0, 1));
+        assert_eq!(w.depth, 9);
+        assert_eq!(w.lane, 0);
+        assert_eq!(w.rows, 0);
+        assert_eq!(w.cols, 1);
+    }
+
+    #[test]
+    fn dense_window_is_unit() {
+        let w = EffectiveWindow::dense();
+        assert_eq!(w.depth, 1);
+        assert_eq!((w.lane, w.rows, w.cols), (0, 0, 0));
+    }
+}

@@ -1,0 +1,159 @@
+//! Edge-case and failure-injection tests for the simulator: ragged
+//! shapes, degenerate sparsity, and extreme windows.
+
+use griffin_sim::config::{SimConfig, SparsityMode};
+use griffin_sim::layer::GemmLayer;
+use griffin_sim::pipeline::simulate_layer;
+use griffin_sim::window::BorrowWindow;
+use griffin_tensor::mask::SparsityMask;
+use griffin_tensor::shape::{CoreDims, GemmShape};
+
+fn all_modes() -> Vec<SparsityMode> {
+    vec![
+        SparsityMode::Dense,
+        SparsityMode::SparseA { win: BorrowWindow::new(2, 1, 1), shuffle: true },
+        SparsityMode::SparseB { win: BorrowWindow::new(4, 0, 1), shuffle: true },
+        SparsityMode::SparseAB {
+            a: BorrowWindow::new(2, 0, 0),
+            b: BorrowWindow::new(2, 0, 1),
+            shuffle: true,
+        },
+        SparsityMode::SparTen { a_sparse: true, b_sparse: true },
+    ]
+}
+
+#[test]
+fn ragged_shapes_simulate_cleanly() {
+    // Dimensions deliberately not multiples of (16, 16, 4).
+    let cfg = SimConfig::exact();
+    for (m, k, n) in [(1, 1, 1), (3, 17, 5), (5, 100, 33), (7, 9, 1), (63, 255, 17)] {
+        let l = GemmLayer::with_densities(GemmShape::new(m, k, n).unwrap(), 0.5, 0.3, 7).unwrap();
+        for mode in all_modes() {
+            let r = simulate_layer(&l, mode, &cfg);
+            assert!(r.cycles >= 1.0, "({m},{k},{n}) {mode:?}: cycles {}", r.cycles);
+            // Borrowing architectures never fall below the dense
+            // schedule; SparTen is a different machine (scalar MACs, no
+            // tiling) and may lose on tiny layers whose few outputs
+            // cannot fill its MAC pool.
+            if !matches!(mode, SparsityMode::SparTen { .. }) {
+                assert!(
+                    r.cycles <= r.dense_cycles as f64 + 1e-9,
+                    "({m},{k},{n}) {mode:?}: sparse slower than dense"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn all_zero_weights_take_almost_no_compute() {
+    // A completely pruned layer: B-skipping architectures blast through.
+    let shape = GemmShape::new(16, 256, 32).unwrap();
+    let l = GemmLayer::new(
+        shape,
+        SparsityMask::ones(16, 256),
+        SparsityMask::zeros(256, 32),
+    )
+    .unwrap();
+    let cfg = SimConfig::exact();
+    let r = simulate_layer(
+        &l,
+        SparsityMode::SparseB { win: BorrowWindow::new(4, 0, 1), shuffle: true },
+        &cfg,
+    );
+    assert_eq!(r.effectual_ops, 0.0);
+    assert!(r.speedup() > 50.0, "speedup {}", r.speedup());
+}
+
+#[test]
+fn all_zero_activations_take_almost_no_compute_dual() {
+    let shape = GemmShape::new(16, 256, 32).unwrap();
+    let l = GemmLayer::new(
+        shape,
+        SparsityMask::zeros(16, 256),
+        SparsityMask::ones(256, 32),
+    )
+    .unwrap();
+    let r = simulate_layer(
+        &l,
+        SparsityMode::SparseAB {
+            a: BorrowWindow::new(2, 0, 0),
+            b: BorrowWindow::new(2, 0, 1),
+            shuffle: true,
+        },
+        &SimConfig::exact(),
+    );
+    assert_eq!(r.effectual_ops, 0.0);
+    assert!(r.speedup() > 10.0);
+}
+
+#[test]
+fn extreme_windows_do_not_break_invariants() {
+    let l = GemmLayer::with_densities(GemmShape::new(8, 128, 16).unwrap(), 0.4, 0.2, 3).unwrap();
+    let cfg = SimConfig::exact();
+    // Very deep windows: speedup capped by ideal.
+    let r = simulate_layer(
+        &l,
+        SparsityMode::SparseB { win: BorrowWindow::new(64, 8, 8), shuffle: true },
+        &cfg,
+    );
+    let ideal = 1.0 / l.b_density();
+    assert!(r.speedup() <= ideal * 1.05, "speedup {} vs ideal {}", r.speedup(), ideal);
+    // Zero windows: no gains beyond empty-row skipping.
+    let r0 = simulate_layer(
+        &l,
+        SparsityMode::SparseB { win: BorrowWindow::ZERO, shuffle: false },
+        &cfg,
+    );
+    assert!(r0.speedup() >= 1.0);
+    assert!(r0.speedup() <= 1.3);
+}
+
+#[test]
+fn replicated_layers_scale_linearly() {
+    let shape = GemmShape::new(16, 64, 16).unwrap();
+    let base = GemmLayer::with_densities(shape, 1.0, 0.3, 5).unwrap();
+    let replicated = base.clone().with_replicas(7);
+    let cfg = SimConfig::exact();
+    let mode = SparsityMode::SparseB { win: BorrowWindow::new(4, 0, 1), shuffle: true };
+    let r1 = simulate_layer(&base, mode, &cfg);
+    let r7 = simulate_layer(&replicated, mode, &cfg);
+    assert!((r7.cycles - 7.0 * r1.cycles).abs() < 1e-6);
+    assert_eq!(r7.dense_cycles, 7 * r1.dense_cycles);
+    assert!((r7.speedup() - r1.speedup()).abs() < 1e-9);
+}
+
+#[test]
+fn tiny_core_configurations_work() {
+    // The simulator must not assume the paper's (16,16,4).
+    let core = CoreDims::new(4, 2, 2).unwrap();
+    let cfg = SimConfig { core, ..SimConfig::exact() };
+    let l = GemmLayer::with_densities(GemmShape::new(8, 32, 8).unwrap(), 0.5, 0.5, 9).unwrap();
+    for mode in all_modes() {
+        let r = simulate_layer(&l, mode, &cfg);
+        assert!(r.cycles >= 1.0, "{mode:?}");
+        assert!(r.speedup() <= 8.0, "{mode:?}");
+    }
+}
+
+#[test]
+fn k_smaller_than_lane_count_is_handled() {
+    // Depthwise-style GEMM: K = 9 < K0 = 16, N = 1.
+    let l = GemmLayer::with_densities(GemmShape::new(49, 9, 1).unwrap(), 0.5, 1.0, 4).unwrap();
+    let r = simulate_layer(
+        &l,
+        SparsityMode::SparseA { win: BorrowWindow::new(2, 1, 1), shuffle: true },
+        &SimConfig::exact(),
+    );
+    assert!(r.cycles >= 1.0);
+    assert!(r.cycles <= r.dense_cycles as f64);
+}
+
+#[test]
+fn dense_run_reports_full_utilization() {
+    let l = GemmLayer::with_densities(GemmShape::new(16, 256, 32).unwrap(), 1.0, 1.0, 1).unwrap();
+    let r = simulate_layer(&l, SparsityMode::Dense, &SimConfig::exact());
+    assert!((r.utilization(CoreDims::PAPER) - 1.0).abs() < 1e-9);
+    assert_eq!(r.borrowed_ops, 0.0);
+    assert_eq!(r.starved_cycles, 0.0);
+}

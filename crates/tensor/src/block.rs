@@ -1,0 +1,210 @@
+//! The paper's 3-D blocked coordinate view over matrix tiles.
+//!
+//! Figure 1 of the paper rearranges both GEMM operands as 3-D tensors so
+//! that every element is adjacent to neighbours along three dimensions:
+//!
+//! * **dim 1 (time)** — `i1 = k / K0`, the reduction time step,
+//! * **dim 2 (lane)** — `i2 = k % K0`, the position inside the dot-product
+//!   unit,
+//! * **dim 3 (spatial)** — `i3`, the PE row (`m` within the `M0` tile) for
+//!   matrix `A`, or the PE column (`n` within the `N0` tile) for matrix
+//!   `B`.
+//!
+//! Borrowing distances `(da1, da2, da3)` / `(db1, db2, db3)` are measured
+//! along exactly these axes, so the simulator works entirely in these
+//! coordinates. Tile-edge positions outside the matrix read as zeros
+//! (padding), matching a dense core that pads ragged tiles.
+
+use crate::mask::SparsityMask;
+use crate::shape::CoreDims;
+
+/// A coordinate in the blocked 3-D view of one tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TileCoord {
+    /// Time step `i1 = k / K0`.
+    pub t: usize,
+    /// Lane `i2 = k % K0`.
+    pub lane: usize,
+    /// Spatial position `i3` (PE row for A, PE column for B).
+    pub s: usize,
+}
+
+/// Read access to the nonzero structure of one operand tile in blocked
+/// 3-D coordinates.
+///
+/// Implementors expose a `t_steps × lanes × spatial` grid; coordinates
+/// beyond the underlying matrix read as zero (padding).
+pub trait TileView {
+    /// Number of time steps `⌈K / K0⌉` covered by the tile.
+    fn t_steps(&self) -> usize;
+
+    /// Number of lanes (`K0`).
+    fn lanes(&self) -> usize;
+
+    /// Extent of the spatial dimension (`M0` for A tiles, `N0` for B).
+    fn spatial(&self) -> usize;
+
+    /// Whether the element at `c` is nonzero. Out-of-range coordinates
+    /// must return `false`.
+    fn is_nonzero(&self, c: TileCoord) -> bool;
+
+    /// Total effectual (nonzero) positions in the tile.
+    fn nnz(&self) -> usize {
+        let mut n = 0;
+        for t in 0..self.t_steps() {
+            for lane in 0..self.lanes() {
+                for s in 0..self.spatial() {
+                    if self.is_nonzero(TileCoord { t, lane, s }) {
+                        n += 1;
+                    }
+                }
+            }
+        }
+        n
+    }
+}
+
+/// Blocked view of one `M0 × K` tile of matrix `A` (`M × K`).
+///
+/// Spatial dimension = PE rows; `(t, lane, s)` maps to
+/// `A[m_base + s, t·K0 + lane]`.
+#[derive(Debug, Clone)]
+pub struct ATileView<'a> {
+    mask: &'a SparsityMask,
+    core: CoreDims,
+    m_base: usize,
+    t_steps: usize,
+}
+
+impl<'a> ATileView<'a> {
+    /// Creates the view for the output-tile row starting at matrix row
+    /// `m_base`. `mask` is the `M × K` sparsity mask of `A`.
+    pub fn new(mask: &'a SparsityMask, core: CoreDims, m_base: usize) -> Self {
+        let t_steps = mask.cols().div_ceil(core.k0);
+        ATileView { mask, core, m_base, t_steps }
+    }
+}
+
+impl TileView for ATileView<'_> {
+    fn t_steps(&self) -> usize {
+        self.t_steps
+    }
+
+    fn lanes(&self) -> usize {
+        self.core.k0
+    }
+
+    fn spatial(&self) -> usize {
+        self.core.m0
+    }
+
+    fn is_nonzero(&self, c: TileCoord) -> bool {
+        if c.t >= self.t_steps || c.lane >= self.core.k0 || c.s >= self.core.m0 {
+            return false;
+        }
+        // SparsityMask::get pads out-of-bounds with zeros.
+        self.mask.get(self.m_base + c.s, c.t * self.core.k0 + c.lane)
+    }
+}
+
+/// Blocked view of one `K × N0` tile of matrix `B` (`K × N`).
+///
+/// Spatial dimension = PE columns; `(t, lane, s)` maps to
+/// `B[t·K0 + lane, n_base + s]`.
+#[derive(Debug, Clone)]
+pub struct BTileView<'a> {
+    mask: &'a SparsityMask,
+    core: CoreDims,
+    n_base: usize,
+    t_steps: usize,
+}
+
+impl<'a> BTileView<'a> {
+    /// Creates the view for the output-tile column starting at matrix
+    /// column `n_base`. `mask` is the `K × N` sparsity mask of `B`.
+    pub fn new(mask: &'a SparsityMask, core: CoreDims, n_base: usize) -> Self {
+        let t_steps = mask.rows().div_ceil(core.k0);
+        BTileView { mask, core, n_base, t_steps }
+    }
+}
+
+impl TileView for BTileView<'_> {
+    fn t_steps(&self) -> usize {
+        self.t_steps
+    }
+
+    fn lanes(&self) -> usize {
+        self.core.k0
+    }
+
+    fn spatial(&self) -> usize {
+        self.core.n0
+    }
+
+    fn is_nonzero(&self, c: TileCoord) -> bool {
+        if c.t >= self.t_steps || c.lane >= self.core.k0 || c.s >= self.core.n0 {
+            return false;
+        }
+        self.mask.get(c.t * self.core.k0 + c.lane, self.n_base + c.s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core() -> CoreDims {
+        CoreDims::new(4, 4, 2).unwrap() // small core for readable tests
+    }
+
+    #[test]
+    fn a_view_maps_coordinates() {
+        // A is 4x8 (M=4, K=8); core m0=2, k0=4 -> 2 t-steps.
+        let mask = SparsityMask::from_fn(4, 8, |r, c| (r, c) == (2, 5));
+        let v = ATileView::new(&mask, core(), 2);
+        assert_eq!(v.t_steps(), 2);
+        assert_eq!(v.spatial(), 2);
+        // (2,5) = m_base 2 + s 0, k = t*4 + lane => t=1, lane=1.
+        assert!(v.is_nonzero(TileCoord { t: 1, lane: 1, s: 0 }));
+        assert!(!v.is_nonzero(TileCoord { t: 1, lane: 1, s: 1 }));
+        assert_eq!(v.nnz(), 1);
+    }
+
+    #[test]
+    fn b_view_maps_coordinates() {
+        // B is 8x6 (K=8, N=6); core n0=4, k0=4.
+        let mask = SparsityMask::from_fn(8, 6, |r, c| (r, c) == (6, 5));
+        let v = BTileView::new(&mask, core(), 4);
+        assert_eq!(v.t_steps(), 2);
+        // row 6 => t=1, lane=2; col 5 => s = 5 - 4 = 1.
+        assert!(v.is_nonzero(TileCoord { t: 1, lane: 2, s: 1 }));
+        assert_eq!(v.nnz(), 1);
+    }
+
+    #[test]
+    fn ragged_edges_read_as_zero() {
+        // K=6 on k0=4 gives t_steps=2, but lanes 2..4 of t=1 are padding.
+        let mask = SparsityMask::ones(2, 6);
+        let v = ATileView::new(&mask, core(), 0);
+        assert_eq!(v.t_steps(), 2);
+        assert!(v.is_nonzero(TileCoord { t: 1, lane: 1, s: 0 }));
+        assert!(!v.is_nonzero(TileCoord { t: 1, lane: 2, s: 0 }));
+        assert!(!v.is_nonzero(TileCoord { t: 2, lane: 0, s: 0 }));
+    }
+
+    #[test]
+    fn spatial_edge_of_matrix_pads() {
+        // M=3 with m0=2: second tile row (m_base=2) has one real row.
+        let mask = SparsityMask::ones(3, 4);
+        let v = ATileView::new(&mask, core(), 2);
+        assert!(v.is_nonzero(TileCoord { t: 0, lane: 0, s: 0 }));
+        assert!(!v.is_nonzero(TileCoord { t: 0, lane: 0, s: 1 }));
+    }
+
+    #[test]
+    fn dense_tile_nnz_is_full_grid() {
+        let mask = SparsityMask::ones(2, 8);
+        let v = ATileView::new(&mask, core(), 0);
+        assert_eq!(v.nnz(), 2 * 8);
+    }
+}

@@ -1,0 +1,144 @@
+//! Preprocessed compressed-B storage and metadata accounting.
+//!
+//! Matrix `B` (weights) is known before execution, so sparse architectures
+//! preprocess it: zero entries are replaced by nonzero neighbours within
+//! the borrowing window and the result is stored *compressed* together
+//! with per-element metadata that later drives the `AMUX` selectors
+//! (Figure 2(a)/(b) of the paper).
+//!
+//! The simulator does its own scheduling; this module accounts for the
+//! *storage side*: how many nonzero values survive, how many metadata bits
+//! each carries, and the resulting SRAM footprint. Table III of the paper
+//! fixes the metadata widths we reproduce: 3 bits/element for the dual
+//! sparse configuration and 4 bits/element for Griffin's `conf.B`.
+
+use crate::mask::SparsityMask;
+
+/// Footprint summary of a preprocessed, compressed weight matrix.
+///
+/// ```
+/// use griffin_tensor::compress::CompressedB;
+/// use griffin_tensor::mask::SparsityMask;
+///
+/// let mask = SparsityMask::from_fn(16, 16, |r, c| (r + c) % 4 == 0);
+/// let c = CompressedB::from_mask(&mask, 3);
+/// assert_eq!(c.nnz, mask.nnz());
+/// assert!(c.total_bytes() < 16 * 16); // smaller than the dense tensor
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompressedB {
+    /// Number of stored nonzero values (INT8 each).
+    pub nnz: usize,
+    /// Metadata bits attached to every stored element.
+    pub metadata_bits_per_elt: u32,
+    /// Dense element count of the original tensor (for ratio reporting).
+    pub dense_elements: usize,
+}
+
+impl CompressedB {
+    /// Builds the footprint summary for a weight mask with the given
+    /// per-element metadata width.
+    pub fn from_mask(mask: &SparsityMask, metadata_bits_per_elt: u32) -> Self {
+        CompressedB {
+            nnz: mask.nnz(),
+            metadata_bits_per_elt,
+            dense_elements: mask.rows() * mask.cols(),
+        }
+    }
+
+    /// Bytes of stored values (INT8).
+    pub fn value_bytes(&self) -> usize {
+        self.nnz
+    }
+
+    /// Bytes of metadata, rounded up to whole bytes over the stream.
+    pub fn metadata_bytes(&self) -> usize {
+        (self.nnz * self.metadata_bits_per_elt as usize).div_ceil(8)
+    }
+
+    /// Total compressed footprint in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.value_bytes() + self.metadata_bytes()
+    }
+
+    /// Compression ratio versus the dense INT8 tensor (>1 means smaller).
+    pub fn compression_ratio(&self) -> f64 {
+        self.dense_elements as f64 / self.total_bytes() as f64
+    }
+
+    /// Effective bytes that must stream from SRAM per dense element — the
+    /// quantity the bandwidth model multiplies against tile traffic.
+    pub fn bytes_per_dense_element(&self) -> f64 {
+        self.total_bytes() as f64 / self.dense_elements as f64
+    }
+}
+
+/// Metadata width needed to address a borrowing window with the given
+/// AMUX fan-in: `⌈log2(fan_in)⌉` bits select one of `fan_in` sources.
+///
+/// ```
+/// use griffin_tensor::compress::metadata_bits_for_fanin;
+/// assert_eq!(metadata_bits_for_fanin(1), 0);
+/// assert_eq!(metadata_bits_for_fanin(8), 3);  // dual-sparse Sparse.AB*
+/// assert_eq!(metadata_bits_for_fanin(9), 4);  // Griffin conf.B (Table III)
+/// ```
+pub fn metadata_bits_for_fanin(fan_in: usize) -> u32 {
+    if fan_in <= 1 {
+        0
+    } else {
+        usize::BITS - (fan_in - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metadata_bits_boundaries() {
+        assert_eq!(metadata_bits_for_fanin(0), 0);
+        assert_eq!(metadata_bits_for_fanin(1), 0);
+        assert_eq!(metadata_bits_for_fanin(2), 1);
+        assert_eq!(metadata_bits_for_fanin(3), 2);
+        assert_eq!(metadata_bits_for_fanin(4), 2);
+        assert_eq!(metadata_bits_for_fanin(5), 3);
+        assert_eq!(metadata_bits_for_fanin(8), 3);
+        assert_eq!(metadata_bits_for_fanin(9), 4);
+        assert_eq!(metadata_bits_for_fanin(16), 4);
+        assert_eq!(metadata_bits_for_fanin(17), 5);
+    }
+
+    #[test]
+    fn footprint_accounting() {
+        let mask = SparsityMask::from_fn(10, 10, |r, _| r < 2); // 20 nonzeros
+        let c = CompressedB::from_mask(&mask, 4);
+        assert_eq!(c.nnz, 20);
+        assert_eq!(c.value_bytes(), 20);
+        assert_eq!(c.metadata_bytes(), 10); // 80 bits
+        assert_eq!(c.total_bytes(), 30);
+        assert!((c.compression_ratio() - 100.0 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_mask_is_larger_than_dense_due_to_metadata() {
+        let mask = SparsityMask::ones(8, 8);
+        let c = CompressedB::from_mask(&mask, 3);
+        assert!(c.total_bytes() > 64);
+        assert!(c.compression_ratio() < 1.0);
+    }
+
+    #[test]
+    fn zero_metadata_stream() {
+        let mask = SparsityMask::from_fn(4, 4, |r, c| r == c);
+        let c = CompressedB::from_mask(&mask, 0);
+        assert_eq!(c.metadata_bytes(), 0);
+        assert_eq!(c.total_bytes(), 4);
+    }
+
+    #[test]
+    fn bytes_per_dense_element_tracks_density() {
+        let sparse = CompressedB::from_mask(&SparsityMask::from_fn(16, 16, |r, _| r == 0), 3);
+        let dense = CompressedB::from_mask(&SparsityMask::ones(16, 16), 3);
+        assert!(sparse.bytes_per_dense_element() < dense.bytes_per_dense_element());
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type shared by the tensor substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or combining tensors.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// A dimension that must be strictly positive was zero.
+    EmptyDimension {
+        /// Name of the offending dimension (e.g. `"m"`).
+        dim: &'static str,
+    },
+    /// Two operands disagreed on a shared dimension.
+    ShapeMismatch {
+        /// Human-readable description of the expected shape relation.
+        expected: String,
+        /// Human-readable description of what was found.
+        found: String,
+    },
+    /// A density or probability outside `[0, 1]` was supplied.
+    InvalidDensity {
+        /// The rejected value.
+        value: f64,
+    },
+    /// An index was outside the tensor bounds.
+    OutOfBounds {
+        /// The rejected flat or 2-D index, formatted by the caller.
+        index: String,
+        /// The bound that was violated.
+        bound: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::EmptyDimension { dim } => {
+                write!(f, "dimension `{dim}` must be strictly positive")
+            }
+            TensorError::ShapeMismatch { expected, found } => {
+                write!(f, "shape mismatch: expected {expected}, found {found}")
+            }
+            TensorError::InvalidDensity { value } => {
+                write!(f, "density {value} is outside the valid range [0, 1]")
+            }
+            TensorError::OutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds ({bound})")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        let e = TensorError::EmptyDimension { dim: "m" };
+        let s = e.to_string();
+        assert!(s.starts_with("dimension"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+
+    #[test]
+    fn density_error_reports_value() {
+        let e = TensorError::InvalidDensity { value: 1.5 };
+        assert!(e.to_string().contains("1.5"));
+    }
+}

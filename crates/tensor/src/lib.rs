@@ -1,0 +1,48 @@
+//! Tensor substrate for the Griffin sparse-accelerator reproduction.
+//!
+//! The Griffin paper (HPCA 2022) models DNN layers as blocked GEMM
+//! `C += A × B` executed on a 3-D-unrolled core with dimensions
+//! `(K0, N0, M0)`. This crate provides everything the simulator and the
+//! workload suite need to talk about those tensors:
+//!
+//! * [`shape`] — GEMM problem shapes, core dimensions and tiling math,
+//! * [`matrix`] — a small row-major matrix type with a reference GEMM,
+//! * [`mask`] — bit-set sparsity masks and density accounting,
+//! * [`gen`] — seeded random generators for pruned weights and
+//!   ReLU-style activations,
+//! * [`block`] — the paper's 3-D blocked coordinate view
+//!   `(i1 = time step, i2 = lane, i3 = spatial)` over matrix tiles,
+//! * [`compress`] — the preprocessed compressed-B storage format and its
+//!   metadata accounting.
+//!
+//! # Example
+//!
+//! ```
+//! use griffin_tensor::shape::{CoreDims, GemmShape};
+//! use griffin_tensor::gen::TensorGen;
+//!
+//! let core = CoreDims::default();            // (K0, N0, M0) = (16, 16, 4)
+//! let shape = GemmShape::new(64, 256, 128)?; // M=64, K=256, N=128
+//! assert_eq!(shape.dense_cycles(core), 16 * 16 * 8);
+//!
+//! let mut gen = TensorGen::seeded(7);
+//! let weights = gen.pruned_weights(shape.k, shape.n, 0.2); // 20% nonzero
+//! assert!(weights.mask().density() < 0.3);
+//! # Ok::<(), griffin_tensor::TensorError>(())
+//! ```
+
+pub mod block;
+pub mod compress;
+pub mod error;
+pub mod gen;
+pub mod mask;
+pub mod matrix;
+pub mod shape;
+
+pub use block::{ATileView, BTileView, TileCoord, TileView};
+pub use compress::CompressedB;
+pub use error::TensorError;
+pub use gen::TensorGen;
+pub use mask::SparsityMask;
+pub use matrix::Matrix;
+pub use shape::{CoreDims, GemmShape, TileCounts};

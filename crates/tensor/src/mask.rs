@@ -1,0 +1,217 @@
+//! Bit-set sparsity masks.
+//!
+//! The borrowing simulator only cares about *which* operands are zero, not
+//! their values, so workloads are represented as [`SparsityMask`]es: a
+//! packed bit-set over a `rows × cols` grid with `true` marking a nonzero
+//! element.
+
+use crate::error::TensorError;
+
+/// A packed 2-D bit-set, `true` = nonzero element.
+///
+/// ```
+/// use griffin_tensor::mask::SparsityMask;
+/// let m = SparsityMask::from_fn(2, 3, |r, c| (r + c) % 2 == 0);
+/// assert_eq!(m.nnz(), 3);
+/// assert!((m.density() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparsityMask {
+    rows: usize,
+    cols: usize,
+    bits: Vec<u64>,
+}
+
+impl SparsityMask {
+    /// Creates an all-zero (fully sparse) mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero; masks always describe a concrete
+    /// tensor which the shape layer has already validated.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "mask dimensions must be positive");
+        let words = (rows * cols).div_ceil(64);
+        SparsityMask { rows, cols, bits: vec![0; words] }
+    }
+
+    /// Creates an all-one (fully dense) mask.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for i in 0..rows * cols {
+            m.bits[i / 64] |= 1u64 << (i % 64);
+        }
+        m
+    }
+
+    /// Builds a mask from a predicate over `(row, col)`.
+    pub fn from_fn<F: FnMut(usize, usize) -> bool>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if f(r, c) {
+                    m.set(r, c, true);
+                }
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    fn bit_index(&self, row: usize, col: usize) -> usize {
+        debug_assert!(row < self.rows && col < self.cols);
+        row * self.cols + col
+    }
+
+    /// Returns the bit at `(row, col)`; out-of-bounds coordinates read as
+    /// `false` (a padded zero), which is exactly the semantics of tile
+    /// edges in the blocked view.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        if row >= self.rows || col >= self.cols {
+            return false;
+        }
+        let i = self.bit_index(row, col);
+        self.bits[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Sets the bit at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: bool) {
+        assert!(
+            row < self.rows && col < self.cols,
+            "mask index ({row},{col}) out of bounds ({}x{})",
+            self.rows,
+            self.cols
+        );
+        let i = self.bit_index(row, col);
+        if value {
+            self.bits[i / 64] |= 1u64 << (i % 64);
+        } else {
+            self.bits[i / 64] &= !(1u64 << (i % 64));
+        }
+    }
+
+    /// Number of nonzero elements.
+    pub fn nnz(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Fraction of nonzero elements in `[0, 1]`.
+    pub fn density(&self) -> f64 {
+        self.nnz() as f64 / (self.rows * self.cols) as f64
+    }
+
+    /// Element-wise AND of two masks of identical shape — the effectual
+    /// operations of a dual-sparse GEMM position pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn and(&self, other: &SparsityMask) -> Result<SparsityMask, TensorError> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(TensorError::ShapeMismatch {
+                expected: format!("{}x{}", self.rows, self.cols),
+                found: format!("{}x{}", other.rows, other.cols),
+            });
+        }
+        let bits = self.bits.iter().zip(&other.bits).map(|(a, b)| a & b).collect();
+        Ok(SparsityMask { rows: self.rows, cols: self.cols, bits })
+    }
+
+    /// Iterator over the coordinates of nonzero elements in row-major order.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let cols = self.cols;
+        (0..self.rows * self.cols)
+            .filter(move |&i| self.bits[i / 64] >> (i % 64) & 1 == 1)
+            .map(move |i| (i / cols, i % cols))
+    }
+
+    /// Per-row nonzero counts (useful for load-imbalance diagnostics).
+    pub fn row_nnz(&self) -> Vec<usize> {
+        (0..self.rows).map(|r| (0..self.cols).filter(|&c| self.get(r, c)).count()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = SparsityMask::zeros(3, 5);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.density(), 0.0);
+        let o = SparsityMask::ones(3, 5);
+        assert_eq!(o.nnz(), 15);
+        assert_eq!(o.density(), 1.0);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut m = SparsityMask::zeros(4, 4);
+        m.set(2, 3, true);
+        assert!(m.get(2, 3));
+        m.set(2, 3, false);
+        assert!(!m.get(2, 3));
+    }
+
+    #[test]
+    fn out_of_bounds_reads_as_zero_padding() {
+        let m = SparsityMask::ones(2, 2);
+        assert!(!m.get(2, 0));
+        assert!(!m.get(0, 2));
+        assert!(!m.get(100, 100));
+    }
+
+    #[test]
+    fn and_requires_same_shape() {
+        let a = SparsityMask::ones(2, 2);
+        let b = SparsityMask::ones(2, 3);
+        assert!(a.and(&b).is_err());
+    }
+
+    #[test]
+    fn and_computes_intersection() {
+        let a = SparsityMask::from_fn(2, 2, |r, _| r == 0);
+        let b = SparsityMask::from_fn(2, 2, |_, c| c == 0);
+        let c = a.and(&b).unwrap();
+        assert_eq!(c.nnz(), 1);
+        assert!(c.get(0, 0));
+    }
+
+    #[test]
+    fn iter_nonzero_is_row_major() {
+        let m = SparsityMask::from_fn(2, 3, |r, c| (r, c) == (0, 2) || (r, c) == (1, 0));
+        let v: Vec<_> = m.iter_nonzero().collect();
+        assert_eq!(v, vec![(0, 2), (1, 0)]);
+    }
+
+    #[test]
+    fn row_nnz_counts() {
+        let m = SparsityMask::from_fn(3, 4, |r, c| c < r);
+        assert_eq!(m.row_nnz(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn crossing_word_boundaries() {
+        // 9x9 = 81 bits spans two u64 words.
+        let m = SparsityMask::from_fn(9, 9, |r, c| (r * 9 + c) % 2 == 0);
+        assert_eq!(m.nnz(), 41);
+        assert!(m.get(8, 8));
+        assert!(!m.get(8, 7));
+    }
+}

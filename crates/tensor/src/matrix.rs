@@ -1,0 +1,253 @@
+//! A small row-major matrix type with a reference GEMM.
+//!
+//! The simulator proper only consumes zero/nonzero positions
+//! ([`crate::mask::SparsityMask`]), but examples and functional tests use
+//! actual INT8 values — the paper's default MAC precision — and verify that
+//! the borrowing schedule computes the same product as this reference GEMM.
+
+use crate::error::TensorError;
+use crate::mask::SparsityMask;
+
+/// A dense row-major matrix.
+///
+/// ```
+/// use griffin_tensor::matrix::Matrix;
+/// let m = Matrix::from_rows(&[&[1i8, 2], &[3, 4]])?;
+/// assert_eq!(m[(1, 0)], 3);
+/// # Ok::<(), griffin_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matrix<T = i8> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Matrix<T> {
+    /// Creates a zero-filled `rows × cols` matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyDimension`] if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Result<Self, TensorError> {
+        if rows == 0 {
+            return Err(TensorError::EmptyDimension { dim: "rows" });
+        }
+        if cols == 0 {
+            return Err(TensorError::EmptyDimension { dim: "cols" });
+        }
+        Ok(Matrix { rows, cols, data: vec![T::default(); rows * cols] })
+    }
+
+    /// Builds a matrix from row slices, validating that all rows have the
+    /// same length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyDimension`] for an empty input and
+    /// [`TensorError::ShapeMismatch`] for ragged rows.
+    pub fn from_rows(rows: &[&[T]]) -> Result<Self, TensorError> {
+        if rows.is_empty() {
+            return Err(TensorError::EmptyDimension { dim: "rows" });
+        }
+        let cols = rows[0].len();
+        if cols == 0 {
+            return Err(TensorError::EmptyDimension { dim: "cols" });
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(TensorError::ShapeMismatch {
+                    expected: format!("row of length {cols}"),
+                    found: format!("row {i} of length {}", r.len()),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix { rows: rows.len(), cols, data })
+    }
+
+    /// Builds a matrix from a flat row-major vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `data.len() != rows · cols`
+    /// and [`TensorError::EmptyDimension`] for zero dimensions.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Result<Self, TensorError> {
+        if rows == 0 {
+            return Err(TensorError::EmptyDimension { dim: "rows" });
+        }
+        if cols == 0 {
+            return Err(TensorError::EmptyDimension { dim: "cols" });
+        }
+        if data.len() != rows * cols {
+            return Err(TensorError::ShapeMismatch {
+                expected: format!("{} elements ({rows}×{cols})", rows * cols),
+                found: format!("{} elements", data.len()),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access returning `None` out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> Option<T> {
+        if row < self.rows && col < self.cols {
+            Some(self.data[row * self.cols + col])
+        } else {
+            None
+        }
+    }
+
+    /// Borrow of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.rows()`.
+    pub fn row(&self, row: usize) -> &[T] {
+        assert!(row < self.rows, "row {row} out of bounds ({})", self.rows);
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Flat row-major view of the data.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable flat row-major view of the data.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+}
+
+impl<T> std::ops::Index<(usize, usize)> for Matrix<T> {
+    type Output = T;
+
+    fn index(&self, (row, col): (usize, usize)) -> &T {
+        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds");
+        &self.data[row * self.cols + col]
+    }
+}
+
+impl<T> std::ops::IndexMut<(usize, usize)> for Matrix<T> {
+    fn index_mut(&mut self, (row, col): (usize, usize)) -> &mut T {
+        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds");
+        &mut self.data[row * self.cols + col]
+    }
+}
+
+impl Matrix<i8> {
+    /// Sparsity mask of this matrix (true where the element is nonzero).
+    pub fn mask(&self) -> SparsityMask {
+        SparsityMask::from_fn(self.rows, self.cols, |r, c| self[(r, c)] != 0)
+    }
+
+    /// Reference GEMM `C = self × rhs` with 32-bit accumulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Matrix<i8>) -> Result<Matrix<i32>, TensorError> {
+        if self.cols != rhs.rows {
+            return Err(TensorError::ShapeMismatch {
+                expected: format!("rhs with {} rows", self.cols),
+                found: format!("rhs with {} rows", rhs.rows),
+            });
+        }
+        let mut out = Matrix::<i32>::zeros(self.rows, rhs.cols)?;
+        for i in 0..self.rows {
+            for l in 0..self.cols {
+                let a = i32::from(self[(i, l)]);
+                if a == 0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * i32::from(rhs[(l, j)]);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Number of nonzero elements.
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|&&v| v != 0).count()
+    }
+
+    /// Fraction of nonzero elements.
+    pub fn density(&self) -> f64 {
+        self.nnz() as f64 / (self.rows * self.cols) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_index() {
+        let mut m = Matrix::<i8>::zeros(2, 3).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        m[(1, 2)] = 5;
+        assert_eq!(m[(1, 2)], 5);
+        assert_eq!(m.get(1, 2), Some(5));
+        assert_eq!(m.get(2, 0), None);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_input() {
+        let err = Matrix::from_rows(&[&[1i8, 2][..], &[3][..]]).unwrap_err();
+        assert!(matches!(err, TensorError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1i8, 2, 3]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![1i8, 2, 3, 4]).is_ok());
+    }
+
+    #[test]
+    fn reference_gemm_small_case() {
+        let a = Matrix::from_rows(&[&[1i8, 2], &[3, 4]]).unwrap();
+        let b = Matrix::from_rows(&[&[5i8, 6], &[7, 8]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c[(0, 0)], 19);
+        assert_eq!(c[(0, 1)], 22);
+        assert_eq!(c[(1, 0)], 43);
+        assert_eq!(c[(1, 1)], 50);
+    }
+
+    #[test]
+    fn gemm_shape_mismatch_is_rejected() {
+        let a = Matrix::<i8>::zeros(2, 3).unwrap();
+        let b = Matrix::<i8>::zeros(2, 2).unwrap();
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn nnz_and_density() {
+        let m = Matrix::from_rows(&[&[0i8, 1], &[0, -2]]).unwrap();
+        assert_eq!(m.nnz(), 2);
+        assert!((m.density() - 0.5).abs() < 1e-12);
+        let mask = m.mask();
+        assert!(!mask.get(0, 0));
+        assert!(mask.get(0, 1));
+        assert!(mask.get(1, 1));
+    }
+
+    #[test]
+    fn row_borrow() {
+        let m = Matrix::from_rows(&[&[1i8, 2], &[3, 4]]).unwrap();
+        assert_eq!(m.row(1), &[3, 4]);
+    }
+}

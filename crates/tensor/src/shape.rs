@@ -1,0 +1,209 @@
+//! GEMM problem shapes, core dimensions and tiling arithmetic.
+//!
+//! The dense baseline of the paper unrolls `C += A × B` over three spatial
+//! dimensions `(K0, N0, M0)` (Figure 1); the default configuration in
+//! Table IV is `(16, 16, 4)` which yields 1024 MAC units. The core executes
+//! one `(M0 × K0) · (K0 × N0)` tile product per cycle, so the dense latency
+//! of a `GemmShape` is `⌈M/M0⌉ · ⌈N/N0⌉ · ⌈K/K0⌉` cycles.
+
+use crate::error::TensorError;
+
+/// Spatial unrolling of the accelerator core: `(K0, N0, M0)`.
+///
+/// `K0` is the width of each dot-product unit, `N0` the number of PE
+/// columns, `M0` the number of PE rows. The number of multipliers is
+/// `K0 · N0 · M0`.
+///
+/// ```
+/// use griffin_tensor::shape::CoreDims;
+/// assert_eq!(CoreDims::default().macs(), 1024);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CoreDims {
+    /// Dot-product (reduction) width per PE.
+    pub k0: usize,
+    /// Number of PE columns (output-channel dimension).
+    pub n0: usize,
+    /// Number of PE rows (batch / spatial dimension).
+    pub m0: usize,
+}
+
+impl CoreDims {
+    /// The paper's evaluation configuration: `(K0, N0, M0) = (16, 16, 4)`.
+    pub const PAPER: CoreDims = CoreDims { k0: 16, n0: 16, m0: 4 };
+
+    /// Creates a core configuration, validating that every dimension is
+    /// strictly positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyDimension`] if any dimension is zero.
+    pub fn new(k0: usize, n0: usize, m0: usize) -> Result<Self, TensorError> {
+        if k0 == 0 {
+            return Err(TensorError::EmptyDimension { dim: "k0" });
+        }
+        if n0 == 0 {
+            return Err(TensorError::EmptyDimension { dim: "n0" });
+        }
+        if m0 == 0 {
+            return Err(TensorError::EmptyDimension { dim: "m0" });
+        }
+        Ok(CoreDims { k0, n0, m0 })
+    }
+
+    /// Number of multiply-accumulate units: `K0 · N0 · M0`.
+    pub fn macs(&self) -> usize {
+        self.k0 * self.n0 * self.m0
+    }
+
+    /// Number of PEs (`N0 · M0`); each PE holds a `K0`-wide dot product.
+    pub fn pes(&self) -> usize {
+        self.n0 * self.m0
+    }
+}
+
+impl Default for CoreDims {
+    fn default() -> Self {
+        CoreDims::PAPER
+    }
+}
+
+/// The shape of one GEMM operation `C(M×N) += A(M×K) × B(K×N)`.
+///
+/// ```
+/// use griffin_tensor::shape::GemmShape;
+/// let g = GemmShape::new(196, 1152, 256)?;
+/// assert_eq!(g.macs(), 196 * 1152 * 256);
+/// # Ok::<(), griffin_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GemmShape {
+    /// Rows of `A` and `C` (batch × spatial positions).
+    pub m: usize,
+    /// Reduction dimension (`Cin · R · S` for convolutions).
+    pub k: usize,
+    /// Columns of `B` and `C` (output channels).
+    pub n: usize,
+}
+
+/// Tile counts of a [`GemmShape`] on a given [`CoreDims`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TileCounts {
+    /// `⌈M / M0⌉` output-tile rows.
+    pub mt: usize,
+    /// `⌈N / N0⌉` output-tile columns.
+    pub nt: usize,
+    /// `⌈K / K0⌉` reduction time steps per output tile.
+    pub kt: usize,
+}
+
+impl TileCounts {
+    /// Total number of output tiles (`mt · nt`).
+    pub fn output_tiles(&self) -> usize {
+        self.mt * self.nt
+    }
+}
+
+impl GemmShape {
+    /// Creates a GEMM shape, validating that every dimension is strictly
+    /// positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyDimension`] if any dimension is zero.
+    pub fn new(m: usize, k: usize, n: usize) -> Result<Self, TensorError> {
+        if m == 0 {
+            return Err(TensorError::EmptyDimension { dim: "m" });
+        }
+        if k == 0 {
+            return Err(TensorError::EmptyDimension { dim: "k" });
+        }
+        if n == 0 {
+            return Err(TensorError::EmptyDimension { dim: "n" });
+        }
+        Ok(GemmShape { m, k, n })
+    }
+
+    /// Total multiply-accumulate operations (`M · K · N`).
+    pub fn macs(&self) -> usize {
+        self.m * self.k * self.n
+    }
+
+    /// Tile counts on the given core.
+    pub fn tiles(&self, core: CoreDims) -> TileCounts {
+        TileCounts {
+            mt: self.m.div_ceil(core.m0),
+            nt: self.n.div_ceil(core.n0),
+            kt: self.k.div_ceil(core.k0),
+        }
+    }
+
+    /// Dense (no-skipping) latency in cycles on the given core,
+    /// `⌈M/M0⌉ · ⌈N/N0⌉ · ⌈K/K0⌉` (output-stationary dataflow).
+    pub fn dense_cycles(&self, core: CoreDims) -> u64 {
+        let t = self.tiles(core);
+        t.mt as u64 * t.nt as u64 * t.kt as u64
+    }
+
+    /// Fraction of MAC slots doing useful work in the dense schedule
+    /// (1.0 when every dimension divides the core evenly; < 1 at edges).
+    pub fn dense_utilization(&self, core: CoreDims) -> f64 {
+        let ideal = self.macs() as f64;
+        let slots = self.dense_cycles(core) as f64 * core.macs() as f64;
+        ideal / slots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_core_has_1024_macs() {
+        let c = CoreDims::PAPER;
+        assert_eq!((c.k0, c.n0, c.m0), (16, 16, 4));
+        assert_eq!(c.macs(), 1024);
+        assert_eq!(c.pes(), 64);
+        assert_eq!(CoreDims::default(), CoreDims::PAPER);
+    }
+
+    #[test]
+    fn zero_dims_are_rejected() {
+        assert!(CoreDims::new(0, 16, 4).is_err());
+        assert!(CoreDims::new(16, 0, 4).is_err());
+        assert!(CoreDims::new(16, 16, 0).is_err());
+        assert!(GemmShape::new(0, 1, 1).is_err());
+        assert!(GemmShape::new(1, 0, 1).is_err());
+        assert!(GemmShape::new(1, 1, 0).is_err());
+    }
+
+    #[test]
+    fn exact_tiling_matches_division() {
+        let g = GemmShape::new(64, 256, 128).unwrap();
+        let t = g.tiles(CoreDims::PAPER);
+        assert_eq!((t.mt, t.nt, t.kt), (16, 8, 16));
+        assert_eq!(g.dense_cycles(CoreDims::PAPER), 16 * 8 * 16);
+        assert!((g.dense_utilization(CoreDims::PAPER) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ragged_tiling_rounds_up() {
+        let g = GemmShape::new(5, 17, 18).unwrap();
+        let t = g.tiles(CoreDims::PAPER);
+        assert_eq!((t.mt, t.nt, t.kt), (2, 2, 2));
+        assert_eq!(t.output_tiles(), 4);
+        assert!(g.dense_utilization(CoreDims::PAPER) < 0.25);
+    }
+
+    #[test]
+    fn single_element_gemm_takes_one_cycle() {
+        let g = GemmShape::new(1, 1, 1).unwrap();
+        assert_eq!(g.dense_cycles(CoreDims::PAPER), 1);
+    }
+
+    #[test]
+    fn macs_formula() {
+        let g = GemmShape::new(3, 5, 7).unwrap();
+        assert_eq!(g.macs(), 105);
+    }
+}

@@ -1,0 +1,21 @@
+//! Prints dense-cycle counts vs Table IV for all six benchmarks.
+
+use griffin_core::category::DnnCategory;
+use griffin_sim::config::SimConfig;
+use griffin_workloads::suite::{build_workload, Benchmark};
+
+fn main() {
+    let cfg = SimConfig::default();
+    for b in Benchmark::ALL {
+        let info = b.info();
+        let wl = build_workload(b, DnnCategory::Dense, 1);
+        let cycles = wl.dense_cycles(&cfg) as f64;
+        println!(
+            "{:12} measured {:>10.3e}  paper {:>8.1e}  ratio {:.2}",
+            info.name,
+            cycles,
+            info.paper_dense_cycles,
+            cycles / info.paper_dense_cycles
+        );
+    }
+}

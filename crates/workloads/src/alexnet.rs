@@ -1,0 +1,51 @@
+//! AlexNet (Krizhevsky et al.) — the torchvision variant, 224×224 input.
+//!
+//! Table IV: (B, A) sparsity (89%, 53%), 57.3% top-1, dense latency
+//! ≈ 1.0 × 10⁶ cycles on the paper's 1024-MAC core.
+
+use crate::layer::LayerDef;
+
+/// The AlexNet layer table.
+pub fn layers() -> Vec<LayerDef> {
+    vec![
+        LayerDef::conv("conv1", 3, 224, 224, 64, 11, 11, 4, 2).with_dense_input(),
+        // 55x55 -> maxpool 3/2 -> 27x27
+        LayerDef::conv("conv2", 64, 27, 27, 192, 5, 5, 1, 2),
+        // 27x27 -> maxpool 3/2 -> 13x13
+        LayerDef::conv("conv3", 192, 13, 13, 384, 3, 3, 1, 1),
+        LayerDef::conv("conv4", 384, 13, 13, 256, 3, 3, 1, 1),
+        LayerDef::conv("conv5", 256, 13, 13, 256, 3, 3, 1, 1),
+        // 13x13 -> maxpool 3/2 -> 6x6 -> flatten 9216
+        LayerDef::fc("fc6", 9216, 4096),
+        LayerDef::fc("fc7", 4096, 4096),
+        LayerDef::fc("fc8", 4096, 1000),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::total_macs;
+
+    #[test]
+    fn mac_count_is_alexnet_scale() {
+        // AlexNet inference is ~0.71 GMACs.
+        let macs = total_macs(&layers());
+        assert!(
+            (0.65e9..0.78e9).contains(&(macs as f64)),
+            "AlexNet MACs {macs} out of expected band"
+        );
+    }
+
+    #[test]
+    fn first_layer_has_dense_input() {
+        let l = layers();
+        assert!(l[0].dense_input);
+        assert!(!l[1].dense_input);
+    }
+
+    #[test]
+    fn eight_weight_layers() {
+        assert_eq!(layers().len(), 8);
+    }
+}

@@ -1,0 +1,95 @@
+//! BERT-base fine-tuned on MNLI, sequence length 64.
+//!
+//! Table IV: (B, A) sparsity (82%, 0%) — weights movement-pruned (Sanh et al., ref. 57),
+//! activations dense (GeLU) — Dev/MM accuracy 81.0/81.4, dense latency
+//! ≈ 5.3 × 10⁶ cycles.
+//!
+//! Every encoder layer contributes six weight GEMMs (Q, K, V, attention
+//! output, FFN up, FFN down) and two activation-by-activation matmuls
+//! per head (`Q·Kᵀ` and `scores·V`), which are never weight-pruned.
+
+use crate::layer::{LayerDef, LayerKind};
+
+/// Hidden size of BERT-base.
+pub const HIDDEN: usize = 768;
+/// FFN intermediate size.
+pub const INTERMEDIATE: usize = 3072;
+/// Number of encoder layers.
+pub const LAYERS: usize = 12;
+/// Number of attention heads.
+pub const HEADS: usize = 12;
+/// Evaluated sequence length (Table IV).
+pub const SEQ_LEN: usize = 64;
+
+fn proj(name: String, inf: usize, outf: usize) -> LayerDef {
+    LayerDef {
+        name,
+        kind: LayerKind::Fc { in_features: inf, out_features: outf, batch: SEQ_LEN },
+        dense_input: false,
+    }
+}
+
+/// The BERT-base encoder layer table at sequence length 64.
+pub fn layers() -> Vec<LayerDef> {
+    let head_dim = HIDDEN / HEADS;
+    let mut v = Vec::new();
+    for l in 0..LAYERS {
+        let n = |p: &str| format!("enc{l}.{p}");
+        v.push(proj(n("q"), HIDDEN, HIDDEN));
+        v.push(proj(n("k"), HIDDEN, HIDDEN));
+        v.push(proj(n("v"), HIDDEN, HIDDEN));
+        v.push(LayerDef {
+            name: n("scores"),
+            kind: LayerKind::MatMul { m: SEQ_LEN, k: head_dim, n: SEQ_LEN, instances: HEADS },
+            dense_input: false,
+        });
+        v.push(LayerDef {
+            name: n("context"),
+            kind: LayerKind::MatMul { m: SEQ_LEN, k: SEQ_LEN, n: head_dim, instances: HEADS },
+            dense_input: false,
+        });
+        v.push(proj(n("attn_out"), HIDDEN, HIDDEN));
+        v.push(proj(n("ffn_up"), HIDDEN, INTERMEDIATE));
+        v.push(proj(n("ffn_down"), INTERMEDIATE, HIDDEN));
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::total_macs;
+
+    #[test]
+    fn mac_count_matches_bert_base_at_seq64() {
+        // Per layer: 4 x 64*768^2 + 2 x 64*768*3072 + 2 x 12 x 64*64*64.
+        let per_layer: u64 = 4 * 64 * 768 * 768 + 2 * 64 * 768 * 3072 + 2 * 12 * 64 * 64 * 64;
+        assert_eq!(total_macs(&layers()), per_layer * 12);
+    }
+
+    #[test]
+    fn attention_matmuls_are_not_prunable() {
+        let v = layers();
+        let prunable = v.iter().filter(|l| l.weight_prunable()).count();
+        let matmuls = v.iter().filter(|l| !l.weight_prunable()).count();
+        assert_eq!(prunable, 6 * 12);
+        assert_eq!(matmuls, 2 * 12);
+    }
+
+    #[test]
+    fn dense_latency_is_five_million_cycles_scale() {
+        use griffin_tensor::shape::CoreDims;
+        let cycles: u64 = layers()
+            .iter()
+            .map(|l| {
+                let (shape, reps, _) = l.gemm().unwrap();
+                shape.dense_cycles(CoreDims::PAPER) * reps as u64
+            })
+            .sum();
+        // Table IV: 5.3e6. Exact tiling gives ~5.4e6.
+        assert!(
+            (4.8e6..5.9e6).contains(&(cycles as f64)),
+            "BERT dense cycles {cycles} out of Table IV band"
+        );
+    }
+}

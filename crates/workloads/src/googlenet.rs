@@ -1,0 +1,86 @@
+//! GoogleNet / Inception-v1 (Szegedy et al.), 224×224 input.
+//!
+//! Table IV: (B, A) sparsity (82%, 37%), 68.2% top-1, dense latency
+//! ≈ 2.2 × 10⁶ cycles.
+
+use crate::layer::LayerDef;
+
+/// Branch widths of one inception module:
+/// `(n1x1, n3x3_reduce, n3x3, n5x5_reduce, n5x5, pool_proj)`.
+struct Inception {
+    name: &'static str,
+    hw: usize,
+    cin: usize,
+    b: [usize; 6],
+}
+
+fn inception(m: &Inception) -> Vec<LayerDef> {
+    let &Inception { name, hw, cin, b: [n1, n3r, n3, n5r, n5, pp] } = m;
+    vec![
+        LayerDef::conv(format!("{name}.1x1"), cin, hw, hw, n1, 1, 1, 1, 0),
+        LayerDef::conv(format!("{name}.3x3r"), cin, hw, hw, n3r, 1, 1, 1, 0),
+        LayerDef::conv(format!("{name}.3x3"), n3r, hw, hw, n3, 3, 3, 1, 1),
+        LayerDef::conv(format!("{name}.5x5r"), cin, hw, hw, n5r, 1, 1, 1, 0),
+        LayerDef::conv(format!("{name}.5x5"), n5r, hw, hw, n5, 5, 5, 1, 2),
+        LayerDef::conv(format!("{name}.pool_proj"), cin, hw, hw, pp, 1, 1, 1, 0),
+    ]
+}
+
+/// The GoogleNet layer table (auxiliary classifiers excluded, as in
+/// inference deployments).
+pub fn layers() -> Vec<LayerDef> {
+    let mut v = vec![
+        LayerDef::conv("conv1", 3, 224, 224, 64, 7, 7, 2, 3).with_dense_input(),
+        // 112x112 -> pool -> 56x56
+        LayerDef::conv("conv2.red", 64, 56, 56, 64, 1, 1, 1, 0),
+        LayerDef::conv("conv2", 64, 56, 56, 192, 3, 3, 1, 1),
+        // pool -> 28x28
+    ];
+    let modules = [
+        Inception { name: "3a", hw: 28, cin: 192, b: [64, 96, 128, 16, 32, 32] },
+        Inception { name: "3b", hw: 28, cin: 256, b: [128, 128, 192, 32, 96, 64] },
+        // pool -> 14x14
+        Inception { name: "4a", hw: 14, cin: 480, b: [192, 96, 208, 16, 48, 64] },
+        Inception { name: "4b", hw: 14, cin: 512, b: [160, 112, 224, 24, 64, 64] },
+        Inception { name: "4c", hw: 14, cin: 512, b: [128, 128, 256, 24, 64, 64] },
+        Inception { name: "4d", hw: 14, cin: 512, b: [112, 144, 288, 32, 64, 64] },
+        Inception { name: "4e", hw: 14, cin: 528, b: [256, 160, 320, 32, 128, 128] },
+        // pool -> 7x7
+        Inception { name: "5a", hw: 7, cin: 832, b: [256, 160, 320, 32, 128, 128] },
+        Inception { name: "5b", hw: 7, cin: 832, b: [384, 192, 384, 48, 128, 128] },
+    ];
+    for m in &modules {
+        v.extend(inception(m));
+    }
+    v.push(LayerDef::fc("fc", 1024, 1000));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::total_macs;
+
+    #[test]
+    fn mac_count_is_googlenet_scale() {
+        // GoogleNet inference is ~1.5 GMACs.
+        let macs = total_macs(&layers());
+        assert!(
+            (1.35e9..1.65e9).contains(&(macs as f64)),
+            "GoogleNet MACs {macs} out of expected band"
+        );
+    }
+
+    #[test]
+    fn module_output_channels_are_consistent() {
+        // 3a outputs 64+128+32+32 = 256, which is 3b's cin.
+        let m3a = [64, 96, 128, 16, 32, 32];
+        assert_eq!(m3a[0] + m3a[2] + m3a[4] + m3a[5], 256);
+    }
+
+    #[test]
+    fn layer_count() {
+        // 3 stem + 9 modules x 6 + 1 fc = 58.
+        assert_eq!(layers().len(), 58);
+    }
+}

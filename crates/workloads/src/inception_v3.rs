@@ -1,0 +1,138 @@
+//! InceptionV3 (Szegedy et al.), 299×299 input.
+//!
+//! Table IV: (B, A) sparsity (79%, 46%), 75.1% top-1, dense latency
+//! ≈ 6.9 × 10⁶ cycles.
+//!
+//! Layer table follows the torchvision `inception_v3` graph: stem,
+//! 3× InceptionA (35×35), reduction, 4× InceptionB/7×7-factorized
+//! (17×17), reduction, 2× InceptionC (8×8), classifier. Auxiliary head
+//! excluded (inference).
+
+use crate::layer::LayerDef;
+
+fn conv(name: String, cin: usize, hw: usize, cout: usize, k: (usize, usize), stride: usize, pad: (usize, usize)) -> LayerDef {
+    // Asymmetric kernels (1x7 / 7x1) use asymmetric padding to keep the
+    // resolution; LayerKind::Conv supports rectangular kernels and pads.
+    LayerDef {
+        name,
+        kind: crate::layer::LayerKind::Conv {
+            cin,
+            hin: hw,
+            win: hw,
+            cout,
+            r: k.0,
+            s: k.1,
+            stride,
+            pad_h: pad.0,
+            pad_w: pad.1,
+            groups: 1,
+        },
+        dense_input: false,
+    }
+}
+
+fn inception_a(v: &mut Vec<LayerDef>, name: &str, cin: usize, pool_proj: usize) {
+    let hw = 35;
+    v.push(conv(format!("{name}.1x1"), cin, hw, 64, (1, 1), 1, (0, 0)));
+    v.push(conv(format!("{name}.5x5r"), cin, hw, 48, (1, 1), 1, (0, 0)));
+    v.push(conv(format!("{name}.5x5"), 48, hw, 64, (5, 5), 1, (2, 2)));
+    v.push(conv(format!("{name}.3x3dbl_1"), cin, hw, 64, (1, 1), 1, (0, 0)));
+    v.push(conv(format!("{name}.3x3dbl_2"), 64, hw, 96, (3, 3), 1, (1, 1)));
+    v.push(conv(format!("{name}.3x3dbl_3"), 96, hw, 96, (3, 3), 1, (1, 1)));
+    v.push(conv(format!("{name}.pool"), cin, hw, pool_proj, (1, 1), 1, (0, 0)));
+}
+
+fn inception_b(v: &mut Vec<LayerDef>, name: &str, c7: usize) {
+    let (hw, cin) = (17, 768);
+    v.push(conv(format!("{name}.1x1"), cin, hw, 192, (1, 1), 1, (0, 0)));
+    v.push(conv(format!("{name}.7x7_1"), cin, hw, c7, (1, 1), 1, (0, 0)));
+    v.push(conv(format!("{name}.7x7_2"), c7, hw, c7, (1, 7), 1, (0, 3)));
+    v.push(conv(format!("{name}.7x7_3"), c7, hw, 192, (7, 1), 1, (3, 0)));
+    v.push(conv(format!("{name}.7x7dbl_1"), cin, hw, c7, (1, 1), 1, (0, 0)));
+    v.push(conv(format!("{name}.7x7dbl_2"), c7, hw, c7, (7, 1), 1, (3, 0)));
+    v.push(conv(format!("{name}.7x7dbl_3"), c7, hw, c7, (1, 7), 1, (0, 3)));
+    v.push(conv(format!("{name}.7x7dbl_4"), c7, hw, c7, (7, 1), 1, (3, 0)));
+    v.push(conv(format!("{name}.7x7dbl_5"), c7, hw, 192, (1, 7), 1, (0, 3)));
+    v.push(conv(format!("{name}.pool"), cin, hw, 192, (1, 1), 1, (0, 0)));
+}
+
+fn inception_c(v: &mut Vec<LayerDef>, name: &str, cin: usize) {
+    let hw = 8;
+    v.push(conv(format!("{name}.1x1"), cin, hw, 320, (1, 1), 1, (0, 0)));
+    v.push(conv(format!("{name}.3x3_1"), cin, hw, 384, (1, 1), 1, (0, 0)));
+    v.push(conv(format!("{name}.3x3_2a"), 384, hw, 384, (1, 3), 1, (0, 1)));
+    v.push(conv(format!("{name}.3x3_2b"), 384, hw, 384, (3, 1), 1, (1, 0)));
+    v.push(conv(format!("{name}.3x3dbl_1"), cin, hw, 448, (1, 1), 1, (0, 0)));
+    v.push(conv(format!("{name}.3x3dbl_2"), 448, hw, 384, (3, 3), 1, (1, 1)));
+    v.push(conv(format!("{name}.3x3dbl_3a"), 384, hw, 384, (1, 3), 1, (0, 1)));
+    v.push(conv(format!("{name}.3x3dbl_3b"), 384, hw, 384, (3, 1), 1, (1, 0)));
+    v.push(conv(format!("{name}.pool"), cin, hw, 192, (1, 1), 1, (0, 0)));
+}
+
+/// The InceptionV3 layer table.
+pub fn layers() -> Vec<LayerDef> {
+    let mut v = vec![
+        LayerDef::conv("stem.conv1", 3, 299, 299, 32, 3, 3, 2, 0).with_dense_input(),
+        LayerDef::conv("stem.conv2", 32, 149, 149, 32, 3, 3, 1, 0),
+        LayerDef::conv("stem.conv3", 32, 147, 147, 64, 3, 3, 1, 1),
+        // maxpool 3/2 -> 73x73
+        LayerDef::conv("stem.conv4", 64, 73, 73, 80, 1, 1, 1, 0),
+        LayerDef::conv("stem.conv5", 80, 73, 73, 192, 3, 3, 1, 0),
+        // maxpool 3/2 -> 35x35
+    ];
+    inception_a(&mut v, "mixed5b", 192, 32);
+    inception_a(&mut v, "mixed5c", 256, 64);
+    inception_a(&mut v, "mixed5d", 288, 64);
+    // Reduction (mixed6a): 35 -> 17.
+    v.push(conv("mixed6a.3x3".into(), 288, 35, 384, (3, 3), 2, (0, 0)));
+    v.push(conv("mixed6a.3x3dbl_1".into(), 288, 35, 64, (1, 1), 1, (0, 0)));
+    v.push(conv("mixed6a.3x3dbl_2".into(), 64, 35, 96, (3, 3), 1, (1, 1)));
+    v.push(conv("mixed6a.3x3dbl_3".into(), 96, 35, 96, (3, 3), 2, (0, 0)));
+    inception_b(&mut v, "mixed6b", 128);
+    inception_b(&mut v, "mixed6c", 160);
+    inception_b(&mut v, "mixed6d", 160);
+    inception_b(&mut v, "mixed6e", 192);
+    // Reduction (mixed7a): 17 -> 8.
+    v.push(conv("mixed7a.3x3_1".into(), 768, 17, 192, (1, 1), 1, (0, 0)));
+    v.push(conv("mixed7a.3x3_2".into(), 192, 17, 320, (3, 3), 2, (0, 0)));
+    v.push(conv("mixed7a.7x7x3_1".into(), 768, 17, 192, (1, 1), 1, (0, 0)));
+    v.push(conv("mixed7a.7x7x3_2".into(), 192, 17, 192, (1, 7), 1, (0, 3)));
+    v.push(conv("mixed7a.7x7x3_3".into(), 192, 17, 192, (7, 1), 1, (3, 0)));
+    v.push(conv("mixed7a.7x7x3_4".into(), 192, 17, 192, (3, 3), 2, (0, 0)));
+    inception_c(&mut v, "mixed7b", 1280);
+    inception_c(&mut v, "mixed7c", 2048);
+    v.push(LayerDef::fc("fc", 2048, 1000));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::total_macs;
+
+    #[test]
+    fn mac_count_is_inception_v3_scale() {
+        // InceptionV3 inference is ~5.7 GMACs.
+        let macs = total_macs(&layers());
+        assert!(
+            (5.0e9..6.3e9).contains(&(macs as f64)),
+            "InceptionV3 MACs {macs} out of expected band"
+        );
+    }
+
+    #[test]
+    fn stem_resolutions() {
+        let v = layers();
+        assert_eq!(v[0].conv_output(), Some((149, 149)));
+        assert_eq!(v[1].conv_output(), Some((147, 147)));
+    }
+
+    #[test]
+    fn has_both_reductions() {
+        let v = layers();
+        let r1 = v.iter().find(|l| l.name == "mixed6a.3x3").unwrap();
+        assert_eq!(r1.conv_output(), Some((17, 17)));
+        let r2 = v.iter().find(|l| l.name == "mixed7a.3x3_2").unwrap();
+        assert_eq!(r2.conv_output(), Some((8, 8)));
+    }
+}

@@ -1,0 +1,253 @@
+//! Layer definitions and lowering to blocked GEMM.
+//!
+//! Following §II-A of the paper: a convolution with `Cin` input
+//! channels, an `R × S` kernel and `Cout` output channels over an
+//! `Hin × Win` feature map lowers (im2col) to a GEMM with
+//! `M = Hout · Wout`, `K = (Cin / groups) · R · S`, `N = Cout / groups`,
+//! executed once per group. Fully connected layers are `M = batch`,
+//! `K = in_features`, `N = out_features`. Attention matmuls
+//! (`Q·Kᵀ`, `scores·V`) are plain GEMMs whose "B" operand is itself an
+//! activation tensor and therefore never weight-pruned.
+
+use griffin_tensor::error::TensorError;
+use griffin_tensor::shape::GemmShape;
+
+/// The kind of a network layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerKind {
+    /// A (possibly grouped) 2-D convolution.
+    Conv {
+        /// Input channels.
+        cin: usize,
+        /// Input feature-map height and width.
+        hin: usize,
+        /// Input feature-map width.
+        win: usize,
+        /// Output channels.
+        cout: usize,
+        /// Kernel height.
+        r: usize,
+        /// Kernel width.
+        s: usize,
+        /// Stride (same in both dimensions).
+        stride: usize,
+        /// Zero padding on top/bottom.
+        pad_h: usize,
+        /// Zero padding on left/right.
+        pad_w: usize,
+        /// Group count (`cin` for depthwise).
+        groups: usize,
+    },
+    /// A fully connected layer on a batch of vectors.
+    Fc {
+        /// Input features (`K`).
+        in_features: usize,
+        /// Output features (`N`).
+        out_features: usize,
+        /// Batch size (`M`).
+        batch: usize,
+    },
+    /// An activation-by-activation GEMM (attention score / context).
+    /// Its B operand is *not* a weight tensor and is never pruned.
+    MatMul {
+        /// Rows of the product.
+        m: usize,
+        /// Reduction dimension.
+        k: usize,
+        /// Columns of the product.
+        n: usize,
+        /// Independent instances (e.g. attention heads).
+        instances: usize,
+    },
+}
+
+/// One named layer of a network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerDef {
+    /// Human-readable name (e.g. `"conv2_1.3x3"`).
+    pub name: String,
+    /// Structural definition.
+    pub kind: LayerKind,
+    /// Whether the layer's input activations come straight from the
+    /// network input (images are dense regardless of ReLU).
+    pub dense_input: bool,
+}
+
+impl LayerDef {
+    /// Convenience constructor for a convolution.
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv(
+        name: impl Into<String>,
+        cin: usize,
+        hin: usize,
+        win: usize,
+        cout: usize,
+        r: usize,
+        s: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
+        LayerDef {
+            name: name.into(),
+            kind: LayerKind::Conv { cin, hin, win, cout, r, s, stride, pad_h: pad, pad_w: pad, groups: 1 },
+            dense_input: false,
+        }
+    }
+
+    /// Convenience constructor for a depthwise convolution
+    /// (`groups = cin = cout`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn depthwise(
+        name: impl Into<String>,
+        channels: usize,
+        hin: usize,
+        win: usize,
+        r: usize,
+        s: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
+        LayerDef {
+            name: name.into(),
+            kind: LayerKind::Conv {
+                cin: channels,
+                hin,
+                win,
+                cout: channels,
+                r,
+                s,
+                stride,
+                pad_h: pad,
+                pad_w: pad,
+                groups: channels,
+            },
+            dense_input: false,
+        }
+    }
+
+    /// Convenience constructor for a fully connected layer (batch 1).
+    pub fn fc(name: impl Into<String>, in_features: usize, out_features: usize) -> Self {
+        LayerDef {
+            name: name.into(),
+            kind: LayerKind::Fc { in_features, out_features, batch: 1 },
+            dense_input: false,
+        }
+    }
+
+    /// Marks the layer as consuming the (dense) network input.
+    pub fn with_dense_input(mut self) -> Self {
+        self.dense_input = true;
+        self
+    }
+
+    /// Output spatial dimensions of a convolution, `None` otherwise.
+    pub fn conv_output(&self) -> Option<(usize, usize)> {
+        match self.kind {
+            LayerKind::Conv { hin, win, r, s, stride, pad_h, pad_w, .. } => {
+                let hout = (hin + 2 * pad_h - r) / stride + 1;
+                let wout = (win + 2 * pad_w - s) / stride + 1;
+                Some((hout, wout))
+            }
+            _ => None,
+        }
+    }
+
+    /// Lowers the layer to `(GEMM shape, replica count, Cin for
+    /// channel-minor mask generation)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError`] if the configuration produces an empty
+    /// GEMM (e.g. kernel larger than the padded input).
+    pub fn gemm(&self) -> Result<(GemmShape, usize, usize), TensorError> {
+        match self.kind {
+            LayerKind::Conv { cin, cout, r, s, groups, .. } => {
+                let (hout, wout) = self.conv_output().expect("conv layer");
+                let cin_g = cin / groups.max(1);
+                let shape = GemmShape::new(hout * wout, cin_g * r * s, cout / groups.max(1))?;
+                Ok((shape, groups, cin_g))
+            }
+            LayerKind::Fc { in_features, out_features, batch } => {
+                Ok((GemmShape::new(batch, in_features, out_features)?, 1, in_features))
+            }
+            LayerKind::MatMul { m, k, n, instances } => {
+                Ok((GemmShape::new(m, k, n)?, instances, k))
+            }
+        }
+    }
+
+    /// Whether the layer's B operand is a prunable weight tensor.
+    pub fn weight_prunable(&self) -> bool {
+        !matches!(self.kind, LayerKind::MatMul { .. })
+    }
+
+    /// Multiply-accumulate operations of the layer (all replicas).
+    pub fn macs(&self) -> u64 {
+        let (shape, replicas, _) = self.gemm().expect("valid layer");
+        shape.macs() as u64 * replicas as u64
+    }
+}
+
+/// Total MACs of a network.
+pub fn total_macs(layers: &[LayerDef]) -> u64 {
+    layers.iter().map(LayerDef::macs).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_lowering_matches_im2col() {
+        // AlexNet conv1: 3ch 224x224, 64 filters 11x11 stride 4 pad 2
+        // -> 55x55 output, M = 3025, K = 363, N = 64.
+        let l = LayerDef::conv("conv1", 3, 224, 224, 64, 11, 11, 4, 2);
+        let (shape, reps, cin_g) = l.gemm().unwrap();
+        assert_eq!((shape.m, shape.k, shape.n), (3025, 363, 64));
+        assert_eq!(reps, 1);
+        assert_eq!(cin_g, 3);
+        assert_eq!(l.conv_output(), Some((55, 55)));
+    }
+
+    #[test]
+    fn depthwise_lowering_replicates_per_channel() {
+        let l = LayerDef::depthwise("dw", 32, 112, 112, 3, 3, 1, 1);
+        let (shape, reps, cin_g) = l.gemm().unwrap();
+        assert_eq!((shape.m, shape.k, shape.n), (112 * 112, 9, 1));
+        assert_eq!(reps, 32);
+        assert_eq!(cin_g, 1);
+    }
+
+    #[test]
+    fn fc_lowering() {
+        let l = LayerDef::fc("fc6", 9216, 4096);
+        let (shape, reps, _) = l.gemm().unwrap();
+        assert_eq!((shape.m, shape.k, shape.n), (1, 9216, 4096));
+        assert_eq!(reps, 1);
+    }
+
+    #[test]
+    fn matmul_is_not_weight_prunable() {
+        let l = LayerDef {
+            name: "attn".into(),
+            kind: LayerKind::MatMul { m: 64, k: 64, n: 64, instances: 12 },
+            dense_input: false,
+        };
+        assert!(!l.weight_prunable());
+        assert!(LayerDef::fc("fc", 10, 10).weight_prunable());
+        let (shape, reps, _) = l.gemm().unwrap();
+        assert_eq!(shape.macs() * reps, 64 * 64 * 64 * 12);
+    }
+
+    #[test]
+    fn strided_conv_output() {
+        let l = LayerDef::conv("c", 64, 56, 56, 128, 3, 3, 2, 1);
+        assert_eq!(l.conv_output(), Some((28, 28)));
+    }
+
+    #[test]
+    fn macs_count_all_replicas() {
+        let l = LayerDef::depthwise("dw", 8, 4, 4, 3, 3, 1, 1);
+        assert_eq!(l.macs(), (16 * 9) as u64 * 8);
+    }
+}

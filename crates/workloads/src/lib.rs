@@ -1,0 +1,40 @@
+//! Benchmark workloads for the Griffin reproduction (Table IV).
+//!
+//! The paper evaluates six networks — AlexNet, GoogleNet, ResNet-50,
+//! InceptionV3, MobileNetV2 and BERT-base (MNLI, sequence length 64) —
+//! with the (weight, activation) sparsity ratios of Table IV. This crate
+//! provides:
+//!
+//! * [`layer`] — layer definitions and their lowering to blocked GEMM
+//!   (im2col semantics, grouped/depthwise convolutions, attention
+//!   matmuls),
+//! * one module per network with the full layer table
+//!   ([`alexnet`], [`googlenet`], [`resnet50`], [`inception_v3`],
+//!   [`mobilenet_v2`], [`bert`]),
+//! * [`suite`] — the Table IV metadata and workload builders that
+//!   attach synthetic sparsity masks with the published densities,
+//! * [`synth`] — small parameterized workloads for tests and examples.
+//!
+//! # Example
+//!
+//! ```
+//! use griffin_workloads::suite::{build_workload, Benchmark};
+//! use griffin_core::category::DnnCategory;
+//!
+//! let wl = build_workload(Benchmark::Bert, DnnCategory::B, 42);
+//! assert_eq!(wl.name, "BERT (MNLI)");
+//! assert!(!wl.layers.is_empty());
+//! ```
+
+pub mod alexnet;
+pub mod bert;
+pub mod googlenet;
+pub mod inception_v3;
+pub mod layer;
+pub mod mobilenet_v2;
+pub mod resnet50;
+pub mod suite;
+pub mod synth;
+
+pub use layer::{LayerDef, LayerKind};
+pub use suite::{build_workload, Benchmark, BenchmarkInfo};

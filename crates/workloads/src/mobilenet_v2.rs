@@ -1,0 +1,92 @@
+//! MobileNetV2 (Sandler et al.), 224×224 input.
+//!
+//! Table IV: (B, A) sparsity (81%, 52%) (pruned via RigL, ref. 16), 67.5%
+//! top-1, dense latency ≈ 2.2 × 10⁶ cycles.
+//!
+//! MobileNetV2's inverted-residual blocks are dominated by depthwise
+//! convolutions, which map terribly onto a `(16,16,4)` GEMM core
+//! (`K = 9`, `N = 1` per group) — that is why the paper's dense latency
+//! is ~7× the raw MAC count would suggest, and our lowering reproduces
+//! exactly that effect.
+
+use crate::layer::LayerDef;
+
+/// One inverted-residual block: expand 1×1 → depthwise 3×3 → project
+/// 1×1. The first block (t = 1) has no expansion layer.
+fn block(v: &mut Vec<LayerDef>, name: &str, cin: usize, cout: usize, hw: usize, t: usize, stride: usize) {
+    let hidden = cin * t;
+    if t != 1 {
+        v.push(LayerDef::conv(format!("{name}.expand"), cin, hw, hw, hidden, 1, 1, 1, 0));
+    }
+    v.push(LayerDef::depthwise(format!("{name}.dw"), hidden, hw, hw, 3, 3, stride, 1));
+    let hw_out = hw / stride;
+    v.push(LayerDef::conv(format!("{name}.project"), hidden, hw_out, hw_out, cout, 1, 1, 1, 0));
+}
+
+/// The MobileNetV2 layer table (width multiplier 1.0).
+pub fn layers() -> Vec<LayerDef> {
+    let mut v =
+        vec![LayerDef::conv("stem", 3, 224, 224, 32, 3, 3, 2, 1).with_dense_input()];
+    // Inverted residual settings: (expansion t, channels c, repeats n,
+    // stride s) — Table 2 of the MobileNetV2 paper.
+    let settings: [(usize, usize, usize, usize); 7] = [
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+    let mut cin = 32;
+    let mut hw = 112;
+    for (i, &(t, c, n, s)) in settings.iter().enumerate() {
+        for j in 0..n {
+            let stride = if j == 0 { s } else { 1 };
+            block(&mut v, &format!("ir{}_{}", i + 1, j + 1), cin, c, hw, t, stride);
+            hw /= stride;
+            cin = c;
+        }
+    }
+    v.push(LayerDef::conv("head", 320, 7, 7, 1280, 1, 1, 1, 0));
+    v.push(LayerDef::fc("fc", 1280, 1000));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{total_macs, LayerKind};
+
+    #[test]
+    fn mac_count_is_mobilenet_v2_scale() {
+        // MobileNetV2 inference is ~0.3 GMACs.
+        let macs = total_macs(&layers());
+        assert!(
+            (0.27e9..0.35e9).contains(&(macs as f64)),
+            "MobileNetV2 MACs {macs} out of expected band"
+        );
+    }
+
+    #[test]
+    fn depthwise_blocks_are_grouped() {
+        let dws: Vec<_> = layers()
+            .into_iter()
+            .filter(|l| matches!(l.kind, LayerKind::Conv { groups, .. } if groups > 1))
+            .collect();
+        assert_eq!(dws.len(), 17, "one depthwise per inverted residual");
+        for dw in dws {
+            let (shape, reps, _) = dw.gemm().unwrap();
+            assert_eq!(shape.k, 9);
+            assert_eq!(shape.n, 1);
+            assert!(reps >= 16);
+        }
+    }
+
+    #[test]
+    fn final_resolution_is_seven() {
+        let v = layers();
+        let last_dw = v.iter().rev().find(|l| l.name.ends_with(".dw")).unwrap();
+        assert_eq!(last_dw.conv_output(), Some((7, 7)));
+    }
+}

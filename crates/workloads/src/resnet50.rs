@@ -1,0 +1,87 @@
+//! ResNet-50 (He et al.), 224×224 input.
+//!
+//! Table IV: (B, A) sparsity (81%, 43%), 76.1% top-1, dense latency
+//! ≈ 4.8 × 10⁶ cycles.
+
+use crate::layer::LayerDef;
+
+/// Emits one bottleneck block: 1×1 reduce, 3×3, 1×1 expand, plus the
+/// projection shortcut on the first block of a stage.
+fn bottleneck(
+    v: &mut Vec<LayerDef>,
+    stage: usize,
+    block: usize,
+    cin: usize,
+    width: usize,
+    hw: usize,
+    stride: usize,
+) {
+    let name = |part: &str| format!("conv{stage}_{block}.{part}");
+    let cout = width * 4;
+    // 1x1 reduce operates at the input resolution; the stride sits on
+    // the 3x3 (torchvision style).
+    v.push(LayerDef::conv(name("1x1a"), cin, hw, hw, width, 1, 1, 1, 0));
+    v.push(LayerDef::conv(name("3x3"), width, hw, hw, width, 3, 3, stride, 1));
+    let hw_out = hw / stride;
+    v.push(LayerDef::conv(name("1x1b"), width, hw_out, hw_out, cout, 1, 1, 1, 0));
+    if block == 1 {
+        v.push(LayerDef::conv(name("proj"), cin, hw, hw, cout, 1, 1, stride, 0));
+    }
+}
+
+/// The ResNet-50 layer table.
+pub fn layers() -> Vec<LayerDef> {
+    let mut v =
+        vec![LayerDef::conv("conv1", 3, 224, 224, 64, 7, 7, 2, 3).with_dense_input()];
+    // 112x112 -> maxpool 3/2 -> 56x56
+    let stages: [(usize, usize, usize, usize); 4] = [
+        // (stage id, blocks, width, input resolution)
+        (2, 3, 64, 56),
+        (3, 4, 128, 56),
+        (4, 6, 256, 28),
+        (5, 3, 512, 14),
+    ];
+    let mut cin = 64;
+    for &(stage, blocks, width, hw_in) in &stages {
+        for block in 1..=blocks {
+            let stride = if stage > 2 && block == 1 { 2 } else { 1 };
+            let hw = if block == 1 { hw_in } else { hw_in / if stage > 2 { 2 } else { 1 } };
+            bottleneck(&mut v, stage, block, cin, width, hw, stride);
+            cin = width * 4;
+        }
+    }
+    v.push(LayerDef::fc("fc", 2048, 1000));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::total_macs;
+
+    #[test]
+    fn mac_count_is_resnet50_scale() {
+        // ResNet-50 inference is ~4.1 GMACs.
+        let macs = total_macs(&layers());
+        assert!(
+            (3.7e9..4.5e9).contains(&(macs as f64)),
+            "ResNet-50 MACs {macs} out of expected band"
+        );
+    }
+
+    #[test]
+    fn has_53_conv_plus_fc() {
+        // 1 stem + (3+4+6+3) blocks x 3 convs + 4 projections + 1 fc.
+        let n = layers().len();
+        assert_eq!(n, 1 + 16 * 3 + 4 + 1);
+    }
+
+    #[test]
+    fn stage_resolutions_halve() {
+        let v = layers();
+        let c3_first = v.iter().find(|l| l.name == "conv3_1.3x3").unwrap();
+        assert_eq!(c3_first.conv_output(), Some((28, 28)));
+        let c5_last = v.iter().find(|l| l.name == "conv5_3.3x3").unwrap();
+        assert_eq!(c5_last.conv_output(), Some((7, 7)));
+    }
+}

@@ -1,0 +1,282 @@
+//! The Table IV benchmark suite: metadata and workload builders.
+//!
+//! Masks are synthetic but match the paper's published densities and
+//! the structure of real pruned/ReLU tensors: per-channel log-normal
+//! density variation in the channel-minor (NHWC) layout (see
+//! [`griffin_tensor::gen::TensorGen::channel_minor_mask`] and the
+//! substitution table in DESIGN.md). First-layer activations are dense
+//! (images), and attention matmuls never have pruned B operands.
+
+use griffin_core::accelerator::Workload;
+use griffin_core::category::DnnCategory;
+use griffin_sim::layer::GemmLayer;
+use griffin_tensor::gen::TensorGen;
+use griffin_tensor::mask::SparsityMask;
+
+use crate::layer::LayerDef;
+use crate::{alexnet, bert, googlenet, inception_v3, mobilenet_v2, resnet50};
+
+/// Log-normal spread of per-channel weight densities.
+const B_SPREAD: f64 = 0.8;
+/// Log-normal spread of per-channel activation densities.
+const A_SPREAD: f64 = 0.6;
+
+/// The six benchmarks of Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// AlexNet, Deep-Compression pruned.
+    AlexNet,
+    /// GoogleNet (Inception-v1).
+    GoogleNet,
+    /// ResNet-50.
+    ResNet50,
+    /// InceptionV3.
+    InceptionV3,
+    /// MobileNetV2 (RigL-pruned).
+    MobileNetV2,
+    /// BERT-base on MNLI, sequence length 64, movement-pruned.
+    Bert,
+}
+
+impl Benchmark {
+    /// All six benchmarks, in Table IV order.
+    pub const ALL: [Benchmark; 6] = [
+        Benchmark::AlexNet,
+        Benchmark::GoogleNet,
+        Benchmark::ResNet50,
+        Benchmark::InceptionV3,
+        Benchmark::MobileNetV2,
+        Benchmark::Bert,
+    ];
+
+    /// Table IV metadata for this benchmark.
+    pub fn info(&self) -> BenchmarkInfo {
+        match self {
+            Benchmark::AlexNet => BenchmarkInfo {
+                name: "AlexNet",
+                b_sparsity: 0.89,
+                a_sparsity: 0.53,
+                accuracy: "57.3% (top-1)",
+                paper_dense_cycles: 1.0e6,
+            },
+            Benchmark::GoogleNet => BenchmarkInfo {
+                name: "GoogleNet",
+                b_sparsity: 0.82,
+                a_sparsity: 0.37,
+                accuracy: "68.2% (top-1)",
+                paper_dense_cycles: 2.2e6,
+            },
+            Benchmark::ResNet50 => BenchmarkInfo {
+                name: "ResNet50",
+                b_sparsity: 0.81,
+                a_sparsity: 0.43,
+                accuracy: "76.1% (top-1)",
+                paper_dense_cycles: 4.8e6,
+            },
+            Benchmark::InceptionV3 => BenchmarkInfo {
+                name: "InceptionV3",
+                b_sparsity: 0.79,
+                a_sparsity: 0.46,
+                accuracy: "75.1% (top-1)",
+                paper_dense_cycles: 6.9e6,
+            },
+            Benchmark::MobileNetV2 => BenchmarkInfo {
+                name: "MobileNetV2",
+                b_sparsity: 0.81,
+                a_sparsity: 0.52,
+                accuracy: "67.5% (top-1)",
+                paper_dense_cycles: 2.2e6,
+            },
+            Benchmark::Bert => BenchmarkInfo {
+                name: "BERT (MNLI)",
+                b_sparsity: 0.82,
+                a_sparsity: 0.0,
+                accuracy: "81.0% (Dev) / 81.4% (MM)",
+                paper_dense_cycles: 5.3e6,
+            },
+        }
+    }
+
+    /// The layer table of this network.
+    pub fn layers(&self) -> Vec<LayerDef> {
+        match self {
+            Benchmark::AlexNet => alexnet::layers(),
+            Benchmark::GoogleNet => googlenet::layers(),
+            Benchmark::ResNet50 => resnet50::layers(),
+            Benchmark::InceptionV3 => inception_v3::layers(),
+            Benchmark::MobileNetV2 => mobilenet_v2::layers(),
+            Benchmark::Bert => bert::layers(),
+        }
+    }
+}
+
+/// Table IV metadata of one benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchmarkInfo {
+    /// Display name.
+    pub name: &'static str,
+    /// Weight sparsity ratio (fraction of zeros in B).
+    pub b_sparsity: f64,
+    /// Activation sparsity ratio (fraction of zeros in A).
+    pub a_sparsity: f64,
+    /// Published accuracy string.
+    pub accuracy: &'static str,
+    /// Dense latency reported in Table IV (cycles).
+    pub paper_dense_cycles: f64,
+}
+
+impl BenchmarkInfo {
+    /// Activation sparsity used when the network runs in an A-sparse
+    /// *category*. Table IV's BERT row has 0% activation sparsity (GeLU),
+    /// but Table I defines `DNN.A` / `DNN.AB` as **ReLU** transformers
+    /// (MobileBERT-style); for those category experiments we substitute
+    /// the typical ReLU-transformer activation sparsity of 50%
+    /// (documented in DESIGN.md's substitution table).
+    pub fn a_sparsity_in_category(&self) -> f64 {
+        if self.a_sparsity == 0.0 {
+            0.5
+        } else {
+            self.a_sparsity
+        }
+    }
+}
+
+/// Builds the simulation workload for one benchmark under one category
+/// assumption (the paper's Table I execution modes). The same network
+/// serves all four categories: `DNN.dense` keeps both operand sets
+/// dense, `DNN.B` prunes weights only, `DNN.A` zeroes activations only
+/// (ReLU), `DNN.AB` both. Seeded and deterministic.
+pub fn build_workload(bench: Benchmark, category: DnnCategory, seed: u64) -> Workload {
+    let info = bench.info();
+    let mut gen = TensorGen::seeded(seed ^ (bench as u64) << 32);
+    let mut layers = Vec::new();
+
+    for def in bench.layers() {
+        let (shape, replicas, cin) = def.gemm().expect("network tables are valid");
+
+        let a_density = if category.a_sparse() && !def.dense_input {
+            1.0 - info.a_sparsity_in_category()
+        } else {
+            1.0
+        };
+        let b_density = if category.b_sparse() && def.weight_prunable() {
+            1.0 - info.b_sparsity
+        } else {
+            1.0
+        };
+
+        let a = if a_density >= 1.0 {
+            SparsityMask::ones(shape.m, shape.k)
+        } else {
+            gen.channel_minor_mask(shape.m, shape.k, a_density, cin, A_SPREAD, false)
+        };
+        let b = if b_density >= 1.0 {
+            SparsityMask::ones(shape.k, shape.n)
+        } else {
+            gen.channel_minor_mask(shape.k, shape.n, b_density, cin, B_SPREAD, true)
+        };
+
+        layers.push(
+            GemmLayer::new(shape, a, b)
+                .expect("masks are built from the same shape")
+                .with_replicas(replicas),
+        );
+    }
+
+    Workload::new(info.name, category, layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use griffin_sim::config::SimConfig;
+
+    #[test]
+    fn all_six_benchmarks_have_info() {
+        for b in Benchmark::ALL {
+            let i = b.info();
+            assert!(!i.name.is_empty());
+            assert!(i.b_sparsity > 0.7 && i.b_sparsity < 0.95);
+            assert!(i.paper_dense_cycles >= 1.0e6);
+        }
+    }
+
+    #[test]
+    fn bert_is_dense_a_in_dnn_b_and_relu_a_in_dnn_ab() {
+        // In its native Table IV setting (DNN.B: GeLU) BERT activations
+        // are dense; in the DNN.A / DNN.AB *category* experiments the
+        // ReLU-transformer substitution applies (Table I).
+        let wl_b = build_workload(Benchmark::Bert, DnnCategory::B, 1);
+        for l in &wl_b.layers {
+            assert!((l.a_density() - 1.0).abs() < 1e-12);
+        }
+        let pruned = wl_b.layers.iter().filter(|l| l.b_density() < 0.5).count();
+        assert_eq!(pruned, 72, "weight layers pruned, attention matmuls not");
+
+        let wl_ab = build_workload(Benchmark::Bert, DnnCategory::AB, 1);
+        let sparse_a = wl_ab.layers.iter().filter(|l| l.a_density() < 0.7).count();
+        assert!(sparse_a > 60, "ReLU substitution sparsifies activations");
+    }
+
+    #[test]
+    fn dense_category_builds_dense_masks() {
+        let wl = build_workload(Benchmark::AlexNet, DnnCategory::Dense, 2);
+        for l in &wl.layers {
+            assert_eq!(l.a_density(), 1.0);
+            assert_eq!(l.b_density(), 1.0);
+        }
+    }
+
+    #[test]
+    fn first_layer_input_is_dense_in_dnn_a() {
+        let wl = build_workload(Benchmark::AlexNet, DnnCategory::A, 3);
+        assert_eq!(wl.layers[0].a_density(), 1.0, "images are dense");
+        assert!(wl.layers[1].a_density() < 0.6);
+    }
+
+    #[test]
+    fn densities_land_near_table_iv() {
+        let wl = build_workload(Benchmark::ResNet50, DnnCategory::AB, 4);
+        let info = Benchmark::ResNet50.info();
+        // Aggregate density over prunable layers should be close to
+        // 1 - sparsity (per-channel variation preserves the mean).
+        let (mut nnz, mut tot) = (0usize, 0usize);
+        for l in &wl.layers {
+            nnz += l.b.nnz();
+            tot += l.b.rows() * l.b.cols();
+        }
+        let d = nnz as f64 / tot as f64;
+        assert!(
+            (d - (1.0 - info.b_sparsity)).abs() < 0.05,
+            "B density {d} vs target {}",
+            1.0 - info.b_sparsity
+        );
+    }
+
+    #[test]
+    fn workload_dense_cycles_match_table_iv_scale() {
+        let cfg = SimConfig::default();
+        for (b, lo, hi) in [
+            (Benchmark::AlexNet, 0.7e6, 1.3e6),
+            (Benchmark::Bert, 4.6e6, 6.0e6),
+        ] {
+            let wl = build_workload(b, DnnCategory::Dense, 5);
+            let cycles = wl.dense_cycles(&cfg) as f64;
+            assert!(
+                (lo..hi).contains(&cycles),
+                "{}: dense cycles {cycles} outside [{lo}, {hi}]",
+                b.info().name
+            );
+        }
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let a = build_workload(Benchmark::GoogleNet, DnnCategory::B, 7);
+        let b = build_workload(Benchmark::GoogleNet, DnnCategory::B, 7);
+        assert_eq!(a.layers.len(), b.layers.len());
+        for (x, y) in a.layers.iter().zip(&b.layers) {
+            assert_eq!(x.b, y.b);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Structural consistency checks over the six network layer tables.
+
+use griffin_core::category::DnnCategory;
+use griffin_workloads::layer::{total_macs, LayerKind};
+use griffin_workloads::suite::{build_workload, Benchmark};
+
+#[test]
+fn every_layer_of_every_network_lowers_to_a_valid_gemm() {
+    for b in Benchmark::ALL {
+        for l in b.layers() {
+            let (shape, reps, cin) = l.gemm().unwrap_or_else(|e| {
+                panic!("{}/{}: invalid GEMM: {e}", b.info().name, l.name)
+            });
+            assert!(shape.m > 0 && shape.k > 0 && shape.n > 0);
+            assert!(reps >= 1, "{}: zero replicas", l.name);
+            assert!(cin >= 1);
+        }
+    }
+}
+
+#[test]
+fn conv_chains_have_consistent_channels() {
+    // For the sequential nets, each conv's cin equals some previous
+    // layer's cout (or the image). Full graph checking is overkill; we
+    // verify AlexNet's strict chain.
+    let layers = Benchmark::AlexNet.layers();
+    let mut prev_out = 3usize; // RGB input
+    for l in &layers {
+        match l.kind {
+            LayerKind::Conv { cin, cout, .. } => {
+                assert_eq!(cin, prev_out, "{}: cin {} after cout {}", l.name, cin, prev_out);
+                prev_out = cout;
+            }
+            LayerKind::Fc { in_features, out_features, .. } => {
+                // conv5 -> fc6 flattens 256x6x6.
+                if l.name == "fc6" {
+                    assert_eq!(in_features, 256 * 6 * 6);
+                }
+                prev_out = out_features;
+            }
+            LayerKind::MatMul { .. } => {}
+        }
+    }
+    assert_eq!(prev_out, 1000, "classifier emits 1000 classes");
+}
+
+#[test]
+fn mac_totals_match_published_model_sizes() {
+    // (network, GMACs low, GMACs high) from the literature.
+    let bands = [
+        (Benchmark::AlexNet, 0.65e9, 0.78e9),
+        (Benchmark::GoogleNet, 1.35e9, 1.65e9),
+        (Benchmark::ResNet50, 3.7e9, 4.5e9),
+        (Benchmark::InceptionV3, 5.0e9, 6.3e9),
+        (Benchmark::MobileNetV2, 0.27e9, 0.35e9),
+        (Benchmark::Bert, 5.4e9, 5.8e9),
+    ];
+    for (b, lo, hi) in bands {
+        let macs = total_macs(&b.layers()) as f64;
+        assert!((lo..hi).contains(&macs), "{}: {macs:.3e} MACs", b.info().name);
+    }
+}
+
+#[test]
+fn category_masks_only_touch_the_right_operands() {
+    for b in [Benchmark::GoogleNet, Benchmark::MobileNetV2] {
+        let dense = build_workload(b, DnnCategory::Dense, 3);
+        let only_a = build_workload(b, DnnCategory::A, 3);
+        let only_b = build_workload(b, DnnCategory::B, 3);
+        for ((d, a), bb) in dense.layers.iter().zip(&only_a.layers).zip(&only_b.layers) {
+            assert_eq!(d.a_density(), 1.0);
+            assert_eq!(d.b_density(), 1.0);
+            assert_eq!(a.b_density(), 1.0, "DNN.A must not prune weights");
+            assert_eq!(bb.a_density(), 1.0, "DNN.B must not sparsify activations");
+        }
+    }
+}
+
+#[test]
+fn workload_layer_counts_match_tables() {
+    assert_eq!(Benchmark::AlexNet.layers().len(), 8);
+    assert_eq!(Benchmark::GoogleNet.layers().len(), 58);
+    assert_eq!(Benchmark::ResNet50.layers().len(), 54);
+    assert_eq!(Benchmark::Bert.layers().len(), 96);
+    // MobileNetV2: stem + 17 blocks (2-3 convs each) + head + fc.
+    let mb = Benchmark::MobileNetV2.layers().len();
+    assert_eq!(mb, 1 + (2 + 16 * 3) + 1 + 1);
+}
+
+#[test]
+fn depthwise_replica_counts_match_channel_counts() {
+    for l in Benchmark::MobileNetV2.layers() {
+        if let LayerKind::Conv { groups, cin, cout, .. } = l.kind {
+            if groups > 1 {
+                assert_eq!(groups, cin, "{}: depthwise groups == channels", l.name);
+                assert_eq!(cin, cout);
+                let (_, reps, _) = l.gemm().unwrap();
+                assert_eq!(reps, groups);
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! BERT-base (MNLI, sequence length 64) with movement-pruned weights —
+//! the paper's transformer benchmark (Table IV: 82% weight sparsity,
+//! dense GeLU activations, i.e. a pure `DNN.B` workload).
+//!
+//! Shows per-layer-kind behaviour: the six weight GEMMs per encoder
+//! layer accelerate; the two attention matmuls (activation×activation)
+//! cannot, since their "B" operand is not a weight tensor.
+//!
+//! Run with: `cargo run --release --example bert_encoder`
+
+use griffin::core::accelerator::Accelerator;
+use griffin::core::arch::ArchSpec;
+use griffin::core::category::DnnCategory;
+use griffin::sim::pipeline::simulate_layer;
+use griffin::workloads::suite::{build_workload, Benchmark};
+
+fn main() {
+    let wl = build_workload(Benchmark::Bert, DnnCategory::B, 11);
+    let info = Benchmark::Bert.info();
+    println!(
+        "BERT-base MNLI, seq len {}: weight sparsity {:.0}%, accuracy {}",
+        griffin::workloads::bert::SEQ_LEN,
+        info.b_sparsity * 100.0,
+        info.accuracy
+    );
+
+    // Per-GEMM view of encoder layer 0 on Griffin (morphed to conf.B).
+    let griffin_acc = Accelerator::with_defaults(ArchSpec::griffin());
+    let mode = griffin_acc.spec().mode_for(DnnCategory::B);
+    let names = ["q", "k", "v", "scores", "context", "attn_out", "ffn_up", "ffn_down"];
+    println!();
+    println!("encoder layer 0, per GEMM (Griffin conf.B):");
+    println!("{:<10} {:>7} {:>7} {:>9} {:>9}", "gemm", "Bdens", "reps", "cycles", "speedup");
+    for (i, name) in names.iter().enumerate() {
+        let l = &wl.layers[i];
+        let r = simulate_layer(l, mode, griffin_acc.config());
+        println!(
+            "{:<10} {:>6.2} {:>7} {:>9.0} {:>8.2}x",
+            name,
+            l.b_density(),
+            l.replicas,
+            r.cycles,
+            r.speedup()
+        );
+    }
+
+    // End-to-end comparison.
+    println!();
+    println!("end-to-end (12 encoder layers):");
+    for spec in [ArchSpec::dense(), ArchSpec::sparse_b_star(), ArchSpec::griffin()] {
+        let acc = Accelerator::with_defaults(spec);
+        let r = acc.run(&wl);
+        println!(
+            "{:<12} {:>8.2}x speedup   {:>6.2} effective TOPS/W",
+            r.arch, r.speedup, r.effective_tops_per_w
+        );
+    }
+    println!();
+    println!("Attention matmuls stay at ~1x (their operands are activations),");
+    println!("which is why BERT's end-to-end gain trails its weight sparsity.");
+}

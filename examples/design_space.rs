@@ -1,0 +1,51 @@
+//! Miniature design-space exploration (§VI): sweep `Sparse.B` routing
+//! configurations on a pruned workload, report the Pareto front between
+//! sparse-category efficiency and dense-category efficiency, and verify
+//! the simulator against the closed-form analytic model.
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use griffin::core::accelerator::Accelerator;
+use griffin::core::analytic::estimate_speedup;
+use griffin::core::category::DnnCategory;
+use griffin::core::cost::{CostModel, Provision};
+use griffin::core::dse::{enumerate_sparse_b, pareto_front, ScoredDesign};
+use griffin::core::efficiency::Efficiency;
+use griffin::workloads::synth::synthetic_workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let wl = synthetic_workload("pruned", DnnCategory::B, 4, 3)?;
+
+    println!("{:<22} {:>8} {:>9} {:>10} {:>10}", "config", "sim", "analytic", "TOPS/W.B", "TOPS/W.den");
+    let mut scored = Vec::new();
+    for spec in enumerate_sparse_b(8) {
+        if !spec.shuffle {
+            continue; // keep the example output short
+        }
+        let acc = Accelerator::with_defaults(spec.clone());
+        let r = acc.run(&wl);
+        let ana = estimate_speedup(spec.mode_for(DnnCategory::B), 1.0, 0.19);
+        let cost = CostModel::parametric(
+            &spec,
+            acc.config().core,
+            Provision { speedup: r.speedup, b_stream_factor: 0.3 },
+        );
+        let dense = Efficiency::new(acc.config().core, &cost, 1.0);
+        println!(
+            "{:<22} {:>7.2}x {:>8.2}x {:>10.2} {:>10.2}",
+            spec.name, r.speedup, ana, r.effective_tops_per_w, dense.tops_per_w
+        );
+        scored.push(ScoredDesign {
+            spec,
+            sparse_metric: r.effective_tops_per_w,
+            dense_metric: dense.tops_per_w,
+        });
+    }
+
+    println!();
+    println!("Pareto front (TOPS/W on DNN.B vs TOPS/W on DNN.dense):");
+    for p in pareto_front(scored) {
+        println!("  {:<22} sparse {:>6.2}  dense {:>6.2}", p.spec.name, p.sparse_metric, p.dense_metric);
+    }
+    Ok(())
+}

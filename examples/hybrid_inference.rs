@@ -1,0 +1,50 @@
+//! Griffin's hybrid morphing across all four DNN categories (Figure 4).
+//!
+//! Runs ResNet-50 in each of the paper's four execution modes and shows
+//! how Griffin reconfigures — conf.AB for dual-sparse and dense models,
+//! conf.B(8,0,1) for weight-only sparsity, conf.A(2,1,1) for
+//! activation-only sparsity — while the fixed `Sparse.AB*` hardware
+//! pays the single-sparse penalty of Table III.
+//!
+//! Run with: `cargo run --release --example hybrid_inference`
+
+use griffin::core::accelerator::Accelerator;
+use griffin::core::arch::ArchSpec;
+use griffin::core::category::DnnCategory;
+use griffin::workloads::suite::{build_workload, Benchmark};
+
+fn main() {
+    let griffin = Accelerator::with_defaults(ArchSpec::griffin());
+    let dual = Accelerator::with_defaults(ArchSpec::sparse_ab_star());
+
+    println!("ResNet-50 under the four execution modes (Table I):");
+    println!();
+    println!(
+        "{:<12} {:<28} {:>9} {:>12} {:>9}",
+        "category", "Griffin configuration", "speedup", "AB* speedup", "gain"
+    );
+
+    for cat in DnnCategory::ALL {
+        let wl = build_workload(Benchmark::ResNet50, cat, 7);
+        let g = griffin.run(&wl);
+        let d = dual.run(&wl);
+        let config = match cat {
+            DnnCategory::Dense | DnnCategory::AB => "conf.AB = Sparse.AB(2,0,0,2,0,1)",
+            DnnCategory::B => "conf.B  = Sparse.B(8,0,1)",
+            DnnCategory::A => "conf.A  = Sparse.A(2,1,1)",
+        };
+        println!(
+            "{:<12} {:<28} {:>8.2}x {:>11.2}x {:>8.1}%",
+            cat.to_string(),
+            config,
+            g.speedup,
+            d.speedup,
+            (g.speedup / d.speedup - 1.0) * 100.0
+        );
+    }
+
+    println!();
+    println!("Morphing re-purposes the dual-sparse overheads (nine-entry ABUF,");
+    println!("extra adder tree, BBUF) instead of letting them idle — the gain");
+    println!("shows on the single-sparse categories, at ~zero hardware cost.");
+}

@@ -1,0 +1,186 @@
+//! `griffin-cli` — command-line front end for the Griffin reproduction.
+//!
+//! ```console
+//! $ griffin-cli list                         # architectures & benchmarks
+//! $ griffin-cli run resnet50 ab griffin      # one (benchmark, category, arch)
+//! $ griffin-cli compare bert b               # all architectures on one workload
+//! $ griffin-cli layer 196 1152 256 0.57 0.19 # ad-hoc layer on the star designs
+//! ```
+//!
+//! Argument parsing is deliberately dependency-free (no clap): the
+//! grammar is three fixed subcommands with positional arguments.
+
+use std::env;
+use std::process::ExitCode;
+
+use griffin::core::accelerator::Accelerator;
+use griffin::core::arch::ArchSpec;
+use griffin::core::category::DnnCategory;
+use griffin::workloads::suite::{build_workload, Benchmark};
+use griffin::workloads::synth::synthetic_layer;
+
+fn parse_benchmark(s: &str) -> Option<Benchmark> {
+    match s.to_ascii_lowercase().as_str() {
+        "alexnet" => Some(Benchmark::AlexNet),
+        "googlenet" => Some(Benchmark::GoogleNet),
+        "resnet50" | "resnet" => Some(Benchmark::ResNet50),
+        "inceptionv3" | "inception" => Some(Benchmark::InceptionV3),
+        "mobilenetv2" | "mobilenet" => Some(Benchmark::MobileNetV2),
+        "bert" => Some(Benchmark::Bert),
+        _ => None,
+    }
+}
+
+fn parse_category(s: &str) -> Option<DnnCategory> {
+    match s.to_ascii_lowercase().as_str() {
+        "dense" => Some(DnnCategory::Dense),
+        "a" | "dnn.a" => Some(DnnCategory::A),
+        "b" | "dnn.b" => Some(DnnCategory::B),
+        "ab" | "dnn.ab" => Some(DnnCategory::AB),
+        _ => None,
+    }
+}
+
+fn parse_arch(s: &str) -> Option<ArchSpec> {
+    match s.to_ascii_lowercase().as_str() {
+        "baseline" | "dense" => Some(ArchSpec::dense()),
+        "sparse.a" | "a*" | "sparse.a*" => Some(ArchSpec::sparse_a_star()),
+        "sparse.b" | "b*" | "sparse.b*" => Some(ArchSpec::sparse_b_star()),
+        "sparse.ab" | "ab*" | "sparse.ab*" => Some(ArchSpec::sparse_ab_star()),
+        "griffin" => Some(ArchSpec::griffin()),
+        "tcl" | "tcl.b" | "bittactical" => Some(ArchSpec::tcl_b()),
+        "tensordash" | "tdash" => Some(ArchSpec::tensordash()),
+        "sparten" | "sparten.ab" => Some(ArchSpec::sparten_ab()),
+        "sparten.a" => Some(ArchSpec::sparten_a()),
+        "sparten.b" => Some(ArchSpec::sparten_b()),
+        "cnvlutin" => Some(ArchSpec::cnvlutin()),
+        "cambricon" | "cambricon-x" => Some(ArchSpec::cambricon_x()),
+        _ => None,
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("griffin-cli — Griffin (HPCA 2022) reproduction");
+    eprintln!();
+    eprintln!("USAGE:");
+    eprintln!("  griffin-cli list");
+    eprintln!("  griffin-cli run <benchmark> <category> <arch>");
+    eprintln!("  griffin-cli compare <benchmark> <category>");
+    eprintln!("  griffin-cli layer <M> <K> <N> <a_density> <b_density>");
+    eprintln!();
+    eprintln!("  benchmarks: alexnet googlenet resnet50 inceptionv3 mobilenetv2 bert");
+    eprintln!("  categories: dense a b ab");
+    eprintln!("  archs: baseline sparse.a* sparse.b* sparse.ab* griffin tcl.b");
+    eprintln!("         tensordash sparten[.a|.b] cnvlutin cambricon-x");
+    ExitCode::from(2)
+}
+
+fn cmd_list() -> ExitCode {
+    println!("architectures:");
+    for spec in ArchSpec::table7_lineup() {
+        println!(
+            "  {:<12} a={} b={} shuffle={}",
+            spec.name, spec.a, spec.b, spec.shuffle
+        );
+    }
+    println!();
+    println!("benchmarks (Table IV):");
+    for b in Benchmark::ALL {
+        let i = b.info();
+        println!(
+            "  {:<14} B-sparsity {:>3.0}%  A-sparsity {:>3.0}%  dense {:.1e} cycles",
+            i.name,
+            i.b_sparsity * 100.0,
+            i.a_sparsity * 100.0,
+            i.paper_dense_cycles
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn report(acc: &Accelerator, wl: &griffin::core::accelerator::Workload) {
+    let r = acc.run(wl);
+    println!(
+        "{:<12} {:>8.2}x speedup  {:>7.1} mW  {:>6.2} TOPS/W  {:>6.2} TOPS/mm2",
+        r.arch,
+        r.speedup,
+        r.cost.power_mw(),
+        r.effective_tops_per_w,
+        r.effective_tops_per_mm2
+    );
+}
+
+fn cmd_run(bench: &str, cat: &str, arch: &str) -> ExitCode {
+    let (Some(b), Some(c), Some(a)) =
+        (parse_benchmark(bench), parse_category(cat), parse_arch(arch))
+    else {
+        return usage();
+    };
+    let wl = build_workload(b, c, 42);
+    println!("{} on {} ({c:?} masks, seed 42):", a.name, wl.name);
+    report(&Accelerator::with_defaults(a), &wl);
+    ExitCode::SUCCESS
+}
+
+fn cmd_compare(bench: &str, cat: &str) -> ExitCode {
+    let (Some(b), Some(c)) = (parse_benchmark(bench), parse_category(cat)) else {
+        return usage();
+    };
+    let wl = build_workload(b, c, 42);
+    println!("{} / {c:?}:", wl.name);
+    for spec in ArchSpec::table7_lineup() {
+        report(&Accelerator::with_defaults(spec), &wl);
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_layer(args: &[String]) -> ExitCode {
+    let parsed: Option<(usize, usize, usize, f64, f64)> = (|| {
+        Some((
+            args.first()?.parse().ok()?,
+            args.get(1)?.parse().ok()?,
+            args.get(2)?.parse().ok()?,
+            args.get(3)?.parse().ok()?,
+            args.get(4)?.parse().ok()?,
+        ))
+    })();
+    let Some((m, k, n, da, db)) = parsed else { return usage() };
+    let Ok(layer) = synthetic_layer(m, k, n, db, da, 42) else {
+        eprintln!("invalid layer dimensions");
+        return ExitCode::from(2);
+    };
+    println!("layer {m}x{k}x{n}, A density {da}, B density {db}:");
+    for spec in [
+        ArchSpec::dense(),
+        ArchSpec::sparse_b_star(),
+        ArchSpec::sparse_a_star(),
+        ArchSpec::sparse_ab_star(),
+        ArchSpec::griffin(),
+    ] {
+        let acc = Accelerator::with_defaults(spec);
+        match acc.run_layer(&layer) {
+            Ok(r) => println!(
+                "{:<12} {:>10.0} cycles  {:>6.2}x",
+                acc.spec().name,
+                r.cycles,
+                r.speedup()
+            ),
+            Err(e) => {
+                eprintln!("{}: {e}", acc.spec().name);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("run") if args.len() == 4 => cmd_run(&args[1], &args[2], &args[3]),
+        Some("compare") if args.len() == 3 => cmd_compare(&args[1], &args[2]),
+        Some("layer") => cmd_layer(&args[1..]),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,219 @@
+//! Property-based tests (proptest) on the core invariants: the greedy
+//! borrowing scheduler, shuffling, masks and the analytic model.
+
+use griffin::core::analytic::estimate_speedup;
+use griffin::sim::config::{Priority, SparsityMode};
+use griffin::sim::engine::{schedule, schedule_assign, OpGrid};
+use griffin::sim::shuffle::{shuffle_lane, unshuffle_lane};
+use griffin::sim::window::{BorrowWindow, EffectiveWindow};
+use griffin::tensor::gen::TensorGen;
+use griffin::tensor::mask::SparsityMask;
+use proptest::prelude::*;
+
+/// A random op grid driven by a seed and density.
+fn grid(t: usize, lanes: usize, rows: usize, cols: usize, density: f64, seed: u64) -> OpGrid {
+    let mask = TensorGen::seeded(seed).bernoulli_mask(t * lanes, rows * cols, density);
+    OpGrid::from_fn(t, lanes, rows, cols, |tt, l, r, c| mask.get(tt * lanes + l, r * cols + c))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The scheduler executes every op exactly once and the makespan is
+    /// bounded by [max per-slot ops, dense T] for any window.
+    #[test]
+    fn scheduler_conserves_ops_and_respects_bounds(
+        seed in 0u64..1000,
+        density in 0.05f64..1.0,
+        depth in 1usize..6,
+        lane in 0usize..3,
+        d3 in 0usize..3,
+        own_first in proptest::bool::ANY,
+    ) {
+        let g = grid(24, 8, 2, 4, density, seed);
+        let row_reach = usize::from(d3 > 1);
+        let win = EffectiveWindow { depth, lane, rows: row_reach, cols: d3 };
+        let p = if own_first { Priority::OwnFirst } else { Priority::EarliestFirst };
+        let s = schedule(&g, win, p);
+        prop_assert_eq!(s.executed as usize, g.total_ops());
+        // One op per slot per cycle bounds the makespan from below.
+        let slots = 8 * 2 * 4;
+        prop_assert!(s.cycles as usize * slots >= g.total_ops());
+        // Without any cross-slot reach, the hottest slot is a bound too.
+        if lane == 0 && d3 == 0 && row_reach == 0 {
+            prop_assert!(s.cycles >= g.max_column_ops() as u64);
+        }
+        if g.total_ops() > 0 {
+            prop_assert!(s.cycles <= g.t_steps() as u64);
+        }
+    }
+
+    /// Growing the window never increases the makespan.
+    #[test]
+    fn wider_windows_never_hurt(
+        seed in 0u64..500,
+        density in 0.05f64..0.9,
+        depth in 1usize..5,
+        lane in 0usize..2,
+    ) {
+        let g = grid(24, 8, 1, 4, density, seed);
+        let small = schedule(
+            &g,
+            EffectiveWindow { depth, lane, rows: 0, cols: 0 },
+            Priority::OwnFirst,
+        );
+        let big = schedule(
+            &g,
+            EffectiveWindow { depth: depth + 2, lane: lane + 1, rows: 0, cols: 1 },
+            Priority::OwnFirst,
+        );
+        prop_assert!(big.cycles <= small.cycles);
+    }
+
+    /// Every assignment is legal: each op is placed exactly once, at
+    /// most one op per (cycle, slot), and time only moves earlier or
+    /// stays (t >= cycle would be the dense position; borrowing can only
+    /// pull ops earlier, never delay past the horizon of their row).
+    #[test]
+    fn assignments_are_a_valid_schedule(
+        seed in 0u64..500,
+        density in 0.05f64..0.9,
+    ) {
+        let g = grid(16, 4, 1, 4, density, seed);
+        let win = EffectiveWindow { depth: 3, lane: 1, rows: 0, cols: 1 };
+        let (s, assigns) = schedule_assign(&g, win, Priority::OwnFirst);
+        prop_assert_eq!(assigns.len(), g.total_ops());
+        // One op per (cycle, slot).
+        let mut seen = std::collections::HashSet::new();
+        for a in &assigns {
+            prop_assert!(seen.insert((a.cycle, a.slot)), "slot double-booked: {a:?}");
+            prop_assert!(u64::from(a.cycle) < s.cycles);
+            // Displacement limits: lane and col within the window reach.
+            let dl = a.src.0 as isize - a.slot.0 as isize;
+            let dc = a.src.2 as isize - a.slot.2 as isize;
+            prop_assert!(dl.unsigned_abs() <= win.lane);
+            prop_assert!(dc.unsigned_abs() <= win.cols);
+        }
+        // Each op placed exactly once (multiset equality via sorting).
+        let mut placed: Vec<_> = assigns.iter().map(|a| (a.t, a.src)).collect();
+        placed.sort_unstable();
+        placed.dedup();
+        prop_assert_eq!(placed.len(), g.total_ops());
+    }
+
+    /// The rotation shuffler is a bijection for every time step.
+    #[test]
+    fn shuffle_is_bijective(t in 0usize..64, lane in 0usize..16) {
+        prop_assert_eq!(unshuffle_lane(shuffle_lane(lane, t), t), lane);
+        prop_assert!(shuffle_lane(lane, t) / 4 == lane / 4, "stays in its 4-lane group");
+    }
+
+    /// Mask intersection density can never exceed either operand's.
+    #[test]
+    fn mask_and_density_bound(
+        seed in 0u64..500,
+        da in 0.0f64..1.0,
+        db in 0.0f64..1.0,
+    ) {
+        let mut g = TensorGen::seeded(seed);
+        let a = g.bernoulli_mask(32, 32, da);
+        let b = g.bernoulli_mask(32, 32, db);
+        let both = a.and(&b).unwrap();
+        prop_assert!(both.nnz() <= a.nnz().min(b.nnz()));
+    }
+
+    /// Channel-minor masks hit their target density in expectation.
+    #[test]
+    fn channel_minor_mean_density(
+        seed in 0u64..200,
+        density in 0.05f64..0.85,
+    ) {
+        // The generator calibrates a global gain against the [0,1] clamp
+        // bias, so the realized mean tracks the target across the range.
+        let m = TensorGen::seeded(seed).channel_minor_mask(256, 256, density, 64, 0.6, true);
+        let d = m.density();
+        prop_assert!((d - density).abs() < 0.12, "density {d} vs target {density}");
+    }
+
+    /// The analytic estimate always respects the ideal bound 1/p and
+    /// never predicts a slowdown.
+    #[test]
+    fn analytic_estimate_is_bounded(
+        pa in 0.05f64..1.0,
+        pb in 0.05f64..1.0,
+        d1 in 0usize..8,
+        d2 in 0usize..3,
+        d3 in 0usize..3,
+    ) {
+        let mode = SparsityMode::SparseB { win: BorrowWindow::new(d1, d2, d3), shuffle: true };
+        let s = estimate_speedup(mode, pa, pb);
+        prop_assert!(s >= 1.0);
+        prop_assert!(s <= 1.0 / pb + 1e-9);
+        let dual = SparsityMode::SparseAB {
+            a: BorrowWindow::new(d1.min(2), d2, 0),
+            b: BorrowWindow::new(d1, d2, d3),
+            shuffle: true,
+        };
+        let sd = estimate_speedup(dual, pa, pb);
+        prop_assert!(sd >= 1.0);
+        prop_assert!(sd <= 1.0 / (pa * pb) + 1e-9);
+    }
+
+    /// Dense grids always take exactly T cycles, whatever the window.
+    #[test]
+    fn dense_grid_is_always_t_cycles(
+        depth in 1usize..6,
+        lane in 0usize..3,
+    ) {
+        let g = OpGrid::from_fn(12, 4, 2, 2, |_, _, _, _| true);
+        let s = schedule(
+            &g,
+            EffectiveWindow { depth, lane, rows: 1, cols: 1 },
+            Priority::OwnFirst,
+        );
+        prop_assert_eq!(s.cycles, 12);
+    }
+
+    /// Borrowing schedules compute the exact GEMM product for random
+    /// operands, densities and windows — the end-to-end functional
+    /// correctness property of the whole architecture family.
+    #[test]
+    fn schedules_preserve_the_computation(
+        seed in 0u64..200,
+        da in 0.2f64..1.0,
+        db in 0.1f64..0.8,
+        d1 in 1usize..5,
+        d3 in 0usize..2,
+        shuffle in proptest::bool::ANY,
+    ) {
+        use griffin::sim::functional::{sparse_ab_product, sparse_b_product};
+        use griffin::tensor::shape::CoreDims;
+        let mut g = TensorGen::seeded(seed);
+        let a = g.relu_activations(6, 48, da);
+        let b = g.pruned_weights(48, 12, db);
+        let reference = a.matmul(&b).unwrap();
+        let core = CoreDims::PAPER;
+        let cb = sparse_b_product(
+            &a, &b, BorrowWindow::new(d1, 0, d3), shuffle, core, Priority::OwnFirst,
+        ).unwrap();
+        prop_assert_eq!(&cb, &reference);
+        let cab = sparse_ab_product(
+            &a, &b,
+            BorrowWindow::new(d1.min(2), 0, 0),
+            BorrowWindow::new(d1, 0, d3),
+            shuffle, core, Priority::OwnFirst,
+        ).unwrap();
+        prop_assert_eq!(&cab, &reference);
+    }
+
+    /// SparsityMask set/get roundtrip at random coordinates.
+    #[test]
+    fn mask_set_get_roundtrip(r in 0usize..40, c in 0usize..40) {
+        let mut m = SparsityMask::zeros(40, 40);
+        m.set(r, c, true);
+        prop_assert!(m.get(r, c));
+        prop_assert_eq!(m.nnz(), 1);
+        m.set(r, c, false);
+        prop_assert_eq!(m.nnz(), 0);
+    }
+}
