@@ -6,14 +6,18 @@
 //! (b/c) Effective power / area efficiency on DNN.B (y-axis) vs
 //!     DNN.dense (x-axis).
 //!
-//! Paper reference speedups (§VI-A text) are printed next to our
-//! measured values where published.
+//! Driven by the `griffin-sweep` campaign engine: the whole design
+//! family × six-benchmark grid runs as one parallel, cached campaign
+//! instead of a serial loop. Paper reference speedups (§VI-A text) are
+//! printed next to our measured values where published.
 
-use griffin_bench::{banner, deviation, paper, Suite};
+use griffin_bench::{banner, deviation, paper};
 use griffin_core::arch::ArchSpec;
 use griffin_core::category::DnnCategory;
 use griffin_core::dse::enumerate_sparse_b;
+use griffin_core::efficiency::dense_tops;
 use griffin_sim::window::BorrowWindow;
+use griffin_sweep::{default_workers, per_arch, run_campaign, ResultCache, SweepSpec};
 
 /// Published reference speedups from §VI-A.
 fn paper_speedup(w: BorrowWindow, shuffle: bool) -> Option<f64> {
@@ -31,62 +35,108 @@ fn paper_speedup(w: BorrowWindow, shuffle: bool) -> Option<f64> {
 }
 
 fn main() {
-    banner("Figure 5", "Sparse.B design space: speedup and efficiency on DNN.B vs DNN.dense");
-    let mut suite = Suite::new();
+    banner(
+        "Figure 5",
+        "Sparse.B design space: speedup and efficiency on DNN.B vs DNN.dense",
+    );
+
+    // One campaign: the §VI-A family plus the paper's chosen optimum
+    // and SOTA weight-sparse points, over all six Table IV benchmarks.
+    let spec = SweepSpec::new("fig5")
+        .full_suite()
+        .category(DnnCategory::B)
+        .archs(enumerate_sparse_b(8))
+        .archs([
+            ArchSpec::sparse_b_star(),
+            ArchSpec::tcl_b(),
+            ArchSpec::sparten_b(),
+        ])
+        .seeds([0x5EED])
+        .sim(griffin_bench::Suite::new().cfg);
+
+    let workers = default_workers();
+    let cache = ResultCache::in_memory();
+    let report = run_campaign(&spec, &cache, workers).expect("fig5 campaign");
+    println!(
+        "(campaign: {} cells on {} workers, {} ms)",
+        report.cells.len(),
+        report.workers,
+        report.elapsed_ms
+    );
+    println!();
+
+    let rollup = per_arch(&report, Some(DnnCategory::B));
+    let agg = |name: &str| rollup.iter().find(|a| a.arch == name);
+
+    // Per-arch geomean power across the six benchmarks drives the
+    // dense-axis efficiency at speedup 1 (the design's sparsity tax).
+    let dense_axis = |name: &str| -> (f64, f64) {
+        let cells: Vec<_> = report.cells.iter().filter(|c| c.arch == name).collect();
+        let n = cells.len().max(1) as f64;
+        let power = (cells.iter().map(|c| c.metrics.power_mw.ln()).sum::<f64>() / n).exp();
+        let area = (cells.iter().map(|c| c.metrics.area_mm2.ln()).sum::<f64>() / n).exp();
+        // Definition V.1 at speedup 1 (the design's sparsity tax), on
+        // the same core the campaign simulated.
+        let tops = dense_tops(spec.sim.core);
+        (tops / (power / 1000.0), tops / area)
+    };
 
     println!(
         "{:<22} {:>8} {:>7} {:>6}   {:>9} {:>10} {:>9} {:>10}",
-        "config", "speedup", "paper", "dev",
-        "TOPS/W.B", "TOPS/W.den", "TOPSmm.B", "TOPSmm.den"
+        "config", "speedup", "paper", "dev", "TOPS/W.B", "TOPS/W.den", "TOPSmm.B", "TOPSmm.den"
     );
-
-    for spec in enumerate_sparse_b(8) {
-        let b = suite.evaluate(&spec, DnnCategory::B);
-        // On a dense model the sparse schedule degenerates to the dense
-        // one; efficiency is the sparsity tax at speedup 1.
-        let dense_eff = griffin_core::efficiency::Efficiency::new(suite.cfg.core, &b.cost, 1.0);
-        let reference = paper_speedup(spec.b, spec.shuffle);
+    for arch in enumerate_sparse_b(8) {
+        let Some(a) = agg(&arch.name) else { continue };
+        let (den_w, den_mm) = dense_axis(&arch.name);
+        let reference = paper_speedup(arch.b, arch.shuffle);
         println!(
             "{:<22} {:>8.2} {} {:>6}   {:>9.2} {:>10.2} {:>9.2} {:>10.2}",
-            spec.name,
-            b.speedup,
+            arch.name,
+            a.speedup,
             paper(reference),
-            deviation(b.speedup, reference),
-            b.eff.tops_per_w,
-            dense_eff.tops_per_w,
-            b.eff.tops_per_mm2,
-            dense_eff.tops_per_mm2,
+            deviation(a.speedup, reference),
+            a.tops_per_w,
+            den_w,
+            a.tops_per_mm2,
+            den_mm,
         );
     }
 
     // The paper's chosen optimum and the SOTA weight-sparse points.
     println!();
-    for spec in [ArchSpec::sparse_b_star(), ArchSpec::tcl_b(), ArchSpec::sparten_b()] {
-        let e = suite.evaluate(&spec, DnnCategory::B);
-        let reference = match spec.name.as_str() {
-            "SparTen.B" => Some(3.9),
-            _ => None,
-        };
+    for name in ["Sparse.B*", "TCL.B", "SparTen.B"] {
+        let Some(a) = agg(name) else { continue };
+        let reference = if name == "SparTen.B" { Some(3.9) } else { None };
         println!(
             "{:<22} speedup {:>5.2} (paper {}) TOPS/W {:>6.2} TOPS/mm2 {:>6.2}",
-            spec.name,
-            e.speedup,
+            name,
+            a.speedup,
             paper(reference),
-            e.eff.tops_per_w,
-            e.eff.tops_per_mm2
+            a.tops_per_w,
+            a.tops_per_mm2
         );
     }
+
     println!();
     println!("Shape checks (paper observations, §VI-A):");
-    let mut s = |d1, d2, d3, sh| {
-        suite.geomean_speedup(&ArchSpec::sparse_b(BorrowWindow::new(d1, d2, d3), sh), DnnCategory::B)
+    let s = |d1: usize, d2: usize, d3: usize, sh: bool| {
+        let name = ArchSpec::sparse_b(BorrowWindow::new(d1, d2, d3), sh).name;
+        agg(&name).map_or(f64::NAN, |a| a.speedup)
     };
     let b400 = s(4, 0, 0, false);
     let b401 = s(4, 0, 1, false);
     let b402 = s(4, 0, 2, false);
-    println!("  (1) larger db1 helps:      B(2,0,0) {:.2} < B(4,0,0) {:.2} < B(6,0,0) {:.2}",
-        s(2, 0, 0, false), b400, s(6, 0, 0, false));
+    println!(
+        "  (1) larger db1 helps:      B(2,0,0) {:.2} < B(4,0,0) {:.2} < B(6,0,0) {:.2}",
+        s(2, 0, 0, false),
+        b400,
+        s(6, 0, 0, false)
+    );
     println!("  (2) db3 boosts speedup:    B(4,0,0) {b400:.2} -> B(4,0,1) {b401:.2} -> B(4,0,2) {b402:.2}");
-    println!("  (5) balance db2/db3:       B(2,1,1,on) {:.2} vs B(2,2,0,on) {:.2} vs B(2,0,2,on) {:.2}",
-        s(2, 1, 1, true), s(2, 2, 0, true), s(2, 0, 2, true));
+    println!(
+        "  (5) balance db2/db3:       B(2,1,1,on) {:.2} vs B(2,2,0,on) {:.2} vs B(2,0,2,on) {:.2}",
+        s(2, 1, 1, true),
+        s(2, 2, 0, true),
+        s(2, 0, 2, true)
+    );
 }

@@ -24,13 +24,15 @@ fn paper_speedup(w: BorrowWindow, shuffle: bool) -> Option<f64> {
 }
 
 fn main() {
-    banner("Figure 6", "Sparse.A design space: speedup and efficiency on DNN.A vs DNN.dense");
+    banner(
+        "Figure 6",
+        "Sparse.A design space: speedup and efficiency on DNN.A vs DNN.dense",
+    );
     let mut suite = Suite::new();
 
     println!(
         "{:<22} {:>8} {:>7} {:>6}   {:>9} {:>10} {:>9} {:>10}",
-        "config", "speedup", "paper", "dev",
-        "TOPS/W.A", "TOPS/W.den", "TOPSmm.A", "TOPSmm.den"
+        "config", "speedup", "paper", "dev", "TOPS/W.A", "TOPS/W.den", "TOPSmm.A", "TOPSmm.den"
     );
 
     for spec in enumerate_sparse_a(8) {
@@ -51,7 +53,11 @@ fn main() {
     }
 
     println!();
-    for spec in [ArchSpec::sparse_a_star(), ArchSpec::cnvlutin(), ArchSpec::sparten_a()] {
+    for spec in [
+        ArchSpec::sparse_a_star(),
+        ArchSpec::cnvlutin(),
+        ArchSpec::sparten_a(),
+    ] {
         let e = suite.evaluate(&spec, DnnCategory::A);
         let reference = match spec.name.as_str() {
             "SparTen.A" => Some(2.0),
@@ -70,12 +76,21 @@ fn main() {
     println!();
     println!("Shape checks (paper observations, §VI-B):");
     let mut s = |d1, d2, d3, sh| {
-        suite.geomean_speedup(&ArchSpec::sparse_a(BorrowWindow::new(d1, d2, d3), sh), DnnCategory::A)
+        suite.geomean_speedup(
+            &ArchSpec::sparse_a(BorrowWindow::new(d1, d2, d3), sh),
+            DnnCategory::A,
+        )
     };
-    println!("  (1) da1 saturates near 2x ideal:  A(2,1,0,on) {:.2} ~ A(3,1,0,on) {:.2}",
-        s(2, 1, 0, true), s(3, 1, 0, true));
+    println!(
+        "  (1) da1 saturates near 2x ideal:  A(2,1,0,on) {:.2} ~ A(3,1,0,on) {:.2}",
+        s(2, 1, 0, true),
+        s(3, 1, 0, true)
+    );
     println!("  (2) da3 gains are small:          A(2,1,0,on) {:.2} -> A(2,1,1,on) {:.2} -> A(2,1,2,on) {:.2}",
         s(2, 1, 0, true), s(2, 1, 1, true), s(2, 1, 2, true));
-    println!("  (3) shuffling helps A(4,0,1):     off {:.2} -> on {:.2}",
-        s(4, 0, 1, false), s(4, 0, 1, true));
+    println!(
+        "  (3) shuffling helps A(4,0,1):     off {:.2} -> on {:.2}",
+        s(4, 0, 1, false),
+        s(4, 0, 1, true)
+    );
 }

@@ -14,7 +14,11 @@ use griffin_sim::window::BorrowWindow;
 /// with published reference speedups where the text names them.
 fn configs() -> Vec<(ArchSpec, Option<f64>)> {
     let mk = |a1, a2, b1, b2, b3, sh| {
-        ArchSpec::sparse_ab(BorrowWindow::new(a1, a2, 0), BorrowWindow::new(b1, b2, b3), sh)
+        ArchSpec::sparse_ab(
+            BorrowWindow::new(a1, a2, 0),
+            BorrowWindow::new(b1, b2, b3),
+            sh,
+        )
     };
     vec![
         (mk(1, 0, 1, 0, 0, false), None),
@@ -35,13 +39,15 @@ fn configs() -> Vec<(ArchSpec, Option<f64>)> {
 }
 
 fn main() {
-    banner("Figure 7", "Sparse.AB design space: speedup and efficiency on DNN.AB vs DNN.A");
+    banner(
+        "Figure 7",
+        "Sparse.AB design space: speedup and efficiency on DNN.AB vs DNN.A",
+    );
     let mut suite = Suite::new();
 
     println!(
         "{:<32} {:>8} {:>7} {:>6}   {:>10} {:>9} {:>10} {:>9}",
-        "config", "speedup", "paper", "dev",
-        "TOPS/W.AB", "TOPS/W.A", "TOPSmm.AB", "TOPSmm.A"
+        "config", "speedup", "paper", "dev", "TOPS/W.AB", "TOPS/W.A", "TOPSmm.AB", "TOPSmm.A"
     );
 
     for (spec, reference) in configs() {
@@ -74,7 +80,11 @@ fn main() {
     println!("Shape checks (paper observations, §VI-C):");
     let mut s = |a1, a2, b1, b2, b3, sh| {
         suite.geomean_speedup(
-            &ArchSpec::sparse_ab(BorrowWindow::new(a1, a2, 0), BorrowWindow::new(b1, b2, b3), sh),
+            &ArchSpec::sparse_ab(
+                BorrowWindow::new(a1, a2, 0),
+                BorrowWindow::new(b1, b2, b3),
+                sh,
+            ),
             DnnCategory::AB,
         )
     };

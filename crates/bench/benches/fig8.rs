@@ -7,7 +7,10 @@ use griffin_core::arch::ArchSpec;
 use griffin_core::category::DnnCategory;
 
 fn main() {
-    banner("Figure 8", "Power vs area efficiency across all four DNN categories");
+    banner(
+        "Figure 8",
+        "Power vs area efficiency across all four DNN categories",
+    );
     let mut suite = Suite::new();
     let lineup = ArchSpec::table7_lineup();
 
@@ -19,7 +22,10 @@ fn main() {
     for cat in DnnCategory::ALL {
         println!();
         println!("--- {cat} (activity-scaled power) ---");
-        println!("{:<14} {:>8} {:>10} {:>11} {:>11}", "arch", "speedup", "power mW", "TOPS/W", "TOPS/mm2");
+        println!(
+            "{:<14} {:>8} {:>10} {:>11} {:>11}",
+            "arch", "speedup", "power mW", "TOPS/W", "TOPS/mm2"
+        );
         for spec in &lineup {
             let e = suite.evaluate_activity_scaled(spec, cat);
             println!(
@@ -35,16 +41,25 @@ fn main() {
     }
 
     let get = |name: &str, cat: DnnCategory| {
-        results.iter().find(|(n, c, _)| n == name && *c == cat).map(|(_, _, e)| *e).unwrap()
+        results
+            .iter()
+            .find(|(n, c, _)| n == name && *c == cat)
+            .map(|(_, _, e)| *e)
+            .unwrap()
     };
 
     println!();
     println!("Headline: Griffin vs SparTen.AB power efficiency (paper: 1.2 / 3.0 / 3.1 / 1.4x)");
     let paper_power = [1.2, 3.0, 3.1, 1.4];
     let paper_area = [3.8, 3.1, 3.7, 1.8];
-    for (i, cat) in [DnnCategory::Dense, DnnCategory::B, DnnCategory::A, DnnCategory::AB]
-        .into_iter()
-        .enumerate()
+    for (i, cat) in [
+        DnnCategory::Dense,
+        DnnCategory::B,
+        DnnCategory::A,
+        DnnCategory::AB,
+    ]
+    .into_iter()
+    .enumerate()
     {
         let g = get("Griffin", cat);
         let s = get("SparTen.AB", cat);
@@ -60,7 +75,9 @@ fn main() {
     }
 
     println!();
-    println!("Griffin morphing gains vs Sparse.AB* (paper: +25% power-eff on DNN.B, +23% on DNN.A):");
+    println!(
+        "Griffin morphing gains vs Sparse.AB* (paper: +25% power-eff on DNN.B, +23% on DNN.A):"
+    );
     for (cat, paper_gain) in [(DnnCategory::B, 1.25), (DnnCategory::A, 1.23)] {
         let g = get("Griffin", cat);
         let ab = get("Sparse.AB*", cat);

@@ -9,7 +9,9 @@ use griffin_tensor::gen::TensorGen;
 
 fn sparse_b_grid(density: f64, seed: u64) -> OpGrid {
     let mask = TensorGen::seeded(seed).bernoulli_mask(16 * 72, 16, density);
-    OpGrid::from_fn(72, 16, 1, 16, |t, lane, _, col| mask.get(t * 16 + lane, col))
+    OpGrid::from_fn(72, 16, 1, 16, |t, lane, _, col| {
+        mask.get(t * 16 + lane, col)
+    })
 }
 
 fn dual_grid(da: f64, db: f64, seed: u64) -> OpGrid {

@@ -12,37 +12,72 @@ fn row(label: &str, o: HardwareOverhead) {
         "{label:<22} {:>6} {:>6} {:>6} {:>6} {:>5} {:>9}",
         o.abuf_depth,
         o.amux_fanin,
-        if o.bbuf_depth == 0 { "-".to_string() } else { o.bbuf_depth.to_string() },
-        if o.bmux_fanin <= 1 { "-".to_string() } else { o.bmux_fanin.to_string() },
+        if o.bbuf_depth == 0 {
+            "-".to_string()
+        } else {
+            o.bbuf_depth.to_string()
+        },
+        if o.bmux_fanin <= 1 {
+            "-".to_string()
+        } else {
+            o.bmux_fanin.to_string()
+        },
         o.adder_trees,
         o.metadata_bits,
     );
 }
 
 fn main() {
-    banner("Table II", "Hardware overhead for Sparse.A and Sparse.B families");
+    banner(
+        "Table II",
+        "Hardware overhead for Sparse.A and Sparse.B families",
+    );
     println!(
         "{:<22} {:>6} {:>6} {:>6} {:>6} {:>5} {:>9}",
         "architecture", "ABUF", "AMUX", "BBUF", "BMUX", "ADT", "meta/bit"
     );
 
     for da1 in [1usize, 2, 4] {
-        row(&format!("Sparse.A({da1},0,0)"), HardwareOverhead::sparse_a(BorrowWindow::new(da1, 0, 0)));
+        row(
+            &format!("Sparse.A({da1},0,0)"),
+            HardwareOverhead::sparse_a(BorrowWindow::new(da1, 0, 0)),
+        );
     }
     for da2 in [1usize, 2] {
-        row(&format!("Sparse.A(1,{da2},0)"), HardwareOverhead::sparse_a(BorrowWindow::new(1, da2, 0)));
+        row(
+            &format!("Sparse.A(1,{da2},0)"),
+            HardwareOverhead::sparse_a(BorrowWindow::new(1, da2, 0)),
+        );
     }
     for da3 in [1usize, 2] {
-        row(&format!("Sparse.A(1,0,{da3})"), HardwareOverhead::sparse_a(BorrowWindow::new(1, 0, da3)));
+        row(
+            &format!("Sparse.A(1,0,{da3})"),
+            HardwareOverhead::sparse_a(BorrowWindow::new(1, 0, da3)),
+        );
     }
-    row("Sparse.A(2,1,0) = A*", HardwareOverhead::sparse_a(BorrowWindow::new(2, 1, 0)));
+    row(
+        "Sparse.A(2,1,0) = A*",
+        HardwareOverhead::sparse_a(BorrowWindow::new(2, 1, 0)),
+    );
     println!();
     for db1 in [2usize, 4, 8] {
-        row(&format!("Sparse.B({db1},0,0)"), HardwareOverhead::sparse_b(BorrowWindow::new(db1, 0, 0)));
+        row(
+            &format!("Sparse.B({db1},0,0)"),
+            HardwareOverhead::sparse_b(BorrowWindow::new(db1, 0, 0)),
+        );
     }
-    row("Sparse.B(1,2,0)", HardwareOverhead::sparse_b(BorrowWindow::new(1, 2, 0)));
-    row("Sparse.B(1,0,2)", HardwareOverhead::sparse_b(BorrowWindow::new(1, 0, 2)));
-    row("Sparse.B(4,0,1) = B*", HardwareOverhead::sparse_b(BorrowWindow::new(4, 0, 1)));
+    row(
+        "Sparse.B(1,2,0)",
+        HardwareOverhead::sparse_b(BorrowWindow::new(1, 2, 0)),
+    );
+    row(
+        "Sparse.B(1,0,2)",
+        HardwareOverhead::sparse_b(BorrowWindow::new(1, 0, 2)),
+    );
+    row(
+        "Sparse.B(4,0,1) = B*",
+        HardwareOverhead::sparse_b(BorrowWindow::new(4, 0, 1)),
+    );
     println!();
     row(
         "Sparse.AB* (SecIV-A)",

@@ -15,7 +15,10 @@ use griffin_sim::report::geomean;
 use griffin_workloads::suite::Benchmark;
 
 fn main() {
-    banner("Table III", "Griffin morphing vs dual-sparse downgrade on DNN.A / DNN.B");
+    banner(
+        "Table III",
+        "Griffin morphing vs dual-sparse downgrade on DNN.A / DNN.B",
+    );
     let mut suite = Suite::new();
 
     for (cat, paper_morph) in [(DnnCategory::B, Some(3.5)), (DnnCategory::A, Some(1.94))] {
@@ -36,7 +39,10 @@ fn main() {
         println!("model {cat}:");
         println!(
             "  dual-sparse downgrade {:<18} speedup {downgraded:>5.2}",
-            format!("{:?}", downgrade(cat)).split(' ').next().unwrap_or("")
+            format!("{:?}", downgrade(cat))
+                .split(' ')
+                .next()
+                .unwrap_or("")
         );
         println!(
             "  Griffin morph         {:<18} speedup {morphed:>5.2}  (paper {}, dev {})",
@@ -44,7 +50,10 @@ fn main() {
             paper(paper_morph),
             deviation(morphed, paper_morph)
         );
-        println!("  morphing gain: {:.1}%", (morphed / downgraded - 1.0) * 100.0);
+        println!(
+            "  morphing gain: {:.1}%",
+            (morphed / downgraded - 1.0) * 100.0
+        );
         assert!(
             morphed >= downgraded * 0.99,
             "morphing must not lose to the downgrade"
@@ -55,7 +64,16 @@ fn main() {
     println!("Structural deltas (Table III / griffin-core::overhead):");
     let g = griffin_core::overhead::HardwareOverhead::griffin();
     let ab = griffin_core::overhead::HardwareOverhead::for_spec(&ArchSpec::sparse_ab_star());
-    println!("  BMUX fan-in:          {} -> {}", ab.bmux_fanin, g.bmux_fanin);
-    println!("  metadata per element: {}b -> {}b", ab.metadata_bits, g.metadata_bits);
-    println!("  global arbiter/row:   {} -> {}", ab.row_arbiter, g.row_arbiter);
+    println!(
+        "  BMUX fan-in:          {} -> {}",
+        ab.bmux_fanin, g.bmux_fanin
+    );
+    println!(
+        "  metadata per element: {}b -> {}b",
+        ab.metadata_bits, g.metadata_bits
+    );
+    println!(
+        "  global arbiter/row:   {} -> {}",
+        ab.row_arbiter, g.row_arbiter
+    );
 }

@@ -6,7 +6,10 @@ use griffin_core::category::DnnCategory;
 use griffin_workloads::suite::Benchmark;
 
 fn main() {
-    banner("Table IV", "Benchmarks: sparsity ratios and dense latency (paper vs measured)");
+    banner(
+        "Table IV",
+        "Benchmarks: sparsity ratios and dense latency (paper vs measured)",
+    );
     let mut suite = Suite::new();
 
     println!(
@@ -17,7 +20,11 @@ fn main() {
     for b in Benchmark::ALL {
         let info = b.info();
         let wl = suite.workload(b, DnnCategory::Dense);
-        let cycles = wl.layers.iter().map(|l| l.dense_cycles(cfg.core)).sum::<u64>() as f64;
+        let cycles = wl
+            .layers
+            .iter()
+            .map(|l| l.dense_cycles(cfg.core))
+            .sum::<u64>() as f64;
         let cat = DnnCategory::infer(1.0 - info.a_sparsity, 1.0 - info.b_sparsity, 0.9);
         println!(
             "{:<14} {:>6.0}% {:>6.0}% {:<14} {:>12.2e} {:>12.2e} {:>6}  {:<10}",

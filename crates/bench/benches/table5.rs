@@ -12,7 +12,10 @@ fn check(b: bool) -> &'static str {
 }
 
 fn main() {
-    banner("Table V", "Routing dimensions in matrices A and B for the compared architectures");
+    banner(
+        "Table V",
+        "Routing dimensions in matrices A and B for the compared architectures",
+    );
     println!(
         "{:<14} | {:>4} {:>4} {:>4} | {:>4} {:>4} {:>4} | {:>7} | sparsity support",
         "architecture", "da1", "da2", "da3", "db1", "db2", "db3", "shuffle"
@@ -21,7 +24,10 @@ fn main() {
         (ArchSpec::dense(), "Dense"),
         (ArchSpec::tcl_b(), "Weight Only"),
         (ArchSpec::tensordash(), "Dual Sparsity"),
-        (ArchSpec::sparten_ab(), "Dual Sparsity (per-MAC time routing)"),
+        (
+            ArchSpec::sparten_ab(),
+            "Dual Sparsity (per-MAC time routing)",
+        ),
         (ArchSpec::cnvlutin(), "Activation Only"),
         (ArchSpec::cambricon_x(), "Weight Only (16x16 window)"),
         (ArchSpec::griffin(), "Hybrid Sparsity"),
@@ -41,6 +47,8 @@ fn main() {
         );
     }
     println!();
-    println!("Griffin morphs: conf.AB (2,0,0|2,0,1), conf.B (8,0,1), conf.A (2,1,1), all with shuffle.");
+    println!(
+        "Griffin morphs: conf.AB (2,0,0|2,0,1), conf.B (8,0,1), conf.A (2,1,1), all with shuffle."
+    );
     println!("SparTen routes in time only, independently per scalar MAC (depth-128 buffers).");
 }

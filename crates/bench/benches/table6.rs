@@ -7,7 +7,9 @@
 use griffin_bench::{banner, Suite};
 use griffin_core::arch::ArchSpec;
 use griffin_core::category::DnnCategory;
-use griffin_core::dse::{enumerate_sparse_a, enumerate_sparse_ab, enumerate_sparse_b, pareto_front, ScoredDesign};
+use griffin_core::dse::{
+    enumerate_sparse_a, enumerate_sparse_ab, enumerate_sparse_b, pareto_front, ScoredDesign,
+};
 use griffin_core::efficiency::Efficiency;
 
 /// Scores a family on (home-category TOPS/W, dense TOPS/W).
@@ -30,7 +32,10 @@ fn score(suite: &mut Suite, specs: Vec<ArchSpec>, cat: DnnCategory) -> Vec<Score
 /// efficiency whose dense efficiency stays within `tax` of the best
 /// dense efficiency on the front.
 fn select(front: &[ScoredDesign], tax: f64) -> &ScoredDesign {
-    let best_dense = front.iter().map(|p| p.dense_metric).fold(f64::MIN, f64::max);
+    let best_dense = front
+        .iter()
+        .map(|p| p.dense_metric)
+        .fold(f64::MIN, f64::max);
     front
         .iter()
         .filter(|p| p.dense_metric >= best_dense * (1.0 - tax))
@@ -39,7 +44,10 @@ fn select(front: &[ScoredDesign], tax: f64) -> &ScoredDesign {
 }
 
 fn main() {
-    banner("Table VI", "Optimal design points recovered by DSE (paper selections in parentheses)");
+    banner(
+        "Table VI",
+        "Optimal design points recovered by DSE (paper selections in parentheses)",
+    );
     // Coarse fidelity: this target simulates the whole enumerated space.
     let mut suite = Suite::coarse();
 
@@ -78,7 +86,10 @@ fn main() {
     println!();
     println!("Pareto front, Sparse.B family (TOPS/W on DNN.B vs DNN.dense):");
     for p in b_front.iter().take(8) {
-        println!("  {:<24} sparse {:>6.2}  dense {:>6.2}", p.spec.name, p.sparse_metric, p.dense_metric);
+        println!(
+            "  {:<24} sparse {:>6.2}  dense {:>6.2}",
+            p.spec.name, p.sparse_metric, p.dense_metric
+        );
     }
     println!();
     println!("Griffin configurations (fixed by §IV-B):");

@@ -15,7 +15,10 @@ fn print_components(label: &str, c: &Components) {
 }
 
 fn main() {
-    banner("Table VII", "Power (mW) and area (kum2) breakdown: calibrated (paper) vs parametric");
+    banner(
+        "Table VII",
+        "Power (mW) and area (kum2) breakdown: calibrated (paper) vs parametric",
+    );
     let mut suite = Suite::new();
 
     // Home category of each design, for provisioning the parametric model.
@@ -39,11 +42,18 @@ fn main() {
         let speedup = suite.geomean_speedup(&spec, cat);
         let prov = Provision {
             speedup,
-            b_stream_factor: if cat.b_sparse() && spec.mode_for(cat).compresses_b() { 0.3 } else { 1.0 },
+            b_stream_factor: if cat.b_sparse() && spec.mode_for(cat).compresses_b() {
+                0.3
+            } else {
+                1.0
+            },
         };
         let parametric = CostModel::parametric(&spec, suite.cfg.core, prov);
         println!();
-        println!("== {} (home category {cat}, measured speedup {speedup:.2}) ==", spec.name);
+        println!(
+            "== {} (home category {cat}, measured speedup {speedup:.2}) ==",
+            spec.name
+        );
         match CostModel::calibrated(&spec) {
             Some(cal) => {
                 println!("POWER");

@@ -35,7 +35,10 @@ impl Suite {
         Suite {
             cache: HashMap::new(),
             cfg: SimConfig {
-                fidelity: Fidelity::Sampled { tiles: 12, seed: 0xBEEF },
+                fidelity: Fidelity::Sampled {
+                    tiles: 12,
+                    seed: 0xBEEF,
+                },
                 ..SimConfig::default()
             },
         }
@@ -46,7 +49,10 @@ impl Suite {
         Suite {
             cache: HashMap::new(),
             cfg: SimConfig {
-                fidelity: Fidelity::Sampled { tiles: 6, seed: 0xBEEF },
+                fidelity: Fidelity::Sampled {
+                    tiles: 6,
+                    seed: 0xBEEF,
+                },
                 ..SimConfig::default()
             },
         }
@@ -54,7 +60,9 @@ impl Suite {
 
     /// The cached workload for one benchmark/category pair.
     pub fn workload(&mut self, bench: Benchmark, cat: DnnCategory) -> &Workload {
-        self.cache.entry((bench, cat)).or_insert_with(|| build_workload(bench, cat, 0x5EED))
+        self.cache
+            .entry((bench, cat))
+            .or_insert_with(|| build_workload(bench, cat, 0x5EED))
     }
 
     /// Geomean speedup of an architecture over the six benchmarks in a
@@ -87,7 +95,10 @@ impl Suite {
             let ops: f64 = net.layers.iter().map(|l| l.effectual_ops).sum();
             utils.push((ops / (net.cycles() * macs)).min(1.0));
         }
-        (geomean(&speedups), utils.iter().sum::<f64>() / utils.len() as f64)
+        (
+            geomean(&speedups),
+            utils.iter().sum::<f64>() / utils.len() as f64,
+        )
     }
 
     /// Like [`Suite::evaluate`], but with the power re-scaled from the
@@ -97,22 +108,41 @@ impl Suite {
         use griffin_core::cost::Activity;
         let home = spec.home_category();
         let (s_cat, u_cat) = self.speedup_and_util(spec, cat);
-        let (s_home, u_home) =
-            if home == cat { (s_cat, u_cat) } else { self.speedup_and_util(spec, home) };
+        let (s_home, u_home) = if home == cat {
+            (s_cat, u_cat)
+        } else {
+            self.speedup_and_util(spec, home)
+        };
         let base = self.evaluate_at(spec, cat, s_home);
         let act = Activity::from_measurements(s_cat, s_home, u_cat, u_home);
         let cost = CostModel::scale_power_to_activity(&base.cost, act);
         let eff = Efficiency::new(self.cfg.core, &cost, s_cat);
-        Evaluated { speedup: s_cat, cost, eff }
+        Evaluated {
+            speedup: s_cat,
+            cost,
+            eff,
+        }
     }
 
-    fn evaluate_at(&mut self, spec: &ArchSpec, cat: DnnCategory, provision_speedup: f64) -> Evaluated {
+    fn evaluate_at(
+        &mut self,
+        spec: &ArchSpec,
+        cat: DnnCategory,
+        provision_speedup: f64,
+    ) -> Evaluated {
         let speedup = self.geomean_speedup(spec, cat);
-        let b_stream = if spec.mode_for(cat).compresses_b() && cat.b_sparse() { 0.3 } else { 1.0 };
+        let b_stream = if spec.mode_for(cat).compresses_b() && cat.b_sparse() {
+            0.3
+        } else {
+            1.0
+        };
         let cost = CostModel::estimate(
             spec,
             self.cfg.core,
-            Provision { speedup: provision_speedup, b_stream_factor: b_stream },
+            Provision {
+                speedup: provision_speedup,
+                b_stream_factor: b_stream,
+            },
         );
         let eff = Efficiency::new(self.cfg.core, &cost, speedup);
         Evaluated { speedup, cost, eff }
@@ -130,7 +160,10 @@ impl Suite {
         let cost = CostModel::estimate(
             spec,
             self.cfg.core,
-            Provision { speedup, b_stream_factor: b_stream },
+            Provision {
+                speedup,
+                b_stream_factor: b_stream,
+            },
         );
         let eff = Efficiency::new(self.cfg.core, &cost, speedup);
         Evaluated { speedup, cost, eff }

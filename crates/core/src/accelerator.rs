@@ -26,7 +26,11 @@ pub struct Workload {
 impl Workload {
     /// Creates a workload.
     pub fn new(name: impl Into<String>, category: DnnCategory, layers: Vec<GemmLayer>) -> Self {
-        Workload { name: name.into(), category, layers }
+        Workload {
+            name: name.into(),
+            category,
+            layers,
+        }
     }
 
     /// Total dense-baseline latency in cycles on the given simulator
@@ -80,7 +84,10 @@ impl Accelerator {
 
     /// Creates an accelerator with the default (paper) configuration.
     pub fn with_defaults(spec: ArchSpec) -> Self {
-        Accelerator { spec, cfg: SimConfig::default() }
+        Accelerator {
+            spec,
+            cfg: SimConfig::default(),
+        }
     }
 
     /// The architecture specification.
@@ -113,7 +120,11 @@ impl Accelerator {
     pub fn run(&self, workload: &Workload) -> RunReport {
         let mode = self.spec.mode_for(workload.category);
         let network = simulate_network(&workload.layers, mode, &self.cfg);
-        let speedup = if workload.layers.is_empty() { 1.0 } else { network.speedup() };
+        let speedup = if workload.layers.is_empty() {
+            1.0
+        } else {
+            network.speedup()
+        };
 
         let provision = Provision {
             speedup,
@@ -183,7 +194,12 @@ mod tests {
         // Griffin's conf.B(8,0,1) sees a 9-deep window; the dual-sparse
         // hardware running as Sparse.AB on a dense-A workload behaves
         // like its downgrade. Griffin must be at least as fast.
-        assert!(rg.speedup >= rab.speedup * 0.99, "griffin {} vs ab {}", rg.speedup, rab.speedup);
+        assert!(
+            rg.speedup >= rab.speedup * 0.99,
+            "griffin {} vs ab {}",
+            rg.speedup,
+            rab.speedup
+        );
     }
 
     #[test]
@@ -192,7 +208,10 @@ mod tests {
         let dense_layer =
             GemmLayer::with_densities(GemmShape::new(32, 256, 32).unwrap(), 1.0, 1.0, 1).unwrap();
         let r = g.run_layer(&dense_layer).unwrap();
-        assert!((r.speedup() - 1.0).abs() < 1e-6, "dense layer has no sparsity to exploit");
+        assert!(
+            (r.speedup() - 1.0).abs() < 1e-6,
+            "dense layer has no sparsity to exploit"
+        );
     }
 
     #[test]

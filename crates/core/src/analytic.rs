@@ -70,7 +70,10 @@ mod tests {
 
     #[test]
     fn ideal_bound_is_respected() {
-        let m = SparsityMode::SparseB { win: BorrowWindow::new(8, 2, 2), shuffle: true };
+        let m = SparsityMode::SparseB {
+            win: BorrowWindow::new(8, 2, 2),
+            shuffle: true,
+        };
         let s = estimate_speedup(m, 1.0, 0.25);
         assert!(s <= 4.0 + 1e-9);
         assert!(s > 2.0);
@@ -78,8 +81,14 @@ mod tests {
 
     #[test]
     fn deeper_windows_estimate_higher() {
-        let narrow = SparsityMode::SparseB { win: BorrowWindow::new(2, 0, 0), shuffle: true };
-        let wide = SparsityMode::SparseB { win: BorrowWindow::new(6, 0, 1), shuffle: true };
+        let narrow = SparsityMode::SparseB {
+            win: BorrowWindow::new(2, 0, 0),
+            shuffle: true,
+        };
+        let wide = SparsityMode::SparseB {
+            win: BorrowWindow::new(6, 0, 1),
+            shuffle: true,
+        };
         assert!(estimate_speedup(wide, 1.0, 0.2) > estimate_speedup(narrow, 1.0, 0.2));
     }
 
@@ -90,9 +99,30 @@ mod tests {
         let shape = GemmShape::new(64, 768, 64).unwrap();
         let cfg = SimConfig::exact();
         let cases = [
-            (SparsityMode::SparseB { win: BorrowWindow::new(4, 0, 1), shuffle: true }, 1.0, 0.2),
-            (SparsityMode::SparseB { win: BorrowWindow::new(2, 0, 0), shuffle: true }, 1.0, 0.3),
-            (SparsityMode::SparseA { win: BorrowWindow::new(2, 1, 0), shuffle: true }, 0.5, 1.0),
+            (
+                SparsityMode::SparseB {
+                    win: BorrowWindow::new(4, 0, 1),
+                    shuffle: true,
+                },
+                1.0,
+                0.2,
+            ),
+            (
+                SparsityMode::SparseB {
+                    win: BorrowWindow::new(2, 0, 0),
+                    shuffle: true,
+                },
+                1.0,
+                0.3,
+            ),
+            (
+                SparsityMode::SparseA {
+                    win: BorrowWindow::new(2, 1, 0),
+                    shuffle: true,
+                },
+                0.5,
+                1.0,
+            ),
             (
                 SparsityMode::SparseAB {
                     a: BorrowWindow::new(2, 0, 0),
@@ -108,7 +138,10 @@ mod tests {
             let sim = simulate_layer(&layer, mode, &cfg).speedup();
             let ana = estimate_speedup(mode, da, db);
             let rel = (ana - sim).abs() / sim;
-            assert!(rel < 0.35, "{mode:?}: analytic {ana:.2} vs sim {sim:.2} (rel {rel:.2})");
+            assert!(
+                rel < 0.35,
+                "{mode:?}: analytic {ana:.2} vs sim {sim:.2} (rel {rel:.2})"
+            );
         }
     }
 

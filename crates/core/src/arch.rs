@@ -123,8 +123,7 @@ impl ArchSpec {
     /// `Sparse.AB* = Sparse.AB(2,0,0,2,0,1,on)` — the paper's optimal
     /// dual-sparse design (Table VI).
     pub fn sparse_ab_star() -> Self {
-        let mut s =
-            Self::sparse_ab(BorrowWindow::new(2, 0, 0), BorrowWindow::new(2, 0, 1), true);
+        let mut s = Self::sparse_ab(BorrowWindow::new(2, 0, 0), BorrowWindow::new(2, 0, 1), true);
         s.name = "Sparse.AB*".into();
         s
     }
@@ -249,10 +248,9 @@ impl ArchSpec {
                 DnnCategory::B
             }
             ArchKind::SparseA | ArchKind::Cnvlutin | ArchKind::SparTenA => DnnCategory::A,
-            ArchKind::SparseAB
-            | ArchKind::Griffin
-            | ArchKind::TensorDash
-            | ArchKind::SparTenAB => DnnCategory::AB,
+            ArchKind::SparseAB | ArchKind::Griffin | ArchKind::TensorDash | ArchKind::SparTenAB => {
+                DnnCategory::AB
+            }
         }
     }
 
@@ -262,19 +260,32 @@ impl ArchSpec {
     pub fn mode_for(&self, category: DnnCategory) -> SparsityMode {
         match self.kind {
             ArchKind::Dense => SparsityMode::Dense,
-            ArchKind::SparseA | ArchKind::Cnvlutin => {
-                SparsityMode::SparseA { win: self.a, shuffle: self.shuffle }
-            }
-            ArchKind::SparseB | ArchKind::TclB | ArchKind::CambriconX => {
-                SparsityMode::SparseB { win: self.b, shuffle: self.shuffle }
-            }
-            ArchKind::SparseAB | ArchKind::TensorDash => {
-                SparsityMode::SparseAB { a: self.a, b: self.b, shuffle: self.shuffle }
-            }
+            ArchKind::SparseA | ArchKind::Cnvlutin => SparsityMode::SparseA {
+                win: self.a,
+                shuffle: self.shuffle,
+            },
+            ArchKind::SparseB | ArchKind::TclB | ArchKind::CambriconX => SparsityMode::SparseB {
+                win: self.b,
+                shuffle: self.shuffle,
+            },
+            ArchKind::SparseAB | ArchKind::TensorDash => SparsityMode::SparseAB {
+                a: self.a,
+                b: self.b,
+                shuffle: self.shuffle,
+            },
             ArchKind::Griffin => crate::griffin::morph(category),
-            ArchKind::SparTenA => SparsityMode::SparTen { a_sparse: true, b_sparse: false },
-            ArchKind::SparTenB => SparsityMode::SparTen { a_sparse: false, b_sparse: true },
-            ArchKind::SparTenAB => SparsityMode::SparTen { a_sparse: true, b_sparse: true },
+            ArchKind::SparTenA => SparsityMode::SparTen {
+                a_sparse: true,
+                b_sparse: false,
+            },
+            ArchKind::SparTenB => SparsityMode::SparTen {
+                a_sparse: false,
+                b_sparse: true,
+            },
+            ArchKind::SparTenAB => SparsityMode::SparTen {
+                a_sparse: true,
+                b_sparse: true,
+            },
         }
     }
 }
@@ -334,11 +345,17 @@ mod tests {
     fn sparten_modes() {
         assert_eq!(
             ArchSpec::sparten_ab().mode_for(DnnCategory::Dense),
-            SparsityMode::SparTen { a_sparse: true, b_sparse: true }
+            SparsityMode::SparTen {
+                a_sparse: true,
+                b_sparse: true
+            }
         );
         assert_eq!(
             ArchSpec::sparten_b().mode_for(DnnCategory::B),
-            SparsityMode::SparTen { a_sparse: false, b_sparse: true }
+            SparsityMode::SparTen {
+                a_sparse: false,
+                b_sparse: true
+            }
         );
     }
 

@@ -19,8 +19,12 @@ pub enum DnnCategory {
 
 impl DnnCategory {
     /// All four categories, in the paper's order.
-    pub const ALL: [DnnCategory; 4] =
-        [DnnCategory::Dense, DnnCategory::A, DnnCategory::B, DnnCategory::AB];
+    pub const ALL: [DnnCategory; 4] = [
+        DnnCategory::Dense,
+        DnnCategory::A,
+        DnnCategory::B,
+        DnnCategory::AB,
+    ];
 
     /// Whether activation tensors are sparse in this category.
     pub fn a_sparse(&self) -> bool {

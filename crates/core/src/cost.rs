@@ -103,7 +103,10 @@ pub struct Provision {
 impl Provision {
     /// Dense provisioning: no extra bandwidth.
     pub fn dense() -> Self {
-        Provision { speedup: 1.0, b_stream_factor: 1.0 }
+        Provision {
+            speedup: 1.0,
+            b_stream_factor: 1.0,
+        }
     }
 }
 
@@ -160,13 +163,25 @@ impl CostModel {
         // cf. Sparse.A* in Table VII); AMUX is shared per row when only
         // A is sparse, per PE otherwise.
         let a_only = matches!(spec.kind, ArchKind::SparseA | ArchKind::Cnvlutin);
-        let amux_insts = if a_only { (core.k0 * core.m0) as f64 } else { mults };
+        let amux_insts = if a_only {
+            (core.k0 * core.m0) as f64
+        } else {
+            mults
+        };
         let amux_eq = (o.amux_fanin.saturating_sub(1)) as f64 * amux_insts;
         let bmux_eq = (o.bmux_fanin.saturating_sub(1)) as f64 * mults * 0.3;
         let mux_eq = amux_eq + bmux_eq;
 
         let extra_adts = o.adder_trees.saturating_sub(1) as f64;
-        let shuffled_streams = if spec.shuffle { if o.per_pe_control { 2.0 } else { 1.0 } } else { 0.0 };
+        let shuffled_streams = if spec.shuffle {
+            if o.per_pe_control {
+                2.0
+            } else {
+                1.0
+            }
+        } else {
+            0.0
+        };
 
         // SRAM bandwidth scaling: the A stream is never compressed; the
         // B stream scales by the compression factor.
@@ -175,14 +190,25 @@ impl CostModel {
         let b_scale = (s * provision.b_stream_factor).max(0.5);
 
         let power = Components {
-            ctrl: if o.per_pe_control { CTRL_POWER_PER_PE * pes } else { 0.0 }
-                + if o.row_arbiter { ARB_POWER_PER_ROW * core.m0 as f64 } else { 0.0 },
+            ctrl: if o.per_pe_control {
+                CTRL_POWER_PER_PE * pes
+            } else {
+                0.0
+            } + if o.row_arbiter {
+                ARB_POWER_PER_ROW * core.m0 as f64
+            } else {
+                0.0
+            },
             shf: SHF_POWER_PER_STREAM * shuffled_streams,
             abuf: BUF_POWER_PER_WORD * abuf_words * if o.abuf_depth > 1 { 1.0 } else { 0.0 },
             bbuf: BUF_POWER_PER_WORD * bbuf_words,
             reg_wr: REG_BASE_POWER
                 + REG_POWER_PER_EXTRA_ADT * extra_adts
-                + if o.per_pe_control { REG_POWER_PER_PE_CTRL } else { 0.0 },
+                + if o.per_pe_control {
+                    REG_POWER_PER_PE_CTRL
+                } else {
+                    0.0
+                },
             acc: ACC_POWER_MW,
             mul: MUL_POWER_MW,
             adt: ADT_POWER_MW,
@@ -191,14 +217,25 @@ impl CostModel {
         };
 
         let area = Components {
-            ctrl: if o.per_pe_control { CTRL_AREA_PER_PE * pes } else { 0.0 }
-                + if o.row_arbiter { ARB_AREA_PER_ROW * core.m0 as f64 } else { 0.0 },
+            ctrl: if o.per_pe_control {
+                CTRL_AREA_PER_PE * pes
+            } else {
+                0.0
+            } + if o.row_arbiter {
+                ARB_AREA_PER_ROW * core.m0 as f64
+            } else {
+                0.0
+            },
             shf: SHF_AREA_PER_STREAM * shuffled_streams,
             abuf: BUF_AREA_PER_WORD * abuf_words * if o.abuf_depth > 1 { 1.0 } else { 0.0 },
             bbuf: BUF_AREA_PER_WORD * bbuf_words,
             reg_wr: REG_BASE_AREA
                 + REG_AREA_PER_EXTRA_ADT * extra_adts
-                + if o.per_pe_control { REG_AREA_PER_PE_CTRL } else { 0.0 },
+                + if o.per_pe_control {
+                    REG_AREA_PER_PE_CTRL
+                } else {
+                    0.0
+                },
             acc: ACC_AREA,
             mul: MUL_AREA,
             adt: ADT_AREA_PER_TREE * o.adder_trees as f64,
@@ -212,7 +249,10 @@ impl CostModel {
     /// The exact Table VII row for a named architecture, when published.
     pub fn calibrated(spec: &ArchSpec) -> Option<CostBreakdown> {
         let row = |p: [f64; 10], a: [f64; 10]| {
-            Some(CostBreakdown { power: from_array(p), area: from_array(a) })
+            Some(CostBreakdown {
+                power: from_array(p),
+                area: from_array(a),
+            })
         };
         // Component order: ctrl, shf, abuf, bbuf, reg_wr, acc, mul, adt, mux, sram.
         match spec.kind {
@@ -286,7 +326,11 @@ pub struct Activity {
 impl Activity {
     /// Home-category activity: the breakdown applies as published.
     pub fn home() -> Self {
-        Activity { stream: 1.0, sparse_logic: 1.0, compute: 1.0 }
+        Activity {
+            stream: 1.0,
+            sparse_logic: 1.0,
+            compute: 1.0,
+        }
     }
 
     /// Derives ratios from measured speedups and multiplier
@@ -301,8 +345,7 @@ impl Activity {
         Activity {
             stream: (speedup_cat / speedup_home).clamp(0.2, 2.0),
             // Skip-logic work vanishes as inputs approach density.
-            sparse_logic: ((1.0 - util_cat).max(0.0) / (1.0 - util_home).max(0.05))
-                .clamp(0.1, 1.5),
+            sparse_logic: ((1.0 - util_cat).max(0.0) / (1.0 - util_home).max(0.05)).clamp(0.1, 1.5),
             compute: (util_cat / util_home.max(0.05)).clamp(0.5, 2.5),
         }
     }
@@ -328,7 +371,10 @@ impl CostModel {
             mux: scale(p.mux, act.sparse_logic),
             sram: scale(p.sram, act.stream),
         };
-        CostBreakdown { power, area: cost.area }
+        CostBreakdown {
+            power,
+            area: cost.area,
+        }
     }
 }
 
@@ -400,16 +446,39 @@ mod tests {
         // The parametric model should land within ~20% of the published
         // totals when given each design's home-category speedup.
         let cases = [
-            (ArchSpec::sparse_b_star(), Provision { speedup: 2.4, b_stream_factor: 0.3 }),
-            (ArchSpec::sparse_a_star(), Provision { speedup: 1.83, b_stream_factor: 1.0 }),
-            (ArchSpec::sparse_ab_star(), Provision { speedup: 3.9, b_stream_factor: 0.3 }),
+            (
+                ArchSpec::sparse_b_star(),
+                Provision {
+                    speedup: 2.4,
+                    b_stream_factor: 0.3,
+                },
+            ),
+            (
+                ArchSpec::sparse_a_star(),
+                Provision {
+                    speedup: 1.83,
+                    b_stream_factor: 1.0,
+                },
+            ),
+            (
+                ArchSpec::sparse_ab_star(),
+                Provision {
+                    speedup: 3.9,
+                    b_stream_factor: 0.3,
+                },
+            ),
         ];
         for (spec, prov) in cases {
             let p = CostModel::parametric(&spec, core(), prov);
             let c = CostModel::calibrated(&spec).unwrap();
             let rel = (p.power_mw() - c.power_mw()).abs() / c.power_mw();
-            assert!(rel < 0.25, "{}: parametric {} vs calibrated {} (rel {rel:.2})",
-                spec.name, p.power_mw(), c.power_mw());
+            assert!(
+                rel < 0.25,
+                "{}: parametric {} vs calibrated {} (rel {rel:.2})",
+                spec.name,
+                p.power_mw(),
+                c.power_mw()
+            );
             let rel_a = (p.area.total() - c.area.total()).abs() / c.area.total();
             assert!(rel_a < 0.25, "{}: area rel {rel_a:.2}", spec.name);
         }
@@ -418,11 +487,20 @@ mod tests {
     #[test]
     fn bigger_windows_cost_more() {
         use griffin_sim::window::BorrowWindow;
-        let prov = Provision { speedup: 2.0, b_stream_factor: 0.3 };
-        let small =
-            CostModel::parametric(&ArchSpec::sparse_b(BorrowWindow::new(2, 0, 0), false), core(), prov);
-        let big =
-            CostModel::parametric(&ArchSpec::sparse_b(BorrowWindow::new(8, 2, 2), false), core(), prov);
+        let prov = Provision {
+            speedup: 2.0,
+            b_stream_factor: 0.3,
+        };
+        let small = CostModel::parametric(
+            &ArchSpec::sparse_b(BorrowWindow::new(2, 0, 0), false),
+            core(),
+            prov,
+        );
+        let big = CostModel::parametric(
+            &ArchSpec::sparse_b(BorrowWindow::new(8, 2, 2), false),
+            core(),
+            prov,
+        );
         assert!(big.power_mw() > small.power_mw());
         assert!(big.area.total() > small.area.total());
     }
@@ -430,8 +508,22 @@ mod tests {
     #[test]
     fn speedup_provisioning_raises_sram_power() {
         let spec = ArchSpec::sparse_b_star();
-        let lo = CostModel::parametric(&spec, core(), Provision { speedup: 1.5, b_stream_factor: 0.3 });
-        let hi = CostModel::parametric(&spec, core(), Provision { speedup: 4.0, b_stream_factor: 0.3 });
+        let lo = CostModel::parametric(
+            &spec,
+            core(),
+            Provision {
+                speedup: 1.5,
+                b_stream_factor: 0.3,
+            },
+        );
+        let hi = CostModel::parametric(
+            &spec,
+            core(),
+            Provision {
+                speedup: 4.0,
+                b_stream_factor: 0.3,
+            },
+        );
         assert!(hi.power.sram > lo.power.sram);
         assert_eq!(hi.power.mux, lo.power.mux, "compute cost unaffected by BW");
     }
@@ -446,8 +538,18 @@ mod tests {
 
     #[test]
     fn components_total_sums_everything() {
-        let c = Components { ctrl: 1.0, shf: 2.0, abuf: 3.0, bbuf: 4.0, reg_wr: 5.0,
-            acc: 6.0, mul: 7.0, adt: 8.0, mux: 9.0, sram: 10.0 };
+        let c = Components {
+            ctrl: 1.0,
+            shf: 2.0,
+            abuf: 3.0,
+            bbuf: 4.0,
+            reg_wr: 5.0,
+            acc: 6.0,
+            mul: 7.0,
+            adt: 8.0,
+            mux: 9.0,
+            sram: 10.0,
+        };
         assert!((c.total() - 55.0).abs() < 1e-12);
     }
 

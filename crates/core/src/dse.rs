@@ -93,12 +93,34 @@ pub struct ScoredDesign {
 }
 
 /// Extracts the Pareto-optimal subset (maximizing both metrics).
-pub fn pareto_front(mut points: Vec<ScoredDesign>) -> Vec<ScoredDesign> {
+///
+/// Designs with a NaN metric cannot be ordered and are dropped with a
+/// warning on stderr rather than panicking — large sweep campaigns can
+/// produce degenerate efficiency values (e.g. zero-power corner cases),
+/// and one bad cell must not abort a whole campaign.
+pub fn pareto_front(points: Vec<ScoredDesign>) -> Vec<ScoredDesign> {
+    let mut points: Vec<ScoredDesign> = points
+        .into_iter()
+        .filter(|p| {
+            let ok = !p.sparse_metric.is_nan() && !p.dense_metric.is_nan();
+            if !ok {
+                eprintln!(
+                    "warning: dropping {} from Pareto extraction (NaN metric: sparse {}, dense {})",
+                    p.spec.name, p.sparse_metric, p.dense_metric
+                );
+            }
+            ok
+        })
+        .collect();
     points.sort_by(|a, b| {
         b.sparse_metric
             .partial_cmp(&a.sparse_metric)
-            .expect("metrics must not be NaN")
-            .then(b.dense_metric.partial_cmp(&a.dense_metric).expect("metrics must not be NaN"))
+            .expect("NaN filtered above")
+            .then(
+                b.dense_metric
+                    .partial_cmp(&a.dense_metric)
+                    .expect("NaN filtered above"),
+            )
     });
     let mut front: Vec<ScoredDesign> = Vec::new();
     let mut best_dense = f64::NEG_INFINITY;
@@ -120,10 +142,16 @@ mod tests {
         let v = enumerate_sparse_b(8);
         assert!(!v.is_empty());
         for s in &v {
-            assert!(HardwareOverhead::sparse_b(s.b).amux_fanin <= 8, "{}", s.name);
+            assert!(
+                HardwareOverhead::sparse_b(s.b).amux_fanin <= 8,
+                "{}",
+                s.name
+            );
         }
         // The paper's Sparse.B*(4,0,1) must be in the space.
-        assert!(v.iter().any(|s| s.b == BorrowWindow::new(4, 0, 1) && s.shuffle));
+        assert!(v
+            .iter()
+            .any(|s| s.b == BorrowWindow::new(4, 0, 1) && s.shuffle));
         // db1=8 with db2=0 has fan-in 9 > 8... check: 1 + 8*1 = 9 -> excluded.
         assert!(!v.iter().any(|s| s.b.d1 == 8 && s.b.d2 == 0));
     }
@@ -131,7 +159,9 @@ mod tests {
     #[test]
     fn sparse_a_space_contains_star_point() {
         let v = enumerate_sparse_a(8);
-        assert!(v.iter().any(|s| s.a == BorrowWindow::new(2, 1, 0) && s.shuffle));
+        assert!(v
+            .iter()
+            .any(|s| s.a == BorrowWindow::new(2, 1, 0) && s.shuffle));
         for s in &v {
             let o = HardwareOverhead::sparse_a(s.a);
             assert!(o.amux_fanin <= 8 && o.bmux_fanin <= 8);
@@ -166,6 +196,28 @@ mod tests {
             assert!(w[0].sparse_metric >= w[1].sparse_metric);
             assert!(w[0].dense_metric <= w[1].dense_metric);
         }
+    }
+
+    #[test]
+    fn pareto_tolerates_nan_metrics() {
+        let mk = |s: f64, d: f64| ScoredDesign {
+            spec: ArchSpec::dense(),
+            sparse_metric: s,
+            dense_metric: d,
+        };
+        // NaN points are dropped; the finite points still form a front.
+        let front = pareto_front(vec![
+            mk(f64::NAN, 1.0),
+            mk(2.0, f64::NAN),
+            mk(3.0, 1.0),
+            mk(1.0, 3.0),
+        ]);
+        assert_eq!(front.len(), 2);
+        assert!(front
+            .iter()
+            .all(|p| !p.sparse_metric.is_nan() && !p.dense_metric.is_nan()));
+        // An all-NaN input yields an empty front, not a panic.
+        assert!(pareto_front(vec![mk(f64::NAN, f64::NAN)]).is_empty());
     }
 
     #[test]

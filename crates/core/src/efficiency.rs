@@ -58,8 +58,16 @@ mod tests {
         // ~7.5 TOPS/mm², the scale of Figure 8's axes.
         let cost = CostModel::calibrated(&ArchSpec::dense()).unwrap();
         let e = Efficiency::new(CoreDims::PAPER, &cost, 1.0);
-        assert!((e.tops_per_w - 10.82).abs() < 0.1, "tops/W {}", e.tops_per_w);
-        assert!((e.tops_per_mm2 - 7.53).abs() < 0.1, "tops/mm2 {}", e.tops_per_mm2);
+        assert!(
+            (e.tops_per_w - 10.82).abs() < 0.1,
+            "tops/W {}",
+            e.tops_per_w
+        );
+        assert!(
+            (e.tops_per_mm2 - 7.53).abs() < 0.1,
+            "tops/mm2 {}",
+            e.tops_per_mm2
+        );
     }
 
     #[test]

@@ -32,12 +32,18 @@ pub fn conf_ab() -> SparsityMode {
 
 /// Griffin's configuration for `DNN.B` workloads: `Sparse.B(8,0,1,on)`.
 pub fn conf_b() -> SparsityMode {
-    SparsityMode::SparseB { win: BorrowWindow::new(8, 0, 1), shuffle: true }
+    SparsityMode::SparseB {
+        win: BorrowWindow::new(8, 0, 1),
+        shuffle: true,
+    }
 }
 
 /// Griffin's configuration for `DNN.A` workloads: `Sparse.A(2,1,1,on)`.
 pub fn conf_a() -> SparsityMode {
-    SparsityMode::SparseA { win: BorrowWindow::new(2, 1, 1), shuffle: true }
+    SparsityMode::SparseA {
+        win: BorrowWindow::new(2, 1, 1),
+        shuffle: true,
+    }
 }
 
 /// The mode Griffin morphs into for a workload category (Figure 4).
@@ -55,12 +61,14 @@ pub fn morph(category: DnnCategory) -> SparsityMode {
 pub fn downgrade(category: DnnCategory) -> SparsityMode {
     match category {
         DnnCategory::Dense | DnnCategory::AB => conf_ab(),
-        DnnCategory::B => {
-            SparsityMode::SparseB { win: BorrowWindow::new(2, 0, 1), shuffle: true }
-        }
-        DnnCategory::A => {
-            SparsityMode::SparseA { win: BorrowWindow::new(2, 0, 0), shuffle: true }
-        }
+        DnnCategory::B => SparsityMode::SparseB {
+            win: BorrowWindow::new(2, 0, 1),
+            shuffle: true,
+        },
+        DnnCategory::A => SparsityMode::SparseA {
+            win: BorrowWindow::new(2, 0, 0),
+            shuffle: true,
+        },
     }
 }
 

@@ -88,8 +88,7 @@ impl HardwareOverhead {
             adder_trees: 1 + w.d3,
             per_pe_control: false,
             row_arbiter: false,
-            metadata_bits: metadata_bits_for_fanin(amux)
-                + metadata_bits_for_fanin(1 + w.d3),
+            metadata_bits: metadata_bits_for_fanin(amux) + metadata_bits_for_fanin(1 + w.d3),
         }
     }
 
@@ -208,8 +207,16 @@ mod tests {
     fn table2_sparse_b_rows() {
         // Sparse.B(db1,0,0): ABUF 1+db1, AMUX 1+db1, no BBUF/BMUX, ADT 1.
         let o = HardwareOverhead::sparse_b(w(4, 0, 0));
-        assert_eq!((o.abuf_depth, o.amux_fanin, o.bbuf_depth, o.bmux_fanin, o.adder_trees),
-                   (5, 5, 0, 1, 1));
+        assert_eq!(
+            (
+                o.abuf_depth,
+                o.amux_fanin,
+                o.bbuf_depth,
+                o.bmux_fanin,
+                o.adder_trees
+            ),
+            (5, 5, 0, 1, 1)
+        );
         // Sparse.B(1,db2,0): ABUF 2, AMUX 2+db2, ADT 1.
         let o = HardwareOverhead::sparse_b(w(1, 3, 0));
         assert_eq!((o.abuf_depth, o.amux_fanin, o.adder_trees), (2, 5, 1));

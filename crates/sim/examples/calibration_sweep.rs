@@ -46,7 +46,10 @@ fn main() {
         (2, 2, 0, true, "B(2,2,0,on)  paper 2.4"),
         (2, 0, 2, true, "B(2,0,2,on)  paper 2.4"),
     ] {
-        let mode = SparsityMode::SparseB { win: BorrowWindow::new(d1, d2, d3), shuffle: sh };
+        let mode = SparsityMode::SparseB {
+            win: BorrowWindow::new(d1, d2, d3),
+            shuffle: sh,
+        };
         let r = simulate_layer(&b_layer, mode, &cfg);
         println!("{label:32} speedup {:.2}", r.speedup());
     }
@@ -61,14 +64,26 @@ fn main() {
         (4, 0, 1, true, "A(4,0,1,on) paper 1.79"),
         (2, 0, 0, true, "A(2,0,0,on)"),
     ] {
-        let mode = SparsityMode::SparseA { win: BorrowWindow::new(d1, d2, d3), shuffle: sh };
+        let mode = SparsityMode::SparseA {
+            win: BorrowWindow::new(d1, d2, d3),
+            shuffle: sh,
+        };
         let r = simulate_layer(&a_layer, mode, &cfg);
         println!("{label:32} speedup {:.2}", r.speedup());
     }
 
     println!("--- Sparse.AB on DNN.AB (A=0.45, B=0.19), paper fig7 ---");
     for (a1, a2, a3, b1, b2, b3, sh, label) in [
-        (2usize, 0usize, 0usize, 2usize, 0usize, 1usize, true, "AB(2,0,0,2,0,1,on) paper 3.9"),
+        (
+            2usize,
+            0usize,
+            0usize,
+            2usize,
+            0usize,
+            1usize,
+            true,
+            "AB(2,0,0,2,0,1,on) paper 3.9",
+        ),
         (2, 0, 0, 4, 0, 2, true, "AB(2,0,0,4,0,2,on) paper 4.9"),
         (1, 0, 0, 3, 0, 1, true, "AB(1,0,0,3,0,1,on) paper 4.0"),
         (1, 1, 0, 3, 0, 1, false, "AB(1,1,0,3,0,1,off) paper 3.4"),
@@ -89,8 +104,21 @@ fn main() {
         (true, false, "SparTen.A paper ~2.0"),
         (true, true, "SparTen.AB"),
     ] {
-        let mode = SparsityMode::SparTen { a_sparse: a, b_sparse: b };
-        let r = simulate_layer(if a && !b { &a_layer } else if b && !a { &b_layer } else { &ab_layer }, mode, &cfg);
+        let mode = SparsityMode::SparTen {
+            a_sparse: a,
+            b_sparse: b,
+        };
+        let r = simulate_layer(
+            if a && !b {
+                &a_layer
+            } else if b && !a {
+                &b_layer
+            } else {
+                &ab_layer
+            },
+            mode,
+            &cfg,
+        );
         println!("{label:36} speedup {:.2}", r.speedup());
     }
 }

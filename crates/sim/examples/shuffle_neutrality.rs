@@ -18,12 +18,18 @@ fn main() {
         for (d1, d2, d3) in [(6usize, 0usize, 0usize), (4, 0, 1), (8, 0, 1)] {
             let off = simulate_layer(
                 &l,
-                SparsityMode::SparseB { win: BorrowWindow::new(d1, d2, d3), shuffle: false },
+                SparsityMode::SparseB {
+                    win: BorrowWindow::new(d1, d2, d3),
+                    shuffle: false,
+                },
                 &cfg,
             );
             let on = simulate_layer(
                 &l,
-                SparsityMode::SparseB { win: BorrowWindow::new(d1, d2, d3), shuffle: true },
+                SparsityMode::SparseB {
+                    win: BorrowWindow::new(d1, d2, d3),
+                    shuffle: true,
+                },
                 &cfg,
             );
             println!(
@@ -43,7 +49,10 @@ fn main() {
     for sh in [false, true] {
         let r = simulate_layer(
             &l,
-            SparsityMode::SparseB { win: BorrowWindow::new(6, 0, 0), shuffle: sh },
+            SparsityMode::SparseB {
+                win: BorrowWindow::new(6, 0, 0),
+                shuffle: sh,
+            },
             &cfg,
         );
         println!("hot-lane B(6,0,0) shuffle={sh}: speedup {:.3}", r.speedup());

@@ -13,6 +13,10 @@
 use griffin_tensor::shape::{CoreDims, GemmShape};
 
 /// Bandwidth policy for a simulation run.
+///
+/// `Eq`/`Hash` compare the bit patterns of the byte-per-cycle budgets
+/// (they are configuration constants, never NaN), so policies can key
+/// result caches — see `griffin_sweep`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum BwPolicy {
     /// SRAM bandwidth scales with the achieved speedup (the paper's
@@ -28,6 +32,28 @@ pub enum BwPolicy {
         /// DRAM bandwidth in bytes/cycle.
         dram_bytes_per_cycle: f64,
     },
+}
+
+impl Eq for BwPolicy {}
+
+impl std::hash::Hash for BwPolicy {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            BwPolicy::Provisioned => state.write_u8(0),
+            BwPolicy::Fixed {
+                a_bytes_per_cycle,
+                b_bytes_per_cycle,
+                dram_bytes_per_cycle,
+            } => {
+                state.write_u8(1);
+                // `x + 0.0` collapses -0.0 onto +0.0 so the Hash/Eq
+                // contract holds (derived PartialEq says 0.0 == -0.0).
+                state.write_u64((a_bytes_per_cycle + 0.0).to_bits());
+                state.write_u64((b_bytes_per_cycle + 0.0).to_bits());
+                state.write_u64((dram_bytes_per_cycle + 0.0).to_bits());
+            }
+        }
+    }
 }
 
 impl BwPolicy {
@@ -96,7 +122,11 @@ pub fn layer_traffic(
 pub fn bw_floor_cycles(traffic: LayerTraffic, policy: BwPolicy) -> f64 {
     match policy {
         BwPolicy::Provisioned => 0.0,
-        BwPolicy::Fixed { a_bytes_per_cycle, b_bytes_per_cycle, dram_bytes_per_cycle } => {
+        BwPolicy::Fixed {
+            a_bytes_per_cycle,
+            b_bytes_per_cycle,
+            dram_bytes_per_cycle,
+        } => {
             let a = traffic.a_sram_bytes / a_bytes_per_cycle;
             let b = traffic.b_sram_bytes / b_bytes_per_cycle;
             let d = traffic.dram_bytes / dram_bytes_per_cycle;
@@ -127,7 +157,10 @@ mod tests {
         let t = layer_traffic(s, CoreDims::PAPER, 1.0);
         let floor = bw_floor_cycles(t, BwPolicy::paper_baseline());
         let dense = s.dense_cycles(CoreDims::PAPER) as f64;
-        assert!((floor - dense).abs() < 1.0, "floor {floor} vs dense {dense}");
+        assert!(
+            (floor - dense).abs() < 1.0,
+            "floor {floor} vs dense {dense}"
+        );
     }
 
     #[test]

@@ -40,7 +40,10 @@ pub enum Fidelity {
 
 impl Default for Fidelity {
     fn default() -> Self {
-        Fidelity::Sampled { tiles: 24, seed: 0xC0FFEE }
+        Fidelity::Sampled {
+            tiles: 24,
+            seed: 0xC0FFEE,
+        }
     }
 }
 
@@ -96,7 +99,10 @@ impl SparsityMode {
 }
 
 /// Full simulator configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// `Eq`/`Hash` (via [`BwPolicy`]'s bit-pattern hashing) let whole
+/// configurations key scenario caches — see `griffin_sweep`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SimConfig {
     /// Core spatial unrolling `(K0, N0, M0)`.
     pub core: CoreDims,
@@ -123,7 +129,10 @@ impl SimConfig {
     /// A configuration that simulates every tile exactly — slower, used
     /// by tests and spot checks.
     pub fn exact() -> Self {
-        SimConfig { fidelity: Fidelity::Exact, ..Self::default() }
+        SimConfig {
+            fidelity: Fidelity::Exact,
+            ..Self::default()
+        }
     }
 }
 
@@ -143,18 +152,32 @@ mod tests {
     #[test]
     fn compresses_b_flags() {
         assert!(!SparsityMode::Dense.compresses_b());
-        assert!(!SparsityMode::SparseA { win: BorrowWindow::new(2, 1, 0), shuffle: true }
-            .compresses_b());
-        assert!(SparsityMode::SparseB { win: BorrowWindow::new(4, 0, 1), shuffle: true }
-            .compresses_b());
+        assert!(!SparsityMode::SparseA {
+            win: BorrowWindow::new(2, 1, 0),
+            shuffle: true
+        }
+        .compresses_b());
+        assert!(SparsityMode::SparseB {
+            win: BorrowWindow::new(4, 0, 1),
+            shuffle: true
+        }
+        .compresses_b());
         assert!(SparsityMode::SparseAB {
             a: BorrowWindow::new(2, 0, 0),
             b: BorrowWindow::new(2, 0, 1),
             shuffle: true
         }
         .compresses_b());
-        assert!(SparsityMode::SparTen { a_sparse: true, b_sparse: true }.compresses_b());
-        assert!(!SparsityMode::SparTen { a_sparse: true, b_sparse: false }.compresses_b());
+        assert!(SparsityMode::SparTen {
+            a_sparse: true,
+            b_sparse: true
+        }
+        .compresses_b());
+        assert!(!SparsityMode::SparTen {
+            a_sparse: true,
+            b_sparse: false
+        }
+        .compresses_b());
     }
 
     #[test]

@@ -57,7 +57,14 @@ impl OpGrid {
                 }
             }
         }
-        OpGrid { t_steps, lanes, rows, cols, col_ops, total }
+        OpGrid {
+            t_steps,
+            lanes,
+            rows,
+            cols,
+            col_ops,
+            total,
+        }
     }
 
     /// Builds the grid from an explicit op list of `(t, lane, row, col)`
@@ -79,7 +86,14 @@ impl OpGrid {
         for ops in &mut col_ops {
             ops.sort_unstable();
         }
-        OpGrid { t_steps, lanes, rows, cols, col_ops, total }
+        OpGrid {
+            t_steps,
+            lanes,
+            rows,
+            cols,
+            col_ops,
+            total,
+        }
     }
 
     /// Number of time steps of the dense schedule.
@@ -121,7 +135,12 @@ pub struct Schedule {
 impl Schedule {
     /// An empty schedule (zero-op grid).
     pub fn empty() -> Self {
-        Schedule { cycles: 0, executed: 0, borrowed: 0, starved_cycles: 0 }
+        Schedule {
+            cycles: 0,
+            executed: 0,
+            borrowed: 0,
+            starved_cycles: 0,
+        }
     }
 }
 
@@ -246,18 +265,24 @@ fn run(
                     // semantics, Figure 2); time is forward-only.
                     let mut best: Option<(u32, usize, usize)> = None;
                     'scan: for dl in signed_offsets(win.lane) {
-                        let Some(sl) = offset(lane, dl, grid.lanes) else { continue };
+                        let Some(sl) = offset(lane, dl, grid.lanes) else {
+                            continue;
+                        };
                         for dr in signed_offsets(win.rows) {
-                            let Some(sr) = offset(row, dr, grid.rows) else { continue };
+                            let Some(sr) = offset(row, dr, grid.rows) else {
+                                continue;
+                            };
                             for dc in signed_offsets(win.cols) {
-                                let Some(sc) = offset(col, dc, grid.cols) else { continue };
+                                let Some(sc) = offset(col, dc, grid.cols) else {
+                                    continue;
+                                };
                                 let c = grid.column(sl, sr, sc);
                                 if let Some(&t) = grid.col_ops[c].get(head[c]) {
                                     if t > horizon {
                                         continue;
                                     }
-                                    let dsum = dl.unsigned_abs() + dr.unsigned_abs()
-                                        + dc.unsigned_abs();
+                                    let dsum =
+                                        dl.unsigned_abs() + dr.unsigned_abs() + dc.unsigned_abs();
                                     let cand = (t, dsum, c);
                                     if best.is_none_or(|b| (cand.0, cand.1) < (b.0, b.1)) {
                                         best = Some(cand);
@@ -307,7 +332,12 @@ fn run(
         }
     }
 
-    Schedule { cycles, executed: grid.total as u64, borrowed, starved_cycles }
+    Schedule {
+        cycles,
+        executed: grid.total as u64,
+        borrowed,
+        starved_cycles,
+    }
 }
 
 #[cfg(test)]
@@ -330,7 +360,12 @@ mod tests {
         let g = dense_grid(16, 4, 2, 4);
         for win in [
             EffectiveWindow::dense(),
-            EffectiveWindow { depth: 5, lane: 2, rows: 1, cols: 1 },
+            EffectiveWindow {
+                depth: 5,
+                lane: 2,
+                rows: 1,
+                cols: 1,
+            },
         ] {
             for p in [Priority::OwnFirst, Priority::EarliestFirst] {
                 let s = schedule(&g, win, p);
@@ -355,7 +390,16 @@ mod tests {
         // Lane 0 has ops at t = 0,2,4,6; depth 3 window lets it run them
         // back-to-back: 4 cycles instead of 7.
         let g = OpGrid::from_fn(8, 1, 1, 1, |t, _, _, _| t % 2 == 0);
-        let s = schedule(&g, EffectiveWindow { depth: 3, lane: 0, rows: 0, cols: 0 }, Priority::OwnFirst);
+        let s = schedule(
+            &g,
+            EffectiveWindow {
+                depth: 3,
+                lane: 0,
+                rows: 0,
+                cols: 0,
+            },
+            Priority::OwnFirst,
+        );
         assert_eq!(s.cycles, 4);
         assert_eq!(s.starved_cycles, 0);
     }
@@ -365,7 +409,16 @@ mod tests {
         // Lane 0 dense, lane 1 empty: without lane reach lane 1 starves
         // and the makespan equals lane 0's op count.
         let g = OpGrid::from_fn(8, 2, 1, 1, |_, lane, _, _| lane == 0);
-        let s = schedule(&g, EffectiveWindow { depth: 4, lane: 0, rows: 0, cols: 0 }, Priority::OwnFirst);
+        let s = schedule(
+            &g,
+            EffectiveWindow {
+                depth: 4,
+                lane: 0,
+                rows: 0,
+                cols: 0,
+            },
+            Priority::OwnFirst,
+        );
         assert_eq!(s.cycles, 8);
         assert!(s.starved_cycles > 0);
     }
@@ -378,7 +431,12 @@ mod tests {
         let g = OpGrid::from_fn(8, 2, 1, 1, |_, lane, _, _| lane == 0);
         let s = schedule(
             &g,
-            EffectiveWindow { depth: 4, lane: 1, rows: 0, cols: 0 },
+            EffectiveWindow {
+                depth: 4,
+                lane: 1,
+                rows: 0,
+                cols: 0,
+            },
             Priority::OwnFirst,
         );
         // Two slots drain 8 ops: 4 cycles (slot 1 borrows via tap -1).
@@ -389,13 +447,23 @@ mod tests {
         let g = OpGrid::from_fn(8, 2, 1, 1, |_, lane, _, _| lane == 1);
         let d1 = schedule(
             &g,
-            EffectiveWindow { depth: 4, lane: 1, rows: 0, cols: 0 },
+            EffectiveWindow {
+                depth: 4,
+                lane: 1,
+                rows: 0,
+                cols: 0,
+            },
             Priority::OwnFirst,
         );
         assert_eq!(d1.cycles, 8);
         let d2 = schedule(
             &g,
-            EffectiveWindow { depth: 4, lane: 2, rows: 0, cols: 0 },
+            EffectiveWindow {
+                depth: 4,
+                lane: 2,
+                rows: 0,
+                cols: 0,
+            },
             Priority::OwnFirst,
         );
         assert_eq!(d2.cycles, 4);
@@ -406,18 +474,41 @@ mod tests {
         // All ops in col 0; col-reach 1 lets col 1's slot help through
         // its -1 tap.
         let g = OpGrid::from_fn(8, 1, 1, 2, |_, _, _, col| col == 0);
-        let no_reach =
-            schedule(&g, EffectiveWindow { depth: 8, lane: 0, rows: 0, cols: 0 }, Priority::OwnFirst);
-        let reach =
-            schedule(&g, EffectiveWindow { depth: 8, lane: 0, rows: 0, cols: 1 }, Priority::OwnFirst);
+        let no_reach = schedule(
+            &g,
+            EffectiveWindow {
+                depth: 8,
+                lane: 0,
+                rows: 0,
+                cols: 0,
+            },
+            Priority::OwnFirst,
+        );
+        let reach = schedule(
+            &g,
+            EffectiveWindow {
+                depth: 8,
+                lane: 0,
+                rows: 0,
+                cols: 1,
+            },
+            Priority::OwnFirst,
+        );
         assert_eq!(no_reach.cycles, 8);
         assert_eq!(reach.cycles, 4);
     }
 
     #[test]
     fn makespan_respects_bounds() {
-        let g = OpGrid::from_fn(16, 4, 2, 2, |t, lane, row, col| (t + lane + row + col) % 3 == 0);
-        let win = EffectiveWindow { depth: 4, lane: 1, rows: 1, cols: 1 };
+        let g = OpGrid::from_fn(16, 4, 2, 2, |t, lane, row, col| {
+            (t + lane + row + col) % 3 == 0
+        });
+        let win = EffectiveWindow {
+            depth: 4,
+            lane: 1,
+            rows: 1,
+            cols: 1,
+        };
         for p in [Priority::OwnFirst, Priority::EarliestFirst] {
             let s = schedule(&g, win, p);
             assert!(s.cycles >= g.max_column_ops() as u64);
@@ -428,15 +519,27 @@ mod tests {
 
     #[test]
     fn larger_window_never_hurts() {
-        let g = OpGrid::from_fn(32, 4, 1, 4, |t, lane, _, col| (t * 7 + lane * 3 + col) % 4 == 0);
+        let g = OpGrid::from_fn(32, 4, 1, 4, |t, lane, _, col| {
+            (t * 7 + lane * 3 + col) % 4 == 0
+        });
         let small = schedule(
             &g,
-            EffectiveWindow { depth: 2, lane: 0, rows: 0, cols: 0 },
+            EffectiveWindow {
+                depth: 2,
+                lane: 0,
+                rows: 0,
+                cols: 0,
+            },
             Priority::OwnFirst,
         );
         let big = schedule(
             &g,
-            EffectiveWindow { depth: 6, lane: 2, rows: 0, cols: 2 },
+            EffectiveWindow {
+                depth: 6,
+                lane: 2,
+                rows: 0,
+                cols: 2,
+            },
             Priority::OwnFirst,
         );
         assert!(big.cycles <= small.cycles);
@@ -445,14 +548,28 @@ mod tests {
     #[test]
     fn depth_one_with_reach_still_skips_empty_rows() {
         let g = OpGrid::from_fn(6, 2, 1, 1, |t, _, _, _| t < 3);
-        let s = schedule(&g, EffectiveWindow { depth: 1, lane: 1, rows: 0, cols: 0 }, Priority::OwnFirst);
+        let s = schedule(
+            &g,
+            EffectiveWindow {
+                depth: 1,
+                lane: 1,
+                rows: 0,
+                cols: 0,
+            },
+            Priority::OwnFirst,
+        );
         assert_eq!(s.cycles, 3);
     }
 
     #[test]
     fn earliest_first_matches_own_first_on_symmetric_input() {
         let g = dense_grid(8, 2, 2, 2);
-        let win = EffectiveWindow { depth: 3, lane: 1, rows: 1, cols: 1 };
+        let win = EffectiveWindow {
+            depth: 3,
+            lane: 1,
+            rows: 1,
+            cols: 1,
+        };
         let a = schedule(&g, win, Priority::OwnFirst);
         let b = schedule(&g, win, Priority::EarliestFirst);
         assert_eq!(a.cycles, b.cycles);

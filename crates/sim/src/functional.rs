@@ -57,7 +57,11 @@ pub fn sparse_b_product(
     for n_tile in 0..nt {
         let view = BTileView::new(&b_mask, core, n_tile * core.n0);
         let grid = OpGrid::from_fn(view.t_steps(), core.k0, 1, core.n0, |t, lane, _, col| {
-            view.is_nonzero(TileCoord { t, lane: lanes.source_lane(lane, t), s: col })
+            view.is_nonzero(TileCoord {
+                t,
+                lane: lanes.source_lane(lane, t),
+                s: col,
+            })
         });
         let (_, assigns) = schedule_assign(&grid, eff, priority);
         for asg in assigns {
@@ -96,7 +100,11 @@ pub fn sparse_a_product(
     for m_tile in 0..mt {
         let view = ATileView::new(&a_mask, core, m_tile * core.m0);
         let grid = OpGrid::from_fn(view.t_steps(), core.k0, core.m0, 1, |t, lane, row, _| {
-            view.is_nonzero(TileCoord { t, lane: lanes.source_lane(lane, t), s: row })
+            view.is_nonzero(TileCoord {
+                t,
+                lane: lanes.source_lane(lane, t),
+                s: row,
+            })
         });
         let (_, assigns) = schedule_assign(&grid, eff, priority);
         for asg in assigns {
@@ -131,8 +139,12 @@ pub fn sparse_ab_product(
     let mut c = check_shapes(a, b)?;
     let b_mask = b.mask();
     let lanes = LaneMap::from_flag(shuffle);
-    let stage2_win =
-        EffectiveWindow { depth: 1 + a_win.d1, lane: a_win.d2, rows: a_win.d3, cols: 0 };
+    let stage2_win = EffectiveWindow {
+        depth: 1 + a_win.d1,
+        lane: a_win.d2,
+        rows: a_win.d3,
+        cols: 0,
+    };
     let mt = a.rows().div_ceil(core.m0);
     let nt = b.cols().div_ceil(core.n0);
 
@@ -140,10 +152,13 @@ pub fn sparse_ab_product(
         // Stage 1: compress this B tile column.
         let view = BTileView::new(&b_mask, core, n_tile * core.n0);
         let grid = OpGrid::from_fn(view.t_steps(), core.k0, 1, core.n0, |t, lane, _, col| {
-            view.is_nonzero(TileCoord { t, lane: lanes.source_lane(lane, t), s: col })
+            view.is_nonzero(TileCoord {
+                t,
+                lane: lanes.source_lane(lane, t),
+                s: col,
+            })
         });
-        let (sched_b, b_assigns) =
-            schedule_assign(&grid, EffectiveWindow::for_b(b_win), priority);
+        let (sched_b, b_assigns) = schedule_assign(&grid, EffectiveWindow::for_b(b_win), priority);
         if sched_b.cycles == 0 {
             continue;
         }
@@ -165,8 +180,7 @@ pub fn sparse_ab_product(
                     }
                 }
             }
-            let grid2 =
-                OpGrid::from_ops(sched_b.cycles as usize, core.k0, core.m0, core.n0, ops);
+            let grid2 = OpGrid::from_ops(sched_b.cycles as usize, core.k0, core.m0, core.n0, ops);
             let (_, pair_assigns) = schedule_assign(&grid2, stage2_win, priority);
             for p in pair_assigns {
                 let key = (p.t as usize, p.src.0, p.src.1, p.src.2);
@@ -188,10 +202,25 @@ mod tests {
         CoreDims::PAPER
     }
 
-    fn operands(m: usize, k: usize, n: usize, da: f64, db: f64, seed: u64) -> (Matrix<i8>, Matrix<i8>) {
+    fn operands(
+        m: usize,
+        k: usize,
+        n: usize,
+        da: f64,
+        db: f64,
+        seed: u64,
+    ) -> (Matrix<i8>, Matrix<i8>) {
         let mut g = TensorGen::seeded(seed);
-        let a = if da >= 1.0 { g.dense(m, k) } else { g.relu_activations(m, k, da) };
-        let b = if db >= 1.0 { g.dense(k, n) } else { g.pruned_weights(k, n, db) };
+        let a = if da >= 1.0 {
+            g.dense(m, k)
+        } else {
+            g.relu_activations(m, k, da)
+        };
+        let b = if db >= 1.0 {
+            g.dense(k, n)
+        } else {
+            g.pruned_weights(k, n, db)
+        };
         (a, b)
     }
 
@@ -200,8 +229,15 @@ mod tests {
         let (a, b) = operands(8, 96, 24, 1.0, 0.25, 1);
         let reference = a.matmul(&b).unwrap();
         for shuffle in [false, true] {
-            let c = sparse_b_product(&a, &b, BorrowWindow::new(4, 0, 1), shuffle, core(), Priority::OwnFirst)
-                .unwrap();
+            let c = sparse_b_product(
+                &a,
+                &b,
+                BorrowWindow::new(4, 0, 1),
+                shuffle,
+                core(),
+                Priority::OwnFirst,
+            )
+            .unwrap();
             assert_eq!(c, reference, "shuffle={shuffle}");
         }
     }
@@ -211,8 +247,15 @@ mod tests {
         let (a, b) = operands(12, 64, 20, 0.4, 1.0, 2);
         let reference = a.matmul(&b).unwrap();
         for shuffle in [false, true] {
-            let c = sparse_a_product(&a, &b, BorrowWindow::new(2, 1, 1), shuffle, core(), Priority::OwnFirst)
-                .unwrap();
+            let c = sparse_a_product(
+                &a,
+                &b,
+                BorrowWindow::new(2, 1, 1),
+                shuffle,
+                core(),
+                Priority::OwnFirst,
+            )
+            .unwrap();
             assert_eq!(c, reference, "shuffle={shuffle}");
         }
     }
@@ -267,19 +310,40 @@ mod tests {
     fn shape_mismatch_is_rejected() {
         let a = Matrix::<i8>::zeros(4, 8).unwrap();
         let b = Matrix::<i8>::zeros(9, 4).unwrap();
-        assert!(sparse_b_product(&a, &b, BorrowWindow::new(2, 0, 0), false, core(), Priority::OwnFirst)
-            .is_err());
+        assert!(sparse_b_product(
+            &a,
+            &b,
+            BorrowWindow::new(2, 0, 0),
+            false,
+            core(),
+            Priority::OwnFirst
+        )
+        .is_err());
     }
 
     #[test]
     fn ragged_dimensions_stay_correct() {
         let (a, b) = operands(5, 37, 11, 0.5, 0.3, 6);
         let reference = a.matmul(&b).unwrap();
-        let cb = sparse_b_product(&a, &b, BorrowWindow::new(4, 0, 1), true, core(), Priority::OwnFirst)
-            .unwrap();
+        let cb = sparse_b_product(
+            &a,
+            &b,
+            BorrowWindow::new(4, 0, 1),
+            true,
+            core(),
+            Priority::OwnFirst,
+        )
+        .unwrap();
         assert_eq!(cb, reference);
-        let ca = sparse_a_product(&a, &b, BorrowWindow::new(2, 1, 0), true, core(), Priority::OwnFirst)
-            .unwrap();
+        let ca = sparse_a_product(
+            &a,
+            &b,
+            BorrowWindow::new(2, 1, 0),
+            true,
+            core(),
+            Priority::OwnFirst,
+        )
+        .unwrap();
         assert_eq!(ca, reference);
     }
 }

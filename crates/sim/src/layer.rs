@@ -52,7 +52,12 @@ impl GemmLayer {
                 found: format!("B mask {}x{}", b.rows(), b.cols()),
             });
         }
-        Ok(GemmLayer { shape, a, b, replicas: 1 })
+        Ok(GemmLayer {
+            shape,
+            a,
+            b,
+            replicas: 1,
+        })
     }
 
     /// Sets the replica count (builder style), for grouped convolutions.

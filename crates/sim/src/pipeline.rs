@@ -46,11 +46,12 @@ pub fn simulate_layer(layer: &GemmLayer, mode: SparsityMode, cfg: &SimConfig) ->
         SparsityMode::Dense => simulate_dense(layer, cfg),
         SparsityMode::SparseA { win, shuffle } => simulate_sparse_a(layer, win, shuffle, cfg),
         SparsityMode::SparseB { win, shuffle } => simulate_sparse_b(layer, win, shuffle, cfg),
-        SparsityMode::SparseAB { a, b, shuffle } => {
-            simulate_sparse_ab(layer, a, b, shuffle, cfg)
-        }
+        SparsityMode::SparseAB { a, b, shuffle } => simulate_sparse_ab(layer, a, b, shuffle, cfg),
         SparsityMode::SparTen { a_sparse, b_sparse } => {
-            let params = SpartenParams { macs: cfg.core.macs(), ..SpartenParams::default() };
+            let params = SpartenParams {
+                macs: cfg.core.macs(),
+                ..SpartenParams::default()
+            };
             simulate_sparten(layer, a_sparse, b_sparse, params, cfg)
         }
     };
@@ -79,7 +80,12 @@ pub fn simulate_network(
     mode: SparsityMode,
     cfg: &SimConfig,
 ) -> NetworkReport {
-    NetworkReport { layers: layers.iter().map(|l| simulate_layer(l, mode, cfg)).collect() }
+    NetworkReport {
+        layers: layers
+            .iter()
+            .map(|l| simulate_layer(l, mode, cfg))
+            .collect(),
+    }
 }
 
 #[cfg(test)]
@@ -94,7 +100,10 @@ mod tests {
     }
 
     fn star_b() -> SparsityMode {
-        SparsityMode::SparseB { win: BorrowWindow::new(4, 0, 1), shuffle: true }
+        SparsityMode::SparseB {
+            win: BorrowWindow::new(4, 0, 1),
+            shuffle: true,
+        }
     }
 
     #[test]
@@ -115,7 +124,10 @@ mod tests {
     #[test]
     fn fixed_baseline_bw_caps_sparse_speedup() {
         let l = layer(1.0, 0.2, 3);
-        let cfg = SimConfig { bw: BwPolicy::paper_baseline(), ..SimConfig::exact() };
+        let cfg = SimConfig {
+            bw: BwPolicy::paper_baseline(),
+            ..SimConfig::exact()
+        };
         let r = simulate_layer(&l, star_b(), &cfg);
         // A-side traffic is dense, so the floor should bind near 1x.
         assert!(r.bw_floor_cycles > r.schedule_cycles);
@@ -146,14 +158,20 @@ mod tests {
         let cfg = SimConfig::default();
         for mode in [
             SparsityMode::Dense,
-            SparsityMode::SparseA { win: BorrowWindow::new(2, 1, 0), shuffle: true },
+            SparsityMode::SparseA {
+                win: BorrowWindow::new(2, 1, 0),
+                shuffle: true,
+            },
             star_b(),
             SparsityMode::SparseAB {
                 a: BorrowWindow::new(2, 0, 0),
                 b: BorrowWindow::new(2, 0, 1),
                 shuffle: true,
             },
-            SparsityMode::SparTen { a_sparse: true, b_sparse: true },
+            SparsityMode::SparTen {
+                a_sparse: true,
+                b_sparse: true,
+            },
         ] {
             let r = simulate_layer(&l, mode, &cfg);
             assert!(r.cycles > 0.0, "{mode:?}");

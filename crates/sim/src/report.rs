@@ -102,7 +102,9 @@ mod tests {
 
     #[test]
     fn network_aggregates_over_layers() {
-        let net = NetworkReport { layers: vec![report(100, 50.0), report(300, 100.0)] };
+        let net = NetworkReport {
+            layers: vec![report(100, 50.0), report(300, 100.0)],
+        };
         assert_eq!(net.dense_cycles(), 400);
         assert!((net.cycles() - 150.0).abs() < 1e-12);
         assert!((net.speedup() - 400.0 / 150.0).abs() < 1e-12);

@@ -55,7 +55,10 @@ mod tests {
         assert_eq!(a.len(), 4);
         assert!((sa * 4.0 - 100.0).abs() < 1e-12);
         assert_eq!(sa, sb);
-        assert!(a.windows(2).all(|w| w[0] < w[1]), "indices sorted & distinct");
+        assert!(
+            a.windows(2).all(|w| w[0] < w[1]),
+            "indices sorted & distinct"
+        );
     }
 
     #[test]

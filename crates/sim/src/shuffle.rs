@@ -124,8 +124,9 @@ mod tests {
     fn rotation_spreads_a_hot_lane_over_its_group() {
         // An element stuck in lane 2 lands in lanes 2,3,0,1 over t=0..4.
         let m = LaneMap::from_flag(true);
-        let positions: Vec<usize> =
-            (0..4).map(|t| (0..4).find(|&l| m.source_lane(l, t) == 2).unwrap()).collect();
+        let positions: Vec<usize> = (0..4)
+            .map(|t| (0..4).find(|&l| m.source_lane(l, t) == 2).unwrap())
+            .collect();
         let mut sorted = positions.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, vec![0, 1, 2, 3]);

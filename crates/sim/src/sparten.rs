@@ -35,7 +35,10 @@ pub struct SpartenParams {
 
 impl Default for SpartenParams {
     fn default() -> Self {
-        SpartenParams { macs: 1024, buffer_depth: 128 }
+        SpartenParams {
+            macs: 1024,
+            buffer_depth: 128,
+        }
     }
 }
 
@@ -98,9 +101,10 @@ pub fn simulate_sparten(
     let rows_per_wave = params.macs.div_ceil(n.max(1));
     let row_fidelity = match cfg.fidelity {
         Fidelity::Exact => Fidelity::Exact,
-        Fidelity::Sampled { tiles, seed } => {
-            Fidelity::Sampled { tiles: tiles.max(8).max(rows_per_wave), seed }
-        }
+        Fidelity::Sampled { tiles, seed } => Fidelity::Sampled {
+            tiles: tiles.max(8).max(rows_per_wave),
+            seed,
+        },
     };
     let (rows, scale) = sample_indices(m, row_fidelity);
 
@@ -122,7 +126,11 @@ pub fn simulate_sparten(
     let mut cycles = 0f64;
     let mut starved = 0f64;
 
-    let flush = |sum: &mut [u64], max: &mut [u64], count: &mut usize, cycles: &mut f64, starved: &mut f64| {
+    let flush = |sum: &mut [u64],
+                 max: &mut [u64],
+                 count: &mut usize,
+                 cycles: &mut f64,
+                 starved: &mut f64| {
         if *count == 0 {
             return;
         }
@@ -160,11 +168,23 @@ pub fn simulate_sparten(
             }
             wave_count += 1;
             if wave_count == params.macs {
-                flush(&mut wave_sum, &mut wave_max, &mut wave_count, &mut cycles, &mut starved);
+                flush(
+                    &mut wave_sum,
+                    &mut wave_max,
+                    &mut wave_count,
+                    &mut cycles,
+                    &mut starved,
+                );
             }
         }
     }
-    flush(&mut wave_sum, &mut wave_max, &mut wave_count, &mut cycles, &mut starved);
+    flush(
+        &mut wave_sum,
+        &mut wave_max,
+        &mut wave_count,
+        &mut cycles,
+        &mut starved,
+    );
 
     ScheduleAccum {
         cycles: (cycles * scale).max(1.0),
@@ -187,9 +207,20 @@ mod tests {
     #[test]
     fn dense_input_costs_about_macs_over_pool() {
         let l = layer(32, 256, 32, 1.0, 1.0, 1);
-        let acc = simulate_sparten(&l, true, true, SpartenParams::default(), &SimConfig::exact());
+        let acc = simulate_sparten(
+            &l,
+            true,
+            true,
+            SpartenParams::default(),
+            &SimConfig::exact(),
+        );
         let ideal = (32.0 * 256.0 * 32.0) / 1024.0;
-        assert!((acc.cycles - ideal).abs() / ideal < 0.05, "{} vs {}", acc.cycles, ideal);
+        assert!(
+            (acc.cycles - ideal).abs() / ideal < 0.05,
+            "{} vs {}",
+            acc.cycles,
+            ideal
+        );
     }
 
     #[test]
@@ -197,7 +228,13 @@ mod tests {
         // 50% x 20% -> ~10% effectual; deep buffers + per-MAC streams
         // should realize most of the 10x over its own dense run.
         let l = layer(64, 512, 64, 0.5, 0.2, 2);
-        let acc = simulate_sparten(&l, true, true, SpartenParams::default(), &SimConfig::exact());
+        let acc = simulate_sparten(
+            &l,
+            true,
+            true,
+            SpartenParams::default(),
+            &SimConfig::exact(),
+        );
         let dense_ideal = (64.0 * 512.0 * 64.0) / 1024.0;
         let speedup = dense_ideal / acc.cycles;
         assert!(speedup > 6.0, "speedup {speedup}");
@@ -222,7 +259,13 @@ mod tests {
         // SparTen.B on an 80%-sparse weight tensor: paper reports ~3.9x
         // over the tiled dense baseline.
         let l = layer(64, 1024, 64, 1.0, 0.19, 4);
-        let acc = simulate_sparten(&l, false, true, SpartenParams::default(), &SimConfig::exact());
+        let acc = simulate_sparten(
+            &l,
+            false,
+            true,
+            SpartenParams::default(),
+            &SimConfig::exact(),
+        );
         let dense = l.shape.dense_cycles(CoreDims::PAPER) as f64;
         let speedup = dense / acc.cycles;
         assert!(speedup > 3.0 && speedup < 6.0, "speedup {speedup}");
@@ -231,7 +274,13 @@ mod tests {
     #[test]
     fn sampled_rows_are_unbiased() {
         let l = layer(128, 256, 32, 0.5, 0.3, 5);
-        let exact = simulate_sparten(&l, true, true, SpartenParams::default(), &SimConfig::exact());
+        let exact = simulate_sparten(
+            &l,
+            true,
+            true,
+            SpartenParams::default(),
+            &SimConfig::exact(),
+        );
         let cfg = SimConfig {
             fidelity: Fidelity::Sampled { tiles: 16, seed: 6 },
             ..SimConfig::default()
@@ -268,10 +317,19 @@ mod tests {
         // Ideal intersection speedup at 50% x 20% is 10x; the chunk
         // barrier must keep SparTen visibly below it.
         let l = layer(64, 1024, 64, 0.5, 0.2, 9);
-        let acc = simulate_sparten(&l, true, true, SpartenParams::default(), &SimConfig::exact());
+        let acc = simulate_sparten(
+            &l,
+            true,
+            true,
+            SpartenParams::default(),
+            &SimConfig::exact(),
+        );
         let ideal = (64.0 * 1024.0 * 64.0) / 1024.0;
         let speedup = ideal / acc.cycles;
-        assert!(speedup < 9.0, "speedup {speedup} suspiciously close to ideal");
+        assert!(
+            speedup < 9.0,
+            "speedup {speedup} suspiciously close to ideal"
+        );
         assert!(acc.starved > 0.0);
     }
 }

@@ -73,13 +73,23 @@ impl EffectiveWindow {
     /// Window of a `Sparse.A(da1,da2,da3)` architecture: scheduling domain
     /// is the nonzeros of A over (time, lane, PE row).
     pub fn for_a(a: BorrowWindow) -> Self {
-        EffectiveWindow { depth: 1 + a.d1, lane: a.d2, rows: a.d3, cols: 0 }
+        EffectiveWindow {
+            depth: 1 + a.d1,
+            lane: a.d2,
+            rows: a.d3,
+            cols: 0,
+        }
     }
 
     /// Window of a `Sparse.B(db1,db2,db3)` architecture: scheduling domain
     /// is the nonzeros of B over (time, lane, PE column).
     pub fn for_b(b: BorrowWindow) -> Self {
-        EffectiveWindow { depth: 1 + b.d1, lane: b.d2, rows: 0, cols: b.d3 }
+        EffectiveWindow {
+            depth: 1 + b.d1,
+            lane: b.d2,
+            rows: 0,
+            cols: b.d3,
+        }
     }
 
     /// Combined window of a `Sparse.AB` architecture (§IV-A): ABUF depth
@@ -96,7 +106,12 @@ impl EffectiveWindow {
 
     /// The dense window: one row deep, no reach anywhere.
     pub fn dense() -> Self {
-        EffectiveWindow { depth: 1, lane: 0, rows: 0, cols: 0 }
+        EffectiveWindow {
+            depth: 1,
+            lane: 0,
+            rows: 0,
+            cols: 0,
+        }
     }
 }
 
@@ -119,9 +134,25 @@ mod tests {
     #[test]
     fn effective_window_single_sided() {
         let wa = EffectiveWindow::for_a(BorrowWindow::new(2, 1, 1));
-        assert_eq!(wa, EffectiveWindow { depth: 3, lane: 1, rows: 1, cols: 0 });
+        assert_eq!(
+            wa,
+            EffectiveWindow {
+                depth: 3,
+                lane: 1,
+                rows: 1,
+                cols: 0
+            }
+        );
         let wb = EffectiveWindow::for_b(BorrowWindow::new(4, 0, 1));
-        assert_eq!(wb, EffectiveWindow { depth: 5, lane: 0, rows: 0, cols: 1 });
+        assert_eq!(
+            wb,
+            EffectiveWindow {
+                depth: 5,
+                lane: 0,
+                rows: 0,
+                cols: 1
+            }
+        );
     }
 
     #[test]

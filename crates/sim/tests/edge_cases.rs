@@ -11,14 +11,23 @@ use griffin_tensor::shape::{CoreDims, GemmShape};
 fn all_modes() -> Vec<SparsityMode> {
     vec![
         SparsityMode::Dense,
-        SparsityMode::SparseA { win: BorrowWindow::new(2, 1, 1), shuffle: true },
-        SparsityMode::SparseB { win: BorrowWindow::new(4, 0, 1), shuffle: true },
+        SparsityMode::SparseA {
+            win: BorrowWindow::new(2, 1, 1),
+            shuffle: true,
+        },
+        SparsityMode::SparseB {
+            win: BorrowWindow::new(4, 0, 1),
+            shuffle: true,
+        },
         SparsityMode::SparseAB {
             a: BorrowWindow::new(2, 0, 0),
             b: BorrowWindow::new(2, 0, 1),
             shuffle: true,
         },
-        SparsityMode::SparTen { a_sparse: true, b_sparse: true },
+        SparsityMode::SparTen {
+            a_sparse: true,
+            b_sparse: true,
+        },
     ]
 }
 
@@ -26,11 +35,21 @@ fn all_modes() -> Vec<SparsityMode> {
 fn ragged_shapes_simulate_cleanly() {
     // Dimensions deliberately not multiples of (16, 16, 4).
     let cfg = SimConfig::exact();
-    for (m, k, n) in [(1, 1, 1), (3, 17, 5), (5, 100, 33), (7, 9, 1), (63, 255, 17)] {
+    for (m, k, n) in [
+        (1, 1, 1),
+        (3, 17, 5),
+        (5, 100, 33),
+        (7, 9, 1),
+        (63, 255, 17),
+    ] {
         let l = GemmLayer::with_densities(GemmShape::new(m, k, n).unwrap(), 0.5, 0.3, 7).unwrap();
         for mode in all_modes() {
             let r = simulate_layer(&l, mode, &cfg);
-            assert!(r.cycles >= 1.0, "({m},{k},{n}) {mode:?}: cycles {}", r.cycles);
+            assert!(
+                r.cycles >= 1.0,
+                "({m},{k},{n}) {mode:?}: cycles {}",
+                r.cycles
+            );
             // Borrowing architectures never fall below the dense
             // schedule; SparTen is a different machine (scalar MACs, no
             // tiling) and may lose on tiny layers whose few outputs
@@ -58,7 +77,10 @@ fn all_zero_weights_take_almost_no_compute() {
     let cfg = SimConfig::exact();
     let r = simulate_layer(
         &l,
-        SparsityMode::SparseB { win: BorrowWindow::new(4, 0, 1), shuffle: true },
+        SparsityMode::SparseB {
+            win: BorrowWindow::new(4, 0, 1),
+            shuffle: true,
+        },
         &cfg,
     );
     assert_eq!(r.effectual_ops, 0.0);
@@ -94,15 +116,26 @@ fn extreme_windows_do_not_break_invariants() {
     // Very deep windows: speedup capped by ideal.
     let r = simulate_layer(
         &l,
-        SparsityMode::SparseB { win: BorrowWindow::new(64, 8, 8), shuffle: true },
+        SparsityMode::SparseB {
+            win: BorrowWindow::new(64, 8, 8),
+            shuffle: true,
+        },
         &cfg,
     );
     let ideal = 1.0 / l.b_density();
-    assert!(r.speedup() <= ideal * 1.05, "speedup {} vs ideal {}", r.speedup(), ideal);
+    assert!(
+        r.speedup() <= ideal * 1.05,
+        "speedup {} vs ideal {}",
+        r.speedup(),
+        ideal
+    );
     // Zero windows: no gains beyond empty-row skipping.
     let r0 = simulate_layer(
         &l,
-        SparsityMode::SparseB { win: BorrowWindow::ZERO, shuffle: false },
+        SparsityMode::SparseB {
+            win: BorrowWindow::ZERO,
+            shuffle: false,
+        },
         &cfg,
     );
     assert!(r0.speedup() >= 1.0);
@@ -115,7 +148,10 @@ fn replicated_layers_scale_linearly() {
     let base = GemmLayer::with_densities(shape, 1.0, 0.3, 5).unwrap();
     let replicated = base.clone().with_replicas(7);
     let cfg = SimConfig::exact();
-    let mode = SparsityMode::SparseB { win: BorrowWindow::new(4, 0, 1), shuffle: true };
+    let mode = SparsityMode::SparseB {
+        win: BorrowWindow::new(4, 0, 1),
+        shuffle: true,
+    };
     let r1 = simulate_layer(&base, mode, &cfg);
     let r7 = simulate_layer(&replicated, mode, &cfg);
     assert!((r7.cycles - 7.0 * r1.cycles).abs() < 1e-6);
@@ -127,7 +163,10 @@ fn replicated_layers_scale_linearly() {
 fn tiny_core_configurations_work() {
     // The simulator must not assume the paper's (16,16,4).
     let core = CoreDims::new(4, 2, 2).unwrap();
-    let cfg = SimConfig { core, ..SimConfig::exact() };
+    let cfg = SimConfig {
+        core,
+        ..SimConfig::exact()
+    };
     let l = GemmLayer::with_densities(GemmShape::new(8, 32, 8).unwrap(), 0.5, 0.5, 9).unwrap();
     for mode in all_modes() {
         let r = simulate_layer(&l, mode, &cfg);
@@ -142,7 +181,10 @@ fn k_smaller_than_lane_count_is_handled() {
     let l = GemmLayer::with_densities(GemmShape::new(49, 9, 1).unwrap(), 0.5, 1.0, 4).unwrap();
     let r = simulate_layer(
         &l,
-        SparsityMode::SparseA { win: BorrowWindow::new(2, 1, 1), shuffle: true },
+        SparsityMode::SparseA {
+            win: BorrowWindow::new(2, 1, 1),
+            shuffle: true,
+        },
         &SimConfig::exact(),
     );
     assert!(r.cycles >= 1.0);

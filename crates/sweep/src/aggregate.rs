@@ -1,0 +1,246 @@
+//! Campaign aggregation: summary statistics, per-architecture rollups
+//! and Pareto extraction (reusing [`griffin_core::dse::pareto_front`]).
+
+use std::collections::HashMap;
+
+use griffin_core::arch::ArchSpec;
+use griffin_core::category::DnnCategory;
+use griffin_core::dse::{pareto_front, ScoredDesign};
+use griffin_sim::report::geomean;
+
+use crate::executor::{CampaignReport, CellRecord};
+
+/// Whole-campaign summary statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of cells.
+    pub cells: usize,
+    /// Distinct architectures.
+    pub archs: usize,
+    /// Distinct workloads.
+    pub workloads: usize,
+    /// Geomean speedup over every cell.
+    pub geomean_speedup: f64,
+    /// Best cell by speedup: `(arch, workload, speedup)`.
+    pub best: Option<(String, String, f64)>,
+    /// Worst cell by speedup.
+    pub worst: Option<(String, String, f64)>,
+}
+
+fn distinct<'a>(it: impl Iterator<Item = &'a str>) -> usize {
+    let mut v: Vec<&str> = it.collect();
+    v.sort_unstable();
+    v.dedup();
+    v.len()
+}
+
+/// Summarizes a campaign report.
+pub fn summarize(report: &CampaignReport) -> Summary {
+    let speedups: Vec<f64> = report
+        .cells
+        .iter()
+        .map(|c| c.metrics.speedup)
+        .filter(|s| *s > 0.0)
+        .collect();
+    let by = |pick: fn(f64, f64) -> bool| {
+        report
+            .cells
+            .iter()
+            .filter(|c| !c.metrics.speedup.is_nan()) // degenerate cells can't win
+            .fold(None::<&CellRecord>, |acc, c| match acc {
+                Some(a) if !pick(c.metrics.speedup, a.metrics.speedup) => Some(a),
+                _ => Some(c),
+            })
+            .map(|c| (c.arch.clone(), c.workload.clone(), c.metrics.speedup))
+    };
+    Summary {
+        cells: report.cells.len(),
+        archs: distinct(report.cells.iter().map(|c| c.arch.as_str())),
+        workloads: distinct(report.cells.iter().map(|c| c.workload.as_str())),
+        geomean_speedup: if speedups.is_empty() {
+            0.0
+        } else {
+            geomean(&speedups)
+        },
+        best: by(|new, best| new > best),
+        worst: by(|new, worst| new < worst),
+    }
+}
+
+/// Per-architecture rollup across the cells that match a category
+/// filter (`None` keeps everything).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchAggregate {
+    /// Architecture display name.
+    pub arch: String,
+    /// Cells aggregated.
+    pub cells: usize,
+    /// Geomean speedup.
+    pub speedup: f64,
+    /// Geomean effective TOPS/W.
+    pub tops_per_w: f64,
+    /// Geomean effective TOPS/mm².
+    pub tops_per_mm2: f64,
+}
+
+/// Rolls the campaign up per architecture, in first-appearance order
+/// (deterministic). Cells with non-positive metrics are skipped.
+pub fn per_arch(report: &CampaignReport, category: Option<DnnCategory>) -> Vec<ArchAggregate> {
+    let mut order: Vec<String> = Vec::new();
+    let mut buckets: HashMap<String, Vec<&CellRecord>> = HashMap::new();
+    for c in &report.cells {
+        if category.is_some_and(|cat| cat != c.category) {
+            continue;
+        }
+        buckets.entry(c.arch.clone()).or_insert_with(|| {
+            order.push(c.arch.clone());
+            Vec::new()
+        });
+        buckets.get_mut(&c.arch).expect("just inserted").push(c);
+    }
+    order
+        .into_iter()
+        .map(|arch| {
+            let cells = &buckets[&arch];
+            let gm = |f: fn(&CellRecord) -> f64| {
+                let v: Vec<f64> = cells.iter().map(|c| f(c)).filter(|x| *x > 0.0).collect();
+                if v.is_empty() {
+                    0.0
+                } else {
+                    geomean(&v)
+                }
+            };
+            ArchAggregate {
+                arch,
+                cells: cells.len(),
+                speedup: gm(|c| c.metrics.speedup),
+                tops_per_w: gm(|c| c.metrics.tops_per_w),
+                tops_per_mm2: gm(|c| c.metrics.tops_per_mm2),
+            }
+        })
+        .collect()
+}
+
+/// Scores every architecture of `archs` on two campaign categories —
+/// efficiency on its sparse home axis vs the dense-category "sparsity
+/// tax" axis — and extracts the Pareto-optimal subset.
+///
+/// Architectures without cells on both categories are skipped.
+pub fn pareto_designs(
+    report: &CampaignReport,
+    archs: &[ArchSpec],
+    sparse_category: DnnCategory,
+    dense_category: DnnCategory,
+) -> Vec<ScoredDesign> {
+    let sparse = per_arch(report, Some(sparse_category));
+    let dense = per_arch(report, Some(dense_category));
+    let sparse_by: HashMap<&str, &ArchAggregate> =
+        sparse.iter().map(|a| (a.arch.as_str(), a)).collect();
+    let dense_by: HashMap<&str, &ArchAggregate> =
+        dense.iter().map(|a| (a.arch.as_str(), a)).collect();
+
+    let scored: Vec<ScoredDesign> = archs
+        .iter()
+        .filter_map(|spec| {
+            let s = sparse_by.get(spec.name.as_str())?;
+            let d = dense_by.get(spec.name.as_str())?;
+            Some(ScoredDesign {
+                spec: spec.clone(),
+                sparse_metric: s.tops_per_w,
+                dense_metric: d.tops_per_w,
+            })
+        })
+        .collect();
+    pareto_front(scored)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CellMetrics;
+    use crate::executor::CampaignReport;
+
+    fn record(arch: &str, wl: &str, cat: DnnCategory, speedup: f64, tw: f64) -> CellRecord {
+        CellRecord {
+            index: 0,
+            workload: wl.into(),
+            category: cat,
+            arch: arch.into(),
+            seed: 0,
+            fingerprint: "00".into(),
+            metrics: CellMetrics {
+                speedup,
+                cycles: 100.0 / speedup,
+                dense_cycles: 100,
+                power_mw: 300.0,
+                area_mm2: 1.0,
+                tops_per_w: tw,
+                tops_per_mm2: tw / 3.0,
+            },
+        }
+    }
+
+    fn report(cells: Vec<CellRecord>) -> CampaignReport {
+        CampaignReport {
+            campaign: "t".into(),
+            cells,
+            cache: Default::default(),
+            workers: 1,
+            elapsed_ms: 0,
+        }
+    }
+
+    #[test]
+    fn summary_counts_and_extremes() {
+        let r = report(vec![
+            record("A1", "w1", DnnCategory::B, 2.0, 20.0),
+            record("A1", "w2", DnnCategory::B, 8.0, 25.0),
+            record("A2", "w1", DnnCategory::B, 1.0, 10.0),
+        ]);
+        let s = summarize(&r);
+        assert_eq!((s.cells, s.archs, s.workloads), (3, 2, 2));
+        assert!((s.geomean_speedup - (2.0f64 * 8.0 * 1.0).powf(1.0 / 3.0)).abs() < 1e-12);
+        assert_eq!(s.best.unwrap().2, 8.0);
+        assert_eq!(s.worst.unwrap().0, "A2");
+    }
+
+    #[test]
+    fn per_arch_respects_category_filter_and_order() {
+        let r = report(vec![
+            record("A2", "w", DnnCategory::B, 2.0, 20.0),
+            record("A1", "w", DnnCategory::B, 4.0, 30.0),
+            record("A2", "w", DnnCategory::Dense, 1.0, 15.0),
+        ]);
+        let all = per_arch(&r, None);
+        assert_eq!(all[0].arch, "A2"); // first appearance wins
+        assert_eq!(all[0].cells, 2);
+        let b_only = per_arch(&r, Some(DnnCategory::B));
+        assert_eq!(b_only.len(), 2);
+        assert_eq!(b_only[0].cells, 1);
+        assert!((b_only[0].speedup - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pareto_drops_dominated_architectures() {
+        let a1 = ArchSpec::sparse_b_star();
+        let mut a2 = ArchSpec::sparse_b_star();
+        a2.name = "Dominated".into();
+        let r = report(vec![
+            record(&a1.name, "w", DnnCategory::B, 3.0, 30.0),
+            record(&a1.name, "w", DnnCategory::Dense, 1.0, 20.0),
+            record("Dominated", "w", DnnCategory::B, 2.0, 20.0),
+            record("Dominated", "w", DnnCategory::Dense, 1.0, 10.0),
+        ]);
+        let front = pareto_designs(&r, &[a1.clone(), a2], DnnCategory::B, DnnCategory::Dense);
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].spec.name, a1.name);
+    }
+
+    #[test]
+    fn empty_report_summarizes_cleanly() {
+        let s = summarize(&report(vec![]));
+        assert_eq!(s.cells, 0);
+        assert_eq!(s.best, None);
+        assert_eq!(s.geomean_speedup, 0.0);
+    }
+}

@@ -1,0 +1,304 @@
+//! Content-addressed result cache.
+//!
+//! Each completed scenario cell is stored under its stable
+//! [`Fingerprint`](crate::fingerprint::Fingerprint): an in-memory map
+//! serves repeats inside one campaign, and an optional cache directory
+//! persists results across processes (one small JSON file per cell,
+//! written atomically via a temp file + rename). Overlapping campaigns
+//! therefore skip every cell any earlier campaign already simulated.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::fingerprint::Fingerprint;
+use crate::json::Json;
+
+/// The cached numeric outcome of one scenario cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellMetrics {
+    /// End-to-end speedup over the dense baseline.
+    pub speedup: f64,
+    /// Total simulated cycles.
+    pub cycles: f64,
+    /// Dense-baseline cycles.
+    pub dense_cycles: u64,
+    /// Architecture power at the provisioned speedup (mW).
+    pub power_mw: f64,
+    /// Architecture area (mm²).
+    pub area_mm2: f64,
+    /// Effective TOPS/W (Definition V.1).
+    pub tops_per_w: f64,
+    /// Effective TOPS/mm².
+    pub tops_per_mm2: f64,
+}
+
+impl CellMetrics {
+    /// Serializes to a JSON object. Floats use [`Json::from_f64`] so
+    /// that the degenerate NaN/∞ values sweep campaigns can produce
+    /// still round-trip (plain JSON numbers cannot express them).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("speedup".into(), Json::from_f64(self.speedup)),
+            ("cycles".into(), Json::from_f64(self.cycles)),
+            // u64 as decimal string: full precision beyond 2^53.
+            (
+                "dense_cycles".into(),
+                Json::Str(self.dense_cycles.to_string()),
+            ),
+            ("power_mw".into(), Json::from_f64(self.power_mw)),
+            ("area_mm2".into(), Json::from_f64(self.area_mm2)),
+            ("tops_per_w".into(), Json::from_f64(self.tops_per_w)),
+            ("tops_per_mm2".into(), Json::from_f64(self.tops_per_mm2)),
+        ])
+    }
+
+    /// Deserializes from the object written by [`CellMetrics::to_json`].
+    pub fn from_json(v: &Json) -> Result<Self, crate::json::JsonError> {
+        Ok(CellMetrics {
+            speedup: v.req("speedup")?.as_f64_lossless()?,
+            cycles: v.req("cycles")?.as_f64_lossless()?,
+            dense_cycles: v.req("dense_cycles")?.as_u64()?,
+            power_mw: v.req("power_mw")?.as_f64_lossless()?,
+            area_mm2: v.req("area_mm2")?.as_f64_lossless()?,
+            tops_per_w: v.req("tops_per_w")?.as_f64_lossless()?,
+            tops_per_mm2: v.req("tops_per_mm2")?.as_f64_lossless()?,
+        })
+    }
+}
+
+/// Cache activity counters for one campaign or process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from memory or disk.
+    pub hits: u64,
+    /// Lookups that required a fresh simulation.
+    pub misses: u64,
+    /// Hits that came from the cache directory (subset of `hits`).
+    pub disk_hits: u64,
+    /// Results inserted.
+    pub stores: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction over all lookups (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Thread-safe content-addressed result cache.
+#[derive(Debug)]
+pub struct ResultCache {
+    mem: Mutex<HashMap<Fingerprint, CellMetrics>>,
+    dir: Option<PathBuf>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    disk_hits: AtomicU64,
+    stores: AtomicU64,
+}
+
+impl ResultCache {
+    /// A purely in-memory cache (one process lifetime).
+    pub fn in_memory() -> Self {
+        ResultCache {
+            mem: Mutex::new(HashMap::new()),
+            dir: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache backed by a directory (created if absent); results
+    /// persist across processes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error if the directory cannot be created.
+    pub fn at_dir(dir: impl AsRef<Path>) -> io::Result<Self> {
+        std::fs::create_dir_all(&dir)?;
+        let mut c = Self::in_memory();
+        c.dir = Some(dir.as_ref().to_path_buf());
+        Ok(c)
+    }
+
+    fn entry_path(&self, fp: Fingerprint) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(format!("{fp}.json")))
+    }
+
+    /// Looks up a fingerprint, counting a hit or miss. Disk entries are
+    /// promoted into memory on first access.
+    pub fn lookup(&self, fp: Fingerprint) -> Option<CellMetrics> {
+        if let Some(m) = self.mem.lock().expect("cache lock").get(&fp).copied() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(m);
+        }
+        if let Some(path) = self.entry_path(fp) {
+            if let Some(m) = read_entry(&path) {
+                self.mem.lock().expect("cache lock").insert(fp, m);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                return Some(m);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Inserts a result (memory, and disk when a directory is set).
+    pub fn insert(&self, fp: Fingerprint, metrics: CellMetrics) {
+        self.mem.lock().expect("cache lock").insert(fp, metrics);
+        self.stores.fetch_add(1, Ordering::Relaxed);
+        if let Some(path) = self.entry_path(fp) {
+            // Failures to persist are non-fatal: the campaign still has
+            // the result in memory; the next run re-simulates.
+            let _ = write_entry(&path, &metrics);
+        }
+    }
+
+    /// Number of in-memory entries.
+    pub fn len(&self) -> usize {
+        self.mem.lock().expect("cache lock").len()
+    }
+
+    /// Whether the in-memory map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the activity counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets the activity counters (entries are kept).
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.disk_hits.store(0, Ordering::Relaxed);
+        self.stores.store(0, Ordering::Relaxed);
+    }
+}
+
+fn read_entry(path: &Path) -> Option<CellMetrics> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let v = Json::parse(&text).ok()?;
+    CellMetrics::from_json(&v).ok()
+}
+
+fn write_entry(path: &Path, metrics: &CellMetrics) -> io::Result<()> {
+    // Unique temp name per process and write: two processes sharing a
+    // cache directory may simulate the same cell concurrently, and a
+    // shared temp file would let their writes interleave before the
+    // rename (whoever renames last wins, both files are whole).
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let tmp = path.with_extension(format!(
+        "tmp.{}.{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&tmp, metrics.to_json().write())?;
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(speedup: f64) -> CellMetrics {
+        CellMetrics {
+            speedup,
+            cycles: 100.0 / speedup,
+            dense_cycles: 100,
+            power_mw: 330.5,
+            area_mm2: 0.97,
+            tops_per_w: 24.0,
+            tops_per_mm2: 8.5,
+        }
+    }
+
+    #[test]
+    fn memory_roundtrip_and_stats() {
+        let c = ResultCache::in_memory();
+        let fp = Fingerprint(1, 2);
+        assert_eq!(c.lookup(fp), None);
+        c.insert(fp, metrics(2.0));
+        assert_eq!(c.lookup(fp), Some(metrics(2.0)));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.stores, s.disk_hits), (1, 1, 1, 0));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_json_roundtrip() {
+        let m = CellMetrics {
+            dense_cycles: u64::MAX - 3,
+            ..metrics(3.25)
+        };
+        let back = CellMetrics::from_json(&Json::parse(&m.to_json().write()).unwrap()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn degenerate_metrics_roundtrip_through_json() {
+        // Campaigns can produce NaN/∞ efficiency values; the cache must
+        // bring them back intact instead of rejecting its own files.
+        let m = CellMetrics {
+            tops_per_w: f64::NAN,
+            tops_per_mm2: f64::INFINITY,
+            power_mw: f64::NEG_INFINITY,
+            ..metrics(1.0)
+        };
+        let back = CellMetrics::from_json(&Json::parse(&m.to_json().write()).unwrap()).unwrap();
+        assert!(back.tops_per_w.is_nan());
+        assert_eq!(back.tops_per_mm2, f64::INFINITY);
+        assert_eq!(back.power_mw, f64::NEG_INFINITY);
+        assert_eq!(back.speedup, 1.0);
+    }
+
+    #[test]
+    fn disk_cache_survives_process_boundary() {
+        let dir = std::env::temp_dir().join(format!("griffin-sweep-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let c = ResultCache::at_dir(&dir).unwrap();
+            c.insert(Fingerprint(7, 9), metrics(4.0));
+        }
+        // A fresh cache instance (simulating a new process) sees it.
+        let c2 = ResultCache::at_dir(&dir).unwrap();
+        assert_eq!(c2.lookup(Fingerprint(7, 9)), Some(metrics(4.0)));
+        let s = c2.stats();
+        assert_eq!((s.hits, s.disk_hits), (1, 1));
+        // Promoted to memory: second lookup no longer counts disk.
+        c2.lookup(Fingerprint(7, 9));
+        assert_eq!(c2.stats().disk_hits, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_disk_entries_are_misses() {
+        let dir =
+            std::env::temp_dir().join(format!("griffin-sweep-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let c = ResultCache::at_dir(&dir).unwrap();
+        let fp = Fingerprint(3, 4);
+        std::fs::write(dir.join(format!("{fp}.json")), "not json").unwrap();
+        assert_eq!(c.lookup(fp), None);
+        assert_eq!(c.stats().misses, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,347 @@
+//! Multi-threaded campaign execution.
+//!
+//! The executor materializes a [`SweepSpec`] grid, probes the
+//! [`ResultCache`] for every cell, then drives the remaining cells
+//! through a pool of `std::thread` workers pulling from a shared atomic
+//! work queue (run-to-idle work stealing: a fast worker simply takes the
+//! next cell, so stragglers never gate throughput). Two properties hold
+//! for any worker count:
+//!
+//! * **deterministic output** — results are assembled by grid index, so
+//!   the report is byte-identical for 1 or 64 workers;
+//! * **workload reuse** — each distinct (workload, category, seed)
+//!   triple is built exactly once and shared read-only across workers,
+//!   because mask construction dominates small-cell campaigns.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use griffin_core::accelerator::{Accelerator, Workload};
+use griffin_core::category::DnnCategory;
+
+use crate::cache::{CacheStats, CellMetrics, ResultCache};
+use crate::fingerprint::{Fingerprint, Hasher};
+use crate::spec::{Cell, SweepSpec};
+
+/// One finished cell of a campaign report, in grid order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRecord {
+    /// Grid index (stable across worker counts and cache states).
+    pub index: usize,
+    /// Workload display name.
+    pub workload: String,
+    /// Category axis value.
+    pub category: DnnCategory,
+    /// Architecture display name.
+    pub arch: String,
+    /// Mask seed.
+    pub seed: u64,
+    /// Stable scenario fingerprint (hex).
+    pub fingerprint: String,
+    /// Simulation results.
+    pub metrics: CellMetrics,
+}
+
+/// A completed campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Campaign name from the spec.
+    pub campaign: String,
+    /// Every cell in deterministic grid order.
+    pub cells: Vec<CellRecord>,
+    /// Cache activity during this campaign only.
+    pub cache: CacheStats,
+    /// Worker threads used (not serialized; informational).
+    pub workers: usize,
+    /// Wall-clock milliseconds (not serialized; informational).
+    pub elapsed_ms: u128,
+}
+
+/// Campaign failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepError {
+    /// The spec had an empty axis.
+    EmptySpec,
+    /// A workload failed to build (e.g. degenerate ad-hoc dimensions).
+    Workload(String),
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::EmptySpec => write!(f, "sweep spec has an empty axis"),
+            SweepError::Workload(e) => write!(f, "workload construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// Default worker count for campaign drivers: every available core.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Key identifying a unique workload build within a campaign.
+fn workload_key(cell: &Cell) -> Fingerprint {
+    let mut h = Hasher::new();
+    h.feed(&cell.workload).feed(&cell.category).u64(cell.seed);
+    h.finish()
+}
+
+/// Runs every grid cell of `spec`, using `cache` to skip scenarios that
+/// were already simulated (by this process or, with a directory-backed
+/// cache, by any earlier one).
+///
+/// `workers` is clamped to `[1, cells]`. Cache counters in the returned
+/// report cover this campaign only.
+///
+/// # Errors
+///
+/// [`SweepError::EmptySpec`] when an axis is empty and
+/// [`SweepError::Workload`] when a workload fails validation.
+pub fn run_campaign(
+    spec: &SweepSpec,
+    cache: &ResultCache,
+    workers: usize,
+) -> Result<CampaignReport, SweepError> {
+    if !spec.is_runnable() {
+        return Err(SweepError::EmptySpec);
+    }
+    let start = Instant::now();
+    let stats_before = cache.stats();
+    let cells = spec.cells();
+    let fingerprints: Vec<Fingerprint> = cells.iter().map(|c| c.fingerprint(&spec.sim)).collect();
+
+    // Phase 1: probe the cache, and deduplicate identical scenarios
+    // within this campaign (e.g. a repeated seed): each distinct
+    // fingerprint is simulated once, then fanned out to every cell
+    // that shares it.
+    let mut metrics: Vec<Option<CellMetrics>> =
+        fingerprints.iter().map(|&fp| cache.lookup(fp)).collect();
+    let mut missing: Vec<usize> = Vec::new(); // one representative per fingerprint
+    let mut twins: HashMap<Fingerprint, Vec<usize>> = HashMap::new();
+    for i in 0..cells.len() {
+        if metrics[i].is_some() {
+            continue;
+        }
+        let bucket = twins.entry(fingerprints[i]).or_default();
+        if bucket.is_empty() {
+            missing.push(i);
+        }
+        bucket.push(i);
+    }
+
+    if !missing.is_empty() {
+        let workers = workers.clamp(1, missing.len());
+
+        // Phase 2: build each distinct workload once, in parallel.
+        let mut keys: Vec<Fingerprint> = Vec::new();
+        let mut key_cells: Vec<&Cell> = Vec::new();
+        {
+            let mut seen = HashMap::new();
+            for &i in &missing {
+                let key = workload_key(&cells[i]);
+                if seen.insert(key, ()).is_none() {
+                    keys.push(key);
+                    key_cells.push(&cells[i]);
+                }
+            }
+        }
+        let built: Mutex<HashMap<Fingerprint, Arc<Workload>>> = Mutex::new(HashMap::new());
+        let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+        let next_key = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers.min(keys.len()) {
+                s.spawn(|| loop {
+                    let k = next_key.fetch_add(1, Ordering::Relaxed);
+                    if k >= keys.len() {
+                        break;
+                    }
+                    let cell = key_cells[k];
+                    match cell.workload.build(cell.category, cell.seed) {
+                        Ok(wl) => {
+                            built
+                                .lock()
+                                .expect("build lock")
+                                .insert(keys[k], Arc::new(wl));
+                        }
+                        Err(e) => errors
+                            .lock()
+                            .expect("error lock")
+                            .push(format!("{}: {e}", cell.workload.name())),
+                    }
+                });
+            }
+        });
+        let mut errors = errors.into_inner().expect("error lock");
+        if !errors.is_empty() {
+            errors.sort();
+            return Err(SweepError::Workload(errors.join("; ")));
+        }
+        let built = built.into_inner().expect("build lock");
+
+        // Phase 3: simulate the missing cells, any worker, any order.
+        let done: Mutex<Vec<(usize, CellMetrics)>> = Mutex::new(Vec::with_capacity(missing.len()));
+        let next_cell = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let j = next_cell.fetch_add(1, Ordering::Relaxed);
+                    if j >= missing.len() {
+                        break;
+                    }
+                    let i = missing[j];
+                    let cell = &cells[i];
+                    let wl = Arc::clone(&built[&workload_key(cell)]);
+                    let report = Accelerator::new(cell.arch.clone(), spec.sim).run(&wl);
+                    let m = CellMetrics {
+                        speedup: report.speedup,
+                        cycles: report.network.cycles(),
+                        dense_cycles: report.network.dense_cycles(),
+                        power_mw: report.cost.power_mw(),
+                        area_mm2: report.cost.area_mm2(),
+                        tops_per_w: report.effective_tops_per_w,
+                        tops_per_mm2: report.effective_tops_per_mm2,
+                    };
+                    cache.insert(fingerprints[i], m);
+                    done.lock().expect("done lock").push((i, m));
+                });
+            }
+        });
+        for (i, m) in done.into_inner().expect("done lock") {
+            for &twin in &twins[&fingerprints[i]] {
+                metrics[twin] = Some(m);
+            }
+        }
+    }
+
+    // Assemble in grid order — identical output for any worker count.
+    let records = cells
+        .iter()
+        .zip(&fingerprints)
+        .zip(metrics)
+        .map(|((cell, fp), m)| CellRecord {
+            index: cell.index,
+            workload: cell.workload.name(),
+            category: cell.category,
+            arch: cell.arch.name.clone(),
+            seed: cell.seed,
+            fingerprint: fp.to_string(),
+            metrics: m.expect("every cell resolved"),
+        })
+        .collect();
+
+    let after = cache.stats();
+    Ok(CampaignReport {
+        campaign: spec.name.clone(),
+        cells: records,
+        cache: CacheStats {
+            hits: after.hits - stats_before.hits,
+            misses: after.misses - stats_before.misses,
+            disk_hits: after.disk_hits - stats_before.disk_hits,
+            stores: after.stores - stats_before.stores,
+        },
+        workers,
+        elapsed_ms: start.elapsed().as_millis(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use griffin_core::arch::ArchSpec;
+    use griffin_sim::config::{Fidelity, SimConfig};
+
+    fn small_spec() -> SweepSpec {
+        SweepSpec::new("unit")
+            .adhoc_layer("l0", 32, 256, 32, 1.0, 0.2)
+            .adhoc_layer("l1", 16, 128, 64, 0.5, 0.5)
+            .category(DnnCategory::B)
+            .arch(ArchSpec::dense())
+            .arch(ArchSpec::sparse_b_star())
+            .arch(ArchSpec::griffin())
+            .seeds([1, 2])
+            .sim(SimConfig {
+                fidelity: Fidelity::Sampled { tiles: 4, seed: 1 },
+                ..SimConfig::default()
+            })
+    }
+
+    #[test]
+    fn campaign_covers_every_cell_in_order() {
+        let cache = ResultCache::in_memory();
+        let r = run_campaign(&small_spec(), &cache, 2).unwrap();
+        assert_eq!(r.cells.len(), 12);
+        for (i, c) in r.cells.iter().enumerate() {
+            assert_eq!(c.index, i);
+            assert!(c.metrics.speedup > 0.0);
+        }
+        assert_eq!(r.cache.misses, 12);
+        assert_eq!(r.cache.stores, 12);
+        assert_eq!(r.cache.hits, 0);
+    }
+
+    #[test]
+    fn rerun_is_fully_cached() {
+        let cache = ResultCache::in_memory();
+        let first = run_campaign(&small_spec(), &cache, 3).unwrap();
+        let second = run_campaign(&small_spec(), &cache, 3).unwrap();
+        assert_eq!(second.cache.hits, 12);
+        assert_eq!(second.cache.misses, 0);
+        assert_eq!(first.cells, second.cells);
+    }
+
+    #[test]
+    fn duplicate_cells_simulate_once_and_fan_out() {
+        // A repeated seed duplicates every scenario; each distinct
+        // fingerprint must be simulated (stored) once, with the result
+        // shared by its twin cells.
+        let spec = small_spec().seeds([1, 1]);
+        let cache = ResultCache::in_memory();
+        let r = run_campaign(&spec, &cache, 2).unwrap();
+        assert_eq!(r.cells.len(), 12);
+        assert_eq!(r.cache.stores, 6, "one simulation per distinct scenario");
+        // Grid order is workload → category → seed → arch, so the twin
+        // of each cell under the duplicated seed sits one arch-block
+        // (3 cells) later inside the same workload block of 6.
+        for block in r.cells.chunks(6) {
+            let (first, second) = block.split_at(3);
+            for (a, b) in first.iter().zip(second) {
+                assert_eq!(a.metrics, b.metrics);
+                assert_eq!(a.fingerprint, b.fingerprint);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_axes_are_rejected() {
+        let cache = ResultCache::in_memory();
+        let spec = SweepSpec::new("nothing");
+        assert_eq!(run_campaign(&spec, &cache, 1), Err(SweepError::EmptySpec));
+    }
+
+    #[test]
+    fn invalid_adhoc_workload_is_an_error() {
+        let cache = ResultCache::in_memory();
+        let spec = SweepSpec::new("bad")
+            .adhoc_layer("zero", 0, 16, 16, 1.0, 1.0)
+            .category(DnnCategory::Dense)
+            .arch(ArchSpec::dense());
+        match run_campaign(&spec, &cache, 2) {
+            Err(SweepError::Workload(msg)) => assert!(msg.contains("zero")),
+            other => panic!("expected workload error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dense_arch_reports_unit_speedup() {
+        let cache = ResultCache::in_memory();
+        let r = run_campaign(&small_spec(), &cache, 2).unwrap();
+        for c in r.cells.iter().filter(|c| c.arch == "Baseline") {
+            assert!((c.metrics.speedup - 1.0).abs() < 1e-9);
+        }
+    }
+}

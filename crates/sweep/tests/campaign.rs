@@ -1,0 +1,162 @@
+//! End-to-end campaign tests: determinism across worker counts, cache
+//! accounting (memory and disk), fingerprint stability and CSV/JSON
+//! round-trips of real campaign output.
+
+use std::path::PathBuf;
+
+use griffin_core::arch::ArchSpec;
+use griffin_core::category::DnnCategory;
+use griffin_sim::config::{Fidelity, SimConfig};
+use griffin_sweep::report::{parse_csv, parse_json, to_csv, to_json};
+use griffin_sweep::{pareto_designs, run_campaign, summarize, ArchFamily, ResultCache, SweepSpec};
+
+/// A fast campaign that still exercises every axis: 2 workloads ×
+/// 2 categories × 5 architectures × 2 seeds = 40 cells.
+fn campaign() -> SweepSpec {
+    SweepSpec::new("itest")
+        .adhoc_layer("gemm-a", 32, 256, 32, 0.5, 0.2)
+        .synthetic("syn", 2)
+        .categories([DnnCategory::B, DnnCategory::Dense])
+        .archs([
+            ArchSpec::dense(),
+            ArchSpec::sparse_b_star(),
+            ArchSpec::sparse_a_star(),
+            ArchSpec::sparse_ab_star(),
+            ArchSpec::griffin(),
+        ])
+        .seeds([7, 8])
+        .sim(SimConfig {
+            fidelity: Fidelity::Sampled { tiles: 4, seed: 2 },
+            ..SimConfig::default()
+        })
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("griffin-sweep-it-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn deterministic_across_worker_counts() {
+    // Fresh cache per worker count: all three runs simulate everything.
+    let baseline = run_campaign(&campaign(), &ResultCache::in_memory(), 1).unwrap();
+    assert_eq!(baseline.cells.len(), 40);
+    for workers in [4, 8] {
+        let r = run_campaign(&campaign(), &ResultCache::in_memory(), workers).unwrap();
+        assert_eq!(
+            r.cells, baseline.cells,
+            "worker count {workers} changed results"
+        );
+        // Byte-level determinism of the machine-readable reports.
+        assert_eq!(to_csv(&r), to_csv(&baseline));
+        assert_eq!(to_json(&r), to_json(&baseline));
+    }
+}
+
+#[test]
+fn cache_accounting_within_and_across_campaigns() {
+    let cache = ResultCache::in_memory();
+    let spec = campaign();
+    let first = run_campaign(&spec, &cache, 4).unwrap();
+    assert_eq!(first.cache.misses, 40);
+    assert_eq!(first.cache.stores, 40);
+    assert_eq!(first.cache.hits, 0);
+
+    // Identical campaign: 100 % hits.
+    let second = run_campaign(&spec, &cache, 4).unwrap();
+    assert_eq!(second.cache.hits, 40);
+    assert_eq!(second.cache.misses, 0);
+    assert!(second.cache.hit_rate() > 0.99);
+    assert_eq!(second.cells, first.cells);
+
+    // Overlapping campaign (one extra arch): only the new cells miss.
+    let extended = spec.clone().arch(ArchSpec::tcl_b());
+    let third = run_campaign(&extended, &cache, 4).unwrap();
+    assert_eq!(third.cells.len(), 48);
+    assert_eq!(third.cache.hits, 40);
+    assert_eq!(third.cache.misses, 8);
+}
+
+#[test]
+fn disk_cache_persists_across_cache_instances() {
+    let dir = tmp_dir("disk");
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = campaign();
+
+    let first = run_campaign(&spec, &ResultCache::at_dir(&dir).unwrap(), 2).unwrap();
+    assert_eq!(first.cache.misses, 40);
+
+    // A fresh cache instance simulates a new process: everything is
+    // served from disk, and the report is identical.
+    let revived = ResultCache::at_dir(&dir).unwrap();
+    let second = run_campaign(&spec, &revived, 2).unwrap();
+    assert_eq!(second.cache.hits, 40);
+    assert_eq!(second.cache.disk_hits, 40);
+    assert_eq!(second.cache.misses, 0);
+    assert_eq!(second.cells, first.cells);
+    assert_eq!(to_csv(&second), to_csv(&first));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn fingerprints_are_stable_across_processes() {
+    // Fingerprints derive from a canonical byte encoding, not from
+    // std's hasher — the literal below must never change, or every
+    // on-disk cache silently invalidates.
+    let cells = campaign().cells();
+    let fp = cells[0].fingerprint(&campaign().sim);
+    assert_eq!(fp.to_string(), "1599bde4e5e524875a36cbd8b07ab604");
+
+    // And they key the *content*: any axis change moves the print.
+    let mut other = campaign().cells();
+    other[0].seed ^= 1;
+    assert_ne!(other[0].fingerprint(&campaign().sim), fp);
+}
+
+#[test]
+fn csv_and_json_roundtrip_real_campaign_output() {
+    let report = run_campaign(&campaign(), &ResultCache::in_memory(), 4).unwrap();
+
+    let csv = to_csv(&report);
+    assert_eq!(parse_csv(&csv).unwrap(), report.cells);
+
+    let json = to_json(&report);
+    let back = parse_json(&json).unwrap();
+    assert_eq!(back.campaign, report.campaign);
+    assert_eq!(back.cells, report.cells);
+
+    // Serialization is a pure function of the cells.
+    assert_eq!(to_csv(&back), csv);
+    assert_eq!(to_json(&back), json);
+}
+
+#[test]
+fn family_campaign_supports_pareto_extraction() {
+    // A small Sparse.B family on one ad-hoc layer, two categories.
+    let spec = SweepSpec::new("family")
+        .adhoc_layer("gemm", 32, 256, 32, 1.0, 0.2)
+        .categories([DnnCategory::B, DnnCategory::Dense])
+        .family(ArchFamily::SparseB { max_fanin: 4 })
+        .sim(SimConfig {
+            fidelity: Fidelity::Sampled { tiles: 4, seed: 2 },
+            ..SimConfig::default()
+        });
+    assert!(spec.archs.len() >= 4, "family axis enumerated");
+    let report = run_campaign(&spec, &ResultCache::in_memory(), 4).unwrap();
+
+    let s = summarize(&report);
+    assert_eq!(s.cells, spec.cell_count());
+    assert!(
+        s.geomean_speedup > 1.0,
+        "sparse family beats dense on a pruned layer"
+    );
+
+    let front = pareto_designs(&report, &spec.archs, DnnCategory::B, DnnCategory::Dense);
+    assert!(!front.is_empty());
+    assert!(front.len() <= spec.archs.len());
+    // The front is monotone: sparse metric falls, dense metric rises.
+    for w in front.windows(2) {
+        assert!(w[0].sparse_metric >= w[1].sparse_metric);
+        assert!(w[0].dense_metric <= w[1].dense_metric);
+    }
+}

@@ -81,7 +81,12 @@ impl<'a> ATileView<'a> {
     /// `m_base`. `mask` is the `M × K` sparsity mask of `A`.
     pub fn new(mask: &'a SparsityMask, core: CoreDims, m_base: usize) -> Self {
         let t_steps = mask.cols().div_ceil(core.k0);
-        ATileView { mask, core, m_base, t_steps }
+        ATileView {
+            mask,
+            core,
+            m_base,
+            t_steps,
+        }
     }
 }
 
@@ -103,7 +108,8 @@ impl TileView for ATileView<'_> {
             return false;
         }
         // SparsityMask::get pads out-of-bounds with zeros.
-        self.mask.get(self.m_base + c.s, c.t * self.core.k0 + c.lane)
+        self.mask
+            .get(self.m_base + c.s, c.t * self.core.k0 + c.lane)
     }
 }
 
@@ -124,7 +130,12 @@ impl<'a> BTileView<'a> {
     /// column `n_base`. `mask` is the `K × N` sparsity mask of `B`.
     pub fn new(mask: &'a SparsityMask, core: CoreDims, n_base: usize) -> Self {
         let t_steps = mask.rows().div_ceil(core.k0);
-        BTileView { mask, core, n_base, t_steps }
+        BTileView {
+            mask,
+            core,
+            n_base,
+            t_steps,
+        }
     }
 }
 
@@ -145,7 +156,8 @@ impl TileView for BTileView<'_> {
         if c.t >= self.t_steps || c.lane >= self.core.k0 || c.s >= self.core.n0 {
             return false;
         }
-        self.mask.get(c.t * self.core.k0 + c.lane, self.n_base + c.s)
+        self.mask
+            .get(c.t * self.core.k0 + c.lane, self.n_base + c.s)
     }
 }
 
@@ -165,8 +177,16 @@ mod tests {
         assert_eq!(v.t_steps(), 2);
         assert_eq!(v.spatial(), 2);
         // (2,5) = m_base 2 + s 0, k = t*4 + lane => t=1, lane=1.
-        assert!(v.is_nonzero(TileCoord { t: 1, lane: 1, s: 0 }));
-        assert!(!v.is_nonzero(TileCoord { t: 1, lane: 1, s: 1 }));
+        assert!(v.is_nonzero(TileCoord {
+            t: 1,
+            lane: 1,
+            s: 0
+        }));
+        assert!(!v.is_nonzero(TileCoord {
+            t: 1,
+            lane: 1,
+            s: 1
+        }));
         assert_eq!(v.nnz(), 1);
     }
 
@@ -177,7 +197,11 @@ mod tests {
         let v = BTileView::new(&mask, core(), 4);
         assert_eq!(v.t_steps(), 2);
         // row 6 => t=1, lane=2; col 5 => s = 5 - 4 = 1.
-        assert!(v.is_nonzero(TileCoord { t: 1, lane: 2, s: 1 }));
+        assert!(v.is_nonzero(TileCoord {
+            t: 1,
+            lane: 2,
+            s: 1
+        }));
         assert_eq!(v.nnz(), 1);
     }
 
@@ -187,9 +211,21 @@ mod tests {
         let mask = SparsityMask::ones(2, 6);
         let v = ATileView::new(&mask, core(), 0);
         assert_eq!(v.t_steps(), 2);
-        assert!(v.is_nonzero(TileCoord { t: 1, lane: 1, s: 0 }));
-        assert!(!v.is_nonzero(TileCoord { t: 1, lane: 2, s: 0 }));
-        assert!(!v.is_nonzero(TileCoord { t: 2, lane: 0, s: 0 }));
+        assert!(v.is_nonzero(TileCoord {
+            t: 1,
+            lane: 1,
+            s: 0
+        }));
+        assert!(!v.is_nonzero(TileCoord {
+            t: 1,
+            lane: 2,
+            s: 0
+        }));
+        assert!(!v.is_nonzero(TileCoord {
+            t: 2,
+            lane: 0,
+            s: 0
+        }));
     }
 
     #[test]
@@ -197,8 +233,16 @@ mod tests {
         // M=3 with m0=2: second tile row (m_base=2) has one real row.
         let mask = SparsityMask::ones(3, 4);
         let v = ATileView::new(&mask, core(), 2);
-        assert!(v.is_nonzero(TileCoord { t: 0, lane: 0, s: 0 }));
-        assert!(!v.is_nonzero(TileCoord { t: 0, lane: 0, s: 1 }));
+        assert!(v.is_nonzero(TileCoord {
+            t: 0,
+            lane: 0,
+            s: 0
+        }));
+        assert!(!v.is_nonzero(TileCoord {
+            t: 0,
+            lane: 0,
+            s: 1
+        }));
     }
 
     #[test]

@@ -39,7 +39,9 @@ pub struct TensorGen {
 impl TensorGen {
     /// Creates a generator from a 64-bit seed.
     pub fn seeded(seed: u64) -> Self {
-        TensorGen { rng: SmallRng::seed_from_u64(seed) }
+        TensorGen {
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// Clamped density: probabilities are silently clipped into `[0, 1]`
@@ -197,10 +199,12 @@ impl TensorGen {
         let other_spread = k_spread * 0.3;
 
         let lognormal = |g: &mut Self, s: f64| (g.standard_normal() * s - s * s / 2.0).exp();
-        let block_f: Vec<f64> =
-            (0..k_len.div_ceil(block)).map(|_| lognormal(self, k_spread)).collect();
-        let other_f: Vec<f64> =
-            (0..other_len).map(|_| lognormal(self, other_spread)).collect();
+        let block_f: Vec<f64> = (0..k_len.div_ceil(block))
+            .map(|_| lognormal(self, k_spread))
+            .collect();
+        let other_f: Vec<f64> = (0..other_len)
+            .map(|_| lognormal(self, other_spread))
+            .collect();
 
         let mut m = SparsityMask::zeros(rows, cols);
         for r in 0..rows {
@@ -240,12 +244,12 @@ impl TensorGen {
     ) -> SparsityMask {
         let p = Self::clamp_density(density);
         let cin = cin.max(1);
-        let lognormal =
-            |g: &mut Self, s: f64| (g.standard_normal() * s - s * s / 2.0).exp();
+        let lognormal = |g: &mut Self, s: f64| (g.standard_normal() * s - s * s / 2.0).exp();
         let chan_f: Vec<f64> = (0..cin).map(|_| lognormal(self, spread)).collect();
         let other_len = if k_axis_is_rows { cols } else { rows };
-        let other_f: Vec<f64> =
-            (0..other_len).map(|_| lognormal(self, spread * 0.3)).collect();
+        let other_f: Vec<f64> = (0..other_len)
+            .map(|_| lognormal(self, spread * 0.3))
+            .collect();
 
         // Clamping per-element probabilities into [0, 1] biases the mean
         // density downward (heavy log-normal tails saturate); calibrate a
@@ -394,7 +398,10 @@ mod tests {
         let row_nnz = m.row_nnz();
         let min = *row_nnz.iter().min().unwrap() as f64;
         let max = *row_nnz.iter().max().unwrap() as f64;
-        assert!(max > 2.0 * (min + 1.0), "rows too uniform: min {min} max {max}");
+        assert!(
+            max > 2.0 * (min + 1.0),
+            "rows too uniform: min {min} max {max}"
+        );
     }
 
     #[test]
@@ -407,7 +414,10 @@ mod tests {
     fn clustered_mask_hits_rough_density() {
         let m = TensorGen::seeded(8).clustered_mask(256, 256, 0.4, 4);
         let d = m.density();
-        assert!(d > 0.1 && d < 0.9, "clustered density {d} out of plausible band");
+        assert!(
+            d > 0.1 && d < 0.9,
+            "clustered density {d} out of plausible band"
+        );
     }
 
     #[test]
@@ -415,6 +425,9 @@ mod tests {
         let mut g = TensorGen::seeded(9);
         let mut f1 = g.fork();
         let mut f2 = g.fork();
-        assert_ne!(f1.bernoulli_mask(16, 16, 0.5), f2.bernoulli_mask(16, 16, 0.5));
+        assert_ne!(
+            f1.bernoulli_mask(16, 16, 0.5),
+            f2.bernoulli_mask(16, 16, 0.5)
+        );
     }
 }

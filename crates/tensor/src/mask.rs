@@ -32,7 +32,11 @@ impl SparsityMask {
     pub fn zeros(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "mask dimensions must be positive");
         let words = (rows * cols).div_ceil(64);
-        SparsityMask { rows, cols, bits: vec![0; words] }
+        SparsityMask {
+            rows,
+            cols,
+            bits: vec![0; words],
+        }
     }
 
     /// Creates an all-one (fully dense) mask.
@@ -128,8 +132,17 @@ impl SparsityMask {
                 found: format!("{}x{}", other.rows, other.cols),
             });
         }
-        let bits = self.bits.iter().zip(&other.bits).map(|(a, b)| a & b).collect();
-        Ok(SparsityMask { rows: self.rows, cols: self.cols, bits })
+        let bits = self
+            .bits
+            .iter()
+            .zip(&other.bits)
+            .map(|(a, b)| a & b)
+            .collect();
+        Ok(SparsityMask {
+            rows: self.rows,
+            cols: self.cols,
+            bits,
+        })
     }
 
     /// Iterator over the coordinates of nonzero elements in row-major order.
@@ -142,7 +155,9 @@ impl SparsityMask {
 
     /// Per-row nonzero counts (useful for load-imbalance diagnostics).
     pub fn row_nnz(&self) -> Vec<usize> {
-        (0..self.rows).map(|r| (0..self.cols).filter(|&c| self.get(r, c)).count()).collect()
+        (0..self.rows)
+            .map(|r| (0..self.cols).filter(|&c| self.get(r, c)).count())
+            .collect()
     }
 }
 

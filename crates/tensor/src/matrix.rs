@@ -36,7 +36,11 @@ impl<T: Copy + Default> Matrix<T> {
         if cols == 0 {
             return Err(TensorError::EmptyDimension { dim: "cols" });
         }
-        Ok(Matrix { rows, cols, data: vec![T::default(); rows * cols] })
+        Ok(Matrix {
+            rows,
+            cols,
+            data: vec![T::default(); rows * cols],
+        })
     }
 
     /// Builds a matrix from row slices, validating that all rows have the
@@ -64,7 +68,11 @@ impl<T: Copy + Default> Matrix<T> {
             }
             data.extend_from_slice(r);
         }
-        Ok(Matrix { rows: rows.len(), cols, data })
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
     }
 
     /// Builds a matrix from a flat row-major vector.
@@ -133,14 +141,20 @@ impl<T> std::ops::Index<(usize, usize)> for Matrix<T> {
     type Output = T;
 
     fn index(&self, (row, col): (usize, usize)) -> &T {
-        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row},{col}) out of bounds"
+        );
         &self.data[row * self.cols + col]
     }
 }
 
 impl<T> std::ops::IndexMut<(usize, usize)> for Matrix<T> {
     fn index_mut(&mut self, (row, col): (usize, usize)) -> &mut T {
-        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row},{col}) out of bounds"
+        );
         &mut self.data[row * self.cols + col]
     }
 }

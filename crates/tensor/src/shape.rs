@@ -30,7 +30,11 @@ pub struct CoreDims {
 
 impl CoreDims {
     /// The paper's evaluation configuration: `(K0, N0, M0) = (16, 16, 4)`.
-    pub const PAPER: CoreDims = CoreDims { k0: 16, n0: 16, m0: 4 };
+    pub const PAPER: CoreDims = CoreDims {
+        k0: 16,
+        n0: 16,
+        m0: 4,
+    };
 
     /// Creates a core configuration, validating that every dimension is
     /// strictly positive.

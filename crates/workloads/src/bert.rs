@@ -24,7 +24,11 @@ pub const SEQ_LEN: usize = 64;
 fn proj(name: String, inf: usize, outf: usize) -> LayerDef {
     LayerDef {
         name,
-        kind: LayerKind::Fc { in_features: inf, out_features: outf, batch: SEQ_LEN },
+        kind: LayerKind::Fc {
+            in_features: inf,
+            out_features: outf,
+            batch: SEQ_LEN,
+        },
         dense_input: false,
     }
 }
@@ -40,12 +44,22 @@ pub fn layers() -> Vec<LayerDef> {
         v.push(proj(n("v"), HIDDEN, HIDDEN));
         v.push(LayerDef {
             name: n("scores"),
-            kind: LayerKind::MatMul { m: SEQ_LEN, k: head_dim, n: SEQ_LEN, instances: HEADS },
+            kind: LayerKind::MatMul {
+                m: SEQ_LEN,
+                k: head_dim,
+                n: SEQ_LEN,
+                instances: HEADS,
+            },
             dense_input: false,
         });
         v.push(LayerDef {
             name: n("context"),
-            kind: LayerKind::MatMul { m: SEQ_LEN, k: SEQ_LEN, n: head_dim, instances: HEADS },
+            kind: LayerKind::MatMul {
+                m: SEQ_LEN,
+                k: SEQ_LEN,
+                n: head_dim,
+                instances: HEADS,
+            },
             dense_input: false,
         });
         v.push(proj(n("attn_out"), HIDDEN, HIDDEN));

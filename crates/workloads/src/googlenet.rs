@@ -15,7 +15,12 @@ struct Inception {
 }
 
 fn inception(m: &Inception) -> Vec<LayerDef> {
-    let &Inception { name, hw, cin, b: [n1, n3r, n3, n5r, n5, pp] } = m;
+    let &Inception {
+        name,
+        hw,
+        cin,
+        b: [n1, n3r, n3, n5r, n5, pp],
+    } = m;
     vec![
         LayerDef::conv(format!("{name}.1x1"), cin, hw, hw, n1, 1, 1, 1, 0),
         LayerDef::conv(format!("{name}.3x3r"), cin, hw, hw, n3r, 1, 1, 1, 0),
@@ -37,17 +42,62 @@ pub fn layers() -> Vec<LayerDef> {
         // pool -> 28x28
     ];
     let modules = [
-        Inception { name: "3a", hw: 28, cin: 192, b: [64, 96, 128, 16, 32, 32] },
-        Inception { name: "3b", hw: 28, cin: 256, b: [128, 128, 192, 32, 96, 64] },
+        Inception {
+            name: "3a",
+            hw: 28,
+            cin: 192,
+            b: [64, 96, 128, 16, 32, 32],
+        },
+        Inception {
+            name: "3b",
+            hw: 28,
+            cin: 256,
+            b: [128, 128, 192, 32, 96, 64],
+        },
         // pool -> 14x14
-        Inception { name: "4a", hw: 14, cin: 480, b: [192, 96, 208, 16, 48, 64] },
-        Inception { name: "4b", hw: 14, cin: 512, b: [160, 112, 224, 24, 64, 64] },
-        Inception { name: "4c", hw: 14, cin: 512, b: [128, 128, 256, 24, 64, 64] },
-        Inception { name: "4d", hw: 14, cin: 512, b: [112, 144, 288, 32, 64, 64] },
-        Inception { name: "4e", hw: 14, cin: 528, b: [256, 160, 320, 32, 128, 128] },
+        Inception {
+            name: "4a",
+            hw: 14,
+            cin: 480,
+            b: [192, 96, 208, 16, 48, 64],
+        },
+        Inception {
+            name: "4b",
+            hw: 14,
+            cin: 512,
+            b: [160, 112, 224, 24, 64, 64],
+        },
+        Inception {
+            name: "4c",
+            hw: 14,
+            cin: 512,
+            b: [128, 128, 256, 24, 64, 64],
+        },
+        Inception {
+            name: "4d",
+            hw: 14,
+            cin: 512,
+            b: [112, 144, 288, 32, 64, 64],
+        },
+        Inception {
+            name: "4e",
+            hw: 14,
+            cin: 528,
+            b: [256, 160, 320, 32, 128, 128],
+        },
         // pool -> 7x7
-        Inception { name: "5a", hw: 7, cin: 832, b: [256, 160, 320, 32, 128, 128] },
-        Inception { name: "5b", hw: 7, cin: 832, b: [384, 192, 384, 48, 128, 128] },
+        Inception {
+            name: "5a",
+            hw: 7,
+            cin: 832,
+            b: [256, 160, 320, 32, 128, 128],
+        },
+        Inception {
+            name: "5b",
+            hw: 7,
+            cin: 832,
+            b: [384, 192, 384, 48, 128, 128],
+        },
     ];
     for m in &modules {
         v.extend(inception(m));

@@ -10,7 +10,15 @@
 
 use crate::layer::LayerDef;
 
-fn conv(name: String, cin: usize, hw: usize, cout: usize, k: (usize, usize), stride: usize, pad: (usize, usize)) -> LayerDef {
+fn conv(
+    name: String,
+    cin: usize,
+    hw: usize,
+    cout: usize,
+    k: (usize, usize),
+    stride: usize,
+    pad: (usize, usize),
+) -> LayerDef {
     // Asymmetric kernels (1x7 / 7x1) use asymmetric padding to keep the
     // resolution; LayerKind::Conv supports rectangular kernels and pads.
     LayerDef {
@@ -36,37 +44,197 @@ fn inception_a(v: &mut Vec<LayerDef>, name: &str, cin: usize, pool_proj: usize) 
     v.push(conv(format!("{name}.1x1"), cin, hw, 64, (1, 1), 1, (0, 0)));
     v.push(conv(format!("{name}.5x5r"), cin, hw, 48, (1, 1), 1, (0, 0)));
     v.push(conv(format!("{name}.5x5"), 48, hw, 64, (5, 5), 1, (2, 2)));
-    v.push(conv(format!("{name}.3x3dbl_1"), cin, hw, 64, (1, 1), 1, (0, 0)));
-    v.push(conv(format!("{name}.3x3dbl_2"), 64, hw, 96, (3, 3), 1, (1, 1)));
-    v.push(conv(format!("{name}.3x3dbl_3"), 96, hw, 96, (3, 3), 1, (1, 1)));
-    v.push(conv(format!("{name}.pool"), cin, hw, pool_proj, (1, 1), 1, (0, 0)));
+    v.push(conv(
+        format!("{name}.3x3dbl_1"),
+        cin,
+        hw,
+        64,
+        (1, 1),
+        1,
+        (0, 0),
+    ));
+    v.push(conv(
+        format!("{name}.3x3dbl_2"),
+        64,
+        hw,
+        96,
+        (3, 3),
+        1,
+        (1, 1),
+    ));
+    v.push(conv(
+        format!("{name}.3x3dbl_3"),
+        96,
+        hw,
+        96,
+        (3, 3),
+        1,
+        (1, 1),
+    ));
+    v.push(conv(
+        format!("{name}.pool"),
+        cin,
+        hw,
+        pool_proj,
+        (1, 1),
+        1,
+        (0, 0),
+    ));
 }
 
 fn inception_b(v: &mut Vec<LayerDef>, name: &str, c7: usize) {
     let (hw, cin) = (17, 768);
     v.push(conv(format!("{name}.1x1"), cin, hw, 192, (1, 1), 1, (0, 0)));
-    v.push(conv(format!("{name}.7x7_1"), cin, hw, c7, (1, 1), 1, (0, 0)));
+    v.push(conv(
+        format!("{name}.7x7_1"),
+        cin,
+        hw,
+        c7,
+        (1, 1),
+        1,
+        (0, 0),
+    ));
     v.push(conv(format!("{name}.7x7_2"), c7, hw, c7, (1, 7), 1, (0, 3)));
-    v.push(conv(format!("{name}.7x7_3"), c7, hw, 192, (7, 1), 1, (3, 0)));
-    v.push(conv(format!("{name}.7x7dbl_1"), cin, hw, c7, (1, 1), 1, (0, 0)));
-    v.push(conv(format!("{name}.7x7dbl_2"), c7, hw, c7, (7, 1), 1, (3, 0)));
-    v.push(conv(format!("{name}.7x7dbl_3"), c7, hw, c7, (1, 7), 1, (0, 3)));
-    v.push(conv(format!("{name}.7x7dbl_4"), c7, hw, c7, (7, 1), 1, (3, 0)));
-    v.push(conv(format!("{name}.7x7dbl_5"), c7, hw, 192, (1, 7), 1, (0, 3)));
-    v.push(conv(format!("{name}.pool"), cin, hw, 192, (1, 1), 1, (0, 0)));
+    v.push(conv(
+        format!("{name}.7x7_3"),
+        c7,
+        hw,
+        192,
+        (7, 1),
+        1,
+        (3, 0),
+    ));
+    v.push(conv(
+        format!("{name}.7x7dbl_1"),
+        cin,
+        hw,
+        c7,
+        (1, 1),
+        1,
+        (0, 0),
+    ));
+    v.push(conv(
+        format!("{name}.7x7dbl_2"),
+        c7,
+        hw,
+        c7,
+        (7, 1),
+        1,
+        (3, 0),
+    ));
+    v.push(conv(
+        format!("{name}.7x7dbl_3"),
+        c7,
+        hw,
+        c7,
+        (1, 7),
+        1,
+        (0, 3),
+    ));
+    v.push(conv(
+        format!("{name}.7x7dbl_4"),
+        c7,
+        hw,
+        c7,
+        (7, 1),
+        1,
+        (3, 0),
+    ));
+    v.push(conv(
+        format!("{name}.7x7dbl_5"),
+        c7,
+        hw,
+        192,
+        (1, 7),
+        1,
+        (0, 3),
+    ));
+    v.push(conv(
+        format!("{name}.pool"),
+        cin,
+        hw,
+        192,
+        (1, 1),
+        1,
+        (0, 0),
+    ));
 }
 
 fn inception_c(v: &mut Vec<LayerDef>, name: &str, cin: usize) {
     let hw = 8;
     v.push(conv(format!("{name}.1x1"), cin, hw, 320, (1, 1), 1, (0, 0)));
-    v.push(conv(format!("{name}.3x3_1"), cin, hw, 384, (1, 1), 1, (0, 0)));
-    v.push(conv(format!("{name}.3x3_2a"), 384, hw, 384, (1, 3), 1, (0, 1)));
-    v.push(conv(format!("{name}.3x3_2b"), 384, hw, 384, (3, 1), 1, (1, 0)));
-    v.push(conv(format!("{name}.3x3dbl_1"), cin, hw, 448, (1, 1), 1, (0, 0)));
-    v.push(conv(format!("{name}.3x3dbl_2"), 448, hw, 384, (3, 3), 1, (1, 1)));
-    v.push(conv(format!("{name}.3x3dbl_3a"), 384, hw, 384, (1, 3), 1, (0, 1)));
-    v.push(conv(format!("{name}.3x3dbl_3b"), 384, hw, 384, (3, 1), 1, (1, 0)));
-    v.push(conv(format!("{name}.pool"), cin, hw, 192, (1, 1), 1, (0, 0)));
+    v.push(conv(
+        format!("{name}.3x3_1"),
+        cin,
+        hw,
+        384,
+        (1, 1),
+        1,
+        (0, 0),
+    ));
+    v.push(conv(
+        format!("{name}.3x3_2a"),
+        384,
+        hw,
+        384,
+        (1, 3),
+        1,
+        (0, 1),
+    ));
+    v.push(conv(
+        format!("{name}.3x3_2b"),
+        384,
+        hw,
+        384,
+        (3, 1),
+        1,
+        (1, 0),
+    ));
+    v.push(conv(
+        format!("{name}.3x3dbl_1"),
+        cin,
+        hw,
+        448,
+        (1, 1),
+        1,
+        (0, 0),
+    ));
+    v.push(conv(
+        format!("{name}.3x3dbl_2"),
+        448,
+        hw,
+        384,
+        (3, 3),
+        1,
+        (1, 1),
+    ));
+    v.push(conv(
+        format!("{name}.3x3dbl_3a"),
+        384,
+        hw,
+        384,
+        (1, 3),
+        1,
+        (0, 1),
+    ));
+    v.push(conv(
+        format!("{name}.3x3dbl_3b"),
+        384,
+        hw,
+        384,
+        (3, 1),
+        1,
+        (1, 0),
+    ));
+    v.push(conv(
+        format!("{name}.pool"),
+        cin,
+        hw,
+        192,
+        (1, 1),
+        1,
+        (0, 0),
+    ));
 }
 
 /// The InceptionV3 layer table.
@@ -85,20 +253,92 @@ pub fn layers() -> Vec<LayerDef> {
     inception_a(&mut v, "mixed5d", 288, 64);
     // Reduction (mixed6a): 35 -> 17.
     v.push(conv("mixed6a.3x3".into(), 288, 35, 384, (3, 3), 2, (0, 0)));
-    v.push(conv("mixed6a.3x3dbl_1".into(), 288, 35, 64, (1, 1), 1, (0, 0)));
-    v.push(conv("mixed6a.3x3dbl_2".into(), 64, 35, 96, (3, 3), 1, (1, 1)));
-    v.push(conv("mixed6a.3x3dbl_3".into(), 96, 35, 96, (3, 3), 2, (0, 0)));
+    v.push(conv(
+        "mixed6a.3x3dbl_1".into(),
+        288,
+        35,
+        64,
+        (1, 1),
+        1,
+        (0, 0),
+    ));
+    v.push(conv(
+        "mixed6a.3x3dbl_2".into(),
+        64,
+        35,
+        96,
+        (3, 3),
+        1,
+        (1, 1),
+    ));
+    v.push(conv(
+        "mixed6a.3x3dbl_3".into(),
+        96,
+        35,
+        96,
+        (3, 3),
+        2,
+        (0, 0),
+    ));
     inception_b(&mut v, "mixed6b", 128);
     inception_b(&mut v, "mixed6c", 160);
     inception_b(&mut v, "mixed6d", 160);
     inception_b(&mut v, "mixed6e", 192);
     // Reduction (mixed7a): 17 -> 8.
-    v.push(conv("mixed7a.3x3_1".into(), 768, 17, 192, (1, 1), 1, (0, 0)));
-    v.push(conv("mixed7a.3x3_2".into(), 192, 17, 320, (3, 3), 2, (0, 0)));
-    v.push(conv("mixed7a.7x7x3_1".into(), 768, 17, 192, (1, 1), 1, (0, 0)));
-    v.push(conv("mixed7a.7x7x3_2".into(), 192, 17, 192, (1, 7), 1, (0, 3)));
-    v.push(conv("mixed7a.7x7x3_3".into(), 192, 17, 192, (7, 1), 1, (3, 0)));
-    v.push(conv("mixed7a.7x7x3_4".into(), 192, 17, 192, (3, 3), 2, (0, 0)));
+    v.push(conv(
+        "mixed7a.3x3_1".into(),
+        768,
+        17,
+        192,
+        (1, 1),
+        1,
+        (0, 0),
+    ));
+    v.push(conv(
+        "mixed7a.3x3_2".into(),
+        192,
+        17,
+        320,
+        (3, 3),
+        2,
+        (0, 0),
+    ));
+    v.push(conv(
+        "mixed7a.7x7x3_1".into(),
+        768,
+        17,
+        192,
+        (1, 1),
+        1,
+        (0, 0),
+    ));
+    v.push(conv(
+        "mixed7a.7x7x3_2".into(),
+        192,
+        17,
+        192,
+        (1, 7),
+        1,
+        (0, 3),
+    ));
+    v.push(conv(
+        "mixed7a.7x7x3_3".into(),
+        192,
+        17,
+        192,
+        (7, 1),
+        1,
+        (3, 0),
+    ));
+    v.push(conv(
+        "mixed7a.7x7x3_4".into(),
+        192,
+        17,
+        192,
+        (3, 3),
+        2,
+        (0, 0),
+    ));
     inception_c(&mut v, "mixed7b", 1280);
     inception_c(&mut v, "mixed7c", 2048);
     v.push(LayerDef::fc("fc", 2048, 1000));

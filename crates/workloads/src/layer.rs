@@ -89,7 +89,18 @@ impl LayerDef {
     ) -> Self {
         LayerDef {
             name: name.into(),
-            kind: LayerKind::Conv { cin, hin, win, cout, r, s, stride, pad_h: pad, pad_w: pad, groups: 1 },
+            kind: LayerKind::Conv {
+                cin,
+                hin,
+                win,
+                cout,
+                r,
+                s,
+                stride,
+                pad_h: pad,
+                pad_w: pad,
+                groups: 1,
+            },
             dense_input: false,
         }
     }
@@ -129,7 +140,11 @@ impl LayerDef {
     pub fn fc(name: impl Into<String>, in_features: usize, out_features: usize) -> Self {
         LayerDef {
             name: name.into(),
-            kind: LayerKind::Fc { in_features, out_features, batch: 1 },
+            kind: LayerKind::Fc {
+                in_features,
+                out_features,
+                batch: 1,
+            },
             dense_input: false,
         }
     }
@@ -143,7 +158,16 @@ impl LayerDef {
     /// Output spatial dimensions of a convolution, `None` otherwise.
     pub fn conv_output(&self) -> Option<(usize, usize)> {
         match self.kind {
-            LayerKind::Conv { hin, win, r, s, stride, pad_h, pad_w, .. } => {
+            LayerKind::Conv {
+                hin,
+                win,
+                r,
+                s,
+                stride,
+                pad_h,
+                pad_w,
+                ..
+            } => {
                 let hout = (hin + 2 * pad_h - r) / stride + 1;
                 let wout = (win + 2 * pad_w - s) / stride + 1;
                 Some((hout, wout))
@@ -161,15 +185,28 @@ impl LayerDef {
     /// GEMM (e.g. kernel larger than the padded input).
     pub fn gemm(&self) -> Result<(GemmShape, usize, usize), TensorError> {
         match self.kind {
-            LayerKind::Conv { cin, cout, r, s, groups, .. } => {
+            LayerKind::Conv {
+                cin,
+                cout,
+                r,
+                s,
+                groups,
+                ..
+            } => {
                 let (hout, wout) = self.conv_output().expect("conv layer");
                 let cin_g = cin / groups.max(1);
                 let shape = GemmShape::new(hout * wout, cin_g * r * s, cout / groups.max(1))?;
                 Ok((shape, groups, cin_g))
             }
-            LayerKind::Fc { in_features, out_features, batch } => {
-                Ok((GemmShape::new(batch, in_features, out_features)?, 1, in_features))
-            }
+            LayerKind::Fc {
+                in_features,
+                out_features,
+                batch,
+            } => Ok((
+                GemmShape::new(batch, in_features, out_features)?,
+                1,
+                in_features,
+            )),
             LayerKind::MatMul { m, k, n, instances } => {
                 Ok((GemmShape::new(m, k, n)?, instances, k))
             }
@@ -230,7 +267,12 @@ mod tests {
     fn matmul_is_not_weight_prunable() {
         let l = LayerDef {
             name: "attn".into(),
-            kind: LayerKind::MatMul { m: 64, k: 64, n: 64, instances: 12 },
+            kind: LayerKind::MatMul {
+                m: 64,
+                k: 64,
+                n: 64,
+                instances: 12,
+            },
             dense_input: false,
         };
         assert!(!l.weight_prunable());

@@ -13,20 +13,56 @@ use crate::layer::LayerDef;
 
 /// One inverted-residual block: expand 1×1 → depthwise 3×3 → project
 /// 1×1. The first block (t = 1) has no expansion layer.
-fn block(v: &mut Vec<LayerDef>, name: &str, cin: usize, cout: usize, hw: usize, t: usize, stride: usize) {
+fn block(
+    v: &mut Vec<LayerDef>,
+    name: &str,
+    cin: usize,
+    cout: usize,
+    hw: usize,
+    t: usize,
+    stride: usize,
+) {
     let hidden = cin * t;
     if t != 1 {
-        v.push(LayerDef::conv(format!("{name}.expand"), cin, hw, hw, hidden, 1, 1, 1, 0));
+        v.push(LayerDef::conv(
+            format!("{name}.expand"),
+            cin,
+            hw,
+            hw,
+            hidden,
+            1,
+            1,
+            1,
+            0,
+        ));
     }
-    v.push(LayerDef::depthwise(format!("{name}.dw"), hidden, hw, hw, 3, 3, stride, 1));
+    v.push(LayerDef::depthwise(
+        format!("{name}.dw"),
+        hidden,
+        hw,
+        hw,
+        3,
+        3,
+        stride,
+        1,
+    ));
     let hw_out = hw / stride;
-    v.push(LayerDef::conv(format!("{name}.project"), hidden, hw_out, hw_out, cout, 1, 1, 1, 0));
+    v.push(LayerDef::conv(
+        format!("{name}.project"),
+        hidden,
+        hw_out,
+        hw_out,
+        cout,
+        1,
+        1,
+        1,
+        0,
+    ));
 }
 
 /// The MobileNetV2 layer table (width multiplier 1.0).
 pub fn layers() -> Vec<LayerDef> {
-    let mut v =
-        vec![LayerDef::conv("stem", 3, 224, 224, 32, 3, 3, 2, 1).with_dense_input()];
+    let mut v = vec![LayerDef::conv("stem", 3, 224, 224, 32, 3, 3, 2, 1).with_dense_input()];
     // Inverted residual settings: (expansion t, channels c, repeats n,
     // stride s) — Table 2 of the MobileNetV2 paper.
     let settings: [(usize, usize, usize, usize); 7] = [
@@ -43,7 +79,15 @@ pub fn layers() -> Vec<LayerDef> {
     for (i, &(t, c, n, s)) in settings.iter().enumerate() {
         for j in 0..n {
             let stride = if j == 0 { s } else { 1 };
-            block(&mut v, &format!("ir{}_{}", i + 1, j + 1), cin, c, hw, t, stride);
+            block(
+                &mut v,
+                &format!("ir{}_{}", i + 1, j + 1),
+                cin,
+                c,
+                hw,
+                t,
+                stride,
+            );
             hw /= stride;
             cin = c;
         }

@@ -21,18 +21,47 @@ fn bottleneck(
     // 1x1 reduce operates at the input resolution; the stride sits on
     // the 3x3 (torchvision style).
     v.push(LayerDef::conv(name("1x1a"), cin, hw, hw, width, 1, 1, 1, 0));
-    v.push(LayerDef::conv(name("3x3"), width, hw, hw, width, 3, 3, stride, 1));
+    v.push(LayerDef::conv(
+        name("3x3"),
+        width,
+        hw,
+        hw,
+        width,
+        3,
+        3,
+        stride,
+        1,
+    ));
     let hw_out = hw / stride;
-    v.push(LayerDef::conv(name("1x1b"), width, hw_out, hw_out, cout, 1, 1, 1, 0));
+    v.push(LayerDef::conv(
+        name("1x1b"),
+        width,
+        hw_out,
+        hw_out,
+        cout,
+        1,
+        1,
+        1,
+        0,
+    ));
     if block == 1 {
-        v.push(LayerDef::conv(name("proj"), cin, hw, hw, cout, 1, 1, stride, 0));
+        v.push(LayerDef::conv(
+            name("proj"),
+            cin,
+            hw,
+            hw,
+            cout,
+            1,
+            1,
+            stride,
+            0,
+        ));
     }
 }
 
 /// The ResNet-50 layer table.
 pub fn layers() -> Vec<LayerDef> {
-    let mut v =
-        vec![LayerDef::conv("conv1", 3, 224, 224, 64, 7, 7, 2, 3).with_dense_input()];
+    let mut v = vec![LayerDef::conv("conv1", 3, 224, 224, 64, 7, 7, 2, 3).with_dense_input()];
     // 112x112 -> maxpool 3/2 -> 56x56
     let stages: [(usize, usize, usize, usize); 4] = [
         // (stage id, blocks, width, input resolution)
@@ -45,7 +74,11 @@ pub fn layers() -> Vec<LayerDef> {
     for &(stage, blocks, width, hw_in) in &stages {
         for block in 1..=blocks {
             let stride = if stage > 2 && block == 1 { 2 } else { 1 };
-            let hw = if block == 1 { hw_in } else { hw_in / if stage > 2 { 2 } else { 1 } };
+            let hw = if block == 1 {
+                hw_in
+            } else {
+                hw_in / if stage > 2 { 2 } else { 1 }
+            };
             bottleneck(&mut v, stage, block, cin, width, hw, stride);
             cin = width * 4;
         }

@@ -61,11 +61,23 @@ pub fn synthetic_workload(
 ) -> Result<Workload, TensorError> {
     let a_d = if category.a_sparse() { 0.45 } else { 1.0 };
     let b_d = if category.b_sparse() { 0.19 } else { 1.0 };
-    let shapes = [(196, 1152, 256), (784, 576, 128), (49, 2304, 512), (64, 768, 768)];
+    let shapes = [
+        (196, 1152, 256),
+        (784, 576, 128),
+        (49, 2304, 512),
+        (64, 768, 768),
+    ];
     let mut v = Vec::new();
     for i in 0..layers {
         let (m, k, n) = shapes[i % shapes.len()];
-        v.push(synthetic_layer(m, k, n, b_d, a_d, seed.wrapping_add(i as u64))?);
+        v.push(synthetic_layer(
+            m,
+            k,
+            n,
+            b_d,
+            a_d,
+            seed.wrapping_add(i as u64),
+        )?);
     }
     Ok(Workload::new(name, category, v))
 }

@@ -8,9 +8,9 @@ use griffin_workloads::suite::{build_workload, Benchmark};
 fn every_layer_of_every_network_lowers_to_a_valid_gemm() {
     for b in Benchmark::ALL {
         for l in b.layers() {
-            let (shape, reps, cin) = l.gemm().unwrap_or_else(|e| {
-                panic!("{}/{}: invalid GEMM: {e}", b.info().name, l.name)
-            });
+            let (shape, reps, cin) = l
+                .gemm()
+                .unwrap_or_else(|e| panic!("{}/{}: invalid GEMM: {e}", b.info().name, l.name));
             assert!(shape.m > 0 && shape.k > 0 && shape.n > 0);
             assert!(reps >= 1, "{}: zero replicas", l.name);
             assert!(cin >= 1);
@@ -28,10 +28,18 @@ fn conv_chains_have_consistent_channels() {
     for l in &layers {
         match l.kind {
             LayerKind::Conv { cin, cout, .. } => {
-                assert_eq!(cin, prev_out, "{}: cin {} after cout {}", l.name, cin, prev_out);
+                assert_eq!(
+                    cin, prev_out,
+                    "{}: cin {} after cout {}",
+                    l.name, cin, prev_out
+                );
                 prev_out = cout;
             }
-            LayerKind::Fc { in_features, out_features, .. } => {
+            LayerKind::Fc {
+                in_features,
+                out_features,
+                ..
+            } => {
                 // conv5 -> fc6 flattens 256x6x6.
                 if l.name == "fc6" {
                     assert_eq!(in_features, 256 * 6 * 6);
@@ -57,7 +65,11 @@ fn mac_totals_match_published_model_sizes() {
     ];
     for (b, lo, hi) in bands {
         let macs = total_macs(&b.layers()) as f64;
-        assert!((lo..hi).contains(&macs), "{}: {macs:.3e} MACs", b.info().name);
+        assert!(
+            (lo..hi).contains(&macs),
+            "{}: {macs:.3e} MACs",
+            b.info().name
+        );
     }
 }
 
@@ -90,7 +102,10 @@ fn workload_layer_counts_match_tables() {
 #[test]
 fn depthwise_replica_counts_match_channel_counts() {
     for l in Benchmark::MobileNetV2.layers() {
-        if let LayerKind::Conv { groups, cin, cout, .. } = l.kind {
+        if let LayerKind::Conv {
+            groups, cin, cout, ..
+        } = l.kind
+        {
             if groups > 1 {
                 assert_eq!(groups, cin, "{}: depthwise groups == channels", l.name);
                 assert_eq!(cin, cout);

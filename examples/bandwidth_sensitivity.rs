@@ -23,11 +23,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("Sparse.B* on a DNN.B workload under scaled SRAM bandwidth:");
     println!();
-    println!("{:>9} {:>10} {:>12} {:>9}", "BW scale", "speedup", "bw-floored?", "stall %");
+    println!(
+        "{:>9} {:>10} {:>12} {:>9}",
+        "BW scale", "speedup", "bw-floored?", "stall %"
+    );
     for scale in [0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0] {
-        let cfg = SimConfig { bw: BwPolicy::paper_scaled(scale), ..SimConfig::default() };
+        let cfg = SimConfig {
+            bw: BwPolicy::paper_scaled(scale),
+            ..SimConfig::default()
+        };
         let net = simulate_network(&wl.layers, mode, &cfg);
-        let floored = net.layers.iter().filter(|l| l.bw_floor_cycles > l.schedule_cycles).count();
+        let floored = net
+            .layers
+            .iter()
+            .filter(|l| l.bw_floor_cycles > l.schedule_cycles)
+            .count();
         let stall: f64 = net
             .layers
             .iter()

@@ -27,10 +27,15 @@ fn main() {
     // Per-GEMM view of encoder layer 0 on Griffin (morphed to conf.B).
     let griffin_acc = Accelerator::with_defaults(ArchSpec::griffin());
     let mode = griffin_acc.spec().mode_for(DnnCategory::B);
-    let names = ["q", "k", "v", "scores", "context", "attn_out", "ffn_up", "ffn_down"];
+    let names = [
+        "q", "k", "v", "scores", "context", "attn_out", "ffn_up", "ffn_down",
+    ];
     println!();
     println!("encoder layer 0, per GEMM (Griffin conf.B):");
-    println!("{:<10} {:>7} {:>7} {:>9} {:>9}", "gemm", "Bdens", "reps", "cycles", "speedup");
+    println!(
+        "{:<10} {:>7} {:>7} {:>9} {:>9}",
+        "gemm", "Bdens", "reps", "cycles", "speedup"
+    );
     for (i, name) in names.iter().enumerate() {
         let l = &wl.layers[i];
         let r = simulate_layer(l, mode, griffin_acc.config());
@@ -47,7 +52,11 @@ fn main() {
     // End-to-end comparison.
     println!();
     println!("end-to-end (12 encoder layers):");
-    for spec in [ArchSpec::dense(), ArchSpec::sparse_b_star(), ArchSpec::griffin()] {
+    for spec in [
+        ArchSpec::dense(),
+        ArchSpec::sparse_b_star(),
+        ArchSpec::griffin(),
+    ] {
         let acc = Accelerator::with_defaults(spec);
         let r = acc.run(&wl);
         println!(

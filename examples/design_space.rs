@@ -1,51 +1,79 @@
-//! Miniature design-space exploration (§VI): sweep `Sparse.B` routing
-//! configurations on a pruned workload, report the Pareto front between
+//! Miniature design-space exploration (§VI), driven by the
+//! `griffin-sweep` campaign engine: sweep every `Sparse.B` routing
+//! configuration on a pruned workload *and* on its dense-category twin
+//! in one parallel campaign, then report the Pareto front between
 //! sparse-category efficiency and dense-category efficiency, and verify
 //! the simulator against the closed-form analytic model.
 //!
 //! Run with: `cargo run --release --example design_space`
 
-use griffin::core::accelerator::Accelerator;
 use griffin::core::analytic::estimate_speedup;
 use griffin::core::category::DnnCategory;
-use griffin::core::cost::{CostModel, Provision};
-use griffin::core::dse::{enumerate_sparse_b, pareto_front, ScoredDesign};
-use griffin::core::efficiency::Efficiency;
-use griffin::workloads::synth::synthetic_workload;
+use griffin::core::dse::enumerate_sparse_b;
+use griffin::sweep::{
+    default_workers, pareto_designs, per_arch, run_campaign, summarize, ResultCache, SweepSpec,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let wl = synthetic_workload("pruned", DnnCategory::B, 4, 3)?;
+    // One campaign covers both metric axes: DNN.B (the home category)
+    // and DNN.dense (the sparsity-tax axis).
+    let spec = SweepSpec::new("design-space")
+        .synthetic("pruned", 4)
+        .categories([DnnCategory::B, DnnCategory::Dense])
+        .archs(enumerate_sparse_b(8))
+        .seeds([3]);
 
-    println!("{:<22} {:>8} {:>9} {:>10} {:>10}", "config", "sim", "analytic", "TOPS/W.B", "TOPS/W.den");
-    let mut scored = Vec::new();
-    for spec in enumerate_sparse_b(8) {
-        if !spec.shuffle {
+    let workers = default_workers();
+    let cache = ResultCache::in_memory();
+    let report = run_campaign(&spec, &cache, workers)?;
+    let s = summarize(&report);
+    println!(
+        "campaign `{}`: {} cells over {} architectures in {} ms on {} workers",
+        report.campaign, s.cells, s.archs, report.elapsed_ms, report.workers
+    );
+
+    // Shuffled configurations, with the analytic cross-check (§V).
+    println!();
+    println!(
+        "{:<22} {:>8} {:>9} {:>10} {:>10}",
+        "config", "sim", "analytic", "TOPS/W.B", "TOPS/W.den"
+    );
+    let on_b = per_arch(&report, Some(DnnCategory::B));
+    let on_dense = per_arch(&report, Some(DnnCategory::Dense));
+    for (b, d) in on_b.iter().zip(&on_dense) {
+        let spec_of = spec
+            .archs
+            .iter()
+            .find(|a| a.name == b.arch)
+            .expect("arch from spec");
+        if !spec_of.shuffle {
             continue; // keep the example output short
         }
-        let acc = Accelerator::with_defaults(spec.clone());
-        let r = acc.run(&wl);
-        let ana = estimate_speedup(spec.mode_for(DnnCategory::B), 1.0, 0.19);
-        let cost = CostModel::parametric(
-            &spec,
-            acc.config().core,
-            Provision { speedup: r.speedup, b_stream_factor: 0.3 },
-        );
-        let dense = Efficiency::new(acc.config().core, &cost, 1.0);
+        let ana = estimate_speedup(spec_of.mode_for(DnnCategory::B), 1.0, 0.19);
         println!(
             "{:<22} {:>7.2}x {:>8.2}x {:>10.2} {:>10.2}",
-            spec.name, r.speedup, ana, r.effective_tops_per_w, dense.tops_per_w
+            b.arch, b.speedup, ana, b.tops_per_w, d.tops_per_w
         );
-        scored.push(ScoredDesign {
-            spec,
-            sparse_metric: r.effective_tops_per_w,
-            dense_metric: dense.tops_per_w,
-        });
     }
 
     println!();
     println!("Pareto front (TOPS/W on DNN.B vs TOPS/W on DNN.dense):");
-    for p in pareto_front(scored) {
-        println!("  {:<22} sparse {:>6.2}  dense {:>6.2}", p.spec.name, p.sparse_metric, p.dense_metric);
+    for p in pareto_designs(&report, &spec.archs, DnnCategory::B, DnnCategory::Dense) {
+        println!(
+            "  {:<22} sparse {:>6.2}  dense {:>6.2}",
+            p.spec.name, p.sparse_metric, p.dense_metric
+        );
     }
+
+    // The cache makes the re-run free: every cell hits.
+    let rerun = run_campaign(&spec, &cache, workers)?;
+    println!();
+    println!(
+        "re-run: {} hits / {} misses ({:.0}% hit rate) in {} ms",
+        rerun.cache.hits,
+        rerun.cache.misses,
+        rerun.cache.hit_rate() * 100.0,
+        rerun.elapsed_ms
+    );
     Ok(())
 }

@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         layer.b_density()
     );
     println!();
-    println!("{:<14} {:>10} {:>9} {:>12}", "architecture", "cycles", "speedup", "utilization");
+    println!(
+        "{:<14} {:>10} {:>9} {:>12}",
+        "architecture", "cycles", "speedup", "utilization"
+    );
 
     for spec in [
         ArchSpec::dense(),

@@ -5,10 +5,13 @@
 //! $ griffin-cli run resnet50 ab griffin      # one (benchmark, category, arch)
 //! $ griffin-cli compare bert b               # all architectures on one workload
 //! $ griffin-cli layer 196 1152 256 0.57 0.19 # ad-hoc layer on the star designs
+//! $ griffin-cli sweep bert b --workers 8 --cache .sweep-cache --csv out.csv
+//! $ griffin-cli pareto resnet50 b            # §VI Pareto front of a family
 //! ```
 //!
-//! Argument parsing is deliberately dependency-free (no clap): the
-//! grammar is three fixed subcommands with positional arguments.
+//! Argument parsing is deliberately dependency-free (no clap): fixed
+//! subcommands with positional arguments plus `--flag value` options
+//! for the campaign commands.
 
 use std::env;
 use std::process::ExitCode;
@@ -16,6 +19,12 @@ use std::process::ExitCode;
 use griffin::core::accelerator::Accelerator;
 use griffin::core::arch::ArchSpec;
 use griffin::core::category::DnnCategory;
+use griffin::sim::config::{Fidelity, SimConfig};
+use griffin::sweep::report::{to_csv, to_json, write_file};
+use griffin::sweep::{
+    default_workers, pareto_designs, per_arch, run_campaign, summarize, ArchFamily, ResultCache,
+    SweepSpec,
+};
 use griffin::workloads::suite::{build_workload, Benchmark};
 use griffin::workloads::synth::synthetic_layer;
 
@@ -67,12 +76,300 @@ fn usage() -> ExitCode {
     eprintln!("  griffin-cli run <benchmark> <category> <arch>");
     eprintln!("  griffin-cli compare <benchmark> <category>");
     eprintln!("  griffin-cli layer <M> <K> <N> <a_density> <b_density>");
+    eprintln!("  griffin-cli sweep <benchmark|synth> <category> [sweep options]");
+    eprintln!("  griffin-cli pareto <benchmark|synth> <family> [sweep options]");
     eprintln!();
     eprintln!("  benchmarks: alexnet googlenet resnet50 inceptionv3 mobilenetv2 bert");
     eprintln!("  categories: dense a b ab");
     eprintln!("  archs: baseline sparse.a* sparse.b* sparse.ab* griffin tcl.b");
     eprintln!("         tensordash sparten[.a|.b] cnvlutin cambricon-x");
+    eprintln!();
+    eprintln!("SWEEP OPTIONS:");
+    eprintln!("  --family a|b|ab     design family axis (default: from category, else b)");
+    eprintln!("  --fanin N           mux fan-in bound for the family (default: 8)");
+    eprintln!("  --lineup            sweep the Table VII lineup instead of a family");
+    eprintln!("  --workers N         worker threads (default: all cores)");
+    eprintln!("  --seeds a,b,c       mask seeds (default: 42,43)");
+    eprintln!("  --tiles N           sampled tiles per layer (default: 12)");
+    eprintln!("  --cache DIR         on-disk result cache shared across runs");
+    eprintln!("  --csv PATH          write the per-cell report as CSV");
+    eprintln!("  --json PATH         write the per-cell report as JSON");
     ExitCode::from(2)
+}
+
+/// Options shared by `sweep` and `pareto`.
+struct SweepArgs {
+    family: Option<ArchFamily>,
+    lineup: bool,
+    fanin: usize,
+    workers: usize,
+    seeds: Vec<u64>,
+    tiles: usize,
+    cache_dir: Option<String>,
+    csv: Option<String>,
+    json: Option<String>,
+}
+
+fn parse_family(s: &str, fanin: usize) -> Option<ArchFamily> {
+    match s.to_ascii_lowercase().as_str() {
+        "a" | "sparse.a" => Some(ArchFamily::SparseA { max_fanin: fanin }),
+        "b" | "sparse.b" => Some(ArchFamily::SparseB { max_fanin: fanin }),
+        "ab" | "sparse.ab" => Some(ArchFamily::SparseAB { max_fanin: fanin }),
+        _ => None,
+    }
+}
+
+fn parse_sweep_args(args: &[String]) -> Option<SweepArgs> {
+    let mut out = SweepArgs {
+        family: None,
+        lineup: false,
+        fanin: 8,
+        workers: default_workers(),
+        seeds: vec![42, 43],
+        tiles: 12,
+        cache_dir: None,
+        csv: None,
+        json: None,
+    };
+    let mut family_token: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().cloned();
+        match flag.as_str() {
+            "--family" => family_token = Some(val()?),
+            "--lineup" => out.lineup = true,
+            "--fanin" => out.fanin = val()?.parse().ok()?,
+            "--workers" => out.workers = val()?.parse::<usize>().ok().filter(|&w| w > 0)?,
+            "--seeds" => {
+                out.seeds = val()?
+                    .split(',')
+                    .map(|s| s.trim().parse().ok())
+                    .collect::<Option<Vec<u64>>>()?;
+                if out.seeds.is_empty() {
+                    return None;
+                }
+            }
+            "--tiles" => out.tiles = val()?.parse::<usize>().ok().filter(|&t| t > 0)?,
+            "--cache" => out.cache_dir = Some(val()?),
+            "--csv" => out.csv = Some(val()?),
+            "--json" => out.json = Some(val()?),
+            _ => return None,
+        }
+    }
+    if let Some(tok) = family_token {
+        out.family = Some(parse_family(&tok, out.fanin)?);
+    }
+    Some(out)
+}
+
+/// Workload token: a Table-IV benchmark name or `synth` (a 4-layer
+/// synthetic network, handy for fast smoke campaigns).
+fn add_workload(spec: SweepSpec, token: &str) -> Option<SweepSpec> {
+    if token.eq_ignore_ascii_case("synth") {
+        Some(spec.synthetic("synth", 4))
+    } else {
+        parse_benchmark(token).map(|b| spec.benchmark(b))
+    }
+}
+
+fn open_cache(dir: &Option<String>) -> Result<ResultCache, ExitCode> {
+    match dir {
+        None => Ok(ResultCache::in_memory()),
+        Some(d) => ResultCache::at_dir(d).map_err(|e| {
+            eprintln!("cannot open cache directory {d}: {e}");
+            ExitCode::FAILURE
+        }),
+    }
+}
+
+fn campaign_sim(tiles: usize) -> SimConfig {
+    SimConfig {
+        fidelity: Fidelity::Sampled {
+            tiles,
+            seed: 0xBEEF,
+        },
+        ..SimConfig::default()
+    }
+}
+
+fn finish_reports(
+    report: &griffin::sweep::CampaignReport,
+    csv: &Option<String>,
+    json: &Option<String>,
+) -> Result<(), ExitCode> {
+    for (path, contents) in [(csv, to_csv(report)), (json, to_json(report))] {
+        if let Some(p) = path {
+            if let Err(e) = write_file(p, &contents) {
+                eprintln!("cannot write {p}: {e}");
+                return Err(ExitCode::FAILURE);
+            }
+            println!("wrote {p}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_sweep(workload: &str, cat: &str, rest: &[String]) -> ExitCode {
+    let (Some(c), Some(opts)) = (parse_category(cat), parse_sweep_args(rest)) else {
+        return usage();
+    };
+    let mut spec = SweepSpec::new(format!("sweep-{workload}-{cat}"))
+        .category(c)
+        .seeds(opts.seeds.clone())
+        .sim(campaign_sim(opts.tiles));
+    let Some(with_wl) = add_workload(spec, workload) else {
+        return usage();
+    };
+    spec = with_wl;
+    spec = if opts.lineup {
+        spec.archs(ArchSpec::table7_lineup())
+    } else {
+        // Default family follows the category's home axis.
+        let family = opts.family.unwrap_or(match c {
+            DnnCategory::A => ArchFamily::SparseA {
+                max_fanin: opts.fanin,
+            },
+            DnnCategory::AB => ArchFamily::SparseAB {
+                max_fanin: opts.fanin,
+            },
+            _ => ArchFamily::SparseB {
+                max_fanin: opts.fanin,
+            },
+        });
+        spec.arch(ArchSpec::dense()).family(family)
+    };
+
+    let cache = match open_cache(&opts.cache_dir) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    println!(
+        "campaign `{}`: {} cells on {} workers...",
+        spec.name,
+        spec.cell_count(),
+        opts.workers
+    );
+    let report = match run_campaign(&spec, &cache, opts.workers) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Persist the machine-readable reports before any further stdout:
+    // a consumer piping through `head` must still get its files.
+    if finish_reports(&report, &opts.csv, &opts.json).is_err() {
+        return ExitCode::FAILURE;
+    }
+
+    let s = summarize(&report);
+    println!(
+        "{} cells in {} ms  (cache: {} hits / {} misses, {:.0}% hit rate)",
+        s.cells,
+        report.elapsed_ms,
+        report.cache.hits,
+        report.cache.misses,
+        report.cache.hit_rate() * 100.0
+    );
+    println!(
+        "geomean speedup {:.2}x over {} architectures",
+        s.geomean_speedup, s.archs
+    );
+    if let Some((arch, wl, speedup)) = &s.best {
+        println!("best cell: {arch} on {wl} at {speedup:.2}x");
+    }
+    println!();
+    println!("top architectures by effective TOPS/W:");
+    let mut rollup = per_arch(&report, None);
+    rollup.sort_by(|a, b| b.tops_per_w.total_cmp(&a.tops_per_w));
+    println!(
+        "{:<24} {:>8} {:>10} {:>10}",
+        "arch", "speedup", "TOPS/W", "TOPS/mm2"
+    );
+    for a in rollup.iter().take(10) {
+        println!(
+            "{:<24} {:>7.2}x {:>10.2} {:>10.2}",
+            a.arch, a.speedup, a.tops_per_w, a.tops_per_mm2
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_pareto(workload: &str, family_tok: &str, rest: &[String]) -> ExitCode {
+    let Some(opts) = parse_sweep_args(rest) else {
+        return usage();
+    };
+    // `pareto` takes its family positionally; silently ignoring a
+    // conflicting --family/--lineup would Pareto-reduce the wrong
+    // design set.
+    if opts.lineup {
+        eprintln!("pareto sweeps a design family; --lineup is not applicable");
+        return usage();
+    }
+    if opts.family.is_some() {
+        eprintln!("pareto takes its family positionally; drop --family");
+        return usage();
+    }
+    let Some(family) = parse_family(family_tok, opts.fanin) else {
+        return usage();
+    };
+    let sparse_cat = match family {
+        ArchFamily::SparseA { .. } => DnnCategory::A,
+        ArchFamily::SparseB { .. } => DnnCategory::B,
+        ArchFamily::SparseAB { .. } => DnnCategory::AB,
+    };
+    let mut spec = SweepSpec::new(format!("pareto-{workload}-{family_tok}"))
+        .categories([sparse_cat, DnnCategory::Dense])
+        .seeds(opts.seeds.clone())
+        .sim(campaign_sim(opts.tiles))
+        .family(family);
+    let Some(with_wl) = add_workload(spec, workload) else {
+        return usage();
+    };
+    spec = with_wl;
+
+    let cache = match open_cache(&opts.cache_dir) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    println!(
+        "campaign `{}`: {} cells on {} workers...",
+        spec.name,
+        spec.cell_count(),
+        opts.workers
+    );
+    let report = match run_campaign(&spec, &cache, opts.workers) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if finish_reports(&report, &opts.csv, &opts.json).is_err() {
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{} cells in {} ms  (cache: {} hits / {} misses)",
+        report.cells.len(),
+        report.elapsed_ms,
+        report.cache.hits,
+        report.cache.misses
+    );
+    println!();
+    println!(
+        "Pareto front (TOPS/W on {} vs TOPS/W on {}):",
+        sparse_cat,
+        DnnCategory::Dense
+    );
+    let front = pareto_designs(&report, &spec.archs, sparse_cat, DnnCategory::Dense);
+    println!("{:<24} {:>12} {:>12}", "arch", "sparse", "dense");
+    for p in &front {
+        println!(
+            "{:<24} {:>12.2} {:>12.2}",
+            p.spec.name, p.sparse_metric, p.dense_metric
+        );
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_list() -> ExitCode {
@@ -111,9 +408,11 @@ fn report(acc: &Accelerator, wl: &griffin::core::accelerator::Workload) {
 }
 
 fn cmd_run(bench: &str, cat: &str, arch: &str) -> ExitCode {
-    let (Some(b), Some(c), Some(a)) =
-        (parse_benchmark(bench), parse_category(cat), parse_arch(arch))
-    else {
+    let (Some(b), Some(c), Some(a)) = (
+        parse_benchmark(bench),
+        parse_category(cat),
+        parse_arch(arch),
+    ) else {
         return usage();
     };
     let wl = build_workload(b, c, 42);
@@ -144,7 +443,9 @@ fn cmd_layer(args: &[String]) -> ExitCode {
             args.get(4)?.parse().ok()?,
         ))
     })();
-    let Some((m, k, n, da, db)) = parsed else { return usage() };
+    let Some((m, k, n, da, db)) = parsed else {
+        return usage();
+    };
     let Ok(layer) = synthetic_layer(m, k, n, db, da, 42) else {
         eprintln!("invalid layer dimensions");
         return ExitCode::from(2);
@@ -181,6 +482,8 @@ fn main() -> ExitCode {
         Some("run") if args.len() == 4 => cmd_run(&args[1], &args[2], &args[3]),
         Some("compare") if args.len() == 3 => cmd_compare(&args[1], &args[2]),
         Some("layer") => cmd_layer(&args[1..]),
+        Some("sweep") if args.len() >= 3 => cmd_sweep(&args[1], &args[2], &args[3..]),
+        Some("pareto") if args.len() >= 3 => cmd_pareto(&args[1], &args[2], &args[3..]),
         _ => usage(),
     }
 }

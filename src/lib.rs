@@ -10,7 +10,9 @@
 //! * [`core`] — architecture configurations, hardware overhead and cost
 //!   models, the Griffin hybrid, DSE ([`griffin_core`]),
 //! * [`workloads`] — the six Table-IV benchmark networks
-//!   ([`griffin_workloads`]).
+//!   ([`griffin_workloads`]),
+//! * [`sweep`] — the parallel scenario-sweep campaign engine with
+//!   result caching and CSV/JSON reports ([`griffin_sweep`]).
 //!
 //! # Quickstart
 //!
@@ -33,5 +35,6 @@
 
 pub use griffin_core as core;
 pub use griffin_sim as sim;
+pub use griffin_sweep as sweep;
 pub use griffin_tensor as tensor;
 pub use griffin_workloads as workloads;

@@ -9,7 +9,10 @@ use griffin::workloads::suite::{build_workload, Benchmark};
 use griffin::workloads::synth::synthetic_workload;
 
 fn fast_cfg() -> SimConfig {
-    SimConfig { fidelity: Fidelity::Sampled { tiles: 6, seed: 1 }, ..SimConfig::default() }
+    SimConfig {
+        fidelity: Fidelity::Sampled { tiles: 6, seed: 1 },
+        ..SimConfig::default()
+    }
 }
 
 fn run(spec: ArchSpec, wl: &Workload) -> f64 {
@@ -26,13 +29,19 @@ fn each_specialist_wins_its_home_category() {
     let b_star_on_b = run(ArchSpec::sparse_b_star(), &b_wl);
     let a_star_on_b = run(ArchSpec::sparse_a_star(), &b_wl);
     assert!(b_star_on_b > 1.7, "B* on DNN.B: {b_star_on_b}");
-    assert!(a_star_on_b < 1.05, "A* gets nothing from weight sparsity: {a_star_on_b}");
+    assert!(
+        a_star_on_b < 1.05,
+        "A* gets nothing from weight sparsity: {a_star_on_b}"
+    );
 
     // Sparse.A* is the best single-sparse design on DNN.A.
     let a_star_on_a = run(ArchSpec::sparse_a_star(), &a_wl);
     let b_star_on_a = run(ArchSpec::sparse_b_star(), &a_wl);
     assert!(a_star_on_a > 1.2, "A* on DNN.A: {a_star_on_a}");
-    assert!(b_star_on_a < 1.05, "B* gets nothing from activation sparsity: {b_star_on_a}");
+    assert!(
+        b_star_on_a < 1.05,
+        "B* gets nothing from activation sparsity: {b_star_on_a}"
+    );
 
     // Sparse.AB* beats both single-sparse designs on DNN.AB.
     let ab_star_on_ab = run(ArchSpec::sparse_ab_star(), &ab_wl);
@@ -97,7 +106,11 @@ fn table_iv_dense_latencies_are_in_band() {
         let ratio = cycles / info.paper_dense_cycles;
         // MobileNetV2's depthwise mapping differs (EXPERIMENTS.md); all
         // others must be within 35% of Table IV.
-        let band = if b == Benchmark::MobileNetV2 { 0.3..1.5 } else { 0.65..1.4 };
+        let band = if b == Benchmark::MobileNetV2 {
+            0.3..1.5
+        } else {
+            0.65..1.4
+        };
         assert!(band.contains(&ratio), "{}: ratio {ratio}", info.name);
     }
 }

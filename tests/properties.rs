@@ -13,7 +13,9 @@ use proptest::prelude::*;
 /// A random op grid driven by a seed and density.
 fn grid(t: usize, lanes: usize, rows: usize, cols: usize, density: f64, seed: u64) -> OpGrid {
     let mask = TensorGen::seeded(seed).bernoulli_mask(t * lanes, rows * cols, density);
-    OpGrid::from_fn(t, lanes, rows, cols, |tt, l, r, c| mask.get(tt * lanes + l, r * cols + c))
+    OpGrid::from_fn(t, lanes, rows, cols, |tt, l, r, c| {
+        mask.get(tt * lanes + l, r * cols + c)
+    })
 }
 
 proptest! {
