@@ -1,9 +1,10 @@
 //! Criterion micro-benchmarks of the hot path: the greedy borrowing
-//! scheduler ([`griffin_sim::engine::schedule`]).
+//! scheduler ([`griffin_sim::engine::schedule`]), its zero-alloc
+//! scratch-reuse variant, and the retained naive reference.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use griffin_sim::config::Priority;
-use griffin_sim::engine::{schedule, OpGrid};
+use griffin_sim::engine::{reference, schedule, schedule_with, OpGrid, SchedScratch};
 use griffin_sim::window::EffectiveWindow;
 use griffin_tensor::gen::TensorGen;
 
@@ -54,6 +55,22 @@ fn bench_scheduler(c: &mut Criterion) {
             |grid| schedule(&grid, EffectiveWindow::dense(), Priority::OwnFirst),
             BatchSize::SmallInput,
         );
+    });
+
+    // The steady-state path campaign workers run: reused scratch, no
+    // per-tile allocation.
+    g.bench_function("sparse_b_star_tile_scratch_reuse", |bch| {
+        let win = EffectiveWindow::for_b(griffin_sim::window::BorrowWindow::new(4, 0, 1));
+        let grid = sparse_b_grid(0.19, 1);
+        let mut scratch = SchedScratch::new();
+        bch.iter(|| schedule_with(&grid, win, Priority::OwnFirst, &mut scratch));
+    });
+
+    // The retained naive reference, for tracking the event-driven win.
+    g.bench_function("sparse_b_star_tile_reference", |bch| {
+        let win = EffectiveWindow::for_b(griffin_sim::window::BorrowWindow::new(4, 0, 1));
+        let grid = sparse_b_grid(0.19, 1);
+        bch.iter(|| reference::schedule(&grid, win, Priority::OwnFirst));
     });
 
     g.finish();

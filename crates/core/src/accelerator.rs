@@ -2,8 +2,9 @@
 
 use griffin_sim::config::SimConfig;
 use griffin_sim::layer::GemmLayer;
-use griffin_sim::pipeline::{simulate_layer, simulate_network};
+use griffin_sim::pipeline::{simulate_layer, simulate_network_with};
 use griffin_sim::report::{LayerReport, NetworkReport};
+use griffin_sim::scratch::SimScratch;
 use griffin_tensor::error::TensorError;
 
 use crate::arch::ArchSpec;
@@ -118,8 +119,15 @@ impl Accelerator {
     /// architecture uses for the workload's category, prices the design
     /// (provisioned for the achieved speedup), and reports efficiency.
     pub fn run(&self, workload: &Workload) -> RunReport {
+        self.run_with(workload, &mut SimScratch::new())
+    }
+
+    /// [`Accelerator::run`] with caller-provided simulation scratch —
+    /// campaign workers keep one scratch per thread so steady-state
+    /// tile simulation allocates nothing.
+    pub fn run_with(&self, workload: &Workload, scratch: &mut SimScratch) -> RunReport {
         let mode = self.spec.mode_for(workload.category);
-        let network = simulate_network(&workload.layers, mode, &self.cfg);
+        let network = simulate_network_with(&workload.layers, mode, &self.cfg, scratch);
         let speedup = if workload.layers.is_empty() {
             1.0
         } else {

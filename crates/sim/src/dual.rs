@@ -25,14 +25,18 @@
 use griffin_tensor::block::{ATileView, BTileView, TileCoord, TileView};
 
 use crate::config::SimConfig;
-use crate::engine::{schedule, schedule_assign, Assignment, OpGrid};
+use crate::engine::{schedule_assign_with, schedule_with, Assignment, OpGrid};
+use crate::grid::build_b_grid;
 use crate::layer::GemmLayer;
 use crate::sampling::sample_indices;
+use crate::scratch::{GridKey, SimScratch};
 use crate::shuffle::LaneMap;
 use crate::single::ScheduleAccum;
 use crate::window::{BorrowWindow, EffectiveWindow};
 
 /// Stage-1 result for one output-tile column: the compressed B stream.
+/// Owned (not scratch-backed) because it is cached across every row
+/// tile of the column; the copy is amortized over all pairs.
 struct CompressedColumn {
     /// Compacted stream length in compressed rows.
     t_steps: usize,
@@ -46,21 +50,49 @@ fn preprocess_b(
     cfg: &SimConfig,
     n_tile: usize,
     b_win: BorrowWindow,
-    lanes: LaneMap,
+    shuffle: bool,
+    scratch: &mut SimScratch,
 ) -> CompressedColumn {
     let core = cfg.core;
-    let view = BTileView::new(&layer.b, core, n_tile * core.n0);
-    let grid = OpGrid::from_fn(view.t_steps(), core.k0, 1, core.n0, |t, lane, _, col| {
-        view.is_nonzero(TileCoord {
-            t,
-            lane: lanes.source_lane(lane, t),
-            s: col,
-        })
-    });
-    let (sched, assigns) = schedule_assign(&grid, EffectiveWindow::for_b(b_win), cfg.priority);
+    let lanes = LaneMap::from_flag(shuffle);
+    let win = EffectiveWindow::for_b(b_win);
+    let sched = if scratch.scope.is_some() {
+        // Stage-1 grids share the cache with the single-sparse B path:
+        // they are the same grids.
+        let key = GridKey {
+            layer: scratch.layer_idx,
+            tile: n_tile as u32,
+            rotate: shuffle,
+            b_side: true,
+            core,
+        };
+        if !scratch.grids.contains_key(&key) {
+            let mut g = OpGrid::default();
+            let view = BTileView::new(&layer.b, core, n_tile * core.n0);
+            build_b_grid(&mut g, &mut scratch.span, &view, lanes);
+            scratch.grids.insert(key, g);
+        }
+        schedule_assign_with(
+            &scratch.grids[&key],
+            win,
+            cfg.priority,
+            &mut scratch.sched,
+            &mut scratch.assigns,
+        )
+    } else {
+        let view = BTileView::new(&layer.b, core, n_tile * core.n0);
+        build_b_grid(&mut scratch.grid, &mut scratch.span, &view, lanes);
+        schedule_assign_with(
+            &scratch.grid,
+            win,
+            cfg.priority,
+            &mut scratch.sched,
+            &mut scratch.assigns,
+        )
+    };
     CompressedColumn {
         t_steps: sched.cycles as usize,
-        assigns,
+        assigns: scratch.assigns.clone(),
     }
 }
 
@@ -71,6 +103,20 @@ pub fn simulate_sparse_ab(
     b_win: BorrowWindow,
     shuffle: bool,
     cfg: &SimConfig,
+) -> ScheduleAccum {
+    simulate_sparse_ab_with(layer, a_win, b_win, shuffle, cfg, &mut SimScratch::new())
+}
+
+/// [`simulate_sparse_ab`] with caller-provided scratch: per tile pair
+/// the stage-2 replay reuses the scratch's op list and grid, so only
+/// the per-column stage-1 cache allocates.
+pub fn simulate_sparse_ab_with(
+    layer: &GemmLayer,
+    a_win: BorrowWindow,
+    b_win: BorrowWindow,
+    shuffle: bool,
+    cfg: &SimConfig,
+    scratch: &mut SimScratch,
 ) -> ScheduleAccum {
     let core = cfg.core;
     let tiles = layer.shape.tiles(core);
@@ -95,8 +141,10 @@ pub fn simulate_sparse_ab(
     for &pair in &picked {
         let m_tile = pair / tiles.nt;
         let n_tile = pair % tiles.nt;
-        let col = compressed[n_tile]
-            .get_or_insert_with(|| preprocess_b(layer, cfg, n_tile, b_win, lanes));
+        if compressed[n_tile].is_none() {
+            compressed[n_tile] = Some(preprocess_b(layer, cfg, n_tile, b_win, shuffle, scratch));
+        }
+        let col = compressed[n_tile].as_ref().expect("column preprocessed");
         if col.t_steps == 0 {
             continue; // all-zero B column: nothing to execute
         }
@@ -105,7 +153,7 @@ pub fn simulate_sparse_ab(
         // Stage 2 ops: for every compressed B placement, the pair is
         // effectual on PE row m iff the A element at the *original*
         // coordinates is nonzero (steps 2-3: mask filtering).
-        let mut filtered = Vec::with_capacity(col.assigns.len() * core.m0 / 2);
+        scratch.filtered.clear();
         for a in &col.assigns {
             let t = a.t as usize;
             let src_lane = lanes.source_lane(a.src.0, t);
@@ -115,13 +163,17 @@ pub fn simulate_sparse_ab(
                     lane: src_lane,
                     s: m,
                 }) {
-                    filtered.push((a.cycle as usize, a.slot.0, m, a.slot.2));
+                    scratch
+                        .filtered
+                        .push((a.cycle as usize, a.slot.0, m, a.slot.2));
                 }
             }
         }
 
-        let grid = OpGrid::from_ops(col.t_steps, core.k0, core.m0, core.n0, filtered);
-        let s = schedule(&grid, stage2_win, cfg.priority);
+        scratch
+            .grid2
+            .rebuild_from_ops(col.t_steps, core.k0, core.m0, core.n0, &scratch.filtered);
+        let s = schedule_with(&scratch.grid2, stage2_win, cfg.priority, &mut scratch.sched);
         acc.cycles += s.cycles as f64 * scale;
         acc.ops += s.executed as f64 * scale;
         acc.borrowed += s.borrowed as f64 * scale;

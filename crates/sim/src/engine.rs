@@ -16,55 +16,193 @@
 //! Bit-Tactical (which the paper adopts, §III): a slot first executes its
 //! own pending op if one is in the window, otherwise it borrows the
 //! earliest reachable op, breaking ties toward the smallest displacement.
+//!
+//! # Implementation: an event-driven core over flat memory
+//!
+//! The scheduler is the hot path of every sweep campaign, so its data
+//! layout and control flow are tuned for the steady state:
+//!
+//! * [`OpGrid`] stores the op lists in **CSR form** — one contiguous
+//!   `u32` time buffer plus per-column offsets — instead of a
+//!   `Vec<Vec<u32>>`, so a grid is two allocations (reused across tiles
+//!   through [`SchedScratch`]) and column heads are plain indices into
+//!   one array.
+//! * Each slot's **tap table** — the `signed_offsets` cross-product of
+//!   the window, clipped to the grid, in priority order — is precomputed
+//!   once per `(grid dims, window)` pair and cached in the scratch, so
+//!   the per-cycle scan is a linear walk over `(column, displacement)`
+//!   pairs with no offset arithmetic or bounds checks.
+//! * Slots are **event-driven**: when a slot's scan finds no reachable
+//!   work, the slot records the earliest time row any of its tap columns
+//!   could offer (`wake_t`, the minimum head time over its taps) and
+//!   goes dormant in a wake bucket for that row. Dormant slots are
+//!   skipped entirely (an active-slot bitset) until the horizon
+//!   `H + depth − 1` reaches their `wake_t`. This is sound because both
+//!   column heads and the horizon move monotonically forward in time:
+//!   while `horizon < wake_t`, no tap column can hold a reachable op
+//!   (heads only advance, so the current minimum head time is at least
+//!   the recorded `wake_t`). A woken slot simply rescans; if its op was
+//!   consumed by another slot in the meantime it re-sleeps with a
+//!   strictly later `wake_t`.
+//!
+//! The observable semantics — [`Schedule`] counters and the
+//! [`Assignment`] stream — are **bit-identical** to the naive
+//! rescan-everything policy, which is retained in [`reference`] and
+//! checked by differential property tests.
 
 use crate::config::Priority;
 use crate::window::EffectiveWindow;
+
+/// Sentinel for "no entry" in the intrusive wake lists.
+const NONE: u32 = u32::MAX;
 
 /// A grid of effectual operations in blocked coordinates.
 ///
 /// Coordinates: `t ∈ 0..t_steps` (time), `lane ∈ 0..lanes`,
 /// `row ∈ 0..rows` (A-side spatial), `col ∈ 0..cols` (B-side spatial).
 /// Single-sparse architectures use a degenerate axis of extent 1.
-#[derive(Debug, Clone)]
+///
+/// Storage is CSR-style: `ops` holds every op's time index, sorted
+/// ascending within each column, and `col_off[c]..col_off[c + 1]` is
+/// column `c`'s slice. The column of `(lane, row, col)` is
+/// `(lane * rows + row) * cols + col`.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OpGrid {
     t_steps: usize,
     lanes: usize,
     rows: usize,
     cols: usize,
-    /// Per-column sorted list of op time indices; the column of
-    /// `(lane, row, col)` is `(lane * rows + row) * cols + col`.
-    col_ops: Vec<Vec<u32>>,
-    total: usize,
+    /// Per-column start offsets into `ops`; length `columns + 1`.
+    pub(crate) col_off: Vec<u32>,
+    /// Concatenated per-column op time indices, each column sorted.
+    pub(crate) ops: Vec<u32>,
+    /// Ops per original time row, maintained by every builder so the
+    /// scheduler seeds its row counters with one copy instead of
+    /// re-scanning the whole op buffer per tile.
+    pub(crate) t_counts: Vec<u32>,
+}
+
+impl Default for OpGrid {
+    /// An empty degenerate grid, usable as reusable storage that a
+    /// builder will overwrite (see [`crate::grid`]).
+    fn default() -> Self {
+        OpGrid {
+            t_steps: 0,
+            lanes: 0,
+            rows: 0,
+            cols: 0,
+            col_off: vec![0],
+            ops: Vec::new(),
+            t_counts: Vec::new(),
+        }
+    }
 }
 
 impl OpGrid {
+    /// Resets the dimensions and clears the CSR arrays, keeping their
+    /// capacity. `col_off` comes back zero-filled at `columns + 1`
+    /// entries so builders can count into `col_off[c]` directly (the
+    /// exclusive prefix sum in [`Self::finish_counts`] then turns the
+    /// counts into start offsets).
+    pub(crate) fn reset_dims(&mut self, t_steps: usize, lanes: usize, rows: usize, cols: usize) {
+        assert!(
+            t_steps <= u32::MAX as usize,
+            "op grid time axis ({t_steps} steps) exceeds u32 indexing; \
+             split the schedule into smaller tiles"
+        );
+        let columns = lanes * rows * cols;
+        assert!(
+            columns <= (u32::MAX - 1) as usize,
+            "op grid has {columns} columns, exceeding u32 indexing"
+        );
+        self.t_steps = t_steps;
+        self.lanes = lanes;
+        self.rows = rows;
+        self.cols = cols;
+        self.col_off.clear();
+        self.col_off.resize(columns + 1, 0);
+        self.ops.clear();
+        self.t_counts.clear();
+        self.t_counts.resize(t_steps, 0);
+    }
+
+    /// Turns per-column counts left in `col_off[c + 1]` into start
+    /// offsets and sizes `ops` to the total; the builder then scatters
+    /// with [`Self::push_counted`] and finishes with
+    /// [`Self::finish_fill`].
+    pub(crate) fn finish_counts(&mut self) {
+        let mut total = 0u64;
+        for off in &mut self.col_off {
+            let count = *off;
+            assert!(
+                total <= u32::MAX as u64,
+                "op grid holds more than u32::MAX operations; \
+                 split the schedule into smaller tiles"
+            );
+            *off = total as u32;
+            total += u64::from(count);
+        }
+        self.ops.resize(total as usize, 0);
+    }
+
+    /// Scatters one op into column `c` during the fill pass, using
+    /// `col_off[c]` as the running cursor (the classic CSR fill; offsets
+    /// are restored by [`Self::finish_fill`]). The caller is responsible
+    /// for having counted the op into `t_counts` (builders do it in
+    /// their counting pass, one bulk update per span instead of per op).
+    #[inline]
+    pub(crate) fn push_counted(&mut self, c: usize, t: u32) {
+        let at = self.col_off[c];
+        self.ops[at as usize] = t;
+        self.col_off[c] = at + 1;
+    }
+
+    /// Restores `col_off` after the fill pass shifted every cursor to
+    /// its column's end.
+    pub(crate) fn finish_fill(&mut self) {
+        let columns = self.lanes * self.rows * self.cols;
+        debug_assert_eq!(
+            self.col_off[columns.saturating_sub(1)],
+            self.col_off[columns]
+        );
+        for c in (1..=columns).rev() {
+            self.col_off[c] = self.col_off[c - 1];
+        }
+        self.col_off[0] = 0;
+    }
+
     /// Builds the grid from a predicate over `(t, lane, row, col)`.
     pub fn from_fn<F>(t_steps: usize, lanes: usize, rows: usize, cols: usize, mut f: F) -> Self
     where
         F: FnMut(usize, usize, usize, usize) -> bool,
     {
-        let mut col_ops = vec![Vec::new(); lanes * rows * cols];
-        let mut total = 0;
+        // Single pass through the (possibly expensive, FnMut) predicate,
+        // buffering (column, t) pairs, then a counting scatter into CSR.
+        // Word-level mask builders (crate::grid) skip this path.
+        let mut grid = OpGrid::default();
+        grid.reset_dims(t_steps, lanes, rows, cols);
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
         for t in 0..t_steps {
             for lane in 0..lanes {
                 for row in 0..rows {
                     for col in 0..cols {
                         if f(t, lane, row, col) {
-                            col_ops[(lane * rows + row) * cols + col].push(t as u32);
-                            total += 1;
+                            let c = (lane * rows + row) * cols + col;
+                            pairs.push((c as u32, t as u32));
+                            grid.col_off[c] += 1;
+                            grid.t_counts[t] += 1;
                         }
                     }
                 }
             }
         }
-        OpGrid {
-            t_steps,
-            lanes,
-            rows,
-            cols,
-            col_ops,
-            total,
+        grid.finish_counts();
+        // t-major iteration keeps each column's pairs already sorted.
+        for &(c, t) in &pairs {
+            grid.push_counted(c as usize, t);
         }
+        grid.finish_fill();
+        grid
     }
 
     /// Builds the grid from an explicit op list of `(t, lane, row, col)`
@@ -76,23 +214,38 @@ impl OpGrid {
         cols: usize,
         ops: impl IntoIterator<Item = (usize, usize, usize, usize)>,
     ) -> Self {
-        let mut col_ops = vec![Vec::new(); lanes * rows * cols];
-        let mut total = 0;
-        for (t, lane, row, col) in ops {
+        let collected: Vec<(usize, usize, usize, usize)> = ops.into_iter().collect();
+        let mut grid = OpGrid::default();
+        grid.rebuild_from_ops(t_steps, lanes, rows, cols, &collected);
+        grid
+    }
+
+    /// Rebuilds this grid in place from an explicit op list, reusing the
+    /// CSR allocations — the zero-alloc path for per-tile rebuilds (the
+    /// dual-sparse stage-2 replay).
+    pub fn rebuild_from_ops(
+        &mut self,
+        t_steps: usize,
+        lanes: usize,
+        rows: usize,
+        cols: usize,
+        ops: &[(usize, usize, usize, usize)],
+    ) {
+        self.reset_dims(t_steps, lanes, rows, cols);
+        for &(t, lane, row, col) in ops {
             debug_assert!(t < t_steps && lane < lanes && row < rows && col < cols);
-            col_ops[(lane * rows + row) * cols + col].push(t as u32);
-            total += 1;
+            self.col_off[(lane * rows + row) * cols + col] += 1;
+            self.t_counts[t] += 1;
         }
-        for ops in &mut col_ops {
-            ops.sort_unstable();
+        self.finish_counts();
+        for &(t, lane, row, col) in ops {
+            self.push_counted((lane * rows + row) * cols + col, t as u32);
         }
-        OpGrid {
-            t_steps,
-            lanes,
-            rows,
-            cols,
-            col_ops,
-            total,
+        self.finish_fill();
+        let columns = lanes * rows * cols;
+        for c in 0..columns {
+            let (lo, hi) = (self.col_off[c] as usize, self.col_off[c + 1] as usize);
+            self.ops[lo..hi].sort_unstable();
         }
     }
 
@@ -103,17 +256,27 @@ impl OpGrid {
 
     /// Total number of effectual operations.
     pub fn total_ops(&self) -> usize {
-        self.total
+        self.ops.len()
     }
 
     /// Largest per-slot op count — a lower bound on the makespan.
     pub fn max_column_ops(&self) -> usize {
-        self.col_ops.iter().map(Vec::len).max().unwrap_or(0)
+        self.col_off
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
     }
 
     #[inline]
     fn column(&self, lane: usize, row: usize, col: usize) -> usize {
         (lane * self.rows + row) * self.cols + col
+    }
+
+    /// Column `c`'s sorted op times.
+    #[inline]
+    fn col(&self, c: usize) -> &[u32] {
+        &self.ops[self.col_off[c] as usize..self.col_off[c + 1] as usize]
     }
 }
 
@@ -171,100 +334,50 @@ pub struct Assignment {
     pub t: u32,
     /// Original `(lane, row, col)` of the op.
     pub src: (usize, usize, usize),
-    /// Compacted cycle (0-based) at which it executed.
-    pub cycle: u32,
+    /// Compacted cycle (0-based) at which it executed. `u64` so that
+    /// multi-billion-cycle grids cannot silently wrap (the time axis is
+    /// `u32`-bounded, but the makespan accumulator is not).
+    pub cycle: u64,
     /// Slot `(lane, row, col)` that executed it.
     pub slot: (usize, usize, usize),
 }
 
-/// Schedules the grid under the given window and priority policy.
-///
-/// Dense inputs take exactly `t_steps` cycles; an empty grid takes zero.
-/// The makespan is always at least `max_column_ops` (one op per slot per
-/// cycle) and at most `t_steps` (the dense schedule is always feasible).
-pub fn schedule(grid: &OpGrid, win: EffectiveWindow, priority: Priority) -> Schedule {
-    run(grid, win, priority, None)
+/// One slot's precomputed borrowing neighbourhood for a given grid shape
+/// and window: the `signed_offsets` cross-product clipped to the grid,
+/// in arbitration priority order.
+#[derive(Debug, Clone, Default)]
+struct TapTable {
+    /// Cache key: `(lanes, rows, cols, lane reach, row reach, col reach)`
+    /// — the time depth does not affect tap geometry.
+    key: (usize, usize, usize, usize, usize, usize),
+    /// Per-slot offsets into `col`/`dsum`; length `slots + 1`.
+    off: Vec<u32>,
+    /// Source column index of each tap.
+    col: Vec<u32>,
+    /// Total displacement `|Δlane| + |Δrow| + |Δcol|` of each tap.
+    dsum: Vec<u32>,
+    /// Smallest `dsum` at or after each tap within its slot's run — the
+    /// scan stops once no remaining tap can beat a best candidate that
+    /// already sits at the oldest row `H` (only a smaller displacement
+    /// could still win, and `suffix_min` bounds what is left).
+    suffix_min: Vec<u32>,
 }
 
-/// Like [`schedule`], additionally returning where every op executed —
-/// the compacted stream layout that B preprocessing produces (§IV-A
-/// step 1).
-pub fn schedule_assign(
-    grid: &OpGrid,
-    win: EffectiveWindow,
-    priority: Priority,
-) -> (Schedule, Vec<Assignment>) {
-    let mut assigns = Vec::with_capacity(grid.total);
-    let s = run(grid, win, priority, Some(&mut assigns));
-    (s, assigns)
-}
-
-fn run(
-    grid: &OpGrid,
-    win: EffectiveWindow,
-    priority: Priority,
-    mut collect: Option<&mut Vec<Assignment>>,
-) -> Schedule {
-    assert!(win.depth >= 1, "window depth must be at least 1");
-    if grid.total == 0 {
-        return Schedule::empty();
-    }
-
-    let mut head = vec![0usize; grid.col_ops.len()];
-    let mut row_remaining = vec![0u32; grid.t_steps];
-    for ops in &grid.col_ops {
-        for &t in ops {
-            row_remaining[t as usize] += 1;
-        }
-    }
-
-    let mut h = 0usize; // oldest unfinished time row
-    while h < grid.t_steps && row_remaining[h] == 0 {
-        h += 1;
-    }
-
-    let mut remaining = grid.total;
-    let mut cycles = 0u64;
-    let mut borrowed = 0u64;
-    let mut starved_cycles = 0u64;
-
-    while remaining > 0 {
-        cycles += 1;
-        let horizon = (h + win.depth - 1).min(grid.t_steps - 1) as u32;
-        let mut starved = false;
-
+impl TapTable {
+    fn build(grid: &OpGrid, win: EffectiveWindow) -> Self {
+        let slots = grid.lanes * grid.rows * grid.cols;
+        let mut t = TapTable {
+            key: tap_key(grid, win),
+            off: Vec::with_capacity(slots + 1),
+            col: Vec::new(),
+            dsum: Vec::new(),
+            suffix_min: Vec::new(),
+        };
+        t.off.push(0);
         for lane in 0..grid.lanes {
             for row in 0..grid.rows {
                 for col in 0..grid.cols {
-                    // Own op first (Bit-Tactical priority), if within the
-                    // time window.
-                    let own = grid.column(lane, row, col);
-                    let own_front = grid.col_ops[own].get(head[own]).copied();
-                    if priority == Priority::OwnFirst {
-                        if let Some(t) = own_front {
-                            if t <= horizon {
-                                head[own] += 1;
-                                row_remaining[t as usize] -= 1;
-                                remaining -= 1;
-                                if let Some(out) = collect.as_deref_mut() {
-                                    out.push(Assignment {
-                                        t,
-                                        src: (lane, row, col),
-                                        cycle: cycles as u32 - 1,
-                                        slot: (lane, row, col),
-                                    });
-                                }
-                                continue;
-                            }
-                        }
-                    }
-
-                    // Scan the borrowing window for the best candidate:
-                    // earliest time, then smallest displacement. Spatial
-                    // and lane displacements are bidirectional (distance
-                    // semantics, Figure 2); time is forward-only.
-                    let mut best: Option<(u32, usize, usize)> = None;
-                    'scan: for dl in signed_offsets(win.lane) {
+                    for dl in signed_offsets(win.lane) {
                         let Some(sl) = offset(lane, dl, grid.lanes) else {
                             continue;
                         };
@@ -276,55 +389,544 @@ fn run(
                                 let Some(sc) = offset(col, dc, grid.cols) else {
                                     continue;
                                 };
-                                let c = grid.column(sl, sr, sc);
-                                if let Some(&t) = grid.col_ops[c].get(head[c]) {
-                                    if t > horizon {
-                                        continue;
-                                    }
-                                    let dsum =
-                                        dl.unsigned_abs() + dr.unsigned_abs() + dc.unsigned_abs();
-                                    let cand = (t, dsum, c);
-                                    if best.is_none_or(|b| (cand.0, cand.1) < (b.0, b.1)) {
-                                        best = Some(cand);
-                                        if t == h as u32 && dsum == 0 {
-                                            break 'scan;
-                                        }
-                                    }
-                                }
+                                t.col.push(grid.column(sl, sr, sc) as u32);
+                                t.dsum.push(
+                                    (dl.unsigned_abs() + dr.unsigned_abs() + dc.unsigned_abs())
+                                        as u32,
+                                );
                             }
                         }
                     }
+                    t.off.push(t.col.len() as u32);
+                }
+            }
+        }
+        t.suffix_min = vec![0; t.dsum.len()];
+        for s in 0..slots {
+            let (lo, hi) = (t.off[s] as usize, t.off[s + 1] as usize);
+            let mut m = u32::MAX;
+            for i in (lo..hi).rev() {
+                m = m.min(t.dsum[i]);
+                t.suffix_min[i] = m;
+            }
+        }
+        t
+    }
+}
 
-                    match best {
-                        Some((t, dsum, c)) => {
-                            head[c] += 1;
-                            row_remaining[t as usize] -= 1;
-                            remaining -= 1;
-                            if dsum > 0 {
-                                borrowed += 1;
-                            }
-                            if let Some(out) = collect.as_deref_mut() {
-                                let src_lane = c / (grid.rows * grid.cols);
-                                let rem = c % (grid.rows * grid.cols);
-                                out.push(Assignment {
-                                    t,
-                                    src: (src_lane, rem / grid.cols, rem % grid.cols),
-                                    cycle: cycles as u32 - 1,
-                                    slot: (lane, row, col),
-                                });
+fn tap_key(grid: &OpGrid, win: EffectiveWindow) -> (usize, usize, usize, usize, usize, usize) {
+    (
+        grid.lanes, grid.rows, grid.cols, win.lane, win.rows, win.cols,
+    )
+}
+
+/// How many tap tables a scratch keeps before recycling slots. The dual
+/// pipeline alternates between the stage-1 and stage-2 shapes every
+/// tile pair, so two entries are the working set; four leaves headroom
+/// for mixed campaigns without letting the cache grow.
+const TAP_CACHE: usize = 4;
+
+/// Reusable scheduler state: column heads, per-row op counts, cached tap
+/// tables and the dormant-slot frontier machinery.
+///
+/// One scratch serves any sequence of grids and windows; every buffer is
+/// sized on entry and keeps its capacity, so steady-state tile
+/// simulation allocates nothing. A scratch is cheap to create but worth
+/// keeping per worker thread (see `griffin_sweep`'s executor).
+#[derive(Debug, Default)]
+pub struct SchedScratch {
+    /// Per-column head state, packed as `time << 32 | cursor`: the high
+    /// word is the time at the column's head (`u32::MAX` when
+    /// exhausted), the low word the absolute index of the next
+    /// unconsumed op in `OpGrid::ops`. One packed word keeps the hot
+    /// scan to a single load per tap.
+    heads: Vec<u64>,
+    /// Remaining op count per original time row; row `H` advances when
+    /// its count reaches zero.
+    row_remaining: Vec<u32>,
+    /// Cached tap tables, recycled round-robin.
+    taps: Vec<TapTable>,
+    next_tap: usize,
+    /// Bitset of active (non-dormant) slots.
+    active: Vec<u64>,
+    /// Intrusive singly-linked wake buckets: `wake_head[t]` is the first
+    /// dormant slot waiting for the horizon to reach `t`.
+    wake_head: Vec<u32>,
+    /// Next pointer per slot for the wake bucket lists.
+    wake_next: Vec<u32>,
+}
+
+impl SchedScratch {
+    /// Creates an empty scratch; buffers are sized lazily per grid.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached tap table for `(grid, win)`, building it on
+    /// first use. Index-based so the caller can split borrows.
+    fn tap_index(&mut self, grid: &OpGrid, win: EffectiveWindow) -> usize {
+        let key = tap_key(grid, win);
+        if let Some(i) = self.taps.iter().position(|t| t.key == key) {
+            return i;
+        }
+        let table = TapTable::build(grid, win);
+        if self.taps.len() < TAP_CACHE {
+            self.taps.push(table);
+            self.taps.len() - 1
+        } else {
+            let i = self.next_tap;
+            self.next_tap = (self.next_tap + 1) % TAP_CACHE;
+            self.taps[i] = table;
+            i
+        }
+    }
+}
+
+/// Schedules the grid under the given window and priority policy.
+///
+/// Dense inputs take exactly `t_steps` cycles; an empty grid takes zero.
+/// The makespan is always at least `max_column_ops` (one op per slot per
+/// cycle) and at most `t_steps` (the dense schedule is always feasible).
+///
+/// Allocates fresh scheduler state; hot loops should hold a
+/// [`SchedScratch`] and call [`schedule_with`] instead.
+pub fn schedule(grid: &OpGrid, win: EffectiveWindow, priority: Priority) -> Schedule {
+    schedule_with(grid, win, priority, &mut SchedScratch::new())
+}
+
+/// Like [`schedule`], additionally returning where every op executed —
+/// the compacted stream layout that B preprocessing produces (§IV-A
+/// step 1).
+pub fn schedule_assign(
+    grid: &OpGrid,
+    win: EffectiveWindow,
+    priority: Priority,
+) -> (Schedule, Vec<Assignment>) {
+    let mut assigns = Vec::with_capacity(grid.total_ops());
+    let s = schedule_assign_with(grid, win, priority, &mut SchedScratch::new(), &mut assigns);
+    (s, assigns)
+}
+
+/// [`schedule`] with caller-provided scratch: zero allocations once the
+/// scratch buffers have grown to the campaign's largest grid.
+pub fn schedule_with(
+    grid: &OpGrid,
+    win: EffectiveWindow,
+    priority: Priority,
+    scratch: &mut SchedScratch,
+) -> Schedule {
+    run_event(grid, win, priority, scratch, &mut NoSink)
+}
+
+/// [`schedule_assign`] with caller-provided scratch and output buffer.
+/// `out` is cleared first; reusing it across tiles avoids the per-tile
+/// assignment allocation.
+pub fn schedule_assign_with(
+    grid: &OpGrid,
+    win: EffectiveWindow,
+    priority: Priority,
+    scratch: &mut SchedScratch,
+    out: &mut Vec<Assignment>,
+) -> Schedule {
+    out.clear();
+    run_event(grid, win, priority, scratch, out)
+}
+
+/// Assignment consumer, monomorphized so the non-collecting scheduler
+/// carries no per-op branch or source-coordinate arithmetic.
+trait Sink {
+    /// Whether pushes do anything (lets the compiler erase the call).
+    const ACTIVE: bool;
+    fn push(&mut self, a: Assignment);
+}
+
+/// Discards assignments ([`schedule`] / [`schedule_with`]).
+struct NoSink;
+
+impl Sink for NoSink {
+    const ACTIVE: bool = false;
+    #[inline(always)]
+    fn push(&mut self, _: Assignment) {}
+}
+
+impl Sink for Vec<Assignment> {
+    const ACTIVE: bool = true;
+    #[inline(always)]
+    fn push(&mut self, a: Assignment) {
+        Vec::push(self, a);
+    }
+}
+
+fn run_event<S: Sink>(
+    grid: &OpGrid,
+    win: EffectiveWindow,
+    priority: Priority,
+    scratch: &mut SchedScratch,
+    sink: &mut S,
+) -> Schedule {
+    assert!(win.depth >= 1, "window depth must be at least 1");
+    let total = grid.total_ops();
+    if total == 0 {
+        return Schedule::empty();
+    }
+    let slots = grid.lanes * grid.rows * grid.cols;
+    let row_cols = grid.rows * grid.cols;
+
+    // With no lane or spatial reach every slot's neighbourhood is just
+    // its own column — no tap table, no arbitration, and wake rows are
+    // exact, so the specialized loop below visits a slot only when it
+    // executes.
+    let single_tap = win.lane == 0 && win.rows == 0 && win.cols == 0;
+
+    // --- prepare scratch (resize-only; no allocation at steady state) ---
+    let tap = if single_tap {
+        usize::MAX
+    } else {
+        scratch.tap_index(grid, win)
+    };
+    scratch.heads.clear();
+    scratch.heads.reserve(slots);
+    for c in 0..slots {
+        let (lo, hi) = (grid.col_off[c], grid.col_off[c + 1]);
+        let t = if lo < hi { grid.ops[lo as usize] } else { NONE };
+        scratch.heads.push(u64::from(t) << 32 | u64::from(lo));
+    }
+    scratch.row_remaining.clear();
+    scratch.row_remaining.extend_from_slice(&grid.t_counts);
+    let words = slots.div_ceil(64);
+    scratch.active.clear();
+    scratch.active.resize(words, !0u64);
+    if !slots.is_multiple_of(64) {
+        scratch.active[words - 1] = (1u64 << (slots % 64)) - 1;
+    }
+    scratch.wake_head.clear();
+    scratch.wake_head.resize(grid.t_steps, NONE);
+    scratch.wake_next.clear();
+    scratch.wake_next.resize(slots, NONE);
+    // Split borrows for the hot loop.
+    let heads = &mut scratch.heads;
+    let row_remaining = &mut scratch.row_remaining;
+    let active = &mut scratch.active;
+    let wake_head = &mut scratch.wake_head;
+    let wake_next = &mut scratch.wake_next;
+
+    let mut h = 0usize; // oldest unfinished time row
+    while h < grid.t_steps && row_remaining[h] == 0 {
+        h += 1;
+    }
+
+    let mut remaining = total;
+    let mut dormant = 0usize;
+    let mut cycles = 0u64;
+    let mut borrowed = 0u64;
+    let mut starved_cycles = 0u64;
+    let mut prev_horizon = 0usize;
+    let mut first_cycle = true;
+
+    if single_tap {
+        // Specialized no-reach loop: a slot executes its own head op
+        // when it is inside the window and otherwise sleeps until the
+        // horizon reaches it (an exact wake row — its own column is the
+        // only place work can come from). Identical to the general
+        // arbitration with a one-entry tap table, for both priorities.
+        while remaining > 0 {
+            cycles += 1;
+            let horizon = (h + win.depth - 1).min(grid.t_steps - 1);
+            let horizon32 = horizon as u32;
+            if !first_cycle && horizon > prev_horizon {
+                for wh in &mut wake_head[prev_horizon + 1..=horizon] {
+                    let mut slot = *wh;
+                    *wh = NONE;
+                    while slot != NONE {
+                        let s = slot as usize;
+                        slot = wake_next[s];
+                        active[s / 64] |= 1u64 << (s % 64);
+                        dormant -= 1;
+                    }
+                }
+            }
+            first_cycle = false;
+            prev_horizon = horizon;
+            let mut idled = dormant > 0;
+
+            for (w, aw) in active.iter_mut().enumerate() {
+                let mut bits = *aw;
+                let mut cleared = 0u64;
+                while bits != 0 {
+                    let slot = w * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let hv = heads[slot];
+                    let t = (hv >> 32) as u32;
+                    if t <= horizon32 {
+                        let hp = hv as u32 + 1;
+                        let nt = if hp < grid.col_off[slot + 1] {
+                            grid.ops[hp as usize]
+                        } else {
+                            NONE
+                        };
+                        heads[slot] = u64::from(nt) << 32 | u64::from(hp);
+                        row_remaining[t as usize] -= 1;
+                        remaining -= 1;
+                        if S::ACTIVE {
+                            let src = (
+                                slot / row_cols,
+                                slot % row_cols / grid.cols,
+                                slot % grid.cols,
+                            );
+                            sink.push(Assignment {
+                                t,
+                                src,
+                                cycle: cycles - 1,
+                                slot: src,
+                            });
+                        }
+                        if nt > horizon32 + 1 {
+                            // Pre-sleep until the own column's next op
+                            // enters the window. Ops exactly one row
+                            // past the horizon stay active: on dense
+                            // rows the horizon advances every cycle, and
+                            // sleeping would just thrash the wake lists
+                            // (dormancy is an optimization — skipping it
+                            // never changes results, only who scans).
+                            cleared |= 1u64 << (slot % 64);
+                            dormant += 1;
+                            if nt != NONE {
+                                wake_next[slot] = wake_head[nt as usize];
+                                wake_head[nt as usize] = slot as u32;
                             }
                         }
-                        None => {
-                            // This slot idles; if any work remains in the
-                            // grid this is a starvation event.
-                            starved = true;
+                    } else {
+                        // Only reachable on the first cycle (slots start
+                        // active); afterwards wakes are exact.
+                        idled = true;
+                        cleared |= 1u64 << (slot % 64);
+                        dormant += 1;
+                        if t != NONE {
+                            wake_next[slot] = wake_head[t as usize];
+                            wake_head[t as usize] = slot as u32;
+                        }
+                    }
+                }
+                *aw &= !cleared;
+            }
+
+            if idled && remaining > 0 {
+                starved_cycles += 1;
+            }
+            while h < grid.t_steps && row_remaining[h] == 0 {
+                h += 1;
+            }
+        }
+        return Schedule {
+            cycles,
+            executed: total as u64,
+            borrowed: 0,
+            starved_cycles,
+        };
+    }
+
+    let (tap_off, tap_col, tap_dsum, tap_suffix) = {
+        let t = &scratch.taps[tap];
+        (&t.off, &t.col, &t.dsum, &t.suffix_min)
+    };
+
+    while remaining > 0 {
+        cycles += 1;
+        let horizon = (h + win.depth - 1).min(grid.t_steps - 1);
+        let horizon32 = horizon as u32;
+        let h32 = h as u32;
+
+        // Wake dormant slots whose earliest reachable row entered the
+        // window. The horizon is monotone, so each bucket drains once.
+        if !first_cycle && horizon > prev_horizon {
+            for wh in &mut wake_head[prev_horizon + 1..=horizon] {
+                let mut slot = *wh;
+                *wh = NONE;
+                while slot != NONE {
+                    let s = slot as usize;
+                    slot = wake_next[s];
+                    active[s / 64] |= 1u64 << (s % 64);
+                    dormant -= 1;
+                }
+            }
+        }
+        first_cycle = false;
+        prev_horizon = horizon;
+
+        // Slots dormant at this point idle through the whole cycle; a
+        // slot that pre-sleeps *after* executing below does not (it
+        // only joins the idle set from the next cycle on).
+        let mut idled = dormant > 0;
+
+        for (w, aw) in active.iter_mut().enumerate() {
+            let mut bits = *aw;
+            let mut cleared = 0u64;
+            while bits != 0 {
+                let slot = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+
+                // Own op first (Bit-Tactical priority), if within the
+                // time window (`head_t` is `NONE` > horizon when the
+                // column is exhausted).
+                if priority == Priority::OwnFirst {
+                    let hv = heads[slot];
+                    let t = (hv >> 32) as u32;
+                    if t <= horizon32 {
+                        let hp = hv as u32 + 1;
+                        let nt = if hp < grid.col_off[slot + 1] {
+                            grid.ops[hp as usize]
+                        } else {
+                            NONE
+                        };
+                        heads[slot] = u64::from(nt) << 32 | u64::from(hp);
+                        row_remaining[t as usize] -= 1;
+                        remaining -= 1;
+                        if S::ACTIVE {
+                            let src = (
+                                slot / row_cols,
+                                slot % row_cols / grid.cols,
+                                slot % grid.cols,
+                            );
+                            sink.push(Assignment {
+                                t,
+                                src,
+                                cycle: cycles - 1,
+                                slot: src,
+                            });
+                        }
+                        // Pre-sleep: if no tap (own column included) can
+                        // offer work at the current horizon, the next
+                        // visit would fail — skip it. Sound because heads
+                        // and the horizon are monotone; equivalent
+                        // because a dormant slot idles exactly like a
+                        // scan that finds nothing.
+                        if nt > horizon32 {
+                            // The exact minimum only matters when the
+                            // slot actually sleeps; any in-window tap
+                            // keeps it active, so bail on the first one.
+                            let mut m = NONE;
+                            for i in tap_off[slot] as usize..tap_off[slot + 1] as usize {
+                                m = m.min((heads[tap_col[i] as usize] >> 32) as u32);
+                                if m <= horizon32 {
+                                    break;
+                                }
+                            }
+                            if m > horizon32 {
+                                cleared |= 1u64 << (slot % 64);
+                                dormant += 1;
+                                if m != NONE {
+                                    wake_next[slot] = wake_head[m as usize];
+                                    wake_head[m as usize] = slot as u32;
+                                }
+                            }
+                        }
+                        continue;
+                    }
+                }
+
+                // Scan the precomputed tap table for the best candidate:
+                // earliest time, then smallest displacement, ties broken
+                // by tap order (which encodes the Figure 2 arbitration
+                // priority) — one packed `t << 32 | dsum` comparison per
+                // tap. Track the earliest head time over all taps for
+                // the dormancy wake row.
+                // Out-of-window and exhausted taps (t > horizon, or
+                // `NONE`) pack above this sentinel and therefore never
+                // update `best` — no per-tap validity branch to predict.
+                let sentinel = u64::from(horizon32 + 1) << 32;
+                let mut best_pack = sentinel;
+                let mut best_c = 0usize;
+                let mut wake = NONE;
+                let hi = tap_off[slot + 1] as usize;
+                for i in tap_off[slot] as usize..hi {
+                    let c = tap_col[i] as usize;
+                    let t = (heads[c] >> 32) as u32;
+                    wake = wake.min(t);
+                    let pack = u64::from(t) << 32 | u64::from(tap_dsum[i]);
+                    if pack < best_pack {
+                        best_pack = pack;
+                        best_c = c;
+                        // A candidate at the oldest row H can only lose
+                        // to a smaller displacement; stop as soon as the
+                        // remaining taps cannot offer one.
+                        if t == h32 && (i + 1 == hi || tap_suffix[i + 1] >= tap_dsum[i]) {
+                            break;
+                        }
+                    }
+                }
+
+                match (best_pack < sentinel).then_some((
+                    (best_pack >> 32) as u32,
+                    best_pack as u32,
+                    best_c,
+                )) {
+                    Some((t, dsum, c)) => {
+                        let hp = heads[c] as u32 + 1;
+                        let nt = if hp < grid.col_off[c + 1] {
+                            grid.ops[hp as usize]
+                        } else {
+                            NONE
+                        };
+                        heads[c] = u64::from(nt) << 32 | u64::from(hp);
+                        row_remaining[t as usize] -= 1;
+                        remaining -= 1;
+                        if dsum > 0 {
+                            borrowed += 1;
+                        }
+                        if S::ACTIVE {
+                            sink.push(Assignment {
+                                t,
+                                src: (c / row_cols, c % row_cols / grid.cols, c % grid.cols),
+                                cycle: cycles - 1,
+                                slot: (
+                                    slot / row_cols,
+                                    slot % row_cols / grid.cols,
+                                    slot % grid.cols,
+                                ),
+                            });
+                        }
+                        // Pre-sleep after a borrow, same as the own-op
+                        // path (the executed column's head moved, so the
+                        // tap minimum must be recomputed; as above, an
+                        // in-window tap ends the search immediately).
+                        let mut m = NONE;
+                        for i in tap_off[slot] as usize..tap_off[slot + 1] as usize {
+                            m = m.min((heads[tap_col[i] as usize] >> 32) as u32);
+                            if m <= horizon32 {
+                                break;
+                            }
+                        }
+                        if m > horizon32 {
+                            cleared |= 1u64 << (slot % 64);
+                            dormant += 1;
+                            if m != NONE {
+                                wake_next[slot] = wake_head[m as usize];
+                                wake_head[m as usize] = slot as u32;
+                            }
+                        }
+                    }
+                    None => {
+                        // Nothing reachable: this slot idles, and goes
+                        // dormant until the horizon reaches the earliest
+                        // tap head (`wake` stays NONE when the whole
+                        // neighbourhood is exhausted — the slot never
+                        // wakes again).
+                        idled = true;
+                        cleared |= 1u64 << (slot % 64);
+                        dormant += 1;
+                        if wake != NONE {
+                            wake_next[slot] = wake_head[wake as usize];
+                            wake_head[wake as usize] = slot as u32;
                         }
                     }
                 }
             }
+            *aw &= !cleared;
         }
 
-        if starved && remaining > 0 {
+        // A starved cycle is one where some slot idled while work
+        // remained outside its window.
+        if idled && remaining > 0 {
             starved_cycles += 1;
         }
         while h < grid.t_steps && row_remaining[h] == 0 {
@@ -334,9 +936,181 @@ fn run(
 
     Schedule {
         cycles,
-        executed: grid.total as u64,
+        executed: total as u64,
         borrowed,
         starved_cycles,
+    }
+}
+
+/// The naive rescan-everything scheduler, retained verbatim as the
+/// semantic reference for the event-driven core.
+///
+/// Every cycle it re-walks each slot's full borrowing cross-product,
+/// exactly as §III describes the arbitration. It is the ground truth
+/// for the differential property tests; production paths use the
+/// event-driven [`schedule`]/[`schedule_with`] family, which must
+/// produce bit-identical [`Schedule`]s and [`Assignment`] streams.
+pub mod reference {
+    use super::{offset, signed_offsets, Assignment, OpGrid, Schedule};
+    use crate::config::Priority;
+    use crate::window::EffectiveWindow;
+
+    /// Reference counterpart of [`super::schedule`].
+    pub fn schedule(grid: &OpGrid, win: EffectiveWindow, priority: Priority) -> Schedule {
+        run(grid, win, priority, None)
+    }
+
+    /// Reference counterpart of [`super::schedule_assign`].
+    pub fn schedule_assign(
+        grid: &OpGrid,
+        win: EffectiveWindow,
+        priority: Priority,
+    ) -> (Schedule, Vec<Assignment>) {
+        let mut assigns = Vec::with_capacity(grid.total_ops());
+        let s = run(grid, win, priority, Some(&mut assigns));
+        (s, assigns)
+    }
+
+    fn run(
+        grid: &OpGrid,
+        win: EffectiveWindow,
+        priority: Priority,
+        mut collect: Option<&mut Vec<Assignment>>,
+    ) -> Schedule {
+        assert!(win.depth >= 1, "window depth must be at least 1");
+        if grid.total_ops() == 0 {
+            return Schedule::empty();
+        }
+
+        let columns = grid.lanes * grid.rows * grid.cols;
+        let mut head = vec![0usize; columns];
+        let mut row_remaining = vec![0u32; grid.t_steps];
+        for &t in &grid.ops {
+            row_remaining[t as usize] += 1;
+        }
+
+        let mut h = 0usize; // oldest unfinished time row
+        while h < grid.t_steps && row_remaining[h] == 0 {
+            h += 1;
+        }
+
+        let mut remaining = grid.total_ops();
+        let mut cycles = 0u64;
+        let mut borrowed = 0u64;
+        let mut starved_cycles = 0u64;
+
+        while remaining > 0 {
+            cycles += 1;
+            let horizon = (h + win.depth - 1).min(grid.t_steps - 1) as u32;
+            let mut starved = false;
+
+            for lane in 0..grid.lanes {
+                for row in 0..grid.rows {
+                    for col in 0..grid.cols {
+                        // Own op first (Bit-Tactical priority), if within
+                        // the time window.
+                        let own = grid.column(lane, row, col);
+                        let own_front = grid.col(own).get(head[own]).copied();
+                        if priority == Priority::OwnFirst {
+                            if let Some(t) = own_front {
+                                if t <= horizon {
+                                    head[own] += 1;
+                                    row_remaining[t as usize] -= 1;
+                                    remaining -= 1;
+                                    if let Some(out) = collect.as_deref_mut() {
+                                        out.push(Assignment {
+                                            t,
+                                            src: (lane, row, col),
+                                            cycle: cycles - 1,
+                                            slot: (lane, row, col),
+                                        });
+                                    }
+                                    continue;
+                                }
+                            }
+                        }
+
+                        // Scan the borrowing window for the best
+                        // candidate: earliest time, then smallest
+                        // displacement. Spatial and lane displacements
+                        // are bidirectional (distance semantics,
+                        // Figure 2); time is forward-only.
+                        let mut best: Option<(u32, usize, usize)> = None;
+                        'scan: for dl in signed_offsets(win.lane) {
+                            let Some(sl) = offset(lane, dl, grid.lanes) else {
+                                continue;
+                            };
+                            for dr in signed_offsets(win.rows) {
+                                let Some(sr) = offset(row, dr, grid.rows) else {
+                                    continue;
+                                };
+                                for dc in signed_offsets(win.cols) {
+                                    let Some(sc) = offset(col, dc, grid.cols) else {
+                                        continue;
+                                    };
+                                    let c = grid.column(sl, sr, sc);
+                                    if let Some(&t) = grid.col(c).get(head[c]) {
+                                        if t > horizon {
+                                            continue;
+                                        }
+                                        let dsum = dl.unsigned_abs()
+                                            + dr.unsigned_abs()
+                                            + dc.unsigned_abs();
+                                        let cand = (t, dsum, c);
+                                        if best.is_none_or(|b| (cand.0, cand.1) < (b.0, b.1)) {
+                                            best = Some(cand);
+                                            if t == h as u32 && dsum == 0 {
+                                                break 'scan;
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+
+                        match best {
+                            Some((t, dsum, c)) => {
+                                head[c] += 1;
+                                row_remaining[t as usize] -= 1;
+                                remaining -= 1;
+                                if dsum > 0 {
+                                    borrowed += 1;
+                                }
+                                if let Some(out) = collect.as_deref_mut() {
+                                    let src_lane = c / (grid.rows * grid.cols);
+                                    let rem = c % (grid.rows * grid.cols);
+                                    out.push(Assignment {
+                                        t,
+                                        src: (src_lane, rem / grid.cols, rem % grid.cols),
+                                        cycle: cycles - 1,
+                                        slot: (lane, row, col),
+                                    });
+                                }
+                            }
+                            None => {
+                                // This slot idles; if any work remains in
+                                // the grid this is a starvation event.
+                                starved = true;
+                            }
+                        }
+                    }
+                }
+            }
+
+            if starved && remaining > 0 {
+                starved_cycles += 1;
+            }
+            while h < grid.t_steps && row_remaining[h] == 0 {
+                h += 1;
+            }
+        }
+
+        Schedule {
+            cycles,
+            executed: grid.total_ops() as u64,
+            borrowed,
+            starved_cycles,
+        }
     }
 }
 
@@ -573,5 +1347,94 @@ mod tests {
         let a = schedule(&g, win, Priority::OwnFirst);
         let b = schedule(&g, win, Priority::EarliestFirst);
         assert_eq!(a.cycles, b.cycles);
+    }
+
+    #[test]
+    fn from_ops_sorts_unordered_input() {
+        let g = OpGrid::from_ops(8, 1, 1, 2, [(5, 0, 0, 1), (1, 0, 0, 0), (3, 0, 0, 0)]);
+        assert_eq!(g.col(0), &[1, 3]);
+        assert_eq!(g.col(1), &[5]);
+        assert_eq!(g.total_ops(), 3);
+        assert_eq!(g.max_column_ops(), 2);
+    }
+
+    #[test]
+    fn rebuild_reuses_storage_across_shapes() {
+        let mut g = OpGrid::default();
+        g.rebuild_from_ops(4, 2, 1, 1, &[(0, 0, 0, 0), (2, 1, 0, 0)]);
+        assert_eq!(g.total_ops(), 2);
+        g.rebuild_from_ops(2, 1, 2, 2, &[(1, 0, 1, 1)]);
+        assert_eq!(g.total_ops(), 1);
+        assert_eq!(g.t_steps(), 2);
+        let s = schedule(&g, EffectiveWindow::dense(), Priority::OwnFirst);
+        assert_eq!(s.executed, 1);
+    }
+
+    /// The event-driven core against the retained reference on a grid
+    /// mix that exercises dormancy, waking and dead slots. Broad random
+    /// coverage lives in the proptest suite (`tests/` of the façade).
+    #[test]
+    fn event_core_matches_reference_exactly() {
+        let grids = [
+            OpGrid::from_fn(24, 4, 2, 2, |t, l, r, c| {
+                (t * 5 + l * 3 + r * 2 + c) % 4 == 0
+            }),
+            OpGrid::from_fn(16, 8, 1, 2, |t, l, _, c| (t + l + c) % 7 == 0),
+            OpGrid::from_fn(10, 2, 1, 1, |t, l, _, _| l == 0 && t % 2 == 0),
+            dense_grid(6, 2, 2, 2),
+        ];
+        let wins = [
+            EffectiveWindow::dense(),
+            EffectiveWindow {
+                depth: 3,
+                lane: 1,
+                rows: 0,
+                cols: 1,
+            },
+            EffectiveWindow {
+                depth: 9,
+                lane: 0,
+                rows: 1,
+                cols: 2,
+            },
+        ];
+        let mut scratch = SchedScratch::new();
+        let mut out = Vec::new();
+        for g in &grids {
+            for &win in &wins {
+                for p in [Priority::OwnFirst, Priority::EarliestFirst] {
+                    let (s_ref, a_ref) = reference::schedule_assign(g, win, p);
+                    let s_new = schedule_assign_with(g, win, p, &mut scratch, &mut out);
+                    assert_eq!(s_new, s_ref, "schedule diverged: win {win:?} p {p:?}");
+                    assert_eq!(out, a_ref, "assignments diverged: win {win:?} p {p:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_deterministic() {
+        let g = OpGrid::from_fn(20, 4, 1, 4, |t, l, _, c| (t * 3 + l + c) % 3 == 0);
+        let win = EffectiveWindow {
+            depth: 4,
+            lane: 1,
+            rows: 0,
+            cols: 1,
+        };
+        let fresh = schedule(&g, win, Priority::OwnFirst);
+        let mut scratch = SchedScratch::new();
+        for _ in 0..3 {
+            assert_eq!(
+                schedule_with(&g, win, Priority::OwnFirst, &mut scratch),
+                fresh
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32 indexing")]
+    fn oversized_time_axis_panics_clearly() {
+        let mut g = OpGrid::default();
+        g.reset_dims(u32::MAX as usize + 1, 1, 1, 1);
     }
 }

@@ -14,13 +14,15 @@
 //! adder trees) returns each product to the accumulator of its original
 //! output element.
 
-use griffin_tensor::block::{ATileView, BTileView, TileCoord, TileView};
+use griffin_tensor::block::{ATileView, BTileView};
 use griffin_tensor::error::TensorError;
 use griffin_tensor::matrix::Matrix;
 use griffin_tensor::shape::CoreDims;
 
 use crate::config::Priority;
-use crate::engine::{schedule_assign, OpGrid};
+use crate::engine::{schedule_assign, schedule_assign_with};
+use crate::grid::{build_a_grid, build_b_grid};
+use crate::scratch::SimScratch;
 use crate::shuffle::LaneMap;
 use crate::window::{BorrowWindow, EffectiveWindow};
 
@@ -53,17 +55,19 @@ pub fn sparse_b_product(
     let lanes = LaneMap::from_flag(shuffle);
     let eff = EffectiveWindow::for_b(win);
     let nt = b.cols().div_ceil(core.n0);
+    let mut scratch = SimScratch::new();
 
     for n_tile in 0..nt {
         let view = BTileView::new(&b_mask, core, n_tile * core.n0);
-        let grid = OpGrid::from_fn(view.t_steps(), core.k0, 1, core.n0, |t, lane, _, col| {
-            view.is_nonzero(TileCoord {
-                t,
-                lane: lanes.source_lane(lane, t),
-                s: col,
-            })
-        });
-        let (_, assigns) = schedule_assign(&grid, eff, priority);
+        build_b_grid(&mut scratch.grid, &mut scratch.span, &view, lanes);
+        let mut assigns = Vec::new();
+        schedule_assign_with(
+            &scratch.grid,
+            eff,
+            priority,
+            &mut scratch.sched,
+            &mut assigns,
+        );
         for asg in assigns {
             let t = asg.t as usize;
             let k = t * core.k0 + lanes.source_lane(asg.src.0, t);
@@ -96,17 +100,19 @@ pub fn sparse_a_product(
     let lanes = LaneMap::from_flag(shuffle);
     let eff = EffectiveWindow::for_a(win);
     let mt = a.rows().div_ceil(core.m0);
+    let mut scratch = SimScratch::new();
 
     for m_tile in 0..mt {
         let view = ATileView::new(&a_mask, core, m_tile * core.m0);
-        let grid = OpGrid::from_fn(view.t_steps(), core.k0, core.m0, 1, |t, lane, row, _| {
-            view.is_nonzero(TileCoord {
-                t,
-                lane: lanes.source_lane(lane, t),
-                s: row,
-            })
-        });
-        let (_, assigns) = schedule_assign(&grid, eff, priority);
+        build_a_grid(&mut scratch.grid, &view, lanes);
+        let mut assigns = Vec::new();
+        schedule_assign_with(
+            &scratch.grid,
+            eff,
+            priority,
+            &mut scratch.sched,
+            &mut assigns,
+        );
         for asg in assigns {
             let t = asg.t as usize;
             let k = t * core.k0 + lanes.source_lane(asg.src.0, t);
@@ -147,27 +153,33 @@ pub fn sparse_ab_product(
     };
     let mt = a.rows().div_ceil(core.m0);
     let nt = b.cols().div_ceil(core.n0);
+    let mut scratch = SimScratch::new();
+    let slots = core.k0 * core.m0 * core.n0;
 
     for n_tile in 0..nt {
         // Stage 1: compress this B tile column.
         let view = BTileView::new(&b_mask, core, n_tile * core.n0);
-        let grid = OpGrid::from_fn(view.t_steps(), core.k0, 1, core.n0, |t, lane, _, col| {
-            view.is_nonzero(TileCoord {
-                t,
-                lane: lanes.source_lane(lane, t),
-                s: col,
-            })
-        });
-        let (sched_b, b_assigns) = schedule_assign(&grid, EffectiveWindow::for_b(b_win), priority);
+        build_b_grid(&mut scratch.grid, &mut scratch.span, &view, lanes);
+        let mut b_assigns = Vec::new();
+        let sched_b = schedule_assign_with(
+            &scratch.grid,
+            EffectiveWindow::for_b(b_win),
+            priority,
+            &mut scratch.sched,
+            &mut b_assigns,
+        );
         if sched_b.cycles == 0 {
             continue;
         }
 
+        // Dense slot-indexed back-map (compressed position -> original
+        // (k, n)) instead of hashing every pair twice; sized once per
+        // column and sentinel-reset per row tile.
+        let mut back: Vec<(u32, u32)> = vec![(u32::MAX, u32::MAX); sched_b.cycles as usize * slots];
+        let mut ops = Vec::new();
         for m_tile in 0..mt {
-            // Stage 2: effectual pairs over the compressed stream; keep a
-            // back-map from compressed slots to original (k, n).
-            let mut ops = Vec::new();
-            let mut back = std::collections::HashMap::new();
+            back.fill((u32::MAX, u32::MAX));
+            ops.clear();
             for asg in &b_assigns {
                 let t = asg.t as usize;
                 let k = t * core.k0 + lanes.source_lane(asg.src.0, t);
@@ -176,15 +188,26 @@ pub fn sparse_ab_product(
                     let m = m_tile * core.m0 + row;
                     if m < a.rows() && a[(m, k)] != 0 {
                         ops.push((asg.cycle as usize, asg.slot.0, row, asg.slot.2));
-                        back.insert((asg.cycle as usize, asg.slot.0, row, asg.slot.2), (k, n));
+                        let pos = asg.cycle as usize * slots
+                            + ((asg.slot.0 * core.m0 + row) * core.n0 + asg.slot.2);
+                        back[pos] = (k as u32, n as u32);
                     }
                 }
             }
-            let grid2 = OpGrid::from_ops(sched_b.cycles as usize, core.k0, core.m0, core.n0, ops);
-            let (_, pair_assigns) = schedule_assign(&grid2, stage2_win, priority);
+            scratch.grid2.rebuild_from_ops(
+                sched_b.cycles as usize,
+                core.k0,
+                core.m0,
+                core.n0,
+                &ops,
+            );
+            let (_, pair_assigns) = schedule_assign(&scratch.grid2, stage2_win, priority);
             for p in pair_assigns {
-                let key = (p.t as usize, p.src.0, p.src.1, p.src.2);
-                let (k, n) = back[&key];
+                let pos =
+                    p.t as usize * slots + ((p.src.0 * core.m0 + p.src.1) * core.n0 + p.src.2);
+                let (k, n) = back[pos];
+                debug_assert_ne!(k, u32::MAX, "replayed pair missing from the back-map");
+                let (k, n) = (k as usize, n as usize);
                 let m = m_tile * core.m0 + p.src.1;
                 c[(m, n)] += i32::from(a[(m, k)]) * i32::from(b[(k, n)]);
             }

@@ -8,7 +8,12 @@
 //!
 //! * [`window`] — borrowing windows along the three blocked dimensions,
 //! * [`shuffle`] — the rotation-based load-balance shuffler (§III),
-//! * [`engine`] — the greedy borrowing scheduler over a 4-D op grid,
+//! * [`engine`] — the event-driven greedy borrowing scheduler over a
+//!   flat CSR 4-D op grid (with the naive policy retained in
+//!   [`engine::reference`] for differential testing),
+//! * [`grid`] — word-level op-grid builders over mask bit words,
+//! * [`scratch`] — reusable simulation buffers (the zero-alloc
+//!   steady-state contract for sweep workers),
 //! * [`single`] — `Sparse.A` / `Sparse.B` tile simulation,
 //! * [`dual`] — `Sparse.AB` tile simulation (the 7-step pipeline of
 //!   Figure 3),
@@ -51,10 +56,12 @@ pub mod config;
 pub mod dual;
 pub mod engine;
 pub mod functional;
+pub mod grid;
 pub mod layer;
 pub mod pipeline;
 pub mod report;
 mod sampling;
+pub mod scratch;
 pub mod shuffle;
 pub mod single;
 pub mod sparten;
@@ -62,6 +69,7 @@ pub mod window;
 
 pub use config::{Fidelity, Priority, SimConfig, SparsityMode};
 pub use layer::GemmLayer;
-pub use pipeline::{simulate_layer, simulate_network};
+pub use pipeline::{simulate_layer, simulate_layer_with, simulate_network, simulate_network_with};
 pub use report::{LayerReport, NetworkReport};
+pub use scratch::SimScratch;
 pub use window::BorrowWindow;

@@ -10,11 +10,14 @@ use griffin_tensor::compress::{metadata_bits_for_fanin, CompressedB};
 
 use crate::bandwidth::{bw_floor_cycles, layer_traffic};
 use crate::config::{SimConfig, SparsityMode};
-use crate::dual::simulate_sparse_ab;
+use crate::dual::simulate_sparse_ab_with;
 use crate::layer::GemmLayer;
 use crate::report::{LayerReport, NetworkReport};
-use crate::single::{simulate_dense, simulate_sparse_a, simulate_sparse_b, ScheduleAccum};
-use crate::sparten::{simulate_sparten, SpartenParams};
+use crate::scratch::SimScratch;
+use crate::single::{
+    simulate_dense, simulate_sparse_a_with, simulate_sparse_b_with, ScheduleAccum,
+};
+use crate::sparten::{simulate_sparten_with, SpartenParams};
 
 /// Bytes each dense B element costs in SRAM for this mode: compressed
 /// architectures stream nonzero values plus metadata; dense ones stream
@@ -42,17 +45,34 @@ fn b_stream_factor(layer: &GemmLayer, mode: SparsityMode) -> f64 {
 
 /// Simulates one layer under a sparsity mode, returning the full report.
 pub fn simulate_layer(layer: &GemmLayer, mode: SparsityMode, cfg: &SimConfig) -> LayerReport {
+    simulate_layer_with(layer, mode, cfg, &mut SimScratch::new())
+}
+
+/// [`simulate_layer`] with caller-provided scratch — the zero-alloc
+/// steady-state path campaign workers thread through every layer.
+pub fn simulate_layer_with(
+    layer: &GemmLayer,
+    mode: SparsityMode,
+    cfg: &SimConfig,
+    scratch: &mut SimScratch,
+) -> LayerReport {
     let acc: ScheduleAccum = match mode {
         SparsityMode::Dense => simulate_dense(layer, cfg),
-        SparsityMode::SparseA { win, shuffle } => simulate_sparse_a(layer, win, shuffle, cfg),
-        SparsityMode::SparseB { win, shuffle } => simulate_sparse_b(layer, win, shuffle, cfg),
-        SparsityMode::SparseAB { a, b, shuffle } => simulate_sparse_ab(layer, a, b, shuffle, cfg),
+        SparsityMode::SparseA { win, shuffle } => {
+            simulate_sparse_a_with(layer, win, shuffle, cfg, scratch)
+        }
+        SparsityMode::SparseB { win, shuffle } => {
+            simulate_sparse_b_with(layer, win, shuffle, cfg, scratch)
+        }
+        SparsityMode::SparseAB { a, b, shuffle } => {
+            simulate_sparse_ab_with(layer, a, b, shuffle, cfg, scratch)
+        }
         SparsityMode::SparTen { a_sparse, b_sparse } => {
             let params = SpartenParams {
                 macs: cfg.core.macs(),
                 ..SpartenParams::default()
             };
-            simulate_sparten(layer, a_sparse, b_sparse, params, cfg)
+            simulate_sparten_with(layer, a_sparse, b_sparse, params, cfg, scratch)
         }
     };
 
@@ -80,10 +100,26 @@ pub fn simulate_network(
     mode: SparsityMode,
     cfg: &SimConfig,
 ) -> NetworkReport {
+    simulate_network_with(layers, mode, cfg, &mut SimScratch::new())
+}
+
+/// [`simulate_network`] with caller-provided scratch shared by every
+/// layer.
+pub fn simulate_network_with(
+    layers: &[GemmLayer],
+    mode: SparsityMode,
+    cfg: &SimConfig,
+    scratch: &mut SimScratch,
+) -> NetworkReport {
     NetworkReport {
         layers: layers
             .iter()
-            .map(|l| simulate_layer(l, mode, cfg))
+            .enumerate()
+            .map(|(i, l)| {
+                // Keys the grid-reuse cache when a scope is active.
+                scratch.layer_idx = i as u32;
+                simulate_layer_with(l, mode, cfg, scratch)
+            })
             .collect(),
     }
 }

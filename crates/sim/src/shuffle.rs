@@ -72,6 +72,20 @@ impl LaneMap {
             LaneMap::Rotate => unshuffle_lane(lane, t),
         }
     }
+
+    /// Inverse of [`source_lane`]: the shuffled position that original
+    /// lane `src` lands in at time step `t`. Word-level grid builders
+    /// walk the mask in original coordinates and use this forward map to
+    /// place each nonzero in its scheduled lane.
+    ///
+    /// [`source_lane`]: LaneMap::source_lane
+    #[inline]
+    pub fn dest_lane(&self, src: usize, t: usize) -> usize {
+        match self {
+            LaneMap::Identity => src,
+            LaneMap::Rotate => shuffle_lane(src, t),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -130,6 +144,18 @@ mod tests {
         let mut sorted = positions.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn dest_lane_inverts_source_lane() {
+        for map in [LaneMap::Identity, LaneMap::Rotate] {
+            for t in 0..8 {
+                for lane in 0..16 {
+                    assert_eq!(map.dest_lane(map.source_lane(lane, t), t), lane);
+                    assert_eq!(map.source_lane(map.dest_lane(lane, t), t), lane);
+                }
+            }
+        }
     }
 
     #[test]

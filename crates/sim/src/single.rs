@@ -15,12 +15,14 @@
 //! the cycle count, which both the paper's Figure 2 walk-through and its
 //! simulator treat through the same borrowing window abstraction.
 
-use griffin_tensor::block::{ATileView, BTileView, TileCoord, TileView};
+use griffin_tensor::block::{ATileView, BTileView};
 
 use crate::config::SimConfig;
-use crate::engine::{schedule, OpGrid, Schedule};
+use crate::engine::{schedule_with, OpGrid, Schedule};
+use crate::grid::{build_a_grid, build_b_grid};
 use crate::layer::GemmLayer;
 use crate::sampling::sample_indices;
+use crate::scratch::{GridKey, SimScratch};
 use crate::shuffle::LaneMap;
 use crate::window::{BorrowWindow, EffectiveWindow};
 
@@ -48,34 +50,6 @@ impl ScheduleAccum {
     }
 }
 
-/// Builds the op grid for one B-side tile column: ops are the nonzeros of
-/// B over `(t, lane, 1, n_local)`, read through the shuffle lane map.
-fn b_tile_grid(layer: &GemmLayer, cfg: &SimConfig, n_tile: usize, lanes: LaneMap) -> OpGrid {
-    let core = cfg.core;
-    let view = BTileView::new(&layer.b, core, n_tile * core.n0);
-    OpGrid::from_fn(view.t_steps(), core.k0, 1, core.n0, |t, lane, _, col| {
-        view.is_nonzero(TileCoord {
-            t,
-            lane: lanes.source_lane(lane, t),
-            s: col,
-        })
-    })
-}
-
-/// Builds the op grid for one A-side tile row: ops are the nonzeros of A
-/// over `(t, lane, m_local, 1)`.
-fn a_tile_grid(layer: &GemmLayer, cfg: &SimConfig, m_tile: usize, lanes: LaneMap) -> OpGrid {
-    let core = cfg.core;
-    let view = ATileView::new(&layer.a, core, m_tile * core.m0);
-    OpGrid::from_fn(view.t_steps(), core.k0, core.m0, 1, |t, lane, row, _| {
-        view.is_nonzero(TileCoord {
-            t,
-            lane: lanes.source_lane(lane, t),
-            s: row,
-        })
-    })
-}
-
 /// Simulates a layer on a `Sparse.B` architecture, returning schedule
 /// statistics (the pipeline adds bandwidth floors).
 pub fn simulate_sparse_b(
@@ -84,7 +58,20 @@ pub fn simulate_sparse_b(
     shuffle: bool,
     cfg: &SimConfig,
 ) -> ScheduleAccum {
-    let tiles = layer.shape.tiles(cfg.core);
+    simulate_sparse_b_with(layer, win, shuffle, cfg, &mut SimScratch::new())
+}
+
+/// [`simulate_sparse_b`] with caller-provided scratch — the zero-alloc
+/// steady-state path for campaign workers.
+pub fn simulate_sparse_b_with(
+    layer: &GemmLayer,
+    win: BorrowWindow,
+    shuffle: bool,
+    cfg: &SimConfig,
+    scratch: &mut SimScratch,
+) -> ScheduleAccum {
+    let core = cfg.core;
+    let tiles = layer.shape.tiles(core);
     let lanes = LaneMap::from_flag(shuffle);
     let eff = EffectiveWindow::for_b(win);
     let (picked, scale) = sample_indices(tiles.nt, cfg.fidelity);
@@ -94,13 +81,33 @@ pub fn simulate_sparse_b(
         ..Default::default()
     };
     for &n_tile in &picked {
-        let grid = b_tile_grid(layer, cfg, n_tile, lanes);
-        let s = schedule(&grid, eff, cfg.priority);
+        let s = if scratch.scope.is_some() {
+            // Reuse scope: the grid is shared across every architecture
+            // sweeping this workload.
+            let key = GridKey {
+                layer: scratch.layer_idx,
+                tile: n_tile as u32,
+                rotate: shuffle,
+                b_side: true,
+                core,
+            };
+            if !scratch.grids.contains_key(&key) {
+                let mut g = OpGrid::default();
+                let view = BTileView::new(&layer.b, core, n_tile * core.n0);
+                build_b_grid(&mut g, &mut scratch.span, &view, lanes);
+                scratch.grids.insert(key, g);
+            }
+            schedule_with(&scratch.grids[&key], eff, cfg.priority, &mut scratch.sched)
+        } else {
+            let view = BTileView::new(&layer.b, core, n_tile * core.n0);
+            build_b_grid(&mut scratch.grid, &mut scratch.span, &view, lanes);
+            schedule_with(&scratch.grid, eff, cfg.priority, &mut scratch.sched)
+        };
         // The same B schedule runs once per output-tile row; ops execute
         // on all M0 rows simultaneously (each B nonzero feeds M0 MACs).
         acc.add(s, scale * tiles.mt as f64);
     }
-    acc.ops *= cfg.core.m0 as f64;
+    acc.ops *= core.m0 as f64;
     acc
 }
 
@@ -111,7 +118,19 @@ pub fn simulate_sparse_a(
     shuffle: bool,
     cfg: &SimConfig,
 ) -> ScheduleAccum {
-    let tiles = layer.shape.tiles(cfg.core);
+    simulate_sparse_a_with(layer, win, shuffle, cfg, &mut SimScratch::new())
+}
+
+/// [`simulate_sparse_a`] with caller-provided scratch.
+pub fn simulate_sparse_a_with(
+    layer: &GemmLayer,
+    win: BorrowWindow,
+    shuffle: bool,
+    cfg: &SimConfig,
+    scratch: &mut SimScratch,
+) -> ScheduleAccum {
+    let core = cfg.core;
+    let tiles = layer.shape.tiles(core);
     let lanes = LaneMap::from_flag(shuffle);
     let eff = EffectiveWindow::for_a(win);
     let (picked, scale) = sample_indices(tiles.mt, cfg.fidelity);
@@ -121,11 +140,29 @@ pub fn simulate_sparse_a(
         ..Default::default()
     };
     for &m_tile in &picked {
-        let grid = a_tile_grid(layer, cfg, m_tile, lanes);
-        let s = schedule(&grid, eff, cfg.priority);
+        let s = if scratch.scope.is_some() {
+            let key = GridKey {
+                layer: scratch.layer_idx,
+                tile: m_tile as u32,
+                rotate: shuffle,
+                b_side: false,
+                core,
+            };
+            let grid = scratch.grids.entry(key).or_insert_with(|| {
+                let mut g = OpGrid::default();
+                let view = ATileView::new(&layer.a, core, m_tile * core.m0);
+                build_a_grid(&mut g, &view, lanes);
+                g
+            });
+            schedule_with(grid, eff, cfg.priority, &mut scratch.sched)
+        } else {
+            let view = ATileView::new(&layer.a, core, m_tile * core.m0);
+            build_a_grid(&mut scratch.grid, &view, lanes);
+            schedule_with(&scratch.grid, eff, cfg.priority, &mut scratch.sched)
+        };
         acc.add(s, scale * tiles.nt as f64);
     }
-    acc.ops *= cfg.core.n0 as f64;
+    acc.ops *= core.n0 as f64;
     acc
 }
 

@@ -22,6 +22,7 @@ use griffin_tensor::mask::SparsityMask;
 use crate::config::{Fidelity, SimConfig};
 use crate::layer::GemmLayer;
 use crate::sampling::sample_indices;
+use crate::scratch::SimScratch;
 use crate::single::ScheduleAccum;
 
 /// Structural parameters of the SparTen model.
@@ -92,6 +93,26 @@ pub fn simulate_sparten(
     params: SpartenParams,
     cfg: &SimConfig,
 ) -> ScheduleAccum {
+    simulate_sparten_with(
+        layer,
+        a_sparse,
+        b_sparse,
+        params,
+        cfg,
+        &mut SimScratch::new(),
+    )
+}
+
+/// [`simulate_sparten`] with caller-provided scratch for the per-chunk
+/// and per-wave accumulators.
+pub fn simulate_sparten_with(
+    layer: &GemmLayer,
+    a_sparse: bool,
+    b_sparse: bool,
+    params: SpartenParams,
+    cfg: &SimConfig,
+    scratch: &mut SimScratch,
+) -> ScheduleAccum {
     let (m, k, n) = (layer.shape.m, layer.shape.k, layer.shape.n);
 
     // Sample output rows for tractability on big layers; columns are
@@ -118,9 +139,15 @@ pub fn simulate_sparten(
     // paper measures 3.9x for SparTen.B at ~81-89% weight sparsity).
     const BARRIER_RELAXATION: f64 = 0.5;
     let chunks_n = k.div_ceil(params.buffer_depth);
-    let mut pairs = vec![0u64; chunks_n];
-    let mut wave_sum = vec![0u64; chunks_n];
-    let mut wave_max = vec![0u64; chunks_n];
+    scratch.chunk_pairs.clear();
+    scratch.chunk_pairs.resize(chunks_n, 0);
+    scratch.wave_sum.clear();
+    scratch.wave_sum.resize(chunks_n, 0);
+    scratch.wave_max.clear();
+    scratch.wave_max.resize(chunks_n, 0);
+    let pairs = &mut scratch.chunk_pairs;
+    let wave_sum = &mut scratch.wave_sum;
+    let wave_max = &mut scratch.wave_max;
     let mut wave_count = 0usize;
     let mut ops = 0f64;
     let mut cycles = 0f64;
@@ -159,7 +186,7 @@ pub fn simulate_sparten(
                 params.buffer_depth,
                 a_sparse,
                 b_sparse,
-                &mut pairs,
+                pairs,
             );
             ops += total as f64;
             for c in 0..chunks_n {
@@ -169,8 +196,8 @@ pub fn simulate_sparten(
             wave_count += 1;
             if wave_count == params.macs {
                 flush(
-                    &mut wave_sum,
-                    &mut wave_max,
+                    wave_sum,
+                    wave_max,
                     &mut wave_count,
                     &mut cycles,
                     &mut starved,
@@ -179,8 +206,8 @@ pub fn simulate_sparten(
         }
     }
     flush(
-        &mut wave_sum,
-        &mut wave_max,
+        wave_sum,
+        wave_max,
         &mut wave_count,
         &mut cycles,
         &mut starved,

@@ -194,6 +194,141 @@ impl ResultCache {
     }
 }
 
+/// Summary of an on-disk cache directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DiskCacheInfo {
+    /// Number of result entries (`<fingerprint>.json` files).
+    pub entries: u64,
+    /// Total bytes of those entries.
+    pub total_bytes: u64,
+    /// Leftover temp files from interrupted writers.
+    pub stale_tmp: u64,
+}
+
+/// Outcome of a [`prune_dir`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PruneReport {
+    /// Entries evicted (oldest first).
+    pub evicted: u64,
+    /// Bytes reclaimed from evicted entries.
+    pub freed_bytes: u64,
+    /// Stale temp files removed.
+    pub tmp_removed: u64,
+    /// Entries and bytes remaining after the pass.
+    pub kept: DiskCacheInfo,
+}
+
+/// Is this directory entry a cache result file?
+fn is_entry(path: &Path) -> bool {
+    path.extension().is_some_and(|e| e == "json")
+}
+
+/// How old a writer temp file must be before maintenance treats it as
+/// abandoned. Atomic writes live for milliseconds; an hour leaves no
+/// room for racing an in-flight campaign's rename.
+const STALE_TMP_AGE: std::time::Duration = std::time::Duration::from_secs(3600);
+
+/// Is this an *abandoned* temp file from an interrupted atomic write?
+/// (Writers use `<fingerprint>.tmp.<pid>.<seq>`, see [`write_entry`].)
+/// Fresh temp files — a concurrent campaign about to rename — never
+/// match: a file with an unreadable or recent mtime is left alone.
+fn is_stale_tmp(path: &Path) -> bool {
+    let named_tmp = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .is_some_and(|n| n.contains(".tmp."));
+    named_tmp
+        && std::fs::metadata(path)
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|mtime| std::time::SystemTime::now().duration_since(mtime).ok())
+            .is_some_and(|age| age >= STALE_TMP_AGE)
+}
+
+/// Scans a cache directory and reports entry count and size. Files that
+/// vanish mid-scan (a concurrent pruner or writer rename) are skipped,
+/// not errors.
+///
+/// # Errors
+///
+/// Returns the underlying error if the directory cannot be read.
+pub fn disk_stats(dir: impl AsRef<Path>) -> io::Result<DiskCacheInfo> {
+    let mut info = DiskCacheInfo::default();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if is_entry(&path) {
+            let Ok(meta) = entry.metadata() else {
+                continue; // vanished between read_dir and stat
+            };
+            info.entries += 1;
+            info.total_bytes += meta.len();
+        } else if is_stale_tmp(&path) {
+            info.stale_tmp += 1;
+        }
+    }
+    Ok(info)
+}
+
+/// Prunes a cache directory down to at most `max_bytes` of entries,
+/// evicting in **age order** (oldest modification time first — the
+/// entries least likely to be re-queried by ongoing campaigns), and
+/// removes stale temp files. A `max_bytes` of 0 clears every entry.
+///
+/// Eviction is best-effort per file: an entry that disappears
+/// concurrently (another pruner, a cache writer's rename) is skipped,
+/// not an error.
+///
+/// # Errors
+///
+/// Returns the underlying error if the directory cannot be read.
+pub fn prune_dir(dir: impl AsRef<Path>, max_bytes: u64) -> io::Result<PruneReport> {
+    let mut report = PruneReport::default();
+    let mut entries: Vec<(PathBuf, u64, std::time::SystemTime)> = Vec::new();
+    for entry in std::fs::read_dir(&dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if is_stale_tmp(&path) {
+            if std::fs::remove_file(&path).is_ok() {
+                report.tmp_removed += 1;
+            }
+            continue;
+        }
+        if !is_entry(&path) {
+            continue;
+        }
+        let Ok(meta) = entry.metadata() else {
+            continue; // vanished between read_dir and stat
+        };
+        let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+        entries.push((path, meta.len(), mtime));
+    }
+    // Oldest first; ties broken by path for determinism.
+    entries.sort_by(|a, b| a.2.cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
+
+    // Bytes still on disk only shrink when a removal actually succeeds,
+    // so a failed eviction (permissions, races) keeps the loop working
+    // down the age list instead of declaring the budget met.
+    let mut total: u64 = entries.iter().map(|e| e.1).sum();
+    let mut evict = entries.iter();
+    while total > max_bytes {
+        let Some((path, len, _)) = evict.next() else {
+            break;
+        };
+        if std::fs::remove_file(path).is_ok() {
+            report.evicted += 1;
+            report.freed_bytes += len;
+            total -= len;
+        }
+    }
+    report.kept = DiskCacheInfo {
+        entries: entries.len() as u64 - report.evicted,
+        total_bytes: total,
+        stale_tmp: 0,
+    };
+    Ok(report)
+}
+
 fn read_entry(path: &Path) -> Option<CellMetrics> {
     let text = std::fs::read_to_string(path).ok()?;
     let v = Json::parse(&text).ok()?;
@@ -286,6 +421,68 @@ mod tests {
         // Promoted to memory: second lookup no longer counts disk.
         c2.lookup(Fingerprint(7, 9));
         assert_eq!(c2.stats().disk_hits, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stats_and_age_ordered_prune() {
+        let dir = std::env::temp_dir().join(format!(
+            "griffin-sweep-prune-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let c = ResultCache::at_dir(&dir).unwrap();
+        for i in 0..4u64 {
+            c.insert(Fingerprint(i, i), metrics(1.0 + i as f64));
+            // Distinct mtimes so age ordering is deterministic.
+            let path = dir.join(format!("{}.json", Fingerprint(i, i)));
+            let t = std::time::SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(1000 + i);
+            let f = std::fs::File::open(&path).unwrap();
+            f.set_modified(t).unwrap();
+        }
+        // One abandoned temp file (old mtime) and one in-flight temp
+        // file (fresh): only the former is maintenance's business.
+        let stale = dir.join("junk.tmp.99.0");
+        std::fs::write(&stale, "partial").unwrap();
+        std::fs::File::open(&stale)
+            .unwrap()
+            .set_modified(std::time::SystemTime::UNIX_EPOCH)
+            .unwrap();
+        std::fs::write(dir.join("live.tmp.99.1"), "in flight").unwrap();
+
+        let info = disk_stats(&dir).unwrap();
+        assert_eq!(info.entries, 4);
+        assert_eq!(info.stale_tmp, 1, "fresh temp files are not stale");
+        // Entries serialize to slightly different sizes; budget exactly
+        // for the two newest so precisely the two oldest must go.
+        let budget: u64 = (2..4u64)
+            .map(|i| {
+                std::fs::metadata(dir.join(format!("{}.json", Fingerprint(i, i))))
+                    .unwrap()
+                    .len()
+            })
+            .sum();
+
+        // The two oldest entries go, and the stale temp file too; the
+        // in-flight temp file survives.
+        let r = prune_dir(&dir, budget).unwrap();
+        assert_eq!(r.evicted, 2);
+        assert_eq!(r.tmp_removed, 1);
+        assert_eq!(r.kept.entries, 2);
+        assert!(r.kept.total_bytes <= budget);
+        assert!(dir.join("live.tmp.99.1").exists());
+        for i in 0..2u64 {
+            assert!(!dir.join(format!("{}.json", Fingerprint(i, i))).exists());
+        }
+        for i in 2..4u64 {
+            assert!(dir.join(format!("{}.json", Fingerprint(i, i))).exists());
+        }
+
+        // max_bytes 0 clears everything.
+        let r = prune_dir(&dir, 0).unwrap();
+        assert_eq!(r.evicted, 2);
+        assert_eq!(disk_stats(&dir).unwrap(), DiskCacheInfo::default());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

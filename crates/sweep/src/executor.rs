@@ -20,6 +20,7 @@ use std::time::Instant;
 
 use griffin_core::accelerator::{Accelerator, Workload};
 use griffin_core::category::DnnCategory;
+use griffin_sim::scratch::SimScratch;
 
 use crate::cache::{CacheStats, CellMetrics, ResultCache};
 use crate::fingerprint::{Fingerprint, Hasher};
@@ -184,30 +185,41 @@ pub fn run_campaign(
         let built = built.into_inner().expect("build lock");
 
         // Phase 3: simulate the missing cells, any worker, any order.
+        // Each worker keeps one `SimScratch` for its whole run, so the
+        // per-tile scheduler loop allocates nothing at steady state.
         let done: Mutex<Vec<(usize, CellMetrics)>> = Mutex::new(Vec::with_capacity(missing.len()));
         let next_cell = AtomicUsize::new(0);
         std::thread::scope(|s| {
             for _ in 0..workers {
-                s.spawn(|| loop {
-                    let j = next_cell.fetch_add(1, Ordering::Relaxed);
-                    if j >= missing.len() {
-                        break;
+                s.spawn(|| {
+                    let mut scratch = SimScratch::new();
+                    loop {
+                        let j = next_cell.fetch_add(1, Ordering::Relaxed);
+                        if j >= missing.len() {
+                            break;
+                        }
+                        let i = missing[j];
+                        let cell = &cells[i];
+                        let key = workload_key(cell);
+                        let wl = Arc::clone(&built[&key]);
+                        // Consecutive cells sweep architectures over one
+                        // workload; scoping the scratch to the workload
+                        // fingerprint shares every tile grid across them.
+                        scratch.begin_reuse_scope((u128::from(key.0) << 64) | u128::from(key.1));
+                        let report = Accelerator::new(cell.arch.clone(), spec.sim)
+                            .run_with(&wl, &mut scratch);
+                        let m = CellMetrics {
+                            speedup: report.speedup,
+                            cycles: report.network.cycles(),
+                            dense_cycles: report.network.dense_cycles(),
+                            power_mw: report.cost.power_mw(),
+                            area_mm2: report.cost.area_mm2(),
+                            tops_per_w: report.effective_tops_per_w,
+                            tops_per_mm2: report.effective_tops_per_mm2,
+                        };
+                        cache.insert(fingerprints[i], m);
+                        done.lock().expect("done lock").push((i, m));
                     }
-                    let i = missing[j];
-                    let cell = &cells[i];
-                    let wl = Arc::clone(&built[&workload_key(cell)]);
-                    let report = Accelerator::new(cell.arch.clone(), spec.sim).run(&wl);
-                    let m = CellMetrics {
-                        speedup: report.speedup,
-                        cycles: report.network.cycles(),
-                        dense_cycles: report.network.dense_cycles(),
-                        power_mw: report.cost.power_mw(),
-                        area_mm2: report.cost.area_mm2(),
-                        tops_per_w: report.effective_tops_per_w,
-                        tops_per_mm2: report.effective_tops_per_mm2,
-                    };
-                    cache.insert(fingerprints[i], m);
-                    done.lock().expect("done lock").push((i, m));
                 });
             }
         });

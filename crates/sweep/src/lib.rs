@@ -54,7 +54,9 @@ pub mod report;
 pub mod spec;
 
 pub use aggregate::{pareto_designs, per_arch, summarize, ArchAggregate, Summary};
-pub use cache::{CacheStats, CellMetrics, ResultCache};
+pub use cache::{
+    disk_stats, prune_dir, CacheStats, CellMetrics, DiskCacheInfo, PruneReport, ResultCache,
+};
 pub use executor::{default_workers, run_campaign, CampaignReport, CellRecord, SweepError};
 pub use fingerprint::Fingerprint;
 pub use spec::{ArchFamily, Cell, SweepSpec, WorkloadSpec};

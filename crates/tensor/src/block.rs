@@ -88,6 +88,23 @@ impl<'a> ATileView<'a> {
             t_steps,
         }
     }
+
+    /// The underlying sparsity mask, for word-level consumers that walk
+    /// the packed bit rows directly (see
+    /// [`SparsityMask::for_each_set_in_row`]).
+    pub fn mask(&self) -> &'a SparsityMask {
+        self.mask
+    }
+
+    /// Core dimensions of the blocked view.
+    pub fn core(&self) -> CoreDims {
+        self.core
+    }
+
+    /// First matrix row covered by this tile.
+    pub fn m_base(&self) -> usize {
+        self.m_base
+    }
 }
 
 impl TileView for ATileView<'_> {
@@ -136,6 +153,23 @@ impl<'a> BTileView<'a> {
             n_base,
             t_steps,
         }
+    }
+
+    /// The underlying sparsity mask, for word-level consumers that walk
+    /// the packed bit rows directly (see
+    /// [`SparsityMask::for_each_set_in_row`]).
+    pub fn mask(&self) -> &'a SparsityMask {
+        self.mask
+    }
+
+    /// Core dimensions of the blocked view.
+    pub fn core(&self) -> CoreDims {
+        self.core
+    }
+
+    /// First matrix column covered by this tile.
+    pub fn n_base(&self) -> usize {
+        self.n_base
     }
 }
 

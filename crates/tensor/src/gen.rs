@@ -63,13 +63,28 @@ impl TensorGen {
     /// An i.i.d. Bernoulli mask with the given nonzero probability.
     pub fn bernoulli_mask(&mut self, rows: usize, cols: usize, density: f64) -> SparsityMask {
         let p = Self::clamp_density(density);
+        // `gen_bool` consumes no randomness at p = 1.0 (it
+        // short-circuits), so the dense case can skip the element loop
+        // without perturbing the RNG stream — workload builders draw
+        // many fully-dense operand masks.
+        if p >= 1.0 {
+            return SparsityMask::ones(rows, cols);
+        }
         let mut m = SparsityMask::zeros(rows, cols);
-        for r in 0..rows {
-            for c in 0..cols {
+        // Row-major element order is plain linear bit order; accumulate
+        // whole words locally instead of read-modify-writing per bit.
+        // Draw order is identical to the per-element loop.
+        let total = rows * cols;
+        let words = m.bits_mut();
+        for (wi, word) in words.iter_mut().enumerate() {
+            let bits_here = 64.min(total - wi * 64);
+            let mut w = 0u64;
+            for b in 0..bits_here {
                 if self.rng.gen_bool(p) {
-                    m.set(r, c, true);
+                    w |= 1u64 << b;
                 }
             }
+            *word = w;
         }
         m
     }

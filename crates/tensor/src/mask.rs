@@ -61,6 +61,13 @@ impl SparsityMask {
         m
     }
 
+    /// Mutable access to the packed words for bulk in-crate builders
+    /// (row-major bit order, trailing bits of the last word unused and
+    /// kept zero by construction).
+    pub(crate) fn bits_mut(&mut self) -> &mut [u64] {
+        &mut self.bits
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows
@@ -153,10 +160,91 @@ impl SparsityMask {
             .map(move |i| (i / cols, i % cols))
     }
 
+    /// Calls `f(col)` for every set bit of `row` with
+    /// `col_start <= col < col_end`, walking the packed words directly
+    /// (trailing-zeros iteration) instead of testing every coordinate.
+    ///
+    /// This is the word-level primitive the scheduler's op-grid builders
+    /// are made of: a whole 64-element span of zeros costs one word
+    /// load. Out-of-range rows produce no calls and `col_end` is clipped
+    /// to the mask width — the same zero-padding semantics as [`get`].
+    ///
+    /// [`get`]: SparsityMask::get
+    #[inline]
+    pub fn for_each_set_in_row<F: FnMut(usize)>(
+        &self,
+        row: usize,
+        col_start: usize,
+        col_end: usize,
+        mut f: F,
+    ) {
+        if row >= self.rows {
+            return;
+        }
+        let end = col_end.min(self.cols);
+        if col_start >= end {
+            return;
+        }
+        let base = row * self.cols;
+        let lo = base + col_start; // first bit, inclusive
+        let hi = base + end; // last bit, exclusive
+        let first_word = lo / 64;
+        let last_word = (hi - 1) / 64;
+        for wi in first_word..=last_word {
+            let mut w = self.bits[wi];
+            if wi == first_word {
+                w &= !0u64 << (lo % 64);
+            }
+            if wi == last_word && !hi.is_multiple_of(64) {
+                w &= (1u64 << (hi % 64)) - 1;
+            }
+            while w != 0 {
+                f(wi * 64 + w.trailing_zeros() as usize - base);
+                w &= w - 1;
+            }
+        }
+    }
+
+    /// Returns up to 64 consecutive bits of one row as a word: bit `i`
+    /// of the result is the mask at `(row, col_start + i)` for
+    /// `i < width`. Out-of-range positions read as zero (padding), so a
+    /// tile edge simply truncates the span.
+    ///
+    /// This is the fastest bulk read the mask offers — one or two word
+    /// loads — and what the op-grid builders use for the narrow spatial
+    /// spans of B tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `width > 64`.
+    #[inline]
+    pub fn span_bits(&self, row: usize, col_start: usize, width: usize) -> u64 {
+        debug_assert!(width <= 64, "span width {width} exceeds one word");
+        if row >= self.rows || col_start >= self.cols {
+            return 0;
+        }
+        let w = width.min(self.cols - col_start);
+        let lo = row * self.cols + col_start;
+        let wi = lo / 64;
+        let sh = lo % 64;
+        let mut v = self.bits[wi] >> sh;
+        if sh != 0 && wi + 1 < self.bits.len() {
+            v |= self.bits[wi + 1] << (64 - sh);
+        }
+        if w < 64 {
+            v &= (1u64 << w) - 1;
+        }
+        v
+    }
+
     /// Per-row nonzero counts (useful for load-imbalance diagnostics).
     pub fn row_nnz(&self) -> Vec<usize> {
         (0..self.rows)
-            .map(|r| (0..self.cols).filter(|&c| self.get(r, c)).count())
+            .map(|r| {
+                let mut n = 0;
+                self.for_each_set_in_row(r, 0, self.cols, |_| n += 1);
+                n
+            })
             .collect()
     }
 }
@@ -219,6 +307,56 @@ mod tests {
     fn row_nnz_counts() {
         let m = SparsityMask::from_fn(3, 4, |r, c| c < r);
         assert_eq!(m.row_nnz(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn word_iteration_matches_per_element_reads() {
+        // Shapes chosen so rows start at every word phase: 3, 64, 67 and
+        // 130 columns exercise sub-word, exact-word and multi-word rows.
+        for cols in [3usize, 64, 67, 130] {
+            let m = SparsityMask::from_fn(5, cols, |r, c| (r * 31 + c * 7) % 3 == 0);
+            for r in 0..5 {
+                for (start, end) in [(0, cols), (1, cols - 1), (cols / 2, cols), (2, 2)] {
+                    let mut got = Vec::new();
+                    m.for_each_set_in_row(r, start, end, |c| got.push(c));
+                    let want: Vec<usize> =
+                        (start..end.min(cols)).filter(|&c| m.get(r, c)).collect();
+                    assert_eq!(got, want, "cols={cols} r={r} range={start}..{end}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn span_bits_matches_per_element_reads() {
+        for cols in [3usize, 64, 67, 130] {
+            let m = SparsityMask::from_fn(4, cols, |r, c| (r * 13 + c * 5) % 3 == 0);
+            for r in 0..4 {
+                for start in [0, 1, cols / 2, cols - 1, cols + 5] {
+                    for width in [1usize, 16, 63, 64] {
+                        let got = m.span_bits(r, start, width);
+                        let mut want = 0u64;
+                        for i in 0..width {
+                            if m.get(r, start + i) {
+                                want |= 1 << i;
+                            }
+                        }
+                        assert_eq!(got, want, "cols={cols} r={r} start={start} width={width}");
+                    }
+                }
+            }
+        }
+        assert_eq!(SparsityMask::ones(2, 8).span_bits(5, 0, 8), 0);
+    }
+
+    #[test]
+    fn word_iteration_pads_out_of_range() {
+        let m = SparsityMask::ones(2, 8);
+        let mut calls = 0;
+        m.for_each_set_in_row(2, 0, 8, |_| calls += 1); // row out of range
+        assert_eq!(calls, 0);
+        m.for_each_set_in_row(0, 6, 100, |_| calls += 1); // end clipped
+        assert_eq!(calls, 2);
     }
 
     #[test]

@@ -7,6 +7,9 @@
 //! $ griffin-cli layer 196 1152 256 0.57 0.19 # ad-hoc layer on the star designs
 //! $ griffin-cli sweep bert b --workers 8 --cache .sweep-cache --csv out.csv
 //! $ griffin-cli pareto resnet50 b            # §VI Pareto front of a family
+//! $ griffin-cli bench --out BENCH_sched.json # scheduler perf telemetry
+//! $ griffin-cli cache stats .sweep-cache     # on-disk result cache usage
+//! $ griffin-cli cache prune .sweep-cache --max-bytes 64m
 //! ```
 //!
 //! Argument parsing is deliberately dependency-free (no clap): fixed
@@ -22,11 +25,20 @@ use griffin::core::category::DnnCategory;
 use griffin::sim::config::{Fidelity, SimConfig};
 use griffin::sweep::report::{to_csv, to_json, write_file};
 use griffin::sweep::{
-    default_workers, pareto_designs, per_arch, run_campaign, summarize, ArchFamily, ResultCache,
-    SweepSpec,
+    default_workers, disk_stats, pareto_designs, per_arch, prune_dir, run_campaign, summarize,
+    ArchFamily, ResultCache, SweepSpec,
 };
 use griffin::workloads::suite::{build_workload, Benchmark};
 use griffin::workloads::synth::synthetic_layer;
+
+#[path = "griffin-cli/bench.rs"]
+mod bench;
+
+/// Count every allocation so `griffin-cli bench` can report the
+/// scheduler's steady-state allocation behaviour (see
+/// [`griffin::telemetry`]).
+#[global_allocator]
+static ALLOC: griffin::telemetry::CountingAlloc = griffin::telemetry::CountingAlloc;
 
 fn parse_benchmark(s: &str) -> Option<Benchmark> {
     match s.to_ascii_lowercase().as_str() {
@@ -78,6 +90,9 @@ fn usage() -> ExitCode {
     eprintln!("  griffin-cli layer <M> <K> <N> <a_density> <b_density>");
     eprintln!("  griffin-cli sweep <benchmark|synth> <category> [sweep options]");
     eprintln!("  griffin-cli pareto <benchmark|synth> <family> [sweep options]");
+    eprintln!("  griffin-cli bench [--quick] [--out PATH]     (default BENCH_sched.json)");
+    eprintln!("  griffin-cli cache stats <DIR>");
+    eprintln!("  griffin-cli cache prune <DIR> --max-bytes N[k|m|g]");
     eprintln!();
     eprintln!("  benchmarks: alexnet googlenet resnet50 inceptionv3 mobilenetv2 bert");
     eprintln!("  categories: dense a b ab");
@@ -475,6 +490,95 @@ fn cmd_layer(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_bench(rest: &[String]) -> ExitCode {
+    let Some(opts) = bench::parse_bench_args(rest) else {
+        return usage();
+    };
+    match bench::run_bench(&opts) {
+        Ok(json) => {
+            if let Err(e) = write_file(&opts.out, &json.write()) {
+                eprintln!("cannot write {}: {e}", opts.out);
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {}", opts.out);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bench failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses a byte budget with optional `k`/`m`/`g` suffix (powers of
+/// 1024).
+fn parse_bytes(s: &str) -> Option<u64> {
+    let lower = s.to_ascii_lowercase();
+    let (digits, mult) = match lower.strip_suffix(['k', 'm', 'g']) {
+        Some(d) => (
+            d,
+            match lower.as_bytes()[lower.len() - 1] {
+                b'k' => 1024u64,
+                b'm' => 1024 * 1024,
+                _ => 1024 * 1024 * 1024,
+            },
+        ),
+        None => (lower.as_str(), 1),
+    };
+    digits.parse::<u64>().ok()?.checked_mul(mult)
+}
+
+fn cmd_cache(rest: &[String]) -> ExitCode {
+    match rest {
+        [action, dir] if action == "stats" => match disk_stats(dir) {
+            Ok(info) => {
+                println!("cache {dir}:");
+                println!("  {:>10} entries", info.entries);
+                println!(
+                    "  {:>10} bytes ({:.2} MiB)",
+                    info.total_bytes,
+                    info.total_bytes as f64 / (1024.0 * 1024.0)
+                );
+                if info.stale_tmp > 0 {
+                    println!(
+                        "  {:>10} stale temp files (run `cache prune` to clean)",
+                        info.stale_tmp
+                    );
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("cannot read cache directory {dir}: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        [action, dir, flag, value] if action == "prune" && flag == "--max-bytes" => {
+            let Some(max) = parse_bytes(value) else {
+                eprintln!("invalid --max-bytes value: {value}");
+                return usage();
+            };
+            match prune_dir(dir, max) {
+                Ok(r) => {
+                    println!(
+                        "pruned {dir}: evicted {} entries ({} bytes), removed {} stale temp files",
+                        r.evicted, r.freed_bytes, r.tmp_removed
+                    );
+                    println!(
+                        "kept {} entries, {} bytes (budget {max})",
+                        r.kept.entries, r.kept.total_bytes
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("cannot prune cache directory {dir}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -484,6 +588,8 @@ fn main() -> ExitCode {
         Some("layer") => cmd_layer(&args[1..]),
         Some("sweep") if args.len() >= 3 => cmd_sweep(&args[1], &args[2], &args[3..]),
         Some("pareto") if args.len() >= 3 => cmd_pareto(&args[1], &args[2], &args[3..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("cache") => cmd_cache(&args[1..]),
         _ => usage(),
     }
 }

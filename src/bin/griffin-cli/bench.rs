@@ -1,0 +1,236 @@
+//! `griffin-cli bench` — machine-readable scheduler performance
+//! telemetry (`BENCH_sched.json`).
+//!
+//! Three probes, designed to track the perf trajectory of the
+//! event-driven scheduler core across PRs:
+//!
+//! * **micro** — representative tile grids (the `Sparse.B*` routing, a
+//!   wide lane-reach window, a narrow window, a dense tile) scheduled
+//!   by the event-driven core and by the retained naive reference,
+//!   reporting ns/call, ns/op and the event/reference speedup;
+//! * **alloc** — allocations per tile in the steady state (grid rebuild
+//!   plus schedule with a reused scratch), counted by the process-wide
+//!   [`griffin::telemetry::CountingAlloc`] — the zero-alloc contract,
+//!   measured rather than asserted;
+//! * **campaign** — a small synthetic sweep through the full campaign
+//!   engine, reporting cells/second.
+
+use std::time::Instant;
+
+use griffin::core::category::DnnCategory;
+use griffin::sim::config::{Fidelity, Priority, SimConfig};
+use griffin::sim::engine::{reference, schedule_with, OpGrid, SchedScratch};
+use griffin::sim::grid::build_b_grid;
+use griffin::sim::shuffle::LaneMap;
+use griffin::sim::window::{BorrowWindow, EffectiveWindow};
+use griffin::sweep::json::Json;
+use griffin::sweep::{run_campaign, ResultCache, SweepSpec};
+use griffin::telemetry::count_allocations;
+use griffin::tensor::block::BTileView;
+use griffin::tensor::gen::TensorGen;
+use griffin::tensor::shape::CoreDims;
+
+/// Options of the `bench` subcommand.
+pub struct BenchArgs {
+    /// Output path for the JSON report.
+    pub out: String,
+    /// Reduced iteration counts for CI smoke runs.
+    pub quick: bool,
+}
+
+pub fn parse_bench_args(args: &[String]) -> Option<BenchArgs> {
+    let mut out = BenchArgs {
+        out: "BENCH_sched.json".into(),
+        quick: false,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => out.out = it.next()?.clone(),
+            "--quick" => out.quick = true,
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+struct MicroCase {
+    name: &'static str,
+    win: EffectiveWindow,
+}
+
+fn tile_grid(t_rows: usize, density: f64, seed: u64) -> OpGrid {
+    let core = CoreDims::PAPER;
+    let mask = TensorGen::seeded(seed).bernoulli_mask(t_rows * core.k0, core.n0, density);
+    let view = BTileView::new(&mask, core, 0);
+    let mut grid = OpGrid::default();
+    let mut span = Vec::new();
+    build_b_grid(&mut grid, &mut span, &view, LaneMap::Rotate);
+    grid
+}
+
+fn time_per_call(mut f: impl FnMut(), iters: usize) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e9 / iters as f64
+}
+
+pub fn run_bench(args: &BenchArgs) -> Result<Json, String> {
+    let iters = if args.quick { 40 } else { 400 };
+    let t_rows = if args.quick { 24 } else { 96 };
+    println!(
+        "bench: {} iterations/case on {}-row tiles{}",
+        iters,
+        t_rows,
+        if args.quick { " (--quick)" } else { "" }
+    );
+
+    // --- micro: event core vs retained reference -----------------------
+    let grid = tile_grid(t_rows, 0.19, 1);
+    let dense = tile_grid(t_rows, 1.0, 2);
+    let cases = [
+        MicroCase {
+            name: "sparse_b_star", // the paper's Sparse.B*(4,0,1)
+            win: EffectiveWindow::for_b(BorrowWindow::new(4, 0, 1)),
+        },
+        MicroCase {
+            name: "lane_reach", // contended arbitration, 9-tap tables
+            win: EffectiveWindow::for_b(BorrowWindow::new(2, 2, 2)),
+        },
+        MicroCase {
+            name: "narrow_window", // no reach: the specialized own-only loop
+            win: EffectiveWindow::for_b(BorrowWindow::new(1, 0, 0)),
+        },
+    ];
+
+    let mut scratch = SchedScratch::new();
+    let mut micro = Vec::new();
+    let mut push_case = |name: &str,
+                         g: &OpGrid,
+                         win: EffectiveWindow,
+                         scratch: &mut SchedScratch| {
+        let event_ns = time_per_call(
+            || {
+                schedule_with(g, win, Priority::OwnFirst, scratch);
+            },
+            iters,
+        );
+        let ref_ns = time_per_call(
+            || {
+                reference::schedule(g, win, Priority::OwnFirst);
+            },
+            iters,
+        );
+        let ops = g.total_ops() as f64;
+        println!(
+            "  {name:<16} event {event_ns:>10.0} ns/tile  ref {ref_ns:>10.0} ns/tile  ({:.2}x, {:.2} ns/op)",
+            ref_ns / event_ns,
+            event_ns / ops
+        );
+        micro.push(Json::obj([
+            ("name".into(), Json::Str(name.into())),
+            ("ops_per_tile".into(), Json::from_f64(ops)),
+            ("event_ns_per_tile".into(), Json::from_f64(event_ns)),
+            ("reference_ns_per_tile".into(), Json::from_f64(ref_ns)),
+            ("event_ns_per_op".into(), Json::from_f64(event_ns / ops)),
+            (
+                "speedup_vs_reference".into(),
+                Json::from_f64(ref_ns / event_ns),
+            ),
+        ]));
+    };
+    for case in &cases {
+        push_case(case.name, &grid, case.win, &mut scratch);
+    }
+    push_case("dense_tile", &dense, EffectiveWindow::dense(), &mut scratch);
+
+    // --- alloc: the zero-alloc steady-state contract -------------------
+    let core = CoreDims::PAPER;
+    let mask = TensorGen::seeded(3).bernoulli_mask(t_rows * core.k0, core.n0, 0.19);
+    let view = BTileView::new(&mask, core, 0);
+    let mut g = OpGrid::default();
+    let mut span = Vec::new();
+    let win = EffectiveWindow::for_b(BorrowWindow::new(4, 0, 1));
+    // Warm up every buffer, then count a steady-state tile loop.
+    for _ in 0..3 {
+        build_b_grid(&mut g, &mut span, &view, LaneMap::Rotate);
+        schedule_with(&g, win, Priority::OwnFirst, &mut scratch);
+    }
+    let tiles = iters.max(100);
+    let (_, allocs, bytes) = count_allocations(|| {
+        for _ in 0..tiles {
+            build_b_grid(&mut g, &mut span, &view, LaneMap::Rotate);
+            schedule_with(&g, win, Priority::OwnFirst, &mut scratch);
+        }
+    });
+    let allocs_per_tile = allocs as f64 / tiles as f64;
+    println!(
+        "  steady state: {allocs_per_tile:.3} allocations/tile ({} allocs, {} bytes over {} tiles)",
+        allocs, bytes, tiles
+    );
+
+    // --- campaign: cells/second through the sweep engine ---------------
+    let layers = if args.quick { 2 } else { 4 };
+    let spec = SweepSpec::new("bench")
+        .synthetic("bench-synth", layers)
+        .category(DnnCategory::B)
+        .family(ArchFamilyB { quick: args.quick }.family())
+        .seeds([1])
+        .sim(SimConfig {
+            fidelity: Fidelity::Sampled { tiles: 4, seed: 1 },
+            ..SimConfig::default()
+        });
+    let cache = ResultCache::in_memory();
+    let report = run_campaign(&spec, &cache, 1).map_err(|e| e.to_string())?;
+    let secs = (report.elapsed_ms as f64 / 1e3).max(1e-9);
+    let cells_per_sec = report.cells.len() as f64 / secs;
+    println!(
+        "  campaign: {} cells in {} ms ({cells_per_sec:.1} cells/s, 1 worker)",
+        report.cells.len(),
+        report.elapsed_ms
+    );
+
+    Ok(Json::obj([
+        ("schema".into(), Json::Str("griffin-bench-sched/1".into())),
+        ("quick".into(), Json::Bool(args.quick)),
+        ("iters".into(), Json::from_f64(iters as f64)),
+        ("micro".into(), Json::Arr(micro)),
+        (
+            "alloc".into(),
+            Json::obj([
+                ("tiles".into(), Json::from_f64(tiles as f64)),
+                ("allocs_per_tile".into(), Json::from_f64(allocs_per_tile)),
+                (
+                    "bytes_per_tile".into(),
+                    Json::from_f64(bytes as f64 / tiles as f64),
+                ),
+            ]),
+        ),
+        (
+            "campaign".into(),
+            Json::obj([
+                ("cells".into(), Json::from_f64(report.cells.len() as f64)),
+                (
+                    "elapsed_ms".into(),
+                    Json::from_f64(report.elapsed_ms as f64),
+                ),
+                ("cells_per_sec".into(), Json::from_f64(cells_per_sec)),
+            ]),
+        ),
+    ]))
+}
+
+/// Small helper so quick mode sweeps a smaller family.
+struct ArchFamilyB {
+    quick: bool,
+}
+
+impl ArchFamilyB {
+    fn family(&self) -> griffin::sweep::ArchFamily {
+        griffin::sweep::ArchFamily::SparseB {
+            max_fanin: if self.quick { 4 } else { 8 },
+        }
+    }
+}

@@ -33,6 +33,8 @@
 //! # }
 //! ```
 
+pub mod telemetry;
+
 pub use griffin_core as core;
 pub use griffin_sim as sim;
 pub use griffin_sweep as sweep;

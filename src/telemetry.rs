@@ -1,0 +1,64 @@
+//! Allocation telemetry for the benchmark harness.
+//!
+//! [`CountingAlloc`] wraps the system allocator and counts every
+//! allocation (and reallocation) with relaxed atomics, so
+//! `griffin-cli bench` can *prove* the zero-alloc steady-state contract
+//! of the scheduler scratch (`griffin_sim::scratch`) instead of
+//! asserting it rhetorically. The library only defines the type; a
+//! binary opts in with:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: griffin::telemetry::CountingAlloc = griffin::telemetry::CountingAlloc;
+//! ```
+//!
+//! Counting costs two relaxed atomic adds per allocation — negligible
+//! next to the allocation itself — and is a no-op for programs that do
+//! not install the allocator.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// System allocator wrapper that counts allocations and bytes.
+pub struct CountingAlloc;
+
+// SAFETY: defers entirely to `System`; the counters carry no allocator
+// state.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Snapshot of the counters: `(allocations, bytes_requested)` since
+/// process start. Zeros unless [`CountingAlloc`] is installed as the
+/// global allocator.
+pub fn allocation_counts() -> (u64, u64) {
+    (
+        ALLOCS.load(Ordering::Relaxed),
+        BYTES.load(Ordering::Relaxed),
+    )
+}
+
+/// Allocations and bytes requested while running `f`.
+pub fn count_allocations<T>(f: impl FnOnce() -> T) -> (T, u64, u64) {
+    let (a0, b0) = allocation_counts();
+    let out = f();
+    let (a1, b1) = allocation_counts();
+    (out, a1 - a0, b1 - b0)
+}

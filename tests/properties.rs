@@ -89,7 +89,7 @@ proptest! {
         let mut seen = std::collections::HashSet::new();
         for a in &assigns {
             prop_assert!(seen.insert((a.cycle, a.slot)), "slot double-booked: {a:?}");
-            prop_assert!(u64::from(a.cycle) < s.cycles);
+            prop_assert!(a.cycle < s.cycles);
             // Displacement limits: lane and col within the window reach.
             let dl = a.src.0 as isize - a.slot.0 as isize;
             let dc = a.src.2 as isize - a.slot.2 as isize;
