@@ -1,12 +1,17 @@
 //! Criterion micro-benchmarks of the hot path: the greedy borrowing
 //! scheduler ([`griffin_sim::engine::schedule`]), its zero-alloc
-//! scratch-reuse variant, and the retained naive reference.
+//! scratch-reuse variant, the retained naive reference, and the
+//! word-level A/B grid builders with their cached per-row spans.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use griffin_sim::config::Priority;
 use griffin_sim::engine::{reference, schedule, schedule_with, OpGrid, SchedScratch};
+use griffin_sim::grid::{build_a_grid, build_b_grid};
+use griffin_sim::shuffle::LaneMap;
 use griffin_sim::window::EffectiveWindow;
+use griffin_tensor::block::{ATileView, BTileView};
 use griffin_tensor::gen::TensorGen;
+use griffin_tensor::shape::CoreDims;
 
 fn sparse_b_grid(density: f64, seed: u64) -> OpGrid {
     let mask = TensorGen::seeded(seed).bernoulli_mask(16 * 72, 16, density);
@@ -76,5 +81,30 @@ fn bench_scheduler(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_scheduler);
+fn bench_grid_builders(c: &mut Criterion) {
+    let mut g = c.benchmark_group("grid_build");
+    let core = CoreDims::PAPER;
+
+    // The steady-state rebuild path campaign workers run: reused grid
+    // and span buffers, zero allocations per tile.
+    g.bench_function("b_tile_word_build", |bch| {
+        let mask = TensorGen::seeded(11).bernoulli_mask(72 * core.k0, core.n0, 0.19);
+        let view = BTileView::new(&mask, core, 0);
+        let mut grid = OpGrid::default();
+        let mut span = Vec::new();
+        bch.iter(|| build_b_grid(&mut grid, &mut span, &view, LaneMap::Rotate));
+    });
+
+    g.bench_function("a_tile_word_build", |bch| {
+        let mask = TensorGen::seeded(12).bernoulli_mask(core.m0, 72 * core.k0, 0.43);
+        let view = ATileView::new(&mask, core, 0);
+        let mut grid = OpGrid::default();
+        let mut span = Vec::new();
+        bch.iter(|| build_a_grid(&mut grid, &mut span, &view, LaneMap::Rotate));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_scheduler, bench_grid_builders);
 criterion_main!(benches);

@@ -1,0 +1,685 @@
+//! The fleet coordinator: drives a sharded campaign end to end.
+//!
+//! A fleet run owns one state directory:
+//!
+//! ```text
+//! <dir>/journal.jsonl   append-only resume journal (coordinator-owned)
+//! <dir>/shard-<i>/      per-shard result cache (one writer each)
+//! <dir>/merged/         fingerprint union of every shard cache
+//! ```
+//!
+//! Shards execute either **in-process** ([`run_fleet`], sequential
+//! shards over the executor's worker pool) or as **subprocesses**
+//! ([`run_fleet_spawned`], one `griffin-cli shard-worker` per shard,
+//! concurrent, JSONL events over stdout). Both modes stream the same
+//! event schema, append the same journal, and end the same way: shard
+//! caches are unioned with [`merge_dirs`] (conflicts abort), and the
+//! final report is assembled by replaying the whole grid against the
+//! merged cache — which is what makes fleet reports **byte-identical**
+//! to a single-process [`run_campaign`] of the same spec, regardless of
+//! shard count, scheduling order, interruption or resume history.
+
+use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use griffin_sweep::cache::{merge_dirs, ResultCache};
+use griffin_sweep::executor::{
+    default_workers, run_campaign, run_cells_bounded, CampaignReport, CellEvent, SweepError,
+};
+use griffin_sweep::fingerprint::Fingerprint;
+use griffin_sweep::spec::{Cell, SweepSpec};
+
+use crate::events::{Event, EventSink, JsonlSink};
+use crate::journal::{Journal, JournalError, JournalHeader};
+use crate::plan::{PlanError, ShardPlan};
+
+/// Configuration of a fleet campaign.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Shard count (≥ 1).
+    pub shards: usize,
+    /// Simulation worker threads (per shard run, and for the final
+    /// assembly pass).
+    pub workers: usize,
+    /// Fleet state directory (journal, shard caches, merged cache).
+    pub dir: PathBuf,
+    /// Resume from an existing journal instead of starting fresh.
+    pub resume: bool,
+    /// Emit a heartbeat every this many cell completions per shard
+    /// (0 disables heartbeats).
+    pub heartbeat_every: usize,
+}
+
+impl FleetConfig {
+    /// A config with the default worker count and heartbeat cadence.
+    pub fn new(dir: impl Into<PathBuf>, shards: usize) -> Self {
+        FleetConfig {
+            shards,
+            workers: griffin_sweep::executor::default_workers(),
+            dir: dir.into(),
+            resume: false,
+            heartbeat_every: 32,
+        }
+    }
+}
+
+/// Fleet campaign failure.
+#[derive(Debug)]
+pub enum FleetError {
+    /// The shard plan could not be constructed.
+    Plan(PlanError),
+    /// The journal could not be opened, verified or appended.
+    Journal(JournalError),
+    /// Filesystem or event-stream failure.
+    Io(std::io::Error),
+    /// The underlying sweep executor failed.
+    Sweep(SweepError),
+    /// A shard's plan fingerprint did not match the coordinator's.
+    SpecFingerprint {
+        /// Fingerprint the coordinator expects.
+        expected: Fingerprint,
+        /// Fingerprint this worker computed.
+        found: Fingerprint,
+    },
+    /// The cache merge found entries with the same fingerprint but
+    /// different content (the listed fingerprints).
+    MergeConflicts(Vec<String>),
+    /// A shard-worker subprocess failed or broke protocol.
+    Worker {
+        /// Shard index of the failing worker.
+        shard: usize,
+        /// What went wrong.
+        msg: String,
+    },
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::Plan(e) => write!(f, "{e}"),
+            FleetError::Journal(e) => write!(f, "{e}"),
+            FleetError::Io(e) => write!(f, "fleet i/o error: {e}"),
+            FleetError::Sweep(e) => write!(f, "{e}"),
+            FleetError::SpecFingerprint { expected, found } => write!(
+                f,
+                "shard spec fingerprint mismatch: expected {expected}, got {found} \
+                 (the worker is running a different campaign grid)"
+            ),
+            FleetError::MergeConflicts(fps) => write!(
+                f,
+                "cache merge found {} conflicting fingerprint(s): {} \
+                 (same scenario, different results — caches are corrupt)",
+                fps.len(),
+                fps.join(", ")
+            ),
+            FleetError::Worker { shard, msg } => write!(f, "shard {shard} worker failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<PlanError> for FleetError {
+    fn from(e: PlanError) -> Self {
+        FleetError::Plan(e)
+    }
+}
+
+impl From<JournalError> for FleetError {
+    fn from(e: JournalError) -> Self {
+        FleetError::Journal(e)
+    }
+}
+
+impl From<std::io::Error> for FleetError {
+    fn from(e: std::io::Error) -> Self {
+        FleetError::Io(e)
+    }
+}
+
+impl From<SweepError> for FleetError {
+    fn from(e: SweepError) -> Self {
+        FleetError::Sweep(e)
+    }
+}
+
+/// The journal's location inside a fleet directory.
+pub fn journal_path(dir: &Path) -> PathBuf {
+    dir.join("journal.jsonl")
+}
+
+/// One shard's cache directory inside a fleet directory.
+pub fn shard_cache_dir(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard}"))
+}
+
+/// The merged cache directory inside a fleet directory.
+pub fn merged_cache_dir(dir: &Path) -> PathBuf {
+    dir.join("merged")
+}
+
+/// The default event-stream path inside a fleet directory.
+pub fn default_events_path(dir: &Path) -> PathBuf {
+    dir.join("events.jsonl")
+}
+
+/// The journal header a spec/plan pair implies.
+fn plan_header(spec: &SweepSpec, plan: &ShardPlan) -> JournalHeader {
+    JournalHeader {
+        campaign: spec.name.clone(),
+        spec_fp: plan.spec_fp,
+        cells: plan.cell_count(),
+    }
+}
+
+/// Sink + journal behind one lock: events and journal appends from
+/// worker threads serialize through it, and the first failure parks
+/// here to abort the run.
+struct Shared<'a> {
+    sink: &'a mut dyn EventSink,
+    journal: Option<&'a mut Journal>,
+    err: Option<FleetError>,
+}
+
+impl Shared<'_> {
+    fn emit(&mut self, ev: &Event) {
+        if self.err.is_some() {
+            return;
+        }
+        if let Err(e) = self.sink.emit(ev) {
+            self.err = Some(FleetError::Io(e));
+        }
+    }
+
+    fn record_done(&mut self, cell: usize, fp: Fingerprint) {
+        if self.err.is_some() {
+            return;
+        }
+        if let Some(j) = self.journal.as_deref_mut() {
+            if let Err(e) = j.append(cell, fp) {
+                self.err = Some(FleetError::Io(e));
+            }
+        }
+    }
+
+    fn take_err(&mut self) -> Result<(), FleetError> {
+        match self.err.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Executes one shard's remaining cells against its cache, streaming
+/// events (and journaling completions when a journal is attached).
+/// `build_workers` bounds the executor's phase-2 build pool: the whole
+/// machine for the in-process coordinator, the worker's pinned thread
+/// budget for spawned shards (N concurrent siblings share the cores).
+#[allow(clippy::too_many_arguments)]
+fn run_shard_cells(
+    spec: &SweepSpec,
+    shard: usize,
+    todo: &[Cell],
+    planned: usize,
+    cache: &ResultCache,
+    workers: usize,
+    build_workers: usize,
+    heartbeat_every: usize,
+    shared: &Mutex<Shared<'_>>,
+) -> Result<(), FleetError> {
+    let start = Instant::now();
+    let skipped = planned - todo.len();
+    shared.lock().expect("fleet lock").emit(&Event::ShardStart {
+        shard,
+        cells: planned,
+        skipped,
+    });
+    let stats0 = cache.stats();
+    let done = AtomicUsize::new(0);
+    let observe = |ev: &CellEvent<'_>| {
+        let mut g = shared.lock().expect("fleet lock");
+        match ev {
+            CellEvent::Started { cell, fingerprint } => g.emit(&Event::CellStart {
+                shard,
+                cell: cell.index,
+                fp: *fingerprint,
+            }),
+            CellEvent::Finished {
+                cell,
+                fingerprint,
+                metrics,
+                cached,
+            } => {
+                g.emit(&Event::CellDone {
+                    shard,
+                    cell: cell.index,
+                    fp: *fingerprint,
+                    cached: *cached,
+                    metrics: *metrics,
+                });
+                g.record_done(cell.index, *fingerprint);
+                let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+                if heartbeat_every > 0 && d.is_multiple_of(heartbeat_every) {
+                    g.emit(&Event::Heartbeat {
+                        shard,
+                        done: d,
+                        total: todo.len(),
+                    });
+                }
+            }
+        }
+    };
+    run_cells_bounded(spec, todo, cache, workers, build_workers, &observe)?;
+    let mut g = shared.lock().expect("fleet lock");
+    g.take_err()?;
+    let stats = cache.stats();
+    g.emit(&Event::ShardDone {
+        shard,
+        simulated: (stats.stores - stats0.stores) as usize,
+        cached: (stats.hits - stats0.hits) as usize,
+        elapsed_ms: start.elapsed().as_millis() as u64,
+    });
+    g.take_err()
+}
+
+/// Every existing `shard-*` cache directory under `dir`, sorted — not
+/// just the current plan's shards, so a resume with a different shard
+/// count still merges results produced under the old partitioning.
+fn existing_shard_dirs(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut v = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let is_shard = name.to_str().is_some_and(|n| n.starts_with("shard-"));
+        if is_shard && entry.file_type()?.is_dir() {
+            v.push(entry.path());
+        }
+    }
+    v.sort();
+    Ok(v)
+}
+
+/// Merges shard caches and assembles the final deterministic report.
+fn finalize(
+    spec: &SweepSpec,
+    cfg: &FleetConfig,
+    sink: &mut dyn EventSink,
+    start: Instant,
+) -> Result<CampaignReport, FleetError> {
+    let sources = existing_shard_dirs(&cfg.dir)?;
+    let merged_dir = merged_cache_dir(&cfg.dir);
+    let mr = merge_dirs(&merged_dir, &sources)?;
+    sink.emit(&Event::MergeDone {
+        sources: sources.len(),
+        merged: mr.merged,
+        identical: mr.identical,
+        conflicts: mr.conflicts.len() as u64,
+    })?;
+    if !mr.conflicts.is_empty() {
+        return Err(FleetError::MergeConflicts(mr.conflicts));
+    }
+    // Replaying the full grid against the merged cache yields the same
+    // record list a single-process run produces — and re-simulates any
+    // cell whose cached result went missing, so the report is always
+    // complete. Its cache counters describe this assembly pass (hits ≈
+    // every fleet-computed cell).
+    let cache = ResultCache::at_dir(&merged_dir)?;
+    let mut report = run_campaign(spec, &cache, cfg.workers)?;
+    report.workers = cfg.workers;
+    report.elapsed_ms = start.elapsed().as_millis();
+    sink.emit(&Event::CampaignDone {
+        cells: report.cells.len(),
+        elapsed_ms: report.elapsed_ms as u64,
+    })?;
+    Ok(report)
+}
+
+/// Runs a sharded campaign **in-process**: shards execute sequentially,
+/// each over the executor's worker pool, with completions streamed to
+/// `sink` and journaled for resume. See the module docs for the state
+/// layout and the byte-identity guarantee.
+///
+/// # Errors
+///
+/// [`FleetError`] on plan/journal/merge/executor failures; a sink write
+/// failure aborts the campaign (already-journaled cells resume).
+pub fn run_fleet(
+    spec: &SweepSpec,
+    cfg: &FleetConfig,
+    sink: &mut dyn EventSink,
+) -> Result<CampaignReport, FleetError> {
+    let start = Instant::now();
+    let plan = ShardPlan::new(spec, cfg.shards)?;
+    std::fs::create_dir_all(&cfg.dir)?;
+    let mut journal = Journal::open(
+        journal_path(&cfg.dir),
+        &plan_header(spec, &plan),
+        cfg.resume,
+    )?;
+    let resumed = journal.completed().len();
+    sink.emit(&Event::CampaignStart {
+        campaign: spec.name.clone(),
+        spec_fp: plan.spec_fp,
+        cells: plan.cell_count(),
+        shards: plan.shards,
+        resumed,
+    })?;
+
+    for (shard, shard_cells) in plan.cells.iter().enumerate() {
+        let todo: Vec<Cell> = shard_cells
+            .iter()
+            .filter(|c| !journal.is_completed(c.index))
+            .cloned()
+            .collect();
+        let cache = ResultCache::at_dir(shard_cache_dir(&cfg.dir, shard))?;
+        let shared = Mutex::new(Shared {
+            sink,
+            journal: Some(&mut journal),
+            err: None,
+        });
+        run_shard_cells(
+            spec,
+            shard,
+            &todo,
+            shard_cells.len(),
+            &cache,
+            cfg.workers,
+            // In-process: this is the machine's only campaign process,
+            // so builds use every core as plain `sweep` does.
+            cfg.workers.max(default_workers()),
+            cfg.heartbeat_every,
+            &shared,
+        )?;
+    }
+    finalize(spec, cfg, sink, start)
+}
+
+/// What the coordinator tells the CLI about one shard-worker launch.
+#[derive(Debug, Clone)]
+pub struct WorkerSpawn {
+    /// Shard index the worker must execute.
+    pub shard: usize,
+    /// Shard count of the plan.
+    pub shards: usize,
+    /// The worker's private cache directory.
+    pub cache_dir: PathBuf,
+    /// The journal to consult (read-only) for completed cells.
+    pub journal: PathBuf,
+    /// The plan fingerprint the worker must verify.
+    pub expect_fp: Fingerprint,
+}
+
+/// Runs a sharded campaign by **spawning one subprocess per shard**
+/// (concurrently), consuming each worker's JSONL event stream from its
+/// stdout: events are validated, re-emitted into `sink`, and `cell_done`
+/// lines drive the coordinator-owned journal. `make_command` turns a
+/// [`WorkerSpawn`] into the `griffin-cli shard-worker …` invocation (or
+/// any protocol-compatible program); stdout is piped, stderr inherits.
+///
+/// # Errors
+///
+/// As [`run_fleet`], plus [`FleetError::Worker`] when a subprocess
+/// exits unsuccessfully, emits garbage, or never reports `shard_done`.
+pub fn run_fleet_spawned(
+    spec: &SweepSpec,
+    cfg: &FleetConfig,
+    make_command: &dyn Fn(&WorkerSpawn) -> Command,
+    sink: &mut dyn EventSink,
+) -> Result<CampaignReport, FleetError> {
+    let start = Instant::now();
+    let plan = ShardPlan::new(spec, cfg.shards)?;
+    std::fs::create_dir_all(&cfg.dir)?;
+    let mut journal = Journal::open(
+        journal_path(&cfg.dir),
+        &plan_header(spec, &plan),
+        cfg.resume,
+    )?;
+    let resumed = journal.completed().len();
+    sink.emit(&Event::CampaignStart {
+        campaign: spec.name.clone(),
+        spec_fp: plan.spec_fp,
+        cells: plan.cell_count(),
+        shards: plan.shards,
+        resumed,
+    })?;
+
+    // Decide per shard: anything left to do? Empty shards are reported
+    // locally instead of paying a process spawn.
+    let mut children = Vec::new();
+    for (shard, shard_cells) in plan.cells.iter().enumerate() {
+        let remaining = shard_cells
+            .iter()
+            .filter(|c| !journal.is_completed(c.index))
+            .count();
+        if remaining == 0 {
+            sink.emit(&Event::ShardStart {
+                shard,
+                cells: shard_cells.len(),
+                skipped: shard_cells.len(),
+            })?;
+            sink.emit(&Event::ShardDone {
+                shard,
+                simulated: 0,
+                cached: 0,
+                elapsed_ms: 0,
+            })?;
+            continue;
+        }
+        let info = WorkerSpawn {
+            shard,
+            shards: plan.shards,
+            cache_dir: shard_cache_dir(&cfg.dir, shard),
+            journal: journal_path(&cfg.dir),
+            expect_fp: plan.spec_fp,
+        };
+        let mut cmd = make_command(&info);
+        cmd.stdin(Stdio::null()).stdout(Stdio::piped());
+        let child = cmd.spawn().map_err(|e| FleetError::Worker {
+            shard,
+            msg: format!("spawn failed: {e}"),
+        })?;
+        children.push((shard, child));
+    }
+
+    let shared = Mutex::new(Shared {
+        sink,
+        journal: Some(&mut journal),
+        err: None,
+    });
+    let results: Vec<Result<(), FleetError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = children
+            .iter_mut()
+            .map(|(shard, child)| {
+                let shard = *shard;
+                let stdout = child.stdout.take().expect("stdout was piped");
+                let shared = &shared;
+                let cells = plan.cell_count();
+                s.spawn(move || consume_worker_stream(shard, cells, stdout, shared))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker reader thread"))
+            .collect()
+    });
+    let mut first_err: Option<FleetError> = shared
+        .into_inner()
+        .expect("fleet lock")
+        .err
+        .take()
+        .or(results.into_iter().find_map(Result::err));
+    for (shard, child) in &mut children {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                first_err.get_or_insert(FleetError::Worker {
+                    shard: *shard,
+                    msg: format!("exited with {status}"),
+                });
+            }
+            Err(e) => {
+                first_err.get_or_insert(FleetError::Worker {
+                    shard: *shard,
+                    msg: format!("wait failed: {e}"),
+                });
+            }
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    finalize(spec, cfg, sink, start)
+}
+
+/// Reads one worker's JSONL stream, validating shard provenance and
+/// cell range, forwarding events and journaling completions.
+fn consume_worker_stream(
+    shard: usize,
+    cells: usize,
+    stdout: impl std::io::Read,
+    shared: &Mutex<Shared<'_>>,
+) -> Result<(), FleetError> {
+    let mut saw_done = false;
+    for line in std::io::BufReader::new(stdout).lines() {
+        let line = line.map_err(|e| FleetError::Worker {
+            shard,
+            msg: format!("stream read failed: {e}"),
+        })?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev = Event::parse_line(&line).map_err(|e| FleetError::Worker {
+            shard,
+            msg: format!("bad event line: {e}"),
+        })?;
+        let claimed = match &ev {
+            Event::ShardStart { shard, .. }
+            | Event::CellStart { shard, .. }
+            | Event::CellDone { shard, .. }
+            | Event::Heartbeat { shard, .. }
+            | Event::ShardDone { shard, .. } => *shard,
+            other => {
+                return Err(FleetError::Worker {
+                    shard,
+                    msg: format!("campaign-level event from a worker: {:?}", other),
+                })
+            }
+        };
+        if claimed != shard {
+            return Err(FleetError::Worker {
+                shard,
+                msg: format!("event claims shard {claimed}"),
+            });
+        }
+        if let Event::CellDone { cell, .. } | Event::CellStart { cell, .. } = &ev {
+            // Never journal (or forward) an out-of-range index: a bad
+            // entry would make every future resume of this state dir
+            // fail the journal's range check.
+            if *cell >= cells {
+                return Err(FleetError::Worker {
+                    shard,
+                    msg: format!("cell {cell} out of range (grid has {cells} cells)"),
+                });
+            }
+        }
+        let mut g = shared.lock().expect("fleet lock");
+        if let Event::CellDone { cell, fp, .. } = &ev {
+            g.record_done(*cell, *fp);
+        }
+        if let Event::ShardDone { .. } = &ev {
+            saw_done = true;
+        }
+        g.emit(&ev);
+        g.take_err()?;
+    }
+    if !saw_done {
+        return Err(FleetError::Worker {
+            shard,
+            msg: "stream ended before shard_done".into(),
+        });
+    }
+    Ok(())
+}
+
+/// Configuration of one shard-worker process.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Shard count of the plan.
+    pub shards: usize,
+    /// This worker's shard index.
+    pub shard: usize,
+    /// Plan fingerprint to verify against (reject a mismatched grid).
+    pub expect_fp: Option<Fingerprint>,
+    /// Journal to consult (read-only) for completed cells.
+    pub journal: Option<PathBuf>,
+    /// This worker's cache directory.
+    pub cache_dir: PathBuf,
+    /// Simulation worker threads.
+    pub workers: usize,
+    /// Heartbeat cadence in cell completions (0 disables).
+    pub heartbeat_every: usize,
+}
+
+/// Runs one shard of a campaign and streams its events to `out` — the
+/// body of `griffin-cli shard-worker`, also callable in-process for
+/// tests. The worker recomputes the plan from the spec, verifies it
+/// against `expect_fp`, skips journal-completed cells, and writes
+/// results only to its own cache directory (the journal stays
+/// coordinator-owned).
+///
+/// # Errors
+///
+/// [`FleetError::SpecFingerprint`] when the recomputed plan does not
+/// match `expect_fp`; otherwise as [`run_fleet`].
+pub fn run_shard_worker(
+    spec: &SweepSpec,
+    cfg: &WorkerConfig,
+    out: impl Write + Send,
+) -> Result<(), FleetError> {
+    let plan = ShardPlan::new(spec, cfg.shards)?;
+    if let Some(expected) = cfg.expect_fp {
+        if plan.spec_fp != expected {
+            return Err(FleetError::SpecFingerprint {
+                expected,
+                found: plan.spec_fp,
+            });
+        }
+    }
+    let shard_cells = plan.cells.get(cfg.shard).ok_or(FleetError::Worker {
+        shard: cfg.shard,
+        msg: format!("shard index out of range (plan has {})", plan.shards),
+    })?;
+    let completed = match &cfg.journal {
+        Some(path) if path.exists() => Journal::peek_completed(path, &plan_header(spec, &plan))?,
+        _ => Default::default(),
+    };
+    let todo: Vec<Cell> = shard_cells
+        .iter()
+        .filter(|c| !completed.contains_key(&c.index))
+        .cloned()
+        .collect();
+    let cache = ResultCache::at_dir(&cfg.cache_dir)?;
+    let mut sink = JsonlSink::new(out);
+    let shared = Mutex::new(Shared {
+        sink: &mut sink,
+        journal: None,
+        err: None,
+    });
+    run_shard_cells(
+        spec,
+        cfg.shard,
+        &todo,
+        shard_cells.len(),
+        &cache,
+        cfg.workers,
+        // A spawned worker shares the machine with its sibling shards:
+        // builds stay inside the pinned thread budget too.
+        cfg.workers,
+        cfg.heartbeat_every,
+        &shared,
+    )
+}

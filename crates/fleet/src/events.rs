@@ -1,0 +1,506 @@
+//! The append-only JSONL campaign event stream.
+//!
+//! Every line is one self-contained JSON object with an `"ev"`
+//! discriminant, so long campaigns can be tailed into dashboards while
+//! they run and partially-written streams stay parseable up to the last
+//! complete line. The same encoding is the wire protocol between a
+//! `shard-worker` subprocess (stdout) and the fleet coordinator, which
+//! validates and re-emits worker events into the campaign stream.
+//!
+//! Schema (`griffin-fleet-events/1`):
+//!
+//! | `ev`             | fields                                                      |
+//! |------------------|-------------------------------------------------------------|
+//! | `campaign_start` | `campaign`, `spec_fp`, `cells`, `shards`, `resumed`         |
+//! | `shard_start`    | `shard`, `cells`, `skipped`                                 |
+//! | `cell_start`     | `shard`, `cell`, `fp`                                       |
+//! | `cell_done`      | `shard`, `cell`, `fp`, `cached`, `metrics{…}`               |
+//! | `heartbeat`      | `shard`, `done`, `total`                                    |
+//! | `shard_done`     | `shard`, `simulated`, `cached`, `elapsed_ms`                |
+//! | `merge_done`     | `sources`, `merged`, `identical`, `conflicts`               |
+//! | `campaign_done`  | `cells`, `elapsed_ms`                                       |
+//!
+//! Cell indices are grid positions (`usize` as JSON numbers);
+//! fingerprints are 32-digit hex strings; `metrics` is the same object
+//! the result cache stores ([`CellMetrics::to_json`]). Event *order* is
+//! only meaningful per shard — shards interleave arbitrarily.
+
+use std::io::{self, Write};
+
+use griffin_sweep::cache::CellMetrics;
+use griffin_sweep::fingerprint::Fingerprint;
+use griffin_sweep::json::Json;
+
+/// One line of the campaign event stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// The coordinator accepted a plan and (possibly resumed) journal.
+    CampaignStart {
+        /// Campaign name from the spec.
+        campaign: String,
+        /// Stable grid identity ([`crate::plan::spec_fingerprint`]).
+        spec_fp: Fingerprint,
+        /// Total grid cells.
+        cells: usize,
+        /// Shard count.
+        shards: usize,
+        /// Cells restored from the journal (0 on a fresh run).
+        resumed: usize,
+    },
+    /// A shard began executing.
+    ShardStart {
+        /// Shard index.
+        shard: usize,
+        /// Cells planned onto this shard.
+        cells: usize,
+        /// Cells skipped as journal-completed.
+        skipped: usize,
+    },
+    /// A worker thread began simulating a cell (cache misses only).
+    CellStart {
+        /// Shard index.
+        shard: usize,
+        /// Grid index of the cell.
+        cell: usize,
+        /// Scenario fingerprint.
+        fp: Fingerprint,
+    },
+    /// A cell's metrics became available.
+    CellDone {
+        /// Shard index.
+        shard: usize,
+        /// Grid index of the cell.
+        cell: usize,
+        /// Scenario fingerprint.
+        fp: Fingerprint,
+        /// Served from cache / in-campaign dedup rather than simulated.
+        cached: bool,
+        /// The simulation results.
+        metrics: CellMetrics,
+    },
+    /// Periodic per-shard liveness signal (every
+    /// [`FleetConfig::heartbeat_every`](crate::coordinator::FleetConfig)
+    /// completions).
+    Heartbeat {
+        /// Shard index.
+        shard: usize,
+        /// Cells finished so far on this shard (this run).
+        done: usize,
+        /// Cells this shard set out to run (this run).
+        total: usize,
+    },
+    /// A shard finished executing.
+    ShardDone {
+        /// Shard index.
+        shard: usize,
+        /// Cells freshly simulated by this shard run.
+        simulated: usize,
+        /// Cells served from cache / dedup by this shard run.
+        cached: usize,
+        /// Wall-clock milliseconds of the shard run.
+        elapsed_ms: u64,
+    },
+    /// Per-shard caches were unioned into the merged cache.
+    MergeDone {
+        /// Source directories considered.
+        sources: usize,
+        /// Entries copied into the merged cache.
+        merged: u64,
+        /// Entries already present with identical content.
+        identical: u64,
+        /// Conflicting fingerprints (non-zero aborts the campaign).
+        conflicts: u64,
+    },
+    /// The final report was assembled.
+    CampaignDone {
+        /// Total grid cells reported.
+        cells: usize,
+        /// Wall-clock milliseconds of the whole fleet run.
+        elapsed_ms: u64,
+    },
+}
+
+/// Event decode error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventError {
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for EventError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "event error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for EventError {}
+
+fn fail<T>(msg: impl Into<String>) -> Result<T, EventError> {
+    Err(EventError { msg: msg.into() })
+}
+
+fn get_usize(v: &Json, key: &str) -> Result<usize, EventError> {
+    let n = v
+        .req(key)
+        .and_then(|x| x.as_f64())
+        .map_err(|e| EventError { msg: e.to_string() })?;
+    if n < 0.0 || n.fract() != 0.0 {
+        return fail(format!("bad count `{key}`"));
+    }
+    Ok(n as usize)
+}
+
+fn get_fp(v: &Json, key: &str) -> Result<Fingerprint, EventError> {
+    let s = v
+        .req(key)
+        .and_then(|x| x.as_str())
+        .map_err(|e| EventError { msg: e.to_string() })?;
+    Fingerprint::parse(s).map_or_else(|| fail(format!("bad fingerprint `{s}`")), Ok)
+}
+
+impl Event {
+    /// Serializes to the JSON object of one stream line.
+    pub fn to_json(&self) -> Json {
+        let num = |n: usize| Json::Num(n as f64);
+        match self {
+            Event::CampaignStart {
+                campaign,
+                spec_fp,
+                cells,
+                shards,
+                resumed,
+            } => Json::obj([
+                ("ev".into(), Json::Str("campaign_start".into())),
+                ("campaign".into(), Json::Str(campaign.clone())),
+                ("spec_fp".into(), Json::Str(spec_fp.to_string())),
+                ("cells".into(), num(*cells)),
+                ("shards".into(), num(*shards)),
+                ("resumed".into(), num(*resumed)),
+            ]),
+            Event::ShardStart {
+                shard,
+                cells,
+                skipped,
+            } => Json::obj([
+                ("ev".into(), Json::Str("shard_start".into())),
+                ("shard".into(), num(*shard)),
+                ("cells".into(), num(*cells)),
+                ("skipped".into(), num(*skipped)),
+            ]),
+            Event::CellStart { shard, cell, fp } => Json::obj([
+                ("ev".into(), Json::Str("cell_start".into())),
+                ("shard".into(), num(*shard)),
+                ("cell".into(), num(*cell)),
+                ("fp".into(), Json::Str(fp.to_string())),
+            ]),
+            Event::CellDone {
+                shard,
+                cell,
+                fp,
+                cached,
+                metrics,
+            } => Json::obj([
+                ("ev".into(), Json::Str("cell_done".into())),
+                ("shard".into(), num(*shard)),
+                ("cell".into(), num(*cell)),
+                ("fp".into(), Json::Str(fp.to_string())),
+                ("cached".into(), Json::Bool(*cached)),
+                ("metrics".into(), metrics.to_json()),
+            ]),
+            Event::Heartbeat { shard, done, total } => Json::obj([
+                ("ev".into(), Json::Str("heartbeat".into())),
+                ("shard".into(), num(*shard)),
+                ("done".into(), num(*done)),
+                ("total".into(), num(*total)),
+            ]),
+            Event::ShardDone {
+                shard,
+                simulated,
+                cached,
+                elapsed_ms,
+            } => Json::obj([
+                ("ev".into(), Json::Str("shard_done".into())),
+                ("shard".into(), num(*shard)),
+                ("simulated".into(), num(*simulated)),
+                ("cached".into(), num(*cached)),
+                ("elapsed_ms".into(), num(*elapsed_ms as usize)),
+            ]),
+            Event::MergeDone {
+                sources,
+                merged,
+                identical,
+                conflicts,
+            } => Json::obj([
+                ("ev".into(), Json::Str("merge_done".into())),
+                ("sources".into(), num(*sources)),
+                ("merged".into(), num(*merged as usize)),
+                ("identical".into(), num(*identical as usize)),
+                ("conflicts".into(), num(*conflicts as usize)),
+            ]),
+            Event::CampaignDone { cells, elapsed_ms } => Json::obj([
+                ("ev".into(), Json::Str("campaign_done".into())),
+                ("cells".into(), num(*cells)),
+                ("elapsed_ms".into(), num(*elapsed_ms as usize)),
+            ]),
+        }
+    }
+
+    /// One stream line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        self.to_json().write()
+    }
+
+    /// Parses one stream line.
+    ///
+    /// # Errors
+    ///
+    /// [`EventError`] on malformed JSON or an unknown/incomplete event.
+    pub fn parse_line(line: &str) -> Result<Event, EventError> {
+        let v = Json::parse(line).map_err(|e| EventError { msg: e.to_string() })?;
+        let ev = v
+            .req("ev")
+            .and_then(|x| x.as_str())
+            .map_err(|e| EventError { msg: e.to_string() })?;
+        match ev {
+            "campaign_start" => Ok(Event::CampaignStart {
+                campaign: v
+                    .req("campaign")
+                    .and_then(|x| x.as_str())
+                    .map_err(|e| EventError { msg: e.to_string() })?
+                    .to_string(),
+                spec_fp: get_fp(&v, "spec_fp")?,
+                cells: get_usize(&v, "cells")?,
+                shards: get_usize(&v, "shards")?,
+                resumed: get_usize(&v, "resumed")?,
+            }),
+            "shard_start" => Ok(Event::ShardStart {
+                shard: get_usize(&v, "shard")?,
+                cells: get_usize(&v, "cells")?,
+                skipped: get_usize(&v, "skipped")?,
+            }),
+            "cell_start" => Ok(Event::CellStart {
+                shard: get_usize(&v, "shard")?,
+                cell: get_usize(&v, "cell")?,
+                fp: get_fp(&v, "fp")?,
+            }),
+            "cell_done" => Ok(Event::CellDone {
+                shard: get_usize(&v, "shard")?,
+                cell: get_usize(&v, "cell")?,
+                fp: get_fp(&v, "fp")?,
+                cached: match v
+                    .req("cached")
+                    .map_err(|e| EventError { msg: e.to_string() })?
+                {
+                    Json::Bool(b) => *b,
+                    _ => return fail("bad `cached`"),
+                },
+                metrics: CellMetrics::from_json(
+                    v.req("metrics")
+                        .map_err(|e| EventError { msg: e.to_string() })?,
+                )
+                .map_err(|e| EventError { msg: e.to_string() })?,
+            }),
+            "heartbeat" => Ok(Event::Heartbeat {
+                shard: get_usize(&v, "shard")?,
+                done: get_usize(&v, "done")?,
+                total: get_usize(&v, "total")?,
+            }),
+            "shard_done" => Ok(Event::ShardDone {
+                shard: get_usize(&v, "shard")?,
+                simulated: get_usize(&v, "simulated")?,
+                cached: get_usize(&v, "cached")?,
+                elapsed_ms: get_usize(&v, "elapsed_ms")? as u64,
+            }),
+            "merge_done" => Ok(Event::MergeDone {
+                sources: get_usize(&v, "sources")?,
+                merged: get_usize(&v, "merged")? as u64,
+                identical: get_usize(&v, "identical")? as u64,
+                conflicts: get_usize(&v, "conflicts")? as u64,
+            }),
+            "campaign_done" => Ok(Event::CampaignDone {
+                cells: get_usize(&v, "cells")?,
+                elapsed_ms: get_usize(&v, "elapsed_ms")? as u64,
+            }),
+            other => fail(format!("unknown event `{other}`")),
+        }
+    }
+}
+
+/// A consumer of the campaign event stream.
+pub trait EventSink: Send {
+    /// Delivers one event. Errors abort the campaign (a broken stream
+    /// means the consumer — a pipe, a dashboard file — is gone).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O failure.
+    fn emit(&mut self, ev: &Event) -> io::Result<()>;
+}
+
+/// Writes events as JSON lines, flushing after each line so consumers
+/// tailing the stream see completed cells immediately.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write + Send> {
+    w: W,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps a writer (a file opened for append, a pipe, stdout).
+    pub fn new(w: W) -> Self {
+        JsonlSink { w }
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+}
+
+impl<W: Write + Send> EventSink for JsonlSink<W> {
+    fn emit(&mut self, ev: &Event) -> io::Result<()> {
+        let mut line = ev.to_line();
+        line.push('\n');
+        self.w.write_all(line.as_bytes())?;
+        self.w.flush()
+    }
+}
+
+/// Discards every event (drivers that only want the final report).
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&mut self, _: &Event) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics() -> CellMetrics {
+        CellMetrics {
+            speedup: 2.5,
+            cycles: 400.0,
+            dense_cycles: 1000,
+            power_mw: 331.0,
+            area_mm2: 0.97,
+            tops_per_w: 24.5,
+            tops_per_mm2: 8.25,
+        }
+    }
+
+    #[test]
+    fn every_event_roundtrips_through_its_line() {
+        let events = [
+            Event::CampaignStart {
+                campaign: "sweep-synth-b".into(),
+                spec_fp: Fingerprint(1, 2),
+                cells: 40,
+                shards: 4,
+                resumed: 7,
+            },
+            Event::ShardStart {
+                shard: 2,
+                cells: 10,
+                skipped: 3,
+            },
+            Event::CellStart {
+                shard: 2,
+                cell: 17,
+                fp: Fingerprint(3, 4),
+            },
+            Event::CellDone {
+                shard: 2,
+                cell: 17,
+                fp: Fingerprint(3, 4),
+                cached: false,
+                metrics: metrics(),
+            },
+            Event::Heartbeat {
+                shard: 2,
+                done: 5,
+                total: 7,
+            },
+            Event::ShardDone {
+                shard: 2,
+                simulated: 6,
+                cached: 1,
+                elapsed_ms: 1234,
+            },
+            Event::MergeDone {
+                sources: 4,
+                merged: 33,
+                identical: 7,
+                conflicts: 0,
+            },
+            Event::CampaignDone {
+                cells: 40,
+                elapsed_ms: 9999,
+            },
+        ];
+        for ev in events {
+            let line = ev.to_line();
+            assert!(!line.contains('\n'), "one event, one line");
+            assert_eq!(Event::parse_line(&line), Ok(ev.clone()), "{line}");
+        }
+    }
+
+    #[test]
+    fn degenerate_metrics_survive_the_stream() {
+        let ev = Event::CellDone {
+            shard: 0,
+            cell: 1,
+            fp: Fingerprint(5, 6),
+            cached: true,
+            metrics: CellMetrics {
+                tops_per_w: f64::NAN,
+                tops_per_mm2: f64::INFINITY,
+                ..metrics()
+            },
+        };
+        let back = Event::parse_line(&ev.to_line()).unwrap();
+        let Event::CellDone { metrics: m, .. } = back else {
+            panic!("wrong event");
+        };
+        assert!(m.tops_per_w.is_nan());
+        assert_eq!(m.tops_per_mm2, f64::INFINITY);
+    }
+
+    #[test]
+    fn garbage_lines_are_rejected() {
+        assert!(Event::parse_line("").is_err());
+        assert!(Event::parse_line("not json").is_err());
+        assert!(Event::parse_line("{}").is_err());
+        assert!(Event::parse_line("{\"ev\":\"warp_drive\"}").is_err());
+        assert!(Event::parse_line("{\"ev\":\"heartbeat\",\"shard\":0}").is_err());
+        assert!(
+            Event::parse_line("{\"ev\":\"cell_start\",\"shard\":0,\"cell\":1,\"fp\":\"xy\"}")
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_flushed_line_per_event() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.emit(&Event::Heartbeat {
+            shard: 1,
+            done: 2,
+            total: 3,
+        })
+        .unwrap();
+        sink.emit(&Event::CampaignDone {
+            cells: 3,
+            elapsed_ms: 1,
+        })
+        .unwrap();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(text.ends_with('\n'));
+        for l in lines {
+            Event::parse_line(l).unwrap();
+        }
+    }
+}

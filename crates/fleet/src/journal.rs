@@ -1,0 +1,469 @@
+//! The campaign journal: crash-safe resume proof.
+//!
+//! A fleet campaign appends one JSON line per completed cell to
+//! `journal.jsonl` next to its caches. The first line is a header
+//! carrying the campaign's spec fingerprint and cell count; `--resume`
+//! re-opens the file, verifies the header matches the *current* plan
+//! (refusing to resume a different grid), and restores the completed
+//! set so finished cells are never re-entered into a shard's work list.
+//!
+//! The file is append-only and written through a single coordinator, so
+//! interruption can only lose or truncate the final line; loading
+//! therefore tolerates a partial trailing line (and nothing else). Cell
+//! results themselves live in the per-shard caches — the journal is the
+//! index that proves which grid they belong to and which cells are done.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use griffin_sweep::fingerprint::Fingerprint;
+use griffin_sweep::json::Json;
+
+/// Format tag of the header line.
+pub const JOURNAL_FORMAT: &str = "griffin-fleet-journal/1";
+
+/// Identity of the campaign a journal belongs to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalHeader {
+    /// Campaign name (informational; identity is the fingerprint).
+    pub campaign: String,
+    /// Stable grid identity ([`crate::plan::spec_fingerprint`]).
+    pub spec_fp: Fingerprint,
+    /// Total grid cells.
+    pub cells: usize,
+}
+
+impl JournalHeader {
+    fn to_line(&self) -> String {
+        Json::obj([
+            ("format".into(), Json::Str(JOURNAL_FORMAT.into())),
+            ("campaign".into(), Json::Str(self.campaign.clone())),
+            ("spec_fp".into(), Json::Str(self.spec_fp.to_string())),
+            ("cells".into(), Json::Num(self.cells as f64)),
+        ])
+        .write()
+    }
+
+    fn parse_line(line: &str) -> Result<JournalHeader, JournalError> {
+        let v = Json::parse(line).map_err(|e| JournalError::Corrupt(e.to_string()))?;
+        let fmt_tag = v
+            .req("format")
+            .and_then(|x| x.as_str())
+            .map_err(|e| JournalError::Corrupt(e.to_string()))?;
+        if fmt_tag != JOURNAL_FORMAT {
+            return Err(JournalError::Corrupt(format!(
+                "unknown journal format `{fmt_tag}`"
+            )));
+        }
+        let fp_str = v
+            .req("spec_fp")
+            .and_then(|x| x.as_str())
+            .map_err(|e| JournalError::Corrupt(e.to_string()))?;
+        let spec_fp = Fingerprint::parse(fp_str)
+            .ok_or_else(|| JournalError::Corrupt(format!("bad spec_fp `{fp_str}`")))?;
+        let cells = v
+            .req("cells")
+            .and_then(|x| x.as_f64())
+            .map_err(|e| JournalError::Corrupt(e.to_string()))?;
+        Ok(JournalHeader {
+            campaign: v
+                .req("campaign")
+                .and_then(|x| x.as_str())
+                .map_err(|e| JournalError::Corrupt(e.to_string()))?
+                .to_string(),
+            spec_fp,
+            cells: cells as usize,
+        })
+    }
+}
+
+/// Journal failure.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// The journal belongs to a different campaign grid.
+    Mismatch {
+        /// Identity recorded in the journal.
+        found: Box<JournalHeader>,
+        /// Identity of the plan being resumed.
+        expected: Box<JournalHeader>,
+    },
+    /// The journal is unreadable beyond simple truncation.
+    Corrupt(String),
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal i/o error: {e}"),
+            JournalError::Mismatch { found, expected } => write!(
+                f,
+                "journal belongs to a different campaign: found `{}` ({} cells, spec {}), \
+                 expected `{}` ({} cells, spec {})",
+                found.campaign,
+                found.cells,
+                found.spec_fp,
+                expected.campaign,
+                expected.cells,
+                expected.spec_fp
+            ),
+            JournalError::Corrupt(msg) => write!(f, "journal corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<io::Error> for JournalError {
+    fn from(e: io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// An open, append-mode campaign journal.
+#[derive(Debug)]
+pub struct Journal {
+    file: std::fs::File,
+    path: PathBuf,
+    completed: BTreeMap<usize, Fingerprint>,
+}
+
+fn entry_line(cell: usize, fp: Fingerprint) -> String {
+    Json::obj([
+        ("cell".into(), Json::Num(cell as f64)),
+        ("fp".into(), Json::Str(fp.to_string())),
+    ])
+    .write()
+}
+
+fn parse_entry(line: &str) -> Option<(usize, Fingerprint)> {
+    let v = Json::parse(line).ok()?;
+    let cell = v.req("cell").ok()?.as_f64().ok()?;
+    if cell < 0.0 || cell.fract() != 0.0 {
+        return None;
+    }
+    let fp = Fingerprint::parse(v.req("fp").ok()?.as_str().ok()?)?;
+    Some((cell as usize, fp))
+}
+
+impl Journal {
+    /// Starts a fresh journal at `path` (truncating any previous one)
+    /// with an empty completed set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn create(path: impl AsRef<Path>, header: &JournalHeader) -> Result<Journal, JournalError> {
+        if let Some(parent) = path.as_ref().parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut file = std::fs::File::create(&path)?;
+        writeln!(file, "{}", header.to_line())?;
+        file.sync_data()?;
+        Ok(Journal {
+            file,
+            path: path.as_ref().to_path_buf(),
+            completed: BTreeMap::new(),
+        })
+    }
+
+    /// What a read of a journal file yields: the validated completed
+    /// set, the byte length of the cleanly-terminated valid prefix, the
+    /// file length, and — when the final line was complete JSON missing
+    /// only its `\n` (a crash between an entry's bytes and its newline)
+    /// — that accepted-but-unterminated entry.
+    #[allow(clippy::type_complexity)]
+    fn load(
+        path: impl AsRef<Path>,
+        expected: &JournalHeader,
+    ) -> Result<
+        (
+            BTreeMap<usize, Fingerprint>,
+            usize,
+            usize,
+            Option<(usize, Fingerprint)>,
+        ),
+        JournalError,
+    > {
+        let text = std::fs::read_to_string(&path)?;
+        let mut segments = text.split_inclusive('\n');
+        let Some(header_seg) = segments.next() else {
+            return Err(JournalError::Corrupt("empty journal".into()));
+        };
+        let found = JournalHeader::parse_line(header_seg.trim_end())?;
+        if found != *expected {
+            return Err(JournalError::Mismatch {
+                found: Box::new(found),
+                expected: Box::new(expected.clone()),
+            });
+        }
+        let mut completed = BTreeMap::new();
+        let mut valid_len = header_seg.len();
+        let mut tail_entry = None;
+        for seg in segments {
+            let line = seg.trim_end();
+            if line.is_empty() {
+                valid_len += seg.len();
+                continue;
+            }
+            let Some((cell, fp)) = parse_entry(line) else {
+                break; // truncated tail from an interrupted append
+            };
+            if cell >= expected.cells {
+                return Err(JournalError::Corrupt(format!(
+                    "cell {cell} out of range (grid has {} cells)",
+                    expected.cells
+                )));
+            }
+            completed.insert(cell, fp);
+            if !seg.ends_with('\n') {
+                tail_entry = Some((cell, fp));
+                break;
+            }
+            valid_len += seg.len();
+        }
+        Ok((completed, valid_len, text.len(), tail_entry))
+    }
+
+    /// Re-opens an existing journal for resume: verifies the header
+    /// matches `expected` and loads the completed-cell set. A partial
+    /// trailing line (an interrupted append) is ignored and truncated
+    /// away; loading stops at the first malformed line, treating
+    /// everything after it as unwritten. The caller must be the sole
+    /// writer (the coordinator) — resume repairs the file tail, unlike
+    /// the strictly read-only [`Journal::peek_completed`].
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Mismatch`] when the journal records a different
+    /// grid, [`JournalError::Corrupt`] when even the header is
+    /// unreadable, and [`JournalError::Io`] on filesystem failures.
+    pub fn resume(
+        path: impl AsRef<Path>,
+        expected: &JournalHeader,
+    ) -> Result<Journal, JournalError> {
+        let (completed, valid_len, total_len, tail_entry) = Self::load(&path, expected)?;
+        // Drop anything after the cleanly-terminated prefix — a garbage
+        // tail, or the one unterminated final entry (rewritten whole
+        // below) — so the next append starts on a fresh line instead of
+        // gluing onto a partial one.
+        if valid_len < total_len {
+            std::fs::OpenOptions::new()
+                .write(true)
+                .open(&path)?
+                .set_len(valid_len as u64)?;
+        }
+        let mut file = std::fs::OpenOptions::new().append(true).open(&path)?;
+        if let Some((cell, fp)) = tail_entry {
+            writeln!(file, "{}", entry_line(cell, fp))?;
+        }
+        Ok(Journal {
+            file,
+            path: path.as_ref().to_path_buf(),
+            completed,
+        })
+    }
+
+    /// Opens a journal: [`Journal::resume`] when `resume` is set and the
+    /// file exists, otherwise a fresh [`Journal::create`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Journal::create`] / [`Journal::resume`].
+    pub fn open(
+        path: impl AsRef<Path>,
+        header: &JournalHeader,
+        resume: bool,
+    ) -> Result<Journal, JournalError> {
+        if resume && path.as_ref().exists() {
+            Journal::resume(path, header)
+        } else {
+            Journal::create(path, header)
+        }
+    }
+
+    /// Records a completed cell (idempotent) and flushes the line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn append(&mut self, cell: usize, fp: Fingerprint) -> io::Result<()> {
+        if self.completed.insert(cell, fp).is_some() {
+            return Ok(()); // already journaled (twin / cached replay)
+        }
+        writeln!(self.file, "{}", entry_line(cell, fp))
+    }
+
+    /// The completed cells (grid index → scenario fingerprint).
+    pub fn completed(&self) -> &BTreeMap<usize, Fingerprint> {
+        &self.completed
+    }
+
+    /// Whether a cell is journaled as complete.
+    pub fn is_completed(&self, cell: usize) -> bool {
+        self.completed.contains_key(&cell)
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Reads the completed set of a journal **without writing to the
+    /// file at all** — what shard workers use to skip finished cells
+    /// while the coordinator keeps sole write ownership (a concurrent
+    /// worker must never repair the tail the coordinator is appending
+    /// to; a torn in-flight entry simply doesn't count yet, and the
+    /// worker's redundant run of that cell is a cache hit).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Journal::resume`].
+    pub fn peek_completed(
+        path: impl AsRef<Path>,
+        expected: &JournalHeader,
+    ) -> Result<BTreeMap<usize, Fingerprint>, JournalError> {
+        Ok(Journal::load(&path, expected)?.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> JournalHeader {
+        JournalHeader {
+            campaign: "t".into(),
+            spec_fp: Fingerprint(0xAB, 0xCD),
+            cells: 10,
+        }
+    }
+
+    fn tmp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "griffin-fleet-journal-{tag}-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[test]
+    fn create_append_resume_roundtrip() {
+        let path = tmp("roundtrip");
+        {
+            let mut j = Journal::create(&path, &header()).unwrap();
+            j.append(3, Fingerprint(3, 3)).unwrap();
+            j.append(7, Fingerprint(7, 7)).unwrap();
+            j.append(3, Fingerprint(3, 3)).unwrap(); // idempotent
+        }
+        let j = Journal::resume(&path, &header()).unwrap();
+        assert_eq!(
+            j.completed().iter().map(|(&c, _)| c).collect::<Vec<_>>(),
+            vec![3, 7]
+        );
+        assert!(j.is_completed(7));
+        assert!(!j.is_completed(4));
+        // The idempotent append wrote exactly one line for cell 3.
+        let lines = std::fs::read_to_string(&path).unwrap().lines().count();
+        assert_eq!(lines, 3, "header + two entries");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resume_tolerates_a_truncated_tail() {
+        let path = tmp("truncated");
+        {
+            let mut j = Journal::create(&path, &header()).unwrap();
+            j.append(1, Fingerprint(1, 1)).unwrap();
+        }
+        // Simulate an interrupted append: a partial final line.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"cell\":2,\"fp\":\"00");
+        std::fs::write(&path, &text).unwrap();
+        let mut j = Journal::resume(&path, &header()).unwrap();
+        assert_eq!(j.completed().len(), 1, "partial line ignored");
+        // Appending after a resume keeps the file loadable.
+        j.append(5, Fingerprint(5, 5)).unwrap();
+        drop(j);
+        let j = Journal::resume(&path, &header()).unwrap();
+        assert!(j.is_completed(5));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resume_terminates_a_newline_less_final_entry() {
+        // A crash between an entry's bytes and its newline leaves a
+        // complete-but-unterminated last line; resume must keep the
+        // entry *and* not glue the next append onto it.
+        let path = tmp("no-newline");
+        drop(Journal::create(&path, &header()).unwrap());
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str(&entry_line(4, Fingerprint(4, 4))); // no '\n'
+        std::fs::write(&path, &text).unwrap();
+        let mut j = Journal::resume(&path, &header()).unwrap();
+        assert!(j.is_completed(4), "unterminated entry still counts");
+        j.append(6, Fingerprint(6, 6)).unwrap();
+        drop(j);
+        let j = Journal::resume(&path, &header()).unwrap();
+        assert!(j.is_completed(4) && j.is_completed(6));
+        assert_eq!(j.completed().len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resume_rejects_a_different_grid() {
+        let path = tmp("mismatch");
+        drop(Journal::create(&path, &header()).unwrap());
+        let other = JournalHeader {
+            spec_fp: Fingerprint(0xFF, 0xEE),
+            ..header()
+        };
+        match Journal::resume(&path, &other) {
+            Err(JournalError::Mismatch { found, expected }) => {
+                assert_eq!(found.spec_fp, Fingerprint(0xAB, 0xCD));
+                assert_eq!(expected.spec_fp, Fingerprint(0xFF, 0xEE));
+            }
+            other => panic!("expected mismatch, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn out_of_range_cells_and_bad_headers_are_corrupt() {
+        let path = tmp("corrupt");
+        std::fs::write(&path, "not json\n").unwrap();
+        assert!(matches!(
+            Journal::resume(&path, &header()),
+            Err(JournalError::Corrupt(_))
+        ));
+        let mut text = header().to_line();
+        text.push_str("\n{\"cell\":99,\"fp\":\"00000000000000ab00000000000000cd\"}\n");
+        std::fs::write(&path, &text).unwrap();
+        assert!(matches!(
+            Journal::resume(&path, &header()),
+            Err(JournalError::Corrupt(_))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_respects_the_resume_flag() {
+        let path = tmp("open");
+        {
+            let mut j = Journal::create(&path, &header()).unwrap();
+            j.append(2, Fingerprint(2, 2)).unwrap();
+        }
+        let j = Journal::open(&path, &header(), true).unwrap();
+        assert_eq!(j.completed().len(), 1);
+        drop(j);
+        // Without --resume, an existing journal is restarted fresh.
+        let j = Journal::open(&path, &header(), false).unwrap();
+        assert!(j.completed().is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -104,7 +104,7 @@ pub fn sparse_a_product(
 
     for m_tile in 0..mt {
         let view = ATileView::new(&a_mask, core, m_tile * core.m0);
-        build_a_grid(&mut scratch.grid, &view, lanes);
+        build_a_grid(&mut scratch.grid, &mut scratch.span, &view, lanes);
         let mut assigns = Vec::new();
         schedule_assign_with(
             &scratch.grid,

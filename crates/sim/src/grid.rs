@@ -102,7 +102,11 @@ pub fn build_b_grid(grid: &mut OpGrid, span: &mut Vec<u64>, view: &BTileView<'_>
 
 /// Rebuilds `grid` as the op grid of one A-side tile row: ops are the
 /// nonzeros of A over `(t, lane, m_local, 1)`.
-pub fn build_a_grid(grid: &mut OpGrid, view: &ATileView<'_>, lanes: LaneMap) {
+///
+/// `span` is the same reusable word cache as in [`build_b_grid`]: pass 1
+/// records each `(row, t)` span word so pass 2 scatters from the cache
+/// instead of re-extracting every span from the mask.
+pub fn build_a_grid(grid: &mut OpGrid, span: &mut Vec<u64>, view: &ATileView<'_>, lanes: LaneMap) {
     let core = view.core();
     let mask = view.mask();
     let m0 = core.m0;
@@ -114,9 +118,11 @@ pub fn build_a_grid(grid: &mut OpGrid, view: &ATileView<'_>, lanes: LaneMap) {
     // K0-wide spans per time step so no index ever needs dividing.
     let t_steps = view.t_steps();
     if core.k0 <= 64 {
+        span.clear();
         for r in 0..m0 {
             for t in 0..t_steps {
                 let w = mask.span_bits(m_base + r, t * core.k0, core.k0);
+                span.push(w);
                 grid.t_counts[t] += w.count_ones();
                 let mut w = w;
                 while w != 0 {
@@ -127,11 +133,14 @@ pub fn build_a_grid(grid: &mut OpGrid, view: &ATileView<'_>, lanes: LaneMap) {
             }
         }
         grid.finish_counts();
-        // Pass 2: scatter; `t` ascends within each mask row, so each
-        // column (which draws from exactly one mask row) stays sorted.
+        // Pass 2: scatter from the cached spans; `t` ascends within each
+        // mask row, so each column (which draws from exactly one mask
+        // row) stays sorted.
+        let mut i = 0;
         for r in 0..m0 {
             for t in 0..t_steps {
-                let mut w = mask.span_bits(m_base + r, t * core.k0, core.k0);
+                let mut w = span[i];
+                i += 1;
                 while w != 0 {
                     let lane = lanes.dest_lane(w.trailing_zeros() as usize, t);
                     grid.push_counted(lane * m0 + r, t as u32);
@@ -212,11 +221,12 @@ mod tests {
         // Ragged M (partial last tile row) and ragged K.
         let mask = TensorGen::seeded(9).bernoulli_mask(2 * core.m0 - 1, 2 * core.k0 + 9, 0.4);
         let mut grid = OpGrid::default();
+        let mut span = Vec::new();
         for shuffle in [false, true] {
             let lanes = LaneMap::from_flag(shuffle);
             for m_tile in 0..2 {
                 let view = ATileView::new(&mask, core, m_tile * core.m0);
-                build_a_grid(&mut grid, &view, lanes);
+                build_a_grid(&mut grid, &mut span, &view, lanes);
                 let want = from_fn_a(&view, lanes, core.m0, core.k0);
                 assert_eq!(grid, want, "shuffle={shuffle} m_tile={m_tile}");
             }
@@ -234,7 +244,7 @@ mod tests {
         build_b_grid(&mut grid, &mut span, &b_view, LaneMap::Rotate);
         assert_eq!(grid.total_ops(), b_mask.nnz());
         let a_view = ATileView::new(&a_mask, core, 0);
-        build_a_grid(&mut grid, &a_view, LaneMap::Rotate);
+        build_a_grid(&mut grid, &mut span, &a_view, LaneMap::Rotate);
         assert_eq!(grid.total_ops(), a_mask.nnz());
         assert_eq!(grid, from_fn_a(&a_view, LaneMap::Rotate, core.m0, core.k0));
     }

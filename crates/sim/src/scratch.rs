@@ -51,7 +51,7 @@ pub struct SimScratch {
     pub(crate) sched: SchedScratch,
     /// Primary tile grid (single-sparse tiles; dual stage 1).
     pub(crate) grid: OpGrid,
-    /// Word cache for the B builder's per-row bit spans.
+    /// Word cache for the A/B builders' per-row bit spans.
     pub(crate) span: Vec<u64>,
     /// Active grid-reuse scope, set by campaign drivers that run the
     /// same workload under many architectures in a row.

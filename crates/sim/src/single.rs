@@ -148,16 +148,16 @@ pub fn simulate_sparse_a_with(
                 b_side: false,
                 core,
             };
-            let grid = scratch.grids.entry(key).or_insert_with(|| {
+            if !scratch.grids.contains_key(&key) {
                 let mut g = OpGrid::default();
                 let view = ATileView::new(&layer.a, core, m_tile * core.m0);
-                build_a_grid(&mut g, &view, lanes);
-                g
-            });
-            schedule_with(grid, eff, cfg.priority, &mut scratch.sched)
+                build_a_grid(&mut g, &mut scratch.span, &view, lanes);
+                scratch.grids.insert(key, g);
+            }
+            schedule_with(&scratch.grids[&key], eff, cfg.priority, &mut scratch.sched)
         } else {
             let view = ATileView::new(&layer.a, core, m_tile * core.m0);
-            build_a_grid(&mut scratch.grid, &view, lanes);
+            build_a_grid(&mut scratch.grid, &mut scratch.span, &view, lanes);
             schedule_with(&scratch.grid, eff, cfg.priority, &mut scratch.sched)
         };
         acc.add(s, scale * tiles.nt as f64);

@@ -329,6 +329,88 @@ pub fn prune_dir(dir: impl AsRef<Path>, max_bytes: u64) -> io::Result<PruneRepor
     Ok(report)
 }
 
+/// Outcome of a [`merge_dirs`] union.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MergeReport {
+    /// Entries copied into the destination.
+    pub merged: u64,
+    /// Entries already present with identical canonical content.
+    pub identical: u64,
+    /// Unreadable or unparsable source entries skipped.
+    pub invalid: u64,
+    /// Fingerprints present with *different* content (sorted). The
+    /// destination keeps its first-seen value; callers treat a non-empty
+    /// list as corruption (a fingerprint names the full scenario, so two
+    /// honest caches can never disagree).
+    pub conflicts: Vec<String>,
+}
+
+/// Unions the entries of several cache directories into `dest` by
+/// fingerprint — the merge step of a sharded campaign, where every shard
+/// simulated a disjoint cell set into its own directory.
+///
+/// Entries are re-encoded canonically (parse + rewrite through
+/// [`CellMetrics`]), so equality is content equality: the same scenario
+/// cached by different processes merges as `identical` even if the files
+/// went through different write paths. A source directory that does not
+/// exist is skipped (a shard may have had no cells); a source equal to
+/// `dest` is skipped entirely. Writes are atomic (temp file + rename),
+/// so a concurrent reader of `dest` never sees a torn entry.
+///
+/// # Errors
+///
+/// Returns the underlying error if `dest` cannot be created or an
+/// existing source directory cannot be read.
+pub fn merge_dirs(dest: impl AsRef<Path>, sources: &[impl AsRef<Path>]) -> io::Result<MergeReport> {
+    let dest = dest.as_ref();
+    std::fs::create_dir_all(dest)?;
+    let dest_canon = std::fs::canonicalize(dest)?;
+    let mut report = MergeReport::default();
+    for src in sources {
+        let src = src.as_ref();
+        if !src.exists() {
+            continue;
+        }
+        if std::fs::canonicalize(src)? == dest_canon {
+            continue;
+        }
+        // Deterministic order: fingerprint-sorted entries, so the
+        // first-seen value on a (hypothetical) conflict is stable.
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(src)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| is_entry(p))
+            .collect();
+        entries.sort();
+        for path in entries {
+            let Some(fp) = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .and_then(Fingerprint::parse)
+            else {
+                report.invalid += 1; // not a cache entry name
+                continue;
+            };
+            let Some(metrics) = read_entry(&path) else {
+                report.invalid += 1; // truncated/corrupt source file
+                continue;
+            };
+            let canonical = metrics.to_json().write();
+            let target = dest.join(format!("{fp}.json"));
+            match std::fs::read_to_string(&target) {
+                Ok(existing) if existing == canonical => report.identical += 1,
+                Ok(_) => report.conflicts.push(fp.to_string()),
+                Err(_) => {
+                    write_entry(&target, &metrics)?;
+                    report.merged += 1;
+                }
+            }
+        }
+    }
+    report.conflicts.sort();
+    report.conflicts.dedup();
+    Ok(report)
+}
+
 fn read_entry(path: &Path) -> Option<CellMetrics> {
     let text = std::fs::read_to_string(path).ok()?;
     let v = Json::parse(&text).ok()?;
@@ -484,6 +566,149 @@ mod tests {
         assert_eq!(r.evicted, 2);
         assert_eq!(disk_stats(&dir).unwrap(), DiskCacheInfo::default());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Unique scratch directory per test (parallel test threads must
+    /// not share).
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "griffin-sweep-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn prune_respects_the_inflight_tmp_age_cutoff() {
+        // A fresh temp file is a concurrent writer about to rename; only
+        // an abandoned (old-mtime) one is maintenance's to remove — even
+        // under the most aggressive budget.
+        let dir = scratch_dir("tmp-cutoff");
+        std::fs::create_dir_all(&dir).unwrap();
+        let fresh = dir.join("aaaa.tmp.1.0");
+        let stale = dir.join("bbbb.tmp.2.0");
+        std::fs::write(&fresh, "in flight").unwrap();
+        std::fs::write(&stale, "abandoned").unwrap();
+        std::fs::File::open(&stale)
+            .unwrap()
+            .set_modified(std::time::SystemTime::UNIX_EPOCH)
+            .unwrap();
+        assert!(!is_stale_tmp(&fresh));
+        assert!(is_stale_tmp(&stale));
+
+        let r = prune_dir(&dir, 0).unwrap();
+        assert_eq!((r.evicted, r.tmp_removed), (0, 1));
+        assert!(fresh.exists(), "a fresh .tmp must survive pruning");
+        assert!(!stale.exists(), "a stale .tmp must be removed");
+
+        // Exactly at the cutoff age counts as abandoned.
+        std::fs::File::open(&fresh)
+            .unwrap()
+            .set_modified(std::time::SystemTime::now() - STALE_TMP_AGE)
+            .unwrap();
+        assert!(is_stale_tmp(&fresh));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disk_stats_on_empty_and_corrupt_dirs() {
+        // Missing directory: a real error, not a silent zero.
+        let dir = scratch_dir("stats-edge");
+        assert!(disk_stats(&dir).is_err());
+
+        // Empty directory: all-zero stats.
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(disk_stats(&dir).unwrap(), DiskCacheInfo::default());
+
+        // A corrupt dump in a cache dir: `.json` files count as entries
+        // (size accounting must cover them — prune's business), other
+        // junk and subdirectories are ignored.
+        std::fs::write(dir.join("broken.json"), "not json at all").unwrap();
+        std::fs::write(dir.join("notes.txt"), "hello").unwrap();
+        std::fs::create_dir_all(dir.join("subdir")).unwrap();
+        let info = disk_stats(&dir).unwrap();
+        assert_eq!(info.entries, 1);
+        assert_eq!(info.total_bytes, "not json at all".len() as u64);
+        assert_eq!(info.stale_tmp, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn merge_unions_disjoint_shard_caches() {
+        let root = scratch_dir("merge-union");
+        let (a, b, dest) = (root.join("s0"), root.join("s1"), root.join("merged"));
+        let ca = ResultCache::at_dir(&a).unwrap();
+        let cb = ResultCache::at_dir(&b).unwrap();
+        ca.insert(Fingerprint(1, 1), metrics(1.5));
+        ca.insert(Fingerprint(2, 2), metrics(2.5));
+        cb.insert(Fingerprint(3, 3), metrics(3.5));
+
+        // A shard dir that never materialized is skipped, not an error.
+        let r = merge_dirs(&dest, &[a.clone(), b.clone(), root.join("s9")]).unwrap();
+        assert_eq!((r.merged, r.identical, r.invalid), (3, 0, 0));
+        assert!(r.conflicts.is_empty());
+        let merged = ResultCache::at_dir(&dest).unwrap();
+        for (fp, s) in [
+            (Fingerprint(1, 1), 1.5),
+            (Fingerprint(2, 2), 2.5),
+            (Fingerprint(3, 3), 3.5),
+        ] {
+            assert_eq!(merged.lookup(fp), Some(metrics(s)));
+        }
+
+        // Re-merging is idempotent: everything is now identical.
+        let r2 = merge_dirs(&dest, &[a, b]).unwrap();
+        assert_eq!((r2.merged, r2.identical), (0, 3));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn merge_detects_conflicts_and_skips_invalid_entries() {
+        let root = scratch_dir("merge-conflict");
+        let (a, b, dest) = (root.join("s0"), root.join("s1"), root.join("merged"));
+        let ca = ResultCache::at_dir(&a).unwrap();
+        let cb = ResultCache::at_dir(&b).unwrap();
+        // Same fingerprint, different content: impossible for honest
+        // caches, so the merge must flag it loudly.
+        ca.insert(Fingerprint(7, 7), metrics(1.0));
+        cb.insert(Fingerprint(7, 7), metrics(9.0));
+        // Corrupt source entry under a well-formed name, and a stray
+        // json file whose name is no fingerprint.
+        std::fs::write(a.join(format!("{}.json", Fingerprint(8, 8))), "garbage").unwrap();
+        std::fs::write(b.join("readme.json"), "{}").unwrap();
+
+        let r = merge_dirs(&dest, &[a, b]).unwrap();
+        assert_eq!((r.merged, r.identical, r.invalid), (1, 0, 2));
+        assert_eq!(r.conflicts, vec![Fingerprint(7, 7).to_string()]);
+        // First-seen value wins; the destination stays self-consistent.
+        let merged = ResultCache::at_dir(&dest).unwrap();
+        assert_eq!(merged.lookup(Fingerprint(7, 7)), Some(metrics(1.0)));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn merge_preserves_degenerate_float_entries() {
+        // NaN metrics must merge as `identical` on re-merge: equality is
+        // canonical-bytes, not f64 PartialEq (NaN != NaN).
+        let root = scratch_dir("merge-nan");
+        let src = root.join("s0");
+        let dest = root.join("merged");
+        let c = ResultCache::at_dir(&src).unwrap();
+        c.insert(
+            Fingerprint(5, 5),
+            CellMetrics {
+                tops_per_w: f64::NAN,
+                ..metrics(1.0)
+            },
+        );
+        let r1 = merge_dirs(&dest, std::slice::from_ref(&src)).unwrap();
+        let r2 = merge_dirs(&dest, &[src]).unwrap();
+        assert_eq!(r1.merged, 1);
+        assert_eq!(r2.identical, 1);
+        assert!(r2.conflicts.is_empty());
+        std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]

@@ -92,6 +92,35 @@ fn workload_key(cell: &Cell) -> Fingerprint {
     h.finish()
 }
 
+/// A live progress event emitted by [`run_cells`] while a campaign is
+/// executing. Events fire from worker threads in completion order (not
+/// grid order); the final cell list is still assembled deterministically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CellEvent<'a> {
+    /// A worker began simulating a cell (cache misses only).
+    Started {
+        /// The cell being simulated.
+        cell: &'a Cell,
+        /// Its stable scenario fingerprint.
+        fingerprint: Fingerprint,
+    },
+    /// A cell's metrics became available.
+    Finished {
+        /// The finished cell.
+        cell: &'a Cell,
+        /// Its stable scenario fingerprint.
+        fingerprint: Fingerprint,
+        /// The simulation results.
+        metrics: CellMetrics,
+        /// `true` when served without a fresh simulation (a cache hit,
+        /// or an in-campaign twin of a cell simulated this run).
+        cached: bool,
+    },
+}
+
+/// No-op observer for drivers that don't stream progress.
+pub fn no_observer(_: &CellEvent<'_>) {}
+
 /// Runs every grid cell of `spec`, using `cache` to skip scenarios that
 /// were already simulated (by this process or, with a directory-backed
 /// cache, by any earlier one).
@@ -113,7 +142,75 @@ pub fn run_campaign(
     }
     let start = Instant::now();
     let stats_before = cache.stats();
-    let cells = spec.cells();
+    let records = run_cells(spec, &spec.cells(), cache, workers, &no_observer)?;
+
+    let after = cache.stats();
+    Ok(CampaignReport {
+        campaign: spec.name.clone(),
+        cells: records,
+        cache: CacheStats {
+            hits: after.hits - stats_before.hits,
+            misses: after.misses - stats_before.misses,
+            disk_hits: after.disk_hits - stats_before.disk_hits,
+            stores: after.stores - stats_before.stores,
+        },
+        workers,
+        elapsed_ms: start.elapsed().as_millis(),
+    })
+}
+
+/// Runs an arbitrary subset of a campaign's grid cells — the primitive
+/// behind [`run_campaign`] (all cells) and the fleet coordinator's shard
+/// execution (one shard's cells, minus journaled completions).
+///
+/// Returns one [`CellRecord`] per input cell, in input order; `cells`
+/// keep their *global* grid indices, so records from disjoint subsets
+/// can be recombined into a full campaign. `observe` is called from
+/// worker threads as cells start and finish (see [`CellEvent`]) and must
+/// therefore be `Sync`; pass [`no_observer`] when progress streaming is
+/// not needed.
+///
+/// The phase-2 workload-build pool uses every core regardless of
+/// `workers` (builds never affect the report, so a `--workers 1`
+/// simulation run shouldn't serialize its cross-seed mask builds);
+/// callers sharing the machine with sibling processes — spawned shard
+/// workers — bound it via [`run_cells_bounded`].
+///
+/// # Errors
+///
+/// [`SweepError::Workload`] when a workload fails validation. An empty
+/// subset is not an error (returns no records).
+pub fn run_cells(
+    spec: &SweepSpec,
+    cells: &[Cell],
+    cache: &ResultCache,
+    workers: usize,
+    observe: &(dyn Fn(&CellEvent<'_>) + Sync),
+) -> Result<Vec<CellRecord>, SweepError> {
+    run_cells_bounded(
+        spec,
+        cells,
+        cache,
+        workers,
+        workers.max(default_workers()),
+        observe,
+    )
+}
+
+/// [`run_cells`] with an explicit phase-2 build-pool bound — for
+/// processes pinned to a thread budget on a shared machine.
+///
+/// # Errors
+///
+/// As [`run_cells`].
+pub fn run_cells_bounded(
+    spec: &SweepSpec,
+    cells: &[Cell],
+    cache: &ResultCache,
+    workers: usize,
+    build_workers: usize,
+    observe: &(dyn Fn(&CellEvent<'_>) + Sync),
+) -> Result<Vec<CellRecord>, SweepError> {
     let fingerprints: Vec<Fingerprint> = cells.iter().map(|c| c.fingerprint(&spec.sim)).collect();
 
     // Phase 1: probe the cache, and deduplicate identical scenarios
@@ -125,14 +222,21 @@ pub fn run_campaign(
     let mut missing: Vec<usize> = Vec::new(); // one representative per fingerprint
     let mut twins: HashMap<Fingerprint, Vec<usize>> = HashMap::new();
     for i in 0..cells.len() {
-        if metrics[i].is_some() {
-            continue;
+        match metrics[i] {
+            Some(m) => observe(&CellEvent::Finished {
+                cell: &cells[i],
+                fingerprint: fingerprints[i],
+                metrics: m,
+                cached: true,
+            }),
+            None => {
+                let bucket = twins.entry(fingerprints[i]).or_default();
+                if bucket.is_empty() {
+                    missing.push(i);
+                }
+                bucket.push(i);
+            }
         }
-        let bucket = twins.entry(fingerprints[i]).or_default();
-        if bucket.is_empty() {
-            missing.push(i);
-        }
-        bucket.push(i);
     }
 
     if !missing.is_empty() {
@@ -151,11 +255,16 @@ pub fn run_campaign(
                 }
             }
         }
+        // Workload construction is a pure per-cell function that never
+        // reaches the report; the pool bound comes from the caller (all
+        // cores by default — ROADMAP scheduler-headroom item — or the
+        // process's pinned budget for spawned shard workers).
+        let build_workers = build_workers.clamp(1, keys.len());
         let built: Mutex<HashMap<Fingerprint, Arc<Workload>>> = Mutex::new(HashMap::new());
         let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
         let next_key = AtomicUsize::new(0);
         std::thread::scope(|s| {
-            for _ in 0..workers.min(keys.len()) {
+            for _ in 0..build_workers {
                 s.spawn(|| loop {
                     let k = next_key.fetch_add(1, Ordering::Relaxed);
                     if k >= keys.len() {
@@ -200,6 +309,10 @@ pub fn run_campaign(
                         }
                         let i = missing[j];
                         let cell = &cells[i];
+                        observe(&CellEvent::Started {
+                            cell,
+                            fingerprint: fingerprints[i],
+                        });
                         let key = workload_key(cell);
                         let wl = Arc::clone(&built[&key]);
                         // Consecutive cells sweep architectures over one
@@ -218,6 +331,16 @@ pub fn run_campaign(
                             tops_per_mm2: report.effective_tops_per_mm2,
                         };
                         cache.insert(fingerprints[i], m);
+                        // Stream completion for the simulated cell and
+                        // every in-campaign twin it resolves.
+                        for &twin in &twins[&fingerprints[i]] {
+                            observe(&CellEvent::Finished {
+                                cell: &cells[twin],
+                                fingerprint: fingerprints[twin],
+                                metrics: m,
+                                cached: twin != i,
+                            });
+                        }
                         done.lock().expect("done lock").push((i, m));
                     }
                 });
@@ -230,8 +353,9 @@ pub fn run_campaign(
         }
     }
 
-    // Assemble in grid order — identical output for any worker count.
-    let records = cells
+    // Assemble in input (grid) order — identical output for any worker
+    // count.
+    Ok(cells
         .iter()
         .zip(&fingerprints)
         .zip(metrics)
@@ -244,21 +368,7 @@ pub fn run_campaign(
             fingerprint: fp.to_string(),
             metrics: m.expect("every cell resolved"),
         })
-        .collect();
-
-    let after = cache.stats();
-    Ok(CampaignReport {
-        campaign: spec.name.clone(),
-        cells: records,
-        cache: CacheStats {
-            hits: after.hits - stats_before.hits,
-            misses: after.misses - stats_before.misses,
-            disk_hits: after.disk_hits - stats_before.disk_hits,
-            stores: after.stores - stats_before.stores,
-        },
-        workers,
-        elapsed_ms: start.elapsed().as_millis(),
-    })
+        .collect())
 }
 
 #[cfg(test)]
@@ -346,6 +456,85 @@ mod tests {
             Err(SweepError::Workload(msg)) => assert!(msg.contains("zero")),
             other => panic!("expected workload error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn disjoint_subsets_recombine_into_the_full_campaign() {
+        let spec = small_spec();
+        let cells = spec.cells();
+        let cache = ResultCache::in_memory();
+        // Interleaved split: subsets are not contiguous grid ranges.
+        let evens: Vec<Cell> = cells.iter().filter(|c| c.index % 2 == 0).cloned().collect();
+        let odds: Vec<Cell> = cells.iter().filter(|c| c.index % 2 == 1).cloned().collect();
+        let mut recs = run_cells(&spec, &evens, &cache, 2, &no_observer).unwrap();
+        recs.extend(run_cells(&spec, &odds, &cache, 3, &no_observer).unwrap());
+        recs.sort_by_key(|r| r.index);
+        let full = run_campaign(&spec, &ResultCache::in_memory(), 2).unwrap();
+        assert_eq!(recs, full.cells);
+        // Empty subsets are fine.
+        assert_eq!(run_cells(&spec, &[], &cache, 2, &no_observer), Ok(vec![]));
+    }
+
+    #[test]
+    fn observer_streams_every_cell_exactly_once() {
+        let spec = small_spec();
+        let cache = ResultCache::in_memory();
+        let started = AtomicUsize::new(0);
+        let finished: Mutex<Vec<(usize, bool)>> = Mutex::new(Vec::new());
+        run_cells(&spec, &spec.cells(), &cache, 3, &|ev| match ev {
+            CellEvent::Started { .. } => {
+                started.fetch_add(1, Ordering::Relaxed);
+            }
+            CellEvent::Finished { cell, cached, .. } => {
+                finished.lock().unwrap().push((cell.index, *cached));
+            }
+        })
+        .unwrap();
+        let mut fin = finished.into_inner().unwrap();
+        fin.sort_unstable();
+        assert_eq!(started.load(Ordering::Relaxed), 12);
+        assert_eq!(
+            fin,
+            (0..12).map(|i| (i, false)).collect::<Vec<_>>(),
+            "cold run: every cell finishes uncached, exactly once"
+        );
+
+        // Warm rerun: all finishes are cached, nothing starts.
+        let started2 = AtomicUsize::new(0);
+        let cached2 = AtomicUsize::new(0);
+        run_cells(&spec, &spec.cells(), &cache, 3, &|ev| match ev {
+            CellEvent::Started { .. } => {
+                started2.fetch_add(1, Ordering::Relaxed);
+            }
+            CellEvent::Finished { cached: true, .. } => {
+                cached2.fetch_add(1, Ordering::Relaxed);
+            }
+            CellEvent::Finished { .. } => {}
+        })
+        .unwrap();
+        assert_eq!(started2.load(Ordering::Relaxed), 0);
+        assert_eq!(cached2.load(Ordering::Relaxed), 12);
+    }
+
+    #[test]
+    fn observer_marks_twin_cells_cached() {
+        // A duplicated seed: 6 distinct scenarios, each with one twin.
+        let spec = small_spec().seeds([1, 1]);
+        let cache = ResultCache::in_memory();
+        let fresh = AtomicUsize::new(0);
+        let twinned = AtomicUsize::new(0);
+        run_cells(&spec, &spec.cells(), &cache, 2, &|ev| {
+            if let CellEvent::Finished { cached, .. } = ev {
+                if *cached {
+                    twinned.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    fresh.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        })
+        .unwrap();
+        assert_eq!(fresh.load(Ordering::Relaxed), 6);
+        assert_eq!(twinned.load(Ordering::Relaxed), 6);
     }
 
     #[test]

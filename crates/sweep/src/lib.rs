@@ -55,8 +55,12 @@ pub mod spec;
 
 pub use aggregate::{pareto_designs, per_arch, summarize, ArchAggregate, Summary};
 pub use cache::{
-    disk_stats, prune_dir, CacheStats, CellMetrics, DiskCacheInfo, PruneReport, ResultCache,
+    disk_stats, merge_dirs, prune_dir, CacheStats, CellMetrics, DiskCacheInfo, MergeReport,
+    PruneReport, ResultCache,
 };
-pub use executor::{default_workers, run_campaign, CampaignReport, CellRecord, SweepError};
+pub use executor::{
+    default_workers, no_observer, run_campaign, run_cells, run_cells_bounded, CampaignReport,
+    CellEvent, CellRecord, SweepError,
+};
 pub use fingerprint::Fingerprint;
 pub use spec::{ArchFamily, Cell, SweepSpec, WorkloadSpec};

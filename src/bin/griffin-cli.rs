@@ -7,6 +7,8 @@
 //! $ griffin-cli layer 196 1152 256 0.57 0.19 # ad-hoc layer on the star designs
 //! $ griffin-cli sweep bert b --workers 8 --cache .sweep-cache --csv out.csv
 //! $ griffin-cli pareto resnet50 b            # §VI Pareto front of a family
+//! $ griffin-cli fleet bert b --shards 4      # sharded campaign + journal
+//! $ griffin-cli fleet bert b --shards 4 --spawn --resume
 //! $ griffin-cli bench --out BENCH_sched.json # scheduler perf telemetry
 //! $ griffin-cli cache stats .sweep-cache     # on-disk result cache usage
 //! $ griffin-cli cache prune .sweep-cache --max-bytes 64m
@@ -14,19 +16,27 @@
 //!
 //! Argument parsing is deliberately dependency-free (no clap): fixed
 //! subcommands with positional arguments plus `--flag value` options
-//! for the campaign commands.
+//! for the campaign commands. (`shard-worker` is the internal
+//! subprocess behind `fleet --spawn`; it speaks the fleet JSONL event
+//! protocol on stdout.)
 
 use std::env;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use griffin::core::accelerator::Accelerator;
 use griffin::core::arch::ArchSpec;
 use griffin::core::category::DnnCategory;
+use griffin::fleet::coordinator::{
+    default_events_path, run_fleet, run_fleet_spawned, run_shard_worker, FleetConfig, WorkerConfig,
+    WorkerSpawn,
+};
+use griffin::fleet::events::JsonlSink;
 use griffin::sim::config::{Fidelity, SimConfig};
 use griffin::sweep::report::{to_csv, to_json, write_file};
 use griffin::sweep::{
     default_workers, disk_stats, pareto_designs, per_arch, prune_dir, run_campaign, summarize,
-    ArchFamily, ResultCache, SweepSpec,
+    ArchFamily, Fingerprint, ResultCache, SweepSpec,
 };
 use griffin::workloads::suite::{build_workload, Benchmark};
 use griffin::workloads::synth::synthetic_layer;
@@ -90,6 +100,7 @@ fn usage() -> ExitCode {
     eprintln!("  griffin-cli layer <M> <K> <N> <a_density> <b_density>");
     eprintln!("  griffin-cli sweep <benchmark|synth> <category> [sweep options]");
     eprintln!("  griffin-cli pareto <benchmark|synth> <family> [sweep options]");
+    eprintln!("  griffin-cli fleet <benchmark|synth> <category> --shards N [fleet/sweep options]");
     eprintln!("  griffin-cli bench [--quick] [--out PATH]     (default BENCH_sched.json)");
     eprintln!("  griffin-cli cache stats <DIR>");
     eprintln!("  griffin-cli cache prune <DIR> --max-bytes N[k|m|g]");
@@ -103,12 +114,22 @@ fn usage() -> ExitCode {
     eprintln!("  --family a|b|ab     design family axis (default: from category, else b)");
     eprintln!("  --fanin N           mux fan-in bound for the family (default: 8)");
     eprintln!("  --lineup            sweep the Table VII lineup instead of a family");
-    eprintln!("  --workers N         worker threads (default: all cores)");
+    eprintln!("  --workers N         simulation worker threads (default: all cores;");
+    eprintln!("                      workload builds use all cores except in shard workers)");
     eprintln!("  --seeds a,b,c       mask seeds (default: 42,43)");
     eprintln!("  --tiles N           sampled tiles per layer (default: 12)");
     eprintln!("  --cache DIR         on-disk result cache shared across runs");
     eprintln!("  --csv PATH          write the per-cell report as CSV");
     eprintln!("  --json PATH         write the per-cell report as JSON");
+    eprintln!();
+    eprintln!("FLEET OPTIONS (with any sweep option; --workers applies per shard):");
+    eprintln!("  --shards N          shard count (required)");
+    eprintln!("  --spawn             one shard-worker subprocess per shard (default in-process)");
+    eprintln!("  --dir DIR           state dir: journal, shard caches, merged cache");
+    eprintln!("                      (default .griffin-fleet)");
+    eprintln!("  --events PATH|-     JSONL event stream (default DIR/events.jsonl, - = stdout)");
+    eprintln!("  --resume            resume from the journal (spec fingerprint verified)");
+    eprintln!("  --heartbeat N       heartbeat every N cells per shard (default 32, 0 = off)");
     ExitCode::from(2)
 }
 
@@ -207,10 +228,14 @@ fn campaign_sim(tiles: usize) -> SimConfig {
     }
 }
 
+/// Writes the report files. `quiet` routes the confirmations to stderr
+/// — `fleet --events -` gives stdout to the JSONL stream, which must
+/// stay pure JSON lines.
 fn finish_reports(
     report: &griffin::sweep::CampaignReport,
     csv: &Option<String>,
     json: &Option<String>,
+    quiet: bool,
 ) -> Result<(), ExitCode> {
     for (path, contents) in [(csv, to_csv(report)), (json, to_json(report))] {
         if let Some(p) = path {
@@ -218,25 +243,28 @@ fn finish_reports(
                 eprintln!("cannot write {p}: {e}");
                 return Err(ExitCode::FAILURE);
             }
-            println!("wrote {p}");
+            if quiet {
+                eprintln!("wrote {p}");
+            } else {
+                println!("wrote {p}");
+            }
         }
     }
     Ok(())
 }
 
-fn cmd_sweep(workload: &str, cat: &str, rest: &[String]) -> ExitCode {
-    let (Some(c), Some(opts)) = (parse_category(cat), parse_sweep_args(rest)) else {
-        return usage();
-    };
+/// Builds the campaign spec the `sweep` and `fleet` commands share. The
+/// spec — including its name — must be identical between them: fleet
+/// reports are pinned byte-identical to single-process sweep reports,
+/// and shard workers recompute this spec from the same tokens.
+fn build_sweep_spec(workload: &str, cat: &str, opts: &SweepArgs) -> Option<SweepSpec> {
+    let c = parse_category(cat)?;
     let mut spec = SweepSpec::new(format!("sweep-{workload}-{cat}"))
         .category(c)
         .seeds(opts.seeds.clone())
         .sim(campaign_sim(opts.tiles));
-    let Some(with_wl) = add_workload(spec, workload) else {
-        return usage();
-    };
-    spec = with_wl;
-    spec = if opts.lineup {
+    spec = add_workload(spec, workload)?;
+    Some(if opts.lineup {
         spec.archs(ArchSpec::table7_lineup())
     } else {
         // Default family follows the category's home axis.
@@ -252,6 +280,15 @@ fn cmd_sweep(workload: &str, cat: &str, rest: &[String]) -> ExitCode {
             },
         });
         spec.arch(ArchSpec::dense()).family(family)
+    })
+}
+
+fn cmd_sweep(workload: &str, cat: &str, rest: &[String]) -> ExitCode {
+    let Some(opts) = parse_sweep_args(rest) else {
+        return usage();
+    };
+    let Some(spec) = build_sweep_spec(workload, cat, &opts) else {
+        return usage();
     };
 
     let cache = match open_cache(&opts.cache_dir) {
@@ -273,7 +310,7 @@ fn cmd_sweep(workload: &str, cat: &str, rest: &[String]) -> ExitCode {
     };
     // Persist the machine-readable reports before any further stdout:
     // a consumer piping through `head` must still get its files.
-    if finish_reports(&report, &opts.csv, &opts.json).is_err() {
+    if finish_reports(&report, &opts.csv, &opts.json, false).is_err() {
         return ExitCode::FAILURE;
     }
 
@@ -360,7 +397,7 @@ fn cmd_pareto(workload: &str, family_tok: &str, rest: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if finish_reports(&report, &opts.csv, &opts.json).is_err() {
+    if finish_reports(&report, &opts.csv, &opts.json, false).is_err() {
         return ExitCode::FAILURE;
     }
     println!(
@@ -385,6 +422,276 @@ fn cmd_pareto(workload: &str, family_tok: &str, rest: &[String]) -> ExitCode {
         );
     }
     ExitCode::SUCCESS
+}
+
+/// Fleet-specific flags, split off before the shared sweep options.
+struct FleetCliArgs {
+    shards: usize,
+    spawn: bool,
+    dir: String,
+    events: Option<String>,
+    resume: bool,
+    heartbeat: usize,
+    /// Remaining (sweep) options, preserved verbatim so `--spawn` can
+    /// forward them to shard workers unchanged.
+    sweep_rest: Vec<String>,
+}
+
+/// Forwards a flag the fleet/worker splitters don't recognize into the
+/// sweep-option remainder, keeping its value paired — the one shared
+/// rule both splitters must agree on: every sweep flag takes a value
+/// except the boolean `--lineup` ([`parse_sweep_args`] validates the
+/// result).
+fn forward_sweep_flag<'a>(
+    flag: &str,
+    it: &mut impl Iterator<Item = &'a String>,
+    sweep_rest: &mut Vec<String>,
+) -> Option<()> {
+    sweep_rest.push(flag.to_string());
+    if flag != "--lineup" {
+        sweep_rest.push(it.next()?.clone());
+    }
+    Some(())
+}
+
+/// Splits fleet flags from an argument list, leaving sweep options in
+/// `sweep_rest`.
+fn split_fleet_args(args: &[String]) -> Option<FleetCliArgs> {
+    let mut out = FleetCliArgs {
+        shards: 0,
+        spawn: false,
+        dir: ".griffin-fleet".into(),
+        events: None,
+        resume: false,
+        heartbeat: 32,
+        sweep_rest: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--shards" => out.shards = it.next()?.parse().ok().filter(|&n| n > 0)?,
+            "--spawn" => out.spawn = true,
+            "--dir" => out.dir = it.next()?.clone(),
+            "--events" => out.events = Some(it.next()?.clone()),
+            "--resume" => out.resume = true,
+            "--heartbeat" => out.heartbeat = it.next()?.parse().ok()?,
+            other => forward_sweep_flag(other, &mut it, &mut out.sweep_rest)?,
+        }
+    }
+    (out.shards > 0).then_some(out)
+}
+
+/// Opens the fleet event sink: a JSONL file in the state dir by
+/// default, an explicit path, or stdout (`-`). Returns the sink and
+/// whether human chatter must be suppressed (events own stdout).
+fn open_event_sink(
+    dir: &std::path::Path,
+    events: &Option<String>,
+    resume: bool,
+) -> Result<(JsonlSink<Box<dyn std::io::Write + Send>>, bool), ExitCode> {
+    if events.as_deref() == Some("-") {
+        return Ok((JsonlSink::new(Box::new(std::io::stdout())), true));
+    }
+    let path = events
+        .as_ref()
+        .map_or_else(|| default_events_path(dir), PathBuf::from);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("cannot create event stream directory: {e}");
+                return Err(ExitCode::FAILURE);
+            }
+        }
+    }
+    // A fresh campaign starts a fresh stream; a resume appends to it.
+    let mut o = std::fs::OpenOptions::new();
+    if resume {
+        o.append(true).create(true);
+    } else {
+        o.write(true).create(true).truncate(true);
+    }
+    match o.open(&path) {
+        Ok(f) => Ok((JsonlSink::new(Box::new(f)), false)),
+        Err(e) => {
+            eprintln!("cannot open event stream {}: {e}", path.display());
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn cmd_fleet(workload: &str, cat: &str, rest: &[String]) -> ExitCode {
+    let Some(fleet_args) = split_fleet_args(rest) else {
+        return usage();
+    };
+    let Some(opts) = parse_sweep_args(&fleet_args.sweep_rest) else {
+        return usage();
+    };
+    if opts.cache_dir.is_some() {
+        eprintln!("fleet manages its own caches under --dir; drop --cache");
+        return usage();
+    }
+    let Some(spec) = build_sweep_spec(workload, cat, &opts) else {
+        return usage();
+    };
+    let dir = PathBuf::from(&fleet_args.dir);
+    let cfg = FleetConfig {
+        shards: fleet_args.shards,
+        workers: opts.workers,
+        dir: dir.clone(),
+        resume: fleet_args.resume,
+        heartbeat_every: fleet_args.heartbeat,
+    };
+    let (mut sink, quiet) = match open_event_sink(&dir, &fleet_args.events, fleet_args.resume) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    if !quiet {
+        println!(
+            "fleet `{}`: {} cells over {} shards ({}){}...",
+            spec.name,
+            spec.cell_count(),
+            cfg.shards,
+            if fleet_args.spawn {
+                "subprocesses"
+            } else {
+                "in-process"
+            },
+            if cfg.resume { ", resuming" } else { "" }
+        );
+    }
+
+    let report = if fleet_args.spawn {
+        let exe = match std::env::current_exe() {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("cannot locate own executable for --spawn: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // Forward the sweep options verbatim so every worker rebuilds
+        // the identical spec; pin a per-shard worker count when the
+        // user left it defaulted (N concurrent shards would otherwise
+        // each grab every core).
+        let mut forward = fleet_args.sweep_rest.clone();
+        if !forward.iter().any(|a| a == "--workers") {
+            let per_shard = (default_workers() / cfg.shards).max(1);
+            forward.extend(["--workers".into(), per_shard.to_string()]);
+        }
+        let make = |w: &WorkerSpawn| {
+            let mut cmd = std::process::Command::new(&exe);
+            cmd.arg("shard-worker").arg(workload).arg(cat);
+            cmd.args(&forward);
+            cmd.args([
+                "--shards",
+                &w.shards.to_string(),
+                "--shard",
+                &w.shard.to_string(),
+                "--expect-fp",
+                &w.expect_fp.to_string(),
+                "--heartbeat",
+                &fleet_args.heartbeat.to_string(),
+            ]);
+            cmd.arg("--cache").arg(&w.cache_dir);
+            cmd.arg("--journal").arg(&w.journal);
+            cmd
+        };
+        run_fleet_spawned(&spec, &cfg, &make, &mut sink)
+    } else {
+        run_fleet(&spec, &cfg, &mut sink)
+    };
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if finish_reports(&report, &opts.csv, &opts.json, quiet).is_err() {
+        return ExitCode::FAILURE;
+    }
+    if !quiet {
+        let s = summarize(&report);
+        println!(
+            "{} cells in {} ms across {} shards",
+            s.cells, report.elapsed_ms, cfg.shards
+        );
+        println!(
+            "geomean speedup {:.2}x over {} architectures",
+            s.geomean_speedup, s.archs
+        );
+        if fleet_args.events.is_none() {
+            println!("event stream: {}", default_events_path(&dir).display());
+        }
+        println!(
+            "journal: {} (resume with --resume)",
+            dir.join("journal.jsonl").display()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// Worker-specific flags of the internal `shard-worker` subcommand.
+struct WorkerCliArgs {
+    shards: usize,
+    shard: Option<usize>,
+    expect_fp: Option<Fingerprint>,
+    cache: Option<String>,
+    journal: Option<String>,
+    heartbeat: usize,
+    sweep_rest: Vec<String>,
+}
+
+fn split_worker_args(args: &[String]) -> Option<WorkerCliArgs> {
+    let mut out = WorkerCliArgs {
+        shards: 0,
+        shard: None,
+        expect_fp: None,
+        cache: None,
+        journal: None,
+        heartbeat: 0,
+        sweep_rest: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--shards" => out.shards = it.next()?.parse().ok().filter(|&n| n > 0)?,
+            "--shard" => out.shard = Some(it.next()?.parse().ok()?),
+            "--expect-fp" => out.expect_fp = Some(Fingerprint::parse(it.next()?)?),
+            "--cache" => out.cache = Some(it.next()?.clone()),
+            "--journal" => out.journal = Some(it.next()?.clone()),
+            "--heartbeat" => out.heartbeat = it.next()?.parse().ok()?,
+            other => forward_sweep_flag(other, &mut it, &mut out.sweep_rest)?,
+        }
+    }
+    (out.shards > 0 && out.shard.is_some() && out.cache.is_some()).then_some(out)
+}
+
+fn cmd_shard_worker(workload: &str, cat: &str, rest: &[String]) -> ExitCode {
+    let Some(w) = split_worker_args(rest) else {
+        return usage();
+    };
+    let Some(opts) = parse_sweep_args(&w.sweep_rest) else {
+        return usage();
+    };
+    let Some(spec) = build_sweep_spec(workload, cat, &opts) else {
+        return usage();
+    };
+    let cfg = WorkerConfig {
+        shards: w.shards,
+        shard: w.shard.expect("validated"),
+        expect_fp: w.expect_fp,
+        journal: w.journal.map(PathBuf::from),
+        cache_dir: PathBuf::from(w.cache.expect("validated")),
+        workers: opts.workers,
+        heartbeat_every: w.heartbeat,
+    };
+    match run_shard_worker(&spec, &cfg, std::io::stdout()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("shard-worker: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn cmd_list() -> ExitCode {
@@ -496,6 +803,7 @@ fn cmd_bench(rest: &[String]) -> ExitCode {
     };
     match bench::run_bench(&opts) {
         Ok(json) => {
+            let json = bench::merge_unknown_sections(json, &opts.out);
             if let Err(e) = write_file(&opts.out, &json.write()) {
                 eprintln!("cannot write {}: {e}", opts.out);
                 return ExitCode::FAILURE;
@@ -588,6 +896,8 @@ fn main() -> ExitCode {
         Some("layer") => cmd_layer(&args[1..]),
         Some("sweep") if args.len() >= 3 => cmd_sweep(&args[1], &args[2], &args[3..]),
         Some("pareto") if args.len() >= 3 => cmd_pareto(&args[1], &args[2], &args[3..]),
+        Some("fleet") if args.len() >= 3 => cmd_fleet(&args[1], &args[2], &args[3..]),
+        Some("shard-worker") if args.len() >= 3 => cmd_shard_worker(&args[1], &args[2], &args[3..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("cache") => cmd_cache(&args[1..]),
         _ => usage(),

@@ -13,11 +13,21 @@
 //!   [`griffin::telemetry::CountingAlloc`] — the zero-alloc contract,
 //!   measured rather than asserted;
 //! * **campaign** — a small synthetic sweep through the full campaign
-//!   engine, reporting cells/second.
+//!   engine, reporting cells/second;
+//! * **fleet** — the same sweep through the sharded fleet coordinator
+//!   (2 in-process shards, journal, merge, assembly), reporting the
+//!   orchestration overhead over a plain campaign.
+//!
+//! Regeneration preserves hand-recorded data: top-level sections of an
+//! existing output file that this probe set doesn't produce (e.g.
+//! machine-measured PR-to-PR comparisons) are carried over verbatim by
+//! [`merge_unknown_sections`].
 
 use std::time::Instant;
 
 use griffin::core::category::DnnCategory;
+use griffin::fleet::coordinator::{run_fleet, FleetConfig};
+use griffin::fleet::events::NullSink;
 use griffin::sim::config::{Fidelity, Priority, SimConfig};
 use griffin::sim::engine::{reference, schedule_with, OpGrid, SchedScratch};
 use griffin::sim::grid::build_b_grid;
@@ -192,6 +202,27 @@ pub fn run_bench(args: &BenchArgs) -> Result<Json, String> {
         report.elapsed_ms
     );
 
+    // --- fleet: orchestration overhead of the sharded coordinator -----
+    let fleet_dir = std::env::temp_dir().join(format!(
+        "griffin-bench-fleet-{}-{}",
+        std::process::id(),
+        if args.quick { "q" } else { "f" }
+    ));
+    let _ = std::fs::remove_dir_all(&fleet_dir);
+    let mut fleet_cfg = FleetConfig::new(&fleet_dir, 2);
+    fleet_cfg.workers = 1;
+    let fleet_report = run_fleet(&spec, &fleet_cfg, &mut NullSink).map_err(|e| e.to_string())?;
+    let _ = std::fs::remove_dir_all(&fleet_dir);
+    let fleet_secs = (fleet_report.elapsed_ms as f64 / 1e3).max(1e-9);
+    let fleet_cells_per_sec = fleet_report.cells.len() as f64 / fleet_secs;
+    let overhead = fleet_report.elapsed_ms as f64 / (report.elapsed_ms as f64).max(1.0);
+    println!(
+        "  fleet: {} cells in {} ms over 2 shards ({fleet_cells_per_sec:.1} cells/s, \
+         {overhead:.2}x of plain campaign incl. journal+merge+assembly)",
+        fleet_report.cells.len(),
+        fleet_report.elapsed_ms
+    );
+
     Ok(Json::obj([
         ("schema".into(), Json::Str("griffin-bench-sched/1".into())),
         ("quick".into(), Json::Bool(args.quick)),
@@ -219,7 +250,48 @@ pub fn run_bench(args: &BenchArgs) -> Result<Json, String> {
                 ("cells_per_sec".into(), Json::from_f64(cells_per_sec)),
             ]),
         ),
+        (
+            "fleet".into(),
+            Json::obj([
+                ("shards".into(), Json::from_f64(2.0)),
+                (
+                    "cells".into(),
+                    Json::from_f64(fleet_report.cells.len() as f64),
+                ),
+                (
+                    "elapsed_ms".into(),
+                    Json::from_f64(fleet_report.elapsed_ms as f64),
+                ),
+                ("cells_per_sec".into(), Json::from_f64(fleet_cells_per_sec)),
+                ("overhead_vs_campaign".into(), Json::from_f64(overhead)),
+            ]),
+        ),
     ]))
+}
+
+/// Carries over top-level sections of an existing report file that the
+/// fresh report doesn't produce — hand-recorded data (like the measured
+/// `sweep_bert_b_workers1` PR comparison) survives regeneration; probe
+/// sections are always replaced by their fresh values.
+pub fn merge_unknown_sections(fresh: Json, out_path: &str) -> Json {
+    let Json::Obj(mut new) = fresh else {
+        return fresh;
+    };
+    if let Ok(Json::Obj(old)) = std::fs::read_to_string(out_path)
+        .map_err(|e| e.to_string())
+        .and_then(|t| Json::parse(&t).map_err(|e| e.to_string()))
+    {
+        for (k, v) in old {
+            if let std::collections::btree_map::Entry::Vacant(slot) = new.entry(k) {
+                println!(
+                    "  keeping section `{}` from existing {out_path}",
+                    slot.key()
+                );
+                slot.insert(v);
+            }
+        }
+    }
+    Json::Obj(new)
 }
 
 /// Small helper so quick mode sweeps a smaller family.

@@ -12,7 +12,10 @@
 //! * [`workloads`] — the six Table-IV benchmark networks
 //!   ([`griffin_workloads`]),
 //! * [`sweep`] — the parallel scenario-sweep campaign engine with
-//!   result caching and CSV/JSON reports ([`griffin_sweep`]).
+//!   result caching and CSV/JSON reports ([`griffin_sweep`]),
+//! * [`fleet`] — sharded campaign orchestration: shard planning, JSONL
+//!   event streaming, journaled resume, cache merging
+//!   ([`griffin_fleet`]).
 //!
 //! # Quickstart
 //!
@@ -36,6 +39,7 @@
 pub mod telemetry;
 
 pub use griffin_core as core;
+pub use griffin_fleet as fleet;
 pub use griffin_sim as sim;
 pub use griffin_sweep as sweep;
 pub use griffin_tensor as tensor;

@@ -1,0 +1,146 @@
+//! End-to-end CLI test of `griffin-cli fleet`: subprocess shard
+//! workers, journaled resume, and byte-identity with `griffin-cli
+//! sweep` — the acceptance pin of the fleet subsystem at the binary
+//! boundary.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const CLI: &str = env!("CARGO_BIN_EXE_griffin-cli");
+
+/// Tiny fast campaign: synth workload, one seed, fan-in 3 family
+/// (7 cells).
+const CAMPAIGN: &[&str] = &["synth", "b", "--tiles", "2", "--seeds", "1", "--fanin", "3"];
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("griffin-fleet-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run(args: &[&str], cwd: &Path) -> std::process::Output {
+    let out = Command::new(CLI)
+        .args(args)
+        .current_dir(cwd)
+        .output()
+        .expect("spawn griffin-cli");
+    assert!(
+        out.status.success(),
+        "`griffin-cli {}` failed:\n{}\n{}",
+        args.join(" "),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+#[test]
+fn spawned_fleet_matches_sweep_and_resumes_from_the_journal() {
+    let dir = scratch_dir("spawn");
+
+    let mut sweep_args = vec!["sweep"];
+    sweep_args.extend(CAMPAIGN);
+    sweep_args.extend([
+        "--workers",
+        "2",
+        "--csv",
+        "single.csv",
+        "--json",
+        "single.json",
+    ]);
+    run(&sweep_args, &dir);
+
+    let mut fleet_args = vec!["fleet"];
+    fleet_args.extend(CAMPAIGN);
+    fleet_args.extend([
+        "--shards",
+        "2",
+        "--spawn",
+        "--dir",
+        "fs",
+        "--csv",
+        "fleet.csv",
+        "--json",
+        "fleet.json",
+    ]);
+    run(&fleet_args, &dir);
+
+    let single_csv = std::fs::read(dir.join("single.csv")).unwrap();
+    assert_eq!(
+        single_csv,
+        std::fs::read(dir.join("fleet.csv")).unwrap(),
+        "spawned fleet CSV must be byte-identical to sweep"
+    );
+    assert_eq!(
+        std::fs::read(dir.join("single.json")).unwrap(),
+        std::fs::read(dir.join("fleet.json")).unwrap(),
+        "spawned fleet JSON must be byte-identical to sweep"
+    );
+
+    // Interrupt simulation: drop the journal's last completed cell,
+    // then resume (still spawned) and compare again.
+    let jpath = dir.join("fs/journal.jsonl");
+    let text = std::fs::read_to_string(&jpath).unwrap();
+    let mut lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() > 2, "journal has header + entries");
+    lines.pop();
+    std::fs::write(&jpath, format!("{}\n", lines.join("\n"))).unwrap();
+
+    let mut resume_args = vec!["fleet"];
+    resume_args.extend(CAMPAIGN);
+    resume_args.extend([
+        "--shards",
+        "2",
+        "--spawn",
+        "--resume",
+        "--dir",
+        "fs",
+        "--csv",
+        "resumed.csv",
+    ]);
+    run(&resume_args, &dir);
+    assert_eq!(
+        single_csv,
+        std::fs::read(dir.join("resumed.csv")).unwrap(),
+        "resumed fleet CSV must be byte-identical to sweep"
+    );
+
+    // The event stream is valid JSONL with a campaign_done terminator.
+    let events = std::fs::read_to_string(dir.join("fs/events.jsonl")).unwrap();
+    let last = events.lines().last().unwrap();
+    assert!(
+        last.contains("\"campaign_done\""),
+        "stream ends the campaign: {last}"
+    );
+    for line in events.lines() {
+        griffin::fleet::Event::parse_line(line).expect("every stream line parses");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn fleet_rejects_resuming_a_different_campaign_grid() {
+    let dir = scratch_dir("mismatch");
+    let mut fleet_args = vec!["fleet"];
+    fleet_args.extend(CAMPAIGN);
+    fleet_args.extend(["--shards", "2", "--dir", "fs"]);
+    run(&fleet_args, &dir);
+
+    // Same state dir, different seed axis → different grid → refused.
+    let out = Command::new(CLI)
+        .args([
+            "fleet", "synth", "b", "--tiles", "2", "--seeds", "2", "--fanin", "3", "--shards", "2",
+            "--dir", "fs", "--resume",
+        ])
+        .current_dir(&dir)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("different campaign"),
+        "stderr should explain the mismatch: {stderr}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}

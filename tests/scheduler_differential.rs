@@ -111,7 +111,7 @@ proptest! {
         let a_mask = gen.bernoulli_mask(core.m0 * 2 - 1, 2 * core.k0 + extra_k, density);
         for m_tile in 0..2 {
             let view = ATileView::new(&a_mask, core, m_tile * core.m0);
-            build_a_grid(&mut g, &view, lanes);
+            build_a_grid(&mut g, &mut span, &view, lanes);
             let want = OpGrid::from_fn(view.t_steps(), core.k0, core.m0, 1, |t, l, r, _| {
                 view.is_nonzero(TileCoord { t, lane: lanes.source_lane(l, t), s: r })
             });
