@@ -17,14 +17,36 @@
 //! final report is assembled by replaying the whole grid against the
 //! merged cache — which is what makes fleet reports **byte-identical**
 //! to a single-process [`run_campaign`] of the same spec, regardless of
-//! shard count, scheduling order, interruption or resume history.
+//! shard count, scheduling order, interruption, retries or resume
+//! history.
+//!
+//! # Fault tolerance
+//!
+//! A campaign survives the death of its workers. When a shard attempt
+//! fails — the subprocess exits abnormally, breaks protocol, or (with
+//! [`FleetConfig::heartbeat_timeout_ms`]) goes silent past the liveness
+//! deadline and is killed — the coordinator emits `shard_failed`,
+//! re-queues the shard's remaining (non-journaled) cells, emits
+//! `cells_requeued` + `shard_retried`, and launches a fresh attempt
+//! (the respawn skips everything already journaled, so work is never
+//! repeated). Attempts are bounded by [`FleetConfig::max_shard_retries`];
+//! exhaustion fails the campaign cleanly, and **every** exit path —
+//! success or any failure — ends the event stream with exactly one
+//! terminal event (`campaign_done` / `campaign_failed`).
+//!
+//! Recovery paths are exercised deterministically through
+//! [`fault::FaultPlan`](crate::fault::FaultPlan): the in-process
+//! coordinator consults [`FleetConfig::fault`] directly, spawned
+//! workers arm their own faults from the inherited
+//! [`GRIFFIN_FAULT`](crate::fault::FAULT_ENV) environment (gated by the
+//! attempt number the coordinator exports per respawn).
 
 use std::io::{BufRead, Write};
 use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use griffin_sweep::cache::{merge_dirs, ResultCache};
 use griffin_sweep::executor::{
@@ -34,8 +56,9 @@ use griffin_sweep::fingerprint::Fingerprint;
 use griffin_sweep::spec::{Cell, SweepSpec};
 
 use crate::events::{Event, EventSink, JsonlSink};
+use crate::fault::{self, AttemptGate, Fault, FaultPlan};
 use crate::journal::{Journal, JournalError, JournalHeader};
-use crate::plan::{PlanError, ShardPlan};
+use crate::plan::{remaining_cells, PlanError, ShardPlan};
 
 /// Configuration of a fleet campaign.
 #[derive(Debug, Clone)]
@@ -52,10 +75,23 @@ pub struct FleetConfig {
     /// Emit a heartbeat every this many cell completions per shard
     /// (0 disables heartbeats).
     pub heartbeat_every: usize,
+    /// How many times a failed shard is retried before the campaign
+    /// gives up (0 = a single attempt, no retries).
+    pub max_shard_retries: usize,
+    /// Liveness deadline for spawned workers: a worker that emits no
+    /// event for this many milliseconds is declared dead, killed, and
+    /// retried. 0 disables the watchdog. Must comfortably exceed the
+    /// worst-case single-cell simulation time — completions are the
+    /// liveness signal.
+    pub heartbeat_timeout_ms: u64,
+    /// Deterministic fault injection for chaos tests (see
+    /// [`crate::fault`]). `None` in production.
+    pub fault: Option<FaultPlan>,
 }
 
 impl FleetConfig {
-    /// A config with the default worker count and heartbeat cadence.
+    /// A config with the default worker count, heartbeat cadence and
+    /// retry budget, and no watchdog or fault plan.
     pub fn new(dir: impl Into<PathBuf>, shards: usize) -> Self {
         FleetConfig {
             shards,
@@ -63,6 +99,9 @@ impl FleetConfig {
             dir: dir.into(),
             resume: false,
             heartbeat_every: 32,
+            max_shard_retries: 2,
+            heartbeat_timeout_ms: 0,
+            fault: None,
         }
     }
 }
@@ -95,6 +134,21 @@ pub enum FleetError {
         /// What went wrong.
         msg: String,
     },
+    /// A shard kept failing until [`FleetConfig::max_shard_retries`]
+    /// was exhausted.
+    ShardExhausted {
+        /// Shard index that gave up.
+        shard: usize,
+        /// Attempts made (retries + 1).
+        attempts: usize,
+        /// The final attempt's failure.
+        msg: String,
+    },
+    /// A [`FaultPlan`] fault fired (chaos tests only).
+    Injected(Fault),
+    /// The campaign was already aborted by an earlier failure on
+    /// another shard (reported alongside the root cause).
+    Aborted,
 }
 
 impl std::fmt::Display for FleetError {
@@ -117,6 +171,16 @@ impl std::fmt::Display for FleetError {
                 fps.join(", ")
             ),
             FleetError::Worker { shard, msg } => write!(f, "shard {shard} worker failed: {msg}"),
+            FleetError::ShardExhausted {
+                shard,
+                attempts,
+                msg,
+            } => write!(
+                f,
+                "shard {shard} failed {attempts} attempt(s), retries exhausted: {msg}"
+            ),
+            FleetError::Injected(fault) => write!(f, "fault injected: {fault}"),
+            FleetError::Aborted => write!(f, "campaign aborted by an earlier failure"),
         }
     }
 }
@@ -145,6 +209,17 @@ impl From<SweepError> for FleetError {
     fn from(e: SweepError) -> Self {
         FleetError::Sweep(e)
     }
+}
+
+/// Is a new attempt worth launching after this failure? Worker deaths
+/// (real or injected) are transient; everything else — plan, journal,
+/// sink, spec mismatches, coordinator-side faults — is deterministic
+/// and would fail identically again.
+fn retryable(e: &FleetError) -> bool {
+    matches!(
+        e,
+        FleetError::Worker { .. } | FleetError::Injected(Fault::Kill { .. } | Fault::Stall { .. })
+    )
 }
 
 /// The journal's location inside a fleet directory.
@@ -177,62 +252,115 @@ fn plan_header(spec: &SweepSpec, plan: &ShardPlan) -> JournalHeader {
 }
 
 /// Sink + journal behind one lock: events and journal appends from
-/// worker threads serialize through it, and the first failure parks
-/// here to abort the run.
+/// worker threads serialize through it, and the first coordinator-side
+/// failure parks here to abort the run (`failed` stays set after the
+/// error is taken, so late threads stop emitting and report
+/// [`FleetError::Aborted`] instead of carrying on against a broken
+/// sink or journal).
 struct Shared<'a> {
     sink: &'a mut dyn EventSink,
     journal: Option<&'a mut Journal>,
     err: Option<FleetError>,
+    failed: bool,
+    /// Journal appends so far (campaign-wide), driving the
+    /// truncate-journal fault point.
+    appends: usize,
+    truncate_journal_after: Option<usize>,
 }
 
-impl Shared<'_> {
+impl<'a> Shared<'a> {
+    fn new(
+        sink: &'a mut dyn EventSink,
+        journal: Option<&'a mut Journal>,
+        appends: usize,
+        truncate_journal_after: Option<usize>,
+    ) -> Self {
+        Shared {
+            sink,
+            journal,
+            err: None,
+            failed: false,
+            appends,
+            truncate_journal_after,
+        }
+    }
+
+    fn set_err(&mut self, e: FleetError) {
+        self.err = Some(e);
+        self.failed = true;
+    }
+
     fn emit(&mut self, ev: &Event) {
-        if self.err.is_some() {
+        if self.failed {
             return;
         }
         if let Err(e) = self.sink.emit(ev) {
-            self.err = Some(FleetError::Io(e));
+            self.set_err(FleetError::Io(e));
         }
     }
 
     fn record_done(&mut self, cell: usize, fp: Fingerprint) {
-        if self.err.is_some() {
+        if self.failed {
             return;
         }
-        if let Some(j) = self.journal.as_deref_mut() {
-            if let Err(e) = j.append(cell, fp) {
-                self.err = Some(FleetError::Io(e));
-            }
+        let Some(j) = self.journal.as_deref_mut() else {
+            return;
+        };
+        if let Err(e) = j.append(cell, fp) {
+            self.set_err(FleetError::Io(e));
+            return;
         }
+        self.appends += 1;
+        if self.truncate_journal_after == Some(self.appends) {
+            // Simulated coordinator crash mid-append: tear the tail and
+            // abort (the fault is coordinator-side, so no retry).
+            let _ = j.tear_tail_for_fault();
+            self.set_err(FleetError::Injected(Fault::TruncateJournal {
+                after: self.appends,
+            }));
+        }
+    }
+
+    /// Whether a cell is journaled as complete (false without a journal).
+    fn is_done(&self, cell: usize) -> bool {
+        self.journal
+            .as_deref()
+            .is_some_and(|j| j.is_completed(cell))
     }
 
     fn take_err(&mut self) -> Result<(), FleetError> {
         match self.err.take() {
             Some(e) => Err(e),
+            None if self.failed => Err(FleetError::Aborted),
             None => Ok(()),
         }
     }
 }
 
-/// Executes one shard's remaining cells against its cache, streaming
-/// events (and journaling completions when a journal is attached).
-/// `build_workers` bounds the executor's phase-2 build pool: the whole
-/// machine for the in-process coordinator, the worker's pinned thread
-/// budget for spawned shards (N concurrent siblings share the cores).
+/// Executes one shard's cells against its cache, streaming events (and
+/// journaling completions when a journal is attached). `planned` /
+/// `skipped` describe the full shard for `shard_start` (with fault
+/// truncation, `todo` can be shorter than `planned - skipped`);
+/// `emit_done` is cleared when a fault will kill this attempt before
+/// its `shard_done`. `build_workers` bounds the executor's phase-2
+/// build pool: the whole machine for the in-process coordinator, the
+/// worker's pinned thread budget for spawned shards (N concurrent
+/// siblings share the cores).
 #[allow(clippy::too_many_arguments)]
 fn run_shard_cells(
     spec: &SweepSpec,
     shard: usize,
     todo: &[Cell],
     planned: usize,
+    skipped: usize,
     cache: &ResultCache,
     workers: usize,
     build_workers: usize,
     heartbeat_every: usize,
     shared: &Mutex<Shared<'_>>,
+    emit_done: bool,
 ) -> Result<(), FleetError> {
     let start = Instant::now();
-    let skipped = planned - todo.len();
     shared.lock().expect("fleet lock").emit(&Event::ShardStart {
         shard,
         cells: planned,
@@ -276,13 +404,15 @@ fn run_shard_cells(
     run_cells_bounded(spec, todo, cache, workers, build_workers, &observe)?;
     let mut g = shared.lock().expect("fleet lock");
     g.take_err()?;
-    let stats = cache.stats();
-    g.emit(&Event::ShardDone {
-        shard,
-        simulated: (stats.stores - stats0.stores) as usize,
-        cached: (stats.hits - stats0.hits) as usize,
-        elapsed_ms: start.elapsed().as_millis() as u64,
-    });
+    if emit_done {
+        let stats = cache.stats();
+        g.emit(&Event::ShardDone {
+            shard,
+            simulated: (stats.stores - stats0.stores) as usize,
+            cached: (stats.hits - stats0.hits) as usize,
+            elapsed_ms: start.elapsed().as_millis() as u64,
+        });
+    }
     g.take_err()
 }
 
@@ -317,6 +447,7 @@ fn finalize(
         sources: sources.len(),
         merged: mr.merged,
         identical: mr.identical,
+        healed: mr.healed,
         conflicts: mr.conflicts.len() as u64,
     })?;
     if !mr.conflicts.is_empty() {
@@ -324,9 +455,9 @@ fn finalize(
     }
     // Replaying the full grid against the merged cache yields the same
     // record list a single-process run produces — and re-simulates any
-    // cell whose cached result went missing, so the report is always
-    // complete. Its cache counters describe this assembly pass (hits ≈
-    // every fleet-computed cell).
+    // cell whose cached result went missing (or was torn by a dying
+    // worker), so the report is always complete. Its cache counters
+    // describe this assembly pass (hits ≈ every fleet-computed cell).
     let cache = ResultCache::at_dir(&merged_dir)?;
     let mut report = run_campaign(spec, &cache, cfg.workers)?;
     report.workers = cfg.workers;
@@ -338,16 +469,82 @@ fn finalize(
     Ok(report)
 }
 
+/// Guarantees the terminal-event invariant: any failure, from any exit
+/// path, closes the stream with `campaign_failed` (best-effort — the
+/// sink itself may be what broke). Success already ended with
+/// `campaign_done` inside [`finalize`].
+fn finish_with_terminal(
+    sink: &mut dyn EventSink,
+    result: Result<CampaignReport, FleetError>,
+) -> Result<CampaignReport, FleetError> {
+    if let Err(e) = &result {
+        let _ = sink.emit(&Event::CampaignFailed { msg: e.to_string() });
+    }
+    result
+}
+
+/// Emits the failure lifecycle for one dead shard attempt and decides
+/// whether to retry. Returns the next attempt number, or the error to
+/// abort with. `requeued` is the shard's remaining non-journaled cell
+/// count at the moment of death.
+fn shard_failure(
+    shard: usize,
+    attempt: usize,
+    max_retries: usize,
+    requeued: usize,
+    e: FleetError,
+    emit: &mut dyn FnMut(&Event),
+) -> Result<usize, FleetError> {
+    let can_retry = retryable(&e) && attempt < max_retries;
+    emit(&Event::ShardFailed {
+        shard,
+        attempt,
+        msg: e.to_string(),
+    });
+    if !can_retry {
+        return Err(if retryable(&e) {
+            FleetError::ShardExhausted {
+                shard,
+                attempts: attempt + 1,
+                msg: e.to_string(),
+            }
+        } else {
+            e
+        });
+    }
+    emit(&Event::CellsRequeued {
+        shard,
+        cells: requeued,
+    });
+    emit(&Event::ShardRetried {
+        shard,
+        attempt: attempt + 1,
+    });
+    Ok(attempt + 1)
+}
+
 /// Runs a sharded campaign **in-process**: shards execute sequentially,
 /// each over the executor's worker pool, with completions streamed to
-/// `sink` and journaled for resume. See the module docs for the state
-/// layout and the byte-identity guarantee.
+/// `sink`, journaled for resume, and failed shard attempts retried up
+/// to [`FleetConfig::max_shard_retries`] (the re-queue skips journaled
+/// cells). See the module docs for the state layout, the byte-identity
+/// guarantee and the fault-tolerance model.
 ///
 /// # Errors
 ///
 /// [`FleetError`] on plan/journal/merge/executor failures; a sink write
-/// failure aborts the campaign (already-journaled cells resume).
+/// failure aborts the campaign (already-journaled cells resume). Every
+/// failure still terminates the stream with `campaign_failed`.
 pub fn run_fleet(
+    spec: &SweepSpec,
+    cfg: &FleetConfig,
+    sink: &mut dyn EventSink,
+) -> Result<CampaignReport, FleetError> {
+    let result = run_fleet_inner(spec, cfg, sink);
+    finish_with_terminal(sink, result)
+}
+
+fn run_fleet_inner(
     spec: &SweepSpec,
     cfg: &FleetConfig,
     sink: &mut dyn EventSink,
@@ -368,32 +565,90 @@ pub fn run_fleet(
         shards: plan.shards,
         resumed,
     })?;
+    let fault = cfg.fault.as_ref();
+    let truncate_after = fault.and_then(FaultPlan::journal_truncate_after);
+    let mut appends = 0usize;
 
     for (shard, shard_cells) in plan.cells.iter().enumerate() {
-        let todo: Vec<Cell> = shard_cells
-            .iter()
-            .filter(|c| !journal.is_completed(c.index))
-            .cloned()
-            .collect();
-        let cache = ResultCache::at_dir(shard_cache_dir(&cfg.dir, shard))?;
-        let shared = Mutex::new(Shared {
-            sink,
-            journal: Some(&mut journal),
-            err: None,
-        });
-        run_shard_cells(
-            spec,
-            shard,
-            &todo,
-            shard_cells.len(),
-            &cache,
-            cfg.workers,
-            // In-process: this is the machine's only campaign process,
-            // so builds use every core as plain `sweep` does.
-            cfg.workers.max(default_workers()),
-            cfg.heartbeat_every,
-            &shared,
-        )?;
+        let cache_dir = shard_cache_dir(&cfg.dir, shard);
+        let cache = ResultCache::at_dir(&cache_dir)?;
+        let mut attempt = 0usize;
+        loop {
+            let full_todo = remaining_cells(shard_cells, |i| journal.is_completed(i));
+            let skipped = shard_cells.len() - full_todo.len();
+            // In-process, a stall cannot "go silent" without hanging
+            // the whole campaign, so it degrades to a kill: the
+            // liveness-timeout path proper is exercised in spawn mode.
+            let die = fault.and_then(|f| {
+                f.kill_after(shard, attempt)
+                    .or_else(|| f.stall_after(shard, attempt))
+            });
+            let mut todo = full_todo;
+            if let Some(k) = die {
+                todo.truncate(k);
+            }
+            let shared = Mutex::new(Shared::new(
+                sink,
+                Some(&mut journal),
+                appends,
+                truncate_after,
+            ));
+            let run = run_shard_cells(
+                spec,
+                shard,
+                &todo,
+                shard_cells.len(),
+                skipped,
+                &cache,
+                cfg.workers,
+                // In-process: this is the machine's only campaign
+                // process, so builds use every core as plain `sweep`
+                // does.
+                cfg.workers.max(default_workers()),
+                cfg.heartbeat_every,
+                &shared,
+                die.is_none(),
+            );
+            appends = shared.into_inner().expect("fleet lock").appends;
+            let attempt_result = run.and_then(|()| {
+                if fault.is_some_and(|f| f.corrupts_cache(shard, attempt)) {
+                    fault::corrupt_shard_cache(&cache_dir)?;
+                }
+                match die {
+                    Some(after) => Err(FleetError::Injected(Fault::Kill {
+                        shard,
+                        after,
+                        attempt: AttemptGate::Only(attempt),
+                    })),
+                    None => Ok(()),
+                }
+            });
+            match attempt_result {
+                Ok(()) => break,
+                Err(e) => {
+                    let requeued = shard_cells
+                        .iter()
+                        .filter(|c| !journal.is_completed(c.index))
+                        .count();
+                    let mut sink_err = None;
+                    attempt = shard_failure(
+                        shard,
+                        attempt,
+                        cfg.max_shard_retries,
+                        requeued,
+                        e,
+                        &mut |ev| {
+                            if sink_err.is_none() {
+                                sink_err = sink.emit(ev).err();
+                            }
+                        },
+                    )?;
+                    if let Some(e) = sink_err {
+                        return Err(FleetError::Io(e));
+                    }
+                }
+            }
+        }
     }
     finalize(spec, cfg, sink, start)
 }
@@ -411,23 +666,43 @@ pub struct WorkerSpawn {
     pub journal: PathBuf,
     /// The plan fingerprint the worker must verify.
     pub expect_fp: Fingerprint,
+    /// Attempt number of this launch (0 = first; also exported to the
+    /// subprocess via [`fault::ATTEMPT_ENV`]).
+    pub attempt: usize,
 }
 
 /// Runs a sharded campaign by **spawning one subprocess per shard**
 /// (concurrently), consuming each worker's JSONL event stream from its
 /// stdout: events are validated, re-emitted into `sink`, and `cell_done`
-/// lines drive the coordinator-owned journal. `make_command` turns a
-/// [`WorkerSpawn`] into the `griffin-cli shard-worker …` invocation (or
-/// any protocol-compatible program); stdout is piped, stderr inherits.
+/// lines drive the coordinator-owned journal. A worker that dies —
+/// abnormal exit, protocol break, or silence past
+/// [`FleetConfig::heartbeat_timeout_ms`] (the watchdog kills it) — has
+/// its remaining cells re-queued onto a respawned worker, up to
+/// [`FleetConfig::max_shard_retries`] attempts per shard.
+/// `make_command` turns a [`WorkerSpawn`] into the `griffin-cli
+/// shard-worker …` invocation (or any protocol-compatible program);
+/// stdout is piped, stderr inherits, and the coordinator exports the
+/// attempt number via [`fault::ATTEMPT_ENV`].
 ///
 /// # Errors
 ///
-/// As [`run_fleet`], plus [`FleetError::Worker`] when a subprocess
-/// exits unsuccessfully, emits garbage, or never reports `shard_done`.
+/// As [`run_fleet`], plus [`FleetError::Worker`] /
+/// [`FleetError::ShardExhausted`] when a shard keeps failing. Every
+/// failure still terminates the stream with `campaign_failed`.
 pub fn run_fleet_spawned(
     spec: &SweepSpec,
     cfg: &FleetConfig,
-    make_command: &dyn Fn(&WorkerSpawn) -> Command,
+    make_command: &(dyn Fn(&WorkerSpawn) -> Command + Sync),
+    sink: &mut dyn EventSink,
+) -> Result<CampaignReport, FleetError> {
+    let result = run_fleet_spawned_inner(spec, cfg, make_command, sink);
+    finish_with_terminal(sink, result)
+}
+
+fn run_fleet_spawned_inner(
+    spec: &SweepSpec,
+    cfg: &FleetConfig,
+    make_command: &(dyn Fn(&WorkerSpawn) -> Command + Sync),
     sink: &mut dyn EventSink,
 ) -> Result<CampaignReport, FleetError> {
     let start = Instant::now();
@@ -446,102 +721,216 @@ pub fn run_fleet_spawned(
         shards: plan.shards,
         resumed,
     })?;
+    let truncate_after = cfg
+        .fault
+        .as_ref()
+        .and_then(FaultPlan::journal_truncate_after);
 
-    // Decide per shard: anything left to do? Empty shards are reported
-    // locally instead of paying a process spawn.
-    let mut children = Vec::new();
-    for (shard, shard_cells) in plan.cells.iter().enumerate() {
-        let remaining = shard_cells
-            .iter()
-            .filter(|c| !journal.is_completed(c.index))
-            .count();
-        if remaining == 0 {
-            sink.emit(&Event::ShardStart {
-                shard,
-                cells: shard_cells.len(),
-                skipped: shard_cells.len(),
-            })?;
-            sink.emit(&Event::ShardDone {
-                shard,
-                simulated: 0,
-                cached: 0,
-                elapsed_ms: 0,
-            })?;
-            continue;
-        }
-        let info = WorkerSpawn {
-            shard,
-            shards: plan.shards,
-            cache_dir: shard_cache_dir(&cfg.dir, shard),
-            journal: journal_path(&cfg.dir),
-            expect_fp: plan.spec_fp,
-        };
-        let mut cmd = make_command(&info);
-        cmd.stdin(Stdio::null()).stdout(Stdio::piped());
-        let child = cmd.spawn().map_err(|e| FleetError::Worker {
-            shard,
-            msg: format!("spawn failed: {e}"),
-        })?;
-        children.push((shard, child));
-    }
-
-    let shared = Mutex::new(Shared {
-        sink,
-        journal: Some(&mut journal),
-        err: None,
-    });
+    let shared = Mutex::new(Shared::new(sink, Some(&mut journal), 0, truncate_after));
     let results: Vec<Result<(), FleetError>> = std::thread::scope(|s| {
-        let handles: Vec<_> = children
-            .iter_mut()
-            .map(|(shard, child)| {
-                let shard = *shard;
-                let stdout = child.stdout.take().expect("stdout was piped");
-                let shared = &shared;
-                let cells = plan.cell_count();
-                s.spawn(move || consume_worker_stream(shard, cells, stdout, shared))
+        let shared = &shared;
+        let plan = &plan;
+        let handles: Vec<_> = plan
+            .cells
+            .iter()
+            .enumerate()
+            .map(|(shard, shard_cells)| {
+                s.spawn(move || {
+                    drive_spawned_shard(shard, shard_cells, plan, cfg, make_command, shared)
+                })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker reader thread"))
+            .map(|h| h.join().expect("shard driver thread"))
             .collect()
     });
-    let mut first_err: Option<FleetError> = shared
-        .into_inner()
-        .expect("fleet lock")
+    // Prefer a root-cause error over the `Aborted` echoes other
+    // drivers report once the campaign is already going down.
+    let shared = shared.into_inner().expect("fleet lock");
+    let mut errs: Vec<FleetError> = shared
         .err
-        .take()
-        .or(results.into_iter().find_map(Result::err));
-    for (shard, child) in &mut children {
-        match child.wait() {
-            Ok(status) if status.success() => {}
-            Ok(status) => {
-                first_err.get_or_insert(FleetError::Worker {
-                    shard: *shard,
-                    msg: format!("exited with {status}"),
-                });
-            }
-            Err(e) => {
-                first_err.get_or_insert(FleetError::Worker {
-                    shard: *shard,
-                    msg: format!("wait failed: {e}"),
-                });
-            }
-        }
-    }
-    if let Some(e) = first_err {
-        return Err(e);
+        .into_iter()
+        .chain(results.into_iter().filter_map(Result::err))
+        .collect();
+    if !errs.is_empty() {
+        let pos = errs
+            .iter()
+            .position(|e| !matches!(e, FleetError::Aborted))
+            .unwrap_or(0);
+        return Err(errs.swap_remove(pos));
     }
     finalize(spec, cfg, sink, start)
 }
 
+/// Owns one shard's lifecycle in spawn mode: launch a worker, consume
+/// its stream, and retry through [`shard_failure`] until the shard
+/// completes or the retry budget is spent.
+fn drive_spawned_shard(
+    shard: usize,
+    shard_cells: &[Cell],
+    plan: &ShardPlan,
+    cfg: &FleetConfig,
+    make_command: &(dyn Fn(&WorkerSpawn) -> Command + Sync),
+    shared: &Mutex<Shared<'_>>,
+) -> Result<(), FleetError> {
+    let mut attempt = 0usize;
+    loop {
+        match spawn_worker_attempt(shard, shard_cells, plan, attempt, cfg, make_command, shared) {
+            Ok(()) => return Ok(()),
+            Err(e) => {
+                let mut g = shared.lock().expect("fleet lock");
+                let requeued = shard_cells.iter().filter(|c| !g.is_done(c.index)).count();
+                let verdict = shard_failure(
+                    shard,
+                    attempt,
+                    cfg.max_shard_retries,
+                    requeued,
+                    e,
+                    &mut |ev| g.emit(ev),
+                );
+                match verdict {
+                    Ok(next) => {
+                        g.take_err()?;
+                        attempt = next;
+                    }
+                    Err(err) => {
+                        // The root cause outranks any sink trouble
+                        // while reporting it.
+                        let _ = g.take_err();
+                        return Err(err);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Launches and fully consumes one worker attempt for one shard. A
+/// shard with nothing left to do (journal caught up — including after a
+/// predecessor attempt journaled everything but died before
+/// `shard_done`) is reported locally without paying a process spawn.
+fn spawn_worker_attempt(
+    shard: usize,
+    shard_cells: &[Cell],
+    plan: &ShardPlan,
+    attempt: usize,
+    cfg: &FleetConfig,
+    make_command: &(dyn Fn(&WorkerSpawn) -> Command + Sync),
+    shared: &Mutex<Shared<'_>>,
+) -> Result<(), FleetError> {
+    {
+        let mut g = shared.lock().expect("fleet lock");
+        let remaining = shard_cells.iter().filter(|c| !g.is_done(c.index)).count();
+        if remaining == 0 {
+            g.emit(&Event::ShardStart {
+                shard,
+                cells: shard_cells.len(),
+                skipped: shard_cells.len(),
+            });
+            g.emit(&Event::ShardDone {
+                shard,
+                simulated: 0,
+                cached: 0,
+                elapsed_ms: 0,
+            });
+            return g.take_err();
+        }
+        g.take_err()?;
+    }
+    let info = WorkerSpawn {
+        shard,
+        shards: plan.shards,
+        cache_dir: shard_cache_dir(&cfg.dir, shard),
+        journal: journal_path(&cfg.dir),
+        expect_fp: plan.spec_fp,
+        attempt,
+    };
+    let mut cmd = make_command(&info);
+    cmd.env(fault::ATTEMPT_ENV, attempt.to_string());
+    cmd.stdin(Stdio::null()).stdout(Stdio::piped());
+    let mut child = cmd.spawn().map_err(|e| FleetError::Worker {
+        shard,
+        msg: format!("spawn failed: {e}"),
+    })?;
+    let stdout = child.stdout.take().expect("stdout was piped");
+
+    // Liveness watchdog: any stream line is a proof of life; a worker
+    // silent past the deadline is killed (its reader then sees EOF and
+    // reports the death, which routes into the retry path).
+    let child = Mutex::new(child);
+    let t0 = Instant::now();
+    let last_event_ms = AtomicU64::new(0);
+    let reader_done = AtomicBool::new(false);
+    let timed_out = AtomicBool::new(false);
+    let stream_res = std::thread::scope(|ws| {
+        if cfg.heartbeat_timeout_ms > 0 {
+            ws.spawn(|| {
+                let poll = Duration::from_millis((cfg.heartbeat_timeout_ms / 8).clamp(10, 250));
+                loop {
+                    std::thread::sleep(poll);
+                    if reader_done.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let now = t0.elapsed().as_millis() as u64;
+                    let last = last_event_ms.load(Ordering::Acquire);
+                    if now.saturating_sub(last) > cfg.heartbeat_timeout_ms {
+                        timed_out.store(true, Ordering::Release);
+                        let _ = child.lock().expect("child lock").kill();
+                        break;
+                    }
+                }
+            });
+        }
+        let r = consume_worker_stream(shard, plan.cell_count(), stdout, shared, &|| {
+            last_event_ms.store(t0.elapsed().as_millis() as u64, Ordering::Release);
+        });
+        reader_done.store(true, Ordering::Release);
+        r
+    });
+    let mut child = child.into_inner().expect("child lock");
+    if stream_res.is_err() {
+        // Protocol break with the process possibly still alive: reap it
+        // before reporting, or the retry races a zombie writer.
+        let _ = child.kill();
+    }
+    let status = child.wait();
+    // The watchdog verdict only explains an attempt that actually
+    // failed: a worker that got its final burst out and exited cleanly
+    // in the same instant the watchdog fired still succeeded (the kill
+    // landed on an already-finished process).
+    let outcome = stream_res.and(match status {
+        Ok(st) if st.success() => Ok(()),
+        Ok(st) => Err(FleetError::Worker {
+            shard,
+            msg: format!("exited with {st}"),
+        }),
+        Err(e) => Err(FleetError::Worker {
+            shard,
+            msg: format!("wait failed: {e}"),
+        }),
+    });
+    match outcome {
+        Err(_) if timed_out.load(Ordering::Acquire) => Err(FleetError::Worker {
+            shard,
+            msg: format!(
+                "no events for over {} ms (heartbeat timeout); worker killed",
+                cfg.heartbeat_timeout_ms
+            ),
+        }),
+        other => other,
+    }
+}
+
 /// Reads one worker's JSONL stream, validating shard provenance and
-/// cell range, forwarding events and journaling completions.
+/// cell range, forwarding events and journaling completions. `tick` is
+/// called once per stream line (the liveness signal for the watchdog).
 fn consume_worker_stream(
     shard: usize,
     cells: usize,
     stdout: impl std::io::Read,
     shared: &Mutex<Shared<'_>>,
+    tick: &(dyn Fn() + Sync),
 ) -> Result<(), FleetError> {
     let mut saw_done = false;
     for line in std::io::BufReader::new(stdout).lines() {
@@ -549,6 +938,7 @@ fn consume_worker_stream(
             shard,
             msg: format!("stream read failed: {e}"),
         })?;
+        tick();
         if line.trim().is_empty() {
             continue;
         }
@@ -622,6 +1012,12 @@ pub struct WorkerConfig {
     pub workers: usize,
     /// Heartbeat cadence in cell completions (0 disables).
     pub heartbeat_every: usize,
+    /// Fault plan to arm (chaos tests; the CLI reads
+    /// [`fault::FAULT_ENV`]).
+    pub fault: Option<FaultPlan>,
+    /// Attempt number this launch is (gates the fault plan; the CLI
+    /// reads [`fault::ATTEMPT_ENV`]).
+    pub attempt: usize,
 }
 
 /// Runs one shard of a campaign and streams its events to `out` — the
@@ -631,10 +1027,18 @@ pub struct WorkerConfig {
 /// results only to its own cache directory (the journal stays
 /// coordinator-owned).
 ///
+/// An armed [`WorkerConfig::fault`] matching this shard and attempt
+/// makes the worker die on schedule: its work list is truncated to the
+/// fault's `after` count (so the journaled set at death is
+/// deterministic), `shard_done` is suppressed, the cache is torn when
+/// the plan says so, and [`FleetError::Injected`] comes back for the
+/// caller to turn into an abrupt exit (kill) or silence (stall).
+///
 /// # Errors
 ///
 /// [`FleetError::SpecFingerprint`] when the recomputed plan does not
-/// match `expect_fp`; otherwise as [`run_fleet`].
+/// match `expect_fp`; [`FleetError::Injected`] when a fault fired;
+/// otherwise as [`run_fleet`].
 pub fn run_shard_worker(
     spec: &SweepSpec,
     cfg: &WorkerConfig,
@@ -657,23 +1061,25 @@ pub fn run_shard_worker(
         Some(path) if path.exists() => Journal::peek_completed(path, &plan_header(spec, &plan))?,
         _ => Default::default(),
     };
-    let todo: Vec<Cell> = shard_cells
-        .iter()
-        .filter(|c| !completed.contains_key(&c.index))
-        .cloned()
-        .collect();
+    let full_todo = remaining_cells(shard_cells, |i| completed.contains_key(&i));
+    let skipped = shard_cells.len() - full_todo.len();
+    let fault_plan = cfg.fault.as_ref();
+    let kill = fault_plan.and_then(|f| f.kill_after(cfg.shard, cfg.attempt));
+    let stall = fault_plan.and_then(|f| f.stall_after(cfg.shard, cfg.attempt));
+    let die = kill.or(stall);
+    let mut todo = full_todo;
+    if let Some(k) = die {
+        todo.truncate(k);
+    }
     let cache = ResultCache::at_dir(&cfg.cache_dir)?;
     let mut sink = JsonlSink::new(out);
-    let shared = Mutex::new(Shared {
-        sink: &mut sink,
-        journal: None,
-        err: None,
-    });
+    let shared = Mutex::new(Shared::new(&mut sink, None, 0, None));
     run_shard_cells(
         spec,
         cfg.shard,
         &todo,
         shard_cells.len(),
+        skipped,
         &cache,
         cfg.workers,
         // A spawned worker shares the machine with its sibling shards:
@@ -681,5 +1087,23 @@ pub fn run_shard_worker(
         cfg.workers,
         cfg.heartbeat_every,
         &shared,
-    )
+        die.is_none(),
+    )?;
+    if fault_plan.is_some_and(|f| f.corrupts_cache(cfg.shard, cfg.attempt)) {
+        fault::corrupt_shard_cache(&cfg.cache_dir)?;
+    }
+    let gate = AttemptGate::Only(cfg.attempt);
+    match die {
+        Some(after) if kill.is_some() => Err(FleetError::Injected(Fault::Kill {
+            shard: cfg.shard,
+            after,
+            attempt: gate,
+        })),
+        Some(after) => Err(FleetError::Injected(Fault::Stall {
+            shard: cfg.shard,
+            after,
+            attempt: gate,
+        })),
+        None => Ok(()),
+    }
 }

@@ -7,29 +7,49 @@
 //! `shard-worker` subprocess (stdout) and the fleet coordinator, which
 //! validates and re-emits worker events into the campaign stream.
 //!
-//! Schema (`griffin-fleet-events/1`):
+//! Schema (`griffin-fleet-events/2`):
 //!
-//! | `ev`             | fields                                                      |
-//! |------------------|-------------------------------------------------------------|
-//! | `campaign_start` | `campaign`, `spec_fp`, `cells`, `shards`, `resumed`         |
-//! | `shard_start`    | `shard`, `cells`, `skipped`                                 |
-//! | `cell_start`     | `shard`, `cell`, `fp`                                       |
-//! | `cell_done`      | `shard`, `cell`, `fp`, `cached`, `metrics{…}`               |
-//! | `heartbeat`      | `shard`, `done`, `total`                                    |
-//! | `shard_done`     | `shard`, `simulated`, `cached`, `elapsed_ms`                |
-//! | `merge_done`     | `sources`, `merged`, `identical`, `conflicts`               |
-//! | `campaign_done`  | `cells`, `elapsed_ms`                                       |
+//! | `ev`              | fields                                                      |
+//! |-------------------|-------------------------------------------------------------|
+//! | `campaign_start`  | `format`, `campaign`, `spec_fp`, `cells`, `shards`, `resumed` |
+//! | `shard_start`     | `shard`, `cells`, `skipped`                                 |
+//! | `cell_start`      | `shard`, `cell`, `fp`                                       |
+//! | `cell_done`       | `shard`, `cell`, `fp`, `cached`, `metrics{…}`               |
+//! | `heartbeat`       | `shard`, `done`, `total`                                    |
+//! | `shard_done`      | `shard`, `simulated`, `cached`, `elapsed_ms`                |
+//! | `shard_failed`    | `shard`, `attempt`, `msg`                                   |
+//! | `cells_requeued`  | `shard`, `cells`                                            |
+//! | `shard_retried`   | `shard`, `attempt`                                          |
+//! | `merge_done`      | `sources`, `merged`, `identical`, `healed`, `conflicts`     |
+//! | `campaign_done`   | `cells`, `elapsed_ms`                                       |
+//! | `campaign_failed` | `msg`                                                       |
 //!
 //! Cell indices are grid positions (`usize` as JSON numbers);
 //! fingerprints are 32-digit hex strings; `metrics` is the same object
 //! the result cache stores ([`CellMetrics::to_json`]). Event *order* is
 //! only meaningful per shard — shards interleave arbitrarily.
+//!
+//! **Versioning.** `campaign_start` carries the schema tag in `format`;
+//! v2 added the shard-failure lifecycle (`shard_failed` →
+//! `cells_requeued` → `shard_retried`), the terminal `campaign_failed`,
+//! and `merge_done.healed`. v1 streams (no `format` field, no v2
+//! events) still parse; v2 consumers must tolerate unknown *fields*
+//! inside known events (they are ignored), and a stream always ends
+//! with exactly one terminal event — `campaign_done` on success,
+//! `campaign_failed` on any abort.
 
 use std::io::{self, Write};
 
 use griffin_sweep::cache::CellMetrics;
 use griffin_sweep::fingerprint::Fingerprint;
 use griffin_sweep::json::Json;
+
+/// Current schema tag, written into every `campaign_start` line.
+pub const EVENTS_FORMAT: &str = "griffin-fleet-events/2";
+
+/// The previous schema tag; streams carrying it (or no `format` at all)
+/// still parse.
+pub const EVENTS_FORMAT_V1: &str = "griffin-fleet-events/1";
 
 /// One line of the campaign event stream.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,6 +120,32 @@ pub enum Event {
         /// Wall-clock milliseconds of the shard run.
         elapsed_ms: u64,
     },
+    /// A shard attempt died: the worker exited abnormally, broke
+    /// protocol, or went silent past the heartbeat timeout (v2).
+    ShardFailed {
+        /// Shard index.
+        shard: usize,
+        /// The attempt that failed (0 = first launch).
+        attempt: usize,
+        /// Human-readable cause.
+        msg: String,
+    },
+    /// A dead shard's remaining (non-journaled) cells were put back on
+    /// the queue for the next attempt (v2).
+    CellsRequeued {
+        /// Shard index.
+        shard: usize,
+        /// Cells re-queued.
+        cells: usize,
+    },
+    /// A failed shard is being retried (v2). `attempt` is the attempt
+    /// about to run; follows `shard_failed` + `cells_requeued`.
+    ShardRetried {
+        /// Shard index.
+        shard: usize,
+        /// Attempt number about to run (≥ 1).
+        attempt: usize,
+    },
     /// Per-shard caches were unioned into the merged cache.
     MergeDone {
         /// Source directories considered.
@@ -108,6 +154,9 @@ pub enum Event {
         merged: u64,
         /// Entries already present with identical content.
         identical: u64,
+        /// Torn destination entries overwritten with good source
+        /// content (v2; absent in v1 streams, parsed as 0).
+        healed: u64,
         /// Conflicting fingerprints (non-zero aborts the campaign).
         conflicts: u64,
     },
@@ -117,6 +166,12 @@ pub enum Event {
         cells: usize,
         /// Wall-clock milliseconds of the whole fleet run.
         elapsed_ms: u64,
+    },
+    /// The campaign aborted (v2). Terminal — every stream ends with
+    /// either this or `campaign_done`, on every exit path.
+    CampaignFailed {
+        /// Human-readable cause.
+        msg: String,
     },
 }
 
@@ -150,6 +205,22 @@ fn get_usize(v: &Json, key: &str) -> Result<usize, EventError> {
     Ok(n as usize)
 }
 
+/// Like [`get_usize`] but tolerating an absent key — fields added in
+/// v2 that v1 streams don't carry.
+fn get_usize_or(v: &Json, key: &str, default: usize) -> Result<usize, EventError> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(_) => get_usize(v, key),
+    }
+}
+
+fn get_str(v: &Json, key: &str) -> Result<String, EventError> {
+    Ok(v.req(key)
+        .and_then(|x| x.as_str())
+        .map_err(|e| EventError { msg: e.to_string() })?
+        .to_string())
+}
+
 fn get_fp(v: &Json, key: &str) -> Result<Fingerprint, EventError> {
     let s = v
         .req(key)
@@ -171,6 +242,7 @@ impl Event {
                 resumed,
             } => Json::obj([
                 ("ev".into(), Json::Str("campaign_start".into())),
+                ("format".into(), Json::Str(EVENTS_FORMAT.into())),
                 ("campaign".into(), Json::Str(campaign.clone())),
                 ("spec_fp".into(), Json::Str(spec_fp.to_string())),
                 ("cells".into(), num(*cells)),
@@ -225,22 +297,48 @@ impl Event {
                 ("cached".into(), num(*cached)),
                 ("elapsed_ms".into(), num(*elapsed_ms as usize)),
             ]),
+            Event::ShardFailed {
+                shard,
+                attempt,
+                msg,
+            } => Json::obj([
+                ("ev".into(), Json::Str("shard_failed".into())),
+                ("shard".into(), num(*shard)),
+                ("attempt".into(), num(*attempt)),
+                ("msg".into(), Json::Str(msg.clone())),
+            ]),
+            Event::CellsRequeued { shard, cells } => Json::obj([
+                ("ev".into(), Json::Str("cells_requeued".into())),
+                ("shard".into(), num(*shard)),
+                ("cells".into(), num(*cells)),
+            ]),
+            Event::ShardRetried { shard, attempt } => Json::obj([
+                ("ev".into(), Json::Str("shard_retried".into())),
+                ("shard".into(), num(*shard)),
+                ("attempt".into(), num(*attempt)),
+            ]),
             Event::MergeDone {
                 sources,
                 merged,
                 identical,
+                healed,
                 conflicts,
             } => Json::obj([
                 ("ev".into(), Json::Str("merge_done".into())),
                 ("sources".into(), num(*sources)),
                 ("merged".into(), num(*merged as usize)),
                 ("identical".into(), num(*identical as usize)),
+                ("healed".into(), num(*healed as usize)),
                 ("conflicts".into(), num(*conflicts as usize)),
             ]),
             Event::CampaignDone { cells, elapsed_ms } => Json::obj([
                 ("ev".into(), Json::Str("campaign_done".into())),
                 ("cells".into(), num(*cells)),
                 ("elapsed_ms".into(), num(*elapsed_ms as usize)),
+            ]),
+            Event::CampaignFailed { msg } => Json::obj([
+                ("ev".into(), Json::Str("campaign_failed".into())),
+                ("msg".into(), Json::Str(msg.clone())),
             ]),
         }
     }
@@ -262,17 +360,26 @@ impl Event {
             .and_then(|x| x.as_str())
             .map_err(|e| EventError { msg: e.to_string() })?;
         match ev {
-            "campaign_start" => Ok(Event::CampaignStart {
-                campaign: v
-                    .req("campaign")
-                    .and_then(|x| x.as_str())
-                    .map_err(|e| EventError { msg: e.to_string() })?
-                    .to_string(),
-                spec_fp: get_fp(&v, "spec_fp")?,
-                cells: get_usize(&v, "cells")?,
-                shards: get_usize(&v, "shards")?,
-                resumed: get_usize(&v, "resumed")?,
-            }),
+            "campaign_start" => {
+                // `format` is absent in v1 streams; any *known* tag is
+                // accepted, an unknown one is a stream we must not
+                // silently misread.
+                if let Some(tag) = v.get("format") {
+                    let tag = tag
+                        .as_str()
+                        .map_err(|e| EventError { msg: e.to_string() })?;
+                    if tag != EVENTS_FORMAT && tag != EVENTS_FORMAT_V1 {
+                        return fail(format!("unknown event-stream format `{tag}`"));
+                    }
+                }
+                Ok(Event::CampaignStart {
+                    campaign: get_str(&v, "campaign")?,
+                    spec_fp: get_fp(&v, "spec_fp")?,
+                    cells: get_usize(&v, "cells")?,
+                    shards: get_usize(&v, "shards")?,
+                    resumed: get_usize(&v, "resumed")?,
+                })
+            }
             "shard_start" => Ok(Event::ShardStart {
                 shard: get_usize(&v, "shard")?,
                 cells: get_usize(&v, "cells")?,
@@ -311,15 +418,32 @@ impl Event {
                 cached: get_usize(&v, "cached")?,
                 elapsed_ms: get_usize(&v, "elapsed_ms")? as u64,
             }),
+            "shard_failed" => Ok(Event::ShardFailed {
+                shard: get_usize(&v, "shard")?,
+                attempt: get_usize(&v, "attempt")?,
+                msg: get_str(&v, "msg")?,
+            }),
+            "cells_requeued" => Ok(Event::CellsRequeued {
+                shard: get_usize(&v, "shard")?,
+                cells: get_usize(&v, "cells")?,
+            }),
+            "shard_retried" => Ok(Event::ShardRetried {
+                shard: get_usize(&v, "shard")?,
+                attempt: get_usize(&v, "attempt")?,
+            }),
             "merge_done" => Ok(Event::MergeDone {
                 sources: get_usize(&v, "sources")?,
                 merged: get_usize(&v, "merged")? as u64,
                 identical: get_usize(&v, "identical")? as u64,
+                healed: get_usize_or(&v, "healed", 0)? as u64,
                 conflicts: get_usize(&v, "conflicts")? as u64,
             }),
             "campaign_done" => Ok(Event::CampaignDone {
                 cells: get_usize(&v, "cells")?,
                 elapsed_ms: get_usize(&v, "elapsed_ms")? as u64,
+            }),
+            "campaign_failed" => Ok(Event::CampaignFailed {
+                msg: get_str(&v, "msg")?,
             }),
             other => fail(format!("unknown event `{other}`")),
         }
@@ -429,15 +553,29 @@ mod tests {
                 cached: 1,
                 elapsed_ms: 1234,
             },
+            Event::ShardFailed {
+                shard: 2,
+                attempt: 0,
+                msg: "worker exited with code 3 (\"killed\")".into(),
+            },
+            Event::CellsRequeued { shard: 2, cells: 4 },
+            Event::ShardRetried {
+                shard: 2,
+                attempt: 1,
+            },
             Event::MergeDone {
                 sources: 4,
                 merged: 33,
                 identical: 7,
+                healed: 1,
                 conflicts: 0,
             },
             Event::CampaignDone {
                 cells: 40,
                 elapsed_ms: 9999,
+            },
+            Event::CampaignFailed {
+                msg: "shard 2 worker failed: retries exhausted".into(),
             },
         ];
         for ev in events {
@@ -478,6 +616,39 @@ mod tests {
         assert!(
             Event::parse_line("{\"ev\":\"cell_start\",\"shard\":0,\"cell\":1,\"fp\":\"xy\"}")
                 .is_err()
+        );
+        assert!(Event::parse_line("{\"ev\":\"shard_failed\",\"shard\":0}").is_err());
+        assert!(Event::parse_line("{\"ev\":\"campaign_failed\"}").is_err());
+    }
+
+    #[test]
+    fn v1_lines_still_parse_and_unknown_formats_are_refused() {
+        // A v1 campaign_start has no `format` field.
+        let v1 = "{\"campaign\":\"old\",\"cells\":4,\"ev\":\"campaign_start\",\
+                  \"resumed\":0,\"shards\":2,\
+                  \"spec_fp\":\"00000000000000010000000000000002\"}";
+        let ev = Event::parse_line(v1).unwrap();
+        assert!(matches!(ev, Event::CampaignStart { cells: 4, .. }));
+        // An explicit v1 tag is fine; an unknown tag is not.
+        let tagged = v1.replace(
+            "\"campaign\":\"old\"",
+            "\"campaign\":\"old\",\"format\":\"griffin-fleet-events/1\"",
+        );
+        assert!(Event::parse_line(&tagged).is_ok());
+        let future = tagged.replace("events/1", "events/99");
+        assert!(Event::parse_line(&future).is_err());
+        // A v1 merge_done has no `healed` field: parsed as 0.
+        let merge =
+            "{\"conflicts\":0,\"ev\":\"merge_done\",\"identical\":1,\"merged\":2,\"sources\":3}";
+        assert_eq!(
+            Event::parse_line(merge),
+            Ok(Event::MergeDone {
+                sources: 3,
+                merged: 2,
+                identical: 1,
+                healed: 0,
+                conflicts: 0,
+            })
         );
     }
 

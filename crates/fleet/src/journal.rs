@@ -220,7 +220,18 @@ impl Journal {
                     expected.cells
                 )));
             }
-            completed.insert(cell, fp);
+            // Duplicate lines happen legitimately (a retried shard
+            // replays a cell whose completion event was lost); they
+            // dedupe by fingerprint. The same cell under two *different*
+            // fingerprints can only mean corruption — two grids wrote
+            // into one journal.
+            if let Some(prev) = completed.insert(cell, fp) {
+                if prev != fp {
+                    return Err(JournalError::Corrupt(format!(
+                        "cell {cell} journaled with two fingerprints ({prev} and {fp})"
+                    )));
+                }
+            }
             if !seg.ends_with('\n') {
                 tail_entry = Some((cell, fp));
                 break;
@@ -291,12 +302,23 @@ impl Journal {
     ///
     /// # Errors
     ///
-    /// Propagates filesystem errors.
+    /// Propagates filesystem errors, and refuses (with
+    /// [`io::ErrorKind::InvalidData`], journal untouched) a cell that
+    /// is already journaled under a *different* fingerprint — the same
+    /// corruption the resume path rejects must not be accepted, and
+    /// hidden, at write time.
     pub fn append(&mut self, cell: usize, fp: Fingerprint) -> io::Result<()> {
-        if self.completed.insert(cell, fp).is_some() {
-            return Ok(()); // already journaled (twin / cached replay)
+        match self.completed.insert(cell, fp) {
+            None => writeln!(self.file, "{}", entry_line(cell, fp)),
+            Some(prev) if prev == fp => Ok(()), // already journaled (twin / cached replay)
+            Some(prev) => {
+                self.completed.insert(cell, prev); // keep the journaled truth
+                Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("cell {cell} is journaled as {prev}; refusing to record {fp}"),
+                ))
+            }
         }
-        writeln!(self.file, "{}", entry_line(cell, fp))
     }
 
     /// The completed cells (grid index → scenario fingerprint).
@@ -312,6 +334,19 @@ impl Journal {
     /// The journal's file path.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Fault-injection support: writes a torn, newline-less half entry,
+    /// simulating a coordinator crash between an append's bytes and its
+    /// newline. The journal must not be appended to afterwards — the
+    /// injecting coordinator aborts the campaign, and the next
+    /// `--resume` truncates the torn tail away.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn tear_tail_for_fault(&mut self) -> io::Result<()> {
+        write!(self.file, "{{\"cell\":")
     }
 
     /// Reads the completed set of a journal **without writing to the
@@ -366,6 +401,15 @@ mod tests {
             j.completed().iter().map(|(&c, _)| c).collect::<Vec<_>>(),
             vec![3, 7]
         );
+        // A conflicting re-append is refused without touching either
+        // the file or the in-memory truth.
+        let mut j = j;
+        let err = j.append(3, Fingerprint(9, 9)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert_eq!(j.completed()[&3], Fingerprint(3, 3));
+        drop(j);
+        let j = Journal::resume(&path, &header()).unwrap();
+        assert_eq!(j.completed()[&3], Fingerprint(3, 3));
         assert!(j.is_completed(7));
         assert!(!j.is_completed(4));
         // The idempotent append wrote exactly one line for cell 3.
@@ -448,6 +492,102 @@ mod tests {
             Journal::resume(&path, &header()),
             Err(JournalError::Corrupt(_))
         ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn interleaved_retried_shard_writes_resume_cleanly() {
+        // A retried shard's appends interleave arbitrarily with the
+        // surviving shards' — completion order is no order at all. The
+        // journal must restore the union regardless.
+        let path = tmp("interleaved");
+        {
+            let mut j = Journal::create(&path, &header()).unwrap();
+            // shard A: 0, 4; shard B: 1; shard A dies; retry of A
+            // interleaves with B finishing.
+            for cell in [0, 4, 1, 5, 2, 8, 3] {
+                j.append(cell, Fingerprint(cell as u64, cell as u64))
+                    .unwrap();
+            }
+        }
+        let j = Journal::resume(&path, &header()).unwrap();
+        assert_eq!(
+            j.completed().keys().copied().collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4, 5, 8]
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn duplicate_entries_dedupe_by_fingerprint() {
+        // Resume-after-retry can replay a cell whose completion event
+        // was lost with the dead worker: the duplicate line (same cell,
+        // same fingerprint) is one completion, not two — and a raw
+        // duplicate *file line* (bypassing the idempotent append) must
+        // behave identically.
+        let path = tmp("dup");
+        drop(Journal::create(&path, &header()).unwrap());
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        let line = entry_line(6, Fingerprint(6, 6));
+        text.push_str(&format!(
+            "{line}\n{}\n{line}\n",
+            entry_line(2, Fingerprint(2, 2))
+        ));
+        std::fs::write(&path, &text).unwrap();
+        let j = Journal::resume(&path, &header()).unwrap();
+        assert_eq!(j.completed().len(), 2);
+        assert_eq!(j.completed()[&6], Fingerprint(6, 6));
+
+        // The same cell under a *different* fingerprint is corruption.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str(&format!("{}\n", entry_line(6, Fingerprint(9, 9))));
+        std::fs::write(&path, &text).unwrap();
+        match Journal::resume(&path, &header()) {
+            Err(JournalError::Corrupt(msg)) => {
+                assert!(msg.contains("two fingerprints"), "{msg}");
+            }
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn header_cell_count_mismatch_is_a_mismatch_not_a_crash() {
+        // Same campaign name and spec fingerprint but a different cell
+        // count (a hand-edited or stale header) must be refused as a
+        // mismatch — the count is part of the journal's identity.
+        let path = tmp("cell-count");
+        drop(Journal::create(&path, &header()).unwrap());
+        let other = JournalHeader {
+            cells: 11,
+            ..header()
+        };
+        match Journal::resume(&path, &other) {
+            Err(JournalError::Mismatch { found, expected }) => {
+                assert_eq!(found.cells, 10);
+                assert_eq!(expected.cells, 11);
+            }
+            other => panic!("expected mismatch, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_from_fault_injection_resumes() {
+        let path = tmp("torn");
+        {
+            let mut j = Journal::create(&path, &header()).unwrap();
+            j.append(1, Fingerprint(1, 1)).unwrap();
+            j.tear_tail_for_fault().unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(!text.ends_with('\n'), "the tail is torn");
+        let mut j = Journal::resume(&path, &header()).unwrap();
+        assert_eq!(j.completed().len(), 1);
+        j.append(2, Fingerprint(2, 2)).unwrap();
+        drop(j);
+        let j = Journal::resume(&path, &header()).unwrap();
+        assert!(j.is_completed(1) && j.is_completed(2));
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -9,6 +9,13 @@
 //! assembled — **byte-identical** to a single-process sweep of the same
 //! spec.
 //!
+//! Campaigns are **fault-tolerant**: a worker that dies or goes silent
+//! past the heartbeat timeout has its remaining cells re-queued onto a
+//! respawned worker (bounded by
+//! [`FleetConfig::max_shard_retries`](coordinator::FleetConfig)), and
+//! every recovery path is exercised deterministically through
+//! [`fault::FaultPlan`].
+//!
 //! * [`plan`] — content-addressed shard partitioning and the campaign
 //!   spec fingerprint that guards resume and worker handshakes,
 //! * [`events`] — the JSONL event schema, sinks, and the worker stdout
@@ -16,7 +23,9 @@
 //! * [`journal`] — the append-only completed-cell journal behind
 //!   `--resume`,
 //! * [`coordinator`] — the in-process and subprocess campaign drivers
-//!   plus the shard-worker entry point.
+//!   plus the shard-worker entry point,
+//! * [`fault`] — deterministic fault injection (worker kill/stall,
+//!   cache and journal corruption) for chaos tests.
 //!
 //! # Example
 //!
@@ -45,6 +54,7 @@
 
 pub mod coordinator;
 pub mod events;
+pub mod fault;
 pub mod journal;
 pub mod plan;
 
@@ -52,6 +62,7 @@ pub use coordinator::{
     default_events_path, journal_path, merged_cache_dir, run_fleet, run_fleet_spawned,
     run_shard_worker, shard_cache_dir, FleetConfig, FleetError, WorkerConfig, WorkerSpawn,
 };
-pub use events::{Event, EventError, EventSink, JsonlSink, NullSink};
+pub use events::{Event, EventError, EventSink, JsonlSink, NullSink, EVENTS_FORMAT};
+pub use fault::{AttemptGate, Fault, FaultError, FaultPlan, ATTEMPT_ENV, FAULT_ENV};
 pub use journal::{Journal, JournalError, JournalHeader, JOURNAL_FORMAT};
-pub use plan::{shard_of, spec_fingerprint, PlanError, ShardPlan};
+pub use plan::{remaining_cells, shard_of, spec_fingerprint, PlanError, ShardPlan};

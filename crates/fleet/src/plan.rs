@@ -115,6 +115,18 @@ impl ShardPlan {
     }
 }
 
+/// The subset of `cells` not yet completed, in input (grid) order —
+/// what a shard attempt actually has left to run. Used by the
+/// coordinator for fresh runs, resumes, and post-failure re-queues
+/// alike, so every path computes a shard's work list the same way.
+pub fn remaining_cells(cells: &[Cell], is_done: impl Fn(usize) -> bool) -> Vec<Cell> {
+    cells
+        .iter()
+        .filter(|c| !is_done(c.index))
+        .cloned()
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

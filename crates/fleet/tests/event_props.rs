@@ -1,0 +1,175 @@
+//! Property tests of the full fleet event schema: every variant (v1 and
+//! v2), serialized and parsed back, over randomized field values —
+//! including degenerate floats, strings that need escaping, unknown
+//! fields (which must be tolerated) and v1 lines (which must still
+//! parse).
+
+use griffin_fleet::events::Event;
+use griffin_sweep::cache::CellMetrics;
+use griffin_sweep::fingerprint::Fingerprint;
+use griffin_sweep::json::Json;
+use proptest::prelude::*;
+
+/// Deterministic metrics from two draws; `special` selects a
+/// non-finite float injection (JSON numbers cannot express them, so
+/// they stress the lossless float encoding).
+fn metrics_from(a: u64, b: u64, special: u64) -> CellMetrics {
+    let f = |x: u64| (x % 1_000_000) as f64 / 7.0;
+    let mut m = CellMetrics {
+        speedup: f(a ^ 1),
+        cycles: f(a ^ 2),
+        dense_cycles: a,
+        power_mw: f(b ^ 3),
+        area_mm2: f(b ^ 4),
+        tops_per_w: f(a ^ b),
+        tops_per_mm2: f(b ^ 5),
+    };
+    match special % 4 {
+        1 => m.tops_per_w = f64::NAN,
+        2 => m.tops_per_mm2 = f64::INFINITY,
+        3 => m.power_mw = f64::NEG_INFINITY,
+        _ => {}
+    }
+    m
+}
+
+/// One event of each schema variant, fields derived from the draws.
+/// Strings mix in characters that need JSON escaping.
+fn build_event(variant: usize, a: u64, b: u64, flag: bool, special: u64) -> Event {
+    let s = |tag: &str| format!("{tag}-\"{a}\"\n\\{b}");
+    let n = |x: u64| (x % 100_000) as usize;
+    match variant {
+        0 => Event::CampaignStart {
+            campaign: s("camp"),
+            spec_fp: Fingerprint(a, b),
+            cells: n(a),
+            shards: n(b) + 1,
+            resumed: n(a ^ b),
+        },
+        1 => Event::ShardStart {
+            shard: n(a),
+            cells: n(b),
+            skipped: n(a ^ 1),
+        },
+        2 => Event::CellStart {
+            shard: n(a),
+            cell: n(b),
+            fp: Fingerprint(b, a),
+        },
+        3 => Event::CellDone {
+            shard: n(a),
+            cell: n(b),
+            fp: Fingerprint(a, a),
+            cached: flag,
+            metrics: metrics_from(a, b, special),
+        },
+        4 => Event::Heartbeat {
+            shard: n(a),
+            done: n(b),
+            total: n(b) + n(a),
+        },
+        5 => Event::ShardDone {
+            shard: n(a),
+            simulated: n(b),
+            cached: n(a ^ 2),
+            elapsed_ms: b % 1_000_000_000,
+        },
+        6 => Event::ShardFailed {
+            shard: n(a),
+            attempt: n(b) % 16,
+            msg: s("worker exited"),
+        },
+        7 => Event::CellsRequeued {
+            shard: n(a),
+            cells: n(b),
+        },
+        8 => Event::ShardRetried {
+            shard: n(a),
+            attempt: n(b) % 16 + 1,
+        },
+        9 => Event::MergeDone {
+            sources: n(a),
+            merged: b % 1_000_000,
+            identical: a % 1_000_000,
+            healed: (a ^ b) % 100,
+            conflicts: u64::from(flag),
+        },
+        10 => Event::CampaignDone {
+            cells: n(a),
+            elapsed_ms: b % 1_000_000_000,
+        },
+        _ => Event::CampaignFailed { msg: s("gave up") },
+    }
+}
+
+/// Serializes `ev` with extra unknown fields injected into the object.
+fn with_unknown_fields(ev: &Event) -> String {
+    let Json::Obj(mut m) = ev.to_json() else {
+        panic!("events serialize to objects");
+    };
+    m.insert("aaa_unknown".into(), Json::Num(42.0));
+    m.insert(
+        "zz_future".into(),
+        Json::obj([("nested".into(), Json::Bool(true))]),
+    );
+    Json::Obj(m).write()
+}
+
+/// Serializes `ev` as a v1 consumer would have written it: no `format`
+/// tag, no v2-only optional fields.
+fn as_v1_line(ev: &Event) -> String {
+    let Json::Obj(mut m) = ev.to_json() else {
+        panic!("events serialize to objects");
+    };
+    m.remove("format");
+    m.remove("healed");
+    Json::Obj(m).write()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// serialize → parse is the identity on every variant, for any
+    /// field values (NaN metrics compared through their canonical
+    /// line, since NaN breaks `PartialEq`).
+    #[test]
+    fn every_event_roundtrips_for_arbitrary_fields(
+        variant in 0usize..12,
+        a in 0u64..u64::MAX,
+        b in 0u64..u64::MAX,
+        flag in proptest::bool::ANY,
+        special in 0u64..4,
+    ) {
+        let ev = build_event(variant, a, b, flag, special);
+        let line = ev.to_line();
+        prop_assert!(!line.contains('\n'), "one event, one line: {line}");
+        let back = Event::parse_line(&line).expect(&line);
+        prop_assert_eq!(back.to_line(), line.clone(), "canonical form is a fixpoint");
+        if special % 4 == 0 {
+            prop_assert_eq!(back, ev, "{}", line);
+        }
+    }
+
+    /// Unknown fields inside known events are ignored, and v1 lines
+    /// (no `format` tag, no `healed`) still parse to the same event.
+    #[test]
+    fn unknown_fields_and_v1_lines_are_tolerated(
+        variant in 0usize..12,
+        a in 0u64..u64::MAX,
+        b in 0u64..u64::MAX,
+        flag in proptest::bool::ANY,
+    ) {
+        let ev = build_event(variant, a, b, flag, 0);
+        let noisy = Event::parse_line(&with_unknown_fields(&ev)).expect("unknown fields ignored");
+        prop_assert_eq!(&noisy, &ev);
+        // v1 compatibility only differs for campaign_start/merge_done,
+        // but stripping nothing from the rest must be harmless too.
+        let from_v1 = Event::parse_line(&as_v1_line(&ev)).expect("v1 line parses");
+        match from_v1 {
+            Event::MergeDone { healed, .. } if variant == 9 => {
+                prop_assert_eq!(healed, 0, "v1 merge_done has no healed count")
+            }
+            other => prop_assert_eq!(other, ev),
+        }
+    }
+}

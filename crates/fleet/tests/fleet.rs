@@ -274,6 +274,8 @@ fn shard_workers_cover_the_plan_and_reject_wrong_fingerprints() {
                 cache_dir: shard_cache_dir(&dir, shard),
                 workers: 2,
                 heartbeat_every: 0,
+                fault: None,
+                attempt: 0,
             },
             W(&out),
         )
@@ -303,6 +305,8 @@ fn shard_workers_cover_the_plan_and_reject_wrong_fingerprints() {
             cache_dir: shard_cache_dir(&dir, 9),
             workers: 1,
             heartbeat_every: 0,
+            fault: None,
+            attempt: 0,
         },
         Vec::new(),
     ) {

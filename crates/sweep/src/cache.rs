@@ -338,6 +338,10 @@ pub struct MergeReport {
     pub identical: u64,
     /// Unreadable or unparsable source entries skipped.
     pub invalid: u64,
+    /// Torn destination entries (unparsable — a process died between a
+    /// rename and its data hitting disk) overwritten with good source
+    /// content instead of being flagged as conflicts.
+    pub healed: u64,
     /// Fingerprints present with *different* content (sorted). The
     /// destination keeps its first-seen value; callers treat a non-empty
     /// list as corruption (a fingerprint names the full scenario, so two
@@ -398,7 +402,26 @@ pub fn merge_dirs(dest: impl AsRef<Path>, sources: &[impl AsRef<Path>]) -> io::R
             let target = dest.join(format!("{fp}.json"));
             match std::fs::read_to_string(&target) {
                 Ok(existing) if existing == canonical => report.identical += 1,
-                Ok(_) => report.conflicts.push(fp.to_string()),
+                Ok(existing) => {
+                    // A parseable destination entry that canonicalizes
+                    // to the same bytes is the same content through a
+                    // different write path; one that disagrees is a
+                    // real conflict. One that does not even parse is a
+                    // torn write from a killed process — heal it with
+                    // the good source copy instead of aborting the
+                    // campaign over damage a retry already repaired.
+                    match Json::parse(&existing)
+                        .ok()
+                        .and_then(|v| CellMetrics::from_json(&v).ok())
+                    {
+                        Some(m) if m.to_json().write() == canonical => report.identical += 1,
+                        Some(_) => report.conflicts.push(fp.to_string()),
+                        None => {
+                            write_entry(&target, &metrics)?;
+                            report.healed += 1;
+                        }
+                    }
+                }
                 Err(_) => {
                     write_entry(&target, &metrics)?;
                     report.merged += 1;
@@ -708,6 +731,86 @@ mod tests {
         assert_eq!(r1.merged, 1);
         assert_eq!(r2.identical, 1);
         assert!(r2.conflicts.is_empty());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn merge_skips_a_killed_shards_partial_output() {
+        // A shard killed mid-write leaves (a) an in-flight `.tmp` file
+        // that never got renamed and (b) possibly a truncated entry.
+        // Merge must skip both — the tmp silently (it is not an entry),
+        // the torn entry as `invalid` — and take the good copy the
+        // retried shard produced.
+        let root = scratch_dir("merge-partial");
+        let (dead, retry, dest) = (root.join("s0"), root.join("s0-retry"), root.join("merged"));
+        let cd = ResultCache::at_dir(&dead).unwrap();
+        cd.insert(Fingerprint(1, 1), metrics(1.5));
+        cd.insert(Fingerprint(2, 2), metrics(2.5));
+        // Kill simulation: a partial tmp and a half-written entry.
+        std::fs::write(dead.join("0dead.tmp.7.0"), "{\"speedup\":").unwrap();
+        let torn = dead.join(format!("{}.json", Fingerprint(2, 2)));
+        let len = std::fs::metadata(&torn).unwrap().len();
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&torn)
+            .unwrap()
+            .set_len(len / 2)
+            .unwrap();
+        // The retried shard re-simulated the lost cell correctly.
+        let cr = ResultCache::at_dir(&retry).unwrap();
+        cr.insert(Fingerprint(2, 2), metrics(2.5));
+
+        let r = merge_dirs(&dest, &[dead, retry]).unwrap();
+        assert_eq!((r.merged, r.invalid, r.healed), (2, 1, 0));
+        assert!(r.conflicts.is_empty());
+        assert!(
+            !dest.join("0dead.tmp.7.0").exists(),
+            "in-flight temp files never reach the merged cache"
+        );
+        let merged = ResultCache::at_dir(&dest).unwrap();
+        assert_eq!(merged.lookup(Fingerprint(2, 2)), Some(metrics(2.5)));
+
+        // A *conflicting* canonical-bytes entry appearing after the
+        // retry (an impostor shard dir) must still be detected — torn
+        // files don't relax the conflict check for healthy ones.
+        let impostor = root.join("s9");
+        let ci = ResultCache::at_dir(&impostor).unwrap();
+        ci.insert(Fingerprint(2, 2), metrics(99.0));
+        let r2 = merge_dirs(&dest, &[impostor]).unwrap();
+        assert_eq!(r2.conflicts, vec![Fingerprint(2, 2).to_string()]);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn merge_heals_a_torn_destination_entry() {
+        // The *destination* can be torn too: a coordinator killed while
+        // merging leaves an unparsable target. Re-merging must replace
+        // it with the good source copy (healed), not flag a conflict —
+        // while a parseable-but-different target stays a conflict.
+        let root = scratch_dir("merge-heal");
+        let (src, dest) = (root.join("s0"), root.join("merged"));
+        let cs = ResultCache::at_dir(&src).unwrap();
+        cs.insert(Fingerprint(4, 4), metrics(4.0));
+        std::fs::create_dir_all(&dest).unwrap();
+        std::fs::write(dest.join(format!("{}.json", Fingerprint(4, 4))), "{\"spee").unwrap();
+
+        let r = merge_dirs(&dest, std::slice::from_ref(&src)).unwrap();
+        assert_eq!((r.merged, r.healed, r.identical), (0, 1, 0));
+        assert!(r.conflicts.is_empty());
+        let merged = ResultCache::at_dir(&dest).unwrap();
+        assert_eq!(merged.lookup(Fingerprint(4, 4)), Some(metrics(4.0)));
+
+        // Idempotent after healing; a semantically different target is
+        // still a conflict, never "healed" away.
+        let r2 = merge_dirs(&dest, std::slice::from_ref(&src)).unwrap();
+        assert_eq!((r2.identical, r2.healed), (1, 0));
+        std::fs::write(
+            dest.join(format!("{}.json", Fingerprint(4, 4))),
+            metrics(5.0).to_json().write(),
+        )
+        .unwrap();
+        let r3 = merge_dirs(&dest, &[src]).unwrap();
+        assert_eq!(r3.conflicts, vec![Fingerprint(4, 4).to_string()]);
         std::fs::remove_dir_all(&root).unwrap();
     }
 

@@ -28,10 +28,11 @@ use griffin::core::accelerator::Accelerator;
 use griffin::core::arch::ArchSpec;
 use griffin::core::category::DnnCategory;
 use griffin::fleet::coordinator::{
-    default_events_path, run_fleet, run_fleet_spawned, run_shard_worker, FleetConfig, WorkerConfig,
-    WorkerSpawn,
+    default_events_path, run_fleet, run_fleet_spawned, run_shard_worker, FleetConfig, FleetError,
+    WorkerConfig, WorkerSpawn,
 };
 use griffin::fleet::events::JsonlSink;
+use griffin::fleet::fault::{self, Fault};
 use griffin::sim::config::{Fidelity, SimConfig};
 use griffin::sweep::report::{to_csv, to_json, write_file};
 use griffin::sweep::{
@@ -130,6 +131,13 @@ fn usage() -> ExitCode {
     eprintln!("  --events PATH|-     JSONL event stream (default DIR/events.jsonl, - = stdout)");
     eprintln!("  --resume            resume from the journal (spec fingerprint verified)");
     eprintln!("  --heartbeat N       heartbeat every N cells per shard (default 32, 0 = off)");
+    eprintln!("  --max-shard-retries N  retries per failed shard before giving up (default 2)");
+    eprintln!("  --heartbeat-timeout MS with --spawn: kill + retry a worker silent for MS");
+    eprintln!("                      milliseconds (default 0 = off; must exceed the");
+    eprintln!("                      slowest single cell — completions are the signal)");
+    eprintln!();
+    eprintln!("  GRIFFIN_FAULT       deterministic fault injection for chaos tests, e.g.");
+    eprintln!("                      kill:shard=1:after=2;corrupt-cache:shard=1 (see docs)");
     ExitCode::from(2)
 }
 
@@ -432,6 +440,8 @@ struct FleetCliArgs {
     events: Option<String>,
     resume: bool,
     heartbeat: usize,
+    max_shard_retries: usize,
+    heartbeat_timeout_ms: u64,
     /// Remaining (sweep) options, preserved verbatim so `--spawn` can
     /// forward them to shard workers unchanged.
     sweep_rest: Vec<String>,
@@ -464,6 +474,8 @@ fn split_fleet_args(args: &[String]) -> Option<FleetCliArgs> {
         events: None,
         resume: false,
         heartbeat: 32,
+        max_shard_retries: 2,
+        heartbeat_timeout_ms: 0,
         sweep_rest: Vec::new(),
     };
     let mut it = args.iter();
@@ -475,6 +487,8 @@ fn split_fleet_args(args: &[String]) -> Option<FleetCliArgs> {
             "--events" => out.events = Some(it.next()?.clone()),
             "--resume" => out.resume = true,
             "--heartbeat" => out.heartbeat = it.next()?.parse().ok()?,
+            "--max-shard-retries" => out.max_shard_retries = it.next()?.parse().ok()?,
+            "--heartbeat-timeout" => out.heartbeat_timeout_ms = it.next()?.parse().ok()?,
             other => forward_sweep_flag(other, &mut it, &mut out.sweep_rest)?,
         }
     }
@@ -533,6 +547,14 @@ fn cmd_fleet(workload: &str, cat: &str, rest: &[String]) -> ExitCode {
     let Some(spec) = build_sweep_spec(workload, cat, &opts) else {
         return usage();
     };
+    // A typoed chaos experiment must fail loudly, not run clean.
+    let fault_plan = match fault::plan_from_env() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{}: {e}", fault::FAULT_ENV);
+            return ExitCode::FAILURE;
+        }
+    };
     let dir = PathBuf::from(&fleet_args.dir);
     let cfg = FleetConfig {
         shards: fleet_args.shards,
@@ -540,6 +562,12 @@ fn cmd_fleet(workload: &str, cat: &str, rest: &[String]) -> ExitCode {
         dir: dir.clone(),
         resume: fleet_args.resume,
         heartbeat_every: fleet_args.heartbeat,
+        max_shard_retries: fleet_args.max_shard_retries,
+        heartbeat_timeout_ms: fleet_args.heartbeat_timeout_ms,
+        // In spawn mode the workers arm their own faults from the
+        // inherited environment; the coordinator only acts on its own
+        // (journal) faults either way.
+        fault: fault_plan,
     };
     let (mut sink, quiet) = match open_event_sink(&dir, &fleet_args.events, fleet_args.resume) {
         Ok(s) => s,
@@ -676,6 +704,13 @@ fn cmd_shard_worker(workload: &str, cat: &str, rest: &[String]) -> ExitCode {
     let Some(spec) = build_sweep_spec(workload, cat, &opts) else {
         return usage();
     };
+    let fault_plan = match fault::plan_from_env() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{}: {e}", fault::FAULT_ENV);
+            return ExitCode::FAILURE;
+        }
+    };
     let cfg = WorkerConfig {
         shards: w.shards,
         shard: w.shard.expect("validated"),
@@ -684,9 +719,29 @@ fn cmd_shard_worker(workload: &str, cat: &str, rest: &[String]) -> ExitCode {
         cache_dir: PathBuf::from(w.cache.expect("validated")),
         workers: opts.workers,
         heartbeat_every: w.heartbeat,
+        fault: fault_plan,
+        attempt: fault::attempt_from_env(),
     };
     match run_shard_worker(&spec, &cfg, std::io::stdout()) {
         Ok(()) => ExitCode::SUCCESS,
+        // An injected kill dies the way a real crash does: a torn
+        // protocol line, no shard_done, a nonzero exit. An injected
+        // stall goes silent while staying alive — the coordinator's
+        // heartbeat watchdog must find and kill it.
+        Err(FleetError::Injected(f @ Fault::Kill { .. })) => {
+            eprintln!("shard-worker: {f} — dying abruptly");
+            use std::io::Write as _;
+            let mut out = std::io::stdout();
+            let _ = out.write_all(b"{\"ev\":\"cell_");
+            let _ = out.flush();
+            ExitCode::from(3)
+        }
+        Err(FleetError::Injected(f @ Fault::Stall { .. })) => {
+            eprintln!("shard-worker: {f} — going silent");
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
         Err(e) => {
             eprintln!("shard-worker: {e}");
             ExitCode::FAILURE

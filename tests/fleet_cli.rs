@@ -120,6 +120,118 @@ fn spawned_fleet_matches_sweep_and_resumes_from_the_journal() {
 }
 
 #[test]
+fn killed_worker_is_retried_and_the_report_still_matches_sweep() {
+    let dir = scratch_dir("chaos");
+
+    let mut sweep_args = vec!["sweep"];
+    sweep_args.extend(CAMPAIGN);
+    sweep_args.extend(["--workers", "2", "--csv", "single.csv"]);
+    run(&sweep_args, &dir);
+
+    // Kill shard 1's worker after one completed cell; the coordinator
+    // must re-queue its remaining cells onto a respawned worker and
+    // still produce the byte-identical report.
+    let mut fleet_args = vec!["fleet"];
+    fleet_args.extend(CAMPAIGN);
+    fleet_args.extend([
+        "--shards",
+        "3",
+        "--spawn",
+        "--dir",
+        "fs",
+        "--csv",
+        "fleet.csv",
+    ]);
+    let out = Command::new(CLI)
+        .args(&fleet_args)
+        .env("GRIFFIN_FAULT", "kill:shard=1:after=1")
+        .current_dir(&dir)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "chaos fleet must recover:\n{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        std::fs::read(dir.join("single.csv")).unwrap(),
+        std::fs::read(dir.join("fleet.csv")).unwrap(),
+        "a retried campaign is byte-identical to sweep"
+    );
+
+    let events = std::fs::read_to_string(dir.join("fs/events.jsonl")).unwrap();
+    for marker in [
+        "\"ev\":\"shard_failed\"",
+        "\"ev\":\"cells_requeued\"",
+        "\"ev\":\"shard_retried\"",
+        "griffin-fleet-events/2",
+    ] {
+        assert!(events.contains(marker), "stream must record {marker}");
+    }
+    let last = events.lines().last().unwrap();
+    assert!(last.contains("\"campaign_done\""), "terminal event: {last}");
+    for line in events.lines() {
+        griffin::fleet::Event::parse_line(line).expect("every stream line parses");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn exhausted_retries_fail_with_a_terminal_campaign_failed() {
+    let dir = scratch_dir("chaos-exhaust");
+    let mut fleet_args = vec!["fleet"];
+    fleet_args.extend(CAMPAIGN);
+    fleet_args.extend([
+        "--shards",
+        "2",
+        "--spawn",
+        "--dir",
+        "fs",
+        "--max-shard-retries",
+        "1",
+    ]);
+    let out = Command::new(CLI)
+        .args(&fleet_args)
+        .env("GRIFFIN_FAULT", "kill:shard=0:after=0:attempt=any")
+        .current_dir(&dir)
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "a shard that always dies must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("retries exhausted"), "stderr: {stderr}");
+
+    let events = std::fs::read_to_string(dir.join("fs/events.jsonl")).unwrap();
+    let last = events.lines().last().unwrap();
+    assert!(
+        last.contains("\"campaign_failed\""),
+        "failures are terminal too: {last}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn a_garbage_fault_plan_is_refused_loudly() {
+    let dir = scratch_dir("chaos-typo");
+    let mut fleet_args = vec!["fleet"];
+    fleet_args.extend(CAMPAIGN);
+    fleet_args.extend(["--shards", "2", "--dir", "fs"]);
+    let out = Command::new(CLI)
+        .args(&fleet_args)
+        .env("GRIFFIN_FAULT", "kill:shard=one")
+        .current_dir(&dir)
+        .output()
+        .unwrap();
+    assert!(
+        !out.status.success(),
+        "a typoed chaos experiment must not run a clean campaign"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("GRIFFIN_FAULT"), "stderr: {stderr}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn fleet_rejects_resuming_a_different_campaign_grid() {
     let dir = scratch_dir("mismatch");
     let mut fleet_args = vec!["fleet"];
