@@ -13,6 +13,11 @@ use griffin_sim::window::BorrowWindow;
 
 use crate::category::DnnCategory;
 
+/// Largest borrowing distance the validated [`ArchSpecBuilder`] accepts
+/// per window dimension — far beyond anything the cost model can price,
+/// so it only rejects nonsense (a typoed `400` for `4,0,0`).
+pub const MAX_BORROW_DISTANCE: usize = 64;
+
 /// The architecture family of a design point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ArchKind {
@@ -44,6 +49,238 @@ pub enum ArchKind {
     CambriconX,
 }
 
+impl ArchKind {
+    /// Every kind, in declaration order.
+    pub const ALL: [ArchKind; 12] = [
+        ArchKind::Dense,
+        ArchKind::SparseA,
+        ArchKind::SparseB,
+        ArchKind::SparseAB,
+        ArchKind::Griffin,
+        ArchKind::TclB,
+        ArchKind::TensorDash,
+        ArchKind::SparTenA,
+        ArchKind::SparTenB,
+        ArchKind::SparTenAB,
+        ArchKind::Cnvlutin,
+        ArchKind::CambriconX,
+    ];
+
+    /// The stable text token of this kind — what scenario files and the
+    /// canonical serialized form spell (`kind = "sparse.b"`).
+    pub fn token(&self) -> &'static str {
+        match self {
+            ArchKind::Dense => "dense",
+            ArchKind::SparseA => "sparse.a",
+            ArchKind::SparseB => "sparse.b",
+            ArchKind::SparseAB => "sparse.ab",
+            ArchKind::Griffin => "griffin",
+            ArchKind::TclB => "tcl.b",
+            ArchKind::TensorDash => "tensordash",
+            ArchKind::SparTenA => "sparten.a",
+            ArchKind::SparTenB => "sparten.b",
+            ArchKind::SparTenAB => "sparten.ab",
+            ArchKind::Cnvlutin => "cnvlutin",
+            ArchKind::CambriconX => "cambricon-x",
+        }
+    }
+
+    /// Parses a [`ArchKind::token`] (ASCII case-insensitive).
+    pub fn from_token(s: &str) -> Option<ArchKind> {
+        let lower = s.to_ascii_lowercase();
+        ArchKind::ALL.into_iter().find(|k| k.token() == lower)
+    }
+
+    /// Whether this kind routes (borrows) on the A operand side.
+    pub fn routes_a(&self) -> bool {
+        matches!(
+            self,
+            ArchKind::SparseA
+                | ArchKind::SparseAB
+                | ArchKind::Griffin
+                | ArchKind::TensorDash
+                | ArchKind::Cnvlutin
+        )
+    }
+
+    /// Whether this kind routes (borrows) on the B operand side.
+    pub fn routes_b(&self) -> bool {
+        matches!(
+            self,
+            ArchKind::SparseB
+                | ArchKind::SparseAB
+                | ArchKind::Griffin
+                | ArchKind::TclB
+                | ArchKind::TensorDash
+                | ArchKind::CambriconX
+        )
+    }
+
+    /// Whether this kind has a shuffle network at all (dense and the
+    /// SparTen points ignore the flag, so setting it is a config error).
+    pub fn shuffles(&self) -> bool {
+        !matches!(
+            self,
+            ArchKind::Dense | ArchKind::SparTenA | ArchKind::SparTenB | ArchKind::SparTenAB
+        )
+    }
+}
+
+/// Why [`ArchSpecBuilder::build`] (or [`ArchSpec::from_canonical`])
+/// refused to produce a spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchError {
+    /// A borrowing distance exceeds [`MAX_BORROW_DISTANCE`].
+    WindowOutOfRange {
+        /// Operand side (`'a'` or `'b'`).
+        side: char,
+        /// The offending window.
+        win: BorrowWindow,
+    },
+    /// A nonzero window was given for an operand side this kind never
+    /// routes (e.g. a B window on `Sparse.A`).
+    UnusedWindow {
+        /// The kind being built.
+        kind: ArchKind,
+        /// Operand side (`'a'` or `'b'`).
+        side: char,
+    },
+    /// Shuffle requested on a kind without a shuffle network.
+    UnusedShuffle {
+        /// The kind being built.
+        kind: ArchKind,
+    },
+    /// The display name is empty or whitespace.
+    EmptyName,
+    /// [`ArchSpec::from_canonical`] input did not match the grammar.
+    BadCanonical(String),
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::WindowOutOfRange { side, win } => write!(
+                f,
+                "window {side}={win} out of range (each distance must be <= {MAX_BORROW_DISTANCE})"
+            ),
+            ArchError::UnusedWindow { kind, side } => write!(
+                f,
+                "kind `{}` does not route the {side} side; its {side} window must be (0,0,0)",
+                kind.token()
+            ),
+            ArchError::UnusedShuffle { kind } => write!(
+                f,
+                "kind `{}` has no shuffle network; drop `shuffle`",
+                kind.token()
+            ),
+            ArchError::EmptyName => write!(f, "architecture name must not be empty"),
+            ArchError::BadCanonical(s) => write!(f, "bad canonical arch form `{s}`"),
+        }
+    }
+}
+
+impl std::error::Error for ArchError {}
+
+/// Validated construction of arbitrary [`ArchSpec`]s — the open-ended
+/// counterpart of the named preset constructors, used by scenario files
+/// to define design points the paper never named.
+#[derive(Debug, Clone)]
+pub struct ArchSpecBuilder {
+    kind: ArchKind,
+    a: BorrowWindow,
+    b: BorrowWindow,
+    shuffle: bool,
+    name: Option<String>,
+}
+
+impl ArchSpecBuilder {
+    /// Sets the A-side borrowing window.
+    pub fn a(mut self, w: BorrowWindow) -> Self {
+        self.a = w;
+        self
+    }
+
+    /// Sets the B-side borrowing window.
+    pub fn b(mut self, w: BorrowWindow) -> Self {
+        self.b = w;
+        self
+    }
+
+    /// Sets the shuffle flag.
+    pub fn shuffle(mut self, on: bool) -> Self {
+        self.shuffle = on;
+        self
+    }
+
+    /// Overrides the display name (the default is the canonical name of
+    /// the kind and windows). Note the cost model keys its calibrated
+    /// Table VII rows on names — a custom name gets parametric pricing.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Validates and builds the spec.
+    ///
+    /// # Errors
+    ///
+    /// [`ArchError`] on out-of-range windows, windows on an unrouted
+    /// side, shuffle on a shuffle-less kind, or an empty name.
+    pub fn build(self) -> Result<ArchSpec, ArchError> {
+        for (side, win, routed) in [
+            ('a', self.a, self.kind.routes_a()),
+            ('b', self.b, self.kind.routes_b()),
+        ] {
+            if win.d1 > MAX_BORROW_DISTANCE
+                || win.d2 > MAX_BORROW_DISTANCE
+                || win.d3 > MAX_BORROW_DISTANCE
+            {
+                return Err(ArchError::WindowOutOfRange { side, win });
+            }
+            if !routed && !win.is_zero() {
+                return Err(ArchError::UnusedWindow {
+                    kind: self.kind,
+                    side,
+                });
+            }
+        }
+        if self.shuffle && !self.kind.shuffles() {
+            return Err(ArchError::UnusedShuffle { kind: self.kind });
+        }
+        let name = match self.name {
+            Some(n) if n.trim().is_empty() => return Err(ArchError::EmptyName),
+            Some(n) => n,
+            None => default_name(self.kind, self.a, self.b, self.shuffle),
+        };
+        Ok(ArchSpec {
+            name,
+            kind: self.kind,
+            a: self.a,
+            b: self.b,
+            shuffle: self.shuffle,
+        })
+    }
+}
+
+/// The default display name for a kind + window combination — identical
+/// to what the named constructors produce for the parametric families.
+fn default_name(kind: ArchKind, a: BorrowWindow, b: BorrowWindow, shuffle: bool) -> String {
+    match kind {
+        ArchKind::Dense => "Baseline".into(),
+        ArchKind::SparseA => format!("Sparse.A{a}{}", on_off(shuffle)),
+        ArchKind::SparseB => format!("Sparse.B{b}{}", on_off(shuffle)),
+        ArchKind::SparseAB => format!("Sparse.AB{a}{b}{}", on_off(shuffle)),
+        ArchKind::Griffin => "Griffin".into(),
+        ArchKind::TclB => "TCL.B".into(),
+        ArchKind::TensorDash => "TDash.AB".into(),
+        ArchKind::SparTenA => "SparTen.A".into(),
+        ArchKind::SparTenB => "SparTen.B".into(),
+        ArchKind::SparTenAB => "SparTen.AB".into(),
+        ArchKind::Cnvlutin => "Cnvlutin".into(),
+        ArchKind::CambriconX => "Cambricon-X".into(),
+    }
+}
+
 /// A concrete architecture configuration.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ArchSpec {
@@ -60,6 +297,69 @@ pub struct ArchSpec {
 }
 
 impl ArchSpec {
+    /// A validated builder for an arbitrary design point of `kind`
+    /// (windows default to zero, shuffle off, name auto-generated).
+    pub fn builder(kind: ArchKind) -> ArchSpecBuilder {
+        ArchSpecBuilder {
+            kind,
+            a: BorrowWindow::ZERO,
+            b: BorrowWindow::ZERO,
+            shuffle: false,
+            name: None,
+        }
+    }
+
+    /// The canonical serialized form: one line that losslessly encodes
+    /// every field, e.g.
+    /// `sparse.b a=(0,0,0) b=(4,0,1) shuffle=on name=Sparse.B*`.
+    /// [`ArchSpec::from_canonical`] inverts it exactly.
+    pub fn canonical(&self) -> String {
+        format!(
+            "{} a={} b={} shuffle={} name={}",
+            self.kind.token(),
+            self.a,
+            self.b,
+            on_off_word(self.shuffle),
+            self.name
+        )
+    }
+
+    /// Parses the [`ArchSpec::canonical`] form, re-validating through
+    /// the builder.
+    ///
+    /// # Errors
+    ///
+    /// [`ArchError::BadCanonical`] on grammar violations, plus every
+    /// builder validation error.
+    pub fn from_canonical(s: &str) -> Result<ArchSpec, ArchError> {
+        let bad = || ArchError::BadCanonical(s.to_string());
+        let mut rest = s.trim();
+        let (kind_tok, tail) = rest.split_once(' ').ok_or_else(bad)?;
+        let kind = ArchKind::from_token(kind_tok).ok_or_else(bad)?;
+        rest = tail.trim_start();
+        let mut take = |prefix: &str| -> Result<String, ArchError> {
+            rest = rest.strip_prefix(prefix).ok_or_else(bad)?;
+            let (tok, tail) = rest.split_once(' ').ok_or_else(bad)?;
+            let tok = tok.to_string();
+            rest = tail.trim_start();
+            Ok(tok)
+        };
+        let a = parse_window(&take("a=")?).ok_or_else(bad)?;
+        let b = parse_window(&take("b=")?).ok_or_else(bad)?;
+        let shuffle = match take("shuffle=")?.as_str() {
+            "on" => true,
+            "off" => false,
+            _ => return Err(bad()),
+        };
+        let name = rest.strip_prefix("name=").ok_or_else(bad)?;
+        ArchSpec::builder(kind)
+            .a(a)
+            .b(b)
+            .shuffle(shuffle)
+            .name(name)
+            .build()
+    }
+
     /// The optimized dense baseline of §II-A.
     pub fn dense() -> Self {
         ArchSpec {
@@ -304,6 +604,27 @@ fn on_off(shuffle: bool) -> &'static str {
     }
 }
 
+fn on_off_word(shuffle: bool) -> &'static str {
+    if shuffle {
+        "on"
+    } else {
+        "off"
+    }
+}
+
+/// Parses the `(d1,d2,d3)` form [`BorrowWindow`]'s `Display` writes.
+fn parse_window(s: &str) -> Option<BorrowWindow> {
+    let inner = s.strip_prefix('(')?.strip_suffix(')')?;
+    let mut it = inner.split(',');
+    let d1 = it.next()?.trim().parse().ok()?;
+    let d2 = it.next()?.trim().parse().ok()?;
+    let d3 = it.next()?.trim().parse().ok()?;
+    if it.next().is_some() {
+        return None;
+    }
+    Some(BorrowWindow::new(d1, d2, d3))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -362,6 +683,117 @@ mod tests {
     #[test]
     fn lineup_has_eight_entries() {
         assert_eq!(ArchSpec::table7_lineup().len(), 8);
+    }
+
+    #[test]
+    fn builder_accepts_valid_points_and_names_them_canonically() {
+        let b = ArchSpec::builder(ArchKind::SparseB)
+            .b(BorrowWindow::new(4, 0, 1))
+            .shuffle(true)
+            .build()
+            .unwrap();
+        assert_eq!(b, ArchSpec::sparse_b(BorrowWindow::new(4, 0, 1), true));
+        let named = ArchSpec::builder(ArchKind::SparseB)
+            .b(BorrowWindow::new(4, 0, 1))
+            .shuffle(true)
+            .name("Sparse.B*")
+            .build()
+            .unwrap();
+        assert_eq!(named, ArchSpec::sparse_b_star());
+        // Every named preset passes its own validation.
+        for preset in ArchSpec::table7_lineup().into_iter().chain([
+            ArchSpec::sparten_a(),
+            ArchSpec::sparten_b(),
+            ArchSpec::cnvlutin(),
+            ArchSpec::cambricon_x(),
+        ]) {
+            let rebuilt = ArchSpec::builder(preset.kind)
+                .a(preset.a)
+                .b(preset.b)
+                .shuffle(preset.shuffle)
+                .name(preset.name.clone())
+                .build()
+                .unwrap();
+            assert_eq!(rebuilt, preset);
+        }
+    }
+
+    #[test]
+    fn builder_rejects_invalid_points() {
+        assert_eq!(
+            ArchSpec::builder(ArchKind::SparseA)
+                .b(BorrowWindow::new(1, 0, 0))
+                .build(),
+            Err(ArchError::UnusedWindow {
+                kind: ArchKind::SparseA,
+                side: 'b'
+            })
+        );
+        assert!(matches!(
+            ArchSpec::builder(ArchKind::SparseB)
+                .b(BorrowWindow::new(400, 0, 0))
+                .build(),
+            Err(ArchError::WindowOutOfRange { side: 'b', .. })
+        ));
+        assert_eq!(
+            ArchSpec::builder(ArchKind::Dense).shuffle(true).build(),
+            Err(ArchError::UnusedShuffle {
+                kind: ArchKind::Dense
+            })
+        );
+        assert_eq!(
+            ArchSpec::builder(ArchKind::Griffin).name("  ").build(),
+            Err(ArchError::EmptyName)
+        );
+    }
+
+    #[test]
+    fn canonical_form_roundtrips_every_preset() {
+        for preset in ArchSpec::table7_lineup().into_iter().chain([
+            ArchSpec::sparten_a(),
+            ArchSpec::sparten_b(),
+            ArchSpec::cnvlutin(),
+            ArchSpec::cambricon_x(),
+        ]) {
+            let line = preset.canonical();
+            assert_eq!(ArchSpec::from_canonical(&line).unwrap(), preset, "{line}");
+        }
+        // Names may contain spaces; they survive because name= is last.
+        let odd = ArchSpec::builder(ArchKind::SparseAB)
+            .a(BorrowWindow::new(1, 2, 0))
+            .b(BorrowWindow::new(3, 0, 1))
+            .shuffle(true)
+            .name("my design (v2)")
+            .build()
+            .unwrap();
+        assert_eq!(ArchSpec::from_canonical(&odd.canonical()).unwrap(), odd);
+        assert_eq!(
+            ArchSpec::sparse_b_star().canonical(),
+            "sparse.b a=(0,0,0) b=(4,0,1) shuffle=on name=Sparse.B*"
+        );
+    }
+
+    #[test]
+    fn from_canonical_rejects_garbage() {
+        for bad in [
+            "",
+            "sparse.b",
+            "warp a=(0,0,0) b=(0,0,0) shuffle=off name=x",
+            "sparse.b a=(0,0) b=(4,0,1) shuffle=on name=x",
+            "sparse.b a=(0,0,0) b=(4,0,1) shuffle=maybe name=x",
+            "sparse.b a=(0,0,0) b=(4,0,1) shuffle=on",
+        ] {
+            assert!(ArchSpec::from_canonical(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn kind_tokens_roundtrip() {
+        for k in ArchKind::ALL {
+            assert_eq!(ArchKind::from_token(k.token()), Some(k));
+        }
+        assert_eq!(ArchKind::from_token("SPARSE.AB"), Some(ArchKind::SparseAB));
+        assert_eq!(ArchKind::from_token("nope"), None);
     }
 
     #[test]

@@ -53,6 +53,7 @@ use griffin_sweep::executor::{
     default_workers, run_campaign, run_cells_bounded, CampaignReport, CellEvent, SweepError,
 };
 use griffin_sweep::fingerprint::Fingerprint;
+use griffin_sweep::scenario::ScenarioProvenance;
 use griffin_sweep::spec::{Cell, SweepSpec};
 
 use crate::events::{Event, EventSink, JsonlSink};
@@ -87,6 +88,11 @@ pub struct FleetConfig {
     /// Deterministic fault injection for chaos tests (see
     /// [`crate::fault`]). `None` in production.
     pub fault: Option<FaultPlan>,
+    /// Scenario provenance of the campaign, recorded in the journal
+    /// header and the `campaign_start` event when the campaign was
+    /// launched from a scenario file. Informational — it never affects
+    /// planning, sharding, or resume matching.
+    pub scenario: Option<ScenarioProvenance>,
 }
 
 impl FleetConfig {
@@ -102,6 +108,7 @@ impl FleetConfig {
             max_shard_retries: 2,
             heartbeat_timeout_ms: 0,
             fault: None,
+            scenario: None,
         }
     }
 }
@@ -242,12 +249,18 @@ pub fn default_events_path(dir: &Path) -> PathBuf {
     dir.join("events.jsonl")
 }
 
-/// The journal header a spec/plan pair implies.
-fn plan_header(spec: &SweepSpec, plan: &ShardPlan) -> JournalHeader {
+/// The journal header a spec/plan pair implies (plus the provenance of
+/// the scenario the campaign came from, when it came from one).
+fn plan_header(
+    spec: &SweepSpec,
+    plan: &ShardPlan,
+    scenario: Option<&ScenarioProvenance>,
+) -> JournalHeader {
     JournalHeader {
         campaign: spec.name.clone(),
         spec_fp: plan.spec_fp,
         cells: plan.cell_count(),
+        scenario: scenario.cloned(),
     }
 }
 
@@ -554,7 +567,7 @@ fn run_fleet_inner(
     std::fs::create_dir_all(&cfg.dir)?;
     let mut journal = Journal::open(
         journal_path(&cfg.dir),
-        &plan_header(spec, &plan),
+        &plan_header(spec, &plan, cfg.scenario.as_ref()),
         cfg.resume,
     )?;
     let resumed = journal.completed().len();
@@ -564,6 +577,7 @@ fn run_fleet_inner(
         cells: plan.cell_count(),
         shards: plan.shards,
         resumed,
+        scenario: cfg.scenario.clone(),
     })?;
     let fault = cfg.fault.as_ref();
     let truncate_after = fault.and_then(FaultPlan::journal_truncate_after);
@@ -710,7 +724,7 @@ fn run_fleet_spawned_inner(
     std::fs::create_dir_all(&cfg.dir)?;
     let mut journal = Journal::open(
         journal_path(&cfg.dir),
-        &plan_header(spec, &plan),
+        &plan_header(spec, &plan, cfg.scenario.as_ref()),
         cfg.resume,
     )?;
     let resumed = journal.completed().len();
@@ -720,6 +734,7 @@ fn run_fleet_spawned_inner(
         cells: plan.cell_count(),
         shards: plan.shards,
         resumed,
+        scenario: cfg.scenario.clone(),
     })?;
     let truncate_after = cfg
         .fault
@@ -1058,7 +1073,9 @@ pub fn run_shard_worker(
         msg: format!("shard index out of range (plan has {})", plan.shards),
     })?;
     let completed = match &cfg.journal {
-        Some(path) if path.exists() => Journal::peek_completed(path, &plan_header(spec, &plan))?,
+        Some(path) if path.exists() => {
+            Journal::peek_completed(path, &plan_header(spec, &plan, None))?
+        }
         _ => Default::default(),
     };
     let full_todo = remaining_cells(shard_cells, |i| completed.contains_key(&i));

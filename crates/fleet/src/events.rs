@@ -11,7 +11,7 @@
 //!
 //! | `ev`              | fields                                                      |
 //! |-------------------|-------------------------------------------------------------|
-//! | `campaign_start`  | `format`, `campaign`, `spec_fp`, `cells`, `shards`, `resumed` |
+//! | `campaign_start`  | `format`, `campaign`, `spec_fp`, `cells`, `shards`, `resumed`, `scenario_file`?, `scenario_fp`? |
 //! | `shard_start`     | `shard`, `cells`, `skipped`                                 |
 //! | `cell_start`      | `shard`, `cell`, `fp`                                       |
 //! | `cell_done`       | `shard`, `cell`, `fp`, `cached`, `metrics{…}`               |
@@ -36,13 +36,17 @@
 //! events) still parse; v2 consumers must tolerate unknown *fields*
 //! inside known events (they are ignored), and a stream always ends
 //! with exactly one terminal event — `campaign_done` on success,
-//! `campaign_failed` on any abort.
+//! `campaign_failed` on any abort. The optional scenario provenance
+//! pair (`scenario_file` + `scenario_fp`) on `campaign_start` rides on
+//! that unknown-field tolerance: campaigns launched from a scenario
+//! file carry it, token-built campaigns and older streams don't.
 
 use std::io::{self, Write};
 
 use griffin_sweep::cache::CellMetrics;
 use griffin_sweep::fingerprint::Fingerprint;
 use griffin_sweep::json::Json;
+use griffin_sweep::scenario::ScenarioProvenance;
 
 /// Current schema tag, written into every `campaign_start` line.
 pub const EVENTS_FORMAT: &str = "griffin-fleet-events/2";
@@ -66,6 +70,10 @@ pub enum Event {
         shards: usize,
         /// Cells restored from the journal (0 on a fresh run).
         resumed: usize,
+        /// Scenario provenance (`scenario_file` + `scenario_fp` on the
+        /// wire) when the campaign was launched from a scenario file;
+        /// absent for token-built campaigns and pre-scenario streams.
+        scenario: Option<ScenarioProvenance>,
     },
     /// A shard began executing.
     ShardStart {
@@ -240,15 +248,23 @@ impl Event {
                 cells,
                 shards,
                 resumed,
-            } => Json::obj([
-                ("ev".into(), Json::Str("campaign_start".into())),
-                ("format".into(), Json::Str(EVENTS_FORMAT.into())),
-                ("campaign".into(), Json::Str(campaign.clone())),
-                ("spec_fp".into(), Json::Str(spec_fp.to_string())),
-                ("cells".into(), num(*cells)),
-                ("shards".into(), num(*shards)),
-                ("resumed".into(), num(*resumed)),
-            ]),
+                scenario,
+            } => {
+                let mut entries = vec![
+                    ("ev".into(), Json::Str("campaign_start".into())),
+                    ("format".into(), Json::Str(EVENTS_FORMAT.into())),
+                    ("campaign".into(), Json::Str(campaign.clone())),
+                    ("spec_fp".into(), Json::Str(spec_fp.to_string())),
+                    ("cells".into(), num(*cells)),
+                    ("shards".into(), num(*shards)),
+                    ("resumed".into(), num(*resumed)),
+                ];
+                if let Some(s) = scenario {
+                    entries.push(("scenario_file".into(), Json::Str(s.file.clone())));
+                    entries.push(("scenario_fp".into(), Json::Str(s.fp.to_string())));
+                }
+                Json::obj(entries)
+            }
             Event::ShardStart {
                 shard,
                 cells,
@@ -372,12 +388,21 @@ impl Event {
                         return fail(format!("unknown event-stream format `{tag}`"));
                     }
                 }
+                let scenario = match (v.get("scenario_file"), v.get("scenario_fp")) {
+                    (None, None) => None,
+                    (Some(_), Some(_)) => Some(ScenarioProvenance {
+                        file: get_str(&v, "scenario_file")?,
+                        fp: get_fp(&v, "scenario_fp")?,
+                    }),
+                    _ => return fail("scenario_file and scenario_fp must appear together"),
+                };
                 Ok(Event::CampaignStart {
                     campaign: get_str(&v, "campaign")?,
                     spec_fp: get_fp(&v, "spec_fp")?,
                     cells: get_usize(&v, "cells")?,
                     shards: get_usize(&v, "shards")?,
                     resumed: get_usize(&v, "resumed")?,
+                    scenario,
                 })
             }
             "shard_start" => Ok(Event::ShardStart {
@@ -524,6 +549,18 @@ mod tests {
                 cells: 40,
                 shards: 4,
                 resumed: 7,
+                scenario: None,
+            },
+            Event::CampaignStart {
+                campaign: "sweep-synth-b".into(),
+                spec_fp: Fingerprint(1, 2),
+                cells: 40,
+                shards: 4,
+                resumed: 0,
+                scenario: Some(ScenarioProvenance {
+                    file: "ci-smoke.toml".into(),
+                    fp: Fingerprint(3, 4),
+                }),
             },
             Event::ShardStart {
                 shard: 2,

@@ -20,6 +20,7 @@ use std::path::{Path, PathBuf};
 
 use griffin_sweep::fingerprint::Fingerprint;
 use griffin_sweep::json::Json;
+use griffin_sweep::scenario::ScenarioProvenance;
 
 /// Format tag of the header line.
 pub const JOURNAL_FORMAT: &str = "griffin-fleet-journal/1";
@@ -33,17 +34,35 @@ pub struct JournalHeader {
     pub spec_fp: Fingerprint,
     /// Total grid cells.
     pub cells: usize,
+    /// Scenario provenance of the campaign, when it was launched from a
+    /// scenario file. Informational — resume matches on the grid
+    /// identity only, so journals written before the scenario subsystem
+    /// (or by token-based runs of the same grid) still resume.
+    pub scenario: Option<ScenarioProvenance>,
 }
 
 impl JournalHeader {
+    /// Whether two headers describe the same campaign grid (the resume
+    /// criterion: name, spec fingerprint and cell count — scenario
+    /// provenance is deliberately excluded).
+    pub fn same_grid(&self, other: &JournalHeader) -> bool {
+        self.campaign == other.campaign
+            && self.spec_fp == other.spec_fp
+            && self.cells == other.cells
+    }
+
     fn to_line(&self) -> String {
-        Json::obj([
+        let mut entries = vec![
             ("format".into(), Json::Str(JOURNAL_FORMAT.into())),
             ("campaign".into(), Json::Str(self.campaign.clone())),
             ("spec_fp".into(), Json::Str(self.spec_fp.to_string())),
             ("cells".into(), Json::Num(self.cells as f64)),
-        ])
-        .write()
+        ];
+        if let Some(s) = &self.scenario {
+            entries.push(("scenario_file".into(), Json::Str(s.file.clone())));
+            entries.push(("scenario_fp".into(), Json::Str(s.fp.to_string())));
+        }
+        Json::obj(entries).write()
     }
 
     fn parse_line(line: &str) -> Result<JournalHeader, JournalError> {
@@ -67,6 +86,26 @@ impl JournalHeader {
             .req("cells")
             .and_then(|x| x.as_f64())
             .map_err(|e| JournalError::Corrupt(e.to_string()))?;
+        let scenario = match (v.get("scenario_file"), v.get("scenario_fp")) {
+            (None, None) => None,
+            (Some(file), Some(fp)) => {
+                let file = file
+                    .as_str()
+                    .map_err(|e| JournalError::Corrupt(e.to_string()))?
+                    .to_string();
+                let fp_str = fp
+                    .as_str()
+                    .map_err(|e| JournalError::Corrupt(e.to_string()))?;
+                let fp = Fingerprint::parse(fp_str)
+                    .ok_or_else(|| JournalError::Corrupt(format!("bad scenario_fp `{fp_str}`")))?;
+                Some(ScenarioProvenance { file, fp })
+            }
+            _ => {
+                return Err(JournalError::Corrupt(
+                    "scenario_file and scenario_fp must appear together".into(),
+                ))
+            }
+        };
         Ok(JournalHeader {
             campaign: v
                 .req("campaign")
@@ -75,6 +114,7 @@ impl JournalHeader {
                 .to_string(),
             spec_fp,
             cells: cells as usize,
+            scenario,
         })
     }
 }
@@ -196,7 +236,7 @@ impl Journal {
             return Err(JournalError::Corrupt("empty journal".into()));
         };
         let found = JournalHeader::parse_line(header_seg.trim_end())?;
-        if found != *expected {
+        if !found.same_grid(expected) {
             return Err(JournalError::Mismatch {
                 found: Box::new(found),
                 expected: Box::new(expected.clone()),
@@ -376,6 +416,7 @@ mod tests {
             campaign: "t".into(),
             spec_fp: Fingerprint(0xAB, 0xCD),
             cells: 10,
+            scenario: None,
         }
     }
 
@@ -588,6 +629,47 @@ mod tests {
         drop(j);
         let j = Journal::resume(&path, &header()).unwrap();
         assert!(j.is_completed(1) && j.is_completed(2));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn scenario_provenance_roundtrips_and_never_blocks_resume() {
+        let with_prov = JournalHeader {
+            scenario: Some(ScenarioProvenance {
+                file: "fig5-bert-b.toml".into(),
+                fp: Fingerprint(0x11, 0x22),
+            }),
+            ..header()
+        };
+        // The header line carries the provenance and parses back.
+        let line = with_prov.to_line();
+        assert!(line.contains("fig5-bert-b.toml"), "{line}");
+        assert_eq!(JournalHeader::parse_line(&line).unwrap(), with_prov);
+
+        // A journal created by a scenario run resumes under a token run
+        // of the same grid, and vice versa: provenance is informational.
+        let path = tmp("prov");
+        drop(Journal::create(&path, &with_prov).unwrap());
+        assert!(Journal::resume(&path, &header()).is_ok());
+        drop(Journal::create(&path, &header()).unwrap());
+        assert!(Journal::resume(&path, &with_prov).is_ok());
+
+        // A different *grid* is still refused, provenance or not.
+        let other_grid = JournalHeader {
+            spec_fp: Fingerprint(0xFF, 0xEE),
+            ..with_prov.clone()
+        };
+        assert!(matches!(
+            Journal::resume(&path, &other_grid),
+            Err(JournalError::Mismatch { .. })
+        ));
+
+        // Half-present provenance keys are corruption.
+        let torn = line.replace(",\"scenario_fp\":\"00000000000000110000000000000022\"", "");
+        assert!(matches!(
+            JournalHeader::parse_line(&torn),
+            Err(JournalError::Corrupt(_))
+        ));
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -45,6 +45,11 @@ fn build_event(variant: usize, a: u64, b: u64, flag: bool, special: u64) -> Even
             cells: n(a),
             shards: n(b) + 1,
             resumed: n(a ^ b),
+            // The optional provenance pair exercises both shapes.
+            scenario: flag.then(|| griffin_sweep::scenario::ScenarioProvenance {
+                file: s("scenario"),
+                fp: Fingerprint(b ^ 7, a ^ 9),
+            }),
         },
         1 => Event::ShardStart {
             shard: n(a),

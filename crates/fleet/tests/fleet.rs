@@ -137,6 +137,7 @@ fn event_stream_covers_every_cell_and_shard() {
                 campaign: spec.name.clone(),
                 spec_fp: ShardPlan::new(&spec, 3).unwrap().spec_fp,
                 cells: 12,
+                scenario: None,
             },
         )
         .unwrap()

@@ -16,6 +16,9 @@
 //!   overlapping campaigns skip completed cells,
 //! * [`aggregate`] — summaries, per-architecture rollups and Pareto
 //!   extraction via [`griffin_core::dse::pareto_front`],
+//! * [`scenario`] — declarative scenario files (a TOML-subset) that
+//!   define whole campaigns as versionable data, plus the token
+//!   registry the CLI and parser share,
 //! * [`report`] — deterministic, dependency-free CSV/JSON writers and
 //!   parsers,
 //! * [`json`] — the small JSON engine behind the cache and reports.
@@ -51,6 +54,7 @@ pub mod executor;
 pub mod fingerprint;
 pub mod json;
 pub mod report;
+pub mod scenario;
 pub mod spec;
 
 pub use aggregate::{pareto_designs, per_arch, summarize, ArchAggregate, Summary};
@@ -63,4 +67,5 @@ pub use executor::{
     CellEvent, CellRecord, SweepError,
 };
 pub use fingerprint::Fingerprint;
+pub use scenario::{ArchEntry, FleetSettings, Scenario, ScenarioError, ScenarioProvenance};
 pub use spec::{ArchFamily, Cell, SweepSpec, WorkloadSpec};

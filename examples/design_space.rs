@@ -1,27 +1,32 @@
 //! Miniature design-space exploration (§VI), driven by the
-//! `griffin-sweep` campaign engine: sweep every `Sparse.B` routing
-//! configuration on a pruned workload *and* on its dense-category twin
-//! in one parallel campaign, then report the Pareto front between
-//! sparse-category efficiency and dense-category efficiency, and verify
-//! the simulator against the closed-form analytic model.
+//! `griffin-sweep` campaign engine from a declarative **scenario
+//! file**: sweep every `Sparse.B` routing configuration on a pruned
+//! workload *and* on its dense-category twin in one parallel campaign,
+//! then report the Pareto front between sparse-category efficiency and
+//! dense-category efficiency, and verify the simulator against the
+//! closed-form analytic model.
 //!
 //! Run with: `cargo run --release --example design_space`
 
 use griffin::core::analytic::estimate_speedup;
 use griffin::core::category::DnnCategory;
-use griffin::core::dse::enumerate_sparse_b;
 use griffin::sweep::{
-    default_workers, pareto_designs, per_arch, run_campaign, summarize, ResultCache, SweepSpec,
+    default_workers, pareto_designs, per_arch, run_campaign, summarize, ResultCache, Scenario,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // One campaign covers both metric axes: DNN.B (the home category)
-    // and DNN.dense (the sparsity-tax axis).
-    let spec = SweepSpec::new("design-space")
-        .synthetic("pruned", 4)
-        .categories([DnnCategory::B, DnnCategory::Dense])
-        .archs(enumerate_sparse_b(8))
-        .seeds([3]);
+    // The campaign is data, not code: scenarios/design-space.toml
+    // defines both metric axes — DNN.B (the home category) and
+    // DNN.dense (the sparsity-tax axis) — over the whole Sparse.B
+    // family.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/design-space.toml");
+    let scenario = Scenario::load(path)?;
+    println!(
+        "loaded scenario `{}` from {path} (fingerprint {})",
+        scenario.name,
+        scenario.fingerprint()
+    );
+    let spec = scenario.to_spec();
 
     let workers = default_workers();
     let cache = ResultCache::in_memory();

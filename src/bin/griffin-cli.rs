@@ -6,9 +6,12 @@
 //! $ griffin-cli compare bert b               # all architectures on one workload
 //! $ griffin-cli layer 196 1152 256 0.57 0.19 # ad-hoc layer on the star designs
 //! $ griffin-cli sweep bert b --workers 8 --cache .sweep-cache --csv out.csv
+//! $ griffin-cli sweep --scenario scenarios/fig5-bert-b.toml --csv out.csv
 //! $ griffin-cli pareto resnet50 b            # §VI Pareto front of a family
 //! $ griffin-cli fleet bert b --shards 4      # sharded campaign + journal
-//! $ griffin-cli fleet bert b --shards 4 --spawn --resume
+//! $ griffin-cli fleet --scenario scenarios/fig5-bert-b.toml --shards 4 --spawn
+//! $ griffin-cli scenario list                # shipped scenario library
+//! $ griffin-cli scenario validate scenarios  # parse + validate data files
 //! $ griffin-cli bench --out BENCH_sched.json # scheduler perf telemetry
 //! $ griffin-cli cache stats .sweep-cache     # on-disk result cache usage
 //! $ griffin-cli cache prune .sweep-cache --max-bytes 64m
@@ -16,7 +19,10 @@
 //!
 //! Argument parsing is deliberately dependency-free (no clap): fixed
 //! subcommands with positional arguments plus `--flag value` options
-//! for the campaign commands. (`shard-worker` is the internal
+//! for the campaign commands. Workload / category / architecture /
+//! family tokens come from the registry in
+//! [`griffin::sweep::scenario`], which also parses the declarative
+//! scenario files behind `--scenario`. (`shard-worker` is the internal
 //! subprocess behind `fleet --spawn`; it speaks the fleet JSONL event
 //! protocol on stdout.)
 
@@ -35,9 +41,10 @@ use griffin::fleet::events::JsonlSink;
 use griffin::fleet::fault::{self, Fault};
 use griffin::sim::config::{Fidelity, SimConfig};
 use griffin::sweep::report::{to_csv, to_json, write_file};
+use griffin::sweep::scenario::{self, Scenario};
 use griffin::sweep::{
     default_workers, disk_stats, pareto_designs, per_arch, prune_dir, run_campaign, summarize,
-    ArchFamily, Fingerprint, ResultCache, SweepSpec,
+    ArchFamily, Fingerprint, ResultCache, ScenarioProvenance, SweepSpec,
 };
 use griffin::workloads::suite::{build_workload, Benchmark};
 use griffin::workloads::synth::synthetic_layer;
@@ -51,44 +58,25 @@ mod bench;
 #[global_allocator]
 static ALLOC: griffin::telemetry::CountingAlloc = griffin::telemetry::CountingAlloc;
 
-fn parse_benchmark(s: &str) -> Option<Benchmark> {
-    match s.to_ascii_lowercase().as_str() {
-        "alexnet" => Some(Benchmark::AlexNet),
-        "googlenet" => Some(Benchmark::GoogleNet),
-        "resnet50" | "resnet" => Some(Benchmark::ResNet50),
-        "inceptionv3" | "inception" => Some(Benchmark::InceptionV3),
-        "mobilenetv2" | "mobilenet" => Some(Benchmark::MobileNetV2),
-        "bert" => Some(Benchmark::Bert),
-        _ => None,
-    }
+// Token parsing lives in the scenario registry
+// (`griffin::sweep::scenario`), shared with the scenario-file parser so
+// the CLI and data files accept the same vocabulary. The `*_or_explain`
+// helpers turn an unknown token into a diagnostic naming the valid set
+// and the nearest match.
+
+fn parse_benchmark_or_explain(s: &str) -> Result<Benchmark, String> {
+    scenario::parse_suite(s)
+        .ok_or_else(|| scenario::unknown_token("benchmark", s, scenario::SUITE_TOKENS))
 }
 
-fn parse_category(s: &str) -> Option<DnnCategory> {
-    match s.to_ascii_lowercase().as_str() {
-        "dense" => Some(DnnCategory::Dense),
-        "a" | "dnn.a" => Some(DnnCategory::A),
-        "b" | "dnn.b" => Some(DnnCategory::B),
-        "ab" | "dnn.ab" => Some(DnnCategory::AB),
-        _ => None,
-    }
+fn parse_category_or_explain(s: &str) -> Result<DnnCategory, String> {
+    scenario::parse_category(s)
+        .ok_or_else(|| scenario::unknown_token("category", s, scenario::CATEGORY_TOKENS))
 }
 
-fn parse_arch(s: &str) -> Option<ArchSpec> {
-    match s.to_ascii_lowercase().as_str() {
-        "baseline" | "dense" => Some(ArchSpec::dense()),
-        "sparse.a" | "a*" | "sparse.a*" => Some(ArchSpec::sparse_a_star()),
-        "sparse.b" | "b*" | "sparse.b*" => Some(ArchSpec::sparse_b_star()),
-        "sparse.ab" | "ab*" | "sparse.ab*" => Some(ArchSpec::sparse_ab_star()),
-        "griffin" => Some(ArchSpec::griffin()),
-        "tcl" | "tcl.b" | "bittactical" => Some(ArchSpec::tcl_b()),
-        "tensordash" | "tdash" => Some(ArchSpec::tensordash()),
-        "sparten" | "sparten.ab" => Some(ArchSpec::sparten_ab()),
-        "sparten.a" => Some(ArchSpec::sparten_a()),
-        "sparten.b" => Some(ArchSpec::sparten_b()),
-        "cnvlutin" => Some(ArchSpec::cnvlutin()),
-        "cambricon" | "cambricon-x" => Some(ArchSpec::cambricon_x()),
-        _ => None,
-    }
+fn parse_arch_or_explain(s: &str) -> Result<ArchSpec, String> {
+    scenario::parse_arch(s)
+        .ok_or_else(|| scenario::unknown_token("architecture", s, scenario::ARCH_TOKENS))
 }
 
 fn usage() -> ExitCode {
@@ -100,8 +88,13 @@ fn usage() -> ExitCode {
     eprintln!("  griffin-cli compare <benchmark> <category>");
     eprintln!("  griffin-cli layer <M> <K> <N> <a_density> <b_density>");
     eprintln!("  griffin-cli sweep <benchmark|synth> <category> [sweep options]");
+    eprintln!("  griffin-cli sweep --scenario <FILE> [--workers N --cache DIR --csv/--json PATH]");
     eprintln!("  griffin-cli pareto <benchmark|synth> <family> [sweep options]");
     eprintln!("  griffin-cli fleet <benchmark|synth> <category> --shards N [fleet/sweep options]");
+    eprintln!("  griffin-cli fleet --scenario <FILE> [fleet options override the file's [fleet]]");
+    eprintln!("  griffin-cli scenario list [DIR]              (default scenarios/)");
+    eprintln!("  griffin-cli scenario show <FILE>");
+    eprintln!("  griffin-cli scenario validate <FILE|DIR>...");
     eprintln!("  griffin-cli bench [--quick] [--out PATH]     (default BENCH_sched.json)");
     eprintln!("  griffin-cli cache stats <DIR>");
     eprintln!("  griffin-cli cache prune <DIR> --max-bytes N[k|m|g]");
@@ -125,7 +118,8 @@ fn usage() -> ExitCode {
     eprintln!();
     eprintln!("FLEET OPTIONS (with any sweep option; --workers applies per shard):");
     eprintln!("  --shards N          shard count (required)");
-    eprintln!("  --spawn             one shard-worker subprocess per shard (default in-process)");
+    eprintln!("  --spawn / --no-spawn one shard-worker subprocess per shard (default");
+    eprintln!("                      in-process; overrides a scenario's [fleet] spawn)");
     eprintln!("  --dir DIR           state dir: journal, shard caches, merged cache");
     eprintln!("                      (default .griffin-fleet)");
     eprintln!("  --events PATH|-     JSONL event stream (default DIR/events.jsonl, - = stdout)");
@@ -154,16 +148,12 @@ struct SweepArgs {
     json: Option<String>,
 }
 
-fn parse_family(s: &str, fanin: usize) -> Option<ArchFamily> {
-    match s.to_ascii_lowercase().as_str() {
-        "a" | "sparse.a" => Some(ArchFamily::SparseA { max_fanin: fanin }),
-        "b" | "sparse.b" => Some(ArchFamily::SparseB { max_fanin: fanin }),
-        "ab" | "sparse.ab" => Some(ArchFamily::SparseAB { max_fanin: fanin }),
-        _ => None,
-    }
+fn parse_family_or_explain(s: &str, fanin: usize) -> Result<ArchFamily, String> {
+    scenario::parse_family(s, fanin)
+        .ok_or_else(|| scenario::unknown_token("family", s, scenario::FAMILY_TOKENS))
 }
 
-fn parse_sweep_args(args: &[String]) -> Option<SweepArgs> {
+fn parse_sweep_args(args: &[String]) -> Result<SweepArgs, String> {
     let mut out = SweepArgs {
         family: None,
         lineup: false,
@@ -178,42 +168,61 @@ fn parse_sweep_args(args: &[String]) -> Option<SweepArgs> {
     let mut family_token: Option<String> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
-        let mut val = || it.next().cloned();
+        let mut val = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
         match flag.as_str() {
             "--family" => family_token = Some(val()?),
             "--lineup" => out.lineup = true,
-            "--fanin" => out.fanin = val()?.parse().ok()?,
-            "--workers" => out.workers = val()?.parse::<usize>().ok().filter(|&w| w > 0)?,
+            "--fanin" => {
+                out.fanin = val()?
+                    .parse()
+                    .map_err(|_| "--fanin must be an integer".to_string())?;
+            }
+            "--workers" => {
+                out.workers = val()?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&w| w > 0)
+                    .ok_or_else(|| "--workers must be a positive integer".to_string())?;
+            }
             "--seeds" => {
-                out.seeds = val()?
+                let raw = val()?;
+                out.seeds = raw
                     .split(',')
                     .map(|s| s.trim().parse().ok())
-                    .collect::<Option<Vec<u64>>>()?;
-                if out.seeds.is_empty() {
-                    return None;
-                }
+                    .collect::<Option<Vec<u64>>>()
+                    .filter(|s| !s.is_empty())
+                    .ok_or_else(|| format!("--seeds must be a,b,c integers, got `{raw}`"))?;
             }
-            "--tiles" => out.tiles = val()?.parse::<usize>().ok().filter(|&t| t > 0)?,
+            "--tiles" => {
+                out.tiles = val()?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&t| t > 0)
+                    .ok_or_else(|| "--tiles must be a positive integer".to_string())?;
+            }
             "--cache" => out.cache_dir = Some(val()?),
             "--csv" => out.csv = Some(val()?),
             "--json" => out.json = Some(val()?),
-            _ => return None,
+            other => return Err(format!("unknown sweep option `{other}`")),
         }
     }
     if let Some(tok) = family_token {
-        out.family = Some(parse_family(&tok, out.fanin)?);
+        out.family = Some(parse_family_or_explain(&tok, out.fanin)?);
     }
-    Some(out)
+    Ok(out)
 }
 
 /// Workload token: a Table-IV benchmark name or `synth` (a 4-layer
 /// synthetic network, handy for fast smoke campaigns).
-fn add_workload(spec: SweepSpec, token: &str) -> Option<SweepSpec> {
-    if token.eq_ignore_ascii_case("synth") {
-        Some(spec.synthetic("synth", 4))
-    } else {
-        parse_benchmark(token).map(|b| spec.benchmark(b))
-    }
+fn add_workload(mut spec: SweepSpec, token: &str) -> Result<SweepSpec, String> {
+    let w = scenario::parse_workload(token)
+        .ok_or_else(|| scenario::unknown_token("workload", token, scenario::WORKLOAD_TOKENS))?;
+    spec.workloads.push(w);
+    Ok(spec)
 }
 
 fn open_cache(dir: &Option<String>) -> Result<ResultCache, ExitCode> {
@@ -265,14 +274,14 @@ fn finish_reports(
 /// spec — including its name — must be identical between them: fleet
 /// reports are pinned byte-identical to single-process sweep reports,
 /// and shard workers recompute this spec from the same tokens.
-fn build_sweep_spec(workload: &str, cat: &str, opts: &SweepArgs) -> Option<SweepSpec> {
-    let c = parse_category(cat)?;
+fn build_sweep_spec(workload: &str, cat: &str, opts: &SweepArgs) -> Result<SweepSpec, String> {
+    let c = parse_category_or_explain(cat)?;
     let mut spec = SweepSpec::new(format!("sweep-{workload}-{cat}"))
         .category(c)
         .seeds(opts.seeds.clone())
         .sim(campaign_sim(opts.tiles));
     spec = add_workload(spec, workload)?;
-    Some(if opts.lineup {
+    Ok(if opts.lineup {
         spec.archs(ArchSpec::table7_lineup())
     } else {
         // Default family follows the category's home axis.
@@ -291,14 +300,56 @@ fn build_sweep_spec(workload: &str, cat: &str, opts: &SweepArgs) -> Option<Sweep
     })
 }
 
-fn cmd_sweep(workload: &str, cat: &str, rest: &[String]) -> ExitCode {
-    let Some(opts) = parse_sweep_args(rest) else {
-        return usage();
-    };
-    let Some(spec) = build_sweep_spec(workload, cat, &opts) else {
-        return usage();
-    };
+/// Prints a diagnostic and returns the usage exit code (2) — for
+/// errors where the full usage wall would bury the actual problem.
+fn explain(msg: &str) -> ExitCode {
+    eprintln!("{msg}");
+    ExitCode::from(2)
+}
 
+/// Flags that define campaign *axes* — meaningless together with a
+/// scenario file, which defines the axes itself.
+const AXIS_FLAGS: &[&str] = &["--family", "--lineup", "--fanin", "--seeds", "--tiles"];
+
+/// Loads a scenario file for `sweep`/`fleet --scenario`, rejecting
+/// axis flags in `rest` (runtime flags like `--workers` stay valid).
+fn load_scenario(path: &str, rest: &[String]) -> Result<Scenario, ExitCode> {
+    for f in rest {
+        if AXIS_FLAGS.contains(&f.as_str()) {
+            return Err(explain(&format!(
+                "{f} conflicts with --scenario: the scenario file defines the campaign axes"
+            )));
+        }
+    }
+    Scenario::load(path).map_err(|e| explain(&format!("scenario {path}: {e}")))
+}
+
+fn cmd_sweep(workload: &str, cat: &str, rest: &[String]) -> ExitCode {
+    // `sweep --scenario <file> [runtime options]`: the campaign comes
+    // from a scenario file instead of tokens.
+    if workload == "--scenario" {
+        let scen = match load_scenario(cat, rest) {
+            Ok(s) => s,
+            Err(code) => return code,
+        };
+        let opts = match parse_sweep_args(rest) {
+            Ok(o) => o,
+            Err(e) => return explain(&e),
+        };
+        return run_sweep_campaign(&scen.to_spec(), &opts);
+    }
+    let opts = match parse_sweep_args(rest) {
+        Ok(o) => o,
+        Err(e) => return explain(&e),
+    };
+    let spec = match build_sweep_spec(workload, cat, &opts) {
+        Ok(s) => s,
+        Err(e) => return explain(&e),
+    };
+    run_sweep_campaign(&spec, &opts)
+}
+
+fn run_sweep_campaign(spec: &SweepSpec, opts: &SweepArgs) -> ExitCode {
     let cache = match open_cache(&opts.cache_dir) {
         Ok(c) => c,
         Err(code) => return code,
@@ -309,7 +360,7 @@ fn cmd_sweep(workload: &str, cat: &str, rest: &[String]) -> ExitCode {
         spec.cell_count(),
         opts.workers
     );
-    let report = match run_campaign(&spec, &cache, opts.workers) {
+    let report = match run_campaign(spec, &cache, opts.workers) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("{e}");
@@ -356,22 +407,22 @@ fn cmd_sweep(workload: &str, cat: &str, rest: &[String]) -> ExitCode {
 }
 
 fn cmd_pareto(workload: &str, family_tok: &str, rest: &[String]) -> ExitCode {
-    let Some(opts) = parse_sweep_args(rest) else {
-        return usage();
+    let opts = match parse_sweep_args(rest) {
+        Ok(o) => o,
+        Err(e) => return explain(&e),
     };
     // `pareto` takes its family positionally; silently ignoring a
     // conflicting --family/--lineup would Pareto-reduce the wrong
     // design set.
     if opts.lineup {
-        eprintln!("pareto sweeps a design family; --lineup is not applicable");
-        return usage();
+        return explain("pareto sweeps a design family; --lineup is not applicable");
     }
     if opts.family.is_some() {
-        eprintln!("pareto takes its family positionally; drop --family");
-        return usage();
+        return explain("pareto takes its family positionally; drop --family");
     }
-    let Some(family) = parse_family(family_tok, opts.fanin) else {
-        return usage();
+    let family = match parse_family_or_explain(family_tok, opts.fanin) {
+        Ok(f) => f,
+        Err(e) => return explain(&e),
     };
     let sparse_cat = match family {
         ArchFamily::SparseA { .. } => DnnCategory::A,
@@ -383,10 +434,10 @@ fn cmd_pareto(workload: &str, family_tok: &str, rest: &[String]) -> ExitCode {
         .seeds(opts.seeds.clone())
         .sim(campaign_sim(opts.tiles))
         .family(family);
-    let Some(with_wl) = add_workload(spec, workload) else {
-        return usage();
+    spec = match add_workload(spec, workload) {
+        Ok(s) => s,
+        Err(e) => return explain(&e),
     };
-    spec = with_wl;
 
     let cache = match open_cache(&opts.cache_dir) {
         Ok(c) => c,
@@ -433,18 +484,62 @@ fn cmd_pareto(workload: &str, family_tok: &str, rest: &[String]) -> ExitCode {
 }
 
 /// Fleet-specific flags, split off before the shared sweep options.
+/// Tunables are `Option`s so a scenario file's `[fleet]` section can
+/// provide defaults without overriding explicit flags.
 struct FleetCliArgs {
-    shards: usize,
-    spawn: bool,
+    shards: Option<usize>,
+    /// `--spawn` / `--no-spawn`; `None` = defer to the scenario.
+    spawn: Option<bool>,
     dir: String,
     events: Option<String>,
     resume: bool,
-    heartbeat: usize,
-    max_shard_retries: usize,
-    heartbeat_timeout_ms: u64,
+    heartbeat: Option<usize>,
+    max_shard_retries: Option<usize>,
+    heartbeat_timeout_ms: Option<u64>,
     /// Remaining (sweep) options, preserved verbatim so `--spawn` can
     /// forward them to shard workers unchanged.
     sweep_rest: Vec<String>,
+}
+
+/// Fleet tunables after merging explicit flags over scenario defaults
+/// over the built-in defaults.
+struct FleetResolved {
+    shards: usize,
+    spawn: bool,
+    heartbeat: usize,
+    max_shard_retries: usize,
+    heartbeat_timeout_ms: u64,
+}
+
+impl FleetCliArgs {
+    /// Explicit flags win; a scenario's `[fleet]` section fills gaps;
+    /// built-in defaults cover the rest. Errors when no shard count is
+    /// available from either source.
+    fn resolve(
+        &self,
+        scen: Option<&griffin::sweep::FleetSettings>,
+    ) -> Result<FleetResolved, String> {
+        let shards = self
+            .shards
+            .or(scen.map(|s| s.shards))
+            .ok_or("fleet requires --shards (or a scenario [fleet] section)")?;
+        Ok(FleetResolved {
+            shards,
+            spawn: self.spawn.unwrap_or_else(|| scen.is_some_and(|s| s.spawn)),
+            heartbeat: self
+                .heartbeat
+                .or(scen.and_then(|s| s.heartbeat_every))
+                .unwrap_or(32),
+            max_shard_retries: self
+                .max_shard_retries
+                .or(scen.and_then(|s| s.max_shard_retries))
+                .unwrap_or(2),
+            heartbeat_timeout_ms: self
+                .heartbeat_timeout_ms
+                .or(scen.and_then(|s| s.heartbeat_timeout_ms))
+                .unwrap_or(0),
+        })
+    }
 }
 
 /// Forwards a flag the fleet/worker splitters don't recognize into the
@@ -468,31 +563,32 @@ fn forward_sweep_flag<'a>(
 /// `sweep_rest`.
 fn split_fleet_args(args: &[String]) -> Option<FleetCliArgs> {
     let mut out = FleetCliArgs {
-        shards: 0,
-        spawn: false,
+        shards: None,
+        spawn: None,
         dir: ".griffin-fleet".into(),
         events: None,
         resume: false,
-        heartbeat: 32,
-        max_shard_retries: 2,
-        heartbeat_timeout_ms: 0,
+        heartbeat: None,
+        max_shard_retries: None,
+        heartbeat_timeout_ms: None,
         sweep_rest: Vec::new(),
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
-            "--shards" => out.shards = it.next()?.parse().ok().filter(|&n| n > 0)?,
-            "--spawn" => out.spawn = true,
+            "--shards" => out.shards = Some(it.next()?.parse().ok().filter(|&n| n > 0)?),
+            "--spawn" => out.spawn = Some(true),
+            "--no-spawn" => out.spawn = Some(false),
             "--dir" => out.dir = it.next()?.clone(),
             "--events" => out.events = Some(it.next()?.clone()),
             "--resume" => out.resume = true,
-            "--heartbeat" => out.heartbeat = it.next()?.parse().ok()?,
-            "--max-shard-retries" => out.max_shard_retries = it.next()?.parse().ok()?,
-            "--heartbeat-timeout" => out.heartbeat_timeout_ms = it.next()?.parse().ok()?,
+            "--heartbeat" => out.heartbeat = Some(it.next()?.parse().ok()?),
+            "--max-shard-retries" => out.max_shard_retries = Some(it.next()?.parse().ok()?),
+            "--heartbeat-timeout" => out.heartbeat_timeout_ms = Some(it.next()?.parse().ok()?),
             other => forward_sweep_flag(other, &mut it, &mut out.sweep_rest)?,
         }
     }
-    (out.shards > 0).then_some(out)
+    Some(out)
 }
 
 /// Opens the fleet event sink: a JSONL file in the state dir by
@@ -537,16 +633,38 @@ fn cmd_fleet(workload: &str, cat: &str, rest: &[String]) -> ExitCode {
     let Some(fleet_args) = split_fleet_args(rest) else {
         return usage();
     };
-    let Some(opts) = parse_sweep_args(&fleet_args.sweep_rest) else {
-        return usage();
+    let opts = match parse_sweep_args(&fleet_args.sweep_rest) {
+        Ok(o) => o,
+        Err(e) => return explain(&e),
     };
     if opts.cache_dir.is_some() {
-        eprintln!("fleet manages its own caches under --dir; drop --cache");
-        return usage();
+        return explain("fleet manages its own caches under --dir; drop --cache");
     }
-    let Some(spec) = build_sweep_spec(workload, cat, &opts) else {
-        return usage();
+    // `fleet --scenario <file>`: the campaign (and fleet defaults) come
+    // from a scenario file; its provenance is recorded in the journal
+    // header and the campaign_start event.
+    let mut scenario_loaded = None;
+    let spec = if workload == "--scenario" {
+        let scen = match load_scenario(cat, &fleet_args.sweep_rest) {
+            Ok(s) => s,
+            Err(code) => return code,
+        };
+        let spec = scen.to_spec();
+        scenario_loaded = Some(scen);
+        spec
+    } else {
+        match build_sweep_spec(workload, cat, &opts) {
+            Ok(s) => s,
+            Err(e) => return explain(&e),
+        }
     };
+    let resolved = match fleet_args.resolve(scenario_loaded.as_ref().and_then(|s| s.fleet.as_ref()))
+    {
+        Ok(r) => r,
+        Err(e) => return explain(&e),
+    };
+    let provenance: Option<ScenarioProvenance> =
+        scenario_loaded.as_ref().map(|s| s.provenance(cat));
     // A typoed chaos experiment must fail loudly, not run clean.
     let fault_plan = match fault::plan_from_env() {
         Ok(p) => p,
@@ -557,17 +675,18 @@ fn cmd_fleet(workload: &str, cat: &str, rest: &[String]) -> ExitCode {
     };
     let dir = PathBuf::from(&fleet_args.dir);
     let cfg = FleetConfig {
-        shards: fleet_args.shards,
+        shards: resolved.shards,
         workers: opts.workers,
         dir: dir.clone(),
         resume: fleet_args.resume,
-        heartbeat_every: fleet_args.heartbeat,
-        max_shard_retries: fleet_args.max_shard_retries,
-        heartbeat_timeout_ms: fleet_args.heartbeat_timeout_ms,
+        heartbeat_every: resolved.heartbeat,
+        max_shard_retries: resolved.max_shard_retries,
+        heartbeat_timeout_ms: resolved.heartbeat_timeout_ms,
         // In spawn mode the workers arm their own faults from the
         // inherited environment; the coordinator only acts on its own
         // (journal) faults either way.
         fault: fault_plan,
+        scenario: provenance,
     };
     let (mut sink, quiet) = match open_event_sink(&dir, &fleet_args.events, fleet_args.resume) {
         Ok(s) => s,
@@ -579,7 +698,7 @@ fn cmd_fleet(workload: &str, cat: &str, rest: &[String]) -> ExitCode {
             spec.name,
             spec.cell_count(),
             cfg.shards,
-            if fleet_args.spawn {
+            if resolved.spawn {
                 "subprocesses"
             } else {
                 "in-process"
@@ -588,13 +707,23 @@ fn cmd_fleet(workload: &str, cat: &str, rest: &[String]) -> ExitCode {
         );
     }
 
-    let report = if fleet_args.spawn {
+    let report = if resolved.spawn {
         let exe = match std::env::current_exe() {
             Ok(p) => p,
             Err(e) => {
                 eprintln!("cannot locate own executable for --spawn: {e}");
                 return ExitCode::FAILURE;
             }
+        };
+        // Workers rebuild the spec from the same source the coordinator
+        // used: the positional tokens, or the scenario file (passed as
+        // an absolute path so workers resolve it regardless of cwd).
+        let source_args: Vec<String> = if workload == "--scenario" {
+            let abs = std::fs::canonicalize(cat)
+                .map_or_else(|_| cat.to_string(), |p| p.display().to_string());
+            vec!["--scenario".into(), abs]
+        } else {
+            vec![workload.to_string(), cat.to_string()]
         };
         // Forward the sweep options verbatim so every worker rebuilds
         // the identical spec; pin a per-shard worker count when the
@@ -607,7 +736,7 @@ fn cmd_fleet(workload: &str, cat: &str, rest: &[String]) -> ExitCode {
         }
         let make = |w: &WorkerSpawn| {
             let mut cmd = std::process::Command::new(&exe);
-            cmd.arg("shard-worker").arg(workload).arg(cat);
+            cmd.arg("shard-worker").args(&source_args);
             cmd.args(&forward);
             cmd.args([
                 "--shards",
@@ -617,7 +746,7 @@ fn cmd_fleet(workload: &str, cat: &str, rest: &[String]) -> ExitCode {
                 "--expect-fp",
                 &w.expect_fp.to_string(),
                 "--heartbeat",
-                &fleet_args.heartbeat.to_string(),
+                &resolved.heartbeat.to_string(),
             ]);
             cmd.arg("--cache").arg(&w.cache_dir);
             cmd.arg("--journal").arg(&w.journal);
@@ -698,11 +827,20 @@ fn cmd_shard_worker(workload: &str, cat: &str, rest: &[String]) -> ExitCode {
     let Some(w) = split_worker_args(rest) else {
         return usage();
     };
-    let Some(opts) = parse_sweep_args(&w.sweep_rest) else {
-        return usage();
+    let opts = match parse_sweep_args(&w.sweep_rest) {
+        Ok(o) => o,
+        Err(e) => return explain(&e),
     };
-    let Some(spec) = build_sweep_spec(workload, cat, &opts) else {
-        return usage();
+    let spec = if workload == "--scenario" {
+        match load_scenario(cat, &w.sweep_rest) {
+            Ok(s) => s.to_spec(),
+            Err(code) => return code,
+        }
+    } else {
+        match build_sweep_spec(workload, cat, &opts) {
+            Ok(s) => s,
+            Err(e) => return explain(&e),
+        }
     };
     let fault_plan = match fault::plan_from_env() {
         Ok(p) => p,
@@ -785,12 +923,12 @@ fn report(acc: &Accelerator, wl: &griffin::core::accelerator::Workload) {
 }
 
 fn cmd_run(bench: &str, cat: &str, arch: &str) -> ExitCode {
-    let (Some(b), Some(c), Some(a)) = (
-        parse_benchmark(bench),
-        parse_category(cat),
-        parse_arch(arch),
-    ) else {
-        return usage();
+    let parsed = parse_benchmark_or_explain(bench).and_then(|b| {
+        parse_category_or_explain(cat).and_then(|c| parse_arch_or_explain(arch).map(|a| (b, c, a)))
+    });
+    let (b, c, a) = match parsed {
+        Ok(t) => t,
+        Err(e) => return explain(&e),
     };
     let wl = build_workload(b, c, 42);
     println!("{} on {} ({c:?} masks, seed 42):", a.name, wl.name);
@@ -799,8 +937,11 @@ fn cmd_run(bench: &str, cat: &str, arch: &str) -> ExitCode {
 }
 
 fn cmd_compare(bench: &str, cat: &str) -> ExitCode {
-    let (Some(b), Some(c)) = (parse_benchmark(bench), parse_category(cat)) else {
-        return usage();
+    let parsed = parse_benchmark_or_explain(bench)
+        .and_then(|b| parse_category_or_explain(cat).map(|c| (b, c)));
+    let (b, c) = match parsed {
+        Ok(t) => t,
+        Err(e) => return explain(&e),
     };
     let wl = build_workload(b, c, 42);
     println!("{} / {c:?}:", wl.name);
@@ -942,6 +1083,166 @@ fn cmd_cache(rest: &[String]) -> ExitCode {
     }
 }
 
+/// Scenario files under a path: the file itself, or every `*.toml`
+/// directly inside a directory (sorted).
+fn scenario_files(path: &str) -> Result<Vec<PathBuf>, String> {
+    let p = PathBuf::from(path);
+    if p.is_dir() {
+        let mut files: Vec<PathBuf> = std::fs::read_dir(&p)
+            .map_err(|e| format!("cannot read {path}: {e}"))?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "toml"))
+            .collect();
+        files.sort();
+        if files.is_empty() {
+            return Err(format!("no *.toml scenario files under {path}"));
+        }
+        return Ok(files);
+    }
+    if !p.exists() {
+        return Err(format!("no such file or directory: {path}"));
+    }
+    Ok(vec![p])
+}
+
+/// One-line axis summary of a scenario (`2w x 1c x 43a x 2s`).
+fn scenario_shape(s: &Scenario) -> String {
+    format!(
+        "{}w x {}c x {}a x {}s = {} cells",
+        s.workloads.len(),
+        s.categories.len(),
+        s.expanded_archs().len(),
+        s.seeds.len(),
+        s.cell_count()
+    )
+}
+
+fn cmd_scenario(rest: &[String]) -> ExitCode {
+    match rest {
+        [action] if action == "list" => cmd_scenario_list("scenarios"),
+        [action, dir] if action == "list" => cmd_scenario_list(dir),
+        [action, file] if action == "show" => cmd_scenario_show(file),
+        [action, paths @ ..] if action == "validate" && !paths.is_empty() => {
+            cmd_scenario_validate(paths)
+        }
+        _ => usage(),
+    }
+}
+
+fn cmd_scenario_list(dir: &str) -> ExitCode {
+    let files = match scenario_files(dir) {
+        Ok(f) => f,
+        Err(e) => return explain(&e),
+    };
+    println!("{:<28} {:<20} {:<28} fleet", "file", "name", "grid");
+    for path in files {
+        let file = path.file_name().map_or_else(
+            || path.display().to_string(),
+            |n| n.to_string_lossy().into_owned(),
+        );
+        match Scenario::load(&path) {
+            Ok(s) => {
+                let fleet = s.fleet.as_ref().map_or("-".to_string(), |f| {
+                    format!(
+                        "{} shards{}",
+                        f.shards,
+                        if f.spawn { ", spawn" } else { "" }
+                    )
+                });
+                println!(
+                    "{file:<28} {:<20} {:<28} {fleet}",
+                    s.name,
+                    scenario_shape(&s)
+                );
+            }
+            Err(e) => println!("{file:<28} INVALID: {e}"),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_scenario_show(file: &str) -> ExitCode {
+    let s = match Scenario::load(file) {
+        Ok(s) => s,
+        Err(e) => return explain(&format!("scenario {file}: {e}")),
+    };
+    let spec = s.to_spec();
+    println!("scenario `{}` ({file})", s.name);
+    println!("  grid:         {}", scenario_shape(&s));
+    println!("  scenario fp:  {}", s.fingerprint());
+    println!(
+        "  spec fp:      {}",
+        griffin::fleet::spec_fingerprint(&spec)
+    );
+    println!(
+        "  workloads:    {}",
+        spec.workloads
+            .iter()
+            .map(griffin::sweep::WorkloadSpec::name)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!(
+        "  categories:   {}",
+        s.categories
+            .iter()
+            .map(|c| scenario::category_token(*c))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!("  architectures ({}):", spec.archs.len());
+    for a in spec.archs.iter().take(12) {
+        println!("    {}", a.canonical());
+    }
+    if spec.archs.len() > 12 {
+        println!("    ... and {} more", spec.archs.len() - 12);
+    }
+    if let Some(f) = &s.fleet {
+        println!(
+            "  fleet:        {} shards{}",
+            f.shards,
+            if f.spawn { ", spawn" } else { "" }
+        );
+    }
+    println!();
+    println!("canonical form:");
+    print!("{}", s.canonical());
+    ExitCode::SUCCESS
+}
+
+fn cmd_scenario_validate(paths: &[String]) -> ExitCode {
+    let mut files = Vec::new();
+    for p in paths {
+        match scenario_files(p) {
+            Ok(f) => files.extend(f),
+            Err(e) => return explain(&e),
+        }
+    }
+    let mut failed = 0usize;
+    for path in &files {
+        match Scenario::load(path) {
+            Ok(s) => println!(
+                "ok   {} `{}` fp {} ({})",
+                path.display(),
+                s.name,
+                s.fingerprint(),
+                scenario_shape(&s)
+            ),
+            Err(e) => {
+                failed += 1;
+                eprintln!("FAIL {}: {e}", path.display());
+            }
+        }
+    }
+    if failed > 0 {
+        eprintln!("{failed} of {} scenario file(s) invalid", files.len());
+        return ExitCode::FAILURE;
+    }
+    println!("{} scenario file(s) valid", files.len());
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -953,6 +1254,7 @@ fn main() -> ExitCode {
         Some("pareto") if args.len() >= 3 => cmd_pareto(&args[1], &args[2], &args[3..]),
         Some("fleet") if args.len() >= 3 => cmd_fleet(&args[1], &args[2], &args[3..]),
         Some("shard-worker") if args.len() >= 3 => cmd_shard_worker(&args[1], &args[2], &args[3..]),
+        Some("scenario") => cmd_scenario(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("cache") => cmd_cache(&args[1..]),
         _ => usage(),
