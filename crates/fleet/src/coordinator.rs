@@ -381,6 +381,7 @@ fn run_shard_cells(
     });
     let stats0 = cache.stats();
     let done = AtomicUsize::new(0);
+    let cached_hits = AtomicUsize::new(0);
     let observe = |ev: &CellEvent<'_>| {
         let mut g = shared.lock().expect("fleet lock");
         match ev {
@@ -403,12 +404,17 @@ fn run_shard_cells(
                     metrics: *metrics,
                 });
                 g.record_done(cell.index, *fingerprint);
+                if *cached {
+                    cached_hits.fetch_add(1, Ordering::Relaxed);
+                }
                 let d = done.fetch_add(1, Ordering::Relaxed) + 1;
                 if heartbeat_every > 0 && d.is_multiple_of(heartbeat_every) {
                     g.emit(&Event::Heartbeat {
                         shard,
                         done: d,
                         total: todo.len(),
+                        elapsed_ms: start.elapsed().as_millis() as u64,
+                        cached: cached_hits.load(Ordering::Relaxed),
                     });
                 }
             }

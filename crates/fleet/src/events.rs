@@ -15,7 +15,7 @@
 //! | `shard_start`     | `shard`, `cells`, `skipped`                                 |
 //! | `cell_start`      | `shard`, `cell`, `fp`                                       |
 //! | `cell_done`       | `shard`, `cell`, `fp`, `cached`, `metrics{…}`               |
-//! | `heartbeat`       | `shard`, `done`, `total`                                    |
+//! | `heartbeat`       | `shard`, `done`, `total`, `elapsed_ms`, `cached`            |
 //! | `shard_done`      | `shard`, `simulated`, `cached`, `elapsed_ms`                |
 //! | `shard_failed`    | `shard`, `attempt`, `msg`                                   |
 //! | `cells_requeued`  | `shard`, `cells`                                            |
@@ -39,7 +39,11 @@
 //! `campaign_failed` on any abort. The optional scenario provenance
 //! pair (`scenario_file` + `scenario_fp`) on `campaign_start` rides on
 //! that unknown-field tolerance: campaigns launched from a scenario
-//! file carry it, token-built campaigns and older streams don't.
+//! file carry it, token-built campaigns and older streams don't. The
+//! `heartbeat` enrichment (`elapsed_ms` + `cached`, letting a live
+//! watcher track throughput and the warm/cold split without replaying
+//! `cell_done` history) rides on it the same way: streams written
+//! before it parse with both fields as 0.
 
 use std::io::{self, Write};
 
@@ -116,6 +120,12 @@ pub enum Event {
         done: usize,
         /// Cells this shard set out to run (this run).
         total: usize,
+        /// Wall-clock milliseconds since this shard run started
+        /// (additive field; absent in older streams, parsed as 0).
+        elapsed_ms: u64,
+        /// Of `done`, the cells served from cache / in-campaign dedup
+        /// (additive field; absent in older streams, parsed as 0).
+        cached: usize,
     },
     /// A shard finished executing.
     ShardDone {
@@ -295,11 +305,19 @@ impl Event {
                 ("cached".into(), Json::Bool(*cached)),
                 ("metrics".into(), metrics.to_json()),
             ]),
-            Event::Heartbeat { shard, done, total } => Json::obj([
+            Event::Heartbeat {
+                shard,
+                done,
+                total,
+                elapsed_ms,
+                cached,
+            } => Json::obj([
                 ("ev".into(), Json::Str("heartbeat".into())),
                 ("shard".into(), num(*shard)),
                 ("done".into(), num(*done)),
                 ("total".into(), num(*total)),
+                ("elapsed_ms".into(), num(*elapsed_ms as usize)),
+                ("cached".into(), num(*cached)),
             ]),
             Event::ShardDone {
                 shard,
@@ -436,6 +454,8 @@ impl Event {
                 shard: get_usize(&v, "shard")?,
                 done: get_usize(&v, "done")?,
                 total: get_usize(&v, "total")?,
+                elapsed_ms: get_usize_or(&v, "elapsed_ms", 0)? as u64,
+                cached: get_usize_or(&v, "cached", 0)?,
             }),
             "shard_done" => Ok(Event::ShardDone {
                 shard: get_usize(&v, "shard")?,
@@ -524,6 +544,117 @@ impl EventSink for NullSink {
     }
 }
 
+/// Deterministic sample-event construction shared by the schema
+/// property tests here and the consumer-side (`griffin-watch`) model
+/// property tests — one generator, so every stream consumer is
+/// exercised against the exact same variant coverage. Not a public API.
+#[doc(hidden)]
+pub mod sample {
+    use super::Event;
+    use griffin_sweep::cache::CellMetrics;
+    use griffin_sweep::fingerprint::Fingerprint;
+
+    /// Deterministic metrics from two draws; `special` selects a
+    /// non-finite float injection (JSON numbers cannot express them, so
+    /// they stress the lossless float encoding).
+    pub fn metrics_from(a: u64, b: u64, special: u64) -> CellMetrics {
+        let f = |x: u64| (x % 1_000_000) as f64 / 7.0;
+        let mut m = CellMetrics {
+            speedup: f(a ^ 1),
+            cycles: f(a ^ 2),
+            dense_cycles: a,
+            power_mw: f(b ^ 3),
+            area_mm2: f(b ^ 4),
+            tops_per_w: f(a ^ b),
+            tops_per_mm2: f(b ^ 5),
+        };
+        match special % 4 {
+            1 => m.tops_per_w = f64::NAN,
+            2 => m.tops_per_mm2 = f64::INFINITY,
+            3 => m.power_mw = f64::NEG_INFINITY,
+            _ => {}
+        }
+        m
+    }
+
+    /// One event of each schema variant (`variant % 12`), fields
+    /// derived from the draws. Strings mix in characters that need
+    /// JSON escaping.
+    pub fn build_event(variant: usize, a: u64, b: u64, flag: bool, special: u64) -> Event {
+        let s = |tag: &str| format!("{tag}-\"{a}\"\n\\{b}");
+        let n = |x: u64| (x % 100_000) as usize;
+        match variant {
+            0 => Event::CampaignStart {
+                campaign: s("camp"),
+                spec_fp: Fingerprint(a, b),
+                cells: n(a),
+                shards: n(b) + 1,
+                resumed: n(a ^ b),
+                // The optional provenance pair exercises both shapes.
+                scenario: flag.then(|| griffin_sweep::scenario::ScenarioProvenance {
+                    file: s("scenario"),
+                    fp: Fingerprint(b ^ 7, a ^ 9),
+                }),
+            },
+            1 => Event::ShardStart {
+                shard: n(a),
+                cells: n(b),
+                skipped: n(a ^ 1),
+            },
+            2 => Event::CellStart {
+                shard: n(a),
+                cell: n(b),
+                fp: Fingerprint(b, a),
+            },
+            3 => Event::CellDone {
+                shard: n(a),
+                cell: n(b),
+                fp: Fingerprint(a, a),
+                cached: flag,
+                metrics: metrics_from(a, b, special),
+            },
+            4 => Event::Heartbeat {
+                shard: n(a),
+                done: n(b),
+                total: n(b) + n(a),
+                elapsed_ms: a % 1_000_000_000,
+                cached: n(a ^ 3),
+            },
+            5 => Event::ShardDone {
+                shard: n(a),
+                simulated: n(b),
+                cached: n(a ^ 2),
+                elapsed_ms: b % 1_000_000_000,
+            },
+            6 => Event::ShardFailed {
+                shard: n(a),
+                attempt: n(b) % 16,
+                msg: s("worker exited"),
+            },
+            7 => Event::CellsRequeued {
+                shard: n(a),
+                cells: n(b),
+            },
+            8 => Event::ShardRetried {
+                shard: n(a),
+                attempt: n(b) % 16 + 1,
+            },
+            9 => Event::MergeDone {
+                sources: n(a),
+                merged: b % 1_000_000,
+                identical: a % 1_000_000,
+                healed: (a ^ b) % 100,
+                conflicts: u64::from(flag),
+            },
+            10 => Event::CampaignDone {
+                cells: n(a),
+                elapsed_ms: b % 1_000_000_000,
+            },
+            _ => Event::CampaignFailed { msg: s("gave up") },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -583,6 +714,8 @@ mod tests {
                 shard: 2,
                 done: 5,
                 total: 7,
+                elapsed_ms: 210,
+                cached: 2,
             },
             Event::ShardDone {
                 shard: 2,
@@ -674,6 +807,19 @@ mod tests {
         assert!(Event::parse_line(&tagged).is_ok());
         let future = tagged.replace("events/1", "events/99");
         assert!(Event::parse_line(&future).is_err());
+        // A pre-enrichment heartbeat has no elapsed_ms/cached: parsed
+        // as 0.
+        let hb = "{\"done\":5,\"ev\":\"heartbeat\",\"shard\":1,\"total\":9}";
+        assert_eq!(
+            Event::parse_line(hb),
+            Ok(Event::Heartbeat {
+                shard: 1,
+                done: 5,
+                total: 9,
+                elapsed_ms: 0,
+                cached: 0,
+            })
+        );
         // A v1 merge_done has no `healed` field: parsed as 0.
         let merge =
             "{\"conflicts\":0,\"ev\":\"merge_done\",\"identical\":1,\"merged\":2,\"sources\":3}";
@@ -696,6 +842,8 @@ mod tests {
             shard: 1,
             done: 2,
             total: 3,
+            elapsed_ms: 0,
+            cached: 0,
         })
         .unwrap();
         sink.emit(&Event::CampaignDone {

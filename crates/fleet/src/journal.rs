@@ -231,8 +231,15 @@ impl Journal {
         JournalError,
     > {
         let text = std::fs::read_to_string(&path)?;
-        let mut segments = text.split_inclusive('\n');
-        let Some(header_seg) = segments.next() else {
+        // The torn-tail rule lives in `tail`: every byte of `clean`
+        // belongs to a terminated line, `partial` is an interrupted
+        // append (shared with the event-stream watcher).
+        let (clean, partial) = crate::tail::split_partial_tail(&text);
+        let mut segments = clean
+            .split_inclusive('\n')
+            .map(|s| (s, true))
+            .chain((!partial.is_empty()).then_some((partial, false)));
+        let Some((header_seg, _)) = segments.next() else {
             return Err(JournalError::Corrupt("empty journal".into()));
         };
         let found = JournalHeader::parse_line(header_seg.trim_end())?;
@@ -245,7 +252,7 @@ impl Journal {
         let mut completed = BTreeMap::new();
         let mut valid_len = header_seg.len();
         let mut tail_entry = None;
-        for seg in segments {
+        for (seg, terminated) in segments {
             let line = seg.trim_end();
             if line.is_empty() {
                 valid_len += seg.len();
@@ -272,7 +279,10 @@ impl Journal {
                     )));
                 }
             }
-            if !seg.ends_with('\n') {
+            if !terminated {
+                // A complete entry missing only its newline (a crash
+                // between the bytes and the `\n`) still counts; resume
+                // rewrites it whole.
                 tail_entry = Some((cell, fp));
                 break;
             }

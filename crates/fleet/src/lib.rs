@@ -22,6 +22,8 @@
 //!   protocol,
 //! * [`journal`] — the append-only completed-cell journal behind
 //!   `--resume`,
+//! * [`tail`] — the truncation-tolerant line-tail rule shared by the
+//!   journal loader and live event-stream consumers,
 //! * [`coordinator`] — the in-process and subprocess campaign drivers
 //!   plus the shard-worker entry point,
 //! * [`fault`] — deterministic fault injection (worker kill/stall,
@@ -57,6 +59,7 @@ pub mod events;
 pub mod fault;
 pub mod journal;
 pub mod plan;
+pub mod tail;
 
 pub use coordinator::{
     default_events_path, journal_path, merged_cache_dir, run_fleet, run_fleet_spawned,
@@ -66,3 +69,4 @@ pub use events::{Event, EventError, EventSink, JsonlSink, NullSink, EVENTS_FORMA
 pub use fault::{AttemptGate, Fault, FaultError, FaultPlan, ATTEMPT_ENV, FAULT_ENV};
 pub use journal::{Journal, JournalError, JournalHeader, JOURNAL_FORMAT};
 pub use plan::{remaining_cells, shard_of, spec_fingerprint, PlanError, ShardPlan};
+pub use tail::{complete_lines, split_partial_tail, TailCursor, TailPoll};

@@ -1,0 +1,240 @@
+//! Truncation-tolerant line tailing over append-only JSONL files.
+//!
+//! Both fleet stream formats — the journal and the campaign event
+//! stream — are appended one `\n`-terminated JSON line at a time, so an
+//! interruption can only leave a *partial trailing line*. This module
+//! is the one place that rule is implemented: [`split_partial_tail`]
+//! separates a buffer's cleanly-terminated prefix from its torn tail
+//! (used by [`crate::journal`] when loading, and by one-shot stream
+//! readers), and [`TailCursor`] turns the same rule into an incremental
+//! follower for live consumers (`fleet watch`) — a torn tail is simply
+//! *not yet* a line, and is yielded whole once its remaining bytes (and
+//! newline) arrive.
+//!
+//! The cursor also survives the one legal non-append transition: a
+//! fresh campaign truncating and rewriting the stream file. A shrink is
+//! reported as [`TailPoll::truncated`] so the consumer can reset its
+//! state before folding the new stream from the top.
+
+use std::io::{self, Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+/// Splits a buffer at its final newline: the cleanly-terminated prefix
+/// (every byte of it belongs to a complete line) and the partial
+/// trailing line — an interrupted append — which is empty exactly when
+/// the buffer ends on `\n`. `text == prefix ⧺ partial` always holds.
+pub fn split_partial_tail(text: &str) -> (&str, &str) {
+    match text.rfind('\n') {
+        Some(i) => text.split_at(i + 1),
+        None => ("", text),
+    }
+}
+
+/// The complete lines of a buffer, torn tail excluded — the one-shot
+/// (non-follow) read of an event stream. Lines are trimmed of their
+/// terminators; empty lines are skipped.
+pub fn complete_lines(text: &str) -> impl Iterator<Item = &str> {
+    let (clean, _) = split_partial_tail(text);
+    clean
+        .split_inclusive('\n')
+        .map(str::trim_end)
+        .filter(|l| !l.is_empty())
+}
+
+/// What one [`TailCursor::poll`] observed.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct TailPoll {
+    /// New complete lines since the previous poll (terminators
+    /// stripped, empty lines skipped).
+    pub lines: Vec<String>,
+    /// The file shrank (a fresh campaign truncated the stream): the
+    /// cursor restarted from byte 0, and `lines` already holds the new
+    /// stream's first complete lines. Consumers must reset their fold.
+    pub truncated: bool,
+}
+
+/// An incremental follower of an append-only line stream.
+///
+/// Each [`poll`](TailCursor::poll) reads whatever bytes the producer
+/// has appended since the last one and yields only *complete* lines; a
+/// partial trailing line (a torn in-flight append, or a flush that
+/// landed mid-line) is buffered and completed by a later poll. A
+/// missing file yields no lines — the producer simply hasn't started
+/// yet — and a shrunken file resets the cursor (see [`TailPoll`]).
+#[derive(Debug)]
+pub struct TailCursor {
+    path: PathBuf,
+    offset: u64,
+    pending: Vec<u8>,
+}
+
+impl TailCursor {
+    /// A cursor at the start of `path` (which need not exist yet).
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        TailCursor {
+            path: path.into(),
+            offset: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    /// The followed path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Reads everything appended since the last poll.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors other than the file not existing
+    /// (which is an empty poll, not an error).
+    pub fn poll(&mut self) -> io::Result<TailPoll> {
+        let mut out = TailPoll::default();
+        let mut file = match std::fs::File::open(&self.path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+            Err(e) => return Err(e),
+        };
+        let len = file.metadata()?.len();
+        if len < self.offset {
+            // The stream was rewritten from scratch; start over.
+            self.offset = 0;
+            self.pending.clear();
+            out.truncated = true;
+        }
+        if len == self.offset {
+            return Ok(out);
+        }
+        file.seek(SeekFrom::Start(self.offset))?;
+        let read = file
+            .take(len - self.offset)
+            .read_to_end(&mut self.pending)?;
+        self.offset += read as u64;
+        // Drain every complete line; keep the torn tail pending.
+        let cut = match self.pending.iter().rposition(|&b| b == b'\n') {
+            Some(i) => i + 1,
+            None => return Ok(out),
+        };
+        for raw in self.pending[..cut].split_inclusive(|&b| b == b'\n') {
+            let line = String::from_utf8_lossy(raw);
+            let line = line.trim_end();
+            if !line.is_empty() {
+                out.lines.push(line.to_string());
+            }
+        }
+        self.pending.drain(..cut);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "griffin-fleet-tail-{tag}-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[test]
+    fn split_partial_tail_covers_every_shape() {
+        assert_eq!(split_partial_tail(""), ("", ""));
+        assert_eq!(split_partial_tail("a\nb\n"), ("a\nb\n", ""));
+        assert_eq!(split_partial_tail("a\nb\ntorn"), ("a\nb\n", "torn"));
+        assert_eq!(split_partial_tail("torn"), ("", "torn"));
+        let (clean, partial) = split_partial_tail("x\n{\"cell\":");
+        assert_eq!(format!("{clean}{partial}"), "x\n{\"cell\":");
+    }
+
+    #[test]
+    fn complete_lines_skips_the_torn_tail_and_blanks() {
+        let text = "one\n\ntwo\r\nthree";
+        assert_eq!(complete_lines(text).collect::<Vec<_>>(), ["one", "two"]);
+        assert_eq!(complete_lines("").count(), 0);
+        assert_eq!(complete_lines("no newline").count(), 0);
+    }
+
+    #[test]
+    fn cursor_yields_lines_incrementally_and_completes_torn_tails() {
+        let path = tmp("incremental");
+        let _ = std::fs::remove_file(&path);
+        let mut cur = TailCursor::new(&path);
+        // Missing file: an empty poll, not an error.
+        assert_eq!(cur.poll().unwrap(), TailPoll::default());
+
+        let mut f = std::fs::File::create(&path).unwrap();
+        write!(f, "alpha\nbra").unwrap();
+        f.flush().unwrap();
+        let p = cur.poll().unwrap();
+        assert_eq!(p.lines, ["alpha"], "torn tail held back");
+        assert!(!p.truncated);
+
+        write!(f, "vo\ncharlie\n").unwrap();
+        f.flush().unwrap();
+        let p = cur.poll().unwrap();
+        assert_eq!(p.lines, ["bravo", "charlie"], "tail completed whole");
+
+        // Nothing new: empty poll.
+        assert_eq!(cur.poll().unwrap(), TailPoll::default());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn cursor_resets_on_truncation() {
+        let path = tmp("truncate");
+        std::fs::write(&path, "old-1\nold-2\nold-3\n").unwrap();
+        let mut cur = TailCursor::new(&path);
+        assert_eq!(cur.poll().unwrap().lines.len(), 3);
+
+        // A fresh campaign rewrites the stream shorter.
+        std::fs::write(&path, "new-1\n").unwrap();
+        let p = cur.poll().unwrap();
+        assert!(p.truncated, "shrink must be reported");
+        assert_eq!(p.lines, ["new-1"], "new stream read from the top");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn cursor_and_journal_agree_on_a_torn_final_line() {
+        // The pin required by the shared-tail refactor: on the same
+        // torn file, the journal's loader and the tail cursor must make
+        // the same call — complete lines count, the torn tail does not.
+        use crate::journal::{Journal, JournalHeader};
+        use griffin_sweep::fingerprint::Fingerprint;
+
+        let path = tmp("agree");
+        let header = JournalHeader {
+            campaign: "t".into(),
+            spec_fp: Fingerprint(1, 2),
+            cells: 8,
+            scenario: None,
+        };
+        drop(Journal::create(&path, &header).unwrap());
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"cell\":3,\"fp\":\"00000000000000030000000000000003\"}\n");
+        text.push_str("{\"cell\":5,\"fp\":\"00000000000000"); // torn mid-append
+        std::fs::write(&path, &text).unwrap();
+
+        let mut cur = TailCursor::new(&path);
+        let lines = cur.poll().unwrap().lines;
+        assert_eq!(lines.len(), 2, "header + one complete entry");
+
+        let completed = Journal::peek_completed(&path, &header).unwrap();
+        assert_eq!(
+            completed.keys().copied().collect::<Vec<_>>(),
+            vec![3],
+            "journal accepts exactly the complete entries the cursor yields"
+        );
+        assert_eq!(
+            completed.len(),
+            lines.len() - 1,
+            "identical torn-line verdict"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+}

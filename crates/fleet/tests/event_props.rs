@@ -4,108 +4,10 @@
 //! fields (which must be tolerated) and v1 lines (which must still
 //! parse).
 
+use griffin_fleet::events::sample::build_event;
 use griffin_fleet::events::Event;
-use griffin_sweep::cache::CellMetrics;
-use griffin_sweep::fingerprint::Fingerprint;
 use griffin_sweep::json::Json;
 use proptest::prelude::*;
-
-/// Deterministic metrics from two draws; `special` selects a
-/// non-finite float injection (JSON numbers cannot express them, so
-/// they stress the lossless float encoding).
-fn metrics_from(a: u64, b: u64, special: u64) -> CellMetrics {
-    let f = |x: u64| (x % 1_000_000) as f64 / 7.0;
-    let mut m = CellMetrics {
-        speedup: f(a ^ 1),
-        cycles: f(a ^ 2),
-        dense_cycles: a,
-        power_mw: f(b ^ 3),
-        area_mm2: f(b ^ 4),
-        tops_per_w: f(a ^ b),
-        tops_per_mm2: f(b ^ 5),
-    };
-    match special % 4 {
-        1 => m.tops_per_w = f64::NAN,
-        2 => m.tops_per_mm2 = f64::INFINITY,
-        3 => m.power_mw = f64::NEG_INFINITY,
-        _ => {}
-    }
-    m
-}
-
-/// One event of each schema variant, fields derived from the draws.
-/// Strings mix in characters that need JSON escaping.
-fn build_event(variant: usize, a: u64, b: u64, flag: bool, special: u64) -> Event {
-    let s = |tag: &str| format!("{tag}-\"{a}\"\n\\{b}");
-    let n = |x: u64| (x % 100_000) as usize;
-    match variant {
-        0 => Event::CampaignStart {
-            campaign: s("camp"),
-            spec_fp: Fingerprint(a, b),
-            cells: n(a),
-            shards: n(b) + 1,
-            resumed: n(a ^ b),
-            // The optional provenance pair exercises both shapes.
-            scenario: flag.then(|| griffin_sweep::scenario::ScenarioProvenance {
-                file: s("scenario"),
-                fp: Fingerprint(b ^ 7, a ^ 9),
-            }),
-        },
-        1 => Event::ShardStart {
-            shard: n(a),
-            cells: n(b),
-            skipped: n(a ^ 1),
-        },
-        2 => Event::CellStart {
-            shard: n(a),
-            cell: n(b),
-            fp: Fingerprint(b, a),
-        },
-        3 => Event::CellDone {
-            shard: n(a),
-            cell: n(b),
-            fp: Fingerprint(a, a),
-            cached: flag,
-            metrics: metrics_from(a, b, special),
-        },
-        4 => Event::Heartbeat {
-            shard: n(a),
-            done: n(b),
-            total: n(b) + n(a),
-        },
-        5 => Event::ShardDone {
-            shard: n(a),
-            simulated: n(b),
-            cached: n(a ^ 2),
-            elapsed_ms: b % 1_000_000_000,
-        },
-        6 => Event::ShardFailed {
-            shard: n(a),
-            attempt: n(b) % 16,
-            msg: s("worker exited"),
-        },
-        7 => Event::CellsRequeued {
-            shard: n(a),
-            cells: n(b),
-        },
-        8 => Event::ShardRetried {
-            shard: n(a),
-            attempt: n(b) % 16 + 1,
-        },
-        9 => Event::MergeDone {
-            sources: n(a),
-            merged: b % 1_000_000,
-            identical: a % 1_000_000,
-            healed: (a ^ b) % 100,
-            conflicts: u64::from(flag),
-        },
-        10 => Event::CampaignDone {
-            cells: n(a),
-            elapsed_ms: b % 1_000_000_000,
-        },
-        _ => Event::CampaignFailed { msg: s("gave up") },
-    }
-}
 
 /// Serializes `ev` with extra unknown fields injected into the object.
 fn with_unknown_fields(ev: &Event) -> String {
@@ -121,13 +23,19 @@ fn with_unknown_fields(ev: &Event) -> String {
 }
 
 /// Serializes `ev` as a v1 consumer would have written it: no `format`
-/// tag, no v2-only optional fields.
+/// tag, no v2-only optional fields. The enrichment fields are only
+/// stripped where they are v2 additions — `elapsed_ms`/`cached` are
+/// original v1 fields on `shard_done`, but additions on `heartbeat`.
 fn as_v1_line(ev: &Event) -> String {
     let Json::Obj(mut m) = ev.to_json() else {
         panic!("events serialize to objects");
     };
     m.remove("format");
     m.remove("healed");
+    if matches!(ev, Event::Heartbeat { .. }) {
+        m.remove("elapsed_ms");
+        m.remove("cached");
+    }
     Json::Obj(m).write()
 }
 
@@ -173,6 +81,13 @@ proptest! {
         match from_v1 {
             Event::MergeDone { healed, .. } if variant == 9 => {
                 prop_assert_eq!(healed, 0, "v1 merge_done has no healed count")
+            }
+            Event::Heartbeat { elapsed_ms, cached, shard, done, total } if variant == 4 => {
+                prop_assert_eq!((elapsed_ms, cached), (0, 0), "v1 heartbeat is unenriched");
+                let Event::Heartbeat { shard: s, done: d, total: t, .. } = ev else {
+                    unreachable!()
+                };
+                prop_assert_eq!((shard, done, total), (s, d, t));
             }
             other => prop_assert_eq!(other, ev),
         }

@@ -1,0 +1,770 @@
+//! The campaign model: a pure replay fold over fleet events.
+//!
+//! [`CampaignModel::apply`] consumes [`Event`]s one at a time and
+//! maintains everything the dashboards render — per-shard progress,
+//! cache-hit split, the retry/requeue/heal lifecycle, the failure log
+//! and the terminal state. The fold is *pure*: it never reads a clock,
+//! a file, or an environment variable, so the same event sequence
+//! always produces the same model whether it arrives from a live tail,
+//! a finished stream, or a property-test generator. Time-derived
+//! metrics (windowed cells/sec, ETA) live in [`RateTracker`], which the
+//! caller feeds an explicit timestamp.
+//!
+//! A resumed campaign appends a fresh `campaign_start` to the same
+//! stream; the model resets on each one (counting [`restarts`]) so the
+//! fold of the whole file always describes the *latest* run, with
+//! earlier completions folded into `resumed`.
+//!
+//! [`restarts`]: CampaignModel::restarts
+
+use griffin_fleet::events::Event;
+use griffin_sweep::fingerprint::Fingerprint;
+use griffin_sweep::json::Json;
+use griffin_sweep::scenario::ScenarioProvenance;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Where the campaign is in its lifecycle.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum CampaignState {
+    /// No `campaign_start` folded yet (stream empty or still torn).
+    #[default]
+    Waiting,
+    /// Between `campaign_start` and the terminal event.
+    Running,
+    /// Terminal: the final report was assembled.
+    Done {
+        /// Total grid cells reported.
+        cells: usize,
+        /// Wall-clock milliseconds of the whole fleet run.
+        elapsed_ms: u64,
+    },
+    /// Terminal: the campaign aborted.
+    Failed {
+        /// Human-readable cause.
+        msg: String,
+    },
+}
+
+impl CampaignState {
+    /// `done` / `failed` / `running` / `waiting` — the JSON summary tag.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            CampaignState::Waiting => "waiting",
+            CampaignState::Running => "running",
+            CampaignState::Done { .. } => "done",
+            CampaignState::Failed { .. } => "failed",
+        }
+    }
+
+    /// Whether the stream can emit nothing further.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            CampaignState::Done { .. } | CampaignState::Failed { .. }
+        )
+    }
+}
+
+/// One shard's lifecycle as seen through its events.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum ShardState {
+    /// Planned (seen in a campaign header) but no `shard_start` yet.
+    #[default]
+    Pending,
+    /// Executing cells.
+    Running,
+    /// `shard_done` observed.
+    Done,
+    /// `shard_failed` observed; may still be retried.
+    Failed,
+    /// `shard_retried` observed; a fresh attempt is launching.
+    Retrying,
+}
+
+impl ShardState {
+    /// Short human/JSON tag.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ShardState::Pending => "pending",
+            ShardState::Running => "running",
+            ShardState::Done => "done",
+            ShardState::Failed => "failed",
+            ShardState::Retrying => "retrying",
+        }
+    }
+}
+
+/// Rolling view of one shard, folded from its events.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ShardModel {
+    /// Lifecycle state.
+    pub state: ShardState,
+    /// Cells planned onto this shard (from its latest `shard_start`).
+    pub planned: usize,
+    /// Cells skipped as journal-completed (latest attempt).
+    pub skipped: usize,
+    /// Cells finished by the *current* attempt (resets on re-start).
+    pub done: usize,
+    /// Of [`done`](Self::done), cells served from cache / dedup.
+    pub cached: usize,
+    /// Attempt number currently (or last) running; 0 = first launch.
+    pub attempt: usize,
+    /// Milliseconds into the current attempt, from the most recent
+    /// heartbeat or `shard_done` (0 until either arrives).
+    pub elapsed_ms: u64,
+    /// Events folded for this shard since its last (re)start —
+    /// liveness: a running shard whose count stops moving is silent.
+    pub events: usize,
+    /// Cells freshly simulated, authoritative once `shard_done` lands.
+    pub simulated: usize,
+}
+
+impl ShardModel {
+    fn restart(&mut self, planned: usize, skipped: usize) {
+        let attempt = self.attempt;
+        *self = ShardModel {
+            state: ShardState::Running,
+            planned,
+            skipped,
+            attempt,
+            ..ShardModel::default()
+        };
+    }
+}
+
+/// One `shard_failed` event, kept verbatim for the failure log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Failure {
+    /// Shard index.
+    pub shard: usize,
+    /// Attempt that failed (0 = first launch).
+    pub attempt: usize,
+    /// Human-readable cause.
+    pub msg: String,
+}
+
+/// The `merge_done` counters, once the merge has run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeSummary {
+    /// Source directories considered.
+    pub sources: usize,
+    /// Entries copied into the merged cache.
+    pub merged: u64,
+    /// Entries already present with identical content.
+    pub identical: u64,
+    /// Torn destination entries healed from good source content.
+    pub healed: u64,
+    /// Conflicting fingerprints (non-zero aborts the campaign).
+    pub conflicts: u64,
+}
+
+/// Format tag of the JSON summary emitted by [`CampaignModel::summary`].
+pub const SUMMARY_FORMAT: &str = "griffin-watch-summary/1";
+
+/// A campaign reconstructed by folding its event stream.
+///
+/// All counters are defined directly in terms of raw event counts, so a
+/// summary can be checked against `events.jsonl` with nothing fancier
+/// than `grep -c`:
+/// * [`done`](Self::done) = `resumed` + distinct `cell_done` cells,
+/// * [`cache_hits`](Self::cache_hits) = `cell_done` lines with
+///   `"cached":true`,
+/// * [`retries`](Self::retries) = `shard_retried` lines.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CampaignModel {
+    /// Campaign name (empty until `campaign_start`).
+    pub campaign: String,
+    /// Stable grid identity from the campaign header.
+    pub spec_fp: Option<Fingerprint>,
+    /// Total grid cells the campaign will report.
+    pub total_cells: usize,
+    /// Shard count from the campaign header.
+    pub shard_count: usize,
+    /// Cells restored from the journal before this run started.
+    pub resumed: usize,
+    /// Scenario provenance, when launched from a scenario file.
+    pub scenario: Option<ScenarioProvenance>,
+    /// `campaign_start` events beyond the first — i.e. how many times a
+    /// resume appended a fresh run to this stream.
+    pub restarts: usize,
+    /// Per-shard models, keyed by shard index.
+    pub shards: BTreeMap<usize, ShardModel>,
+    /// Lifecycle state.
+    pub state: CampaignState,
+    /// Raw count of `cell_done` events (distinct or not).
+    pub cell_events: usize,
+    /// `cell_done` events with `cached == true`.
+    pub cache_hits: usize,
+    /// `shard_retried` events.
+    pub retries: usize,
+    /// Cells put back on the queue by `cells_requeued` events.
+    pub requeued_cells: usize,
+    /// Failure log: every `shard_failed`, in stream order.
+    pub failures: Vec<Failure>,
+    /// Merge counters once `merge_done` lands.
+    pub merge: Option<MergeSummary>,
+    /// Total events folded since the last campaign (re)start.
+    pub events_folded: usize,
+    /// Complete lines that failed to parse as events (skipped).
+    pub parse_errors: usize,
+    done_cells: BTreeSet<usize>,
+}
+
+impl CampaignModel {
+    /// An empty model awaiting its first event.
+    pub fn new() -> Self {
+        CampaignModel::default()
+    }
+
+    /// Cells complete toward [`total_cells`](Self::total_cells):
+    /// journal-resumed cells plus distinct `cell_done` cells this run.
+    pub fn done(&self) -> usize {
+        self.resumed.saturating_add(self.done_cells.len())
+    }
+
+    /// Fraction complete in `[0, 1]` (0 when the total is unknown).
+    pub fn progress(&self) -> f64 {
+        if self.total_cells == 0 {
+            0.0
+        } else {
+            self.done() as f64 / self.total_cells as f64
+        }
+    }
+
+    /// Cache-hit ratio over this run's `cell_done` events (`None` until
+    /// the first one).
+    pub fn cache_hit_ratio(&self) -> Option<f64> {
+        (self.cell_events > 0).then(|| self.cache_hits as f64 / self.cell_events as f64)
+    }
+
+    /// Folds one event into the model. Never panics, for any sequence.
+    pub fn apply(&mut self, ev: &Event) {
+        self.events_folded = self.events_folded.saturating_add(1);
+        match ev {
+            Event::CampaignStart {
+                campaign,
+                spec_fp,
+                cells,
+                shards,
+                resumed,
+                scenario,
+            } => {
+                // A fresh run (possibly a resume) owns the stream from
+                // here on: reset everything except the restart count.
+                let restarts = if self.state == CampaignState::Waiting {
+                    self.restarts
+                } else {
+                    self.restarts.saturating_add(1)
+                };
+                *self = CampaignModel {
+                    campaign: campaign.clone(),
+                    spec_fp: Some(*spec_fp),
+                    total_cells: *cells,
+                    shard_count: *shards,
+                    resumed: *resumed,
+                    scenario: scenario.clone(),
+                    restarts,
+                    state: CampaignState::Running,
+                    events_folded: 1,
+                    ..CampaignModel::default()
+                };
+            }
+            Event::ShardStart {
+                shard,
+                cells,
+                skipped,
+            } => self.shard_mut(*shard).restart(*cells, *skipped),
+            Event::CellStart { shard, .. } => self.shard_touch(*shard),
+            Event::CellDone {
+                shard,
+                cell,
+                cached,
+                ..
+            } => {
+                self.done_cells.insert(*cell);
+                self.cell_events = self.cell_events.saturating_add(1);
+                if *cached {
+                    self.cache_hits = self.cache_hits.saturating_add(1);
+                }
+                let s = self.shard_mut(*shard);
+                s.done = s.done.saturating_add(1);
+                if *cached {
+                    s.cached = s.cached.saturating_add(1);
+                }
+            }
+            Event::Heartbeat {
+                shard,
+                done,
+                total,
+                elapsed_ms,
+                cached,
+            } => {
+                let s = self.shard_mut(*shard);
+                // Heartbeats are authoritative for the attempt's own
+                // progress (they can outrun the lock-serialized
+                // cell_done fold only in pathological streams; take the
+                // max so progress stays monotone either way).
+                s.done = s.done.max(*done);
+                s.cached = s.cached.max(*cached);
+                s.planned = s.planned.max(*total);
+                s.elapsed_ms = s.elapsed_ms.max(*elapsed_ms);
+            }
+            Event::ShardDone {
+                shard,
+                simulated,
+                cached,
+                elapsed_ms,
+            } => {
+                let s = self.shard_mut(*shard);
+                s.state = ShardState::Done;
+                s.simulated = *simulated;
+                s.cached = s.cached.max(*cached);
+                s.elapsed_ms = s.elapsed_ms.max(*elapsed_ms);
+            }
+            Event::ShardFailed {
+                shard,
+                attempt,
+                msg,
+            } => {
+                self.failures.push(Failure {
+                    shard: *shard,
+                    attempt: *attempt,
+                    msg: msg.clone(),
+                });
+                let s = self.shard_mut(*shard);
+                s.state = ShardState::Failed;
+                s.attempt = s.attempt.max(*attempt);
+            }
+            Event::CellsRequeued { shard, cells } => {
+                self.requeued_cells = self.requeued_cells.saturating_add(*cells);
+                self.shard_touch(*shard);
+            }
+            Event::ShardRetried { shard, attempt } => {
+                self.retries = self.retries.saturating_add(1);
+                let s = self.shard_mut(*shard);
+                s.state = ShardState::Retrying;
+                s.attempt = s.attempt.max(*attempt);
+            }
+            Event::MergeDone {
+                sources,
+                merged,
+                identical,
+                healed,
+                conflicts,
+            } => {
+                self.merge = Some(MergeSummary {
+                    sources: *sources,
+                    merged: *merged,
+                    identical: *identical,
+                    healed: *healed,
+                    conflicts: *conflicts,
+                });
+            }
+            Event::CampaignDone { cells, elapsed_ms } => {
+                self.state = CampaignState::Done {
+                    cells: *cells,
+                    elapsed_ms: *elapsed_ms,
+                };
+            }
+            Event::CampaignFailed { msg } => {
+                self.state = CampaignState::Failed { msg: msg.clone() };
+            }
+        }
+    }
+
+    /// Parses and folds one stream line; malformed lines are counted in
+    /// [`parse_errors`](Self::parse_errors) and skipped — a live tailer
+    /// must outlive a corrupt line, unlike the resume-critical journal.
+    pub fn apply_line(&mut self, line: &str) {
+        match Event::parse_line(line) {
+            Ok(ev) => self.apply(&ev),
+            Err(_) => self.parse_errors = self.parse_errors.saturating_add(1),
+        }
+    }
+
+    /// Folds every complete line of an event-stream buffer (one-shot
+    /// read of a finished or in-flight `events.jsonl`).
+    pub fn fold_text(text: &str) -> CampaignModel {
+        let mut m = CampaignModel::new();
+        for line in griffin_fleet::complete_lines(text) {
+            m.apply_line(line);
+        }
+        m
+    }
+
+    /// One-shot fold of an event-stream file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the read error if the file cannot be read.
+    pub fn from_file(path: &std::path::Path) -> std::io::Result<CampaignModel> {
+        Ok(Self::fold_text(&std::fs::read_to_string(path)?))
+    }
+
+    /// Campaign wall-clock milliseconds: the terminal elapsed time once
+    /// done, else the slowest live shard clock seen so far.
+    pub fn elapsed_ms(&self) -> u64 {
+        match &self.state {
+            CampaignState::Done { elapsed_ms, .. } => *elapsed_ms,
+            _ => self
+                .shards
+                .values()
+                .map(|s| s.elapsed_ms)
+                .max()
+                .unwrap_or(0),
+        }
+    }
+
+    /// Cumulative cells/sec over the campaign (`None` before any
+    /// elapsed time is known). Uses completions *this run* — resumed
+    /// cells cost no time, so they would inflate the rate.
+    pub fn cumulative_cells_per_sec(&self) -> Option<f64> {
+        let ms = self.elapsed_ms();
+        (ms > 0).then(|| self.done_cells.len() as f64 * 1000.0 / ms as f64)
+    }
+
+    /// The scripting summary (`griffin-watch-summary/1`): every counter
+    /// the acceptance checks grep out of `events.jsonl`, plus per-shard
+    /// detail and the failure log.
+    pub fn summary(&self) -> Json {
+        let num = |x: usize| Json::Num(x as f64);
+        let mut o: Vec<(String, Json)> = vec![
+            ("format".into(), Json::Str(SUMMARY_FORMAT.into())),
+            ("state".into(), Json::Str(self.state.tag().into())),
+            ("campaign".into(), Json::Str(self.campaign.clone())),
+            ("cells".into(), num(self.total_cells)),
+            ("done".into(), num(self.done())),
+            ("resumed".into(), num(self.resumed)),
+            ("restarts".into(), num(self.restarts)),
+            ("shards".into(), num(self.shard_count)),
+            ("cell_events".into(), num(self.cell_events)),
+            ("cache_hits".into(), num(self.cache_hits)),
+            ("retries".into(), num(self.retries)),
+            ("requeued_cells".into(), num(self.requeued_cells)),
+            ("failures".into(), num(self.failures.len())),
+            ("parse_errors".into(), num(self.parse_errors)),
+            ("events".into(), num(self.events_folded)),
+            ("elapsed_ms".into(), Json::Num(self.elapsed_ms() as f64)),
+        ];
+        if let Some(fp) = self.spec_fp {
+            o.push(("spec_fp".into(), Json::Str(fp.to_string())));
+        }
+        if let Some(r) = self.cache_hit_ratio() {
+            o.push(("cache_hit_ratio".into(), Json::from_f64(r)));
+        }
+        if let Some(cps) = self.cumulative_cells_per_sec() {
+            o.push(("cells_per_sec".into(), Json::from_f64(cps)));
+        }
+        if let Some(s) = &self.scenario {
+            o.push(("scenario_file".into(), Json::Str(s.file.clone())));
+        }
+        if let Some(m) = &self.merge {
+            o.push((
+                "merge".into(),
+                Json::obj([
+                    ("sources".into(), num(m.sources)),
+                    ("merged".into(), Json::Num(m.merged as f64)),
+                    ("identical".into(), Json::Num(m.identical as f64)),
+                    ("healed".into(), Json::Num(m.healed as f64)),
+                    ("conflicts".into(), Json::Num(m.conflicts as f64)),
+                ]),
+            ));
+        }
+        if let CampaignState::Failed { msg } = &self.state {
+            o.push(("error".into(), Json::Str(msg.clone())));
+        }
+        o.push((
+            "shard_detail".into(),
+            Json::Arr(
+                self.shards
+                    .iter()
+                    .map(|(idx, s)| {
+                        Json::obj([
+                            ("shard".into(), num(*idx)),
+                            ("state".into(), Json::Str(s.state.tag().into())),
+                            ("planned".into(), num(s.planned)),
+                            ("skipped".into(), num(s.skipped)),
+                            ("done".into(), num(s.done)),
+                            ("cached".into(), num(s.cached)),
+                            ("simulated".into(), num(s.simulated)),
+                            ("attempt".into(), num(s.attempt)),
+                            ("elapsed_ms".into(), Json::Num(s.elapsed_ms as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+        o.push((
+            "failure_log".into(),
+            Json::Arr(
+                self.failures
+                    .iter()
+                    .map(|f| {
+                        Json::obj([
+                            ("shard".into(), num(f.shard)),
+                            ("attempt".into(), num(f.attempt)),
+                            ("msg".into(), Json::Str(f.msg.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+        Json::obj(o)
+    }
+
+    fn shard_mut(&mut self, shard: usize) -> &mut ShardModel {
+        let s = self.shards.entry(shard).or_default();
+        s.events = s.events.saturating_add(1);
+        s
+    }
+
+    fn shard_touch(&mut self, shard: usize) {
+        self.shard_mut(shard);
+    }
+}
+
+/// Windowed-EMA throughput over completion counts, clocked entirely by
+/// the caller — the model stays pure; only this tracker knows the time.
+///
+/// The smoothing factor adapts to the actual gap between observations
+/// (`alpha = 1 - exp(-dt/tau)`), so irregular poll intervals — long GC
+/// of a quiet stream, bursts after a stall — don't bias the average.
+#[derive(Debug, Clone)]
+pub struct RateTracker {
+    tau_ms: f64,
+    last: Option<(u64, usize)>,
+    ema: Option<f64>,
+}
+
+impl RateTracker {
+    /// A tracker smoothing over roughly `tau_ms` of history.
+    pub fn new(tau_ms: f64) -> Self {
+        RateTracker {
+            tau_ms: tau_ms.max(1.0),
+            last: None,
+            ema: None,
+        }
+    }
+
+    /// Feeds the completion count observed at `now_ms`. Non-monotone
+    /// clocks and counter resets (a campaign restart) re-seed the
+    /// tracker instead of producing negative rates.
+    pub fn observe(&mut self, now_ms: u64, done: usize) {
+        let Some((t0, d0)) = self.last else {
+            self.last = Some((now_ms, done));
+            return;
+        };
+        if now_ms <= t0 || done < d0 {
+            self.last = Some((now_ms, done));
+            self.ema = if done < d0 { None } else { self.ema };
+            return;
+        }
+        let dt = (now_ms - t0) as f64;
+        let inst = (done - d0) as f64 * 1000.0 / dt;
+        let alpha = 1.0 - (-dt / self.tau_ms).exp();
+        self.ema = Some(match self.ema {
+            Some(prev) => prev + alpha * (inst - prev),
+            None => inst,
+        });
+        self.last = Some((now_ms, done));
+    }
+
+    /// Smoothed cells/sec (`None` until two observations arrive).
+    pub fn cells_per_sec(&self) -> Option<f64> {
+        self.ema
+    }
+
+    /// Estimated milliseconds to finish `remaining` cells at the
+    /// current smoothed rate (`None` when the rate is unknown or zero).
+    pub fn eta_ms(&self, remaining: usize) -> Option<u64> {
+        let cps = self.ema.filter(|r| *r > f64::EPSILON)?;
+        Some((remaining as f64 * 1000.0 / cps) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(cells: usize, shards: usize, resumed: usize) -> Event {
+        Event::CampaignStart {
+            campaign: "m".into(),
+            spec_fp: Fingerprint(7, 9),
+            cells,
+            shards,
+            resumed,
+            scenario: None,
+        }
+    }
+
+    fn cell_done(shard: usize, cell: usize, cached: bool) -> Event {
+        Event::CellDone {
+            shard,
+            cell,
+            fp: Fingerprint(cell as u64, 0),
+            cached,
+            metrics: griffin_sweep::cache::CellMetrics {
+                speedup: 1.0,
+                cycles: 1.0,
+                dense_cycles: 1,
+                power_mw: 1.0,
+                area_mm2: 1.0,
+                tops_per_w: 1.0,
+                tops_per_mm2: 1.0,
+            },
+        }
+    }
+
+    #[test]
+    fn a_clean_two_shard_run_folds_to_done() {
+        let mut m = CampaignModel::new();
+        m.apply(&start(4, 2, 0));
+        for shard in 0..2 {
+            m.apply(&Event::ShardStart {
+                shard,
+                cells: 2,
+                skipped: 0,
+            });
+        }
+        m.apply(&cell_done(0, 0, false));
+        m.apply(&cell_done(0, 1, true));
+        m.apply(&cell_done(1, 2, false));
+        m.apply(&cell_done(1, 3, false));
+        for shard in 0..2 {
+            m.apply(&Event::ShardDone {
+                shard,
+                simulated: 1,
+                cached: 1,
+                elapsed_ms: 50,
+            });
+        }
+        m.apply(&Event::CampaignDone {
+            cells: 4,
+            elapsed_ms: 80,
+        });
+        assert_eq!(m.done(), 4);
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.retries, 0);
+        assert!(m.state.is_terminal());
+        assert_eq!(m.state.tag(), "done");
+        assert_eq!(m.elapsed_ms(), 80);
+        assert_eq!(m.cumulative_cells_per_sec(), Some(4.0 * 1000.0 / 80.0));
+        let line = m.summary().write();
+        assert!(line.contains("\"format\":\"griffin-watch-summary/1\""));
+        assert!(line.contains("\"done\":4"));
+    }
+
+    #[test]
+    fn retry_lifecycle_counts_and_failure_log() {
+        let mut m = CampaignModel::new();
+        m.apply(&start(2, 1, 0));
+        m.apply(&Event::ShardStart {
+            shard: 0,
+            cells: 2,
+            skipped: 0,
+        });
+        m.apply(&cell_done(0, 0, false));
+        m.apply(&Event::ShardFailed {
+            shard: 0,
+            attempt: 0,
+            msg: "worker exited".into(),
+        });
+        m.apply(&Event::CellsRequeued { shard: 0, cells: 1 });
+        m.apply(&Event::ShardRetried {
+            shard: 0,
+            attempt: 1,
+        });
+        m.apply(&Event::ShardStart {
+            shard: 0,
+            cells: 1,
+            skipped: 1,
+        });
+        m.apply(&cell_done(0, 1, false));
+        m.apply(&Event::CampaignDone {
+            cells: 2,
+            elapsed_ms: 10,
+        });
+        assert_eq!(m.retries, 1);
+        assert_eq!(m.requeued_cells, 1);
+        assert_eq!(m.failures.len(), 1);
+        assert_eq!(m.failures[0].msg, "worker exited");
+        assert_eq!(m.done(), 2, "cells from the failed attempt still count");
+        let s = &m.shards[&0];
+        assert_eq!(s.attempt, 1);
+        assert_eq!(s.done, 1, "per-attempt progress reset on the retry");
+    }
+
+    #[test]
+    fn resume_restart_resets_but_counts() {
+        let mut m = CampaignModel::new();
+        m.apply(&start(3, 1, 0));
+        m.apply(&cell_done(0, 0, false));
+        m.apply(&Event::CampaignFailed { msg: "kill".into() });
+        // The resume appends a fresh header claiming the journaled cell.
+        m.apply(&start(3, 1, 1));
+        assert_eq!(m.restarts, 1);
+        assert_eq!(m.done(), 1, "journal-resumed cells count as done");
+        m.apply(&cell_done(0, 1, false));
+        m.apply(&cell_done(0, 2, false));
+        m.apply(&Event::CampaignDone {
+            cells: 3,
+            elapsed_ms: 5,
+        });
+        assert_eq!(m.done(), 3);
+        assert_eq!(m.state.tag(), "done");
+    }
+
+    #[test]
+    fn fold_text_skips_torn_tail_and_counts_bad_lines() {
+        let text = format!(
+            "{}\n{}\nnot-json\n{}",
+            start(2, 1, 0).to_line(),
+            cell_done(0, 0, false).to_line(),
+            "{\"ev\":\"cell_done\",\"torn" // no newline: not yet a line
+        );
+        let m = CampaignModel::fold_text(&text);
+        assert_eq!(m.done(), 1);
+        assert_eq!(m.parse_errors, 1, "malformed complete line skipped");
+        assert_eq!(m.state.tag(), "running");
+    }
+
+    #[test]
+    fn heartbeat_enrichment_feeds_shard_view() {
+        let mut m = CampaignModel::new();
+        m.apply(&start(10, 1, 0));
+        m.apply(&Event::ShardStart {
+            shard: 0,
+            cells: 10,
+            skipped: 0,
+        });
+        m.apply(&Event::Heartbeat {
+            shard: 0,
+            done: 4,
+            total: 10,
+            elapsed_ms: 400,
+            cached: 3,
+        });
+        let s = &m.shards[&0];
+        assert_eq!((s.done, s.cached, s.elapsed_ms), (4, 3, 400));
+        assert_eq!(m.elapsed_ms(), 400, "live elapsed from slowest shard");
+    }
+
+    #[test]
+    fn rate_tracker_smooths_and_projects() {
+        let mut r = RateTracker::new(1000.0);
+        assert_eq!(r.cells_per_sec(), None);
+        r.observe(0, 0);
+        r.observe(1000, 10); // 10 cells/s instantaneous
+        let first = r.cells_per_sec().unwrap();
+        assert!((first - 10.0).abs() < 1e-9, "first window seeds the EMA");
+        r.observe(2000, 30); // 20 cells/s window pulls the EMA up
+        let second = r.cells_per_sec().unwrap();
+        assert!(second > first && second < 20.0);
+        let eta = r.eta_ms(100).unwrap();
+        assert!(eta > 100 * 1000 / 20 && eta < 100 * 1000 / 10);
+        // Clock stall and counter reset re-seed rather than blow up.
+        r.observe(2000, 30);
+        r.observe(3000, 5);
+        assert_eq!(r.cells_per_sec(), None, "reset forgets the stale rate");
+    }
+}

@@ -10,6 +10,9 @@
 //! $ griffin-cli pareto resnet50 b            # §VI Pareto front of a family
 //! $ griffin-cli fleet bert b --shards 4      # sharded campaign + journal
 //! $ griffin-cli fleet --scenario scenarios/fig5-bert-b.toml --shards 4 --spawn
+//! $ griffin-cli fleet watch .griffin-fleet   # live dashboard over events.jsonl
+//! $ griffin-cli fleet watch .griffin-fleet --json   # one-shot summary
+//! $ griffin-cli fleet report .griffin-fleet --html report.html
 //! $ griffin-cli scenario list                # shipped scenario library
 //! $ griffin-cli scenario validate scenarios  # parse + validate data files
 //! $ griffin-cli bench --out BENCH_sched.json # scheduler perf telemetry
@@ -92,6 +95,9 @@ fn usage() -> ExitCode {
     eprintln!("  griffin-cli pareto <benchmark|synth> <family> [sweep options]");
     eprintln!("  griffin-cli fleet <benchmark|synth> <category> --shards N [fleet/sweep options]");
     eprintln!("  griffin-cli fleet --scenario <FILE> [fleet options override the file's [fleet]]");
+    eprintln!("  griffin-cli fleet watch <DIR> [--json | --json-follow | --no-tty]");
+    eprintln!("                         [--interval MS --timeout MS --events PATH]");
+    eprintln!("  griffin-cli fleet report <DIR> [--html PATH] [--events PATH]");
     eprintln!("  griffin-cli scenario list [DIR]              (default scenarios/)");
     eprintln!("  griffin-cli scenario show <FILE>");
     eprintln!("  griffin-cli scenario validate <FILE|DIR>...");
@@ -629,7 +635,172 @@ fn open_event_sink(
     }
 }
 
+/// Flags of `fleet watch <dir>`.
+struct WatchCliArgs {
+    /// `--json`: one-shot summary of the stream as it stands, then exit.
+    json_once: bool,
+    /// `--json-follow`: stream a summary line whenever the model moves.
+    json_follow: bool,
+    /// `--no-tty`: line-mode output instead of full-frame redraws.
+    no_tty: bool,
+    /// `--interval MS`: poll cadence (default 250).
+    interval_ms: u64,
+    /// `--timeout MS`: give up following after this long (0 = never).
+    timeout_ms: u64,
+    /// `--events PATH`: explicit stream path (default DIR/events.jsonl).
+    events: Option<String>,
+}
+
+fn split_watch_args(args: &[String]) -> Option<WatchCliArgs> {
+    let mut out = WatchCliArgs {
+        json_once: false,
+        json_follow: false,
+        no_tty: false,
+        interval_ms: 250,
+        timeout_ms: 0,
+        events: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--json" => out.json_once = true,
+            "--json-follow" => out.json_follow = true,
+            "--no-tty" => out.no_tty = true,
+            "--interval" => out.interval_ms = it.next()?.parse().ok().filter(|&n| n > 0)?,
+            "--timeout" => out.timeout_ms = it.next()?.parse().ok()?,
+            "--events" => out.events = Some(it.next()?.clone()),
+            _ => return None,
+        }
+    }
+    (!(out.json_once && out.json_follow)).then_some(out)
+}
+
+/// Resolves the stream path for the observability commands: explicit
+/// `--events`, else `<dir>/events.jsonl`.
+fn watch_events_path(dir: &str, events: &Option<String>) -> PathBuf {
+    events.as_ref().map_or_else(
+        || default_events_path(PathBuf::from(dir).as_path()),
+        PathBuf::from,
+    )
+}
+
+/// `fleet watch <dir>` — attach to a campaign's event stream (live or
+/// finished) read-only and render it until the terminal event.
+fn cmd_fleet_watch(dir: &str, rest: &[String]) -> ExitCode {
+    let Some(opts) = split_watch_args(rest) else {
+        return usage();
+    };
+    let path = watch_events_path(dir, &opts.events);
+
+    if opts.json_once {
+        // One-shot: fold whatever the stream holds right now. Running
+        // campaigns summarize too — exit code stays 0; scripts branch
+        // on the summary's `state` field.
+        let model = match griffin::watch::CampaignModel::from_file(&path) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("cannot read event stream {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("{}", model.summary().write());
+        return ExitCode::SUCCESS;
+    }
+
+    // Follow mode: poll until the stream reaches its terminal event.
+    use griffin::watch::{dashboard, status_line, WatchOutcome, Watcher};
+    let mut w = Watcher::new(&path);
+    let started = std::time::Instant::now();
+    let tick = std::time::Duration::from_millis(opts.interval_ms);
+    loop {
+        let now_ms = started.elapsed().as_millis() as u64;
+        let report = match w.poll(now_ms) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("cannot read event stream {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let moved = report.folded > 0 || report.restarted;
+        if moved {
+            if opts.json_follow {
+                println!("{}", w.model().summary().write());
+            } else if opts.no_tty {
+                println!("{}", status_line(w.model(), w.rates()));
+            } else {
+                // Full-frame redraw: clear, home, draw.
+                print!("\x1b[2J\x1b[H{}", dashboard(w.model(), w.rates(), 80, true));
+                use std::io::Write as _;
+                let _ = std::io::stdout().flush();
+            }
+        }
+        match w.outcome() {
+            Some(WatchOutcome::Done { cells, elapsed_ms }) => {
+                if !opts.json_follow {
+                    eprintln!(
+                        "campaign done: {cells} cells in {}",
+                        griffin::watch::fmt_duration_ms(elapsed_ms)
+                    );
+                }
+                return ExitCode::SUCCESS;
+            }
+            Some(WatchOutcome::Failed { msg }) => {
+                eprintln!("campaign failed: {msg}");
+                return ExitCode::FAILURE;
+            }
+            None => {}
+        }
+        if opts.timeout_ms > 0 && started.elapsed().as_millis() as u64 >= opts.timeout_ms {
+            eprintln!(
+                "watch timed out after {} without a terminal event",
+                griffin::watch::fmt_duration_ms(opts.timeout_ms)
+            );
+            return ExitCode::FAILURE;
+        }
+        std::thread::sleep(tick);
+    }
+}
+
+/// `fleet report <dir> --html PATH` — fold the (finished or in-flight)
+/// stream into the self-contained HTML report page.
+fn cmd_fleet_report(dir: &str, rest: &[String]) -> ExitCode {
+    let mut html_out: Option<String> = None;
+    let mut events: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match (flag.as_str(), it.next()) {
+            ("--html", Some(v)) => html_out = Some(v.clone()),
+            ("--events", Some(v)) => events = Some(v.clone()),
+            _ => return usage(),
+        }
+    }
+    let path = watch_events_path(dir, &events);
+    let model = match griffin::watch::CampaignModel::from_file(&path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("cannot read event stream {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let out = html_out.map_or_else(|| PathBuf::from(dir).join("report.html"), PathBuf::from);
+    let page = griffin::watch::report_html(&model);
+    if let Err(e) = write_file(out.display().to_string(), &page) {
+        eprintln!("cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", out.display());
+    ExitCode::SUCCESS
+}
+
 fn cmd_fleet(workload: &str, cat: &str, rest: &[String]) -> ExitCode {
+    // Observability subcommands ride under `fleet`: they consume the
+    // run directory a campaign wrote (or is writing) instead of tokens.
+    if workload == "watch" {
+        return cmd_fleet_watch(cat, rest);
+    }
+    if workload == "report" {
+        return cmd_fleet_report(cat, rest);
+    }
     let Some(fleet_args) = split_fleet_args(rest) else {
         return usage();
     };

@@ -16,7 +16,11 @@
 //!   engine, reporting cells/second;
 //! * **fleet** — the same sweep through the sharded fleet coordinator
 //!   (2 in-process shards, journal, merge, assembly), reporting the
-//!   orchestration overhead over a plain campaign.
+//!   orchestration overhead over a plain campaign;
+//! * **watch** — a recorded 54-cell event stream replayed through the
+//!   observability fold ([`griffin::watch::CampaignModel`]), reporting
+//!   events/second parsed-and-folded — the consumer must stay far ahead
+//!   of any realistic producer (target: >10⁵ events/s).
 //!
 //! Regeneration preserves hand-recorded data: top-level sections of an
 //! existing output file that this probe set doesn't produce (e.g.
@@ -223,6 +227,26 @@ pub fn run_bench(args: &BenchArgs) -> Result<Json, String> {
         fleet_report.elapsed_ms
     );
 
+    // --- watch: the observability fold keeps up with the stream -------
+    let stream = watch_stream_lines();
+    let passes = if args.quick { 50 } else { 500 };
+    let start = Instant::now();
+    let mut last_done = 0;
+    for _ in 0..passes {
+        let mut model = griffin::watch::CampaignModel::new();
+        for line in &stream {
+            model.apply_line(line);
+        }
+        last_done = model.done();
+    }
+    let folded = (stream.len() * passes) as f64;
+    let events_per_sec = folded / start.elapsed().as_secs_f64().max(1e-9);
+    println!(
+        "  watch: {} events x {passes} passes folded at {events_per_sec:.0} events/s \
+         ({last_done}-cell campaign model)",
+        stream.len()
+    );
+
     Ok(Json::obj([
         ("schema".into(), Json::Str("griffin-bench-sched/1".into())),
         ("quick".into(), Json::Bool(args.quick)),
@@ -266,7 +290,90 @@ pub fn run_bench(args: &BenchArgs) -> Result<Json, String> {
                 ("overhead_vs_campaign".into(), Json::from_f64(overhead)),
             ]),
         ),
+        (
+            "watch".into(),
+            Json::obj([
+                ("stream_events".into(), Json::from_f64(stream.len() as f64)),
+                ("passes".into(), Json::from_f64(passes as f64)),
+                ("events_per_sec".into(), Json::from_f64(events_per_sec)),
+            ]),
+        ),
     ]))
+}
+
+/// The recorded stream behind the `watch` probe: a deterministic
+/// 54-cell, 2-shard campaign — headers, every cell's start/done pair,
+/// heartbeats every 8 completions, the shard/merge/campaign footers —
+/// serialized exactly as the fleet writes it (one JSON line per event).
+fn watch_stream_lines() -> Vec<String> {
+    use griffin::fleet::events::Event;
+    use griffin::sweep::{CellMetrics, Fingerprint};
+
+    const CELLS: usize = 54;
+    let metrics = |i: usize| CellMetrics {
+        speedup: 1.0 + i as f64 / 16.0,
+        cycles: 1e4 + i as f64,
+        dense_cycles: 20_000 + i as u64,
+        power_mw: 300.0,
+        area_mm2: 3.5,
+        tops_per_w: 2.0,
+        tops_per_mm2: 1.5,
+    };
+    let mut evs = vec![Event::CampaignStart {
+        campaign: "bench-watch".into(),
+        spec_fp: Fingerprint(0xBE, 0xEF),
+        cells: CELLS,
+        shards: 2,
+        resumed: 0,
+        scenario: None,
+    }];
+    for shard in 0..2usize {
+        let planned = CELLS / 2;
+        evs.push(Event::ShardStart {
+            shard,
+            cells: planned,
+            skipped: 0,
+        });
+        for d in 0..planned {
+            let cell = shard * planned + d;
+            let fp = Fingerprint(cell as u64, 0x5EED);
+            evs.push(Event::CellStart { shard, cell, fp });
+            evs.push(Event::CellDone {
+                shard,
+                cell,
+                fp,
+                cached: cell.is_multiple_of(3),
+                metrics: metrics(cell),
+            });
+            if (d + 1) % 8 == 0 {
+                evs.push(Event::Heartbeat {
+                    shard,
+                    done: d + 1,
+                    total: planned,
+                    elapsed_ms: (d as u64 + 1) * 11,
+                    cached: (d + 1) / 3,
+                });
+            }
+        }
+        evs.push(Event::ShardDone {
+            shard,
+            simulated: planned - planned / 3,
+            cached: planned / 3,
+            elapsed_ms: 321,
+        });
+    }
+    evs.push(Event::MergeDone {
+        sources: 2,
+        merged: CELLS as u64,
+        identical: 0,
+        healed: 0,
+        conflicts: 0,
+    });
+    evs.push(Event::CampaignDone {
+        cells: CELLS,
+        elapsed_ms: 345,
+    });
+    evs.iter().map(Event::to_line).collect()
 }
 
 /// Carries over top-level sections of an existing report file that the

@@ -15,7 +15,10 @@
 //!   result caching and CSV/JSON reports ([`griffin_sweep`]),
 //! * [`fleet`] — sharded campaign orchestration: shard planning, JSONL
 //!   event streaming, journaled resume, cache merging
-//!   ([`griffin_fleet`]).
+//!   ([`griffin_fleet`]),
+//! * [`watch`] — fleet observability: live event-stream tailing, the
+//!   replayable campaign model, terminal dashboards, JSON summaries and
+//!   static HTML reports ([`griffin_watch`]).
 //!
 //! # Quickstart
 //!
@@ -43,4 +46,5 @@ pub use griffin_fleet as fleet;
 pub use griffin_sim as sim;
 pub use griffin_sweep as sweep;
 pub use griffin_tensor as tensor;
+pub use griffin_watch as watch;
 pub use griffin_workloads as workloads;

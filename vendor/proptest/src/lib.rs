@@ -2,10 +2,11 @@
 //!
 //! Supports the subset this workspace uses: the [`proptest!`] macro with
 //! an optional `#![proptest_config(..)]` header, range strategies over
-//! integers and floats, `proptest::bool::ANY`, and the
-//! `prop_assert!` / `prop_assert_eq!` assertion macros. Each test runs
-//! its body for `cases` deterministically seeded inputs; there is no
-//! shrinking — the failing case's inputs are printed instead.
+//! integers and floats, `proptest::bool::ANY`, tuples of strategies,
+//! `proptest::collection::vec`, and the `prop_assert!` /
+//! `prop_assert_eq!` assertion macros. Each test runs its body for
+//! `cases` deterministically seeded inputs; there is no shrinking — the
+//! failing case's inputs are printed instead.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -84,6 +85,59 @@ pub mod bool {
         type Value = bool;
         fn pick(&self, rng: &mut SmallRng) -> bool {
             rng.gen::<bool>()
+        }
+    }
+}
+
+// Tuples of strategies draw componentwise, left to right.
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn pick(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$idx.pick(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// The strategy behind [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// A `Vec` of `elem`-generated values whose length is drawn
+    /// uniformly from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn pick(&self, rng: &mut SmallRng) -> Self::Value {
+            let n = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..n).map(|_| self.elem.pick(rng)).collect()
         }
     }
 }
@@ -189,6 +243,24 @@ mod tests {
         #[test]
         fn default_config_runs(x in 0usize..4) {
             prop_assert!(x < 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Tuple and vec strategies compose and respect their parts.
+        #[test]
+        fn tuples_and_vecs_draw_componentwise(
+            pair in (1u64..5, crate::bool::ANY),
+            rows in crate::collection::vec((0usize..3, 10i32..20), 0..7),
+        ) {
+            prop_assert!((1..5).contains(&pair.0));
+            prop_assert!(rows.len() < 7);
+            for (a, b) in &rows {
+                prop_assert!(*a < 3);
+                prop_assert!((10..20).contains(b));
+            }
         }
     }
 
