@@ -40,26 +40,48 @@
 //! workers arm their own faults from the inherited
 //! [`GRIFFIN_FAULT`](crate::fault::FAULT_ENV) environment (gated by the
 //! attempt number the coordinator exports per respawn).
+//!
+//! Respawns back off exponentially ([`retry_backoff_ms`], deterministic
+//! jitter) instead of hammering a struggling machine, and an external
+//! abort flag ([`FleetConfig::abort`] — the CLI's SIGINT handler)
+//! drains workers and ends the stream with a terminal `campaign_failed`
+//! while leaving the journal resumable.
+//!
+//! # Multi-host fleets
+//!
+//! [`run_fleet_hosted`] runs the spawned mode across several machines:
+//! each shard is planned onto a home host fingerprint-stably
+//! ([`host_of`](crate::plan::host_of)), workers launch through an
+//! [`ExecTransport`] per host, and shard events carry the host label. A
+//! host whose launches or workers keep failing
+//! ([`FleetConfig::host_failure_limit`] consecutive failures, while
+//! other hosts survive) is declared **lost** (`host_lost`): its pending
+//! shards re-queue onto the surviving hosts, and the campaign only
+//! fails when every host is gone. Remote shard caches are pulled back
+//! after each successful worker and verified (a torn pull is re-pulled
+//! once; what remains torn is healed by the merge and re-simulated by
+//! the final replay — byte identity never depends on a clean pull).
 
 use std::io::{BufRead, Write};
 use std::path::{Path, PathBuf};
-use std::process::{Command, Stdio};
+use std::process::Command;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use griffin_sweep::cache::{merge_dirs, ResultCache};
+use griffin_sweep::cache::{merge_dirs, scan_dir, ResultCache};
 use griffin_sweep::executor::{
     default_workers, run_campaign, run_cells_bounded, CampaignReport, CellEvent, SweepError,
 };
-use griffin_sweep::fingerprint::Fingerprint;
+use griffin_sweep::fingerprint::{Fingerprint, Hasher};
 use griffin_sweep::scenario::ScenarioProvenance;
 use griffin_sweep::spec::{Cell, SweepSpec};
 
 use crate::events::{Event, EventSink, JsonlSink};
 use crate::fault::{self, AttemptGate, Fault, FaultPlan};
 use crate::journal::{Journal, JournalError, JournalHeader};
-use crate::plan::{remaining_cells, PlanError, ShardPlan};
+use crate::plan::{host_of, remaining_cells, PlanError, ShardPlan};
+use crate::transport::{ExecTransport, LocalExec, WorkerInvocation};
 
 /// Configuration of a fleet campaign.
 #[derive(Debug, Clone)]
@@ -85,6 +107,20 @@ pub struct FleetConfig {
     /// worst-case single-cell simulation time — completions are the
     /// liveness signal.
     pub heartbeat_timeout_ms: u64,
+    /// Base of the bounded exponential backoff before a shard respawn:
+    /// attempt `n` waits `base << min(n-1, 6)` ms plus a deterministic
+    /// jitter of up to `base / 4` ms seeded from (shard, attempt) — see
+    /// [`retry_backoff_ms`]. 0 disables backoff (tests).
+    pub retry_backoff_ms: u64,
+    /// Consecutive failures on one host before it is declared lost and
+    /// its shards re-queue onto surviving hosts (multi-host fleets
+    /// only; a host is never declared lost while it is the last one).
+    pub host_failure_limit: usize,
+    /// External abort flag (the CLI's SIGINT handler sets it): the
+    /// coordinator stops launching work, kills running workers, and
+    /// fails the campaign with [`FleetError::Interrupted`] — journal
+    /// intact, stream closed by a terminal `campaign_failed`.
+    pub abort: Option<Arc<AtomicBool>>,
     /// Deterministic fault injection for chaos tests (see
     /// [`crate::fault`]). `None` in production.
     pub fault: Option<FaultPlan>,
@@ -107,9 +143,19 @@ impl FleetConfig {
             heartbeat_every: 32,
             max_shard_retries: 2,
             heartbeat_timeout_ms: 0,
+            retry_backoff_ms: 250,
+            host_failure_limit: 2,
+            abort: None,
             fault: None,
             scenario: None,
         }
+    }
+
+    /// Whether the external abort flag is raised.
+    fn abort_requested(&self) -> bool {
+        self.abort
+            .as_ref()
+            .is_some_and(|a| a.load(Ordering::Relaxed))
     }
 }
 
@@ -156,6 +202,23 @@ pub enum FleetError {
     /// The campaign was already aborted by an earlier failure on
     /// another shard (reported alongside the root cause).
     Aborted,
+    /// The external abort flag ([`FleetConfig::abort`]) was raised —
+    /// typically the CLI's SIGINT handler. The journal stays resumable.
+    Interrupted,
+    /// Every host of a multi-host fleet was declared lost.
+    HostsExhausted {
+        /// Total hosts the fleet started with.
+        hosts: usize,
+    },
+    /// A shard cache directory exists but cannot be read — permissions,
+    /// a file squatting on the name — so the merge would silently drop
+    /// its results.
+    ShardDirUnreadable {
+        /// The unreadable directory.
+        dir: PathBuf,
+        /// The underlying probe failure.
+        err: std::io::Error,
+    },
 }
 
 impl std::fmt::Display for FleetError {
@@ -188,6 +251,21 @@ impl std::fmt::Display for FleetError {
             ),
             FleetError::Injected(fault) => write!(f, "fault injected: {fault}"),
             FleetError::Aborted => write!(f, "campaign aborted by an earlier failure"),
+            FleetError::Interrupted => write!(
+                f,
+                "campaign aborted by interrupt (journal intact; rerun with --resume)"
+            ),
+            FleetError::HostsExhausted { hosts } => {
+                write!(
+                    f,
+                    "all {hosts} fleet host(s) lost; no machine left to run shards"
+                )
+            }
+            FleetError::ShardDirUnreadable { dir, err } => write!(
+                f,
+                "shard cache dir `{}` is unreadable ({err}); merging would drop its results",
+                dir.display()
+            ),
         }
     }
 }
@@ -227,6 +305,41 @@ fn retryable(e: &FleetError) -> bool {
         e,
         FleetError::Worker { .. } | FleetError::Injected(Fault::Kill { .. } | Fault::Stall { .. })
     )
+}
+
+/// The backoff before launching attempt `attempt` of a shard (0 for the
+/// first attempt, which is not a retry): bounded exponential growth
+/// over [`FleetConfig::retry_backoff_ms`] plus a deterministic jitter
+/// seeded from (shard, attempt) — retries de-synchronize across shards
+/// without a random source, so chaos tests can assert the exact
+/// schedule.
+pub fn retry_backoff_ms(shard: usize, attempt: usize, base_ms: u64) -> u64 {
+    if base_ms == 0 || attempt == 0 {
+        return 0;
+    }
+    let exp = base_ms << (attempt - 1).min(6) as u32;
+    let mut h = Hasher::new();
+    h.str("griffin-fleet-backoff-v1")
+        .usize(shard)
+        .usize(attempt);
+    exp + h.finish().0 % (base_ms / 4).max(1)
+}
+
+/// Sleeps `ms` in small increments, bailing out with
+/// [`FleetError::Interrupted`] the moment the abort flag is raised — a
+/// backoff must never delay a requested shutdown.
+fn sleep_backoff(ms: u64, abort: Option<&AtomicBool>) -> Result<(), FleetError> {
+    let deadline = Instant::now() + Duration::from_millis(ms);
+    loop {
+        if abort.is_some_and(|a| a.load(Ordering::Relaxed)) {
+            return Err(FleetError::Interrupted);
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return Ok(());
+        }
+        std::thread::sleep((deadline - now).min(Duration::from_millis(25)));
+    }
 }
 
 /// The journal's location inside a fleet directory.
@@ -378,6 +491,9 @@ fn run_shard_cells(
         shard,
         cells: planned,
         skipped,
+        // Host labels are the coordinator's knowledge, stamped on the
+        // consumer side: a worker does not know which machine it is.
+        host: None,
     });
     let stats0 = cache.stats();
     let done = AtomicUsize::new(0);
@@ -430,6 +546,7 @@ fn run_shard_cells(
             simulated: (stats.stores - stats0.stores) as usize,
             cached: (stats.hits - stats0.hits) as usize,
             elapsed_ms: start.elapsed().as_millis() as u64,
+            host: None,
         });
     }
     g.take_err()
@@ -452,6 +569,30 @@ fn existing_shard_dirs(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(v)
 }
 
+/// Probes every shard cache source for readability before the merge.
+/// An unreadable directory — permissions stripped, a file squatting on
+/// the name — would otherwise surface as an opaque io error halfway
+/// through [`merge_dirs`] (or worse, silently contribute nothing);
+/// here it becomes a typed [`FleetError::ShardDirUnreadable`] naming
+/// the directory.
+pub fn verify_shard_sources(sources: &[PathBuf]) -> Result<(), FleetError> {
+    for dir in sources {
+        let probe = std::fs::read_dir(dir).and_then(|entries| {
+            for e in entries {
+                e?;
+            }
+            Ok(())
+        });
+        if let Err(err) = probe {
+            return Err(FleetError::ShardDirUnreadable {
+                dir: dir.clone(),
+                err,
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Merges shard caches and assembles the final deterministic report.
 fn finalize(
     spec: &SweepSpec,
@@ -460,6 +601,7 @@ fn finalize(
     start: Instant,
 ) -> Result<CampaignReport, FleetError> {
     let sources = existing_shard_dirs(&cfg.dir)?;
+    verify_shard_sources(&sources)?;
     let merged_dir = merged_cache_dir(&cfg.dir);
     let mr = merge_dirs(&merged_dir, &sources)?;
     sink.emit(&Event::MergeDone {
@@ -505,12 +647,19 @@ fn finish_with_terminal(
 /// Emits the failure lifecycle for one dead shard attempt and decides
 /// whether to retry. Returns the next attempt number, or the error to
 /// abort with. `requeued` is the shard's remaining non-journaled cell
-/// count at the moment of death.
+/// count at the moment of death; `backoff_ms` is the wait the caller
+/// will impose before the respawn (announced on `shard_retried` so
+/// observers can account for the quiet period). `hosts` carries the
+/// (failed, next) host labels in multi-host fleets, `(None, None)`
+/// otherwise.
+#[allow(clippy::too_many_arguments)]
 fn shard_failure(
     shard: usize,
     attempt: usize,
     max_retries: usize,
     requeued: usize,
+    backoff_ms: u64,
+    hosts: (Option<String>, Option<String>),
     e: FleetError,
     emit: &mut dyn FnMut(&Event),
 ) -> Result<usize, FleetError> {
@@ -519,6 +668,7 @@ fn shard_failure(
         shard,
         attempt,
         msg: e.to_string(),
+        host: hosts.0,
     });
     if !can_retry {
         return Err(if retryable(&e) {
@@ -538,6 +688,8 @@ fn shard_failure(
     emit(&Event::ShardRetried {
         shard,
         attempt: attempt + 1,
+        backoff_ms,
+        host: hosts.1,
     });
     Ok(attempt + 1)
 }
@@ -594,6 +746,9 @@ fn run_fleet_inner(
         let cache = ResultCache::at_dir(&cache_dir)?;
         let mut attempt = 0usize;
         loop {
+            if cfg.abort_requested() {
+                return Err(FleetError::Interrupted);
+            }
             let full_todo = remaining_cells(shard_cells, |i| journal.is_completed(i));
             let skipped = shard_cells.len() - full_todo.len();
             // In-process, a stall cannot "go silent" without hanging
@@ -650,12 +805,15 @@ fn run_fleet_inner(
                         .iter()
                         .filter(|c| !journal.is_completed(c.index))
                         .count();
+                    let backoff = retry_backoff_ms(shard, attempt + 1, cfg.retry_backoff_ms);
                     let mut sink_err = None;
                     attempt = shard_failure(
                         shard,
                         attempt,
                         cfg.max_shard_retries,
                         requeued,
+                        backoff,
+                        (None, None),
                         e,
                         &mut |ev| {
                             if sink_err.is_none() {
@@ -666,6 +824,7 @@ fn run_fleet_inner(
                     if let Some(e) = sink_err {
                         return Err(FleetError::Io(e));
                     }
+                    sleep_backoff(backoff, cfg.abort.as_deref())?;
                 }
             }
         }
@@ -691,18 +850,168 @@ pub struct WorkerSpawn {
     pub attempt: usize,
 }
 
+/// How the coordinator turns a [`WorkerSpawn`] into something a
+/// transport can launch: the legacy [`Command`]-building callback of
+/// [`run_fleet_spawned`], or the transport-agnostic
+/// [`WorkerInvocation`] callback of [`run_fleet_hosted`].
+enum WorkerLauncher<'a> {
+    Command(&'a (dyn Fn(&WorkerSpawn) -> Command + Sync)),
+    Invocation(&'a (dyn Fn(&WorkerSpawn) -> WorkerInvocation + Sync)),
+}
+
+impl WorkerLauncher<'_> {
+    fn invocation(&self, w: &WorkerSpawn) -> WorkerInvocation {
+        match self {
+            WorkerLauncher::Command(f) => WorkerInvocation::from_command(&f(w)),
+            WorkerLauncher::Invocation(f) => f(w),
+        }
+    }
+}
+
+/// What [`HostBoard::note_failure`] reports when a failure crossed the
+/// host-loss threshold.
+struct HostLoss {
+    host: String,
+    /// Shards that were pending on the host when it was lost (they
+    /// re-queue onto survivors on their next retry).
+    moved: usize,
+}
+
+/// Shard→host bookkeeping for one campaign: which host each shard is
+/// currently assigned to, which hosts are lost, and how close each is
+/// to being declared so. `named = false` (the single-machine
+/// [`run_fleet_spawned`] path) suppresses host labels and host events
+/// entirely — streams look exactly as they did before transports.
+struct HostBoard<'t> {
+    transports: &'t [Box<dyn ExecTransport>],
+    named: bool,
+    spec_fp: Fingerprint,
+    state: Mutex<BoardState>,
+}
+
+struct BoardState {
+    lost: Vec<bool>,
+    /// Consecutive failures per host (any shard), reset on any success.
+    consecutive: Vec<usize>,
+    /// Shards currently assigned per host.
+    pending: Vec<usize>,
+    /// Hosts that already emitted `host_retired` (once per host).
+    retired: Vec<bool>,
+    /// Current host index per shard.
+    current: Vec<Option<usize>>,
+}
+
+impl<'t> HostBoard<'t> {
+    fn new(
+        transports: &'t [Box<dyn ExecTransport>],
+        named: bool,
+        spec_fp: Fingerprint,
+        shards: usize,
+    ) -> Self {
+        let n = transports.len();
+        HostBoard {
+            transports,
+            named,
+            spec_fp,
+            state: Mutex::new(BoardState {
+                lost: vec![false; n],
+                consecutive: vec![0; n],
+                pending: vec![0; n],
+                retired: vec![false; n],
+                current: vec![None; shards],
+            }),
+        }
+    }
+
+    fn transport(&self, host: usize) -> &dyn ExecTransport {
+        self.transports[host].as_ref()
+    }
+
+    /// The host label stamped on events — `None` for anonymous
+    /// single-machine fleets.
+    fn label(&self, host: usize) -> Option<String> {
+        self.named.then(|| self.transports[host].host().to_string())
+    }
+
+    /// Assigns (or re-confirms) the shard's host: its fingerprint-stable
+    /// home host, or — walking forward deterministically — the first
+    /// surviving host after it.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::HostsExhausted`] when every host is lost.
+    fn assign(&self, shard: usize) -> Result<usize, FleetError> {
+        let n = self.transports.len();
+        let mut s = self.state.lock().expect("host board");
+        let home = host_of(self.spec_fp, shard, n);
+        let Some(idx) = (0..n).map(|o| (home + o) % n).find(|&i| !s.lost[i]) else {
+            return Err(FleetError::HostsExhausted { hosts: n });
+        };
+        if s.current[shard] != Some(idx) {
+            if let Some(old) = s.current[shard] {
+                s.pending[old] -= 1;
+            }
+            s.pending[idx] += 1;
+            s.current[shard] = Some(idx);
+        }
+        Ok(idx)
+    }
+
+    /// Records one failed attempt on `host`. Crossing
+    /// `failure_limit` consecutive failures — while at least one other
+    /// host survives — declares the host lost and reports what moved.
+    fn note_failure(&self, host: usize, failure_limit: usize) -> Option<HostLoss> {
+        let mut s = self.state.lock().expect("host board");
+        s.consecutive[host] += 1;
+        let live = s.lost.iter().filter(|l| !**l).count();
+        let crossed = self.named
+            && !s.lost[host]
+            && failure_limit > 0
+            && s.consecutive[host] >= failure_limit
+            && live > 1;
+        if !crossed {
+            return None;
+        }
+        s.lost[host] = true;
+        Some(HostLoss {
+            host: self.transports[host].host().to_string(),
+            moved: s.pending[host],
+        })
+    }
+
+    /// Records the shard's successful completion; returns the host's
+    /// name when this was its last pending shard (to emit
+    /// `host_retired`, once per host).
+    fn complete(&self, shard: usize) -> Option<String> {
+        let mut s = self.state.lock().expect("host board");
+        let host = s.current[shard]?;
+        s.consecutive[host] = 0;
+        s.pending[host] -= 1;
+        let retire = self.named && !s.lost[host] && s.pending[host] == 0 && !s.retired[host];
+        if !retire {
+            return None;
+        }
+        s.retired[host] = true;
+        Some(self.transports[host].host().to_string())
+    }
+}
+
 /// Runs a sharded campaign by **spawning one subprocess per shard**
 /// (concurrently), consuming each worker's JSONL event stream from its
 /// stdout: events are validated, re-emitted into `sink`, and `cell_done`
 /// lines drive the coordinator-owned journal. A worker that dies —
 /// abnormal exit, protocol break, or silence past
 /// [`FleetConfig::heartbeat_timeout_ms`] (the watchdog kills it) — has
-/// its remaining cells re-queued onto a respawned worker, up to
-/// [`FleetConfig::max_shard_retries`] attempts per shard.
-/// `make_command` turns a [`WorkerSpawn`] into the `griffin-cli
-/// shard-worker …` invocation (or any protocol-compatible program);
-/// stdout is piped, stderr inherits, and the coordinator exports the
-/// attempt number via [`fault::ATTEMPT_ENV`].
+/// its remaining cells re-queued onto a respawned worker (after the
+/// [`retry_backoff_ms`] wait), up to [`FleetConfig::max_shard_retries`]
+/// attempts per shard. `make_command` turns a [`WorkerSpawn`] into the
+/// `griffin-cli shard-worker …` invocation (or any protocol-compatible
+/// program); stdout is piped, stderr inherits, and the coordinator
+/// exports the attempt number via [`fault::ATTEMPT_ENV`].
+///
+/// This is the single-machine entry point: it routes through the same
+/// transport machinery as [`run_fleet_hosted`] over one anonymous
+/// [`LocalExec`], so its event streams carry no host labels.
 ///
 /// # Errors
 ///
@@ -715,17 +1024,52 @@ pub fn run_fleet_spawned(
     make_command: &(dyn Fn(&WorkerSpawn) -> Command + Sync),
     sink: &mut dyn EventSink,
 ) -> Result<CampaignReport, FleetError> {
-    let result = run_fleet_spawned_inner(spec, cfg, make_command, sink);
+    let transports: [Box<dyn ExecTransport>; 1] = [Box::new(LocalExec::default())];
+    let launcher = WorkerLauncher::Command(make_command);
+    let result = run_fleet_transports_inner(spec, cfg, &transports, false, &launcher, sink);
     finish_with_terminal(sink, result)
 }
 
-fn run_fleet_spawned_inner(
+/// Runs a sharded campaign across a **multi-host fleet**: one
+/// [`ExecTransport`] per machine, shards planned onto home hosts
+/// fingerprint-stably ([`host_of`](crate::plan::host_of)), shard events
+/// stamped with host labels, and `host_lost` / `host_retired` tracking
+/// per-machine liveness. A host that keeps failing
+/// ([`FleetConfig::host_failure_limit`] consecutive failures while
+/// others survive) is declared lost and its shards re-queue onto the
+/// surviving hosts; remote shard caches are pulled back and verified
+/// after each successful worker. `make_invocation` builds the
+/// transport-agnostic worker command line.
+///
+/// # Errors
+///
+/// As [`run_fleet_spawned`], plus [`FleetError::HostsExhausted`] when
+/// every host is lost (or `transports` is empty). Every failure still
+/// terminates the stream with `campaign_failed`.
+pub fn run_fleet_hosted(
     spec: &SweepSpec,
     cfg: &FleetConfig,
-    make_command: &(dyn Fn(&WorkerSpawn) -> Command + Sync),
+    transports: &[Box<dyn ExecTransport>],
+    make_invocation: &(dyn Fn(&WorkerSpawn) -> WorkerInvocation + Sync),
+    sink: &mut dyn EventSink,
+) -> Result<CampaignReport, FleetError> {
+    let launcher = WorkerLauncher::Invocation(make_invocation);
+    let result = run_fleet_transports_inner(spec, cfg, transports, true, &launcher, sink);
+    finish_with_terminal(sink, result)
+}
+
+fn run_fleet_transports_inner(
+    spec: &SweepSpec,
+    cfg: &FleetConfig,
+    transports: &[Box<dyn ExecTransport>],
+    named: bool,
+    launcher: &WorkerLauncher<'_>,
     sink: &mut dyn EventSink,
 ) -> Result<CampaignReport, FleetError> {
     let start = Instant::now();
+    if transports.is_empty() {
+        return Err(FleetError::HostsExhausted { hosts: 0 });
+    }
     let plan = ShardPlan::new(spec, cfg.shards)?;
     std::fs::create_dir_all(&cfg.dir)?;
     let mut journal = Journal::open(
@@ -747,17 +1091,19 @@ fn run_fleet_spawned_inner(
         .as_ref()
         .and_then(FaultPlan::journal_truncate_after);
 
+    let board = HostBoard::new(transports, named, plan.spec_fp, cfg.shards);
     let shared = Mutex::new(Shared::new(sink, Some(&mut journal), 0, truncate_after));
     let results: Vec<Result<(), FleetError>> = std::thread::scope(|s| {
         let shared = &shared;
         let plan = &plan;
+        let board = &board;
         let handles: Vec<_> = plan
             .cells
             .iter()
             .enumerate()
             .map(|(shard, shard_cells)| {
                 s.spawn(move || {
-                    drive_spawned_shard(shard, shard_cells, plan, cfg, make_command, shared)
+                    drive_spawned_shard(shard, shard_cells, plan, cfg, launcher, board, shared)
                 })
             })
             .collect();
@@ -781,63 +1127,134 @@ fn run_fleet_spawned_inner(
             .unwrap_or(0);
         return Err(errs.swap_remove(pos));
     }
+    if cfg.abort_requested() {
+        // The interrupt landed after the last worker drained but before
+        // the merge: still a clean abort, not a completed campaign.
+        return Err(FleetError::Interrupted);
+    }
     finalize(spec, cfg, sink, start)
 }
 
-/// Owns one shard's lifecycle in spawn mode: launch a worker, consume
-/// its stream, and retry through [`shard_failure`] until the shard
-/// completes or the retry budget is spent.
+/// Owns one shard's lifecycle in spawn mode: assign a host, launch a
+/// worker through its transport, consume its stream, and retry — with
+/// backoff, possibly on another host — until the shard completes or
+/// the retry budget / host pool is spent.
 fn drive_spawned_shard(
     shard: usize,
     shard_cells: &[Cell],
     plan: &ShardPlan,
     cfg: &FleetConfig,
-    make_command: &(dyn Fn(&WorkerSpawn) -> Command + Sync),
+    launcher: &WorkerLauncher<'_>,
+    board: &HostBoard<'_>,
     shared: &Mutex<Shared<'_>>,
 ) -> Result<(), FleetError> {
     let mut attempt = 0usize;
     loop {
-        match spawn_worker_attempt(shard, shard_cells, plan, attempt, cfg, make_command, shared) {
-            Ok(()) => return Ok(()),
+        if cfg.abort_requested() {
+            return Err(FleetError::Interrupted);
+        }
+        // (Re-)assign every iteration: the host may have been declared
+        // lost by a sibling shard while this one slept in backoff.
+        let host = board.assign(shard)?;
+        let label = board.label(host);
+        let res = spawn_worker_attempt(
+            shard,
+            shard_cells,
+            plan,
+            attempt,
+            cfg,
+            launcher,
+            board.transport(host),
+            label.as_deref(),
+            shared,
+        );
+        match res {
+            Ok(()) => {
+                let retired = board.complete(shard);
+                let mut g = shared.lock().expect("fleet lock");
+                if let Some(host) = retired {
+                    g.emit(&Event::HostRetired { host });
+                }
+                return g.take_err();
+            }
+            // An interrupt is a shutdown, not a shard failure: no
+            // failure lifecycle, no host accounting.
+            Err(FleetError::Interrupted) => return Err(FleetError::Interrupted),
             Err(e) => {
+                let loss = board.note_failure(host, cfg.host_failure_limit);
                 let mut g = shared.lock().expect("fleet lock");
                 let requeued = shard_cells.iter().filter(|c| !g.is_done(c.index)).count();
-                let verdict = shard_failure(
+                let can_retry = retryable(&e) && attempt < cfg.max_shard_retries;
+                g.emit(&Event::ShardFailed {
                     shard,
                     attempt,
-                    cfg.max_shard_retries,
-                    requeued,
-                    e,
-                    &mut |ev| g.emit(ev),
-                );
-                match verdict {
-                    Ok(next) => {
-                        g.take_err()?;
-                        attempt = next;
-                    }
+                    msg: e.to_string(),
+                    host: label,
+                });
+                if let Some(loss) = loss {
+                    g.emit(&Event::HostLost {
+                        host: loss.host,
+                        shards: loss.moved,
+                    });
+                }
+                if !can_retry {
+                    // The root cause outranks any sink trouble while
+                    // reporting it.
+                    let _ = g.take_err();
+                    return Err(if retryable(&e) {
+                        FleetError::ShardExhausted {
+                            shard,
+                            attempts: attempt + 1,
+                            msg: e.to_string(),
+                        }
+                    } else {
+                        e
+                    });
+                }
+                // Re-queue onto the (possibly different) next host.
+                let next = match board.assign(shard) {
+                    Ok(h) => h,
                     Err(err) => {
-                        // The root cause outranks any sink trouble
-                        // while reporting it.
                         let _ = g.take_err();
                         return Err(err);
                     }
-                }
+                };
+                let backoff = retry_backoff_ms(shard, attempt + 1, cfg.retry_backoff_ms);
+                g.emit(&Event::CellsRequeued {
+                    shard,
+                    cells: requeued,
+                });
+                g.emit(&Event::ShardRetried {
+                    shard,
+                    attempt: attempt + 1,
+                    backoff_ms: backoff,
+                    host: board.label(next),
+                });
+                g.take_err()?;
+                drop(g);
+                sleep_backoff(backoff, cfg.abort.as_deref())?;
+                attempt += 1;
             }
         }
     }
 }
 
-/// Launches and fully consumes one worker attempt for one shard. A
-/// shard with nothing left to do (journal caught up — including after a
-/// predecessor attempt journaled everything but died before
-/// `shard_done`) is reported locally without paying a process spawn.
+/// Launches and fully consumes one worker attempt for one shard,
+/// through `transport`. A shard with nothing left to do (journal caught
+/// up — including after a predecessor attempt journaled everything but
+/// died before `shard_done`) is reported locally without paying a
+/// process spawn or a cache pull (the final replay re-simulates
+/// anything a never-pulled cache would have contributed).
+#[allow(clippy::too_many_arguments)]
 fn spawn_worker_attempt(
     shard: usize,
     shard_cells: &[Cell],
     plan: &ShardPlan,
     attempt: usize,
     cfg: &FleetConfig,
-    make_command: &(dyn Fn(&WorkerSpawn) -> Command + Sync),
+    launcher: &WorkerLauncher<'_>,
+    transport: &dyn ExecTransport,
+    host: Option<&str>,
     shared: &Mutex<Shared<'_>>,
 ) -> Result<(), FleetError> {
     {
@@ -848,12 +1265,14 @@ fn spawn_worker_attempt(
                 shard,
                 cells: shard_cells.len(),
                 skipped: shard_cells.len(),
+                host: host.map(str::to_string),
             });
             g.emit(&Event::ShardDone {
                 shard,
                 simulated: 0,
                 cached: 0,
                 elapsed_ms: 0,
+                host: host.map(str::to_string),
             });
             return g.take_err();
         }
@@ -867,55 +1286,82 @@ fn spawn_worker_attempt(
         expect_fp: plan.spec_fp,
         attempt,
     };
-    let mut cmd = make_command(&info);
-    cmd.env(fault::ATTEMPT_ENV, attempt.to_string());
-    cmd.stdin(Stdio::null()).stdout(Stdio::piped());
-    let mut child = cmd.spawn().map_err(|e| FleetError::Worker {
-        shard,
-        msg: format!("spawn failed: {e}"),
-    })?;
-    let stdout = child.stdout.take().expect("stdout was piped");
+    let host_tag = host.map(|h| format!(" on host `{h}`")).unwrap_or_default();
+    let mut inv = launcher.invocation(&info);
+    inv.env
+        .push((fault::ATTEMPT_ENV.to_string(), attempt.to_string()));
+    let mut handle = transport
+        .spawn(&info, &inv)
+        .map_err(|e| FleetError::Worker {
+            shard,
+            msg: format!("spawn failed{host_tag}: {e}"),
+        })?;
+    let stdout = match handle.take_stdout() {
+        Some(s) => s,
+        None => {
+            let _ = handle.kill();
+            let _ = handle.wait();
+            return Err(FleetError::Worker {
+                shard,
+                msg: format!("transport produced no stdout{host_tag}"),
+            });
+        }
+    };
 
     // Liveness watchdog: any stream line is a proof of life; a worker
     // silent past the deadline is killed (its reader then sees EOF and
-    // reports the death, which routes into the retry path).
-    let child = Mutex::new(child);
+    // reports the death, which routes into the retry path). The same
+    // poll loop watches the abort flag, so an interrupt kills running
+    // workers instead of waiting them out.
+    let handle = Mutex::new(handle);
     let t0 = Instant::now();
     let last_event_ms = AtomicU64::new(0);
     let reader_done = AtomicBool::new(false);
     let timed_out = AtomicBool::new(false);
+    let abort_killed = AtomicBool::new(false);
     let stream_res = std::thread::scope(|ws| {
-        if cfg.heartbeat_timeout_ms > 0 {
+        if cfg.heartbeat_timeout_ms > 0 || cfg.abort.is_some() {
             ws.spawn(|| {
-                let poll = Duration::from_millis((cfg.heartbeat_timeout_ms / 8).clamp(10, 250));
+                let poll = Duration::from_millis(if cfg.heartbeat_timeout_ms > 0 {
+                    (cfg.heartbeat_timeout_ms / 8).clamp(10, 250)
+                } else {
+                    50
+                });
                 loop {
                     std::thread::sleep(poll);
                     if reader_done.load(Ordering::Acquire) {
                         break;
                     }
-                    let now = t0.elapsed().as_millis() as u64;
-                    let last = last_event_ms.load(Ordering::Acquire);
-                    if now.saturating_sub(last) > cfg.heartbeat_timeout_ms {
-                        timed_out.store(true, Ordering::Release);
-                        let _ = child.lock().expect("child lock").kill();
+                    if cfg.abort_requested() {
+                        abort_killed.store(true, Ordering::Release);
+                        let _ = handle.lock().expect("worker handle").kill();
                         break;
+                    }
+                    if cfg.heartbeat_timeout_ms > 0 {
+                        let now = t0.elapsed().as_millis() as u64;
+                        let last = last_event_ms.load(Ordering::Acquire);
+                        if now.saturating_sub(last) > cfg.heartbeat_timeout_ms {
+                            timed_out.store(true, Ordering::Release);
+                            let _ = handle.lock().expect("worker handle").kill();
+                            break;
+                        }
                     }
                 }
             });
         }
-        let r = consume_worker_stream(shard, plan.cell_count(), stdout, shared, &|| {
+        let r = consume_worker_stream(shard, plan.cell_count(), stdout, host, shared, &|| {
             last_event_ms.store(t0.elapsed().as_millis() as u64, Ordering::Release);
         });
         reader_done.store(true, Ordering::Release);
         r
     });
-    let mut child = child.into_inner().expect("child lock");
+    let mut handle = handle.into_inner().expect("worker handle");
     if stream_res.is_err() {
         // Protocol break with the process possibly still alive: reap it
         // before reporting, or the retry races a zombie writer.
-        let _ = child.kill();
+        let _ = handle.kill();
     }
-    let status = child.wait();
+    let status = handle.wait();
     // The watchdog verdict only explains an attempt that actually
     // failed: a worker that got its final burst out and exited cleanly
     // in the same instant the watchdog fired still succeeded (the kill
@@ -924,32 +1370,71 @@ fn spawn_worker_attempt(
         Ok(st) if st.success() => Ok(()),
         Ok(st) => Err(FleetError::Worker {
             shard,
-            msg: format!("exited with {st}"),
+            msg: format!("exited with {st}{host_tag}"),
         }),
         Err(e) => Err(FleetError::Worker {
             shard,
-            msg: format!("wait failed: {e}"),
+            msg: format!("wait failed{host_tag}: {e}"),
         }),
     });
     match outcome {
+        // A failure while draining for an interrupt *is* the interrupt:
+        // the kill was ours.
+        Err(_) if abort_killed.load(Ordering::Acquire) || cfg.abort_requested() => {
+            Err(FleetError::Interrupted)
+        }
         Err(_) if timed_out.load(Ordering::Acquire) => Err(FleetError::Worker {
             shard,
             msg: format!(
-                "no events for over {} ms (heartbeat timeout); worker killed",
+                "no events for over {} ms (heartbeat timeout); worker killed{host_tag}",
                 cfg.heartbeat_timeout_ms
             ),
         }),
-        other => other,
+        Err(e) => Err(e),
+        Ok(()) => pull_shard_cache(shard, &info, transport, &host_tag),
     }
 }
 
+/// Pulls a remote shard cache back and verifies the copy. A failed
+/// pull is retried once, then fails the attempt (burning a shard retry,
+/// which also feeds host-failure accounting). A pulled copy containing
+/// torn entries is re-pulled once and then **accepted** either way:
+/// the merge heals torn entries where it can and the final replay
+/// re-simulates anything still missing, so verification limits damage
+/// but never gates correctness.
+fn pull_shard_cache(
+    shard: usize,
+    info: &WorkerSpawn,
+    transport: &dyn ExecTransport,
+    host_tag: &str,
+) -> Result<(), FleetError> {
+    let pulled = match transport.pull_cache(info) {
+        Ok(p) => p,
+        Err(first) => transport.pull_cache(info).map_err(|e| FleetError::Worker {
+            shard,
+            msg: format!("cache pull failed twice{host_tag}: {first}; then: {e}"),
+        })?,
+    };
+    if !pulled {
+        return Ok(());
+    }
+    let scan = scan_dir(&info.cache_dir)?;
+    if scan.torn > 0 {
+        let _ = transport.pull_cache(info);
+    }
+    Ok(())
+}
+
 /// Reads one worker's JSONL stream, validating shard provenance and
-/// cell range, forwarding events and journaling completions. `tick` is
-/// called once per stream line (the liveness signal for the watchdog).
+/// cell range, forwarding events and journaling completions. `host` is
+/// stamped onto the shard lifecycle events — the worker doesn't know
+/// which machine it runs on; the coordinator does. `tick` is called
+/// once per stream line (the liveness signal for the watchdog).
 fn consume_worker_stream(
     shard: usize,
     cells: usize,
     stdout: impl std::io::Read,
+    host: Option<&str>,
     shared: &Mutex<Shared<'_>>,
     tick: &(dyn Fn() + Sync),
 ) -> Result<(), FleetError> {
@@ -963,10 +1448,18 @@ fn consume_worker_stream(
         if line.trim().is_empty() {
             continue;
         }
-        let ev = Event::parse_line(&line).map_err(|e| FleetError::Worker {
+        let mut ev = Event::parse_line(&line).map_err(|e| FleetError::Worker {
             shard,
             msg: format!("bad event line: {e}"),
         })?;
+        if let Some(h) = host {
+            match &mut ev {
+                Event::ShardStart { host: eh, .. } | Event::ShardDone { host: eh, .. } => {
+                    *eh = Some(h.to_string());
+                }
+                _ => {}
+            }
+        }
         let claimed = match &ev {
             Event::ShardStart { shard, .. }
             | Event::CellStart { shard, .. }

@@ -7,19 +7,21 @@
 //! `shard-worker` subprocess (stdout) and the fleet coordinator, which
 //! validates and re-emits worker events into the campaign stream.
 //!
-//! Schema (`griffin-fleet-events/2`):
+//! Schema (`griffin-fleet-events/3`):
 //!
 //! | `ev`              | fields                                                      |
 //! |-------------------|-------------------------------------------------------------|
 //! | `campaign_start`  | `format`, `campaign`, `spec_fp`, `cells`, `shards`, `resumed`, `scenario_file`?, `scenario_fp`? |
-//! | `shard_start`     | `shard`, `cells`, `skipped`                                 |
+//! | `shard_start`     | `shard`, `cells`, `skipped`, `host`?                        |
 //! | `cell_start`      | `shard`, `cell`, `fp`                                       |
 //! | `cell_done`       | `shard`, `cell`, `fp`, `cached`, `metrics{…}`               |
 //! | `heartbeat`       | `shard`, `done`, `total`, `elapsed_ms`, `cached`            |
-//! | `shard_done`      | `shard`, `simulated`, `cached`, `elapsed_ms`                |
-//! | `shard_failed`    | `shard`, `attempt`, `msg`                                   |
+//! | `shard_done`      | `shard`, `simulated`, `cached`, `elapsed_ms`, `host`?       |
+//! | `shard_failed`    | `shard`, `attempt`, `msg`, `host`?                          |
 //! | `cells_requeued`  | `shard`, `cells`                                            |
-//! | `shard_retried`   | `shard`, `attempt`                                          |
+//! | `shard_retried`   | `shard`, `attempt`, `backoff_ms`, `host`?                   |
+//! | `host_lost`       | `host`, `shards`                                            |
+//! | `host_retired`    | `host`                                                      |
 //! | `merge_done`      | `sources`, `merged`, `identical`, `healed`, `conflicts`     |
 //! | `campaign_done`   | `cells`, `elapsed_ms`                                       |
 //! | `campaign_failed` | `msg`                                                       |
@@ -33,7 +35,7 @@
 //! v2 added the shard-failure lifecycle (`shard_failed` →
 //! `cells_requeued` → `shard_retried`), the terminal `campaign_failed`,
 //! and `merge_done.healed`. v1 streams (no `format` field, no v2
-//! events) still parse; v2 consumers must tolerate unknown *fields*
+//! events) still parse; consumers must tolerate unknown *fields*
 //! inside known events (they are ignored), and a stream always ends
 //! with exactly one terminal event — `campaign_done` on success,
 //! `campaign_failed` on any abort. The optional scenario provenance
@@ -44,6 +46,16 @@
 //! watcher track throughput and the warm/cold split without replaying
 //! `cell_done` history) rides on it the same way: streams written
 //! before it parse with both fields as 0.
+//!
+//! v3 is the multi-host schema: shard lifecycle events gain an
+//! **additive** `host` field (absent on single-host streams, stamped by
+//! the coordinator when a fleet runs over named transports),
+//! `shard_retried` gains `backoff_ms` (the deterministic respawn
+//! backoff the coordinator slept before this attempt), and two host
+//! lifecycle events arrive — `host_lost` (a machine was declared dead;
+//! its pending shards re-queue onto survivors) and `host_retired` (a
+//! machine finished everything assigned to it). v1/v2 streams parse
+//! with `host` absent and `backoff_ms` 0.
 
 use std::io::{self, Write};
 
@@ -53,9 +65,13 @@ use griffin_sweep::json::Json;
 use griffin_sweep::scenario::ScenarioProvenance;
 
 /// Current schema tag, written into every `campaign_start` line.
-pub const EVENTS_FORMAT: &str = "griffin-fleet-events/2";
+pub const EVENTS_FORMAT: &str = "griffin-fleet-events/3";
 
-/// The previous schema tag; streams carrying it (or no `format` at all)
+/// The v2 schema tag (failure lifecycle, terminal events); streams
+/// carrying it still parse.
+pub const EVENTS_FORMAT_V2: &str = "griffin-fleet-events/2";
+
+/// The original schema tag; streams carrying it (or no `format` at all)
 /// still parse.
 pub const EVENTS_FORMAT_V1: &str = "griffin-fleet-events/1";
 
@@ -87,6 +103,8 @@ pub enum Event {
         cells: usize,
         /// Cells skipped as journal-completed.
         skipped: usize,
+        /// Host the shard runs on (v3; absent on single-host streams).
+        host: Option<String>,
     },
     /// A worker thread began simulating a cell (cache misses only).
     CellStart {
@@ -137,6 +155,8 @@ pub enum Event {
         cached: usize,
         /// Wall-clock milliseconds of the shard run.
         elapsed_ms: u64,
+        /// Host the shard ran on (v3; absent on single-host streams).
+        host: Option<String>,
     },
     /// A shard attempt died: the worker exited abnormally, broke
     /// protocol, or went silent past the heartbeat timeout (v2).
@@ -147,6 +167,8 @@ pub enum Event {
         attempt: usize,
         /// Human-readable cause.
         msg: String,
+        /// Host the attempt ran on (v3; absent on single-host streams).
+        host: Option<String>,
     },
     /// A dead shard's remaining (non-journaled) cells were put back on
     /// the queue for the next attempt (v2).
@@ -163,6 +185,29 @@ pub enum Event {
         shard: usize,
         /// Attempt number about to run (≥ 1).
         attempt: usize,
+        /// Deterministic respawn backoff slept before this attempt, in
+        /// milliseconds (v3; 0 in older streams). See
+        /// [`retry_backoff_ms`](crate::coordinator::retry_backoff_ms).
+        backoff_ms: u64,
+        /// Host the retry is assigned to (v3; absent on single-host
+        /// streams) — after a `host_lost` this names the inheritor.
+        host: Option<String>,
+    },
+    /// A host was declared lost (v3): its workers kept dying or going
+    /// silent past the per-host failure limit, so the coordinator stops
+    /// scheduling on it and re-queues its pending shards onto the
+    /// surviving hosts.
+    HostLost {
+        /// The lost host's name.
+        host: String,
+        /// Shards pending on the host at the moment of loss (the work
+        /// the survivors inherit).
+        shards: usize,
+    },
+    /// A host finished every shard assigned to it (v3).
+    HostRetired {
+        /// The retiring host's name.
+        host: String,
     },
     /// Per-shard caches were unioned into the merged cache.
     MergeDone {
@@ -239,6 +284,15 @@ fn get_str(v: &Json, key: &str) -> Result<String, EventError> {
         .to_string())
 }
 
+/// An optional string field — the v3 `host` stamp, absent in older
+/// streams and on single-host fleets.
+fn get_opt_str(v: &Json, key: &str) -> Result<Option<String>, EventError> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(_) => get_str(v, key).map(Some),
+    }
+}
+
 fn get_fp(v: &Json, key: &str) -> Result<Fingerprint, EventError> {
     let s = v
         .req(key)
@@ -279,12 +333,19 @@ impl Event {
                 shard,
                 cells,
                 skipped,
-            } => Json::obj([
-                ("ev".into(), Json::Str("shard_start".into())),
-                ("shard".into(), num(*shard)),
-                ("cells".into(), num(*cells)),
-                ("skipped".into(), num(*skipped)),
-            ]),
+                host,
+            } => {
+                let mut entries = vec![
+                    ("ev".into(), Json::Str("shard_start".into())),
+                    ("shard".into(), num(*shard)),
+                    ("cells".into(), num(*cells)),
+                    ("skipped".into(), num(*skipped)),
+                ];
+                if let Some(h) = host {
+                    entries.push(("host".into(), Json::Str(h.clone())));
+                }
+                Json::obj(entries)
+            }
             Event::CellStart { shard, cell, fp } => Json::obj([
                 ("ev".into(), Json::Str("cell_start".into())),
                 ("shard".into(), num(*shard)),
@@ -324,32 +385,67 @@ impl Event {
                 simulated,
                 cached,
                 elapsed_ms,
-            } => Json::obj([
-                ("ev".into(), Json::Str("shard_done".into())),
-                ("shard".into(), num(*shard)),
-                ("simulated".into(), num(*simulated)),
-                ("cached".into(), num(*cached)),
-                ("elapsed_ms".into(), num(*elapsed_ms as usize)),
-            ]),
+                host,
+            } => {
+                let mut entries = vec![
+                    ("ev".into(), Json::Str("shard_done".into())),
+                    ("shard".into(), num(*shard)),
+                    ("simulated".into(), num(*simulated)),
+                    ("cached".into(), num(*cached)),
+                    ("elapsed_ms".into(), num(*elapsed_ms as usize)),
+                ];
+                if let Some(h) = host {
+                    entries.push(("host".into(), Json::Str(h.clone())));
+                }
+                Json::obj(entries)
+            }
             Event::ShardFailed {
                 shard,
                 attempt,
                 msg,
-            } => Json::obj([
-                ("ev".into(), Json::Str("shard_failed".into())),
-                ("shard".into(), num(*shard)),
-                ("attempt".into(), num(*attempt)),
-                ("msg".into(), Json::Str(msg.clone())),
-            ]),
+                host,
+            } => {
+                let mut entries = vec![
+                    ("ev".into(), Json::Str("shard_failed".into())),
+                    ("shard".into(), num(*shard)),
+                    ("attempt".into(), num(*attempt)),
+                    ("msg".into(), Json::Str(msg.clone())),
+                ];
+                if let Some(h) = host {
+                    entries.push(("host".into(), Json::Str(h.clone())));
+                }
+                Json::obj(entries)
+            }
             Event::CellsRequeued { shard, cells } => Json::obj([
                 ("ev".into(), Json::Str("cells_requeued".into())),
                 ("shard".into(), num(*shard)),
                 ("cells".into(), num(*cells)),
             ]),
-            Event::ShardRetried { shard, attempt } => Json::obj([
-                ("ev".into(), Json::Str("shard_retried".into())),
-                ("shard".into(), num(*shard)),
-                ("attempt".into(), num(*attempt)),
+            Event::ShardRetried {
+                shard,
+                attempt,
+                backoff_ms,
+                host,
+            } => {
+                let mut entries = vec![
+                    ("ev".into(), Json::Str("shard_retried".into())),
+                    ("shard".into(), num(*shard)),
+                    ("attempt".into(), num(*attempt)),
+                    ("backoff_ms".into(), num(*backoff_ms as usize)),
+                ];
+                if let Some(h) = host {
+                    entries.push(("host".into(), Json::Str(h.clone())));
+                }
+                Json::obj(entries)
+            }
+            Event::HostLost { host, shards } => Json::obj([
+                ("ev".into(), Json::Str("host_lost".into())),
+                ("host".into(), Json::Str(host.clone())),
+                ("shards".into(), num(*shards)),
+            ]),
+            Event::HostRetired { host } => Json::obj([
+                ("ev".into(), Json::Str("host_retired".into())),
+                ("host".into(), Json::Str(host.clone())),
             ]),
             Event::MergeDone {
                 sources,
@@ -402,7 +498,7 @@ impl Event {
                     let tag = tag
                         .as_str()
                         .map_err(|e| EventError { msg: e.to_string() })?;
-                    if tag != EVENTS_FORMAT && tag != EVENTS_FORMAT_V1 {
+                    if tag != EVENTS_FORMAT && tag != EVENTS_FORMAT_V2 && tag != EVENTS_FORMAT_V1 {
                         return fail(format!("unknown event-stream format `{tag}`"));
                     }
                 }
@@ -427,6 +523,7 @@ impl Event {
                 shard: get_usize(&v, "shard")?,
                 cells: get_usize(&v, "cells")?,
                 skipped: get_usize(&v, "skipped")?,
+                host: get_opt_str(&v, "host")?,
             }),
             "cell_start" => Ok(Event::CellStart {
                 shard: get_usize(&v, "shard")?,
@@ -462,11 +559,13 @@ impl Event {
                 simulated: get_usize(&v, "simulated")?,
                 cached: get_usize(&v, "cached")?,
                 elapsed_ms: get_usize(&v, "elapsed_ms")? as u64,
+                host: get_opt_str(&v, "host")?,
             }),
             "shard_failed" => Ok(Event::ShardFailed {
                 shard: get_usize(&v, "shard")?,
                 attempt: get_usize(&v, "attempt")?,
                 msg: get_str(&v, "msg")?,
+                host: get_opt_str(&v, "host")?,
             }),
             "cells_requeued" => Ok(Event::CellsRequeued {
                 shard: get_usize(&v, "shard")?,
@@ -475,6 +574,15 @@ impl Event {
             "shard_retried" => Ok(Event::ShardRetried {
                 shard: get_usize(&v, "shard")?,
                 attempt: get_usize(&v, "attempt")?,
+                backoff_ms: get_usize_or(&v, "backoff_ms", 0)? as u64,
+                host: get_opt_str(&v, "host")?,
+            }),
+            "host_lost" => Ok(Event::HostLost {
+                host: get_str(&v, "host")?,
+                shards: get_usize(&v, "shards")?,
+            }),
+            "host_retired" => Ok(Event::HostRetired {
+                host: get_str(&v, "host")?,
             }),
             "merge_done" => Ok(Event::MergeDone {
                 sources: get_usize(&v, "sources")?,
@@ -577,13 +685,15 @@ pub mod sample {
         m
     }
 
-    /// One event of each schema variant (`variant % 12`), fields
+    /// One event of each schema variant (`variant % 14`), fields
     /// derived from the draws. Strings mix in characters that need
-    /// JSON escaping.
+    /// JSON escaping; `flag` toggles the optional v3 `host` stamp on
+    /// shard lifecycle events, so both shapes stay covered.
     pub fn build_event(variant: usize, a: u64, b: u64, flag: bool, special: u64) -> Event {
         let s = |tag: &str| format!("{tag}-\"{a}\"\n\\{b}");
         let n = |x: u64| (x % 100_000) as usize;
-        match variant {
+        let host = |tag: &str| flag.then(|| format!("{tag}-{}", b % 4));
+        match variant % 14 {
             0 => Event::CampaignStart {
                 campaign: s("camp"),
                 spec_fp: Fingerprint(a, b),
@@ -600,6 +710,7 @@ pub mod sample {
                 shard: n(a),
                 cells: n(b),
                 skipped: n(a ^ 1),
+                host: host("h"),
             },
             2 => Event::CellStart {
                 shard: n(a),
@@ -625,11 +736,13 @@ pub mod sample {
                 simulated: n(b),
                 cached: n(a ^ 2),
                 elapsed_ms: b % 1_000_000_000,
+                host: host("h"),
             },
             6 => Event::ShardFailed {
                 shard: n(a),
                 attempt: n(b) % 16,
                 msg: s("worker exited"),
+                host: host("h"),
             },
             7 => Event::CellsRequeued {
                 shard: n(a),
@@ -638,6 +751,8 @@ pub mod sample {
             8 => Event::ShardRetried {
                 shard: n(a),
                 attempt: n(b) % 16 + 1,
+                backoff_ms: a % 60_000,
+                host: host("h"),
             },
             9 => Event::MergeDone {
                 sources: n(a),
@@ -649,6 +764,13 @@ pub mod sample {
             10 => Event::CampaignDone {
                 cells: n(a),
                 elapsed_ms: b % 1_000_000_000,
+            },
+            11 => Event::HostLost {
+                host: s("ssh-host"),
+                shards: n(b) % 64,
+            },
+            12 => Event::HostRetired {
+                host: s("ssh-host"),
             },
             _ => Event::CampaignFailed { msg: s("gave up") },
         }
@@ -697,6 +819,13 @@ mod tests {
                 shard: 2,
                 cells: 10,
                 skipped: 3,
+                host: None,
+            },
+            Event::ShardStart {
+                shard: 2,
+                cells: 10,
+                skipped: 3,
+                host: Some("web-02".into()),
             },
             Event::CellStart {
                 shard: 2,
@@ -722,16 +851,33 @@ mod tests {
                 simulated: 6,
                 cached: 1,
                 elapsed_ms: 1234,
+                host: Some("local".into()),
             },
             Event::ShardFailed {
                 shard: 2,
                 attempt: 0,
                 msg: "worker exited with code 3 (\"killed\")".into(),
+                host: Some("web-02".into()),
             },
             Event::CellsRequeued { shard: 2, cells: 4 },
             Event::ShardRetried {
                 shard: 2,
                 attempt: 1,
+                backoff_ms: 375,
+                host: None,
+            },
+            Event::ShardRetried {
+                shard: 2,
+                attempt: 2,
+                backoff_ms: 0,
+                host: Some("web-03".into()),
+            },
+            Event::HostLost {
+                host: "web-02".into(),
+                shards: 3,
+            },
+            Event::HostRetired {
+                host: "web-03".into(),
             },
             Event::MergeDone {
                 sources: 4,
@@ -789,6 +935,8 @@ mod tests {
         );
         assert!(Event::parse_line("{\"ev\":\"shard_failed\",\"shard\":0}").is_err());
         assert!(Event::parse_line("{\"ev\":\"campaign_failed\"}").is_err());
+        assert!(Event::parse_line("{\"ev\":\"host_lost\",\"shards\":2}").is_err());
+        assert!(Event::parse_line("{\"ev\":\"host_retired\"}").is_err());
     }
 
     #[test]
@@ -805,8 +953,22 @@ mod tests {
             "\"campaign\":\"old\",\"format\":\"griffin-fleet-events/1\"",
         );
         assert!(Event::parse_line(&tagged).is_ok());
+        // A v2 tag (pre-host schema) is also still accepted.
+        let v2 = tagged.replace("events/1", "events/2");
+        assert!(Event::parse_line(&v2).is_ok());
         let future = tagged.replace("events/1", "events/99");
         assert!(Event::parse_line(&future).is_err());
+        // A v2 shard_retried has no backoff_ms/host: parsed as 0/None.
+        let retried = "{\"attempt\":1,\"ev\":\"shard_retried\",\"shard\":4}";
+        assert_eq!(
+            Event::parse_line(retried),
+            Ok(Event::ShardRetried {
+                shard: 4,
+                attempt: 1,
+                backoff_ms: 0,
+                host: None,
+            })
+        );
         // A pre-enrichment heartbeat has no elapsed_ms/cached: parsed
         // as 0.
         let hb = "{\"done\":5,\"ev\":\"heartbeat\",\"shard\":1,\"total\":9}";

@@ -26,8 +26,14 @@
 //!   journal loader and live event-stream consumers,
 //! * [`coordinator`] — the in-process and subprocess campaign drivers
 //!   plus the shard-worker entry point,
+//! * [`transport`] — how workers are launched on a machine
+//!   ([`LocalExec`](transport::LocalExec) subprocesses,
+//!   [`SshExec`](transport::SshExec) remote workers, and the
+//!   fault-enacting [`ChaosExec`](transport::ChaosExec) decorator
+//!   behind multi-host chaos tests),
 //! * [`fault`] — deterministic fault injection (worker kill/stall,
-//!   cache and journal corruption) for chaos tests.
+//!   host partition/refusal, cache and journal corruption) for chaos
+//!   tests.
 //!
 //! # Example
 //!
@@ -60,13 +66,16 @@ pub mod fault;
 pub mod journal;
 pub mod plan;
 pub mod tail;
+pub mod transport;
 
 pub use coordinator::{
-    default_events_path, journal_path, merged_cache_dir, run_fleet, run_fleet_spawned,
-    run_shard_worker, shard_cache_dir, FleetConfig, FleetError, WorkerConfig, WorkerSpawn,
+    default_events_path, journal_path, merged_cache_dir, retry_backoff_ms, run_fleet,
+    run_fleet_hosted, run_fleet_spawned, run_shard_worker, shard_cache_dir, verify_shard_sources,
+    FleetConfig, FleetError, WorkerConfig, WorkerSpawn,
 };
 pub use events::{Event, EventError, EventSink, JsonlSink, NullSink, EVENTS_FORMAT};
 pub use fault::{AttemptGate, Fault, FaultError, FaultPlan, ATTEMPT_ENV, FAULT_ENV};
 pub use journal::{Journal, JournalError, JournalHeader, JOURNAL_FORMAT};
-pub use plan::{remaining_cells, shard_of, spec_fingerprint, PlanError, ShardPlan};
+pub use plan::{host_of, remaining_cells, shard_of, spec_fingerprint, PlanError, ShardPlan};
 pub use tail::{complete_lines, split_partial_tail, TailCursor, TailPoll};
+pub use transport::{ChaosExec, ExecTransport, LocalExec, SshExec, WorkerHandle, WorkerInvocation};

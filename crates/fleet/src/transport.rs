@@ -1,0 +1,559 @@
+//! Exec transports: how the coordinator launches shard workers on a
+//! machine — its own or someone else's.
+//!
+//! The worker protocol is already transport-agnostic: a shard worker is
+//! any process that speaks the JSONL event schema on stdout and writes
+//! results into a shard cache directory. [`ExecTransport`] captures the
+//! four things the coordinator needs from a machine:
+//!
+//! 1. **spawn** a worker from a [`WorkerInvocation`] (program + args +
+//!    env) and hand back a [`WorkerHandle`],
+//! 2. **stream** its stdout ([`WorkerHandle::take_stdout`]),
+//! 3. **kill** it when the watchdog or an abort says so,
+//! 4. **pull back** its shard cache directory for the merge step.
+//!
+//! Three implementations ship:
+//!
+//! * [`LocalExec`] — today's behavior: a plain subprocess, the cache is
+//!   already local so the pull is a no-op.
+//! * [`SshExec`] — plain `ssh`/`scp` command assembly: the worker runs
+//!   remotely (env passed via `env(1)` on the remote side), declared
+//!   files (the scenario file) are shipped **by content** before the
+//!   first launch, and the shard cache is pulled back with `scp -r`.
+//!   The `scenario_fp` / `--expect-fp` handshake already guards content
+//!   drift: a remote machine running a different grid is rejected by
+//!   the worker itself. Both programs are overridable, which is also
+//!   how the test suite drives this path without a network.
+//! * [`ChaosExec`] — a deterministic decorator enacting the host faults
+//!   of a [`FaultPlan`] (`partition`, `refuse-spawn`, `fail-pull`,
+//!   `corrupt-pull`): it severs streams, refuses launches, and tears
+//!   pulled caches exactly where the plan says, so "losing a machine"
+//!   is a reproducible test fixture rather than an outage.
+//!
+//! A transport is **one host**; a multi-host fleet is a slice of them,
+//! with shards assigned fingerprint-stably by
+//! [`host_of`](crate::plan::host_of).
+
+use std::io::{self, BufRead, BufReader, Read};
+use std::path::PathBuf;
+use std::process::{Child, Command, ExitStatus, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::coordinator::WorkerSpawn;
+use crate::fault::{corrupt_shard_cache, FaultPlan};
+
+/// A worker launch, transport-agnostically: program, arguments, and
+/// environment overrides. [`LocalExec`] turns it into a subprocess
+/// directly; [`SshExec`] assembles it into a remote shell command.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerInvocation {
+    /// Program to execute.
+    pub program: String,
+    /// Arguments, in order.
+    pub args: Vec<String>,
+    /// Environment variables set on top of the inherited environment.
+    pub env: Vec<(String, String)>,
+}
+
+impl WorkerInvocation {
+    /// An invocation of `program` with `args`.
+    pub fn new(program: impl Into<String>, args: Vec<String>) -> Self {
+        WorkerInvocation {
+            program: program.into(),
+            args,
+            env: Vec::new(),
+        }
+    }
+
+    /// Captures an assembled [`Command`] (program, args, and its
+    /// explicitly-set env) — the compatibility bridge from the
+    /// `make_command` callback API.
+    pub fn from_command(cmd: &Command) -> Self {
+        WorkerInvocation {
+            program: cmd.get_program().to_string_lossy().into_owned(),
+            args: cmd
+                .get_args()
+                .map(|a| a.to_string_lossy().into_owned())
+                .collect(),
+            env: cmd
+                .get_envs()
+                .filter_map(|(k, v)| {
+                    v.map(|v| {
+                        (
+                            k.to_string_lossy().into_owned(),
+                            v.to_string_lossy().into_owned(),
+                        )
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// The local [`Command`] this invocation describes.
+    pub fn to_command(&self) -> Command {
+        let mut cmd = Command::new(&self.program);
+        cmd.args(&self.args);
+        for (k, v) in &self.env {
+            cmd.env(k, v);
+        }
+        cmd
+    }
+}
+
+/// A launched worker: its stdout stream and its lifecycle.
+pub trait WorkerHandle: Send {
+    /// The worker's stdout, taken exactly once.
+    fn take_stdout(&mut self) -> Option<Box<dyn Read + Send>>;
+    /// Kills the worker (watchdog timeout, abort, protocol break).
+    fn kill(&mut self) -> io::Result<()>;
+    /// Waits for the worker to exit.
+    fn wait(&mut self) -> io::Result<ExitStatus>;
+}
+
+/// How the coordinator reaches one host. `host()` is the name shards
+/// are planned against and events are stamped with.
+pub trait ExecTransport: Send + Sync {
+    /// The host's name (event label and fault-plan key).
+    fn host(&self) -> &str;
+
+    /// Launches a worker. The coordinator has already folded the
+    /// attempt number into `inv.env`.
+    ///
+    /// # Errors
+    ///
+    /// The launch failure (an unreachable host, a missing binary) —
+    /// retryable from the coordinator's point of view.
+    fn spawn(&self, w: &WorkerSpawn, inv: &WorkerInvocation) -> io::Result<Box<dyn WorkerHandle>>;
+
+    /// Makes the shard cache directory named by `w.cache_dir` available
+    /// locally after a successful worker run. Returns `true` when bytes
+    /// actually moved (the coordinator then verifies the pulled copy),
+    /// `false` when the cache was local all along.
+    ///
+    /// # Errors
+    ///
+    /// The transfer failure — retryable (the coordinator re-pulls, then
+    /// re-runs the shard).
+    fn pull_cache(&self, w: &WorkerSpawn) -> io::Result<bool>;
+}
+
+/// A plain local subprocess handle.
+struct LocalHandle {
+    child: Child,
+}
+
+impl WorkerHandle for LocalHandle {
+    fn take_stdout(&mut self) -> Option<Box<dyn Read + Send>> {
+        self.child
+            .stdout
+            .take()
+            .map(|s| Box::new(s) as Box<dyn Read + Send>)
+    }
+
+    fn kill(&mut self) -> io::Result<()> {
+        self.child.kill()
+    }
+
+    fn wait(&mut self) -> io::Result<ExitStatus> {
+        self.child.wait()
+    }
+}
+
+/// Runs workers as local subprocesses — the single-machine fleet,
+/// routed through the same trait every other transport uses.
+#[derive(Debug, Clone)]
+pub struct LocalExec {
+    host: String,
+}
+
+impl LocalExec {
+    /// A local transport labeled `host` (the label multi-"host" smoke
+    /// tests and dashboards see; `local` by convention).
+    pub fn new(host: impl Into<String>) -> Self {
+        LocalExec { host: host.into() }
+    }
+}
+
+impl Default for LocalExec {
+    fn default() -> Self {
+        LocalExec::new("local")
+    }
+}
+
+impl ExecTransport for LocalExec {
+    fn host(&self) -> &str {
+        &self.host
+    }
+
+    fn spawn(&self, _w: &WorkerSpawn, inv: &WorkerInvocation) -> io::Result<Box<dyn WorkerHandle>> {
+        let mut cmd = inv.to_command();
+        cmd.stdin(Stdio::null()).stdout(Stdio::piped());
+        Ok(Box::new(LocalHandle {
+            child: cmd.spawn()?,
+        }))
+    }
+
+    fn pull_cache(&self, _w: &WorkerSpawn) -> io::Result<bool> {
+        Ok(false)
+    }
+}
+
+/// Quotes one word for a POSIX shell (the remote side of `ssh`).
+fn shell_quote(s: &str) -> String {
+    if !s.is_empty()
+        && s.bytes().all(|b| {
+            b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.' | b'/' | b'=' | b':' | b',')
+        })
+    {
+        return s.to_string();
+    }
+    format!("'{}'", s.replace('\'', "'\\''"))
+}
+
+/// Runs a command to completion, mapping failure (spawn error or
+/// nonzero exit) into an [`io::Error`] carrying the command's stderr.
+fn run_checked(mut cmd: Command, what: &str) -> io::Result<()> {
+    let out = cmd
+        .stdin(Stdio::null())
+        .output()
+        .map_err(|e| io::Error::new(e.kind(), format!("{what}: {e}")))?;
+    if out.status.success() {
+        return Ok(());
+    }
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    Err(io::Error::other(format!(
+        "{what} failed ({}): {}",
+        out.status,
+        stderr.trim()
+    )))
+}
+
+/// Runs workers on a remote machine over plain `ssh`, pulling shard
+/// caches back with `scp`. Paths are mirrored: the worker uses the same
+/// absolute fleet paths remotely that the coordinator uses locally.
+/// The journal is intentionally **not** shipped — a remote worker that
+/// cannot see it simply re-runs journaled cells, and the merge/replay
+/// pipeline deduplicates identical results; correctness never depends
+/// on the skip optimization.
+#[derive(Debug, Clone)]
+pub struct SshExec {
+    /// `[user@]host` exactly as handed to the ssh program.
+    host: String,
+    ssh: String,
+    scp: String,
+    /// Files shipped by content to the same remote path before the
+    /// first launch (the scenario file; `--expect-fp` guards drift).
+    ship: Vec<PathBuf>,
+    shipped: std::sync::Arc<AtomicBool>,
+}
+
+impl SshExec {
+    /// A transport reaching `host` via the system `ssh`/`scp`.
+    pub fn new(host: impl Into<String>) -> Self {
+        SshExec {
+            host: host.into(),
+            ssh: "ssh".into(),
+            scp: "scp".into(),
+            ship: Vec::new(),
+            shipped: Default::default(),
+        }
+    }
+
+    /// Overrides the `ssh` and `scp` programs (tests substitute fakes;
+    /// deployments substitute wrappers carrying `-i`/`-o` options).
+    pub fn with_programs(mut self, ssh: impl Into<String>, scp: impl Into<String>) -> Self {
+        self.ssh = ssh.into();
+        self.scp = scp.into();
+        self
+    }
+
+    /// Adds a file shipped by content to the remote host (same absolute
+    /// path) before the first worker launch.
+    pub fn with_shipped_file(mut self, path: impl Into<PathBuf>) -> Self {
+        self.ship.push(path.into());
+        self
+    }
+
+    /// The remote shell command line for an invocation.
+    fn remote_command(&self, inv: &WorkerInvocation) -> String {
+        let mut words: Vec<String> = Vec::new();
+        if !inv.env.is_empty() {
+            words.push("env".into());
+            for (k, v) in &inv.env {
+                words.push(shell_quote(&format!("{k}={v}")));
+            }
+        }
+        words.push(shell_quote(&inv.program));
+        words.extend(inv.args.iter().map(|a| shell_quote(a)));
+        words.join(" ")
+    }
+
+    /// Ships the declared files (once per transport instance).
+    fn ensure_shipped(&self) -> io::Result<()> {
+        if self.ship.is_empty() || self.shipped.swap(true, Ordering::SeqCst) {
+            return Ok(());
+        }
+        for path in &self.ship {
+            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                let mut mkdir = Command::new(&self.ssh);
+                mkdir.arg(&self.host).arg(format!(
+                    "mkdir -p {}",
+                    shell_quote(&parent.display().to_string())
+                ));
+                run_checked(mkdir, &format!("ship mkdir on `{}`", self.host))?;
+            }
+            let mut scp = Command::new(&self.scp);
+            scp.arg("-q")
+                .arg(path)
+                .arg(format!("{}:{}", self.host, path.display()));
+            run_checked(
+                scp,
+                &format!("ship `{}` to `{}`", path.display(), self.host),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl ExecTransport for SshExec {
+    fn host(&self) -> &str {
+        &self.host
+    }
+
+    fn spawn(&self, _w: &WorkerSpawn, inv: &WorkerInvocation) -> io::Result<Box<dyn WorkerHandle>> {
+        self.ensure_shipped()?;
+        let mut cmd = Command::new(&self.ssh);
+        cmd.arg(&self.host)
+            .arg(self.remote_command(inv))
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped());
+        Ok(Box::new(LocalHandle {
+            child: cmd.spawn()?,
+        }))
+    }
+
+    fn pull_cache(&self, w: &WorkerSpawn) -> io::Result<bool> {
+        // A fresh local copy every pull: a retried pull must not blend
+        // torn bytes from the previous one.
+        if w.cache_dir.exists() {
+            std::fs::remove_dir_all(&w.cache_dir)?;
+        }
+        if let Some(parent) = w.cache_dir.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut scp = Command::new(&self.scp);
+        scp.arg("-qr")
+            .arg(format!("{}:{}", self.host, w.cache_dir.display()))
+            .arg(&w.cache_dir);
+        run_checked(
+            scp,
+            &format!("pull shard {} cache from `{}`", w.shard, self.host),
+        )?;
+        Ok(true)
+    }
+}
+
+/// Marker substring of a `cell_done` stream line.
+const CELL_DONE_MARK: &[u8] = b"\"ev\":\"cell_done\"";
+
+/// A stdout stream that is severed — EOF, mid-protocol — once it has
+/// let a fixed number of `cell_done` lines through: what a network
+/// partition looks like from the coordinator's chair.
+struct PartitionedStdout {
+    inner: BufReader<Box<dyn Read + Send>>,
+    /// `cell_done` lines still allowed through.
+    remaining: usize,
+    severed: bool,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl Read for PartitionedStdout {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        loop {
+            if self.pos < self.buf.len() {
+                let n = (self.buf.len() - self.pos).min(out.len());
+                out[..n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+                self.pos += n;
+                return Ok(n);
+            }
+            if self.severed {
+                return Ok(0);
+            }
+            self.buf.clear();
+            self.pos = 0;
+            let mut line = Vec::new();
+            if self.inner.read_until(b'\n', &mut line)? == 0 {
+                return Ok(0);
+            }
+            let is_done = line
+                .windows(CELL_DONE_MARK.len())
+                .any(|w| w == CELL_DONE_MARK);
+            if is_done {
+                if self.remaining == 0 {
+                    self.severed = true;
+                    return Ok(0);
+                }
+                self.remaining -= 1;
+            }
+            self.buf = line;
+        }
+    }
+}
+
+/// A handle whose stdout is partition-gated.
+struct ChaosHandle {
+    inner: Box<dyn WorkerHandle>,
+    partition_after: Option<usize>,
+}
+
+impl WorkerHandle for ChaosHandle {
+    fn take_stdout(&mut self) -> Option<Box<dyn Read + Send>> {
+        let stdout = self.inner.take_stdout()?;
+        Some(match self.partition_after {
+            Some(after) => Box::new(PartitionedStdout {
+                inner: BufReader::new(stdout),
+                remaining: after,
+                severed: false,
+                buf: Vec::new(),
+                pos: 0,
+            }),
+            None => stdout,
+        })
+    }
+
+    fn kill(&mut self) -> io::Result<()> {
+        self.inner.kill()
+    }
+
+    fn wait(&mut self) -> io::Result<ExitStatus> {
+        self.inner.wait()
+    }
+}
+
+/// Wraps any transport and enacts the host faults of a [`FaultPlan`]
+/// deterministically: launches are refused, streams are severed after
+/// an exact `cell_done` count, and cache pulls fail or arrive torn —
+/// all keyed by (host, attempt), so a chaos run replays identically.
+pub struct ChaosExec<T> {
+    inner: T,
+    plan: FaultPlan,
+}
+
+impl<T: ExecTransport> ChaosExec<T> {
+    /// Decorates `inner` with the host faults of `plan` (the shard
+    /// faults in the plan are ignored here — workers enact those
+    /// themselves).
+    pub fn new(inner: T, plan: FaultPlan) -> Self {
+        ChaosExec { inner, plan }
+    }
+}
+
+impl<T: ExecTransport> ExecTransport for ChaosExec<T> {
+    fn host(&self) -> &str {
+        self.inner.host()
+    }
+
+    fn spawn(&self, w: &WorkerSpawn, inv: &WorkerInvocation) -> io::Result<Box<dyn WorkerHandle>> {
+        if self.plan.refuses_spawn(self.host(), w.attempt) {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("fault injected: host `{}` refuses the spawn", self.host()),
+            ));
+        }
+        let handle = self.inner.spawn(w, inv)?;
+        Ok(Box::new(ChaosHandle {
+            inner: handle,
+            partition_after: self.plan.partition_after(self.host(), w.attempt),
+        }))
+    }
+
+    fn pull_cache(&self, w: &WorkerSpawn) -> io::Result<bool> {
+        if self.plan.fails_pull(self.host(), w.attempt) {
+            return Err(io::Error::other(format!(
+                "fault injected: cache pull from host `{}` failed",
+                self.host()
+            )));
+        }
+        let pulled = self.inner.pull_cache(w)?;
+        if self.plan.corrupts_pull(self.host(), w.attempt) {
+            // The pull "succeeded" but the copy died mid-transfer: the
+            // local cache is torn the same way a dying writer tears it.
+            corrupt_shard_cache(&w.cache_dir)?;
+            return Ok(true);
+        }
+        Ok(pulled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shell_quote_passes_safe_words_and_wraps_the_rest() {
+        assert_eq!(shell_quote("abc-1_2.ok/x:y=z,w"), "abc-1_2.ok/x:y=z,w");
+        assert_eq!(shell_quote(""), "''");
+        assert_eq!(shell_quote("a b"), "'a b'");
+        assert_eq!(shell_quote("it's"), "'it'\\''s'");
+        assert_eq!(shell_quote("$(rm -rf /)"), "'$(rm -rf /)'");
+    }
+
+    #[test]
+    fn invocation_roundtrips_through_a_command() {
+        let mut inv = WorkerInvocation::new("prog", vec!["a".into(), "b c".into()]);
+        inv.env.push(("K".into(), "v 1".into()));
+        let back = WorkerInvocation::from_command(&inv.to_command());
+        assert_eq!(back.program, "prog");
+        assert_eq!(back.args, vec!["a".to_string(), "b c".to_string()]);
+        assert_eq!(back.env, vec![("K".to_string(), "v 1".to_string())]);
+    }
+
+    #[test]
+    fn ssh_remote_command_is_quoted_and_env_prefixed() {
+        let t = SshExec::new("user@h1");
+        let mut inv = WorkerInvocation::new(
+            "/bin/griffin-cli",
+            vec!["shard-worker".into(), "a b".into()],
+        );
+        inv.env.push(("GRIFFIN_FLEET_ATTEMPT".into(), "1".into()));
+        assert_eq!(
+            t.remote_command(&inv),
+            "env GRIFFIN_FLEET_ATTEMPT=1 /bin/griffin-cli shard-worker 'a b'"
+        );
+        assert_eq!(t.host(), "user@h1");
+    }
+
+    #[test]
+    fn partitioned_stdout_severs_after_the_allowed_cell_dones() {
+        let lines = concat!(
+            "{\"ev\":\"shard_start\",\"shard\":0}\n",
+            "{\"ev\":\"cell_done\",\"cell\":1}\n",
+            "{\"ev\":\"heartbeat\",\"shard\":0}\n",
+            "{\"ev\":\"cell_done\",\"cell\":2}\n",
+            "{\"ev\":\"shard_done\",\"shard\":0}\n",
+        );
+        let gate = |after: usize| PartitionedStdout {
+            inner: BufReader::new(Box::new(lines.as_bytes()) as Box<dyn Read + Send>),
+            remaining: after,
+            severed: false,
+            buf: Vec::new(),
+            pos: 0,
+        };
+        let mut out = String::new();
+        gate(1).read_to_string(&mut out).unwrap();
+        assert!(out.ends_with("\"heartbeat\",\"shard\":0}\n"), "{out}");
+        assert_eq!(out.matches("cell_done").count(), 1);
+
+        let mut all = String::new();
+        gate(9).read_to_string(&mut all).unwrap();
+        assert_eq!(all, lines, "a generous gate passes everything");
+
+        let mut none = String::new();
+        gate(0).read_to_string(&mut none).unwrap();
+        assert_eq!(
+            none, "{\"ev\":\"shard_start\",\"shard\":0}\n",
+            "after=0 severs at the first completion"
+        );
+    }
+}

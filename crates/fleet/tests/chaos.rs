@@ -9,7 +9,8 @@ use std::path::PathBuf;
 use griffin_core::arch::ArchSpec;
 use griffin_core::category::DnnCategory;
 use griffin_fleet::coordinator::{
-    journal_path, run_fleet, shard_cache_dir, FleetConfig, FleetError,
+    journal_path, retry_backoff_ms, run_fleet, shard_cache_dir, verify_shard_sources, FleetConfig,
+    FleetError,
 };
 use griffin_fleet::events::{Event, EventSink};
 use griffin_fleet::fault::{Fault, FaultPlan};
@@ -73,6 +74,7 @@ fn in_process_kill_is_retried_and_stays_byte_identical() {
     let dir = scratch_dir("kill");
 
     let mut cfg = FleetConfig::new(&dir, shards);
+    cfg.retry_backoff_ms = 0;
     cfg.fault = Some(FaultPlan::parse(&format!("kill:shard={victim}:after=1")).unwrap());
     let mut rec = Recorder::default();
     let fleet = run_fleet(&spec, &cfg, &mut rec).unwrap();
@@ -91,6 +93,7 @@ fn in_process_kill_is_retried_and_stays_byte_identical() {
         shard,
         attempt,
         msg,
+        ..
     } = failed[0]
     else {
         unreachable!()
@@ -104,6 +107,8 @@ fn in_process_kill_is_retried_and_stays_byte_identical() {
     assert!(rec.0.contains(&Event::ShardRetried {
         shard: victim,
         attempt: 1,
+        backoff_ms: 0,
+        host: None,
     }));
     // The victim shard started twice; the retry skipped the journaled
     // cell.
@@ -131,6 +136,7 @@ fn exhausted_retries_fail_cleanly_and_resume_recovers() {
 
     let mut cfg = FleetConfig::new(&dir, shards);
     cfg.max_shard_retries = 1;
+    cfg.retry_backoff_ms = 0;
     cfg.fault =
         Some(FaultPlan::parse(&format!("kill:shard={victim}:after=0:attempt=any")).unwrap());
     let mut rec = Recorder::default();
@@ -162,6 +168,61 @@ fn exhausted_retries_fail_cleanly_and_resume_recovers() {
     let fleet = run_fleet(&spec, &cfg, &mut rec).unwrap();
     assert_eq!(to_csv(&fleet), to_csv(&single));
     assert!(matches!(rec.0.last(), Some(Event::CampaignDone { .. })));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn retry_backoff_schedule_is_exact_and_bounded() {
+    let spec = spec();
+    let shards = 2;
+    let plan = ShardPlan::new(&spec, shards).unwrap();
+    let victim = nonempty_shard(&plan);
+    let dir = scratch_dir("backoff");
+
+    // A shard that dies on every attempt walks the whole backoff
+    // schedule before exhausting its budget.
+    let mut cfg = FleetConfig::new(&dir, shards);
+    cfg.max_shard_retries = 3;
+    cfg.retry_backoff_ms = 8;
+    cfg.fault =
+        Some(FaultPlan::parse(&format!("kill:shard={victim}:after=0:attempt=any")).unwrap());
+    let mut rec = Recorder::default();
+    assert!(matches!(
+        run_fleet(&spec, &cfg, &mut rec),
+        Err(FleetError::ShardExhausted { .. })
+    ));
+
+    let schedule: Vec<(usize, u64)> = rec
+        .0
+        .iter()
+        .filter_map(|e| match e {
+            Event::ShardRetried {
+                shard,
+                attempt,
+                backoff_ms,
+                ..
+            } if *shard == victim => Some((*attempt, *backoff_ms)),
+            _ => None,
+        })
+        .collect();
+    let expect: Vec<(usize, u64)> = (1..=3)
+        .map(|a| (a, retry_backoff_ms(victim, a, 8)))
+        .collect();
+    assert_eq!(
+        schedule, expect,
+        "every retry announces the exact planned backoff"
+    );
+    // Bounded exponential with deterministic jitter: attempt N waits
+    // base << (N-1) plus a jitter strictly under max(base/4, 1).
+    for (a, ms) in &expect {
+        let exp = 8u64 << (a - 1).min(6);
+        assert!(*ms >= exp && *ms < exp + 2, "attempt {a} waited {ms}ms");
+    }
+    // The exponent is capped: attempt 70 waits no longer than attempt 7.
+    assert!(retry_backoff_ms(victim, 70, 8) <= retry_backoff_ms(victim, 7, 8) + 2);
+    // Zero base (the fast-test escape hatch) and attempt 0 never wait.
+    assert_eq!(retry_backoff_ms(victim, 1, 0), 0);
+    assert_eq!(retry_backoff_ms(victim, 0, 8), 0);
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -293,8 +354,9 @@ mod spawned {
                 sh(format!("cat '{}/stream-{}'", dir.display(), w.shard))
             }
         };
-        let fleet =
-            run_fleet_spawned(&spec, &FleetConfig::new(&dir, shards), &make, &mut rec).unwrap();
+        let mut cfg = FleetConfig::new(&dir, shards);
+        cfg.retry_backoff_ms = 0;
+        let fleet = run_fleet_spawned(&spec, &cfg, &make, &mut rec).unwrap();
         assert_eq!(to_csv(&fleet), to_csv(&single), "respawn == clean sweep");
         assert!(rec.0.iter().any(
             |e| matches!(e, Event::ShardFailed { shard, attempt: 0, .. } if *shard == victim)
@@ -302,6 +364,8 @@ mod spawned {
         assert!(rec.0.contains(&Event::ShardRetried {
             shard: victim,
             attempt: 1,
+            backoff_ms: 0,
+            host: None,
         }));
         assert!(matches!(rec.0.last(), Some(Event::CampaignDone { .. })));
         std::fs::remove_dir_all(&dir).unwrap();
@@ -318,6 +382,7 @@ mod spawned {
 
         let mut cfg = FleetConfig::new(&dir, shards);
         cfg.heartbeat_timeout_ms = 300;
+        cfg.retry_backoff_ms = 0;
         let mut rec = Recorder::default();
         let make = |w: &griffin_fleet::WorkerSpawn| {
             if w.shard == victim && w.attempt == 0 {
@@ -359,6 +424,7 @@ mod spawned {
 
         let mut cfg = FleetConfig::new(&dir, shards);
         cfg.max_shard_retries = 1;
+        cfg.retry_backoff_ms = 0;
         let mut rec = Recorder::default();
         let make = |w: &griffin_fleet::WorkerSpawn| {
             if w.shard == 0 {
@@ -382,4 +448,71 @@ mod spawned {
         assert!(matches!(rec.0.last(), Some(Event::CampaignFailed { .. })));
         std::fs::remove_dir_all(&dir).unwrap();
     }
+}
+
+/// The pre-merge probe turns "something squatting on a shard cache
+/// name" into a typed error naming the path, instead of an opaque io
+/// failure halfway through the merge.
+#[test]
+fn a_file_squatting_on_a_shard_dir_is_a_typed_merge_error() {
+    let dir = scratch_dir("merge-squat");
+    std::fs::create_dir_all(&dir).unwrap();
+    let squatter = dir.join("shard-0");
+    std::fs::write(&squatter, b"not a directory").unwrap();
+    match verify_shard_sources(std::slice::from_ref(&squatter)) {
+        Err(e @ FleetError::ShardDirUnreadable { .. }) => {
+            let FleetError::ShardDirUnreadable { dir: d, .. } = &e else {
+                unreachable!()
+            };
+            assert_eq!(d, &squatter);
+            // The operator-facing message names the path.
+            assert!(e.to_string().contains("shard-0"), "{e}");
+        }
+        other => panic!("expected ShardDirUnreadable, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A shard cache whose permissions were stripped fails the campaign
+/// with the typed error (and a terminal `campaign_failed`), not a
+/// partial merge. Self-skips under root, where DAC is bypassed and
+/// the directory stays readable.
+#[cfg(unix)]
+#[test]
+fn an_unreadable_shard_dir_fails_the_merge_with_a_typed_error() {
+    use std::os::unix::fs::PermissionsExt;
+    let spec = spec();
+    let shards = 2;
+    let dir = scratch_dir("merge-denied");
+
+    let mut cfg = FleetConfig::new(&dir, shards);
+    cfg.retry_backoff_ms = 0;
+    run_fleet(&spec, &cfg, &mut Recorder::default()).unwrap();
+
+    let victim = shard_cache_dir(&dir, 0);
+    std::fs::set_permissions(&victim, std::fs::Permissions::from_mode(0o000)).unwrap();
+    let readable = std::fs::read_dir(&victim).is_ok();
+    if readable {
+        // Root reads it anyway; nothing to assert on this machine.
+        std::fs::set_permissions(&victim, std::fs::Permissions::from_mode(0o755)).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        return;
+    }
+
+    // Resume: every cell is journaled, so the campaign goes straight
+    // to the merge — which must refuse the unreadable source.
+    let mut cfg = FleetConfig::new(&dir, shards);
+    cfg.resume = true;
+    cfg.retry_backoff_ms = 0;
+    let mut rec = Recorder::default();
+    match run_fleet(&spec, &cfg, &mut rec) {
+        Err(FleetError::ShardDirUnreadable { dir: d, .. }) => assert_eq!(d, victim),
+        other => panic!("expected ShardDirUnreadable, got {other:?}"),
+    }
+    assert!(
+        matches!(rec.0.last(), Some(Event::CampaignFailed { .. })),
+        "the stream still terminates"
+    );
+    std::fs::set_permissions(&victim, std::fs::Permissions::from_mode(0o755)).unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
 }

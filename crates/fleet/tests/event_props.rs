@@ -1,8 +1,8 @@
-//! Property tests of the full fleet event schema: every variant (v1 and
-//! v2), serialized and parsed back, over randomized field values —
-//! including degenerate floats, strings that need escaping, unknown
-//! fields (which must be tolerated) and v1 lines (which must still
-//! parse).
+//! Property tests of the full fleet event schema: every variant (v1,
+//! v2 and v3), serialized and parsed back, over randomized field
+//! values — including degenerate floats, strings that need escaping,
+//! unknown fields (which must be tolerated) and legacy lines (which
+//! must still parse).
 
 use griffin_fleet::events::sample::build_event;
 use griffin_fleet::events::Event;
@@ -23,8 +23,8 @@ fn with_unknown_fields(ev: &Event) -> String {
 }
 
 /// Serializes `ev` as a v1 consumer would have written it: no `format`
-/// tag, no v2-only optional fields. The enrichment fields are only
-/// stripped where they are v2 additions — `elapsed_ms`/`cached` are
+/// tag, no v2/v3-only optional fields. The enrichment fields are only
+/// stripped where they are later additions — `elapsed_ms`/`cached` are
 /// original v1 fields on `shard_done`, but additions on `heartbeat`.
 fn as_v1_line(ev: &Event) -> String {
     let Json::Obj(mut m) = ev.to_json() else {
@@ -32,11 +32,72 @@ fn as_v1_line(ev: &Event) -> String {
     };
     m.remove("format");
     m.remove("healed");
+    // `host` is required on host_lost/host_retired (which have no
+    // legacy form at all) — only the shard events carry it optionally.
+    if matches!(
+        ev,
+        Event::ShardStart { .. }
+            | Event::ShardDone { .. }
+            | Event::ShardFailed { .. }
+            | Event::ShardRetried { .. }
+    ) {
+        m.remove("host");
+        m.remove("backoff_ms");
+    }
     if matches!(ev, Event::Heartbeat { .. }) {
         m.remove("elapsed_ms");
         m.remove("cached");
     }
     Json::Obj(m).write()
+}
+
+/// What a legacy (pre-v3) line parses back to: the same event with the
+/// v3 additions at their defaults.
+fn strip_v3(ev: Event) -> Event {
+    match ev {
+        Event::ShardStart {
+            shard,
+            cells,
+            skipped,
+            ..
+        } => Event::ShardStart {
+            shard,
+            cells,
+            skipped,
+            host: None,
+        },
+        Event::ShardDone {
+            shard,
+            simulated,
+            cached,
+            elapsed_ms,
+            ..
+        } => Event::ShardDone {
+            shard,
+            simulated,
+            cached,
+            elapsed_ms,
+            host: None,
+        },
+        Event::ShardFailed {
+            shard,
+            attempt,
+            msg,
+            ..
+        } => Event::ShardFailed {
+            shard,
+            attempt,
+            msg,
+            host: None,
+        },
+        Event::ShardRetried { shard, attempt, .. } => Event::ShardRetried {
+            shard,
+            attempt,
+            backoff_ms: 0,
+            host: None,
+        },
+        other => other,
+    }
 }
 
 proptest! {
@@ -47,7 +108,7 @@ proptest! {
     /// line, since NaN breaks `PartialEq`).
     #[test]
     fn every_event_roundtrips_for_arbitrary_fields(
-        variant in 0usize..12,
+        variant in 0usize..14,
         a in 0u64..u64::MAX,
         b in 0u64..u64::MAX,
         flag in proptest::bool::ANY,
@@ -67,7 +128,7 @@ proptest! {
     /// (no `format` tag, no `healed`) still parse to the same event.
     #[test]
     fn unknown_fields_and_v1_lines_are_tolerated(
-        variant in 0usize..12,
+        variant in 0usize..14,
         a in 0u64..u64::MAX,
         b in 0u64..u64::MAX,
         flag in proptest::bool::ANY,
@@ -89,7 +150,7 @@ proptest! {
                 };
                 prop_assert_eq!((shard, done, total), (s, d, t));
             }
-            other => prop_assert_eq!(other, ev),
+            other => prop_assert_eq!(other, strip_v3(ev)),
         }
     }
 }

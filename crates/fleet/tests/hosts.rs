@@ -1,0 +1,526 @@
+//! Multi-host fleet tests: shards planned onto named hosts, machines
+//! lost mid-campaign, caches pulled back over a (faked) wire — every
+//! path pinned to the crown-jewel invariant that the fleet report is
+//! **byte-identical** to a single-process sweep.
+
+#![cfg(unix)]
+
+use std::path::{Path, PathBuf};
+
+use griffin_core::arch::ArchSpec;
+use griffin_core::category::DnnCategory;
+use griffin_fleet::coordinator::{
+    run_fleet_hosted, run_shard_worker, shard_cache_dir, FleetConfig, FleetError, WorkerConfig,
+};
+use griffin_fleet::events::{Event, EventSink};
+use griffin_fleet::fault::FaultPlan;
+use griffin_fleet::plan::{host_of, ShardPlan};
+use griffin_fleet::transport::{ChaosExec, ExecTransport, LocalExec, SshExec, WorkerInvocation};
+use griffin_sweep::cache::ResultCache;
+use griffin_sweep::executor::run_campaign;
+use griffin_sweep::report::{to_csv, to_json};
+use griffin_sweep::spec::SweepSpec;
+
+fn spec() -> SweepSpec {
+    SweepSpec::new("fleet-hosts")
+        .adhoc_layer("l0", 32, 256, 32, 1.0, 0.2)
+        .adhoc_layer("l1", 16, 128, 64, 0.5, 0.5)
+        .category(DnnCategory::B)
+        .arch(ArchSpec::dense())
+        .arch(ArchSpec::sparse_b_star())
+        .arch(ArchSpec::griffin())
+        .seeds([1, 2])
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "griffin-hosts-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[derive(Default)]
+struct Recorder(Vec<Event>);
+
+impl EventSink for Recorder {
+    fn emit(&mut self, ev: &Event) -> std::io::Result<()> {
+        self.0.push(ev.clone());
+        Ok(())
+    }
+}
+
+/// Records every shard's true event stream into `<dir>/stream-<s>` and
+/// its results into the real shard cache dirs under `dir`.
+fn record_streams(spec: &SweepSpec, dir: &Path, shards: usize) {
+    let plan = ShardPlan::new(spec, shards).unwrap();
+    std::fs::create_dir_all(dir).unwrap();
+    for shard in 0..shards {
+        let out = std::fs::File::create(dir.join(format!("stream-{shard}"))).unwrap();
+        run_shard_worker(
+            spec,
+            &WorkerConfig {
+                shards,
+                shard,
+                expect_fp: Some(plan.spec_fp),
+                journal: None,
+                cache_dir: shard_cache_dir(dir, shard),
+                workers: 2,
+                heartbeat_every: 0,
+                fault: None,
+                attempt: 0,
+            },
+            out,
+        )
+        .unwrap();
+    }
+}
+
+/// A worker "launch" that replays shard `w.shard`'s recorded stream.
+fn cat_invocation(dir: &Path) -> impl Fn(&griffin_fleet::WorkerSpawn) -> WorkerInvocation + Sync {
+    let dir = dir.to_path_buf();
+    move |w| {
+        WorkerInvocation::new(
+            "sh",
+            vec![
+                "-c".into(),
+                format!("cat '{}/stream-{}'", dir.display(), w.shard),
+            ],
+        )
+    }
+}
+
+/// The nonempty shard with the most cells, and the host it homes on.
+fn victim_shard_and_host(spec: &SweepSpec, shards: usize, hosts: usize) -> (usize, usize) {
+    let plan = ShardPlan::new(spec, shards).unwrap();
+    let shard = (0..shards)
+        .max_by_key(|&s| plan.cells[s].len())
+        .expect("plan has shards");
+    (shard, host_of(plan.spec_fp, shard, hosts))
+}
+
+fn two_local_hosts() -> Vec<Box<dyn ExecTransport>> {
+    vec![
+        Box::new(LocalExec::new("h0")) as Box<dyn ExecTransport>,
+        Box::new(LocalExec::new("h1")),
+    ]
+}
+
+#[test]
+fn hosted_fleet_labels_events_and_matches_single_sweep() {
+    let spec = spec();
+    let single = run_campaign(&spec, &ResultCache::in_memory(), 2).unwrap();
+    let shards = 4;
+    let plan = ShardPlan::new(&spec, shards).unwrap();
+    let dir = scratch_dir("label");
+    record_streams(&spec, &dir, shards);
+
+    let mut cfg = FleetConfig::new(&dir, shards);
+    cfg.retry_backoff_ms = 0;
+    let mut rec = Recorder::default();
+    let fleet = run_fleet_hosted(
+        &spec,
+        &cfg,
+        &two_local_hosts(),
+        &cat_invocation(&dir),
+        &mut rec,
+    )
+    .unwrap();
+    assert_eq!(to_csv(&fleet), to_csv(&single), "hosted == clean sweep");
+    assert_eq!(to_json(&fleet), to_json(&single));
+
+    // Every shard lifecycle event is stamped with the shard's
+    // fingerprint-stable home host.
+    let mut labeled = 0;
+    for ev in &rec.0 {
+        let (shard, host) = match ev {
+            Event::ShardStart { shard, host, .. } | Event::ShardDone { shard, host, .. } => {
+                (*shard, host.clone())
+            }
+            _ => continue,
+        };
+        let home = format!("h{}", host_of(plan.spec_fp, shard, 2));
+        assert_eq!(host.as_deref(), Some(home.as_str()), "shard {shard}");
+        labeled += 1;
+    }
+    assert_eq!(labeled, 2 * shards, "every start/done pair is labeled");
+
+    // A healthy campaign loses nothing and retires every host that
+    // carried work — each exactly once.
+    assert!(!rec.0.iter().any(|e| matches!(e, Event::HostLost { .. })));
+    let retired: Vec<_> = rec
+        .0
+        .iter()
+        .filter_map(|e| match e {
+            Event::HostRetired { host } => Some(host.clone()),
+            _ => None,
+        })
+        .collect();
+    let mut homes: Vec<String> = (0..shards)
+        .map(|s| format!("h{}", host_of(plan.spec_fp, s, 2)))
+        .collect();
+    homes.sort();
+    homes.dedup();
+    let mut sorted = retired.clone();
+    sorted.sort();
+    assert_eq!(sorted, homes, "each working host retires exactly once");
+    assert!(matches!(rec.0.last(), Some(Event::CampaignDone { .. })));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn partitioned_host_is_lost_and_shards_move_to_survivors() {
+    let spec = spec();
+    let single = run_campaign(&spec, &ResultCache::in_memory(), 2).unwrap();
+    let shards = 4;
+    let (_, victim_host) = victim_shard_and_host(&spec, shards, 2);
+    let victim = format!("h{victim_host}");
+    let survivor = format!("h{}", 1 - victim_host);
+    let dir = scratch_dir("partition");
+    record_streams(&spec, &dir, shards);
+
+    // The victim's network drops on every attempt: streams sever at the
+    // first cell_done, so nothing launched there ever finishes.
+    let plan = FaultPlan::parse(&format!("partition:host={victim}:after=0:attempt=any")).unwrap();
+    let transports: Vec<Box<dyn ExecTransport>> = vec![
+        Box::new(ChaosExec::new(LocalExec::new("h0"), plan.clone())),
+        Box::new(ChaosExec::new(LocalExec::new("h1"), plan)),
+    ];
+
+    let mut cfg = FleetConfig::new(&dir, shards);
+    cfg.retry_backoff_ms = 0;
+    cfg.max_shard_retries = 4;
+    let mut rec = Recorder::default();
+    let fleet =
+        run_fleet_hosted(&spec, &cfg, &transports, &cat_invocation(&dir), &mut rec).unwrap();
+    assert_eq!(
+        to_csv(&fleet),
+        to_csv(&single),
+        "losing a machine mid-campaign must not change a byte"
+    );
+
+    // The loss is declared exactly once, and re-queued shards announce
+    // their new host.
+    let losses: Vec<_> = rec
+        .0
+        .iter()
+        .filter_map(|e| match e {
+            Event::HostLost { host, .. } => Some(host.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(losses, vec![victim.clone()], "one loss, the victim");
+    assert!(
+        rec.0.iter().any(|e| matches!(
+            e,
+            Event::ShardRetried { host: Some(h), .. } if *h == survivor
+        )),
+        "a re-queued shard moved to the survivor"
+    );
+    // Shards that finish after the loss all ran on the survivor.
+    let lost_at = rec
+        .0
+        .iter()
+        .position(|e| matches!(e, Event::HostLost { .. }))
+        .unwrap();
+    for ev in &rec.0[lost_at..] {
+        if let Event::ShardDone { host, .. } = ev {
+            assert_eq!(host.as_deref(), Some(survivor.as_str()));
+        }
+    }
+    assert!(matches!(rec.0.last(), Some(Event::CampaignDone { .. })));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn refused_spawns_burn_attempts_then_recover_on_the_same_host() {
+    let spec = spec();
+    let single = run_campaign(&spec, &ResultCache::in_memory(), 2).unwrap();
+    let shards = 3;
+    let (victim_shard, victim_host) = victim_shard_and_host(&spec, shards, 2);
+    let victim = format!("h{victim_host}");
+    let dir = scratch_dir("refuse");
+    record_streams(&spec, &dir, shards);
+
+    // The victim host refuses exactly one launch per shard, then
+    // recovers — a flaky machine, not a dead one.
+    let plan = FaultPlan::parse(&format!("refuse-spawn:host={victim}:attempts=1")).unwrap();
+    let transports: Vec<Box<dyn ExecTransport>> = vec![
+        Box::new(ChaosExec::new(LocalExec::new("h0"), plan.clone())),
+        Box::new(ChaosExec::new(LocalExec::new("h1"), plan)),
+    ];
+
+    let mut cfg = FleetConfig::new(&dir, shards);
+    cfg.retry_backoff_ms = 0;
+    // Keep the host alive: its failures must not cross the loss limit.
+    cfg.host_failure_limit = 0;
+    let mut rec = Recorder::default();
+    let fleet =
+        run_fleet_hosted(&spec, &cfg, &transports, &cat_invocation(&dir), &mut rec).unwrap();
+    assert_eq!(to_csv(&fleet), to_csv(&single));
+    let msg = rec
+        .0
+        .iter()
+        .find_map(|e| match e {
+            Event::ShardFailed { shard, msg, .. } if *shard == victim_shard => Some(msg.clone()),
+            _ => None,
+        })
+        .expect("the refused launch is reported");
+    assert!(
+        msg.contains("refuses the spawn") && msg.contains(&victim),
+        "{msg}"
+    );
+    assert!(!rec.0.iter().any(|e| matches!(e, Event::HostLost { .. })));
+    assert!(matches!(rec.0.last(), Some(Event::CampaignDone { .. })));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn failed_pull_backs_burn_an_attempt_and_heal_through_the_journal() {
+    let spec = spec();
+    let single = run_campaign(&spec, &ResultCache::in_memory(), 2).unwrap();
+    let shards = 3;
+    let (victim_shard, victim_host) = victim_shard_and_host(&spec, shards, 2);
+    let victim = format!("h{victim_host}");
+    let dir = scratch_dir("pull");
+    record_streams(&spec, &dir, shards);
+
+    // Workers on the victim succeed, but their caches can never be
+    // pulled back — indistinguishable from a machine that falls off the
+    // network right after computing.
+    let plan = FaultPlan::parse(&format!("fail-pull:host={victim}:attempt=any")).unwrap();
+    let transports: Vec<Box<dyn ExecTransport>> = vec![
+        Box::new(ChaosExec::new(LocalExec::new("h0"), plan.clone())),
+        Box::new(ChaosExec::new(LocalExec::new("h1"), plan)),
+    ];
+
+    let mut cfg = FleetConfig::new(&dir, shards);
+    cfg.retry_backoff_ms = 0;
+    cfg.max_shard_retries = 4;
+    let mut rec = Recorder::default();
+    let fleet =
+        run_fleet_hosted(&spec, &cfg, &transports, &cat_invocation(&dir), &mut rec).unwrap();
+    assert_eq!(to_csv(&fleet), to_csv(&single));
+    let msg = rec
+        .0
+        .iter()
+        .find_map(|e| match e {
+            Event::ShardFailed { shard, msg, .. } if *shard == victim_shard => Some(msg.clone()),
+            _ => None,
+        })
+        .expect("the failed pull is reported");
+    assert!(msg.contains("cache pull failed twice"), "{msg}");
+    assert!(msg.contains(&victim), "{msg}");
+    // The failed attempt journaled every completion before the pull
+    // died, so the retry finds nothing left to run: it completes from
+    // the journal (skipping every cell) without paying another pull.
+    assert!(
+        rec.0.iter().any(|e| matches!(
+            e,
+            Event::ShardStart { shard, cells, skipped, .. }
+                if *shard == victim_shard && cells == skipped && *cells > 0
+        )),
+        "the retry skipped every journaled cell"
+    );
+    assert!(matches!(rec.0.last(), Some(Event::CampaignDone { .. })));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn torn_pull_backs_are_accepted_and_healed_by_merge_and_replay() {
+    let spec = spec();
+    let single = run_campaign(&spec, &ResultCache::in_memory(), 2).unwrap();
+    let shards = 3;
+    let (_, victim_host) = victim_shard_and_host(&spec, shards, 2);
+    let victim = format!("h{victim_host}");
+    let dir = scratch_dir("torn-pull");
+    record_streams(&spec, &dir, shards);
+
+    // Every pull from the victim arrives torn mid-transfer. The
+    // coordinator re-pulls once, accepts the copy, and lets the
+    // merge/replay pipeline make up the difference.
+    let plan = FaultPlan::parse(&format!("corrupt-pull:host={victim}:attempt=any")).unwrap();
+    let transports: Vec<Box<dyn ExecTransport>> = vec![
+        Box::new(ChaosExec::new(LocalExec::new("h0"), plan.clone())),
+        Box::new(ChaosExec::new(LocalExec::new("h1"), plan)),
+    ];
+
+    let mut cfg = FleetConfig::new(&dir, shards);
+    cfg.retry_backoff_ms = 0;
+    let mut rec = Recorder::default();
+    let fleet =
+        run_fleet_hosted(&spec, &cfg, &transports, &cat_invocation(&dir), &mut rec).unwrap();
+    assert_eq!(
+        to_csv(&fleet),
+        to_csv(&single),
+        "a torn pull never changes the report"
+    );
+    assert!(
+        !rec.0.iter().any(|e| matches!(e, Event::ShardFailed { .. })),
+        "torn pulls are absorbed, not failures"
+    );
+    let Some(Event::MergeDone { conflicts, .. }) =
+        rec.0.iter().find(|e| matches!(e, Event::MergeDone { .. }))
+    else {
+        panic!("no merge_done");
+    };
+    assert_eq!(*conflicts, 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn an_empty_transport_slice_is_exhausted_before_it_starts() {
+    let spec = spec();
+    let dir = scratch_dir("no-hosts");
+    let mut rec = Recorder::default();
+    match run_fleet_hosted(
+        &spec,
+        &FleetConfig::new(&dir, 2),
+        &[],
+        &cat_invocation(&dir),
+        &mut rec,
+    ) {
+        Err(FleetError::HostsExhausted { hosts: 0 }) => {}
+        other => panic!("expected HostsExhausted, got {other:?}"),
+    }
+    assert!(
+        matches!(rec.0.last(), Some(Event::CampaignFailed { .. })),
+        "failure is terminal on every exit path"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn every_host_partitioned_exhausts_the_shard_not_the_invariant() {
+    let spec = spec();
+    let single = run_campaign(&spec, &ResultCache::in_memory(), 2).unwrap();
+    let shards = 2;
+    let dir = scratch_dir("all-down");
+    record_streams(&spec, &dir, shards);
+
+    // Both machines drop every stream. The last host standing is never
+    // declared lost — the shard burns its retry budget there and the
+    // campaign fails terminally instead of spinning.
+    let plan = FaultPlan::parse(
+        "partition:host=h0:after=0:attempt=any;partition:host=h1:after=0:attempt=any",
+    )
+    .unwrap();
+    let transports: Vec<Box<dyn ExecTransport>> = vec![
+        Box::new(ChaosExec::new(LocalExec::new("h0"), plan.clone())),
+        Box::new(ChaosExec::new(LocalExec::new("h1"), plan)),
+    ];
+    let mut cfg = FleetConfig::new(&dir, shards);
+    cfg.retry_backoff_ms = 0;
+    cfg.max_shard_retries = 2;
+    let mut rec = Recorder::default();
+    match run_fleet_hosted(&spec, &cfg, &transports, &cat_invocation(&dir), &mut rec) {
+        Err(FleetError::ShardExhausted { .. }) => {}
+        other => panic!("expected exhausted retries, got {other:?}"),
+    }
+    assert!(matches!(rec.0.last(), Some(Event::CampaignFailed { .. })));
+
+    // The journal is not poisoned: resuming on a healthy fleet
+    // completes byte-identically.
+    let mut cfg = FleetConfig::new(&dir, shards);
+    cfg.retry_backoff_ms = 0;
+    cfg.resume = true;
+    let mut rec = Recorder::default();
+    let fleet = run_fleet_hosted(
+        &spec,
+        &cfg,
+        &two_local_hosts(),
+        &cat_invocation(&dir),
+        &mut rec,
+    )
+    .unwrap();
+    assert_eq!(to_csv(&fleet), to_csv(&single), "resume after the outage");
+    assert!(matches!(rec.0.last(), Some(Event::CampaignDone { .. })));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// End-to-end over `SshExec` with fake `ssh`/`scp` programs: the
+/// "remote" machine is a sibling directory, the fakes rewrite the
+/// mirrored paths, and the shard caches genuinely move — the pull-back
+/// and its verification run for real.
+#[test]
+fn ssh_transport_ships_runs_and_pulls_through_fake_programs() {
+    let spec = spec();
+    let single = run_campaign(&spec, &ResultCache::in_memory(), 2).unwrap();
+    let shards = 2;
+    let dir = scratch_dir("ssh");
+    let remote = scratch_dir("ssh-remote");
+    // The "remote" filesystem: recorded streams and the caches the
+    // workers will have produced live only there.
+    record_streams(&spec, &remote, shards);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // fake ssh: `ssh <host> <command>` — rewrite local paths to the
+    // remote root and run the command here.
+    let write_tool = |name: &str, body: String| -> PathBuf {
+        let path = dir.join(name);
+        std::fs::write(&path, body).unwrap();
+        let mut perm = std::fs::metadata(&path).unwrap().permissions();
+        use std::os::unix::fs::PermissionsExt;
+        perm.set_mode(0o755);
+        std::fs::set_permissions(&path, perm).unwrap();
+        path
+    };
+    let ssh = write_tool(
+        "fake-ssh",
+        format!(
+            "#!/bin/sh\nshift\ncmd=$(printf '%s' \"$1\" | sed \"s|{local}|{remote}|g\")\n\
+             eval \"$cmd\"\n",
+            local = dir.display(),
+            remote = remote.display()
+        ),
+    );
+    // fake scp: strip flags and `host:` prefixes, rewrite the remote
+    // side's path to the remote root, then copy.
+    let scp = write_tool(
+        "fake-scp",
+        format!(
+            "#!/bin/sh\nargs=\"\"\nfor a in \"$@\"; do\n  case \"$a\" in\n    -*) ;;\n    \
+             *:*) args=\"$args $(printf '%s' \"${{a#*:}}\" | sed \"s|{local}|{remote}|g\")\" ;;\n    \
+             *) args=\"$args $a\" ;;\n  esac\ndone\ncp -r $args\n",
+            local = dir.display(),
+            remote = remote.display()
+        ),
+    );
+
+    // Ship a file by content before the first launch.
+    let shipped_src = dir.join("scenario.toml");
+    std::fs::write(&shipped_src, "campaign = \"fleet-hosts\"\n").unwrap();
+    let make_ssh = |host: &str| {
+        SshExec::new(host)
+            .with_programs(ssh.display().to_string(), scp.display().to_string())
+            .with_shipped_file(&shipped_src)
+    };
+    let transports: Vec<Box<dyn ExecTransport>> =
+        vec![Box::new(make_ssh("h0")), Box::new(make_ssh("h1"))];
+
+    let mut cfg = FleetConfig::new(&dir, shards);
+    cfg.retry_backoff_ms = 0;
+    let mut rec = Recorder::default();
+    let fleet =
+        run_fleet_hosted(&spec, &cfg, &transports, &cat_invocation(&dir), &mut rec).unwrap();
+    assert_eq!(to_csv(&fleet), to_csv(&single), "ssh fleet == clean sweep");
+
+    // The shard caches were genuinely pulled back into the local fleet
+    // dir, and the shipped file landed on the "remote" machine.
+    for shard in 0..shards {
+        assert!(
+            shard_cache_dir(&dir, shard).is_dir(),
+            "shard {shard} cache pulled back"
+        );
+    }
+    assert_eq!(
+        std::fs::read_to_string(remote.join("scenario.toml")).unwrap(),
+        "campaign = \"fleet-hosts\"\n",
+        "shipped by content to the mirrored remote path"
+    );
+    assert!(matches!(rec.0.last(), Some(Event::CampaignDone { .. })));
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&remote).unwrap();
+}

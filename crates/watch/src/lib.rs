@@ -1,7 +1,7 @@
 //! Live observability for Griffin fleet campaigns.
 //!
 //! A fleet run narrates itself through an append-only JSONL event
-//! stream (`griffin-fleet-events/2`); this crate is the consumer side:
+//! stream (`griffin-fleet-events/3`); this crate is the consumer side:
 //! it attaches to that stream — live or finished — **without ever
 //! writing to the run directory**, folds it into a [`CampaignModel`],
 //! and renders the result as a terminal dashboard, a machine-readable

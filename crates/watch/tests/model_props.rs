@@ -15,18 +15,30 @@ use proptest::prelude::*;
 /// serialized lines must round-trip cleanly for the v1/v2 comparison).
 fn event_from(draw: (usize, u64, u64, bool)) -> Event {
     let (variant, a, b, flag) = draw;
-    build_event(variant % 12, a, b, flag, 0)
+    build_event(variant % 14, a, b, flag, 0)
 }
 
-/// Serializes `ev` the way a v1 producer would have: no v2-only
+/// Serializes `ev` the way a v1 producer would have: no v2/v3-only
 /// optional fields (`healed` on merge_done; the enrichment pair on
-/// heartbeat).
+/// heartbeat; `host`/`backoff_ms` on the shard lifecycle events).
 fn as_v1_line(ev: &Event) -> String {
     let Json::Obj(mut m) = ev.to_json() else {
         panic!("events serialize to objects");
     };
     m.remove("format");
     m.remove("healed");
+    // `host` is required on host_lost/host_retired (which have no
+    // legacy form at all) — only the shard events carry it optionally.
+    if matches!(
+        ev,
+        Event::ShardStart { .. }
+            | Event::ShardDone { .. }
+            | Event::ShardFailed { .. }
+            | Event::ShardRetried { .. }
+    ) {
+        m.remove("host");
+        m.remove("backoff_ms");
+    }
     if matches!(ev, Event::Heartbeat { .. }) {
         m.remove("elapsed_ms");
         m.remove("cached");
@@ -44,7 +56,7 @@ proptest! {
     #[test]
     fn fold_is_total_monotone_and_terminal_correct(
         draws in proptest::collection::vec(
-            (0usize..12, 0u64..u64::MAX, 0u64..u64::MAX, proptest::bool::ANY),
+            (0usize..14, 0u64..u64::MAX, 0u64..u64::MAX, proptest::bool::ANY),
             0..120,
         ),
     ) {
@@ -95,7 +107,7 @@ proptest! {
     #[test]
     fn v2_lines_match_events_and_v1_lines_match_on_core_counters(
         draws in proptest::collection::vec(
-            (0usize..12, 0u64..u64::MAX, 0u64..u64::MAX, proptest::bool::ANY),
+            (0usize..14, 0u64..u64::MAX, 0u64..u64::MAX, proptest::bool::ANY),
             0..60,
         ),
     ) {
@@ -145,6 +157,7 @@ proptest! {
                 shard: s,
                 cells: cells / shards,
                 skipped: 0,
+                host: None,
             });
         }
         // A deterministic shuffle of cell completion order.

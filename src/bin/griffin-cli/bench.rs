@@ -333,6 +333,7 @@ fn watch_stream_lines() -> Vec<String> {
             shard,
             cells: planned,
             skipped: 0,
+            host: None,
         });
         for d in 0..planned {
             let cell = shard * planned + d;
@@ -360,6 +361,7 @@ fn watch_stream_lines() -> Vec<String> {
             simulated: planned - planned / 3,
             cached: planned / 3,
             elapsed_ms: 321,
+            host: None,
         });
     }
     evs.push(Event::MergeDone {

@@ -5,12 +5,47 @@
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
+use std::time::{Duration, Instant};
 
 const CLI: &str = env!("CARGO_BIN_EXE_griffin-cli");
 
 /// Tiny fast campaign: synth workload, one seed, fan-in 3 family
 /// (7 cells).
 const CAMPAIGN: &[&str] = &["synth", "b", "--tiles", "2", "--seeds", "1", "--fanin", "3"];
+
+/// The [`CAMPAIGN`] tokens as the spec the CLI builds from them — the
+/// same construction `build_sweep_spec` performs, so tests can compute
+/// the deterministic shard plan (and host assignment) the coordinator
+/// will use.
+fn campaign_spec() -> griffin::sweep::SweepSpec {
+    let mut spec = griffin::sweep::SweepSpec::new("sweep-synth-b")
+        .category(griffin::core::category::DnnCategory::B)
+        .seeds([1])
+        .sim(griffin::sim::config::SimConfig {
+            fidelity: griffin::sim::config::Fidelity::Sampled {
+                tiles: 2,
+                seed: 0xBEEF,
+            },
+            ..Default::default()
+        });
+    spec.workloads
+        .push(griffin::sweep::scenario::parse_workload("synth").expect("synth token"));
+    spec.arch(griffin::core::arch::ArchSpec::dense())
+        .family(griffin::sweep::ArchFamily::SparseB { max_fanin: 3 })
+}
+
+/// Polls `path` until it contains `needle` (files the campaign is
+/// still writing), or gives up after `timeout`.
+fn wait_for_marker(path: &Path, needle: &str, timeout: Duration) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < timeout {
+        if std::fs::read_to_string(path).is_ok_and(|s| s.contains(needle)) {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    false
+}
 
 fn scratch_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("griffin-fleet-cli-{tag}-{}", std::process::id()));
@@ -165,7 +200,7 @@ fn killed_worker_is_retried_and_the_report_still_matches_sweep() {
         "\"ev\":\"shard_failed\"",
         "\"ev\":\"cells_requeued\"",
         "\"ev\":\"shard_retried\"",
-        "griffin-fleet-events/2",
+        "griffin-fleet-events/3",
     ] {
         assert!(events.contains(marker), "stream must record {marker}");
     }
@@ -253,6 +288,187 @@ fn fleet_rejects_resuming_a_different_campaign_grid() {
     assert!(
         stderr.contains("different campaign"),
         "stderr should explain the mismatch: {stderr}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn sigint_drains_cleanly_and_resume_completes_byte_identical() {
+    let dir = scratch_dir("sigint");
+
+    let mut sweep_args = vec!["sweep"];
+    sweep_args.extend(CAMPAIGN);
+    sweep_args.extend(["--workers", "2", "--csv", "single.csv"]);
+    run(&sweep_args, &dir);
+
+    // A worker that goes silent after one cell keeps the campaign
+    // running forever (no heartbeat timeout is set) — the interrupt is
+    // the only way out, exactly the operator scenario.
+    let plan = griffin::fleet::plan::ShardPlan::new(&campaign_spec(), 2).unwrap();
+    let victim = (0..2).max_by_key(|&s| plan.cells[s].len()).unwrap();
+    let mut fleet_args = vec!["fleet"];
+    fleet_args.extend(CAMPAIGN);
+    fleet_args.extend([
+        "--shards",
+        "2",
+        "--spawn",
+        "--dir",
+        "fs",
+        "--csv",
+        "fleet.csv",
+    ]);
+    let mut child = Command::new(CLI)
+        .args(&fleet_args)
+        .env(
+            "GRIFFIN_FAULT",
+            format!("stall:shard={victim}:after=1:attempt=any"),
+        )
+        .current_dir(&dir)
+        .spawn()
+        .unwrap();
+
+    // Wait until real work is journaled, then ^C the coordinator.
+    assert!(
+        wait_for_marker(
+            &dir.join("fs/events.jsonl"),
+            "\"ev\":\"cell_done\"",
+            Duration::from_secs(60),
+        ),
+        "the campaign never started producing cells"
+    );
+    assert!(Command::new("kill")
+        .args(["-2", &child.id().to_string()])
+        .status()
+        .unwrap()
+        .success());
+    let waited = Instant::now();
+    let status = loop {
+        if let Some(s) = child.try_wait().unwrap() {
+            break s;
+        }
+        assert!(
+            waited.elapsed() < Duration::from_secs(60),
+            "interrupted fleet did not exit"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(!status.success(), "an interrupted campaign is a failure");
+
+    // The stream terminated with a campaign_failed naming the
+    // interrupt, and every line still parses.
+    let events = std::fs::read_to_string(dir.join("fs/events.jsonl")).unwrap();
+    let last = events.lines().last().unwrap();
+    assert!(
+        last.contains("\"campaign_failed\"") && last.contains("interrupt"),
+        "terminal event: {last}"
+    );
+    for line in events.lines() {
+        griffin::fleet::Event::parse_line(line).expect("every stream line parses");
+    }
+
+    // The journal survived: a resume (fault cleared) finishes the
+    // campaign byte-identical to the single-process sweep.
+    let mut resume_args = vec!["fleet"];
+    resume_args.extend(CAMPAIGN);
+    resume_args.extend([
+        "--shards",
+        "2",
+        "--spawn",
+        "--resume",
+        "--dir",
+        "fs",
+        "--csv",
+        "resumed.csv",
+    ]);
+    run(&resume_args, &dir);
+    assert_eq!(
+        std::fs::read(dir.join("single.csv")).unwrap(),
+        std::fs::read(dir.join("resumed.csv")).unwrap(),
+        "resumed-after-interrupt CSV must be byte-identical to sweep"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn multi_host_fleet_survives_a_partitioned_host_and_matches_sweep() {
+    let dir = scratch_dir("hosts");
+
+    let mut sweep_args = vec!["sweep"];
+    sweep_args.extend(CAMPAIGN);
+    sweep_args.extend(["--workers", "2", "--csv", "single.csv"]);
+    run(&sweep_args, &dir);
+
+    // Two "machines" (both LocalExec under the hood); the victim is
+    // the home host of the busiest shard, so the partition provably
+    // bites and its shards provably move.
+    let shards = 3;
+    let plan = griffin::fleet::plan::ShardPlan::new(&campaign_spec(), shards).unwrap();
+    let busiest = (0..shards).max_by_key(|&s| plan.cells[s].len()).unwrap();
+    let victim = ["h0", "h1"][griffin::fleet::plan::host_of(plan.spec_fp, busiest, 2)];
+    let survivor = if victim == "h0" { "h1" } else { "h0" };
+
+    let mut fleet_args = vec!["fleet"];
+    fleet_args.extend(CAMPAIGN);
+    fleet_args.extend([
+        "--shards",
+        "3",
+        "--hosts",
+        "local:h0,local:h1",
+        "--max-shard-retries",
+        "4",
+        "--dir",
+        "fs",
+        "--csv",
+        "fleet.csv",
+    ]);
+    let out = Command::new(CLI)
+        .args(&fleet_args)
+        .env(
+            "GRIFFIN_FAULT",
+            format!("partition:host={victim}:after=0:attempt=any"),
+        )
+        .current_dir(&dir)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "the fleet must survive losing a host:\n{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        std::fs::read(dir.join("single.csv")).unwrap(),
+        std::fs::read(dir.join("fleet.csv")).unwrap(),
+        "one host down, report still byte-identical to sweep"
+    );
+
+    let events = std::fs::read_to_string(dir.join("fs/events.jsonl")).unwrap();
+    for marker in [
+        "griffin-fleet-events/3",
+        "\"ev\":\"host_lost\"",
+        &format!("\"host\":\"{victim}\"") as &str,
+        &format!("\"host\":\"{survivor}\"") as &str,
+    ] {
+        assert!(events.contains(marker), "stream must record {marker}");
+    }
+    let last = events.lines().last().unwrap();
+    assert!(last.contains("\"campaign_done\""), "terminal event: {last}");
+    for line in events.lines() {
+        griffin::fleet::Event::parse_line(line).expect("every stream line parses");
+    }
+
+    // The observability side reports the loss: one lost host in the
+    // one-shot summary, with per-host states.
+    let watch = run(&["fleet", "watch", "fs", "--json"], &dir);
+    let summary = String::from_utf8(watch.stdout).unwrap();
+    assert!(
+        summary.contains("\"hosts_lost\":1"),
+        "watch --json sees the lost host: {summary}"
+    );
+    assert!(
+        summary.contains(&format!("\"host\":\"{victim}\""))
+            && summary.contains("\"state\":\"lost\""),
+        "summary names the lost host: {summary}"
     );
     std::fs::remove_dir_all(&dir).unwrap();
 }
