@@ -71,7 +71,8 @@ use std::time::{Duration, Instant};
 
 use griffin_sweep::cache::{merge_dirs, scan_dir, ResultCache};
 use griffin_sweep::executor::{
-    default_workers, run_campaign, run_cells_bounded, CampaignReport, CellEvent, SweepError,
+    default_workers, run_campaign, run_cells_pooled, CampaignReport, CellEvent, ScratchPool,
+    SweepError,
 };
 use griffin_sweep::fingerprint::{Fingerprint, Hasher};
 use griffin_sweep::scenario::ScenarioProvenance;
@@ -129,6 +130,19 @@ pub struct FleetConfig {
     /// launched from a scenario file. Informational — it never affects
     /// planning, sharding, or resume matching.
     pub scenario: Option<ScenarioProvenance>,
+    /// Warm result cache shared across campaigns by a resident driver
+    /// (the serve daemon). When set, the **in-process** coordinator runs
+    /// every shard against this cache instead of per-shard `shard-<i>/`
+    /// directories, and the final report replays the grid against it
+    /// directly — no merge step. Spawned/hosted fleets ignore it (their
+    /// workers are separate processes with private caches).
+    pub shared_cache: Option<Arc<ResultCache>>,
+    /// Scratch pool shared across campaigns by a resident driver:
+    /// in-process shard workers check their simulation scratches out of
+    /// it, so buffer capacity and matching-scope tile grids survive
+    /// from one campaign to the next. `None` (one-shot runs) makes each
+    /// worker build a fresh scratch, as ever.
+    pub scratch_pool: Option<Arc<ScratchPool>>,
 }
 
 impl FleetConfig {
@@ -148,6 +162,8 @@ impl FleetConfig {
             abort: None,
             fault: None,
             scenario: None,
+            shared_cache: None,
+            scratch_pool: None,
         }
     }
 
@@ -471,7 +487,8 @@ impl<'a> Shared<'a> {
 /// its `shard_done`. `build_workers` bounds the executor's phase-2
 /// build pool: the whole machine for the in-process coordinator, the
 /// worker's pinned thread budget for spawned shards (N concurrent
-/// siblings share the cores).
+/// siblings share the cores). `pool` is the resident driver's warm
+/// scratch pool, when one exists (`None` = fresh scratches).
 #[allow(clippy::too_many_arguments)]
 fn run_shard_cells(
     spec: &SweepSpec,
@@ -485,6 +502,7 @@ fn run_shard_cells(
     heartbeat_every: usize,
     shared: &Mutex<Shared<'_>>,
     emit_done: bool,
+    pool: Option<&ScratchPool>,
 ) -> Result<(), FleetError> {
     let start = Instant::now();
     shared.lock().expect("fleet lock").emit(&Event::ShardStart {
@@ -536,7 +554,16 @@ fn run_shard_cells(
             }
         }
     };
-    run_cells_bounded(spec, todo, cache, workers, build_workers, &observe)?;
+    let throwaway = ScratchPool::new();
+    run_cells_pooled(
+        spec,
+        todo,
+        cache,
+        workers,
+        build_workers,
+        &observe,
+        pool.unwrap_or(&throwaway),
+    )?;
     let mut g = shared.lock().expect("fleet lock");
     g.take_err()?;
     if emit_done {
@@ -600,6 +627,21 @@ fn finalize(
     sink: &mut dyn EventSink,
     start: Instant,
 ) -> Result<CampaignReport, FleetError> {
+    if let Some(shared) = &cfg.shared_cache {
+        // A resident driver's shards all wrote into one warm cache —
+        // there are no shard directories and nothing to merge. Replaying
+        // the grid against it yields the same record list a standalone
+        // single-process run produces (the byte-identity guarantee is
+        // the replay, not the merge).
+        let mut report = run_campaign(spec, shared, cfg.workers)?;
+        report.workers = cfg.workers;
+        report.elapsed_ms = start.elapsed().as_millis();
+        sink.emit(&Event::CampaignDone {
+            cells: report.cells.len(),
+            elapsed_ms: report.elapsed_ms as u64,
+        })?;
+        return Ok(report);
+    }
     let sources = existing_shard_dirs(&cfg.dir)?;
     verify_shard_sources(&sources)?;
     let merged_dir = merged_cache_dir(&cfg.dir);
@@ -743,7 +785,14 @@ fn run_fleet_inner(
 
     for (shard, shard_cells) in plan.cells.iter().enumerate() {
         let cache_dir = shard_cache_dir(&cfg.dir, shard);
-        let cache = ResultCache::at_dir(&cache_dir)?;
+        let local_cache;
+        let cache: &ResultCache = match &cfg.shared_cache {
+            Some(shared) => shared,
+            None => {
+                local_cache = ResultCache::at_dir(&cache_dir)?;
+                &local_cache
+            }
+        };
         let mut attempt = 0usize;
         loop {
             if cfg.abort_requested() {
@@ -774,7 +823,7 @@ fn run_fleet_inner(
                 &todo,
                 shard_cells.len(),
                 skipped,
-                &cache,
+                cache,
                 cfg.workers,
                 // In-process: this is the machine's only campaign
                 // process, so builds use every core as plain `sweep`
@@ -783,6 +832,7 @@ fn run_fleet_inner(
                 cfg.heartbeat_every,
                 &shared,
                 die.is_none(),
+                cfg.scratch_pool.as_deref(),
             );
             appends = shared.into_inner().expect("fleet lock").appends;
             let attempt_result = run.and_then(|()| {
@@ -1604,6 +1654,7 @@ pub fn run_shard_worker(
         cfg.heartbeat_every,
         &shared,
         die.is_none(),
+        None,
     )?;
     if fault_plan.is_some_and(|f| f.corrupts_cache(cfg.shard, cfg.attempt)) {
         fault::corrupt_shard_cache(&cfg.cache_dir)?;

@@ -635,10 +635,7 @@ impl<W: Write + Send> JsonlSink<W> {
 
 impl<W: Write + Send> EventSink for JsonlSink<W> {
     fn emit(&mut self, ev: &Event) -> io::Result<()> {
-        let mut line = ev.to_line();
-        line.push('\n');
-        self.w.write_all(line.as_bytes())?;
-        self.w.flush()
+        crate::jsonl::append_line(&mut self.w, &ev.to_line())
     }
 }
 

@@ -203,7 +203,7 @@ impl Journal {
             }
         }
         let mut file = std::fs::File::create(&path)?;
-        writeln!(file, "{}", header.to_line())?;
+        crate::jsonl::append_line(&mut file, &header.to_line())?;
         file.sync_data()?;
         Ok(Journal {
             file,
@@ -321,7 +321,7 @@ impl Journal {
         }
         let mut file = std::fs::OpenOptions::new().append(true).open(&path)?;
         if let Some((cell, fp)) = tail_entry {
-            writeln!(file, "{}", entry_line(cell, fp))?;
+            crate::jsonl::append_line(&mut file, &entry_line(cell, fp))?;
         }
         Ok(Journal {
             file,
@@ -359,7 +359,7 @@ impl Journal {
     /// hidden, at write time.
     pub fn append(&mut self, cell: usize, fp: Fingerprint) -> io::Result<()> {
         match self.completed.insert(cell, fp) {
-            None => writeln!(self.file, "{}", entry_line(cell, fp)),
+            None => crate::jsonl::append_line(&mut self.file, &entry_line(cell, fp)),
             Some(prev) if prev == fp => Ok(()), // already journaled (twin / cached replay)
             Some(prev) => {
                 self.completed.insert(cell, prev); // keep the journaled truth

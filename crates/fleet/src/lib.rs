@@ -22,6 +22,8 @@
 //!   protocol,
 //! * [`journal`] — the append-only completed-cell journal behind
 //!   `--resume`,
+//! * [`jsonl`] — the one-record-one-write line framing every
+//!   append-only stream (events, journal, serve wire) goes through,
 //! * [`tail`] — the truncation-tolerant line-tail rule shared by the
 //!   journal loader and live event-stream consumers,
 //! * [`coordinator`] — the in-process and subprocess campaign drivers
@@ -64,6 +66,7 @@ pub mod coordinator;
 pub mod events;
 pub mod fault;
 pub mod journal;
+pub mod jsonl;
 pub mod plan;
 pub mod tail;
 pub mod transport;

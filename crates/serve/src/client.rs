@@ -1,0 +1,278 @@
+//! Client side of the serve wire: connect, handshake, and the
+//! request/stream helpers the CLI (`serve submit`, `serve status`,
+//! `fleet watch --connect`) and the bench probe are built on.
+
+use std::io::{self, BufRead, BufReader};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+
+use griffin_fleet::jsonl;
+use griffin_sweep::json::Json;
+
+use crate::net::{Conn, ServeAddr};
+use crate::wire::{Message, ReportKind, ScenarioSource, StreamOutcome, WireError};
+
+/// A connected, handshaken wire client.
+#[derive(Debug)]
+pub struct Client {
+    r: BufReader<Conn>,
+    w: Conn,
+    /// The server identity from `hello_ok`.
+    pub server: String,
+    /// The daemon's worker budget from `hello_ok`.
+    pub workers: usize,
+}
+
+/// A client-side wire failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The server's line did not parse.
+    Wire(WireError),
+    /// The server replied `error` (request refused; connection fine).
+    Server(String),
+    /// The server closed the stream where a reply was required.
+    Disconnected,
+    /// The server sent a well-formed but out-of-protocol reply.
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "serve connection error: {e}"),
+            ClientError::Wire(e) => write!(f, "{e}"),
+            ClientError::Server(msg) => write!(f, "server refused: {msg}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::Unexpected(what) => write!(f, "unexpected server reply: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+impl Client {
+    /// Connects to the daemon and performs the hello handshake.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, a refused hello, or a non-`hello_ok`
+    /// first reply.
+    pub fn connect(addr: &ServeAddr, client_name: &str) -> Result<Client, ClientError> {
+        let conn = match addr {
+            ServeAddr::Unix(path) => Conn::Unix(UnixStream::connect(path)?),
+            ServeAddr::Tcp(hostport) => Conn::Tcp(TcpStream::connect(hostport.as_str())?),
+        };
+        let w = conn.try_clone()?;
+        let mut client = Client {
+            r: BufReader::new(conn),
+            w,
+            server: String::new(),
+            workers: 0,
+        };
+        client.send(&Message::Hello {
+            client: client_name.to_string(),
+        })?;
+        match client.recv_required()? {
+            Message::HelloOk { server, workers } => {
+                client.server = server;
+                client.workers = workers;
+                Ok(client)
+            }
+            Message::Error { msg } => Err(ClientError::Server(msg)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Sends one message.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket write failure.
+    pub fn send(&mut self, msg: &Message) -> io::Result<()> {
+        jsonl::append_line(&mut self.w, &msg.to_line())
+    }
+
+    /// Receives the next message; `None` on a clean disconnect (EOF or
+    /// a torn final line).
+    ///
+    /// # Errors
+    ///
+    /// Socket failures or an unparseable complete line.
+    pub fn recv(&mut self) -> Result<Option<Message>, ClientError> {
+        let mut buf = Vec::new();
+        let n = self.r.read_until(b'\n', &mut buf)?;
+        if n == 0 || buf.last() != Some(&b'\n') {
+            return Ok(None);
+        }
+        buf.pop();
+        let line = String::from_utf8(buf)
+            .map_err(|e| ClientError::Io(io::Error::new(io::ErrorKind::InvalidData, e)))?;
+        Ok(Some(Message::parse_line(&line)?))
+    }
+
+    fn recv_required(&mut self) -> Result<Message, ClientError> {
+        self.recv()?.ok_or(ClientError::Disconnected)
+    }
+
+    /// Submits a scenario and consumes the whole event stream, calling
+    /// `on_event` per event line. Returns the acceptance and the
+    /// terminal outcome.
+    ///
+    /// # Errors
+    ///
+    /// A refused submission surfaces as [`ClientError::Server`]; a
+    /// stream that ends without `stream_end` as
+    /// [`ClientError::Disconnected`].
+    pub fn submit_and_stream(
+        &mut self,
+        source: &ScenarioSource,
+        name: Option<&str>,
+        mut on_event: impl FnMut(&str, &Json),
+    ) -> Result<(crate::daemon::Accepted, StreamOutcome), ClientError> {
+        let accepted = self.submit(source, name)?;
+        let outcome = self.consume_stream(&mut on_event)?;
+        Ok((accepted, outcome))
+    }
+
+    /// Submits a scenario; the connection is then in streaming mode
+    /// (use [`Client::consume_stream`] or [`Client::next_stream_item`]).
+    ///
+    /// # Errors
+    ///
+    /// A refused submission surfaces as [`ClientError::Server`].
+    pub fn submit(
+        &mut self,
+        source: &ScenarioSource,
+        name: Option<&str>,
+    ) -> Result<crate::daemon::Accepted, ClientError> {
+        self.send(&Message::Submit {
+            source: source.clone(),
+            name: name.map(str::to_string),
+        })?;
+        match self.recv_required()? {
+            Message::Accepted {
+                campaign,
+                scenario_fp,
+                cells,
+                deduped,
+                queue_depth,
+            } => Ok(crate::daemon::Accepted {
+                campaign,
+                scenario_fp,
+                cells,
+                deduped,
+                queue_depth,
+            }),
+            Message::Error { msg } => Err(ClientError::Server(msg)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Subscribes to a campaign (`None` = the active one); the
+    /// connection is then in streaming mode.
+    ///
+    /// # Errors
+    ///
+    /// An unknown campaign surfaces as [`ClientError::Server`] via the
+    /// stream's first item; socket failures propagate.
+    pub fn subscribe(&mut self, campaign: Option<&str>) -> io::Result<()> {
+        self.send(&Message::Subscribe {
+            campaign: campaign.map(str::to_string),
+        })
+    }
+
+    /// The next item of an event stream: `Event` and `StreamEnd` pass
+    /// through; `Error` (e.g. unknown campaign after `subscribe`)
+    /// surfaces as [`ClientError::Server`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::recv`], plus [`ClientError::Disconnected`] on EOF.
+    pub fn next_stream_item(&mut self) -> Result<Message, ClientError> {
+        match self.recv_required()? {
+            Message::Error { msg } => Err(ClientError::Server(msg)),
+            m @ (Message::Event { .. } | Message::StreamEnd { .. }) => Ok(m),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Consumes a stream to its `stream_end`, calling `on_event` with
+    /// `(campaign, event)` per event line.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::next_stream_item`].
+    pub fn consume_stream(
+        &mut self,
+        mut on_event: impl FnMut(&str, &Json),
+    ) -> Result<StreamOutcome, ClientError> {
+        loop {
+            match self.next_stream_item()? {
+                Message::Event { campaign, event } => on_event(&campaign, &event),
+                Message::StreamEnd { outcome, .. } => return Ok(outcome),
+                _ => unreachable!("next_stream_item filters other variants"),
+            }
+        }
+    }
+
+    /// Fetches the daemon's `griffin-serve-status/1` object.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::recv`].
+    pub fn status(&mut self) -> Result<Json, ClientError> {
+        self.send(&Message::Status)?;
+        match self.recv_required()? {
+            Message::StatusOk { status } => Ok(status),
+            Message::Error { msg } => Err(ClientError::Server(msg)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Cancels a campaign; `true` if it was still cancellable.
+    ///
+    /// # Errors
+    ///
+    /// An unknown campaign surfaces as [`ClientError::Server`].
+    pub fn cancel(&mut self, campaign: &str) -> Result<bool, ClientError> {
+        self.send(&Message::Cancel {
+            campaign: campaign.to_string(),
+        })?;
+        match self.recv_required()? {
+            Message::CancelOk { cancelled, .. } => Ok(cancelled),
+            Message::Error { msg } => Err(ClientError::Server(msg)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetches a finished campaign's report body.
+    ///
+    /// # Errors
+    ///
+    /// A missing report surfaces as [`ClientError::Server`].
+    pub fn report(&mut self, campaign: &str, kind: ReportKind) -> Result<String, ClientError> {
+        self.send(&Message::Report {
+            campaign: campaign.to_string(),
+            kind,
+        })?;
+        match self.recv_required()? {
+            Message::ReportOk { body, .. } => Ok(body),
+            Message::Error { msg } => Err(ClientError::Server(msg)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Property tests of the full `griffin-serve-wire/1` message set:
+//! every variant serialized and parsed back over randomized field
+//! values (including strings that need escaping and embedded fleet
+//! event payloads), unknown fields tolerated, malformed lines and
+//! unknown format tags rejected with a typed error — plus the
+//! torn-line case of a client that dies mid-message.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::os::unix::net::UnixStream;
+
+use griffin_serve::wire::sample::build_message;
+use griffin_serve::{Message, WireError, WIRE_FORMAT};
+use griffin_sweep::json::Json;
+use proptest::prelude::*;
+
+/// Serializes `msg` with extra unknown fields injected.
+fn with_unknown_fields(msg: &Message) -> String {
+    let Json::Obj(mut m) = msg.to_json() else {
+        panic!("messages serialize to objects");
+    };
+    m.insert("aaa_unknown".into(), Json::Num(42.0));
+    m.insert(
+        "zz_future".into(),
+        Json::obj([("nested".into(), Json::Bool(true))]),
+    );
+    Json::Obj(m).write()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// serialize → parse is the identity on every variant, for any
+    /// field values, and the canonical line is a fixpoint.
+    #[test]
+    fn every_message_roundtrips_for_arbitrary_fields(
+        variant in 0usize..14,
+        a in 0u64..u64::MAX,
+        b in 0u64..u64::MAX,
+        flag in proptest::bool::ANY,
+    ) {
+        let msg = build_message(variant, a, b, flag);
+        let line = msg.to_line();
+        prop_assert!(!line.contains('\n'), "one message, one line: {line}");
+        let back = Message::parse_line(&line).expect(&line);
+        prop_assert_eq!(&back, &msg, "{}", line);
+        prop_assert_eq!(back.to_line(), line, "canonical form is a fixpoint");
+    }
+
+    /// Unknown fields inside known messages are ignored — a client of
+    /// a future griffin-serve-wire/1.x keeps interoperating.
+    #[test]
+    fn unknown_fields_are_tolerated(
+        variant in 0usize..14,
+        a in 0u64..u64::MAX,
+        b in 0u64..u64::MAX,
+        flag in proptest::bool::ANY,
+    ) {
+        let msg = build_message(variant, a, b, flag);
+        let noisy = Message::parse_line(&with_unknown_fields(&msg))
+            .expect("unknown fields ignored");
+        prop_assert_eq!(noisy, msg);
+    }
+
+    /// An unknown format tag is refused with a typed error — version
+    /// negotiation never misreads a future wire.
+    #[test]
+    fn unknown_format_tags_are_refused(
+        variant in 0usize..14,
+        a in 0u64..u64::MAX,
+        b in 0u64..u64::MAX,
+        flag in proptest::bool::ANY,
+    ) {
+        let msg = build_message(variant, a, b, flag);
+        let Json::Obj(mut m) = msg.to_json() else {
+            panic!("messages serialize to objects");
+        };
+        m.insert("format".into(), Json::Str("griffin-serve-wire/99".into()));
+        let err: WireError = Message::parse_line(&Json::Obj(m).write()).unwrap_err();
+        prop_assert!(err.msg.contains("unsupported wire format"), "{}", err);
+    }
+
+    /// Truncating a message anywhere strictly inside the line never
+    /// parses as some other valid message: it is a typed error (or, at
+    /// worst for tiny prefixes like `{}`-less fragments, never a
+    /// silently different message).
+    #[test]
+    fn truncated_lines_fail_typed(
+        variant in 0usize..14,
+        a in 0u64..u64::MAX,
+        b in 0u64..u64::MAX,
+        flag in proptest::bool::ANY,
+        cut_fraction in 1u64..100,
+    ) {
+        let msg = build_message(variant, a, b, flag);
+        let line = msg.to_line();
+        // Cut somewhere strictly inside, on a char boundary.
+        let mut cut = (line.len() as u64 * cut_fraction / 100) as usize;
+        cut = cut.clamp(1, line.len() - 1);
+        while !line.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        match Message::parse_line(&line[..cut]) {
+            Err(_) => {} // the expected outcome: typed rejection
+            Ok(reparsed) => {
+                // JSON prefixes are almost never valid; if one is (the
+                // cut landed exactly after a closing bracket of a
+                // complete object — impossible for our single-object
+                // lines, which close only at the end), it must not
+                // masquerade as a different message.
+                prop_assert_eq!(reparsed, msg);
+            }
+        }
+    }
+}
+
+/// A client that dies mid-message: the server-side reader must treat
+/// the torn final fragment as a clean disconnect (the journal's tail
+/// rule), not as a protocol error — and must still parse every
+/// complete line that preceded it.
+#[test]
+fn torn_final_line_is_a_clean_disconnect() {
+    let (mut client, server) = UnixStream::pair().expect("socketpair");
+    let complete = Message::Hello {
+        client: "torn-test".into(),
+    }
+    .to_line();
+    let torn = Message::Status.to_line();
+    let torn = &torn[..torn.len() - 4]; // mid-message, no newline
+    client
+        .write_all(format!("{complete}\n{torn}").as_bytes())
+        .expect("write");
+    drop(client); // die mid-message
+
+    let mut reader = BufReader::new(server);
+    let mut first = String::new();
+    reader.read_line(&mut first).expect("first line");
+    assert_eq!(first.pop(), Some('\n'));
+    let parsed = Message::parse_line(&first).expect("complete line parses");
+    assert_eq!(
+        parsed,
+        Message::Hello {
+            client: "torn-test".into()
+        }
+    );
+
+    // The rest is a newline-less fragment: per the tail rule it is
+    // dropped, not parsed — and parsing it anyway must be a typed
+    // error, never a misread message.
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).expect("drain to EOF");
+    assert!(!rest.is_empty() && !rest.ends_with(b"\n"), "torn fragment");
+    let fragment = String::from_utf8(rest).expect("ascii fragment");
+    assert!(Message::parse_line(&fragment).is_err());
+    assert!(fragment.starts_with(&format!("{{\"format\":\"{WIRE_FORMAT}\"")));
+}

@@ -85,6 +85,59 @@ pub fn default_workers() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// A pool of reusable [`SimScratch`] instances shared **across**
+/// campaigns.
+///
+/// Within one campaign each worker already keeps a single scratch for
+/// its whole run, so the per-tile loop allocates nothing; but a fresh
+/// campaign driver starts from empty scratches, re-growing every buffer
+/// and rebuilding every memoized tile grid. A resident driver (the
+/// serve daemon) keeps one pool alive instead: workers check scratches
+/// out at thread start and return them at thread exit, so buffer
+/// capacity — and any tile grids whose reuse scope still matches —
+/// survive from one campaign to the next. Checking out of an empty pool
+/// just creates a fresh scratch, which makes a throwaway pool exactly
+/// equivalent to the pre-pool behavior.
+#[derive(Default)]
+pub struct ScratchPool {
+    free: Mutex<Vec<SimScratch>>,
+}
+
+impl ScratchPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a pooled scratch, or creates a fresh one when none is
+    /// parked.
+    pub fn checkout(&self) -> SimScratch {
+        self.free
+            .lock()
+            .expect("scratch pool lock")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Parks a scratch for the next campaign's workers.
+    pub fn give_back(&self, scratch: SimScratch) {
+        self.free.lock().expect("scratch pool lock").push(scratch);
+    }
+
+    /// How many scratches are currently parked.
+    pub fn parked(&self) -> usize {
+        self.free.lock().expect("scratch pool lock").len()
+    }
+}
+
+impl std::fmt::Debug for ScratchPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScratchPool")
+            .field("parked", &self.parked())
+            .finish()
+    }
+}
+
 /// Key identifying a unique workload build within a campaign.
 fn workload_key(cell: &Cell) -> Fingerprint {
     let mut h = Hasher::new();
@@ -211,6 +264,37 @@ pub fn run_cells_bounded(
     build_workers: usize,
     observe: &(dyn Fn(&CellEvent<'_>) + Sync),
 ) -> Result<Vec<CellRecord>, SweepError> {
+    // A throwaway pool starts empty, so every worker builds a fresh
+    // scratch — the historical behavior.
+    run_cells_pooled(
+        spec,
+        cells,
+        cache,
+        workers,
+        build_workers,
+        observe,
+        &ScratchPool::new(),
+    )
+}
+
+/// [`run_cells_bounded`] drawing worker scratches from (and returning
+/// them to) a caller-owned [`ScratchPool`] — the resident-daemon entry
+/// point, where scratch capacity and matching-scope tile grids survive
+/// across campaigns. Determinism is unaffected: a scratch carries
+/// capacity, never results.
+///
+/// # Errors
+///
+/// As [`run_cells`].
+pub fn run_cells_pooled(
+    spec: &SweepSpec,
+    cells: &[Cell],
+    cache: &ResultCache,
+    workers: usize,
+    build_workers: usize,
+    observe: &(dyn Fn(&CellEvent<'_>) + Sync),
+    pool: &ScratchPool,
+) -> Result<Vec<CellRecord>, SweepError> {
     let fingerprints: Vec<Fingerprint> = cells.iter().map(|c| c.fingerprint(&spec.sim)).collect();
 
     // Phase 1: probe the cache, and deduplicate identical scenarios
@@ -301,7 +385,7 @@ pub fn run_cells_bounded(
         std::thread::scope(|s| {
             for _ in 0..workers {
                 s.spawn(|| {
-                    let mut scratch = SimScratch::new();
+                    let mut scratch = pool.checkout();
                     loop {
                         let j = next_cell.fetch_add(1, Ordering::Relaxed);
                         if j >= missing.len() {
@@ -343,6 +427,7 @@ pub fn run_cells_bounded(
                         }
                         done.lock().expect("done lock").push((i, m));
                     }
+                    pool.give_back(scratch);
                 });
             }
         });
@@ -535,6 +620,32 @@ mod tests {
         .unwrap();
         assert_eq!(fresh.load(Ordering::Relaxed), 6);
         assert_eq!(twinned.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn pooled_scratches_survive_campaigns_with_identical_results() {
+        let spec = small_spec();
+        let pool = ScratchPool::new();
+        let cache = ResultCache::in_memory();
+        let pooled =
+            run_cells_pooled(&spec, &spec.cells(), &cache, 2, 2, &no_observer, &pool).unwrap();
+        assert_eq!(pool.parked(), 2, "each worker parks its scratch");
+
+        // A second cold campaign re-checks the same scratches out and
+        // returns them — and its records are byte-identical to a
+        // fresh-scratch run (a scratch carries capacity, not results).
+        let cold = ResultCache::in_memory();
+        let warm_scratch =
+            run_cells_pooled(&spec, &spec.cells(), &cold, 2, 2, &no_observer, &pool).unwrap();
+        assert_eq!(pool.parked(), 2);
+        assert_eq!(pooled, warm_scratch);
+        let fresh = run_campaign(&spec, &ResultCache::in_memory(), 2).unwrap();
+        assert_eq!(fresh.cells, warm_scratch);
+
+        // A fully cached campaign never touches the pool (no misses —
+        // nothing simulates, so nothing checks out).
+        run_cells_pooled(&spec, &spec.cells(), &cache, 2, 2, &no_observer, &pool).unwrap();
+        assert_eq!(pool.parked(), 2);
     }
 
     #[test]

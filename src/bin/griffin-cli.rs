@@ -13,6 +13,10 @@
 //! $ griffin-cli fleet watch .griffin-fleet   # live dashboard over events.jsonl
 //! $ griffin-cli fleet watch .griffin-fleet --json   # one-shot summary
 //! $ griffin-cli fleet report .griffin-fleet --html report.html
+//! $ griffin-cli serve .griffin-serve         # resident campaign daemon
+//! $ griffin-cli serve submit scenarios/fig5-bert-b.toml \
+//!       --connect unix:.griffin-serve/serve.sock --csv out.csv
+//! $ griffin-cli fleet watch --connect unix:.griffin-serve/serve.sock
 //! $ griffin-cli scenario list                # shipped scenario library
 //! $ griffin-cli scenario validate scenarios  # parse + validate data files
 //! $ griffin-cli bench --out BENCH_sched.json # scheduler perf telemetry
@@ -100,7 +104,16 @@ fn usage() -> ExitCode {
     eprintln!("  griffin-cli fleet --scenario <FILE> [fleet options override the file's [fleet]]");
     eprintln!("  griffin-cli fleet watch <DIR> [--json | --json-follow | --no-tty]");
     eprintln!("                         [--interval MS --timeout MS --events PATH]");
+    eprintln!("  griffin-cli fleet watch --connect <ADDR> [--campaign ID]");
+    eprintln!("                         [--json-follow | --no-tty] [--interval MS]");
     eprintln!("  griffin-cli fleet report <DIR> [--html PATH] [--events PATH]");
+    eprintln!("  griffin-cli serve <DIR> [--tcp ADDR --workers N --shards N");
+    eprintln!("                          --queue N --retain N]   (daemon; ^C drains)");
+    eprintln!("  griffin-cli serve submit <FILE> --connect <ADDR> [--csv/--json PATH --quiet]");
+    eprintln!("  griffin-cli serve status --connect <ADDR>");
+    eprintln!("  griffin-cli serve cancel <ID> --connect <ADDR>");
+    eprintln!("      ADDR: unix:<path> or tcp:<host:port>; the daemon always listens");
+    eprintln!("      on <DIR>/serve.sock, --tcp adds a TCP listener");
     eprintln!("  griffin-cli scenario list [DIR]              (default scenarios/)");
     eprintln!("  griffin-cli scenario show <FILE>");
     eprintln!("  griffin-cli scenario validate <FILE|DIR>...");
@@ -801,9 +814,131 @@ fn watch_events_path(dir: &str, events: &Option<String>) -> PathBuf {
     )
 }
 
+/// `fleet watch --connect <addr>` — the same dashboard, fed from a
+/// resident daemon's subscription stream instead of an events.jsonl
+/// file. The daemon replays the campaign from its first event, so a
+/// late watcher still folds the complete stream into the same
+/// [`CampaignModel`](griffin::watch::CampaignModel).
+fn cmd_fleet_watch_connected(addr: &str, rest: &[String]) -> ExitCode {
+    use griffin::serve::{Client, Message, ServeAddr, StreamOutcome};
+    use griffin::watch::{
+        dashboard, fmt_duration_ms, status_line, CampaignModel, RateTracker, DEFAULT_RATE_TAU_MS,
+    };
+
+    // `--campaign` is connect-only; everything else is the shared
+    // watch flag set.
+    let mut campaign: Option<String> = None;
+    let mut flags: Vec<String> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--campaign" {
+            match it.next() {
+                Some(v) => campaign = Some(v.clone()),
+                None => return usage(),
+            }
+        } else {
+            flags.push(flag.clone());
+        }
+    }
+    let Some(opts) = split_watch_args(&flags) else {
+        return usage();
+    };
+    if opts.json_once {
+        return explain("--json snapshots an events file; with --connect use --json-follow");
+    }
+    if opts.events.is_some() {
+        return explain("--events names a file; with --connect the daemon is the stream");
+    }
+    if opts.timeout_ms > 0 {
+        return explain("--timeout polls a file; with --connect the daemon pushes events");
+    }
+
+    let mut client = match Client::connect(&ServeAddr::parse(addr), "fleet-watch") {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to serve daemon at {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = client.subscribe(campaign.as_deref()) {
+        eprintln!("cannot subscribe: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let mut model = CampaignModel::new();
+    let mut rates = RateTracker::new(DEFAULT_RATE_TAU_MS);
+    let started = std::time::Instant::now();
+    // Events arrive one per cell; redraw at most once per interval.
+    let mut next_render_ms = 0u64;
+    loop {
+        let item = match client.next_stream_item() {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("stream from {addr} broke: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let now_ms = started.elapsed().as_millis() as u64;
+        match item {
+            Message::Event { event, .. } => {
+                model.apply_line(&event.write());
+                rates.observe(now_ms, model.done());
+                if now_ms >= next_render_ms {
+                    next_render_ms = now_ms + opts.interval_ms;
+                    if opts.json_follow {
+                        println!("{}", model.summary().write());
+                    } else if opts.no_tty {
+                        println!("{}", status_line(&model, &rates));
+                    } else {
+                        print!("\x1b[2J\x1b[H{}", dashboard(&model, &rates, 80, true));
+                        use std::io::Write as _;
+                        let _ = std::io::stdout().flush();
+                    }
+                }
+            }
+            Message::StreamEnd { outcome, .. } => {
+                // Final frame, then the same exit protocol as the
+                // file-backed watcher.
+                if opts.json_follow {
+                    println!("{}", model.summary().write());
+                } else if opts.no_tty {
+                    println!("{}", status_line(&model, &rates));
+                } else {
+                    print!("\x1b[2J\x1b[H{}", dashboard(&model, &rates, 80, true));
+                    use std::io::Write as _;
+                    let _ = std::io::stdout().flush();
+                }
+                return match outcome {
+                    StreamOutcome::Done => {
+                        if !opts.json_follow {
+                            eprintln!(
+                                "campaign done: {} cells in {}",
+                                model.done(),
+                                fmt_duration_ms(now_ms)
+                            );
+                        }
+                        ExitCode::SUCCESS
+                    }
+                    StreamOutcome::Failed => {
+                        eprintln!("campaign failed (see the daemon's journal for the cause)");
+                        ExitCode::FAILURE
+                    }
+                };
+            }
+            _ => unreachable!("next_stream_item filters other variants"),
+        }
+    }
+}
+
 /// `fleet watch <dir>` — attach to a campaign's event stream (live or
 /// finished) read-only and render it until the terminal event.
 fn cmd_fleet_watch(dir: &str, rest: &[String]) -> ExitCode {
+    if dir == "--connect" {
+        let Some((addr, rest)) = rest.split_first() else {
+            return usage();
+        };
+        return cmd_fleet_watch_connected(addr, rest);
+    }
     let Some(opts) = split_watch_args(rest) else {
         return usage();
     };
@@ -1557,6 +1692,309 @@ fn cmd_scenario_validate(paths: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `serve` — the resident campaign daemon and its client verbs.
+fn cmd_serve(rest: &[String]) -> ExitCode {
+    match rest.first().map(String::as_str) {
+        Some("submit") => cmd_serve_submit(&rest[1..]),
+        Some("status") => cmd_serve_status(&rest[1..]),
+        Some("cancel") => cmd_serve_cancel(&rest[1..]),
+        Some(dir) if !dir.starts_with("--") => cmd_serve_daemon(dir, &rest[1..]),
+        _ => usage(),
+    }
+}
+
+/// `serve <dir>` — run the daemon: bind `<dir>/serve.sock` (and an
+/// optional TCP listener), accept wire clients until SIGINT, then
+/// drain gracefully — queued campaigns get terminal events, the
+/// running one aborts onto its journal, every subscriber sees exactly
+/// one `stream_end`.
+fn cmd_serve_daemon(dir: &str, rest: &[String]) -> ExitCode {
+    use griffin::serve::{serve_connections, Daemon, Listener, ServeAddr, ServeConfig};
+
+    let mut cfg = ServeConfig::new(dir);
+    let mut tcp: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let Some(val) = it.next() else {
+            return explain(&format!("{flag} requires a value"));
+        };
+        let parsed = val.parse::<usize>().ok().filter(|&n| n > 0);
+        match flag.as_str() {
+            "--tcp" => tcp = Some(val.clone()),
+            "--workers" => match parsed {
+                Some(n) => cfg.workers = n,
+                None => return explain("--workers must be a positive integer"),
+            },
+            "--shards" => match parsed {
+                Some(n) => cfg.shards = n,
+                None => return explain("--shards must be a positive integer"),
+            },
+            "--queue" => match parsed {
+                Some(n) => cfg.queue_cap = n,
+                None => return explain("--queue must be a positive integer"),
+            },
+            "--retain" => match val.parse::<usize>() {
+                Ok(n) => cfg.retain = n,
+                Err(_) => return explain("--retain must be an integer"),
+            },
+            other => return explain(&format!("unknown serve option `{other}`")),
+        }
+    }
+
+    let sock = PathBuf::from(dir).join("serve.sock");
+    let mut listeners = Vec::new();
+    match Listener::bind(&ServeAddr::Unix(sock.clone())) {
+        Ok(l) => listeners.push(l),
+        Err(e) => {
+            eprintln!("cannot bind unix:{}: {e}", sock.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(hostport) = &tcp {
+        match Listener::bind(&ServeAddr::Tcp(hostport.clone())) {
+            Ok(l) => listeners.push(l),
+            Err(e) => {
+                eprintln!("cannot bind tcp:{hostport}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let daemon = match Daemon::start(cfg) {
+        Ok(d) => Arc::new(d),
+        Err(e) => {
+            eprintln!("cannot start serve daemon in {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "{} listening on unix:{}{} — dir {dir}, {} workers, {} shards, queue {}, retain {}",
+        daemon.config().server,
+        sock.display(),
+        tcp.as_ref()
+            .map_or(String::new(), |t| format!(" and tcp:{t}")),
+        daemon.config().workers,
+        daemon.config().shards,
+        daemon.config().queue_cap,
+        daemon.config().retain,
+    );
+
+    // SIGINT raises the flag; the accept loop sees it, but a handler
+    // mid-stream blocks on its tee until a terminal event arrives —
+    // so the drain (which produces those terminals) must run
+    // concurrently, not after serve_connections returns.
+    let stop = install_sigint_abort();
+    let drainer = {
+        let daemon = Arc::clone(&daemon);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+            eprintln!("draining: refusing submissions, finishing in-flight campaigns");
+            daemon.drain();
+        })
+    };
+    let served = serve_connections(&daemon, listeners, &stop);
+    stop.store(true, Ordering::SeqCst); // also unblocks the drainer on error paths
+    let _ = drainer.join();
+    eprintln!("final status: {}", daemon.status().write());
+    match Arc::try_unwrap(daemon) {
+        Ok(d) => d.shutdown(),
+        Err(d) => {
+            d.drain();
+            d.wait_idle();
+        }
+    }
+    match served {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve loop failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Splits `--connect ADDR` off a client-verb argument list.
+fn split_connect(rest: &[String]) -> Result<(String, Vec<String>), String> {
+    let mut addr = None;
+    let mut out = Vec::new();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--connect" {
+            match it.next() {
+                Some(v) => addr = Some(v.clone()),
+                None => return Err("--connect requires an address".into()),
+            }
+        } else {
+            out.push(flag.clone());
+        }
+    }
+    addr.map(|a| (a, out))
+        .ok_or_else(|| "serve client commands need --connect <ADDR>".into())
+}
+
+fn serve_client(addr: &str, name: &str) -> Result<griffin::serve::Client, String> {
+    griffin::serve::Client::connect(&griffin::serve::ServeAddr::parse(addr), name)
+        .map_err(|e| format!("cannot connect to serve daemon at {addr}: {e}"))
+}
+
+/// `serve submit <file> --connect ADDR` — ship the scenario text to the
+/// daemon, follow its event stream, and optionally fetch the finished
+/// reports (byte-identical to a standalone `sweep` of the scenario).
+fn cmd_serve_submit(rest: &[String]) -> ExitCode {
+    use griffin::serve::{ReportKind, ScenarioSource, StreamOutcome};
+    use griffin::watch::{status_line, CampaignModel, RateTracker, DEFAULT_RATE_TAU_MS};
+
+    let (addr, rest) = match split_connect(rest) {
+        Ok(split) => split,
+        Err(e) => return explain(&e),
+    };
+    let mut file = None;
+    let mut csv = None;
+    let mut json = None;
+    let mut quiet = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--csv" => match it.next() {
+                Some(v) => csv = Some(v.clone()),
+                None => return explain("--csv requires a path"),
+            },
+            "--json" => match it.next() {
+                Some(v) => json = Some(v.clone()),
+                None => return explain("--json requires a path"),
+            },
+            "--quiet" => quiet = true,
+            other if !other.starts_with("--") && file.is_none() => file = Some(other.to_string()),
+            other => return explain(&format!("unknown serve submit option `{other}`")),
+        }
+    }
+    let Some(file) = file else {
+        return explain("serve submit needs a scenario file");
+    };
+    // Ship by content, not path: the daemon need not share a
+    // filesystem with the client (TCP), and validation errors name
+    // the daemon-side parse position either way.
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => return explain(&format!("cannot read scenario {file}: {e}")),
+    };
+    let mut client = match serve_client(&addr, "serve-submit") {
+        Ok(c) => c,
+        Err(e) => return explain(&e),
+    };
+    let mut model = CampaignModel::new();
+    let mut rates = RateTracker::new(DEFAULT_RATE_TAU_MS);
+    let started = std::time::Instant::now();
+    let mut next_print_ms = 0u64;
+    let streamed = client.submit_and_stream(&ScenarioSource::Inline(text), None, |_, event| {
+        model.apply_line(&event.write());
+        let now_ms = started.elapsed().as_millis() as u64;
+        rates.observe(now_ms, model.done());
+        if !quiet && now_ms >= next_print_ms {
+            next_print_ms = now_ms + 250;
+            eprintln!("{}", status_line(&model, &rates));
+        }
+    });
+    let (accepted, outcome) = match streamed {
+        Ok(r) => r,
+        Err(e) => return explain(&format!("serve submit failed: {e}")),
+    };
+    if !quiet {
+        eprintln!(
+            "campaign {} ({} cells{}) on {}",
+            accepted.campaign,
+            accepted.cells,
+            if accepted.deduped {
+                ", deduplicated onto an in-flight run"
+            } else {
+                ""
+            },
+            client.server,
+        );
+    }
+    if outcome == StreamOutcome::Failed {
+        eprintln!("campaign {} failed", accepted.campaign);
+        return ExitCode::FAILURE;
+    }
+    for (path, kind) in [(csv, ReportKind::Csv), (json, ReportKind::Json)] {
+        let Some(path) = path else { continue };
+        let body = match client.report(&accepted.campaign, kind) {
+            Ok(b) => b,
+            Err(e) => return explain(&format!("cannot fetch report: {e}")),
+        };
+        if let Err(e) = write_file(&path, &body) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        if !quiet {
+            eprintln!("wrote {path}");
+        }
+    }
+    println!(
+        "campaign {} done: {} cells in {}",
+        accepted.campaign,
+        model.done(),
+        griffin::watch::fmt_duration_ms(started.elapsed().as_millis() as u64)
+    );
+    ExitCode::SUCCESS
+}
+
+/// `serve status --connect ADDR` — print the daemon's
+/// `griffin-serve-status/1` object.
+fn cmd_serve_status(rest: &[String]) -> ExitCode {
+    let (addr, extra) = match split_connect(rest) {
+        Ok(split) => split,
+        Err(e) => return explain(&e),
+    };
+    if !extra.is_empty() {
+        return explain(&format!("unknown serve status option `{}`", extra[0]));
+    }
+    let mut client = match serve_client(&addr, "serve-status") {
+        Ok(c) => c,
+        Err(e) => return explain(&e),
+    };
+    match client.status() {
+        Ok(status) => {
+            println!("{}", status.write());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("status failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `serve cancel <id> --connect ADDR`.
+fn cmd_serve_cancel(rest: &[String]) -> ExitCode {
+    let (addr, extra) = match split_connect(rest) {
+        Ok(split) => split,
+        Err(e) => return explain(&e),
+    };
+    let [campaign] = extra.as_slice() else {
+        return explain("serve cancel needs exactly one campaign id");
+    };
+    let mut client = match serve_client(&addr, "serve-cancel") {
+        Ok(c) => c,
+        Err(e) => return explain(&e),
+    };
+    match client.cancel(campaign) {
+        Ok(true) => {
+            println!("cancelled {campaign}");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            println!("{campaign} already finished; nothing to cancel");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cancel failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -1569,6 +2007,7 @@ fn main() -> ExitCode {
         Some("fleet") if args.len() >= 3 => cmd_fleet(&args[1], &args[2], &args[3..]),
         Some("shard-worker") if args.len() >= 3 => cmd_shard_worker(&args[1], &args[2], &args[3..]),
         Some("scenario") => cmd_scenario(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("cache") => cmd_cache(&args[1..]),
         _ => usage(),

@@ -20,7 +20,13 @@
 //! * **watch** — a recorded 54-cell event stream replayed through the
 //!   observability fold ([`griffin::watch::CampaignModel`]), reporting
 //!   events/second parsed-and-folded — the consumer must stay far ahead
-//!   of any realistic producer (target: >10⁵ events/s).
+//!   of any realistic producer (target: >10⁵ events/s);
+//! * **serve** — the resident daemon's warm-path win: one scenario
+//!   submitted twice to an in-process [`griffin::serve::Daemon`] —
+//!   cold submit→first-`cell_done` latency and total campaign time,
+//!   then the warm rerun answered from the resident cache — next to a
+//!   cold one-shot campaign of the same scenario (what a fresh CLI
+//!   invocation pays).
 //!
 //! Regeneration preserves hand-recorded data: top-level sections of an
 //! existing output file that this probe set doesn't produce (e.g.
@@ -32,12 +38,14 @@ use std::time::Instant;
 use griffin::core::category::DnnCategory;
 use griffin::fleet::coordinator::{run_fleet, FleetConfig};
 use griffin::fleet::events::NullSink;
+use griffin::serve::{Daemon, ScenarioSource, ServeConfig, TeeItem};
 use griffin::sim::config::{Fidelity, Priority, SimConfig};
 use griffin::sim::engine::{reference, schedule_with, OpGrid, SchedScratch};
 use griffin::sim::grid::build_b_grid;
 use griffin::sim::shuffle::LaneMap;
 use griffin::sim::window::{BorrowWindow, EffectiveWindow};
 use griffin::sweep::json::Json;
+use griffin::sweep::scenario::Scenario;
 use griffin::sweep::{run_campaign, ResultCache, SweepSpec};
 use griffin::telemetry::count_allocations;
 use griffin::tensor::block::BTileView;
@@ -247,6 +255,80 @@ pub fn run_bench(args: &BenchArgs) -> Result<Json, String> {
         stream.len()
     );
 
+    // --- serve: warm-daemon latency vs a cold one-shot campaign -------
+    let serve_dir = std::env::temp_dir().join(format!(
+        "griffin-bench-serve-{}-{}",
+        std::process::id(),
+        if args.quick { "q" } else { "f" }
+    ));
+    let _ = std::fs::remove_dir_all(&serve_dir);
+    std::fs::create_dir_all(&serve_dir).map_err(|e| e.to_string())?;
+    let scenario_text = format!(
+        "[scenario]\nname = \"bench-serve\"\nseeds = [1]\ncategories = [\"b\"]\n\n\
+         [sim]\ntiles = 4\nsample_seed = 1\n\n\
+         [[workload]]\nsynthetic = \"bench-synth\"\nlayers = {layers}\n\n\
+         [[arch]]\npreset = \"baseline\"\n\n\
+         [[arch]]\nfamily = \"b\"\nfanin = {}\n",
+        if args.quick { 3 } else { 6 }
+    );
+
+    // What a fresh `griffin-cli sweep` pays: a brand-new disk cache,
+    // the whole grid simulated.
+    let scen_path = serve_dir.join("bench-serve.toml");
+    std::fs::write(&scen_path, &scenario_text).map_err(|e| e.to_string())?;
+    let scen = Scenario::load(&scen_path).map_err(|e| e.to_string())?;
+    let cold_spec = scen.to_spec();
+    let cli_cache = ResultCache::at_dir(serve_dir.join("cli-cache")).map_err(|e| e.to_string())?;
+    let t = Instant::now();
+    let cli_report = run_campaign(&cold_spec, &cli_cache, 1).map_err(|e| e.to_string())?;
+    let cold_cli_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let mut serve_cfg = ServeConfig::new(serve_dir.join("daemon"));
+    serve_cfg.workers = 1;
+    serve_cfg.shards = 2;
+    let daemon = Daemon::start(serve_cfg).map_err(|e| e.to_string())?;
+    let source = ScenarioSource::Inline(scenario_text);
+    // One streamed submission: latency to first cell_done, then total.
+    let streamed_submit = |label: &str| -> Result<(f64, Option<f64>, usize, usize), String> {
+        let t = Instant::now();
+        let acc = daemon
+            .submit(label, &source, None)
+            .map_err(|e| e.to_string())?;
+        let (_, rx) = daemon
+            .subscribe(Some(&acc.campaign))
+            .map_err(|e| e.to_string())?;
+        let mut first_cell_ms = None;
+        let (mut done_cells, mut cached_cells) = (0usize, 0usize);
+        for item in rx {
+            match item {
+                TeeItem::Line(line) if line.contains("\"ev\":\"cell_done\"") => {
+                    first_cell_ms.get_or_insert(t.elapsed().as_secs_f64() * 1e3);
+                    done_cells += 1;
+                    cached_cells += usize::from(line.contains("\"cached\":true"));
+                }
+                TeeItem::Line(_) => {}
+                TeeItem::End(_) => break,
+            }
+        }
+        Ok((
+            t.elapsed().as_secs_f64() * 1e3,
+            first_cell_ms,
+            done_cells,
+            cached_cells,
+        ))
+    };
+    let (cold_total_ms, cold_first_ms, cold_cells, _) = streamed_submit("bench-cold")?;
+    let (warm_total_ms, _, warm_cells, warm_cached) = streamed_submit("bench-warm")?;
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(&serve_dir);
+    let warm_speedup = cold_total_ms / warm_total_ms.max(1e-9);
+    println!(
+        "  serve: cold submit→first cell {:.1} ms, cold total {cold_total_ms:.1} ms \
+         (one-shot campaign {cold_cli_ms:.1} ms), warm rerun {warm_total_ms:.1} ms \
+         ({warm_speedup:.1}x, {warm_cached}/{warm_cells} cells cached)",
+        cold_first_ms.unwrap_or(cold_total_ms)
+    );
+
     Ok(Json::obj([
         ("schema".into(), Json::Str("griffin-bench-sched/1".into())),
         ("quick".into(), Json::Bool(args.quick)),
@@ -296,6 +378,28 @@ pub fn run_bench(args: &BenchArgs) -> Result<Json, String> {
                 ("stream_events".into(), Json::from_f64(stream.len() as f64)),
                 ("passes".into(), Json::from_f64(passes as f64)),
                 ("events_per_sec".into(), Json::from_f64(events_per_sec)),
+            ]),
+        ),
+        (
+            "serve".into(),
+            Json::obj([
+                (
+                    "cells".into(),
+                    Json::from_f64(cli_report.cells.len() as f64),
+                ),
+                ("cold_cli_ms".into(), Json::from_f64(cold_cli_ms)),
+                (
+                    "cold_first_cell_ms".into(),
+                    Json::from_f64(cold_first_ms.unwrap_or(cold_total_ms)),
+                ),
+                ("cold_total_ms".into(), Json::from_f64(cold_total_ms)),
+                ("warm_total_ms".into(), Json::from_f64(warm_total_ms)),
+                ("warm_speedup".into(), Json::from_f64(warm_speedup)),
+                (
+                    "warm_cached_cells".into(),
+                    Json::from_f64(warm_cached as f64),
+                ),
+                ("cold_done_cells".into(), Json::from_f64(cold_cells as f64)),
             ]),
         ),
     ]))

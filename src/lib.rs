@@ -18,7 +18,11 @@
 //!   ([`griffin_fleet`]),
 //! * [`watch`] — fleet observability: live event-stream tailing, the
 //!   replayable campaign model, terminal dashboards, JSON summaries and
-//!   static HTML reports ([`griffin_watch`]).
+//!   static HTML reports ([`griffin_watch`]),
+//! * [`serve`] — the resident campaign daemon: a warm cache and scratch
+//!   pool shared across campaigns behind the `griffin-serve-wire/1`
+//!   JSONL socket protocol, with fingerprint dedup and event-stream
+//!   fan-out ([`griffin_serve`]).
 //!
 //! # Quickstart
 //!
@@ -43,6 +47,7 @@ pub mod telemetry;
 
 pub use griffin_core as core;
 pub use griffin_fleet as fleet;
+pub use griffin_serve as serve;
 pub use griffin_sim as sim;
 pub use griffin_sweep as sweep;
 pub use griffin_tensor as tensor;
