@@ -2,7 +2,7 @@
 
 use griffin_sim::config::SimConfig;
 use griffin_sim::layer::GemmLayer;
-use griffin_sim::pipeline::{simulate_layer, simulate_network_with};
+use griffin_sim::pipeline::{simulate_layer, simulate_network_batch, simulate_network_with};
 use griffin_sim::report::{LayerReport, NetworkReport};
 use griffin_sim::scratch::SimScratch;
 use griffin_tensor::error::TensorError;
@@ -128,6 +128,58 @@ impl Accelerator {
     pub fn run_with(&self, workload: &Workload, scratch: &mut SimScratch) -> RunReport {
         let mode = self.spec.mode_for(workload.category);
         let network = simulate_network_with(&workload.layers, mode, &self.cfg, scratch);
+        self.assemble_report(workload, mode, network)
+    }
+
+    /// Runs K seed-variant workloads in one batched pass, returning one
+    /// report per workload in input order.
+    ///
+    /// Workloads sharing a category and per-layer shapes (seed variants
+    /// of one workload spec do) have their tile op grids built
+    /// word-parallel across the batch and are keyed per plane in the
+    /// scratch's reuse scope; anything else — mixed categories, uneven
+    /// shapes, modes without a batched kernel — falls back to
+    /// plane-sequential simulation. Either way every report is
+    /// **exactly** what [`Accelerator::run_with`] returns for that
+    /// workload alone (pinned by batch-equivalence tests), so callers
+    /// may batch opportunistically without perturbing results.
+    pub fn run_batch(&self, workloads: &[&Workload], scratch: &mut SimScratch) -> Vec<RunReport> {
+        let Some(first) = workloads.first() else {
+            return Vec::new();
+        };
+        if !workloads.iter().all(|w| w.category == first.category) {
+            // Mixed categories mean mixed modes: simulate each plane on
+            // its own, keyed separately so cached grids cannot collide.
+            let reports = workloads
+                .iter()
+                .enumerate()
+                .map(|(p, w)| {
+                    scratch.set_plane(p as u32);
+                    self.run_with(w, scratch)
+                })
+                .collect();
+            scratch.set_plane(0);
+            return reports;
+        }
+        let mode = self.spec.mode_for(first.category);
+        let networks: Vec<&[GemmLayer]> = workloads.iter().map(|w| w.layers.as_slice()).collect();
+        let reports = simulate_network_batch(&networks, mode, &self.cfg, scratch);
+        workloads
+            .iter()
+            .zip(reports)
+            .map(|(w, network)| self.assemble_report(w, mode, network))
+            .collect()
+    }
+
+    /// Prices the design for the achieved speedup and assembles the run
+    /// report — the shared tail of [`Accelerator::run_with`] and
+    /// [`Accelerator::run_batch`].
+    fn assemble_report(
+        &self,
+        workload: &Workload,
+        mode: griffin_sim::config::SparsityMode,
+        network: NetworkReport,
+    ) -> RunReport {
         let speedup = if workload.layers.is_empty() {
             1.0
         } else {

@@ -65,6 +65,7 @@ fn preprocess_b(
             rotate: shuffle,
             b_side: true,
             core,
+            plane: scratch.plane,
         };
         if !scratch.grids.contains_key(&key) {
             let mut g = OpGrid::default();

@@ -142,6 +142,15 @@ impl OpGrid {
             *off = total as u32;
             total += u64::from(count);
         }
+        // The per-entry assert above only covers the *start* offset of
+        // each column; the last column's count lands after the final
+        // check, so without this the grand total could silently pass
+        // u32::MAX and every packed head cursor would truncate.
+        assert!(
+            total <= u32::MAX as u64,
+            "op grid holds {total} operations, more than u32::MAX; \
+             split the schedule into smaller tiles"
+        );
         self.ops.resize(total as usize, 0);
     }
 
@@ -356,11 +365,6 @@ struct TapTable {
     col: Vec<u32>,
     /// Total displacement `|Δlane| + |Δrow| + |Δcol|` of each tap.
     dsum: Vec<u32>,
-    /// Smallest `dsum` at or after each tap within its slot's run — the
-    /// scan stops once no remaining tap can beat a best candidate that
-    /// already sits at the oldest row `H` (only a smaller displacement
-    /// could still win, and `suffix_min` bounds what is left).
-    suffix_min: Vec<u32>,
 }
 
 impl TapTable {
@@ -371,7 +375,6 @@ impl TapTable {
             off: Vec::with_capacity(slots + 1),
             col: Vec::new(),
             dsum: Vec::new(),
-            suffix_min: Vec::new(),
         };
         t.off.push(0);
         for lane in 0..grid.lanes {
@@ -397,17 +400,26 @@ impl TapTable {
                             }
                         }
                     }
-                    t.off.push(t.col.len() as u32);
+                    let lo = *t.off.last().unwrap() as usize;
+                    // Stable-sort the slot's run by displacement, keeping
+                    // the Figure 2 enumeration order inside equal
+                    // displacements. With the run in `(dsum, tap order)`
+                    // order, the arbitration scan recovers the full
+                    // `(t, dsum, tap order)` priority from head *times*
+                    // alone: a strict `<` keeps the earliest-sorted tap
+                    // among equal times, which is exactly the dsum /
+                    // enumeration tie-break.
+                    let mut order: Vec<usize> = (lo..t.col.len()).collect();
+                    order.sort_by_key(|&i| t.dsum[i]);
+                    let col_run: Vec<u32> = order.iter().map(|&i| t.col[i]).collect();
+                    let dsum_run: Vec<u32> = order.iter().map(|&i| t.dsum[i]).collect();
+                    t.col[lo..].copy_from_slice(&col_run);
+                    t.dsum[lo..].copy_from_slice(&dsum_run);
+                    t.off.push(u32::try_from(t.col.len()).expect(
+                        "tap table exceeds u32 indexing; shrink the \
+                         borrowing window or split the grid",
+                    ));
                 }
-            }
-        }
-        t.suffix_min = vec![0; t.dsum.len()];
-        for s in 0..slots {
-            let (lo, hi) = (t.off[s] as usize, t.off[s + 1] as usize);
-            let mut m = u32::MAX;
-            for i in (lo..hi).rev() {
-                m = m.min(t.dsum[i]);
-                t.suffix_min[i] = m;
             }
         }
         t
@@ -435,12 +447,14 @@ const TAP_CACHE: usize = 4;
 /// keeping per worker thread (see `griffin_sweep`'s executor).
 #[derive(Debug, Default)]
 pub struct SchedScratch {
-    /// Per-column head state, packed as `time << 32 | cursor`: the high
-    /// word is the time at the column's head (`u32::MAX` when
-    /// exhausted), the low word the absolute index of the next
-    /// unconsumed op in `OpGrid::ops`. One packed word keeps the hot
-    /// scan to a single load per tap.
-    heads: Vec<u64>,
+    /// Time at each column's head op (`u32::MAX` when exhausted). Kept
+    /// as a dense `u32` array separate from the cursors: the arbitration
+    /// scan only needs times, and the split packs twice as many column
+    /// heads per cache line.
+    head_t: Vec<u32>,
+    /// Absolute index of each column's next unconsumed op in
+    /// `OpGrid::ops`; only touched when a head actually pops.
+    head_cursor: Vec<u32>,
     /// Remaining op count per original time row; row `H` advances when
     /// its count reaches zero.
     row_remaining: Vec<u32>,
@@ -584,12 +598,15 @@ fn run_event<S: Sink>(
     } else {
         scratch.tap_index(grid, win)
     };
-    scratch.heads.clear();
-    scratch.heads.reserve(slots);
+    scratch.head_t.clear();
+    scratch.head_t.reserve(slots);
+    scratch.head_cursor.clear();
+    scratch.head_cursor.reserve(slots);
     for c in 0..slots {
         let (lo, hi) = (grid.col_off[c], grid.col_off[c + 1]);
         let t = if lo < hi { grid.ops[lo as usize] } else { NONE };
-        scratch.heads.push(u64::from(t) << 32 | u64::from(lo));
+        scratch.head_t.push(t);
+        scratch.head_cursor.push(lo);
     }
     scratch.row_remaining.clear();
     scratch.row_remaining.extend_from_slice(&grid.t_counts);
@@ -604,7 +621,8 @@ fn run_event<S: Sink>(
     scratch.wake_next.clear();
     scratch.wake_next.resize(slots, NONE);
     // Split borrows for the hot loop.
-    let heads = &mut scratch.heads;
+    let head_t = &mut scratch.head_t;
+    let head_cursor = &mut scratch.head_cursor;
     let row_remaining = &mut scratch.row_remaining;
     let active = &mut scratch.active;
     let wake_head = &mut scratch.wake_head;
@@ -655,16 +673,16 @@ fn run_event<S: Sink>(
                 while bits != 0 {
                     let slot = w * 64 + bits.trailing_zeros() as usize;
                     bits &= bits - 1;
-                    let hv = heads[slot];
-                    let t = (hv >> 32) as u32;
+                    let t = head_t[slot];
                     if t <= horizon32 {
-                        let hp = hv as u32 + 1;
+                        let hp = head_cursor[slot] + 1;
                         let nt = if hp < grid.col_off[slot + 1] {
                             grid.ops[hp as usize]
                         } else {
                             NONE
                         };
-                        heads[slot] = u64::from(nt) << 32 | u64::from(hp);
+                        head_t[slot] = nt;
+                        head_cursor[slot] = hp;
                         row_remaining[t as usize] -= 1;
                         remaining -= 1;
                         if S::ACTIVE {
@@ -725,16 +743,15 @@ fn run_event<S: Sink>(
         };
     }
 
-    let (tap_off, tap_col, tap_dsum, tap_suffix) = {
+    let (tap_off, tap_col, tap_dsum) = {
         let t = &scratch.taps[tap];
-        (&t.off, &t.col, &t.dsum, &t.suffix_min)
+        (&t.off, &t.col, &t.dsum)
     };
 
     while remaining > 0 {
         cycles += 1;
         let horizon = (h + win.depth - 1).min(grid.t_steps - 1);
         let horizon32 = horizon as u32;
-        let h32 = h as u32;
 
         // Wake dormant slots whose earliest reachable row entered the
         // window. The horizon is monotone, so each bucket drains once.
@@ -768,18 +785,28 @@ fn run_event<S: Sink>(
                 // Own op first (Bit-Tactical priority), if within the
                 // time window (`head_t` is `NONE` > horizon when the
                 // column is exhausted).
+                let own_t = head_t[slot];
                 if priority == Priority::OwnFirst {
-                    let hv = heads[slot];
-                    let t = (hv >> 32) as u32;
+                    let t = own_t;
                     if t <= horizon32 {
-                        let hp = hv as u32 + 1;
-                        let nt = if hp < grid.col_off[slot + 1] {
-                            grid.ops[hp as usize]
-                        } else {
-                            NONE
+                        // SAFETY: `slot < slots` from the active bitset,
+                        // bounding the head arrays and `col_off`; the
+                        // cursor stays within the column's CSR slice; `t`
+                        // is an op time, so `t < t_steps` =
+                        // `row_remaining.len()` (see the arbitration pop
+                        // below).
+                        let nt = unsafe {
+                            let hp = *head_cursor.get_unchecked(slot) + 1;
+                            let nt = if hp < *grid.col_off.get_unchecked(slot + 1) {
+                                *grid.ops.get_unchecked(hp as usize)
+                            } else {
+                                NONE
+                            };
+                            *head_t.get_unchecked_mut(slot) = nt;
+                            *head_cursor.get_unchecked_mut(slot) = hp;
+                            *row_remaining.get_unchecked_mut(t as usize) -= 1;
+                            nt
                         };
-                        heads[slot] = u64::from(nt) << 32 | u64::from(hp);
-                        row_remaining[t as usize] -= 1;
                         remaining -= 1;
                         if S::ACTIVE {
                             let src = (
@@ -805,8 +832,12 @@ fn run_event<S: Sink>(
                             // slot actually sleeps; any in-window tap
                             // keeps it active, so bail on the first one.
                             let mut m = NONE;
-                            for i in tap_off[slot] as usize..tap_off[slot + 1] as usize {
-                                m = m.min((heads[tap_col[i] as usize] >> 32) as u32);
+                            for &tc in &tap_col[tap_off[slot] as usize..tap_off[slot + 1] as usize]
+                            {
+                                // SAFETY: tap columns are in-bounds for
+                                // `head_t` by construction (see the
+                                // arbitration scan below).
+                                m = m.min(unsafe { *head_t.get_unchecked(tc as usize) });
                                 if m <= horizon32 {
                                     break;
                                 }
@@ -824,99 +855,139 @@ fn run_event<S: Sink>(
                     }
                 }
 
-                // Scan the precomputed tap table for the best candidate:
+                // Arbitration scan over the precomputed tap table:
                 // earliest time, then smallest displacement, ties broken
                 // by tap order (which encodes the Figure 2 arbitration
-                // priority) — one packed `t << 32 | dsum` comparison per
-                // tap. Track the earliest head time over all taps for
-                // the dormancy wake row.
-                // Out-of-window and exhausted taps (t > horizon, or
-                // `NONE`) pack above this sentinel and therefore never
-                // update `best` — no per-tap validity branch to predict.
-                let sentinel = u64::from(horizon32 + 1) << 32;
-                let mut best_pack = sentinel;
-                let mut best_c = 0usize;
-                let mut wake = NONE;
+                // priority) — one packed `t << 32 | dsum` key comparison
+                // per tap. The scan pops the head of a ready queue the
+                // tap table implicitly indexes by column: each packed
+                // `heads[c]` key is the front of column `c`'s queue, so
+                // the minimum over the neighbourhood is the next ready
+                // candidate (exhausted columns pack as `NONE` and lose to
+                // everything live) and a failed arbitration goes straight
+                // to sleep on it instead of re-walking dormant taps.
+                let lo = tap_off[slot] as usize;
                 let hi = tap_off[slot + 1] as usize;
-                for i in tap_off[slot] as usize..hi {
-                    let c = tap_col[i] as usize;
-                    let t = (heads[c] >> 32) as u32;
-                    wake = wake.min(t);
-                    let pack = u64::from(t) << 32 | u64::from(tap_dsum[i]);
-                    if pack < best_pack {
-                        best_pack = pack;
-                        best_c = c;
-                        // A candidate at the oldest row H can only lose
-                        // to a smaller displacement; stop as soon as the
-                        // remaining taps cannot offer one.
-                        if t == h32 && (i + 1 == hi || tap_suffix[i + 1] >= tap_dsum[i]) {
-                            break;
-                        }
+                let run = &tap_col[lo..hi];
+                let n = run.len();
+                // The run is in `(dsum, tap order)` order (see
+                // `TapTable::build`), so a strict `<` on head times
+                // alone resolves the whole `(t, dsum, tap order)`
+                // arbitration priority; exhausted columns sit at `NONE`
+                // and lose to everything live. Conditional moves keep
+                // the random sparsity pattern out of the branch
+                // predictor, with one certain-winner exit: no head can
+                // sit below the oldest unfinished row `h`, so the first
+                // tap exactly at `h` wins outright — on contended
+                // windows (where the backlog lives at `h`) that fires
+                // within the first few taps of almost every scan.
+                debug_assert_eq!(tap_dsum[lo], 0, "own column must sort first");
+                let h32 = h as u32;
+                let mut bt = NONE;
+                let mut best_i = 0usize;
+                let mut i = 0;
+                while i < n {
+                    // SAFETY: `i < n` bounds the run access;
+                    // `TapTable::build` only emits neighbour columns
+                    // below `lanes * rows * cols`, and `prep` sizes
+                    // `head_t` to exactly that (the table is cached
+                    // keyed by (dims, window), so it always matches the
+                    // grid the heads were built for).
+                    let t = unsafe { *head_t.get_unchecked(*run.get_unchecked(i) as usize) };
+                    if t == h32 {
+                        bt = t;
+                        best_i = i;
+                        break;
                     }
+                    let lt = t < bt;
+                    bt = if lt { t } else { bt };
+                    best_i = if lt { i } else { best_i };
+                    i += 1;
                 }
 
-                match (best_pack < sentinel).then_some((
-                    (best_pack >> 32) as u32,
-                    best_pack as u32,
-                    best_c,
-                )) {
-                    Some((t, dsum, c)) => {
-                        let hp = heads[c] as u32 + 1;
-                        let nt = if hp < grid.col_off[c + 1] {
-                            grid.ops[hp as usize]
+                if bt <= horizon32 {
+                    let best_c = tap_col[lo + best_i] as usize;
+                    let dsum = tap_dsum[lo + best_i];
+                    // SAFETY: `best_c` is a tap column (in-bounds for the
+                    // head arrays and `col_off`, see the scan above); the
+                    // cursor stays within the column's CSR slice, whose
+                    // end `col_off[best_c + 1]` bounds `ops`; `bt` is an
+                    // op time, and every builder counts times into
+                    // `t_counts` (len `t_steps`), so `bt < t_steps` =
+                    // `row_remaining.len()`.
+                    unsafe {
+                        let hp = *head_cursor.get_unchecked(best_c) + 1;
+                        let nt = if hp < *grid.col_off.get_unchecked(best_c + 1) {
+                            *grid.ops.get_unchecked(hp as usize)
                         } else {
                             NONE
                         };
-                        heads[c] = u64::from(nt) << 32 | u64::from(hp);
-                        row_remaining[t as usize] -= 1;
-                        remaining -= 1;
-                        if dsum > 0 {
-                            borrowed += 1;
-                        }
-                        if S::ACTIVE {
-                            sink.push(Assignment {
-                                t,
-                                src: (c / row_cols, c % row_cols / grid.cols, c % grid.cols),
-                                cycle: cycles - 1,
-                                slot: (
-                                    slot / row_cols,
-                                    slot % row_cols / grid.cols,
-                                    slot % grid.cols,
-                                ),
-                            });
-                        }
-                        // Pre-sleep after a borrow, same as the own-op
-                        // path (the executed column's head moved, so the
-                        // tap minimum must be recomputed; as above, an
-                        // in-window tap ends the search immediately).
-                        let mut m = NONE;
-                        for i in tap_off[slot] as usize..tap_off[slot + 1] as usize {
-                            m = m.min((heads[tap_col[i] as usize] >> 32) as u32);
-                            if m <= horizon32 {
-                                break;
-                            }
-                        }
-                        if m > horizon32 {
-                            cleared |= 1u64 << (slot % 64);
-                            dormant += 1;
-                            if m != NONE {
-                                wake_next[slot] = wake_head[m as usize];
-                                wake_head[m as usize] = slot as u32;
-                            }
+                        *head_t.get_unchecked_mut(best_c) = nt;
+                        *head_cursor.get_unchecked_mut(best_c) = hp;
+                        *row_remaining.get_unchecked_mut(bt as usize) -= 1;
+                    }
+                    remaining -= 1;
+                    if dsum > 0 {
+                        borrowed += 1;
+                    }
+                    if S::ACTIVE {
+                        sink.push(Assignment {
+                            t: bt,
+                            src: (
+                                best_c / row_cols,
+                                best_c % row_cols / grid.cols,
+                                best_c % grid.cols,
+                            ),
+                            cycle: cycles - 1,
+                            slot: (
+                                slot / row_cols,
+                                slot % row_cols / grid.cols,
+                                slot % grid.cols,
+                            ),
+                        });
+                    }
+                    // Pre-sleep after a borrow, mirroring the own-exec
+                    // path: the popped column's head already advanced, so
+                    // a bail-early walk over the (updated) neighbourhood
+                    // decides dormancy. On contended windows the first
+                    // tap is usually still in-window and the walk exits
+                    // immediately.
+                    let mut m = NONE;
+                    for &tc in &tap_col[lo..hi] {
+                        // SAFETY: tap columns are in-bounds for `head_t`
+                        // by construction (see the arbitration scan).
+                        m = m.min(unsafe { *head_t.get_unchecked(tc as usize) });
+                        if m <= horizon32 {
+                            break;
                         }
                     }
-                    None => {
-                        // Nothing reachable: this slot idles, and goes
-                        // dormant until the horizon reaches the earliest
-                        // tap head (`wake` stays NONE when the whole
-                        // neighbourhood is exhausted — the slot never
-                        // wakes again).
-                        idled = true;
+                    if m > horizon32 {
                         cleared |= 1u64 << (slot % 64);
                         dormant += 1;
-                        if wake != NONE {
-                            wake_next[slot] = wake_head[wake as usize];
-                            wake_head[wake as usize] = slot as u32;
+                        if m != NONE {
+                            wake_next[slot] = wake_head[m as usize];
+                            wake_head[m as usize] = slot as u32;
+                        }
+                    }
+                } else {
+                    // Nothing reachable: this slot idles, and goes
+                    // dormant until the horizon reaches the earliest tap
+                    // head (`bt` — the minimum key's high word *is* the
+                    // earliest head time; it stays `NONE` when the whole
+                    // neighbourhood is exhausted and the slot never
+                    // wakes again).
+                    idled = true;
+                    cleared |= 1u64 << (slot % 64);
+                    dormant += 1;
+                    if bt != NONE {
+                        // SAFETY: a non-NONE `bt` is an op time, and op
+                        // times are `< t_steps` (= `wake_head.len()`) by
+                        // builder construction; `slot < slots` from the
+                        // active bitset.
+                        unsafe {
+                            *wake_next.get_unchecked_mut(slot) =
+                                *wake_head.get_unchecked(bt as usize);
+                            *wake_head.get_unchecked_mut(bt as usize) = slot as u32;
                         }
                     }
                 }
@@ -1436,5 +1507,83 @@ mod tests {
     fn oversized_time_axis_panics_clearly() {
         let mut g = OpGrid::default();
         g.reset_dims(u32::MAX as usize + 1, 1, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeding u32 indexing")]
+    fn oversized_column_count_panics_clearly() {
+        // The guard fires before any CSR array is resized, so the test
+        // never touches 16 GiB of col_off.
+        let mut g = OpGrid::default();
+        g.reset_dims(1, u32::MAX as usize, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "more than u32::MAX")]
+    fn op_total_overflowing_on_final_column_panics_clearly() {
+        // Counts that only pass u32::MAX with the *last* column's
+        // contribution: the per-entry start-offset check cannot see the
+        // grand total, so without the final guard the packed head
+        // cursors would silently truncate.
+        let mut g = OpGrid {
+            t_steps: 1,
+            lanes: 2,
+            rows: 1,
+            cols: 1,
+            col_off: vec![u32::MAX, u32::MAX, 0],
+            ..OpGrid::default()
+        };
+        g.finish_counts();
+    }
+
+    /// Contended reach windows drive the column-indexed ready queue
+    /// through its chain-pop, stale-invalidation and sleep-with-cache
+    /// paths; the reference must agree exactly, assignments included.
+    #[test]
+    fn ready_queue_matches_reference_under_contention() {
+        // Clustered columns: a few hot columns hold long runs while
+        // their neighbours are empty or sparse, so borrows hammer the
+        // same heads and cached winners go stale in every way.
+        let grids = [
+            OpGrid::from_fn(32, 4, 2, 2, |t, l, r, c| {
+                (l == 1 && r == 0 && c == 0) || (t + l * 7 + r * 3 + c * 5) % 11 == 0
+            }),
+            OpGrid::from_fn(48, 3, 1, 3, |t, l, _, c| {
+                (c == 1 && t % 2 == 0) || (t * 3 + l * 5 + c) % 13 < 2
+            }),
+            OpGrid::from_fn(40, 2, 2, 2, |t, l, r, c| (t / 4 + l + r + c) % 3 != 1),
+        ];
+        let wins = [
+            EffectiveWindow {
+                depth: 3,
+                lane: 2,
+                rows: 2,
+                cols: 2,
+            },
+            EffectiveWindow {
+                depth: 2,
+                lane: 1,
+                rows: 1,
+                cols: 2,
+            },
+            EffectiveWindow {
+                depth: 5,
+                lane: 2,
+                rows: 0,
+                cols: 1,
+            },
+        ];
+        let mut scratch = SchedScratch::new();
+        let mut out = Vec::new();
+        for g in &grids {
+            for &win in &wins {
+                for p in [Priority::OwnFirst, Priority::EarliestFirst] {
+                    let (s_ref, a_ref) = reference::schedule_assign(g, win, p);
+                    let s_new = schedule_assign_with(g, win, p, &mut scratch, &mut out);
+                    assert_eq!(s_new, s_ref, "schedule diverged: win {win:?} p {p:?}");
+                    assert_eq!(out, a_ref, "assignments diverged: win {win:?} p {p:?}");
+                }
+            }
+        }
     }
 }

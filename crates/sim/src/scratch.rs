@@ -41,6 +41,11 @@ pub(crate) struct GridKey {
     pub b_side: bool,
     /// Core dimensions the grid was blocked for.
     pub core: CoreDims,
+    /// Batch plane (seed-variant index) the grid belongs to. Plain
+    /// `run_with` simulations always use plane 0; `run_batch` keys each
+    /// seed variant by its position in the batch so K same-shape
+    /// workloads can share one reuse scope without colliding.
+    pub plane: u32,
 }
 
 /// Reusable buffers for layer/network simulation. See the module docs
@@ -64,6 +69,12 @@ pub struct SimScratch {
     /// Layer index the pipeline is currently simulating (keys the grid
     /// cache within a scope).
     pub(crate) layer_idx: u32,
+    /// Batch plane of the workload currently simulating (keys the grid
+    /// cache within a scope; 0 outside `run_batch`).
+    pub(crate) plane: u32,
+    /// Reusable grids for the word-parallel batch builders when no
+    /// reuse scope is active (one per plane, grown on demand).
+    pub(crate) batch_grids: Vec<OpGrid>,
     /// Secondary grid for the dual pipeline's stage-2 replay.
     pub(crate) grid2: OpGrid,
     /// Assignment stream of the most recent `schedule_assign_with`.
@@ -108,5 +119,14 @@ impl SimScratch {
     pub fn end_reuse_scope(&mut self) {
         self.scope = None;
         self.grids.clear();
+    }
+
+    /// Selects the batch plane that keys memoized tile grids (plane 0
+    /// is the plain single-run plane). Batch drivers give each
+    /// seed-variant workload its own plane so one reuse scope holds a
+    /// whole batch without key collisions; plain `run_with` callers
+    /// never need to touch this.
+    pub fn set_plane(&mut self, plane: u32) {
+        self.plane = plane;
     }
 }

@@ -19,7 +19,7 @@ use griffin_tensor::block::{ATileView, BTileView};
 
 use crate::config::SimConfig;
 use crate::engine::{schedule_with, OpGrid, Schedule};
-use crate::grid::{build_a_grid, build_b_grid};
+use crate::grid::{build_a_grid, build_a_grids, build_b_grid, build_b_grids};
 use crate::layer::GemmLayer;
 use crate::sampling::sample_indices;
 use crate::scratch::{GridKey, SimScratch};
@@ -90,6 +90,7 @@ pub fn simulate_sparse_b_with(
                 rotate: shuffle,
                 b_side: true,
                 core,
+                plane: scratch.plane,
             };
             if !scratch.grids.contains_key(&key) {
                 let mut g = OpGrid::default();
@@ -109,6 +110,100 @@ pub fn simulate_sparse_b_with(
     }
     acc.ops *= core.m0 as f64;
     acc
+}
+
+/// Simulates K seed-variant layers of one shape on a `Sparse.B`
+/// architecture in a single batched pass.
+///
+/// The layers must share their [`GemmShape`](griffin_tensor::shape::GemmShape)
+/// (seed variants of one workload do); per sampled tile the op grids of
+/// all K planes are built word-parallel by [`build_b_grids`] and then
+/// scheduled per plane, so the returned accumulators are **exactly**
+/// what K independent [`simulate_sparse_b_with`] calls produce (pinned
+/// by batch-equivalence tests). Inside a reuse scope each plane's grids
+/// are memoized under its batch plane index, so an architecture sweep
+/// over the batch builds every grid once.
+pub fn simulate_sparse_b_batch(
+    layers: &[&GemmLayer],
+    win: BorrowWindow,
+    shuffle: bool,
+    cfg: &SimConfig,
+    scratch: &mut SimScratch,
+) -> Vec<ScheduleAccum> {
+    let Some(first) = layers.first() else {
+        return Vec::new();
+    };
+    let core = cfg.core;
+    let tiles = first.shape.tiles(core);
+    for l in layers {
+        assert_eq!(l.shape, first.shape, "batched layers must share a shape");
+    }
+    let planes = layers.len();
+    let lanes = LaneMap::from_flag(shuffle);
+    let eff = EffectiveWindow::for_b(win);
+    let (picked, scale) = sample_indices(tiles.nt, cfg.fidelity);
+
+    let mut accs = vec![
+        ScheduleAccum {
+            sampled: scale > 1.0,
+            ..Default::default()
+        };
+        planes
+    ];
+    let layer_idx = scratch.layer_idx;
+    for &n_tile in &picked {
+        let key_of = |p: usize| GridKey {
+            layer: layer_idx,
+            tile: n_tile as u32,
+            rotate: shuffle,
+            b_side: true,
+            core,
+            plane: p as u32,
+        };
+        if scratch.scope.is_some() {
+            // All-or-nothing: the scope token covers the whole batch, so
+            // either every plane's grid is memoized or none is.
+            if !(0..planes).all(|p| scratch.grids.contains_key(&key_of(p))) {
+                let views: Vec<BTileView<'_>> = layers
+                    .iter()
+                    .map(|l| BTileView::new(&l.b, core, n_tile * core.n0))
+                    .collect();
+                let mut grids = vec![OpGrid::default(); planes];
+                build_b_grids(&mut grids, &mut scratch.span, &views, lanes);
+                for (p, g) in grids.into_iter().enumerate() {
+                    scratch.grids.insert(key_of(p), g);
+                }
+            }
+            let SimScratch { grids, sched, .. } = &mut *scratch;
+            for (p, acc) in accs.iter_mut().enumerate() {
+                let s = schedule_with(&grids[&key_of(p)], eff, cfg.priority, sched);
+                acc.add(s, scale * tiles.mt as f64);
+            }
+        } else {
+            let SimScratch {
+                batch_grids,
+                span,
+                sched,
+                ..
+            } = &mut *scratch;
+            if batch_grids.len() < planes {
+                batch_grids.resize_with(planes, OpGrid::default);
+            }
+            let views: Vec<BTileView<'_>> = layers
+                .iter()
+                .map(|l| BTileView::new(&l.b, core, n_tile * core.n0))
+                .collect();
+            build_b_grids(&mut batch_grids[..planes], span, &views, lanes);
+            for (p, acc) in accs.iter_mut().enumerate() {
+                let s = schedule_with(&batch_grids[p], eff, cfg.priority, sched);
+                acc.add(s, scale * tiles.mt as f64);
+            }
+        }
+    }
+    for acc in &mut accs {
+        acc.ops *= core.m0 as f64;
+    }
+    accs
 }
 
 /// Simulates a layer on a `Sparse.A` architecture.
@@ -147,6 +242,7 @@ pub fn simulate_sparse_a_with(
                 rotate: shuffle,
                 b_side: false,
                 core,
+                plane: scratch.plane,
             };
             if !scratch.grids.contains_key(&key) {
                 let mut g = OpGrid::default();
@@ -164,6 +260,90 @@ pub fn simulate_sparse_a_with(
     }
     acc.ops *= core.n0 as f64;
     acc
+}
+
+/// Batched counterpart of [`simulate_sparse_a_with`]: K seed-variant
+/// same-shape layers per pass, with the same exact-equivalence contract
+/// as [`simulate_sparse_b_batch`].
+pub fn simulate_sparse_a_batch(
+    layers: &[&GemmLayer],
+    win: BorrowWindow,
+    shuffle: bool,
+    cfg: &SimConfig,
+    scratch: &mut SimScratch,
+) -> Vec<ScheduleAccum> {
+    let Some(first) = layers.first() else {
+        return Vec::new();
+    };
+    let core = cfg.core;
+    let tiles = first.shape.tiles(core);
+    for l in layers {
+        assert_eq!(l.shape, first.shape, "batched layers must share a shape");
+    }
+    let planes = layers.len();
+    let lanes = LaneMap::from_flag(shuffle);
+    let eff = EffectiveWindow::for_a(win);
+    let (picked, scale) = sample_indices(tiles.mt, cfg.fidelity);
+
+    let mut accs = vec![
+        ScheduleAccum {
+            sampled: scale > 1.0,
+            ..Default::default()
+        };
+        planes
+    ];
+    let layer_idx = scratch.layer_idx;
+    for &m_tile in &picked {
+        let key_of = |p: usize| GridKey {
+            layer: layer_idx,
+            tile: m_tile as u32,
+            rotate: shuffle,
+            b_side: false,
+            core,
+            plane: p as u32,
+        };
+        if scratch.scope.is_some() {
+            if !(0..planes).all(|p| scratch.grids.contains_key(&key_of(p))) {
+                let views: Vec<ATileView<'_>> = layers
+                    .iter()
+                    .map(|l| ATileView::new(&l.a, core, m_tile * core.m0))
+                    .collect();
+                let mut grids = vec![OpGrid::default(); planes];
+                build_a_grids(&mut grids, &mut scratch.span, &views, lanes);
+                for (p, g) in grids.into_iter().enumerate() {
+                    scratch.grids.insert(key_of(p), g);
+                }
+            }
+            let SimScratch { grids, sched, .. } = &mut *scratch;
+            for (p, acc) in accs.iter_mut().enumerate() {
+                let s = schedule_with(&grids[&key_of(p)], eff, cfg.priority, sched);
+                acc.add(s, scale * tiles.nt as f64);
+            }
+        } else {
+            let SimScratch {
+                batch_grids,
+                span,
+                sched,
+                ..
+            } = &mut *scratch;
+            if batch_grids.len() < planes {
+                batch_grids.resize_with(planes, OpGrid::default);
+            }
+            let views: Vec<ATileView<'_>> = layers
+                .iter()
+                .map(|l| ATileView::new(&l.a, core, m_tile * core.m0))
+                .collect();
+            build_a_grids(&mut batch_grids[..planes], span, &views, lanes);
+            for (p, acc) in accs.iter_mut().enumerate() {
+                let s = schedule_with(&batch_grids[p], eff, cfg.priority, sched);
+                acc.add(s, scale * tiles.nt as f64);
+            }
+        }
+    }
+    for acc in &mut accs {
+        acc.ops *= core.n0 as f64;
+    }
+    accs
 }
 
 /// Dense baseline "schedule": every tile takes `kt` cycles.

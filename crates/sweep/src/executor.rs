@@ -145,6 +145,34 @@ fn workload_key(cell: &Cell) -> Fingerprint {
     h.finish()
 }
 
+/// Key identifying a seed-batch group: cells agreeing on everything but
+/// the mask seed simulate word-parallel through one
+/// [`Accelerator::run_batch`] call.
+fn batch_key(cell: &Cell) -> Fingerprint {
+    let mut h = Hasher::new();
+    h.str("griffin-batch-group-v1")
+        .feed(&cell.workload)
+        .feed(&cell.category)
+        .feed(&cell.arch);
+    h.finish()
+}
+
+/// Maximum seed-variant planes per batched simulation, read from the
+/// environment: `GRIFFIN_UNBATCHED=1` forces plane-at-a-time execution
+/// (the historical path — reports are byte-identical either way, which
+/// CI pins), `GRIFFIN_BATCH=n` caps batches at `n` planes, and the
+/// default is unbounded (one batch per seed-variant group).
+fn env_batch_cap() -> usize {
+    let set = |k: &str| std::env::var(k).ok().filter(|v| !v.is_empty() && v != "0");
+    if set("GRIFFIN_UNBATCHED").is_some() {
+        return 1;
+    }
+    set("GRIFFIN_BATCH")
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(usize::MAX)
+}
+
 /// A live progress event emitted by [`run_cells`] while a campaign is
 /// executing. Events fire from worker threads in completion order (not
 /// grid order); the final cell list is still assembled deterministically.
@@ -295,6 +323,35 @@ pub fn run_cells_pooled(
     observe: &(dyn Fn(&CellEvent<'_>) + Sync),
     pool: &ScratchPool,
 ) -> Result<Vec<CellRecord>, SweepError> {
+    run_cells_capped(
+        spec,
+        cells,
+        cache,
+        workers,
+        build_workers,
+        observe,
+        pool,
+        env_batch_cap(),
+    )
+}
+
+/// [`run_cells_pooled`] with an explicit seed-batch cap instead of the
+/// environment's ([`GRIFFIN_UNBATCHED` / `GRIFFIN_BATCH`]: cap 1 is
+/// plane-at-a-time execution, larger caps split each seed-variant group
+/// into batches of at most that many planes. Reports are byte-identical
+/// at **every** cap and worker count — the batch-equivalence harness
+/// sweeps both axes against this entry point.
+#[allow(clippy::too_many_arguments)]
+pub fn run_cells_capped(
+    spec: &SweepSpec,
+    cells: &[Cell],
+    cache: &ResultCache,
+    workers: usize,
+    build_workers: usize,
+    observe: &(dyn Fn(&CellEvent<'_>) + Sync),
+    pool: &ScratchPool,
+    batch_cap: usize,
+) -> Result<Vec<CellRecord>, SweepError> {
     let fingerprints: Vec<Fingerprint> = cells.iter().map(|c| c.fingerprint(&spec.sim)).collect();
 
     // Phase 1: probe the cache, and deduplicate identical scenarios
@@ -324,7 +381,28 @@ pub fn run_cells_pooled(
     }
 
     if !missing.is_empty() {
-        let workers = workers.clamp(1, missing.len());
+        // Group the missing cells into batch units: cells differing only
+        // by mask seed share grid shapes, so one worker simulates a whole
+        // unit word-parallel via `Accelerator::run_batch`. Units keep the
+        // grid order of `missing` (architecture-major), so consecutive
+        // units sweep architectures over one workload group and the
+        // reuse scope below shares every plane's tile grids across them.
+        let cap = batch_cap.max(1);
+        let mut units: Vec<Vec<usize>> = Vec::new();
+        {
+            let mut unit_of: HashMap<Fingerprint, usize> = HashMap::new();
+            for &i in &missing {
+                let key = batch_key(&cells[i]);
+                match unit_of.get(&key) {
+                    Some(&u) if units[u].len() < cap => units[u].push(i),
+                    _ => {
+                        unit_of.insert(key, units.len());
+                        units.push(vec![i]);
+                    }
+                }
+            }
+        }
+        let workers = workers.clamp(1, units.len());
 
         // Phase 2: build each distinct workload once, in parallel.
         let mut keys: Vec<Fingerprint> = Vec::new();
@@ -377,55 +455,78 @@ pub fn run_cells_pooled(
         }
         let built = built.into_inner().expect("build lock");
 
-        // Phase 3: simulate the missing cells, any worker, any order.
+        // Phase 3: simulate the batch units, any worker, any order.
         // Each worker keeps one `SimScratch` for its whole run, so the
         // per-tile scheduler loop allocates nothing at steady state.
         let done: Mutex<Vec<(usize, CellMetrics)>> = Mutex::new(Vec::with_capacity(missing.len()));
-        let next_cell = AtomicUsize::new(0);
+        let next_unit = AtomicUsize::new(0);
+        // Check every worker's scratch out before spawning so a fast
+        // worker that finishes early can't park a scratch a slow-to-start
+        // worker then steals (each worker must hold a distinct scratch).
+        let scratches: Vec<SimScratch> = (0..workers).map(|_| pool.checkout()).collect();
         std::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| {
-                    let mut scratch = pool.checkout();
+            for mut scratch in scratches {
+                let (units, fingerprints, built, twins, done, next_unit) =
+                    (&units, &fingerprints, &built, &twins, &done, &next_unit);
+                s.spawn(move || {
                     loop {
-                        let j = next_cell.fetch_add(1, Ordering::Relaxed);
-                        if j >= missing.len() {
+                        let u = next_unit.fetch_add(1, Ordering::Relaxed);
+                        if u >= units.len() {
                             break;
                         }
-                        let i = missing[j];
-                        let cell = &cells[i];
-                        observe(&CellEvent::Started {
-                            cell,
-                            fingerprint: fingerprints[i],
-                        });
-                        let key = workload_key(cell);
-                        let wl = Arc::clone(&built[&key]);
-                        // Consecutive cells sweep architectures over one
-                        // workload; scoping the scratch to the workload
-                        // fingerprint shares every tile grid across them.
-                        scratch.begin_reuse_scope((u128::from(key.0) << 64) | u128::from(key.1));
-                        let report = Accelerator::new(cell.arch.clone(), spec.sim)
-                            .run_with(&wl, &mut scratch);
-                        let m = CellMetrics {
-                            speedup: report.speedup,
-                            cycles: report.network.cycles(),
-                            dense_cycles: report.network.dense_cycles(),
-                            power_mw: report.cost.power_mw(),
-                            area_mm2: report.cost.area_mm2(),
-                            tops_per_w: report.effective_tops_per_w,
-                            tops_per_mm2: report.effective_tops_per_mm2,
-                        };
-                        cache.insert(fingerprints[i], m);
-                        // Stream completion for the simulated cell and
-                        // every in-campaign twin it resolves.
-                        for &twin in &twins[&fingerprints[i]] {
-                            observe(&CellEvent::Finished {
-                                cell: &cells[twin],
-                                fingerprint: fingerprints[twin],
-                                metrics: m,
-                                cached: twin != i,
+                        let unit = &units[u];
+                        for &i in unit {
+                            observe(&CellEvent::Started {
+                                cell: &cells[i],
+                                fingerprint: fingerprints[i],
                             });
                         }
-                        done.lock().expect("done lock").push((i, m));
+                        let wls: Vec<Arc<Workload>> = unit
+                            .iter()
+                            .map(|&i| Arc::clone(&built[&workload_key(&cells[i])]))
+                            .collect();
+                        let planes: Vec<&Workload> = wls.iter().map(Arc::as_ref).collect();
+                        // Consecutive units sweep architectures over one
+                        // workload group; scoping the scratch to the
+                        // group (workload, category, ordered seeds —
+                        // *not* the architecture) shares every plane's
+                        // tile grids across the whole sweep.
+                        let lead = &cells[unit[0]];
+                        let mut h = Hasher::new();
+                        h.str("griffin-batch-scope-v1")
+                            .feed(&lead.workload)
+                            .feed(&lead.category);
+                        for &i in unit {
+                            h.u64(cells[i].seed);
+                        }
+                        let token = h.finish();
+                        scratch
+                            .begin_reuse_scope((u128::from(token.0) << 64) | u128::from(token.1));
+                        let reports = Accelerator::new(lead.arch.clone(), spec.sim)
+                            .run_batch(&planes, &mut scratch);
+                        for (&i, report) in unit.iter().zip(&reports) {
+                            let m = CellMetrics {
+                                speedup: report.speedup,
+                                cycles: report.network.cycles(),
+                                dense_cycles: report.network.dense_cycles(),
+                                power_mw: report.cost.power_mw(),
+                                area_mm2: report.cost.area_mm2(),
+                                tops_per_w: report.effective_tops_per_w,
+                                tops_per_mm2: report.effective_tops_per_mm2,
+                            };
+                            cache.insert(fingerprints[i], m);
+                            // Stream completion for the simulated cell
+                            // and every in-campaign twin it resolves.
+                            for &twin in &twins[&fingerprints[i]] {
+                                observe(&CellEvent::Finished {
+                                    cell: &cells[twin],
+                                    fingerprint: fingerprints[twin],
+                                    metrics: m,
+                                    cached: twin != i,
+                                });
+                            }
+                            done.lock().expect("done lock").push((i, m));
+                        }
                     }
                     pool.give_back(scratch);
                 });
@@ -646,6 +747,41 @@ mod tests {
         // nothing simulates, so nothing checks out).
         run_cells_pooled(&spec, &spec.cells(), &cache, 2, 2, &no_observer, &pool).unwrap();
         assert_eq!(pool.parked(), 2);
+    }
+
+    #[test]
+    fn batch_cap_and_worker_count_never_change_records() {
+        let spec = small_spec();
+        let cells = spec.cells();
+        let pool = ScratchPool::new();
+        // Cap 1 is plane-at-a-time execution — the historical path.
+        let unbatched = run_cells_capped(
+            &spec,
+            &cells,
+            &ResultCache::in_memory(),
+            1,
+            1,
+            &no_observer,
+            &pool,
+            1,
+        )
+        .unwrap();
+        for cap in [2, 3, usize::MAX] {
+            for workers in [1, 2, 5] {
+                let batched = run_cells_capped(
+                    &spec,
+                    &cells,
+                    &ResultCache::in_memory(),
+                    workers,
+                    2,
+                    &no_observer,
+                    &pool,
+                    cap,
+                )
+                .unwrap();
+                assert_eq!(unbatched, batched, "cap {cap}, {workers} workers");
+            }
+        }
     }
 
     #[test]

@@ -507,6 +507,23 @@ impl CampaignModel {
         (ms > 0).then(|| self.done_cells.len() as f64 * 1000.0 / ms as f64)
     }
 
+    /// Estimated milliseconds to finish the remaining cells at the
+    /// cumulative rate. `None` — rendered as `"n/a"` in the summary —
+    /// when no estimate exists: the campaign is already terminal, no
+    /// time has elapsed yet (campaign start), or nothing has completed
+    /// this run (zero rate). Those cases must never surface as `0` or a
+    /// saturated huge value.
+    pub fn eta_ms(&self) -> Option<u64> {
+        if self.state.is_terminal() {
+            return None;
+        }
+        let cps = self
+            .cumulative_cells_per_sec()
+            .filter(|r| *r > f64::EPSILON)?;
+        let remaining = self.total_cells.saturating_sub(self.done());
+        Some((remaining as f64 * 1000.0 / cps) as u64)
+    }
+
     /// The scripting summary (`griffin-watch-summary/1`): every counter
     /// the acceptance checks grep out of `events.jsonl`, plus per-shard
     /// detail and the failure log.
@@ -537,6 +554,13 @@ impl CampaignModel {
             ("parse_errors".into(), num(self.parse_errors)),
             ("events".into(), num(self.events_folded)),
             ("elapsed_ms".into(), Json::Num(self.elapsed_ms() as f64)),
+            (
+                "eta_ms".into(),
+                match self.eta_ms() {
+                    Some(ms) => Json::Num(ms as f64),
+                    None => Json::Str("n/a".into()),
+                },
+            ),
         ];
         if let Some(fp) = self.spec_fp {
             o.push(("spec_fp".into(), Json::Str(fp.to_string())));
@@ -933,6 +957,97 @@ mod tests {
         let s = &m.shards[&0];
         assert_eq!((s.done, s.cached, s.elapsed_ms), (4, 3, 400));
         assert_eq!(m.elapsed_ms(), 400, "live elapsed from slowest shard");
+    }
+
+    #[test]
+    fn eta_is_na_at_campaign_start_and_under_zero_rate() {
+        let mut m = CampaignModel::new();
+        assert_eq!(m.eta_ms(), None, "no campaign, no estimate");
+
+        // Campaign start: zero elapsed, zero completions. The summary
+        // must say "n/a" — never 0 and never a saturated huge value.
+        m.apply(&start(100, 1, 0));
+        assert_eq!(m.eta_ms(), None);
+        assert!(m.summary().write().contains("\"eta_ms\":\"n/a\""));
+
+        // Time passing with zero completions (a stalled fleet) is a
+        // zero rate: still "n/a", not a division blow-up.
+        m.apply(&Event::ShardStart {
+            shard: 0,
+            cells: 100,
+            skipped: 0,
+            host: None,
+        });
+        m.apply(&Event::Heartbeat {
+            shard: 0,
+            done: 0,
+            total: 100,
+            elapsed_ms: 5000,
+            cached: 0,
+        });
+        assert_eq!(m.eta_ms(), None, "zero rate has no projection");
+        assert!(m.summary().write().contains("\"eta_ms\":\"n/a\""));
+    }
+
+    #[test]
+    fn eta_projects_remaining_cells_then_clears_when_terminal() {
+        let mut m = CampaignModel::new();
+        m.apply(&start(10, 1, 0));
+        m.apply(&Event::ShardStart {
+            shard: 0,
+            cells: 10,
+            skipped: 0,
+            host: None,
+        });
+        for c in 0..4 {
+            m.apply(&cell_done(0, c, false));
+        }
+        m.apply(&Event::Heartbeat {
+            shard: 0,
+            done: 4,
+            total: 10,
+            elapsed_ms: 2000,
+            cached: 0,
+        });
+        // 4 cells in 2 s → 2 cells/s → 6 remaining ≈ 3000 ms.
+        assert_eq!(m.eta_ms(), Some(3000));
+        assert!(m.summary().write().contains("\"eta_ms\":3000"));
+
+        // A finished campaign has no ETA, even though the rate is known.
+        m.apply(&Event::CampaignDone {
+            cells: 10,
+            elapsed_ms: 5000,
+        });
+        assert_eq!(m.eta_ms(), None);
+        assert!(m.summary().write().contains("\"eta_ms\":\"n/a\""));
+    }
+
+    #[test]
+    fn rate_tracker_zero_elapsed_and_zero_rate_windows_yield_no_eta() {
+        // One observation: no window yet, no rate, no ETA.
+        let mut r = RateTracker::new(1000.0);
+        r.observe(5, 0);
+        assert_eq!(r.cells_per_sec(), None);
+        assert_eq!(r.eta_ms(100), None, "single observation has no ETA");
+
+        // Zero-elapsed window (same timestamp): re-seeds instead of
+        // dividing by zero; still no ETA.
+        r.observe(5, 10);
+        assert_eq!(r.cells_per_sec(), None);
+        assert_eq!(r.eta_ms(100), None, "zero-elapsed window has no ETA");
+
+        // Zero-rate window (time passes, nothing completes): the EMA is
+        // exactly 0, which must read as "n/a" — not ETA 0, not a
+        // saturated huge value.
+        let mut idle = RateTracker::new(1000.0);
+        idle.observe(0, 0);
+        idle.observe(1000, 0);
+        assert_eq!(idle.cells_per_sec(), Some(0.0));
+        assert_eq!(idle.eta_ms(100), None, "zero rate has no ETA");
+        // And with nothing remaining the ETA is trivially 0 once a real
+        // rate exists — never "n/a" misreported the other way.
+        idle.observe(2000, 10);
+        assert_eq!(idle.eta_ms(0), Some(0));
     }
 
     #[test]

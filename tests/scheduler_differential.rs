@@ -56,6 +56,34 @@ proptest! {
         prop_assert_eq!(schedule_with(&g, win, p, &mut scratch), s_ref);
     }
 
+    /// Contended windows: dense grids under deep, wide-reach windows,
+    /// where many borrow taps compete for the same donor columns every
+    /// cycle. This is the regime the sorted-tap time-only scan and the
+    /// certain-winner early exit optimize, so it gets its own pin
+    /// against the reference — the general test above rarely samples
+    /// this corner of the (density, window) space.
+    #[test]
+    fn contended_windows_stay_bit_identical(
+        seed in 0u64..1500,
+        density in 0.6f64..1.0,
+        depth in 4usize..10,
+        lane in 1usize..4,
+        cols_reach in 1usize..4,
+        own_first in proptest::bool::ANY,
+    ) {
+        let g = grid(32, 8, 2, 4, density, seed);
+        let win = EffectiveWindow { depth, lane, rows: 1, cols: cols_reach };
+        let p = if own_first { Priority::OwnFirst } else { Priority::EarliestFirst };
+
+        let (s_ref, a_ref) = reference::schedule_assign(&g, win, p);
+        let mut scratch = SchedScratch::new();
+        let mut out = Vec::new();
+        let s_new = schedule_assign_with(&g, win, p, &mut scratch, &mut out);
+
+        prop_assert_eq!(s_new, s_ref, "contended Schedule diverged (win {:?}, {:?})", win, p);
+        prop_assert_eq!(&out, &a_ref, "contended Assignment stream diverged (win {:?}, {:?})", win, p);
+    }
+
     /// Scratch reuse across grids of different shapes and windows never
     /// leaks state: results equal fresh-scratch runs, in any order.
     #[test]
