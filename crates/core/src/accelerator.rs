@@ -2,7 +2,9 @@
 
 use griffin_sim::config::SimConfig;
 use griffin_sim::layer::GemmLayer;
-use griffin_sim::pipeline::{simulate_layer, simulate_network_batch, simulate_network_with};
+use griffin_sim::pipeline::{
+    simulate_layer, simulate_network_batch, simulate_network_multi_arch, simulate_network_with,
+};
 use griffin_sim::report::{LayerReport, NetworkReport};
 use griffin_sim::scratch::SimScratch;
 use griffin_tensor::error::TensorError;
@@ -168,6 +170,60 @@ impl Accelerator {
             .iter()
             .zip(reports)
             .map(|(w, network)| self.assemble_report(w, mode, network))
+            .collect()
+    }
+
+    /// Runs a whole architecture *family* over K seed-variant workloads
+    /// in one pass, returning `[accelerator][workload]` reports.
+    ///
+    /// This is the arch-axis extension of [`Accelerator::run_batch`]:
+    /// when every accelerator shares this one's simulator configuration
+    /// and every workload shares one category, the family's sparsity
+    /// modes go through
+    /// [`simulate_network_multi_arch`] together, so same-reach
+    /// borrowing windows share event-core passes and the scratch's
+    /// window-keyed schedule cache serves repeat windows. Anything that
+    /// breaks the preconditions falls back to per-accelerator
+    /// [`Accelerator::run_batch`] calls. Every report is **exactly**
+    /// what `accels[i].run_with(workloads[j], ..)` returns (pinned by
+    /// batch-equivalence tests), so sweep drivers may regroup batches
+    /// freely without perturbing results.
+    pub fn run_family_batch(
+        accels: &[&Accelerator],
+        workloads: &[&Workload],
+        scratch: &mut SimScratch,
+    ) -> Vec<Vec<RunReport>> {
+        let Some(first_w) = workloads.first() else {
+            return vec![Vec::new(); accels.len()];
+        };
+        let same_cfg = accels.windows(2).all(|pair| pair[0].cfg == pair[1].cfg);
+        let same_cat = workloads.iter().all(|w| w.category == first_w.category);
+        if !same_cfg || !same_cat {
+            return accels
+                .iter()
+                .map(|a| a.run_batch(workloads, scratch))
+                .collect();
+        }
+        let Some(first_a) = accels.first() else {
+            return Vec::new();
+        };
+        let modes: Vec<griffin_sim::config::SparsityMode> = accels
+            .iter()
+            .map(|a| a.spec.mode_for(first_w.category))
+            .collect();
+        let networks: Vec<&[GemmLayer]> = workloads.iter().map(|w| w.layers.as_slice()).collect();
+        let family = simulate_network_multi_arch(&networks, &modes, &first_a.cfg, scratch);
+        accels
+            .iter()
+            .zip(modes)
+            .zip(family)
+            .map(|((a, mode), nets)| {
+                workloads
+                    .iter()
+                    .zip(nets)
+                    .map(|(w, network)| a.assemble_report(w, mode, network))
+                    .collect()
+            })
             .collect()
     }
 

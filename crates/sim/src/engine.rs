@@ -435,7 +435,10 @@ fn tap_key(grid: &OpGrid, win: EffectiveWindow) -> (usize, usize, usize, usize, 
 /// How many tap tables a scratch keeps before recycling slots. The dual
 /// pipeline alternates between the stage-1 and stage-2 shapes every
 /// tile pair, so two entries are the working set; four leaves headroom
-/// for mixed campaigns without letting the cache grow.
+/// for mixed campaigns without letting the cache grow. Multi-window
+/// calls raise the effective capacity to their distinct reach count via
+/// [`SchedScratch::reserve_taps`], so an architecture family sweeping
+/// many reaches over one grid never thrashes the cache.
 const TAP_CACHE: usize = 4;
 
 /// Reusable scheduler state: column heads, per-row op counts, cached tap
@@ -461,8 +464,27 @@ pub struct SchedScratch {
     /// Cached tap tables, recycled round-robin.
     taps: Vec<TapTable>,
     next_tap: usize,
+    /// Capacity floor for the tap cache, raised by multi-window calls
+    /// whose distinct reach count exceeds [`TAP_CACHE`] (never shrinks;
+    /// bounded by the largest window family the scratch has seen).
+    tap_cap: usize,
     /// Bitset of active (non-dormant) slots.
     active: Vec<u64>,
+    /// Bordered head-time plane for the 2-D stencil fast path: the
+    /// `(lane, spatial)` head times surrounded by a sentinel ring of
+    /// `NONE` wide enough for the window's largest displacement, so tap
+    /// reads never need clipping (border taps read `NONE` and lose every
+    /// arbitration, exactly like a clipped-away tap).
+    head_b: Vec<u32>,
+    /// Bordered index of each flat slot (stencil path).
+    bb_of: Vec<u32>,
+    /// Flat column of each bordered index (`NONE` on the ring).
+    flat_of: Vec<u32>,
+    /// Signed bordered-index displacement of each stencil tap, in
+    /// `(dsum, enumeration)` priority order.
+    deltas: Vec<i32>,
+    /// Total displacement of each stencil tap.
+    delta_dsum: Vec<u32>,
     /// Intrusive singly-linked wake buckets: `wake_head[t]` is the first
     /// dormant slot waiting for the horizon to reach `t`.
     wake_head: Vec<u32>,
@@ -483,16 +505,23 @@ impl SchedScratch {
         if let Some(i) = self.taps.iter().position(|t| t.key == key) {
             return i;
         }
+        let cap = self.tap_cap.max(TAP_CACHE);
         let table = TapTable::build(grid, win);
-        if self.taps.len() < TAP_CACHE {
+        if self.taps.len() < cap {
             self.taps.push(table);
             self.taps.len() - 1
         } else {
             let i = self.next_tap;
-            self.next_tap = (self.next_tap + 1) % TAP_CACHE;
+            self.next_tap = (self.next_tap + 1) % cap;
             self.taps[i] = table;
             i
         }
+    }
+
+    /// Raises the tap-cache capacity floor so a multi-window call can
+    /// keep every distinct reach of its family resident at once.
+    fn reserve_taps(&mut self, n: usize) {
+        self.tap_cap = self.tap_cap.max(n);
     }
 }
 
@@ -529,7 +558,7 @@ pub fn schedule_with(
     priority: Priority,
     scratch: &mut SchedScratch,
 ) -> Schedule {
-    run_event(grid, win, priority, scratch, &mut NoSink)
+    run_event::<false, _>(grid, win, priority, scratch, &mut NoSink).0
 }
 
 /// [`schedule_assign`] with caller-provided scratch and output buffer.
@@ -543,7 +572,132 @@ pub fn schedule_assign_with(
     out: &mut Vec<Assignment>,
 ) -> Schedule {
     out.clear();
-    run_event(grid, win, priority, scratch, out)
+    run_event::<false, _>(grid, win, priority, scratch, out).0
+}
+
+/// How [`schedule_multi`] served each of its K windows: every window is
+/// either *scheduled* (a full event-core pass over the grid) or
+/// *replayed* (proven bit-identical to an already-scheduled deeper
+/// window on the same reach, and copied without running).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MultiShare {
+    /// Windows that executed a full event-core pass.
+    pub scheduled: usize,
+    /// Windows whose schedule was copied from a deeper same-reach run.
+    pub replayed: usize,
+}
+
+impl MultiShare {
+    /// Accumulates another call's counters.
+    pub fn absorb(&mut self, other: MultiShare) {
+        self.scheduled += other.scheduled;
+        self.replayed += other.replayed;
+    }
+}
+
+/// Schedules one grid under K windows in a single call, writing
+/// `out[i]` = the schedule of `wins[i]`. Every result is **bitwise**
+/// identical to an independent [`schedule_with`] call (pinned by
+/// differential property tests); the point of the entry is to share
+/// work across the family:
+///
+/// * Windows are processed grouped by reach `(lane, rows, cols)`, so
+///   each distinct reach builds its dsum-sorted tap table exactly once
+///   per call — and the scratch's tap cache is widened to the family's
+///   reach count ([`SchedScratch::reserve_taps`]), so repeated calls
+///   (one per tile of a campaign) build **no** tables at all. Under the
+///   per-architecture sweep order this entry replaces, every call
+///   cycled more reaches than the cache holds and rebuilt its table
+///   every time.
+/// * Within a reach group, windows run deepest-first and each run
+///   tracks its maximum *executed lag* — the largest `t − H` (op time
+///   minus oldest unfinished row) over all pops. A window of depth `L`
+///   makes exactly the ops with lag `≤ L − 1` visible, so when the
+///   last run's max lag is below a shallower window's depth, the
+///   shallower window provably arbitrates identically cycle-for-cycle:
+///   every candidate the smaller horizon removes has `t` strictly above
+///   the winning op's `t` and never wins, slots idle in the same
+///   cycles, and the counters follow from the identical assignment
+///   stream. Such windows are *replayed* — the deeper schedule is
+///   copied — and the counts are reported in [`MultiShare`]. Saturated
+///   grids (where some slot runs a full `depth − 1` ahead) simply fall
+///   back to one pass per window.
+pub fn schedule_multi(
+    grid: &OpGrid,
+    wins: &[EffectiveWindow],
+    priority: Priority,
+    scratch: &mut SchedScratch,
+    out: &mut Vec<Schedule>,
+) -> MultiShare {
+    out.clear();
+    out.resize(wins.len(), Schedule::empty());
+    let mut order: Vec<u32> = (0..wins.len() as u32).collect();
+    order.sort_by_key(|&i| {
+        let w = &wins[i as usize];
+        (w.lane, w.rows, w.cols, std::cmp::Reverse(w.depth))
+    });
+    // Widen the tap cache to this family's distinct (non-trivial) reach
+    // count so the K windows cannot thrash it.
+    let mut distinct = 0usize;
+    let mut prev_reach = None;
+    for &i in &order {
+        let w = &wins[i as usize];
+        let reach = (w.lane, w.rows, w.cols);
+        if reach != (0, 0, 0) && Some(reach) != prev_reach {
+            distinct += 1;
+        }
+        prev_reach = Some(reach);
+    }
+    scratch.reserve_taps(distinct);
+
+    let mut share = MultiShare::default();
+    // Reach, schedule and max executed lag of the last window that
+    // actually ran — the comparison point for saturation sharing.
+    let mut last: Option<((usize, usize, usize), Schedule, u32)> = None;
+    // Lag tracking costs a few percent per pop, so it runs adaptively:
+    // the deepest window of every reach group always tracks (this alone
+    // guarantees duplicate and saturating-depth replays, since a run's
+    // lag is at most `depth − 1`), and later group members track only
+    // while replay keeps proving itself on this grid. On replay-hostile
+    // data (iid sparsity never saturates) the group degrades to plain
+    // untracked passes after the first window.
+    let mut cur_reach: Option<(usize, usize, usize)> = None;
+    let mut first_in_group = true;
+    let mut group_replayed = false;
+    for (pos, &i) in order.iter().enumerate() {
+        let w = wins[i as usize];
+        let reach = (w.lane, w.rows, w.cols);
+        if cur_reach != Some(reach) {
+            cur_reach = Some(reach);
+            first_in_group = true;
+            group_replayed = false;
+        }
+        if let Some((r, s, lag)) = last {
+            if r == reach && w.depth as u64 > u64::from(lag) {
+                out[i as usize] = s;
+                share.replayed += 1;
+                group_replayed = true;
+                continue;
+            }
+        }
+        let next_same_reach = order.get(pos + 1).is_some_and(|&j| {
+            let n = wins[j as usize];
+            (n.lane, n.rows, n.cols) == reach
+        });
+        let track = next_same_reach && (first_in_group || group_replayed);
+        if track {
+            let (s, lag) = run_event::<true, _>(grid, w, priority, scratch, &mut NoSink);
+            out[i as usize] = s;
+            last = Some((reach, s, lag));
+        } else {
+            let (s, _) = run_event::<false, _>(grid, w, priority, scratch, &mut NoSink);
+            out[i as usize] = s;
+            last = None;
+        }
+        share.scheduled += 1;
+        first_in_group = false;
+    }
+    share
 }
 
 /// Assignment consumer, monomorphized so the non-collecting scheduler
@@ -571,17 +725,22 @@ impl Sink for Vec<Assignment> {
     }
 }
 
-fn run_event<S: Sink>(
+/// The event-driven core. `TRACK` additionally computes the maximum
+/// *executed lag* — `max(t − H)` over every pop, where `H` is the
+/// oldest unfinished row at that cycle — which [`schedule_multi`] uses
+/// to prove shallower windows identical; with `TRACK = false` the lag
+/// arithmetic compiles out and the returned lag is 0.
+fn run_event<const TRACK: bool, S: Sink>(
     grid: &OpGrid,
     win: EffectiveWindow,
     priority: Priority,
     scratch: &mut SchedScratch,
     sink: &mut S,
-) -> Schedule {
+) -> (Schedule, u32) {
     assert!(win.depth >= 1, "window depth must be at least 1");
     let total = grid.total_ops();
     if total == 0 {
-        return Schedule::empty();
+        return (Schedule::empty(), 0);
     }
     let slots = grid.lanes * grid.rows * grid.cols;
     let row_cols = grid.rows * grid.cols;
@@ -591,6 +750,25 @@ fn run_event<S: Sink>(
     // exact, so the specialized loop below visits a slot only when it
     // executes.
     let single_tap = win.lane == 0 && win.rows == 0 && win.cols == 0;
+
+    // Grids with one degenerate unreached spatial axis (every A-side and
+    // B-side production grid) take the 2-D stencil core: taps become a
+    // fixed displacement list over a sentinel-bordered head plane, so
+    // arbitration scans are branchless fixed-trip loops with no tap-table
+    // indirection. Bit-identical to the general loop (and to
+    // [`reference`]) — pinned by the differential tests.
+    if !single_tap {
+        let two_d = if grid.rows == 1 && win.rows == 0 {
+            Some((grid.cols, win.cols))
+        } else if grid.cols == 1 && win.cols == 0 {
+            Some((grid.rows, win.rows))
+        } else {
+            None
+        };
+        if let Some((ext2, reach2)) = two_d {
+            return run_event_stencil::<TRACK, S>(grid, win, priority, scratch, sink, ext2, reach2);
+        }
+    }
 
     // --- prepare scratch (resize-only; no allocation at steady state) ---
     let tap = if single_tap {
@@ -640,6 +818,9 @@ fn run_event<S: Sink>(
     let mut starved_cycles = 0u64;
     let mut prev_horizon = 0usize;
     let mut first_cycle = true;
+    // Max executed lag (TRACK only). No pending op sits below the
+    // oldest unfinished row, so `t - h` never underflows.
+    let mut max_lag = 0u32;
 
     if single_tap {
         // Specialized no-reach loop: a slot executes its own head op
@@ -685,6 +866,9 @@ fn run_event<S: Sink>(
                         head_cursor[slot] = hp;
                         row_remaining[t as usize] -= 1;
                         remaining -= 1;
+                        if TRACK {
+                            max_lag = max_lag.max(t - h as u32);
+                        }
                         if S::ACTIVE {
                             let src = (
                                 slot / row_cols,
@@ -735,12 +919,15 @@ fn run_event<S: Sink>(
                 h += 1;
             }
         }
-        return Schedule {
-            cycles,
-            executed: total as u64,
-            borrowed: 0,
-            starved_cycles,
-        };
+        return (
+            Schedule {
+                cycles,
+                executed: total as u64,
+                borrowed: 0,
+                starved_cycles,
+            },
+            max_lag,
+        );
     }
 
     let (tap_off, tap_col, tap_dsum) = {
@@ -808,6 +995,9 @@ fn run_event<S: Sink>(
                             nt
                         };
                         remaining -= 1;
+                        if TRACK {
+                            max_lag = max_lag.max(t - h as u32);
+                        }
                         if S::ACTIVE {
                             let src = (
                                 slot / row_cols,
@@ -927,6 +1117,9 @@ fn run_event<S: Sink>(
                         *row_remaining.get_unchecked_mut(bt as usize) -= 1;
                     }
                     remaining -= 1;
+                    if TRACK {
+                        max_lag = max_lag.max(bt - h32);
+                    }
                     if dsum > 0 {
                         borrowed += 1;
                     }
@@ -1005,12 +1198,396 @@ fn run_event<S: Sink>(
         }
     }
 
-    Schedule {
-        cycles,
-        executed: total as u64,
-        borrowed,
-        starved_cycles,
+    (
+        Schedule {
+            cycles,
+            executed: total as u64,
+            borrowed,
+            starved_cycles,
+        },
+        max_lag,
+    )
+}
+
+/// The 2-D stencil specialization of [`run_event`]: grids whose third
+/// axis is degenerate (extent 1 with zero reach) — every A-side
+/// `(lane, row)` and B-side `(lane, col)` production grid — arbitrate
+/// over one fixed displacement list applied to a sentinel-bordered head
+/// plane instead of per-slot tap-table runs.
+///
+/// Monomorphizes the hot loop over the tap count: the window families
+/// the sweeps explore produce tiny displacement lists (2–9 taps), and a
+/// compile-time trip count turns every arbitration scan and dormancy
+/// walk into a fully unrolled branchless min-chain. `W = 0` is the
+/// runtime-length fallback for wider windows.
+fn run_event_stencil<const TRACK: bool, S: Sink>(
+    grid: &OpGrid,
+    win: EffectiveWindow,
+    priority: Priority,
+    scratch: &mut SchedScratch,
+    sink: &mut S,
+    ext2: usize,
+    reach2: usize,
+) -> (Schedule, u32) {
+    // Displacement list in `(dsum, enumeration)` priority order — the
+    // same order `TapTable::build` gives interior slots (border reads
+    // stand in for edge clipping).
+    let pad2 = reach2.div_ceil(2);
+    let ext2_p = ext2 + 2 * pad2;
+    scratch.deltas.clear();
+    scratch.delta_dsum.clear();
+    for dl in signed_offsets(win.lane) {
+        for d2 in signed_offsets(reach2) {
+            scratch.deltas.push((dl * ext2_p as isize + d2) as i32);
+            scratch
+                .delta_dsum
+                .push((dl.unsigned_abs() + d2.unsigned_abs()) as u32);
+        }
     }
+    // Stable insertion sort by dsum (the list is at most a few dozen
+    // entries), keeping the enumeration order inside equal displacements.
+    for i in 1..scratch.deltas.len() {
+        let mut j = i;
+        while j > 0 && scratch.delta_dsum[j - 1] > scratch.delta_dsum[j] {
+            scratch.delta_dsum.swap(j - 1, j);
+            scratch.deltas.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+    match scratch.deltas.len() {
+        2 => run_event_stencil_w::<TRACK, 2, S>(grid, win, priority, scratch, sink, ext2, reach2),
+        3 => run_event_stencil_w::<TRACK, 3, S>(grid, win, priority, scratch, sink, ext2, reach2),
+        4 => run_event_stencil_w::<TRACK, 4, S>(grid, win, priority, scratch, sink, ext2, reach2),
+        6 => run_event_stencil_w::<TRACK, 6, S>(grid, win, priority, scratch, sink, ext2, reach2),
+        9 => run_event_stencil_w::<TRACK, 9, S>(grid, win, priority, scratch, sink, ext2, reach2),
+        _ => run_event_stencil_w::<TRACK, 0, S>(grid, win, priority, scratch, sink, ext2, reach2),
+    }
+}
+
+/// The stencil event loop proper, monomorphized over the tap count `W`
+/// (`0` = read the length at runtime). See [`run_event_stencil`].
+///
+/// The differences from the general loop are mechanical, not semantic:
+///
+/// * Out-of-grid taps read the `NONE` border and lose every comparison,
+///   exactly like a tap the table builder clipped away — so every slot
+///   shares one displacement list and the arbitration scan is a
+///   fixed-trip branchless min-chain with no per-slot bounds, no
+///   tap-table indirection and no data-dependent early exits.
+/// * The scan tracks the second-smallest head alongside the minimum, so
+///   the post-borrow dormancy check becomes `min(second, popped
+///   column's next head)` — the only head a pop moves is the popped
+///   column's — instead of re-walking the neighbourhood.
+///
+/// Results are **bit-identical** to the general loop and to
+/// [`reference`], pinned by the differential tests.
+fn run_event_stencil_w<const TRACK: bool, const W: usize, S: Sink>(
+    grid: &OpGrid,
+    win: EffectiveWindow,
+    priority: Priority,
+    scratch: &mut SchedScratch,
+    sink: &mut S,
+    ext2: usize,
+    reach2: usize,
+) -> (Schedule, u32) {
+    let total = grid.total_ops();
+    let slots = grid.lanes * grid.rows * grid.cols;
+    let row_cols = grid.rows * grid.cols;
+    let ext1 = grid.lanes;
+    let pad1 = win.lane.div_ceil(2);
+    let pad2 = reach2.div_ceil(2);
+    let ext2_p = ext2 + 2 * pad2;
+    let ext1_p = ext1 + 2 * pad1;
+    let plane = ext1_p * ext2_p;
+    debug_assert!(W == 0 || scratch.deltas.len() == W);
+    let n_taps = if W == 0 { scratch.deltas.len() } else { W };
+
+    // --- prepare scratch (resize-only; no allocation at steady state) ---
+    scratch.bb_of.clear();
+    scratch.bb_of.reserve(slots);
+    scratch.flat_of.clear();
+    scratch.flat_of.resize(plane, NONE);
+    scratch.head_b.clear();
+    scratch.head_b.resize(plane, NONE);
+    scratch.head_cursor.clear();
+    scratch.head_cursor.reserve(slots);
+    for l in 0..ext1 {
+        for x in 0..ext2 {
+            let c = l * ext2 + x;
+            let bb = (l + pad1) * ext2_p + (x + pad2);
+            scratch.bb_of.push(bb as u32);
+            scratch.flat_of[bb] = c as u32;
+            let (lo, hi) = (grid.col_off[c], grid.col_off[c + 1]);
+            scratch.head_b[bb] = if lo < hi { grid.ops[lo as usize] } else { NONE };
+            scratch.head_cursor.push(lo);
+        }
+    }
+    scratch.row_remaining.clear();
+    scratch.row_remaining.extend_from_slice(&grid.t_counts);
+    let words = slots.div_ceil(64);
+    scratch.active.clear();
+    scratch.active.resize(words, !0u64);
+    if !slots.is_multiple_of(64) {
+        scratch.active[words - 1] = (1u64 << (slots % 64)) - 1;
+    }
+    scratch.wake_head.clear();
+    scratch.wake_head.resize(grid.t_steps, NONE);
+    scratch.wake_next.clear();
+    scratch.wake_next.resize(slots, NONE);
+
+    // Split borrows for the hot loop.
+    let SchedScratch {
+        head_b,
+        head_cursor,
+        row_remaining,
+        active,
+        wake_head,
+        wake_next,
+        bb_of,
+        flat_of,
+        deltas,
+        delta_dsum,
+        ..
+    } = scratch;
+    let deltas = &deltas[..];
+
+    let mut h = 0usize; // oldest unfinished time row
+    while h < grid.t_steps && row_remaining[h] == 0 {
+        h += 1;
+    }
+
+    let mut remaining = total;
+    let mut dormant = 0usize;
+    let mut cycles = 0u64;
+    let mut borrowed = 0u64;
+    let mut starved_cycles = 0u64;
+    let mut prev_horizon = 0usize;
+    let mut first_cycle = true;
+    let mut max_lag = 0u32;
+
+    while remaining > 0 {
+        cycles += 1;
+        let horizon = (h + win.depth - 1).min(grid.t_steps - 1);
+        let horizon32 = horizon as u32;
+
+        // Wake dormant slots whose earliest reachable row entered the
+        // window. The horizon is monotone, so each bucket drains once.
+        if !first_cycle && horizon > prev_horizon {
+            for wh in &mut wake_head[prev_horizon + 1..=horizon] {
+                let mut slot = *wh;
+                *wh = NONE;
+                while slot != NONE {
+                    let s = slot as usize;
+                    slot = wake_next[s];
+                    active[s / 64] |= 1u64 << (s % 64);
+                    dormant -= 1;
+                }
+            }
+        }
+        first_cycle = false;
+        prev_horizon = horizon;
+
+        let mut idled = dormant > 0;
+
+        for (wd, aw) in active.iter_mut().enumerate() {
+            let mut bits = *aw;
+            let mut cleared = 0u64;
+            while bits != 0 {
+                let slot = wd * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                // SAFETY: `slot < slots` from the active bitset, and
+                // `bb_of` holds one in-plane interior index per slot.
+                let bb = unsafe { *bb_of.get_unchecked(slot) } as usize;
+                let own_t = unsafe { *head_b.get_unchecked(bb) };
+
+                // Own op first (Bit-Tactical priority), if within the
+                // time window.
+                if priority == Priority::OwnFirst && own_t <= horizon32 {
+                    let t = own_t;
+                    // SAFETY: `slot < slots` bounds `head_cursor` and
+                    // `col_off`; the cursor stays within the column's CSR
+                    // slice; `t` is an op time, so `t < t_steps` =
+                    // `row_remaining.len()`.
+                    let nt = unsafe {
+                        let hp = *head_cursor.get_unchecked(slot) + 1;
+                        let nt = if hp < *grid.col_off.get_unchecked(slot + 1) {
+                            *grid.ops.get_unchecked(hp as usize)
+                        } else {
+                            NONE
+                        };
+                        *head_b.get_unchecked_mut(bb) = nt;
+                        *head_cursor.get_unchecked_mut(slot) = hp;
+                        *row_remaining.get_unchecked_mut(t as usize) -= 1;
+                        nt
+                    };
+                    remaining -= 1;
+                    if TRACK {
+                        max_lag = max_lag.max(t - h as u32);
+                    }
+                    if S::ACTIVE {
+                        let src = (
+                            slot / row_cols,
+                            slot % row_cols / grid.cols,
+                            slot % grid.cols,
+                        );
+                        sink.push(Assignment {
+                            t,
+                            src,
+                            cycle: cycles - 1,
+                            slot: src,
+                        });
+                    }
+                    // Pre-sleep on an exhausted window, mirroring the
+                    // general loop: cheap neighbourhood min over the
+                    // updated heads (unrolled for const `W`).
+                    if nt > horizon32 {
+                        let mut m = NONE;
+                        for i in 0..n_taps {
+                            // SAFETY: `i < n_taps = deltas.len()`; `bb`
+                            // is interior and every delta stays inside
+                            // the sentinel border by pad construction.
+                            let t = unsafe {
+                                *head_b.get_unchecked(
+                                    (bb as isize + *deltas.get_unchecked(i) as isize) as usize,
+                                )
+                            };
+                            m = m.min(t);
+                        }
+                        if m > horizon32 {
+                            cleared |= 1u64 << (slot % 64);
+                            dormant += 1;
+                            if m != NONE {
+                                wake_next[slot] = wake_head[m as usize];
+                                wake_head[m as usize] = slot as u32;
+                            }
+                        }
+                    }
+                    continue;
+                }
+
+                // Branchless arbitration scan: strict `<` over head
+                // times in `(dsum, enumeration)` order resolves the full
+                // `(t, dsum, tap order)` priority (first minimum wins);
+                // the second-smallest head rides along for the
+                // post-borrow dormancy check.
+                let mut bt = NONE;
+                let mut m2 = NONE;
+                let mut best_i = 0usize;
+                for i in 0..n_taps {
+                    // SAFETY: `i < n_taps = deltas.len()`; `bb` is
+                    // interior; deltas stay inside the sentinel border
+                    // by pad construction.
+                    let t = unsafe {
+                        *head_b.get_unchecked(
+                            (bb as isize + *deltas.get_unchecked(i) as isize) as usize,
+                        )
+                    };
+                    let lt = t < bt;
+                    let demoted = if lt { bt } else { t };
+                    m2 = m2.min(demoted);
+                    bt = if lt { t } else { bt };
+                    best_i = if lt { i } else { best_i };
+                }
+
+                if bt <= horizon32 {
+                    let pb = (bb as isize + deltas[best_i] as isize) as usize;
+                    // SAFETY: the winning head is a live op time, so `pb`
+                    // is interior (border entries are `NONE` and lose to
+                    // every live head); `flat_of` maps interior entries
+                    // to their flat column.
+                    let best_c = unsafe { *flat_of.get_unchecked(pb) } as usize;
+                    let dsum = delta_dsum[best_i];
+                    // SAFETY: `best_c < slots` (see above); the cursor
+                    // stays within the column's CSR slice; `bt` is an op
+                    // time, so `bt < t_steps` = `row_remaining.len()`.
+                    let nt = unsafe {
+                        let hp = *head_cursor.get_unchecked(best_c) + 1;
+                        let nt = if hp < *grid.col_off.get_unchecked(best_c + 1) {
+                            *grid.ops.get_unchecked(hp as usize)
+                        } else {
+                            NONE
+                        };
+                        *head_b.get_unchecked_mut(pb) = nt;
+                        *head_cursor.get_unchecked_mut(best_c) = hp;
+                        *row_remaining.get_unchecked_mut(bt as usize) -= 1;
+                        nt
+                    };
+                    remaining -= 1;
+                    if TRACK {
+                        max_lag = max_lag.max(bt - h as u32);
+                    }
+                    if dsum > 0 {
+                        borrowed += 1;
+                    }
+                    if S::ACTIVE {
+                        sink.push(Assignment {
+                            t: bt,
+                            src: (
+                                best_c / row_cols,
+                                best_c % row_cols / grid.cols,
+                                best_c % grid.cols,
+                            ),
+                            cycle: cycles - 1,
+                            slot: (
+                                slot / row_cols,
+                                slot % row_cols / grid.cols,
+                                slot % grid.cols,
+                            ),
+                        });
+                    }
+                    // Post-borrow dormancy: the pop moved exactly one
+                    // head (the popped column's), so the fresh
+                    // neighbourhood minimum is `min(second-best, its
+                    // next head)` — no re-walk.
+                    let m = m2.min(nt);
+                    if m > horizon32 {
+                        cleared |= 1u64 << (slot % 64);
+                        dormant += 1;
+                        if m != NONE {
+                            wake_next[slot] = wake_head[m as usize];
+                            wake_head[m as usize] = slot as u32;
+                        }
+                    }
+                } else {
+                    // Nothing reachable: idle, then sleep until the
+                    // horizon reaches the earliest tap head (`bt` is the
+                    // exact full minimum — the scan has no early exit).
+                    idled = true;
+                    cleared |= 1u64 << (slot % 64);
+                    dormant += 1;
+                    if bt != NONE {
+                        // SAFETY: a non-NONE `bt` is an op time, and op
+                        // times are `< t_steps` (= `wake_head.len()`) by
+                        // builder construction; `slot < slots` from the
+                        // active bitset.
+                        unsafe {
+                            *wake_next.get_unchecked_mut(slot) =
+                                *wake_head.get_unchecked(bt as usize);
+                            *wake_head.get_unchecked_mut(bt as usize) = slot as u32;
+                        }
+                    }
+                }
+            }
+            *aw &= !cleared;
+        }
+
+        if idled && remaining > 0 {
+            starved_cycles += 1;
+        }
+        while h < grid.t_steps && row_remaining[h] == 0 {
+            h += 1;
+        }
+    }
+
+    (
+        Schedule {
+            cycles,
+            executed: total as u64,
+            borrowed,
+            starved_cycles,
+        },
+        max_lag,
+    )
 }
 
 /// The naive rescan-everything scheduler, retained verbatim as the
@@ -1500,6 +2077,149 @@ mod tests {
                 fresh
             );
         }
+    }
+
+    /// `schedule_multi` must be bitwise identical to K independent
+    /// `schedule_with` calls, in any window order, for any mix of
+    /// reaches and depths — including duplicate windows and saturated
+    /// grids where the depth-sharing proof cannot fire.
+    #[test]
+    fn schedule_multi_matches_independent_calls() {
+        let grids = [
+            OpGrid::from_fn(24, 4, 1, 4, |t, l, _, c| (t * 5 + l * 3 + c) % 4 == 0),
+            OpGrid::from_fn(16, 2, 2, 2, |t, l, r, c| (t + l + r + c) % 7 != 2),
+            OpGrid::from_fn(12, 2, 1, 1, |t, l, _, _| l == 0 && t % 2 == 0),
+            OpGrid::from_fn(8, 2, 1, 2, |_, _, _, _| false),
+        ];
+        // A family shape like the paper's fanin-8 enumeration: several
+        // reaches, multiple depths per reach, a duplicate, and windows
+        // deliberately out of group order.
+        let wins = [
+            EffectiveWindow {
+                depth: 5,
+                lane: 1,
+                rows: 0,
+                cols: 1,
+            },
+            EffectiveWindow {
+                depth: 8,
+                lane: 0,
+                rows: 0,
+                cols: 0,
+            },
+            EffectiveWindow {
+                depth: 3,
+                lane: 1,
+                rows: 0,
+                cols: 1,
+            },
+            EffectiveWindow {
+                depth: 4,
+                lane: 0,
+                rows: 0,
+                cols: 0,
+            },
+            EffectiveWindow {
+                depth: 3,
+                lane: 2,
+                rows: 1,
+                cols: 2,
+            },
+            EffectiveWindow {
+                depth: 8,
+                lane: 0,
+                rows: 0,
+                cols: 0,
+            },
+            EffectiveWindow {
+                depth: 1,
+                lane: 0,
+                rows: 1,
+                cols: 0,
+            },
+        ];
+        let mut scratch = SchedScratch::new();
+        let mut out = Vec::new();
+        for g in &grids {
+            for p in [Priority::OwnFirst, Priority::EarliestFirst] {
+                let share = schedule_multi(g, &wins, p, &mut scratch, &mut out);
+                assert_eq!(out.len(), wins.len());
+                assert_eq!(share.scheduled + share.replayed, wins.len());
+                for (i, &win) in wins.iter().enumerate() {
+                    let solo = schedule(g, win, p);
+                    assert_eq!(out[i], solo, "window {i} ({win:?}) p {p:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_multi_replays_duplicates_and_saturating_depths() {
+        // A grid whose lag never reaches the deep window's allowance:
+        // ops live only in rows 0..3, so with depth 100 the max lag is
+        // at most 2 and every shallower same-reach window with depth
+        // above it must replay rather than re-run.
+        let g = OpGrid::from_fn(32, 2, 1, 2, |t, l, _, c| t < 3 && (l + c) % 2 == 0);
+        let mk = |depth| EffectiveWindow {
+            depth,
+            lane: 1,
+            rows: 0,
+            cols: 1,
+        };
+        let wins = [mk(100), mk(50), mk(10), mk(10)];
+        let mut out = Vec::new();
+        let share = schedule_multi(
+            &g,
+            &wins,
+            Priority::OwnFirst,
+            &mut SchedScratch::new(),
+            &mut out,
+        );
+        assert_eq!(share.scheduled, 1, "one pass serves the whole family");
+        assert_eq!(share.replayed, 3);
+        for (i, &win) in wins.iter().enumerate() {
+            assert_eq!(out[i], schedule(&g, win, Priority::OwnFirst), "window {i}");
+        }
+
+        // An empty window list is a no-op.
+        let share = schedule_multi(
+            &g,
+            &[],
+            Priority::OwnFirst,
+            &mut SchedScratch::new(),
+            &mut out,
+        );
+        assert!(out.is_empty());
+        assert_eq!(share, MultiShare::default());
+    }
+
+    #[test]
+    fn wide_families_keep_every_reach_resident() {
+        // More distinct reaches than TAP_CACHE: the multi call must
+        // widen the cache so a second call builds no tables (observable
+        // as byte-identical results and, indirectly, by the capacity).
+        // Both spatial extents exceed 1 so the grid takes the tap-table
+        // path rather than the 2-D stencil (which builds no tables).
+        let g = OpGrid::from_fn(20, 4, 2, 4, |t, l, r, c| (t + l * 2 + r + c) % 3 == 0);
+        let wins: Vec<EffectiveWindow> = (0..6)
+            .map(|i| EffectiveWindow {
+                depth: 3 + i,
+                lane: i % 3,
+                rows: 0,
+                cols: i / 3 + 1,
+            })
+            .collect();
+        let mut scratch = SchedScratch::new();
+        let mut out = Vec::new();
+        schedule_multi(&g, &wins, Priority::OwnFirst, &mut scratch, &mut out);
+        let first = out.clone();
+        assert!(
+            scratch.taps.len() >= 6,
+            "all 6 reaches resident, got {}",
+            scratch.taps.len()
+        );
+        schedule_multi(&g, &wins, Priority::OwnFirst, &mut scratch, &mut out);
+        assert_eq!(out, first);
     }
 
     #[test]

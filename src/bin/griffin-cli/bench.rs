@@ -8,19 +8,33 @@
 //!   wide lane-reach window, a narrow window, a dense tile) scheduled
 //!   by the event-driven core and by the retained naive reference,
 //!   reporting ns/call, ns/op and the event/reference speedup;
+//! * **multi_window** — a K-window family (one reach, varying depths)
+//!   scheduled by [`schedule_multi`] versus K independent
+//!   [`schedule_with`] passes, on an iid tile (replay never fires; the
+//!   honest no-win overhead) and a structured 2:4 tile (bounded
+//!   run-ahead lag, where saturating-depth replay collapses the
+//!   family);
 //! * **alloc** — allocations per tile in the steady state (grid rebuild
 //!   plus schedule with a reused scratch), counted by the process-wide
 //!   [`griffin::telemetry::CountingAlloc`] — the zero-alloc contract,
 //!   measured rather than asserted;
 //! * **campaign** — a small synthetic sweep through the full campaign
 //!   engine, reporting cells/second;
+//! * **share** — the campaign family run through
+//!   [`Accelerator::run_family_batch`] with the sharing counters from
+//!   [`SimScratch::share_stats`] reported: windows requested,
+//!   event-core passes executed, replays, and window-keyed cache hits
+//!   — the share rate on real masks, observable rather than assumed;
 //! * **fleet** — the same sweep through the sharded fleet coordinator
 //!   (2 in-process shards, journal, merge, assembly), reporting the
 //!   orchestration overhead over a plain campaign;
-//! * **watch** — a recorded 54-cell event stream replayed through the
-//!   observability fold ([`griffin::watch::CampaignModel`]), reporting
-//!   events/second parsed-and-folded — the consumer must stay far ahead
-//!   of any realistic producer (target: >10⁵ events/s);
+//! * **watch** — a deterministic 54-cell event stream (per-cell events
+//!   regenerated through `events::sample`, with v3 host stamps,
+//!   scenario provenance, a mid-flight retry episode and non-finite
+//!   metric floats) replayed through the observability fold
+//!   ([`griffin::watch::CampaignModel`]), reporting events/second
+//!   parsed-and-folded — the consumer must stay far ahead of any
+//!   realistic producer (target: >10⁵ events/s);
 //! * **serve** — the resident daemon's warm-path win: one scenario
 //!   submitted twice to an in-process [`griffin::serve::Daemon`] —
 //!   cold submit→first-`cell_done` latency and total campaign time,
@@ -35,15 +49,17 @@
 
 use std::time::Instant;
 
+use griffin::core::accelerator::Accelerator;
 use griffin::core::category::DnnCategory;
 use griffin::fleet::coordinator::{run_fleet, FleetConfig};
 use griffin::fleet::events::NullSink;
 use griffin::serve::{Daemon, ScenarioSource, ServeConfig, TeeItem};
 use griffin::sim::config::{Fidelity, Priority, SimConfig};
-use griffin::sim::engine::{reference, schedule_with, OpGrid, SchedScratch};
+use griffin::sim::engine::{reference, schedule_multi, schedule_with, OpGrid, SchedScratch};
 use griffin::sim::grid::build_b_grid;
 use griffin::sim::shuffle::LaneMap;
 use griffin::sim::window::{BorrowWindow, EffectiveWindow};
+use griffin::sim::SimScratch;
 use griffin::sweep::json::Json;
 use griffin::sweep::scenario::Scenario;
 use griffin::sweep::{run_campaign, ResultCache, SweepSpec};
@@ -182,6 +198,59 @@ pub fn run_bench(args: &BenchArgs) -> Result<Json, String> {
     }
     push_case("dense_tile", &dense, EffectiveWindow::dense(), &mut scratch);
 
+    // --- multi_window: K-window family vs K independent passes ---------
+    // One shared reach (lane 0, cols 1), depths 2..=9 — a depth column
+    // of the executor's arch axis after window dedup. On iid masks
+    // every slot's run-ahead lag diverges and `schedule_multi` honestly
+    // pays a full pass per window; on structured 2:4 masks the lag
+    // stays bounded, so the deepest window's tracked pass replays the
+    // shallower family members.
+    let fam: Vec<EffectiveWindow> = (1..=8)
+        .map(|d| EffectiveWindow::for_b(BorrowWindow::new(d, 0, 1)))
+        .collect();
+    let structured = {
+        let core = CoreDims::PAPER;
+        OpGrid::from_fn(t_rows, core.k0, 1, core.n0, |t, l, _, c| {
+            (t + l * 7 + c * 13) % 4 < 2
+        })
+    };
+    let mut multi_out = Vec::new();
+    let mut multi_window = Vec::new();
+    for (name, g) in [("iid_tile", &grid), ("structured_2of4", &structured)] {
+        let multi_ns = time_per_call(
+            || {
+                schedule_multi(g, &fam, Priority::OwnFirst, &mut scratch, &mut multi_out);
+            },
+            iters,
+        );
+        let singles_ns = time_per_call(
+            || {
+                for w in &fam {
+                    schedule_with(g, *w, Priority::OwnFirst, &mut scratch);
+                }
+            },
+            iters,
+        );
+        let share = schedule_multi(g, &fam, Priority::OwnFirst, &mut scratch, &mut multi_out);
+        println!(
+            "  multi_window {name:<16} {} wins: multi {multi_ns:>10.0} ns  singles {singles_ns:>10.0} ns  ({:.2}x, {} replayed)",
+            fam.len(),
+            singles_ns / multi_ns,
+            share.replayed
+        );
+        multi_window.push(Json::obj([
+            ("name".into(), Json::Str(name.into())),
+            ("windows".into(), Json::from_f64(fam.len() as f64)),
+            ("replayed".into(), Json::from_f64(share.replayed as f64)),
+            ("multi_ns_per_family".into(), Json::from_f64(multi_ns)),
+            ("singles_ns_per_family".into(), Json::from_f64(singles_ns)),
+            (
+                "speedup_vs_singles".into(),
+                Json::from_f64(singles_ns / multi_ns),
+            ),
+        ]));
+    }
+
     // --- alloc: the zero-alloc steady-state contract -------------------
     let core = CoreDims::PAPER;
     let mask = TensorGen::seeded(3).bernoulli_mask(t_rows * core.k0, core.n0, 0.19);
@@ -251,6 +320,42 @@ pub fn run_bench(args: &BenchArgs) -> Result<Json, String> {
         report_mw.elapsed_ms
     );
 
+    // --- share: sharing counters across the campaign arch family ------
+    // The same family the campaign sweeps, run as one family batch with
+    // the counters read back. On real Bernoulli masks the windows are
+    // pairwise distinct and run-ahead lags diverge, so the honest
+    // numbers here are passes ≈ windows and replays ≈ 0 — the adaptive
+    // multi-window walk wins by shared grid builds and cache locality,
+    // not by schedule dedup (see ROADMAP item 4).
+    let fam_archs = ArchFamilyB { quick: args.quick }.family().enumerate();
+    let share_wl =
+        griffin::workloads::synth::synthetic_workload("bench-synth", DnnCategory::B, layers, 1)
+            .map_err(|e| e.to_string())?;
+    let share_sim = SimConfig {
+        fidelity: Fidelity::Sampled { tiles: 4, seed: 1 },
+        ..SimConfig::default()
+    };
+    let accel_objs: Vec<Accelerator> = fam_archs
+        .iter()
+        .map(|a| Accelerator::new(a.clone(), share_sim))
+        .collect();
+    let accels: Vec<&Accelerator> = accel_objs.iter().collect();
+    let mut sim_scratch = SimScratch::new();
+    sim_scratch.begin_reuse_scope(0xBE7C);
+    let share_planes = [&share_wl];
+    let _ = Accelerator::run_family_batch(&accels, &share_planes, &mut sim_scratch);
+    let st = sim_scratch.share_stats();
+    let share_rate = st.shared() as f64 / st.multi_windows.max(1) as f64;
+    println!(
+        "  share: {} archs, {} windows -> {} passes ({} replayed, {} cache hits; {:.1}% shared)",
+        fam_archs.len(),
+        st.multi_windows,
+        st.multi_passes,
+        st.multi_replayed,
+        st.sched_cache_hits,
+        share_rate * 100.0
+    );
+
     // --- fleet: orchestration overhead of the sharded coordinator -----
     let fleet_dir = std::env::temp_dir().join(format!(
         "griffin-bench-fleet-{}-{}",
@@ -282,6 +387,9 @@ pub fn run_bench(args: &BenchArgs) -> Result<Json, String> {
         for line in &stream {
             model.apply_line(line);
         }
+        // A line the model can't parse folds cheaper than a real one,
+        // which would quietly inflate the throughput number.
+        assert_eq!(model.parse_errors, 0, "bench stream must parse cleanly");
         last_done = model.done();
     }
     let folded = (stream.len() * passes) as f64;
@@ -385,6 +493,7 @@ pub fn run_bench(args: &BenchArgs) -> Result<Json, String> {
             ),
         ),
         ("micro".into(), Json::Arr(micro)),
+        ("multi_window".into(), Json::Arr(multi_window)),
         (
             "alloc".into(),
             Json::obj([
@@ -415,6 +524,21 @@ pub fn run_bench(args: &BenchArgs) -> Result<Json, String> {
                     "cells_per_sec_1_worker".into(),
                     Json::from_f64(cells_per_sec_1w),
                 ),
+            ]),
+        ),
+        (
+            "share".into(),
+            Json::obj([
+                ("archs".into(), Json::from_f64(fam_archs.len() as f64)),
+                ("windows".into(), Json::from_f64(st.multi_windows as f64)),
+                ("passes".into(), Json::from_f64(st.multi_passes as f64)),
+                ("replayed".into(), Json::from_f64(st.multi_replayed as f64)),
+                (
+                    "sched_cache_hits".into(),
+                    Json::from_f64(st.sched_cache_hits as f64),
+                ),
+                ("shared".into(), Json::from_f64(st.shared() as f64)),
+                ("share_rate".into(), Json::from_f64(share_rate)),
             ]),
         ),
         (
@@ -468,65 +592,84 @@ pub fn run_bench(args: &BenchArgs) -> Result<Json, String> {
 
 /// The recorded stream behind the `watch` probe: a deterministic
 /// 54-cell, 2-shard campaign — headers, every cell's start/done pair,
-/// heartbeats every 8 completions, the shard/merge/campaign footers —
-/// serialized exactly as the fleet writes it (one JSON line per event).
+/// heartbeats every 8 completions, a mid-flight shard failure and
+/// retry, the shard/merge/campaign footers — serialized exactly as the
+/// fleet writes it (one JSON line per event).
+///
+/// Per-cell and recovery events come from the schema sample generator
+/// (`events::sample::build_event`, the same one behind the event and
+/// watch-model property tests), so the fold is measured against the
+/// full wire surface: escaped strings, occasional non-finite metric
+/// floats, and the v3 host/provenance fields the old hand-rolled
+/// stream never carried.
 fn watch_stream_lines() -> Vec<String> {
+    use griffin::fleet::events::sample::build_event;
     use griffin::fleet::events::Event;
-    use griffin::sweep::{CellMetrics, Fingerprint};
+    use griffin::sweep::scenario::ScenarioProvenance;
+    use griffin::sweep::Fingerprint;
 
     const CELLS: usize = 54;
-    let metrics = |i: usize| CellMetrics {
-        speedup: 1.0 + i as f64 / 16.0,
-        cycles: 1e4 + i as f64,
-        dense_cycles: 20_000 + i as u64,
-        power_mw: 300.0,
-        area_mm2: 3.5,
-        tops_per_w: 2.0,
-        tops_per_mm2: 1.5,
-    };
+    const PLANNED: usize = CELLS / 2;
     let mut evs = vec![Event::CampaignStart {
         campaign: "bench-watch".into(),
         spec_fp: Fingerprint(0xBE, 0xEF),
         cells: CELLS,
         shards: 2,
         resumed: 0,
-        scenario: None,
+        scenario: Some(ScenarioProvenance {
+            file: "bench-watch.toml".into(),
+            fp: Fingerprint(0xF0, 0x0D),
+        }),
     }];
     for shard in 0..2usize {
-        let planned = CELLS / 2;
         evs.push(Event::ShardStart {
             shard,
-            cells: planned,
+            cells: PLANNED,
             skipped: 0,
-            host: None,
+            host: Some(format!("host-{shard}")),
         });
-        for d in 0..planned {
-            let cell = shard * planned + d;
-            let fp = Fingerprint(cell as u64, 0x5EED);
-            evs.push(Event::CellStart { shard, cell, fp });
-            evs.push(Event::CellDone {
-                shard,
-                cell,
-                fp,
-                cached: cell.is_multiple_of(3),
-                metrics: metrics(cell),
-            });
+        for d in 0..PLANNED {
+            let cell = shard * PLANNED + d;
+            // `build_event` derives the shard from `a % 100_000` and
+            // the cell from `b`, so `a = shard + 100_000·cell` keeps
+            // the campaign coherent while the fingerprint and metric
+            // draws still vary per cell. Every 13th cell draws a
+            // non-finite metric float (the lossless-float wire path).
+            let a = (shard + 100_000 * cell) as u64;
+            evs.push(build_event(2, a, cell as u64, false, 0));
+            evs.push(build_event(
+                3,
+                a,
+                cell as u64,
+                cell.is_multiple_of(3),
+                u64::from(cell.is_multiple_of(13)),
+            ));
             if (d + 1) % 8 == 0 {
                 evs.push(Event::Heartbeat {
                     shard,
                     done: d + 1,
-                    total: planned,
+                    total: PLANNED,
                     elapsed_ms: (d as u64 + 1) * 11,
                     cached: (d + 1) / 3,
                 });
             }
+            // Mid-flight recovery on shard 1: its host drops, the
+            // remaining cells requeue, the shard retries (the v2/v3
+            // recovery variants, via the same sample generator).
+            if shard == 1 && d == 12 {
+                evs.push(build_event(11, 0, 1, true, 0)); // host_lost
+                evs.push(build_event(6, 1, 0, true, 0)); // shard_failed
+                evs.push(build_event(7, 1, (PLANNED - d - 1) as u64, false, 0)); // cells_requeued
+                evs.push(build_event(8, 1, 0, true, 0)); // shard_retried
+                evs.push(build_event(12, 0, 0, true, 0)); // host_retired
+            }
         }
         evs.push(Event::ShardDone {
             shard,
-            simulated: planned - planned / 3,
-            cached: planned / 3,
+            simulated: PLANNED - PLANNED / 3,
+            cached: PLANNED / 3,
             elapsed_ms: 321,
-            host: None,
+            host: Some(format!("host-{shard}")),
         });
     }
     evs.push(Event::MergeDone {

@@ -181,10 +181,163 @@ proptest! {
     }
 }
 
+/// Runs a whole architecture family three ways (per-accelerator
+/// `run_batch`, unscoped family batch, scoped family batch) and checks
+/// every `[accelerator][workload]` report agrees bitwise.
+fn check_family(archs: &[ArchSpec], cfg: SimConfig, workloads: &[Workload]) {
+    let accels: Vec<Accelerator> = archs
+        .iter()
+        .map(|a| Accelerator::new(a.clone(), cfg))
+        .collect();
+    let refs: Vec<&Accelerator> = accels.iter().collect();
+    let planes: Vec<&Workload> = workloads.iter().collect();
+    let solo: Vec<Vec<RunReport>> = accels
+        .iter()
+        .map(|a| a.run_batch(&planes, &mut SimScratch::new()))
+        .collect();
+
+    let unscoped = Accelerator::run_family_batch(&refs, &planes, &mut SimScratch::new());
+    assert_eq!(unscoped.len(), archs.len());
+    for (a, (srow, brow)) in solo.iter().zip(&unscoped).enumerate() {
+        assert_eq!(brow.len(), workloads.len());
+        for (p, (s, b)) in srow.iter().zip(brow).enumerate() {
+            assert_reports_identical(s, b, &format!("family unscoped accel {a} plane {p}"));
+        }
+    }
+
+    // Under a reuse scope the family shares memoized grids *and* the
+    // window-keyed schedule cache; a second pass replays from cache and
+    // must still agree.
+    let mut scoped = SimScratch::new();
+    scoped.begin_reuse_scope(0xFA417);
+    for pass in 0..2 {
+        let batched = Accelerator::run_family_batch(&refs, &planes, &mut scoped);
+        for (a, (srow, brow)) in solo.iter().zip(&batched).enumerate() {
+            for (p, (s, b)) in srow.iter().zip(brow).enumerate() {
+                assert_reports_identical(
+                    s,
+                    b,
+                    &format!("family scoped pass {pass} accel {a} plane {p}"),
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A whole architecture family batched through one
+    /// `run_family_batch` call equals per-accelerator `run_batch` calls
+    /// (themselves pinned to solo runs above) — over random single-
+    /// sparse families with shared-reach members, duplicates, and both
+    /// shuffle flags, on K seed-variant workloads.
+    #[test]
+    fn run_family_batch_equals_independent_runs(
+        seed in 0u64..300,
+        planes in 1usize..4,
+        b_side in proptest::bool::ANY,
+        picks in proptest::collection::vec((1usize..5, 0usize..3, 0usize..2, proptest::bool::ANY), 2..6),
+        da in 0.3f64..1.0,
+        db in 0.1f64..0.9,
+    ) {
+        use griffin::sim::window::BorrowWindow;
+        let category = if b_side { DnnCategory::B } else { DnnCategory::A };
+        let archs: Vec<ArchSpec> = picks
+            .iter()
+            .map(|&(d1, d2, d3, shuffle)| {
+                let w = BorrowWindow::new(d1, d2, d3);
+                if b_side {
+                    ArchSpec::sparse_b(w, shuffle)
+                } else {
+                    ArchSpec::sparse_a(w, shuffle)
+                }
+            })
+            .collect();
+        let workloads: Vec<Workload> = (0..planes)
+            .map(|p| variant(category, &[(16, 128, 32), (32, 64, 64)], da, db, seed + p as u64))
+            .collect();
+        let cfg = SimConfig {
+            fidelity: Fidelity::Sampled { tiles: 2, seed: 7 },
+            ..SimConfig::default()
+        };
+        check_family(&archs, cfg, &workloads);
+    }
+}
+
+#[test]
+fn mixed_mode_family_falls_back_and_still_matches() {
+    // Dense + dual-sparse + single-sparse in one family: no shared
+    // single-sparse axis, so the family call must fall back per
+    // accelerator — and still match bitwise.
+    let archs = [
+        ArchSpec::dense(),
+        ArchSpec::griffin(),
+        ArchSpec::sparse_b_star(),
+    ];
+    let workloads = [
+        variant(DnnCategory::B, &[(16, 128, 32)], 1.0, 0.25, 31),
+        variant(DnnCategory::B, &[(16, 128, 32)], 1.0, 0.25, 32),
+    ];
+    check_family(&archs, SimConfig::default(), &workloads);
+}
+
+#[test]
+fn identical_family_members_share_all_but_one_schedule() {
+    // K family members with the *same* window and shuffle flag resolve
+    // to one distinct schedule per (tile, plane): the telemetry must
+    // report exactly K−1 of every K window requests as shared, and the
+    // reports must still equal solo runs. (The real 54-arch SparseB
+    // family has 54 distinct (window, shuffle) combos, so its sharing
+    // comes only from saturating-depth replay on structured masks —
+    // this constructed family pins the cache/dedup half of the
+    // counters.)
+    let k = 5;
+    let arch = ArchSpec::sparse_b_star();
+    let archs: Vec<ArchSpec> = (0..k).map(|_| arch.clone()).collect();
+    let workloads = [
+        variant(DnnCategory::B, &[(16, 128, 32)], 1.0, 0.3, 41),
+        variant(DnnCategory::B, &[(16, 128, 32)], 1.0, 0.3, 42),
+    ];
+    check_family(&archs, SimConfig::default(), &workloads);
+
+    let accels: Vec<Accelerator> = archs
+        .iter()
+        .map(|a| Accelerator::new(a.clone(), SimConfig::default()))
+        .collect();
+    let refs: Vec<&Accelerator> = accels.iter().collect();
+    let planes: Vec<&Workload> = workloads.iter().collect();
+    let mut scratch = SimScratch::new();
+    scratch.begin_reuse_scope(0x54A11);
+    let _ = Accelerator::run_family_batch(&refs, &planes, &mut scratch);
+    let stats = scratch.share_stats();
+    assert!(stats.multi_passes > 0, "family must schedule something");
+    assert_eq!(
+        stats.multi_windows,
+        stats.multi_passes * k as u64,
+        "every distinct schedule serves K identical members"
+    );
+    assert_eq!(
+        stats.shared(),
+        stats.multi_passes * (k as u64 - 1),
+        "K−1 of every K window requests are shared"
+    );
+    assert_eq!(
+        stats.sched_cache_hits + stats.multi_replayed,
+        stats.shared(),
+        "shares are either cache hits or replays"
+    );
+}
+
 #[test]
 fn empty_batch_returns_no_reports() {
     let acc = Accelerator::with_defaults(ArchSpec::griffin());
     assert!(acc.run_batch(&[], &mut SimScratch::new()).is_empty());
+    assert!(
+        Accelerator::run_family_batch(&[&acc], &[], &mut SimScratch::new())
+            .iter()
+            .all(Vec::is_empty)
+    );
 }
 
 #[test]

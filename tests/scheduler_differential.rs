@@ -9,7 +9,9 @@
 //! [`Assignment`]: griffin::sim::engine::Assignment
 
 use griffin::sim::config::Priority;
-use griffin::sim::engine::{reference, schedule_assign_with, schedule_with, OpGrid, SchedScratch};
+use griffin::sim::engine::{
+    reference, schedule_assign_with, schedule_multi, schedule_with, OpGrid, SchedScratch,
+};
 use griffin::sim::grid::{build_a_grid, build_b_grid};
 use griffin::sim::shuffle::LaneMap;
 use griffin::sim::window::EffectiveWindow;
@@ -144,6 +146,71 @@ proptest! {
                 view.is_nonzero(TileCoord { t, lane: lanes.source_lane(l, t), s: r })
             });
             prop_assert_eq!(&g, &want, "A tile {} diverged", m_tile);
+        }
+    }
+
+    /// Multi-window scheduling == K independent `schedule_with` calls,
+    /// bitwise, over random window families: shared-reach groups with
+    /// varying depths, exact duplicates, arbitrary order. Whatever mix
+    /// of full passes and saturating-depth replays `schedule_multi`
+    /// picks, every returned [`Schedule`] must match its solo run.
+    #[test]
+    fn schedule_multi_matches_independent_schedules(
+        seed in 0u64..1000,
+        density in 0.02f64..1.0,
+        own_first in proptest::bool::ANY,
+        wins in proptest::collection::vec(
+            (1usize..8, 0usize..3, 0usize..2, 0usize..3), 1..12),
+    ) {
+        let g = grid(20, 6, 2, 4, density, seed);
+        let p = if own_first { Priority::OwnFirst } else { Priority::EarliestFirst };
+        let fam: Vec<EffectiveWindow> = wins
+            .iter()
+            .map(|&(depth, lane, rows, cols)| EffectiveWindow { depth, lane, rows, cols })
+            .collect();
+
+        let mut scratch = SchedScratch::new();
+        let mut out = Vec::new();
+        let share = schedule_multi(&g, &fam, p, &mut scratch, &mut out);
+        prop_assert_eq!(share.scheduled + share.replayed, fam.len());
+        prop_assert_eq!(out.len(), fam.len());
+        for (i, (w, s)) in fam.iter().zip(&out).enumerate() {
+            let solo = schedule_with(&g, *w, p, &mut scratch);
+            prop_assert_eq!(*s, solo, "window {} ({:?}, {:?}) diverged", i, w, p);
+        }
+    }
+
+    /// Structured (N:M) grids keep every slot's run-ahead lag small, so
+    /// saturating-depth replay actually fires; the replayed copies must
+    /// still be bitwise identical to full event-core passes.
+    #[test]
+    fn replayed_schedules_match_on_structured_grids(
+        seed in 0u64..500,
+        m in 4usize..9,
+        n in 1usize..4,
+        own_first in proptest::bool::ANY,
+        depths in proptest::collection::vec(1usize..10, 2..8),
+        lane in 0usize..3,
+        cols_reach in 0usize..3,
+    ) {
+        // N-of-M periodic columns, phase-shifted per slot.
+        let g = OpGrid::from_fn(24, 6, 2, 4, |t, l, r, c| {
+            (t + l * 7 + r * 5 + c * 13 + seed as usize) % m < n
+        });
+        let p = if own_first { Priority::OwnFirst } else { Priority::EarliestFirst };
+        // One shared reach, depths varying: the regime where the
+        // deepest window's tracked pass replays the shallower ones.
+        let fam: Vec<EffectiveWindow> = depths
+            .iter()
+            .map(|&depth| EffectiveWindow { depth, lane, rows: 0, cols: cols_reach })
+            .collect();
+
+        let mut scratch = SchedScratch::new();
+        let mut out = Vec::new();
+        let share = schedule_multi(&g, &fam, p, &mut scratch, &mut out);
+        prop_assert_eq!(share.scheduled + share.replayed, fam.len());
+        for (w, s) in fam.iter().zip(&out) {
+            prop_assert_eq!(*s, schedule_with(&g, *w, p, &mut scratch), "win {:?}", w);
         }
     }
 
